@@ -1,0 +1,78 @@
+"""Fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures on the
+synthetic dataset and prints the resulting rows/series.  Two dataset sizes
+are provided:
+
+* ``bench_dataset`` — the full 123-region catalog, one year (the default
+  evaluation year).  Used by the cheap, vectorised experiments.
+* ``bench_dataset_multi_year`` — the full catalog for 2020 and 2022, used by
+  the change-over-time analysis (Figure 3(b)).
+
+Set the environment variable ``REPRO_BENCH_REGIONS`` to an integer to
+restrict the benchmarks to the first N catalog regions (useful on very slow
+machines); by default all 123 regions are used.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+from repro import CarbonDataset, default_catalog
+
+
+@pytest.fixture(autouse=True)
+def show_benchmark_tables(capsys):
+    """Re-emit each benchmark's printed figure tables to the real stdout.
+
+    pytest captures test output by default, which would hide the regenerated
+    figure rows; this fixture forwards them so that
+    ``pytest benchmarks/ --benchmark-only`` shows (and ``tee`` records) the
+    same rows/series the paper's figures report.
+    """
+    yield
+    captured = capsys.readouterr()
+    if captured.out:
+        with capsys.disabled():
+            sys.stdout.write(captured.out)
+            sys.stdout.flush()
+
+
+def _bench_catalog():
+    catalog = default_catalog()
+    limit = os.environ.get("REPRO_BENCH_REGIONS")
+    if limit:
+        codes = catalog.codes()[: max(3, int(limit))]
+        catalog = catalog.subset(codes)
+    return catalog
+
+
+@pytest.fixture(scope="session")
+def bench_catalog():
+    """Catalog used by the benchmarks (full 123 regions by default)."""
+    return _bench_catalog()
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(bench_catalog):
+    """One-year synthetic dataset over the benchmark catalog."""
+    return CarbonDataset.synthetic(catalog=bench_catalog, years=(2022,))
+
+
+@pytest.fixture(scope="session")
+def bench_dataset_multi_year(bench_catalog):
+    """Two-year (2020, 2022) synthetic dataset for the trend analysis."""
+    return CarbonDataset.synthetic(catalog=bench_catalog, years=(2020, 2022))
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic and some take several seconds, so a
+    single round keeps the whole harness fast while still reporting a wall
+    clock time per figure.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

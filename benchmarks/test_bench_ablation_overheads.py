@@ -1,0 +1,71 @@
+"""Ablation: how much of the ideal (zero-overhead) savings survive once
+suspend/resume and migration overheads are charged.
+
+The paper's upper bounds assume both overheads are zero (§3.1.2, Table 1).
+DESIGN.md calls this assumption out; this ablation quantifies it by
+re-scheduling a 24-hour interruptible job across a sample of regions and
+arrival hours under increasing overhead costs.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.reporting import format_table
+from repro.scheduling import (
+    InterruptiblePolicy,
+    OneMigrationPolicy,
+    OverheadAwareInterruptiblePolicy,
+    OverheadAwareMigrationPolicy,
+    OverheadModel,
+)
+from repro.workloads import Job
+
+SAMPLE_REGIONS = ("US-CA", "DE", "PL", "IN-MH", "AU-SA", "BR-S", "ZA", "JP-TK")
+ARRIVALS = tuple(range(0, 8760, 24 * 7))
+OVERHEAD_HOURS = (0.0, 0.25, 0.5, 1.0, 2.0)
+
+
+def _ablation(dataset):
+    job = Job.batch(length_hours=24, slack_hours=168, interruptible=True)
+    rows = []
+    for overhead in OVERHEAD_HOURS:
+        temporal_ideal, temporal_aware = [], []
+        spatial_ideal, spatial_aware = [], []
+        interrupt_policy = OverheadAwareInterruptiblePolicy(
+            OverheadModel(suspend_resume_hours=overhead)
+        )
+        migration_policy = OverheadAwareMigrationPolicy(
+            OverheadModel(migration_hours=overhead)
+        )
+        for region in SAMPLE_REGIONS:
+            trace = dataset.series(region)
+            for arrival in ARRIVALS:
+                ideal = InterruptiblePolicy().schedule(job, trace, arrival)
+                aware = interrupt_policy.schedule(job, trace, arrival)
+                temporal_ideal.append(ideal.reduction_g)
+                temporal_aware.append(aware.reduction_g)
+            ideal_m = OneMigrationPolicy().schedule(job, dataset, region, ARRIVALS[0])
+            aware_m = migration_policy.schedule(job, dataset, region, ARRIVALS[0])
+            spatial_ideal.append(ideal_m.reduction_g)
+            spatial_aware.append(aware_m.reduction_g)
+        rows.append(
+            {
+                "overhead_hours": overhead,
+                "temporal_reduction_ideal": float(np.mean(temporal_ideal)),
+                "temporal_reduction_with_overhead": float(np.mean(temporal_aware)),
+                "spatial_reduction_ideal": float(np.mean(spatial_ideal)),
+                "spatial_reduction_with_overhead": float(np.mean(spatial_aware)),
+            }
+        )
+    return rows
+
+
+def test_bench_ablation_overheads(benchmark, bench_dataset):
+    rows = run_once(benchmark, _ablation, bench_dataset)
+    print()
+    print(
+        format_table(
+            rows,
+            title="Ablation: savings vs suspend/resume and migration overhead (24h job)",
+        )
+    )

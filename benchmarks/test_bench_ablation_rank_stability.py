@@ -1,0 +1,76 @@
+"""Ablation: rank-order stability and the clairvoyance gap.
+
+Two of the paper's arguments rest on structural properties of the traces:
+
+* regional rank order is stable, so one migration is near-optimal (§5.1.4);
+* carbon intensity is diurnally predictable, so realistic (forecast-driven)
+  temporal scheduling can approach the clairvoyant upper bound (§4.3).
+
+This ablation quantifies both on the synthetic dataset.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.rank_stability import rank_stability
+from repro.reporting import format_table
+from repro.scheduling import clairvoyance_gap
+from repro.workloads import Job
+
+GAP_REGIONS = ("US-CA", "DE", "PL", "AU-SA", "IN-MH")
+GAP_ARRIVALS = list(range(24 * 30, 8000, 24 * 11))
+
+
+def _rank_stability_rows(dataset):
+    stability = rank_stability(dataset)
+    return [
+        {
+            "metric": "hourly greenest == annual greenest",
+            "value": stability.greenest_agreement,
+        },
+        {
+            "metric": f"hourly greenest within annual top-{stability.top_k}",
+            "value": stability.greenest_in_top_k,
+        },
+        {
+            "metric": "mean Spearman(hourly rank, annual rank)",
+            "value": stability.mean_rank_correlation,
+        },
+        {
+            "metric": "distinct hourly-greenest regions per day",
+            "value": stability.greenest_changes_per_day,
+        },
+        {"metric": "stable enough for 1-migration", "value": stability.is_stable},
+    ]
+
+
+def _clairvoyance_rows(dataset):
+    job = Job.batch(length_hours=12, slack_hours=24)
+    rows = []
+    for region in GAP_REGIONS:
+        summary = clairvoyance_gap(dataset.series(region), job, GAP_ARRIVALS)
+        rows.append(
+            {
+                "region": region,
+                "baseline_g": summary["baseline_mean"],
+                "forecast_driven_g": summary["online_mean"],
+                "clairvoyant_g": summary["clairvoyant_mean"],
+                "captured_fraction": summary["captured_fraction"],
+            }
+        )
+    return rows
+
+
+def test_bench_ablation_rank_stability(benchmark, bench_dataset):
+    rows = run_once(benchmark, _rank_stability_rows, bench_dataset)
+    print()
+    print(format_table(rows, title="Ablation: rank-order stability of regional carbon intensity"))
+
+
+def test_bench_ablation_clairvoyance_gap(benchmark, bench_dataset):
+    rows = run_once(benchmark, _clairvoyance_rows, bench_dataset)
+    print()
+    print(
+        format_table(
+            rows,
+            title="Ablation: forecast-driven deferral vs clairvoyant upper bound (12h job, 24h slack)",
+        )
+    )

@@ -1,0 +1,35 @@
+"""Benchmarks: Figure 3 — global carbon analysis (mean/CV scatter and
+2020→2022 change)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig03_mean_cv import run_fig03a, run_fig03b
+from repro.reporting import format_table
+
+
+def test_bench_fig03a_mean_and_cv(benchmark, bench_dataset):
+    result = run_once(benchmark, run_fig03a, bench_dataset)
+    print()
+    quadrant_rows = [
+        {"quadrant": quadrant.value, "regions": count}
+        for quadrant, count in result.quadrants.counts().items()
+    ]
+    print(format_table(quadrant_rows, title="Figure 3(a): quadrant occupancy"))
+    print(
+        f"global mean CI: {result.global_mean:.1f} g/kWh | "
+        f"mean daily CV: {result.global_daily_cv:.3f} | "
+        f"regions with daily CV < 0.1: {100 * result.fraction_low_daily_cv:.0f}% | "
+        f"CI spread: {result.spread_ratio:.1f}x"
+    )
+    print(format_table(result.rows()[:10], title="First 10 regions (mean, daily CV)"))
+
+
+def test_bench_fig03b_change_over_time(benchmark, bench_dataset_multi_year):
+    result = run_once(benchmark, run_fig03b, bench_dataset_multi_year)
+    print()
+    summary = [
+        {"direction": "decreased", "fraction": result.fraction_decreased},
+        {"direction": "increased", "fraction": result.fraction_increased},
+        {"direction": "unchanged", "fraction": result.fraction_unchanged},
+    ]
+    print(format_table(summary, title="Figure 3(b): 2020->2022 change in mean CI"))
+    print(format_table(result.rows()[:10], title="First 10 regions (ΔCI, ΔCV, cluster)"))

@@ -1,0 +1,21 @@
+"""Benchmark: Figure 4 — periodicity scores of datacenter regions."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig04_periodicity import run_fig04
+from repro.reporting import format_table
+
+
+def test_bench_fig04_periodicity(benchmark, bench_dataset):
+    result = run_once(benchmark, run_fig04, bench_dataset)
+    print()
+    print(
+        format_table(
+            result.rows(),
+            title="Figure 4: periodicity scores (40 datacenter regions, by mean CI)",
+        )
+    )
+    print(
+        f"regions with significant 24h period: {100 * result.fraction_daily:.0f}% | "
+        f"with significant 168h period: {100 * result.fraction_weekly:.0f}% | "
+        f"non-periodic: {', '.join(result.non_periodic_regions()) or 'none'}"
+    )

@@ -1,0 +1,34 @@
+"""Benchmark: Figure 5 — spatial shifting under capacity constraints."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig05_capacity import run_fig05
+from repro.reporting import format_table
+
+
+def test_bench_fig05_capacity(benchmark, bench_dataset):
+    result = run_once(benchmark, run_fig05, bench_dataset)
+    print()
+    rows = result.rows()
+    print(
+        format_table(
+            [r for r in rows if r["panel"] == "5a-infinite"],
+            title="Figure 5(a): reductions with infinite capacity (migrate to greenest)",
+        )
+    )
+    print(
+        format_table(
+            [r for r in rows if r["panel"] == "5b-constrained"],
+            title="Figure 5(b): reductions with 50% idle capacity (waterfall)",
+        )
+    )
+    print(
+        format_table(
+            [r for r in rows if r["panel"] == "5c-idle-sweep"],
+            title="Figure 5(c): global reduction vs idle capacity",
+        )
+    )
+    print(
+        f"greenest region: {result.greenest_region} "
+        f"({result.greenest_intensity:.1f} g/kWh); "
+        f"99% idle capacity removes {result.idle_reduction_percent(0.99):.1f}% of emissions"
+    )

@@ -1,0 +1,31 @@
+"""Benchmark: Figure 6 — latency-constrained migration and one vs infinite
+migration policies."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig06_capacity_latency import run_fig06
+from repro.reporting import format_table
+
+
+def test_bench_fig06_capacity_latency(benchmark, bench_dataset):
+    result = run_once(
+        benchmark,
+        run_fig06,
+        bench_dataset,
+        sample_regions_per_group=6,
+        job_length_hours=24,
+    )
+    print()
+    rows = result.rows()
+    print(
+        format_table(
+            [r for r in rows if r["panel"] == "6a-latency"],
+            title="Figure 6(a): reduction vs latency SLO (idle=1.0 is infinite capacity)",
+        )
+    )
+    print(
+        format_table(
+            [r for r in rows if r["panel"] == "6b-policies"],
+            title="Figure 6(b): 1-migration vs infinite-migration (within groupings)",
+        )
+    )
+    print(f"max extra benefit of infinite migration: {result.max_extra_benefit():.2f} g/kWh")

@@ -1,0 +1,53 @@
+"""Benchmarks: Figures 7, 8 and 9 — temporal shifting by job length.
+
+The three figures share the same underlying sweep (every region, every
+arrival hour, the Table-1 job lengths, one-year and 24-hour slack); each
+benchmark reports the aggregation of the corresponding figure.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig07_deferrability import run_fig07
+from repro.experiments.fig08_interruptibility import run_fig08
+from repro.experiments.fig09_combined_temporal import run_fig09
+from repro.reporting import format_table
+from repro.workloads.job_lengths import BATCH_JOB_LENGTHS
+
+
+def test_bench_fig07_deferrability(benchmark, bench_dataset):
+    result = run_once(
+        benchmark, run_fig07, bench_dataset, lengths_hours=BATCH_JOB_LENGTHS
+    )
+    print()
+    print(
+        format_table(
+            result.rows(),
+            title="Figure 7: deferral reduction per job-hour (one-year vs 24h slack)",
+        )
+    )
+
+
+def test_bench_fig08_interruptibility(benchmark, bench_dataset):
+    result = run_once(
+        benchmark, run_fig08, bench_dataset, lengths_hours=BATCH_JOB_LENGTHS
+    )
+    print()
+    print(
+        format_table(
+            result.rows(),
+            title="Figure 8: additional reduction from interruptibility per job-hour",
+        )
+    )
+    print(f"practical-slack peak at job length: {result.practical_peak_length()}h")
+
+
+def test_bench_fig09_breakdown(benchmark, bench_dataset):
+    result = run_once(
+        benchmark, run_fig09, bench_dataset, lengths_hours=BATCH_JOB_LENGTHS
+    )
+    print()
+    print(
+        format_table(
+            result.rows(),
+            title="Figure 9: deferral/interrupt breakdown (% of global average CI)",
+        )
+    )

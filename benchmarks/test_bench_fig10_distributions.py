@@ -1,0 +1,33 @@
+"""Benchmark: Figure 10 — temporal reductions under job-length distributions
+and the slack sweep."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig10_distributions import run_fig10
+from repro.reporting import format_table
+from repro.workloads.job_lengths import BATCH_JOB_LENGTHS
+
+
+def test_bench_fig10_distributions(benchmark, bench_dataset):
+    result = run_once(
+        benchmark,
+        run_fig10,
+        bench_dataset,
+        lengths_hours=BATCH_JOB_LENGTHS,
+        arrival_stride=24,
+    )
+    print()
+    rows = result.rows()
+    for name in ("equal", "azure", "google"):
+        print(
+            format_table(
+                [r for r in rows if r["panel"] == f"10-{name}"],
+                title=f"Figure 10: temporal reductions, {name} job-length distribution",
+            )
+        )
+    print(
+        format_table(
+            [r for r in rows if r["panel"] == "10d-slack"],
+            title="Figure 10(d): reduction vs slack (equal distribution)",
+        )
+    )
+    print(f"slack growth ratio (1 year vs 24h): {result.slack_growth_ratio():.1f}x")

@@ -1,0 +1,39 @@
+"""Benchmark: Figure 11 — what-if scenarios (mixed workloads, prediction
+error, increasing renewable penetration)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig11_whatif import run_fig11
+from repro.reporting import format_table
+
+#: Regions used for the (per-region) temporal prediction-error loop; the
+#: spatial part of the experiment always evaluates all regions.
+ERROR_SAMPLE_REGIONS = ("US-CA", "SE", "DE", "PL", "IN-MH", "AU-NSW", "BR-S", "ZA")
+
+
+def test_bench_fig11_whatifs(benchmark, bench_dataset):
+    result = run_once(
+        benchmark,
+        run_fig11,
+        bench_dataset,
+        error_sample_regions=ERROR_SAMPLE_REGIONS,
+    )
+    print()
+    rows = result.rows()
+    print(
+        format_table(
+            [r for r in rows if r["panel"] == "11a-mixed"],
+            title="Figure 11(a): reduction vs migratable workload fraction",
+        )
+    )
+    print(
+        format_table(
+            [r for r in rows if r["panel"] == "11b-error"],
+            title="Figure 11(b): carbon increase vs prediction error",
+        )
+    )
+    print(
+        format_table(
+            [r for r in rows if r["panel"] == "11cd-renewables"],
+            title=f"Figure 11(c)-(d): greener grid what-if ({result.sample_region})",
+        )
+    )

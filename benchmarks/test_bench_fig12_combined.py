@@ -1,0 +1,20 @@
+"""Benchmark: Figure 12 — combined spatial and temporal shifting."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig12_combined import run_fig12
+from repro.reporting import format_table
+
+
+def test_bench_fig12_combined(benchmark, bench_dataset):
+    result = run_once(benchmark, run_fig12, bench_dataset)
+    print()
+    print(
+        format_table(
+            result.rows(),
+            title="Figure 12: spatial/temporal/net reductions by destination region",
+        )
+    )
+    print(
+        f"best destination: {result.best_destination()} | "
+        f"spatial component dominates: {result.spatial_dominates()}"
+    )

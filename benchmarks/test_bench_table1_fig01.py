@@ -1,0 +1,26 @@
+"""Benchmarks: Table 1 (workload configuration) and Figure 1 (illustrative
+carbon traces and generation mixes)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig01_carbon_trace import run_fig01
+from repro.experiments.table1_config import run_table1
+from repro.reporting import format_table
+
+
+def test_bench_table1(benchmark):
+    result = run_once(benchmark, run_table1)
+    print()
+    print(format_table(result.rows(), title="Table 1: workload configuration"))
+
+
+def test_bench_fig01_carbon_trace(benchmark, bench_dataset):
+    result = run_once(benchmark, run_fig01, bench_dataset)
+    print()
+    print(
+        format_table(
+            result.rows(),
+            columns=["region", "day_mean", "day_min", "day_max", "daily_swing"],
+            title="Figure 1(a): illustrative day (per-region summary)",
+        )
+    )
+    print(f"spatial ratio across illustrated regions: {result.spatial_ratio():.1f}x")

@@ -1,0 +1,102 @@
+"""Carbon-aware request routing for a global interactive web service.
+
+Interactive requests (web serving, ML inference) have no temporal
+flexibility but can be routed to another datacenter as long as the extra
+round-trip time stays inside the latency SLO.  This example routes a day of
+requests originating in several front-end regions to the greenest datacenter
+reachable within a sweep of latency SLOs, with and without datacenter
+capacity headroom, and reports the achievable carbon reduction — the
+Figure 6(a) trade-off, exercised through the public API.
+
+Run with::
+
+    python examples/global_web_service.py
+"""
+
+from __future__ import annotations
+
+from repro import CarbonDataset, Job, default_catalog
+from repro.cloud.latency import LatencyModel
+from repro.reporting import format_table
+from repro.scheduling import OneMigrationPolicy
+from repro.scheduling.latency_aware import LatencyConstrainedPolicy, latency_capacity_tradeoff
+from repro.workloads import ClusterTraceGenerator, GeneratorConfig
+
+FRONTEND_REGIONS = ("US-VA", "DE", "IN-MH", "BR-S", "AU-NSW", "ZA")
+LATENCY_SLOS_MS = (25.0, 50.0, 100.0, 150.0, 250.0)
+
+
+def route_requests(dataset, requests, policy):
+    """Total emissions of routing every request with one policy."""
+    total = 0.0
+    baseline = 0.0
+    for request in requests:
+        result = policy.schedule(
+            request.job, dataset, request.origin_region, request.arrival_hour
+        )
+        total += result.emissions_g
+        baseline += result.baseline_emissions_g
+    return total, baseline
+
+
+def main() -> None:
+    catalog = default_catalog().with_datacenters()
+    dataset = CarbonDataset.synthetic(catalog=catalog, years=(2022,))
+    latency_model = LatencyModel()
+
+    generator = ClusterTraceGenerator(
+        GeneratorConfig(num_jobs=500, interactive_fraction=1.0, horizon_hours=24, seed=3)
+    )
+    requests = generator.generate(FRONTEND_REGIONS)
+    print(f"routing {len(requests)} interactive requests from {len(FRONTEND_REGIONS)} "
+          f"front-end regions across {len(catalog)} datacenter regions")
+    print()
+
+    rows = []
+    for slo in LATENCY_SLOS_MS:
+        policy = LatencyConstrainedPolicy(latency_model=latency_model, latency_slo_ms=slo)
+        emissions, baseline = route_requests(dataset, requests, policy)
+        rows.append(
+            {
+                "latency_slo_ms": slo,
+                "emissions_g": emissions,
+                "reduction_pct": 100.0 * (baseline - emissions) / baseline,
+            }
+        )
+    unconstrained, baseline = route_requests(dataset, requests, OneMigrationPolicy())
+    rows.append(
+        {
+            "latency_slo_ms": float("inf"),
+            "emissions_g": unconstrained,
+            "reduction_pct": 100.0 * (baseline - unconstrained) / baseline,
+        }
+    )
+    print(format_table(rows, title="Request routing: reduction vs latency SLO (per request)"))
+    print()
+
+    # The same trade-off at the fleet level, with finite datacenter capacity
+    # (the paper's Figure 6(a) curves).
+    points = latency_capacity_tradeoff(
+        dataset,
+        latency_slos_ms=LATENCY_SLOS_MS,
+        idle_fractions=(1.0, 0.5),
+        latency_model=latency_model,
+    )
+    fleet_rows = [
+        {
+            "latency_slo_ms": p.latency_slo_ms,
+            "idle_fraction": p.idle_fraction,
+            "reduction_pct_of_global_avg": p.reduction_percent_of(dataset.global_average()),
+        }
+        for p in points
+    ]
+    print(format_table(fleet_rows, title="Fleet-level trade-off: latency SLO x idle capacity"))
+    print()
+    print("Tight SLOs keep requests near home and cap the reduction; once the SLO")
+    print("exceeds ~250 ms every region can reach the greenest datacenter, but with")
+    print("50% utilisation the capacity constraint takes over — the paper's point")
+    print("that practical constraints, not algorithms, bound spatial savings.")
+
+
+if __name__ == "__main__":
+    main()

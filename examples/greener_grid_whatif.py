@@ -1,0 +1,68 @@
+"""What happens to carbon-aware scheduling as the grid gets greener?
+
+The example evolves one region's generation mix by converting fossil
+generation into solar and wind (the §6.3 what-if), re-synthesises its hourly
+carbon trace at each penetration level, and compares carbon-agnostic and
+carbon-aware (clairvoyant, one-year slack) scheduling.  It also quantifies
+how sensitive the carbon-aware schedule is to forecast error at each level.
+
+Run with::
+
+    python examples/greener_grid_whatif.py [REGION]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import CarbonDataset, default_catalog
+from repro.forecast import UniformErrorModel, temporal_error_impact
+from repro.grid.evolution import GridEvolution
+from repro.reporting import format_table
+from repro.scheduling import TemporalSweep
+from repro.timeseries.stats import daily_coefficient_of_variation
+
+RENEWABLE_FRACTIONS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
+JOB_LENGTH_HOURS = 24
+
+
+def main(region_code: str = "US-CA") -> None:
+    catalog = default_catalog()
+    region = catalog.get(region_code)
+    dataset = CarbonDataset.synthetic(catalog=catalog.subset((region_code,)), years=(2022,))
+    print(f"region: {region}, current mix CI "
+          f"{region.mix.average_carbon_intensity():.0f} g/kWh, "
+          f"variable renewables {100 * region.mix.variable_renewable_share:.0f}%")
+    print()
+
+    evolution = GridEvolution(region, year=dataset.latest_year)
+    rows = []
+    for fraction in RENEWABLE_FRACTIONS:
+        scenario = evolution.scenario(fraction)
+        trace = scenario.trace
+        sweep = TemporalSweep(trace, JOB_LENGTH_HOURS, len(trace) - JOB_LENGTH_HOURS)
+        agnostic = float(sweep.baseline_sums().mean()) / JOB_LENGTH_HOURS
+        aware = float(sweep.interruptible_sums().mean()) / JOB_LENGTH_HOURS
+        error = temporal_error_impact(trace, JOB_LENGTH_HOURS, 0.2, seed=1)
+        rows.append(
+            {
+                "added_renewables_pct": 100 * fraction,
+                "mean_ci": trace.mean(),
+                "daily_cv": daily_coefficient_of_variation(trace),
+                "agnostic_g_per_h": agnostic,
+                "aware_g_per_h": aware,
+                "aware_benefit_g_per_h": agnostic - aware,
+                "error20_penalty_pct": error.carbon_increase_percent,
+            }
+        )
+    print(format_table(rows, title=f"Greener-grid what-if for {region_code}"))
+    print()
+    print("As renewables grow the grid's average intensity falls faster than the")
+    print("carbon-aware schedule's emissions, so the *gap* between carbon-aware and")
+    print("carbon-agnostic scheduling shrinks even though variability (daily CV)")
+    print("rises — the paper's closing observation.  Forecast-error sensitivity")
+    print("grows with variability, further eroding the practical benefit.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "US-CA")

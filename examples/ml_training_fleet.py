@@ -1,0 +1,104 @@
+"""Carbon-aware scheduling of a fleet of ML training jobs.
+
+This is the scenario the paper's introduction motivates: long-running batch
+ML training jobs with some temporal flexibility.  The example generates a
+synthetic cluster trace with a Google-Borg-like job-length distribution
+(long-job heavy), schedules every batch job under the carbon-agnostic
+baseline, deferral, and deferral+interrupt policies with both a practical
+(24 h) and an ideal (1 week) slack, and reports the fleet-level emissions.
+
+It demonstrates the paper's temporal-shifting findings: per-job savings
+shrink as jobs get longer, and the long-job-heavy distribution caps the
+fleet-level reduction well below what the short-job numbers suggest.
+
+Run with::
+
+    python examples/ml_training_fleet.py
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro import CarbonDataset, default_catalog
+from repro.reporting import format_table
+from repro.scheduling import CarbonAgnosticPolicy, DeferralPolicy, InterruptiblePolicy
+from repro.workloads import ClusterTraceGenerator, GeneratorConfig, GOOGLE_LIKE_DISTRIBUTION
+
+TRAINING_REGIONS = ("US-VA", "US-CA", "IE", "DE", "SG", "IN-MH", "BR-S", "AU-NSW")
+NUM_JOBS = 300
+
+
+def schedule_fleet(dataset, trace_jobs, policy, slack_hours):
+    """Total emissions of scheduling every batch job under one policy."""
+    total = 0.0
+    baseline_total = 0.0
+    by_length = defaultdict(lambda: [0.0, 0.0])
+    for trace_job in trace_jobs:
+        job = trace_job.job.with_slack(slack_hours)
+        trace = dataset.series(trace_job.origin_region)
+        result = policy.schedule(job, trace, trace_job.arrival_hour)
+        total += result.emissions_g
+        baseline_total += result.baseline_emissions_g
+        bucket = by_length[job.length_hours]
+        bucket[0] += result.emissions_g
+        bucket[1] += result.baseline_emissions_g
+    return total, baseline_total, by_length
+
+
+def main() -> None:
+    catalog = default_catalog().subset(TRAINING_REGIONS)
+    dataset = CarbonDataset.synthetic(catalog=catalog, years=(2022,))
+
+    generator = ClusterTraceGenerator(
+        GeneratorConfig(num_jobs=NUM_JOBS, interactive_fraction=0.0, seed=11),
+        length_distribution=GOOGLE_LIKE_DISTRIBUTION,
+    )
+    fleet = generator.generate(TRAINING_REGIONS)
+    print(f"generated {len(fleet)} training jobs, "
+          f"{fleet.total_job_hours():.0f} job-hours total")
+    print(f"job-length histogram: {fleet.job_length_histogram()}")
+    print()
+
+    policies = {
+        "carbon-agnostic": (CarbonAgnosticPolicy(), 0),
+        "deferral, 24h slack": (DeferralPolicy(), 24),
+        "defer+interrupt, 24h slack": (InterruptiblePolicy(), 24),
+        "defer+interrupt, 1-week slack": (InterruptiblePolicy(), 168),
+    }
+
+    rows = []
+    reference = None
+    for label, (policy, slack) in policies.items():
+        total, baseline, by_length = schedule_fleet(dataset, fleet, policy, slack)
+        if reference is None:
+            reference = baseline
+        rows.append(
+            {
+                "policy": label,
+                "fleet_emissions_kg": total / 1000.0,
+                "reduction_vs_agnostic_pct": 100.0 * (reference - total) / reference,
+            }
+        )
+    print(format_table(rows, title="Fleet-level emissions (Google-like job lengths)"))
+    print()
+
+    # Per-job-length breakdown for the most flexible policy.
+    _, _, by_length = schedule_fleet(dataset, fleet, InterruptiblePolicy(), 168)
+    breakdown = [
+        {
+            "job_length_h": length,
+            "emissions_kg": emissions / 1000.0,
+            "reduction_pct": 100.0 * (baseline - emissions) / baseline,
+        }
+        for length, (emissions, baseline) in sorted(by_length.items())
+    ]
+    print(format_table(breakdown, title="Defer+interrupt with 1-week slack, by job length"))
+    print()
+    print("Short jobs see double-digit percentage reductions; the week-long jobs")
+    print("that dominate the fleet's energy barely move, which is why the")
+    print("fleet-level reduction stays small — the paper's Figure 10 takeaway.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Quickstart: schedule one batch job under every carbon-aware policy.
+
+Builds a small synthetic carbon dataset (a diverse subset of regions, one
+year of hourly data), then schedules a single 24-hour batch job arriving in
+Germany under the carbon-agnostic baseline, the temporal policies
+(deferral, deferral+interrupt), the spatial policies (one-shot migration,
+∞-migration) and the combined policy — and prints the emissions of each.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import CarbonDataset, Job, default_catalog
+from repro.reporting import format_table
+from repro.scheduling import (
+    CarbonAgnosticPolicy,
+    CombinedShiftingPolicy,
+    DeferralPolicy,
+    InfiniteMigrationPolicy,
+    InterruptiblePolicy,
+    OneMigrationPolicy,
+)
+
+REGIONS = ("SE", "CA-QC", "US-CA", "DE", "PL", "IN-MH", "SG", "AU-SA", "BR-S", "ZA")
+ORIGIN = "DE"
+ARRIVAL_HOUR = 12 * 24 + 18  # 18:00 on January 13th
+
+
+def main() -> None:
+    catalog = default_catalog().subset(REGIONS)
+    dataset = CarbonDataset.synthetic(catalog=catalog, years=(2022,))
+    trace = dataset.series(ORIGIN)
+
+    job = Job.batch(length_hours=24, slack_hours=24, interruptible=True, name="nightly-ETL")
+    print(f"job: {job.name}, {job.length_hours:.0f} h long, {job.slack_hours:.0f} h slack, "
+          f"arriving in {ORIGIN} at hour {ARRIVAL_HOUR}")
+    print(f"origin region annual average CI: {trace.mean():.1f} g/kWh")
+    print(f"greenest region in the dataset: {dataset.greenest_region()} "
+          f"({dataset.mean_intensity(dataset.greenest_region()):.1f} g/kWh)")
+    print()
+
+    temporal_policies = {
+        "carbon-agnostic (baseline)": CarbonAgnosticPolicy(),
+        "deferral (24h slack)": DeferralPolicy(),
+        "deferral + interrupt": InterruptiblePolicy(),
+    }
+    rows = []
+    for label, policy in temporal_policies.items():
+        result = policy.schedule(job, trace, ARRIVAL_HOUR)
+        rows.append(
+            {
+                "policy": label,
+                "emissions_g": result.emissions_g,
+                "reduction_g": result.reduction_g,
+                "reduction_pct": 100.0 * result.relative_reduction,
+                "delay_h": result.delay_hours,
+                "interruptions": result.num_interruptions,
+            }
+        )
+
+    spatial_policies = {
+        "1-migration (greenest region)": OneMigrationPolicy(),
+        "inf-migration (hourly hopping)": InfiniteMigrationPolicy(),
+        "combined (migrate + shift)": CombinedShiftingPolicy(),
+    }
+    for label, policy in spatial_policies.items():
+        result = policy.schedule(job, dataset, ORIGIN, ARRIVAL_HOUR)
+        rows.append(
+            {
+                "policy": label,
+                "emissions_g": result.emissions_g,
+                "reduction_g": result.reduction_g,
+                "reduction_pct": 100.0 * result.relative_reduction,
+                "delay_h": result.delay_hours,
+                "interruptions": result.num_interruptions,
+            }
+        )
+
+    print(format_table(rows, title="One 24-hour job, every policy"))
+    print()
+    print("Note how the spatial policies dwarf the temporal ones, and how the")
+    print("clairvoyant infinite-migration policy barely improves on a single")
+    print("migration — two of the paper's headline findings.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""repro — reproduction of "On the Limitations of Carbon-Aware Temporal and
+Spatial Workload Shifting in the Cloud" (EuroSys'24).
+
+The package is organised as a set of substrates plus the paper's core
+contribution:
+
+* :mod:`repro.timeseries` — hourly series, statistics, periodicity,
+  clustering, and the window-search kernels used by the temporal policies.
+* :mod:`repro.grid` — generation sources, region catalog (123 regions),
+  synthetic carbon-intensity trace generation and the multi-region dataset.
+* :mod:`repro.cloud` — datacenter/provider mapping, capacity and latency
+  models.
+* :mod:`repro.workloads` — job model, Table-1 configuration grid and
+  job-length distributions.
+* :mod:`repro.scheduling` — the temporal, spatial and combined carbon-aware
+  scheduling policies whose limits the paper quantifies.
+* :mod:`repro.forecast` — carbon-intensity forecasting and error injection.
+* :mod:`repro.analysis` — the global carbon analysis (means, CVs, trends,
+  periodicity, quadrants) and the carbon-reduction metrics.
+* :mod:`repro.experiments` — one entry point per paper figure.
+
+Quickstart::
+
+    from repro import CarbonDataset, default_catalog
+    from repro.scheduling import DeferralPolicy
+    from repro.workloads import Job
+
+    dataset = CarbonDataset.synthetic(years=(2022,))
+    trace = dataset.series("SE", 2022)
+    job = Job(length_hours=24, slack_hours=24)
+    result = DeferralPolicy().schedule(job, trace, arrival_hour=0)
+    print(result.emissions_g, result.reduction_vs_baseline_g)
+"""
+
+from repro.constants import (
+    GLOBAL_AVERAGE_CARBON_INTENSITY,
+    HOURS_PER_DAY,
+    HOURS_PER_WEEK,
+    HOURS_PER_YEAR,
+)
+from repro.exceptions import (
+    CapacityError,
+    ConfigurationError,
+    DataError,
+    ReproError,
+    SchedulingError,
+)
+from repro.grid.catalog import RegionCatalog, default_catalog
+from repro.grid.dataset import CarbonDataset
+from repro.grid.region import GeographicGroup, Region
+from repro.workloads.job import Job, JobClass
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CarbonDataset",
+    "CapacityError",
+    "ConfigurationError",
+    "DataError",
+    "GeographicGroup",
+    "GLOBAL_AVERAGE_CARBON_INTENSITY",
+    "HOURS_PER_DAY",
+    "HOURS_PER_WEEK",
+    "HOURS_PER_YEAR",
+    "Job",
+    "JobClass",
+    "Region",
+    "RegionCatalog",
+    "ReproError",
+    "SchedulingError",
+    "default_catalog",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Global carbon analysis (§4): magnitude/variability statistics, quadrant
+classification, long-term trends and periodicity reports."""
+
+from repro.analysis.carbon_stats import RegionCarbonStats, dataset_statistics
+from repro.analysis.periodicity_report import PeriodicityEntry, periodicity_report
+from repro.analysis.quadrants import Quadrant, QuadrantAnalysis, classify_regions
+from repro.analysis.rank_stability import RankStability, rank_stability
+from repro.analysis.trends import RegionTrendStats, TrendAnalysis, trend_analysis
+
+__all__ = [
+    "PeriodicityEntry",
+    "Quadrant",
+    "QuadrantAnalysis",
+    "RankStability",
+    "RegionCarbonStats",
+    "RegionTrendStats",
+    "TrendAnalysis",
+    "classify_regions",
+    "dataset_statistics",
+    "periodicity_report",
+    "rank_stability",
+    "trend_analysis",
+]

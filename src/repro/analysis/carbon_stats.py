@@ -1,0 +1,76 @@
+"""Per-region carbon-intensity statistics (Figure 3(a) inputs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid.dataset import CarbonDataset
+from repro.grid.region import GeographicGroup
+from repro.timeseries.stats import daily_coefficient_of_variation
+
+
+@dataclass(frozen=True)
+class RegionCarbonStats:
+    """Yearly mean and average daily variability of one region."""
+
+    code: str
+    group: GeographicGroup
+    mean_intensity: float
+    daily_cv: float
+    annual_cv: float
+    has_datacenter: bool
+
+
+def dataset_statistics(dataset: CarbonDataset, year: int | None = None) -> list[RegionCarbonStats]:
+    """Figure-3(a) statistics for every region of the dataset."""
+    year = dataset.latest_year if year is None else year
+    stats: list[RegionCarbonStats] = []
+    for region in dataset.catalog:
+        series = dataset.series(region.code, year)
+        stats.append(
+            RegionCarbonStats(
+                code=region.code,
+                group=region.group,
+                mean_intensity=series.mean(),
+                daily_cv=daily_coefficient_of_variation(series),
+                annual_cv=series.coefficient_of_variation(),
+                has_datacenter=region.has_datacenter,
+            )
+        )
+    return stats
+
+
+def global_mean_intensity(stats: list[RegionCarbonStats]) -> float:
+    """Unweighted mean of regional means."""
+    return float(np.mean([s.mean_intensity for s in stats]))
+
+
+def global_mean_daily_cv(stats: list[RegionCarbonStats]) -> float:
+    """Unweighted mean of regional daily CVs."""
+    return float(np.mean([s.daily_cv for s in stats]))
+
+
+def fraction_with_low_daily_cv(stats: list[RegionCarbonStats], threshold: float = 0.1) -> float:
+    """Fraction of regions whose daily CV is below the threshold — the
+    paper's ">70 % of regions have low daily variations" claim."""
+    if not stats:
+        return 0.0
+    return float(np.mean([s.daily_cv < threshold for s in stats]))
+
+
+def fraction_above_mean_intensity(stats: list[RegionCarbonStats], threshold: float = 400.0) -> float:
+    """Fraction of regions with mean intensity above a threshold (the paper
+    uses 400 g·CO2eq/kWh as the "above average" cut)."""
+    if not stats:
+        return 0.0
+    return float(np.mean([s.mean_intensity > threshold for s in stats]))
+
+
+def intensity_spread(stats: list[RegionCarbonStats]) -> tuple[float, float, float]:
+    """(min, max, max/min) of regional mean intensities."""
+    means = np.array([s.mean_intensity for s in stats])
+    minimum, maximum = float(means.min()), float(means.max())
+    ratio = maximum / minimum if minimum > 0 else float("inf")
+    return minimum, maximum, ratio

@@ -1,0 +1,108 @@
+"""Quadrant classification of regions (Figure 3(a)).
+
+The paper partitions regions into four quadrants by comparing each region's
+yearly mean carbon intensity and average daily CV to the cross-region
+averages: low/high intensity × low/high variability.  The quadrant a region
+falls in predicts which shifting technique can help it (temporal shifting
+needs high variability; spatial shifting away from it needs high intensity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.analysis.carbon_stats import RegionCarbonStats
+from repro.exceptions import ConfigurationError
+
+
+class Quadrant(str, Enum):
+    """Quadrants of the mean-vs-variability plane."""
+
+    LOW_INTENSITY_LOW_VARIABILITY = "low-ci/low-cv"
+    LOW_INTENSITY_HIGH_VARIABILITY = "low-ci/high-cv"
+    HIGH_INTENSITY_LOW_VARIABILITY = "high-ci/low-cv"
+    HIGH_INTENSITY_HIGH_VARIABILITY = "high-ci/high-cv"
+
+    @property
+    def benefits_from_temporal_shifting(self) -> bool:
+        """High-variability regions are where temporal shifting can help."""
+        return self in (
+            Quadrant.LOW_INTENSITY_HIGH_VARIABILITY,
+            Quadrant.HIGH_INTENSITY_HIGH_VARIABILITY,
+        )
+
+    @property
+    def benefits_from_spatial_shifting(self) -> bool:
+        """High-intensity regions benefit from migrating work elsewhere."""
+        return self in (
+            Quadrant.HIGH_INTENSITY_LOW_VARIABILITY,
+            Quadrant.HIGH_INTENSITY_HIGH_VARIABILITY,
+        )
+
+
+@dataclass(frozen=True)
+class QuadrantAnalysis:
+    """Result of classifying every region into a quadrant."""
+
+    mean_intensity_threshold: float
+    daily_cv_threshold: float
+    assignments: dict[str, Quadrant]
+
+    def counts(self) -> dict[Quadrant, int]:
+        """Number of regions per quadrant."""
+        counts = {quadrant: 0 for quadrant in Quadrant}
+        for quadrant in self.assignments.values():
+            counts[quadrant] += 1
+        return counts
+
+    def fractions(self) -> dict[Quadrant, float]:
+        """Fraction of regions per quadrant."""
+        total = len(self.assignments)
+        if total == 0:
+            raise ConfigurationError("no regions classified")
+        return {quadrant: count / total for quadrant, count in self.counts().items()}
+
+    def regions_in(self, quadrant: Quadrant) -> tuple[str, ...]:
+        """Region codes assigned to one quadrant."""
+        return tuple(sorted(code for code, q in self.assignments.items() if q == quadrant))
+
+
+def classify_regions(
+    stats: list[RegionCarbonStats],
+    mean_intensity_threshold: float | None = None,
+    daily_cv_threshold: float | None = None,
+) -> QuadrantAnalysis:
+    """Classify regions into quadrants.
+
+    By default the thresholds are the cross-region averages (the dotted lines
+    of Figure 3(a)); explicit thresholds can be supplied to reproduce the
+    paper's fixed 400 g·CO2eq/kWh cut.
+    """
+    if not stats:
+        raise ConfigurationError("stats must not be empty")
+    if mean_intensity_threshold is None:
+        mean_intensity_threshold = float(np.mean([s.mean_intensity for s in stats]))
+    if daily_cv_threshold is None:
+        daily_cv_threshold = float(np.mean([s.daily_cv for s in stats]))
+
+    assignments: dict[str, Quadrant] = {}
+    for entry in stats:
+        high_intensity = entry.mean_intensity > mean_intensity_threshold
+        high_variability = entry.daily_cv > daily_cv_threshold
+        if high_intensity and high_variability:
+            quadrant = Quadrant.HIGH_INTENSITY_HIGH_VARIABILITY
+        elif high_intensity:
+            quadrant = Quadrant.HIGH_INTENSITY_LOW_VARIABILITY
+        elif high_variability:
+            quadrant = Quadrant.LOW_INTENSITY_HIGH_VARIABILITY
+        else:
+            quadrant = Quadrant.LOW_INTENSITY_LOW_VARIABILITY
+        assignments[entry.code] = quadrant
+    return QuadrantAnalysis(
+        mean_intensity_threshold=mean_intensity_threshold,
+        daily_cv_threshold=daily_cv_threshold,
+        assignments=assignments,
+    )

@@ -1,0 +1,95 @@
+"""Rank-order stability of regions' carbon intensity.
+
+The paper argues (§1, §5.1.4) that regions' carbon-intensity rank order
+rarely changes, which is why a single migration to the greenest region
+captures almost all of the spatial benefit.  This module quantifies that
+claim: how often the hourly greenest region coincides with the annual
+greenest, and how correlated the hourly ranking is with the annual ranking
+(mean Spearman correlation across hours).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy.stats import spearmanr
+
+from repro.exceptions import ConfigurationError
+from repro.grid.dataset import CarbonDataset
+
+
+@dataclass(frozen=True)
+class RankStability:
+    """Stability statistics of the cross-region intensity ranking."""
+
+    #: Fraction of hours in which the annually-greenest region is also the
+    #: hourly greenest.
+    greenest_agreement: float
+    #: Fraction of hours in which the hourly greenest region is within the
+    #: annually-greenest ``top_k`` regions.
+    greenest_in_top_k: float
+    top_k: int
+    #: Mean Spearman rank correlation between the hourly ranking and the
+    #: annual-mean ranking.
+    mean_rank_correlation: float
+    #: Average number of distinct regions that are "hourly greenest" per day.
+    greenest_changes_per_day: float
+
+    @property
+    def is_stable(self) -> bool:
+        """Heuristic stability verdict: the annual ranking predicts the hourly
+        one well enough that a single migration is near-optimal."""
+        return self.mean_rank_correlation > 0.8 and self.greenest_in_top_k > 0.9
+
+
+def rank_stability(
+    dataset: CarbonDataset,
+    year: int | None = None,
+    codes: Sequence[str] | None = None,
+    top_k: int = 3,
+    correlation_sample_hours: int = 24 * 28,
+) -> RankStability:
+    """Compute rank-stability statistics for a dataset.
+
+    ``correlation_sample_hours`` bounds how many (evenly spaced) hours are
+    used for the Spearman correlations; the greenest-region statistics always
+    use every hour.
+    """
+    if top_k <= 0:
+        raise ConfigurationError("top_k must be positive")
+    codes = tuple(codes) if codes is not None else dataset.codes()
+    if len(codes) < 2:
+        raise ConfigurationError("rank stability needs at least two regions")
+    matrix = dataset.intensity_matrix(year, codes=codes)
+    annual_means = matrix.mean(axis=1)
+    annual_order = np.argsort(annual_means)
+    annual_greenest = annual_order[0]
+    top_k_set = set(annual_order[: min(top_k, len(codes))].tolist())
+
+    hourly_greenest = np.argmin(matrix, axis=0)
+    greenest_agreement = float(np.mean(hourly_greenest == annual_greenest))
+    greenest_in_top_k = float(np.mean(np.isin(hourly_greenest, list(top_k_set))))
+
+    num_hours = matrix.shape[1]
+    num_days = num_hours // 24
+    per_day = hourly_greenest[: num_days * 24].reshape(num_days, 24)
+    distinct_per_day = np.array([len(np.unique(day)) for day in per_day])
+    greenest_changes_per_day = float(distinct_per_day.mean())
+
+    stride = max(1, num_hours // max(correlation_sample_hours, 1))
+    sampled_hours = np.arange(0, num_hours, stride)
+    correlations = []
+    annual_ranks = np.argsort(np.argsort(annual_means))
+    for hour in sampled_hours:
+        hourly_ranks = np.argsort(np.argsort(matrix[:, hour]))
+        correlation, _ = spearmanr(annual_ranks, hourly_ranks)
+        correlations.append(correlation)
+    return RankStability(
+        greenest_agreement=greenest_agreement,
+        greenest_in_top_k=greenest_in_top_k,
+        top_k=top_k,
+        mean_rank_correlation=float(np.mean(correlations)),
+        greenest_changes_per_day=greenest_changes_per_day,
+    )

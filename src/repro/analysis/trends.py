@@ -1,0 +1,99 @@
+"""Long-term trends in carbon intensity (Figure 3(b), §4.2).
+
+For every region the analysis computes the change in yearly mean intensity
+and in average daily CV between the first and last year of the dataset, then
+clusters the (ΔCI, ΔCV) points with K-Means++ (k=3) into improving,
+worsening and unchanged groups, as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.carbon_stats import dataset_statistics
+from repro.constants import INSIGNIFICANT_CI_CHANGE
+from repro.exceptions import ConfigurationError
+from repro.grid.dataset import CarbonDataset
+from repro.timeseries.clustering import KMeansPlusPlus, KMeansResult
+
+
+@dataclass(frozen=True)
+class RegionTrendStats:
+    """Change of one region between the first and last dataset years."""
+
+    code: str
+    mean_change: float
+    daily_cv_change: float
+
+    @property
+    def direction(self) -> str:
+        """"decreased", "increased" or "unchanged" mean intensity, using the
+        paper's ±25 g·CO2eq/kWh significance band."""
+        if self.mean_change < -INSIGNIFICANT_CI_CHANGE:
+            return "decreased"
+        if self.mean_change > INSIGNIFICANT_CI_CHANGE:
+            return "increased"
+        return "unchanged"
+
+
+@dataclass(frozen=True)
+class TrendAnalysis:
+    """Per-region changes plus the K-Means clustering of Figure 3(b)."""
+
+    from_year: int
+    to_year: int
+    trends: tuple[RegionTrendStats, ...]
+    clustering: KMeansResult
+
+    def fraction(self, direction: str) -> float:
+        """Fraction of regions whose mean intensity moved in ``direction``."""
+        if direction not in {"decreased", "increased", "unchanged"}:
+            raise ConfigurationError(f"unknown direction {direction!r}")
+        if not self.trends:
+            return 0.0
+        return float(np.mean([t.direction == direction for t in self.trends]))
+
+    def cluster_of(self, code: str) -> int:
+        """Cluster index of one region."""
+        for index, trend in enumerate(self.trends):
+            if trend.code == code:
+                return int(self.clustering.labels[index])
+        raise ConfigurationError(f"unknown region {code!r}")
+
+    def changes_matrix(self) -> np.ndarray:
+        """(ΔCI, ΔCV) matrix in region order."""
+        return np.array([[t.mean_change, t.daily_cv_change] for t in self.trends])
+
+
+def trend_analysis(
+    dataset: CarbonDataset,
+    from_year: int | None = None,
+    to_year: int | None = None,
+    num_clusters: int = 3,
+) -> TrendAnalysis:
+    """Compute Figure-3(b): per-region (ΔCI, ΔCV) and its K-Means clustering."""
+    from_year = dataset.earliest_year if from_year is None else from_year
+    to_year = dataset.latest_year if to_year is None else to_year
+    if from_year == to_year:
+        raise ConfigurationError("trend analysis needs two distinct years")
+    start_stats = {s.code: s for s in dataset_statistics(dataset, from_year)}
+    end_stats = {s.code: s for s in dataset_statistics(dataset, to_year)}
+
+    trends = tuple(
+        RegionTrendStats(
+            code=code,
+            mean_change=end_stats[code].mean_intensity - start_stats[code].mean_intensity,
+            daily_cv_change=end_stats[code].daily_cv - start_stats[code].daily_cv,
+        )
+        for code in dataset.codes()
+    )
+    points = np.array([[t.mean_change, t.daily_cv_change] for t in trends])
+    # Normalise the two axes so the clustering is not dominated by the CI
+    # scale (hundreds of g) relative to the CV scale (hundredths).
+    scales = np.maximum(np.abs(points).max(axis=0), 1e-9)
+    clustering = KMeansPlusPlus(num_clusters=num_clusters).fit(points / scales)
+    return TrendAnalysis(
+        from_year=from_year, to_year=to_year, trends=trends, clustering=clustering
+    )

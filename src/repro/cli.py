@@ -1,0 +1,124 @@
+"""Command-line interface for the reproduction.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig5 --csv results/fig5.csv
+    python -m repro run fig7 --regions SE,DE,US-CA --years 2022
+    python -m repro dataset-summary --years 2022
+
+``run`` executes one registered experiment on a freshly synthesised dataset
+and prints its rows as a plain-text table (optionally also writing a CSV).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import CarbonDataset, default_catalog
+from repro.experiments import get_experiment, list_experiments
+from repro.reporting import format_table, write_rows_csv
+
+
+def _build_dataset(regions: str | None, years: str) -> CarbonDataset:
+    catalog = default_catalog()
+    if regions:
+        catalog = catalog.subset([code.strip() for code in regions.split(",") if code.strip()])
+    year_tuple = tuple(int(y) for y in years.split(",") if y.strip())
+    return CarbonDataset.synthetic(catalog=catalog, years=year_tuple)
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    rows = [
+        {"id": spec.identifier, "figure": spec.figure, "description": spec.description}
+        for spec in list_experiments()
+    ]
+    print(format_table(rows, title="Registered experiments"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = get_experiment(args.experiment)
+    if spec.identifier == "table1":
+        result = spec.run()
+    else:
+        dataset = _build_dataset(args.regions, args.years)
+        kwargs = {}
+        if spec.identifier == "fig10":
+            kwargs["arrival_stride"] = args.arrival_stride
+        if spec.identifier == "fig6":
+            kwargs["sample_regions_per_group"] = args.sample_regions_per_group
+        result = spec.run(dataset, **kwargs)
+    rows = result.rows()
+    print(format_table(rows, title=f"{spec.identifier} — {spec.figure}"))
+    if args.csv:
+        path = write_rows_csv(rows, args.csv)
+        print(f"\nwrote {len(rows)} rows to {path}")
+    return 0
+
+
+def _cmd_dataset_summary(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args.regions, args.years)
+    means = dataset.annual_means()
+    rows = [
+        {
+            "region": code,
+            "group": dataset.region(code).group.value,
+            "mean_ci": mean,
+            "datacenter": dataset.region(code).has_datacenter,
+        }
+        for code, mean in sorted(means.items(), key=lambda item: item[1])
+    ]
+    print(format_table(rows, title="Dataset summary (regions by annual mean CI)"))
+    print(
+        f"\nregions: {len(dataset)} | global average: {dataset.global_average():.1f} g/kWh | "
+        f"greenest: {dataset.greenest_region()} | dirtiest: {dataset.dirtiest_region()}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'On the Limitations of Carbon-Aware Temporal and "
+        "Spatial Workload Shifting in the Cloud' (EuroSys'24)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list registered experiments")
+    list_parser.set_defaults(handler=_cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment id, e.g. fig5")
+    run_parser.add_argument("--regions", default=None,
+                            help="comma-separated region codes (default: all 123)")
+    run_parser.add_argument("--years", default="2020,2022",
+                            help="comma-separated years to synthesise (default: 2020,2022)")
+    run_parser.add_argument("--csv", default=None, help="write the rows to this CSV file")
+    run_parser.add_argument("--arrival-stride", type=int, default=24,
+                            help="arrival subsampling for the heavy temporal sweeps")
+    run_parser.add_argument("--sample-regions-per-group", type=int, default=6,
+                            help="origins per geographic group for fig6")
+    run_parser.set_defaults(handler=_cmd_run)
+
+    summary_parser = subparsers.add_parser(
+        "dataset-summary", help="summarise the synthetic dataset"
+    )
+    summary_parser.add_argument("--regions", default=None)
+    summary_parser.add_argument("--years", default="2022")
+    summary_parser.set_defaults(handler=_cmd_dataset_summary)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Cloud substrate: datacenter capacity model, inter-region latency model and
+provider/datacenter metadata used by the spatial shifting experiments."""
+
+from repro.cloud.capacity import (
+    CapacityAssignment,
+    RegionAssignment,
+    waterfall_assignment,
+)
+from repro.cloud.datacenter import Datacenter, DatacenterFleet
+from repro.cloud.latency import LatencyModel
+from repro.cloud.scheduler_sim import (
+    CarbonAwareSchedulingPolicy,
+    ClusterSimulator,
+    FifoSchedulingPolicy,
+    SimulationResult,
+)
+
+__all__ = [
+    "CapacityAssignment",
+    "CarbonAwareSchedulingPolicy",
+    "ClusterSimulator",
+    "Datacenter",
+    "DatacenterFleet",
+    "FifoSchedulingPolicy",
+    "LatencyModel",
+    "RegionAssignment",
+    "SimulationResult",
+    "waterfall_assignment",
+]

@@ -1,0 +1,194 @@
+"""Capacity-constrained spatial placement (Figure 5).
+
+The paper's capacity analysis assumes every region hosts an identically
+sized datacenter operating at a given utilisation, and migrates workloads
+greedily: the highest-carbon region sends its load to the lowest-carbon
+region with idle capacity, the second-highest to the second-lowest, and so
+on (§5.1.2).  This module implements that "waterfall" assignment for any
+idle-capacity fraction, optionally restricted by a per-origin reachability
+set (used when latency SLOs limit where a region's load may go, Figure
+6(a)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RegionAssignment:
+    """Where one origin region's load ended up."""
+
+    origin: str
+    origin_intensity: float
+    #: Mapping destination code -> amount of load placed there (the origin
+    #: itself appears here for load that stays local).
+    placements: Mapping[str, float]
+    #: Load-weighted average carbon intensity of the origin's load after
+    #: migration.
+    effective_intensity: float
+
+    @property
+    def migrated_fraction(self) -> float:
+        """Fraction of the origin's load that migrated away."""
+        total = sum(self.placements.values())
+        if total == 0:
+            return 0.0
+        away = sum(v for dest, v in self.placements.items() if dest != self.origin)
+        return away / total
+
+    @property
+    def reduction(self) -> float:
+        """Intensity reduction achieved by migrating this origin's load."""
+        return self.origin_intensity - self.effective_intensity
+
+
+@dataclass(frozen=True)
+class CapacityAssignment:
+    """Result of a waterfall assignment over all regions."""
+
+    assignments: tuple[RegionAssignment, ...]
+    idle_fraction: float
+
+    def assignment_for(self, origin: str) -> RegionAssignment:
+        """The assignment of one origin region."""
+        for assignment in self.assignments:
+            if assignment.origin == origin:
+                return assignment
+        raise ConfigurationError(f"no assignment for region {origin!r}")
+
+    # ------------------------------------------------------------------
+    def average_origin_intensity(self) -> float:
+        """Load-weighted average intensity before migration."""
+        return float(np.mean([a.origin_intensity for a in self.assignments]))
+
+    def average_effective_intensity(self) -> float:
+        """Load-weighted average intensity after migration (every region has
+        the same amount of local load, so the unweighted mean is exact)."""
+        return float(np.mean([a.effective_intensity for a in self.assignments]))
+
+    def average_reduction(self) -> float:
+        """Average intensity reduction across regions."""
+        return self.average_origin_intensity() - self.average_effective_intensity()
+
+    def reductions_by_origin(self) -> dict[str, float]:
+        """Per-origin intensity reduction."""
+        return {a.origin: a.reduction for a in self.assignments}
+
+
+def waterfall_assignment(
+    intensities: Mapping[str, float],
+    idle_fraction: float,
+    reachable: Mapping[str, Sequence[str]] | None = None,
+) -> CapacityAssignment:
+    """Greedy dirtiest-to-greenest placement under uniform capacity.
+
+    Parameters
+    ----------
+    intensities:
+        Annual-average carbon intensity per region (the quantity the paper's
+        one-shot migration policy ranks destinations by).
+    idle_fraction:
+        Fraction of every region's capacity that is idle and can absorb
+        migrated work; every region's local load is ``1 - idle_fraction``.
+    reachable:
+        Optional per-origin set of admissible destination codes (e.g. the
+        regions within a latency SLO).  The origin itself is always an
+        admissible "destination" (load can stay home).
+
+    Returns
+    -------
+    CapacityAssignment
+        Per-origin placements and the effective post-migration intensities.
+
+    Notes
+    -----
+    Work only moves to *strictly greener* regions; when capacity or
+    reachability rules out any greener destination, the load stays home.
+    With ``idle_fraction=0`` nothing moves; with ``idle_fraction`` close to 1
+    essentially all load lands in the greenest region, reproducing the ideal
+    case of Figure 5(a).
+    """
+    if not intensities:
+        raise ConfigurationError("intensities must not be empty")
+    if not 0.0 <= idle_fraction <= 1.0:
+        raise ConfigurationError("idle_fraction must be within [0, 1]")
+
+    local_load = 1.0 - idle_fraction
+    idle: dict[str, float] = {code: idle_fraction for code in intensities}
+    # Destinations from greenest to dirtiest; sources from dirtiest to
+    # greenest — the paper's pairing order.
+    greenest_first = sorted(intensities, key=lambda code: intensities[code])
+    dirtiest_first = list(reversed(greenest_first))
+
+    assignments: list[RegionAssignment] = []
+    for origin in dirtiest_first:
+        origin_intensity = intensities[origin]
+        remaining = local_load
+        placements: dict[str, float] = {}
+        allowed = set(reachable.get(origin, [])) if reachable is not None else None
+        if remaining > 0:
+            for destination in greenest_first:
+                if intensities[destination] >= origin_intensity:
+                    break  # only strictly greener destinations are worth it
+                if allowed is not None and destination not in allowed and destination != origin:
+                    continue
+                available = idle[destination]
+                if available <= 0:
+                    continue
+                moved = min(available, remaining)
+                if moved <= 0:
+                    continue
+                placements[destination] = placements.get(destination, 0.0) + moved
+                idle[destination] = available - moved
+                remaining -= moved
+                if remaining <= 1e-12:
+                    break
+        if remaining > 0:
+            placements[origin] = placements.get(origin, 0.0) + remaining
+        total = sum(placements.values())
+        if total > 0:
+            effective = (
+                sum(intensities[dest] * amount for dest, amount in placements.items()) / total
+            )
+        else:
+            # Zero local load (idle_fraction == 1): the region has nothing to
+            # place, so its effective intensity is that of the greenest
+            # *admissible* destination (it would send any future work there);
+            # staying home is always admissible.
+            candidates = [
+                code
+                for code in greenest_first
+                if (allowed is None or code in allowed or code == origin)
+                and intensities[code] <= origin_intensity
+            ]
+            effective = intensities[candidates[0]] if candidates else origin_intensity
+        assignments.append(
+            RegionAssignment(
+                origin=origin,
+                origin_intensity=origin_intensity,
+                placements=placements,
+                effective_intensity=float(effective),
+            )
+        )
+    # Report assignments in greenest-to-dirtiest order for stable output.
+    assignments.sort(key=lambda a: a.origin_intensity)
+    return CapacityAssignment(assignments=tuple(assignments), idle_fraction=idle_fraction)
+
+
+def idle_capacity_sweep(
+    intensities: Mapping[str, float],
+    idle_fractions: Sequence[float],
+) -> dict[float, float]:
+    """Global average effective intensity for each idle-capacity fraction
+    (the curve of Figure 5(c))."""
+    results: dict[float, float] = {}
+    for fraction in idle_fractions:
+        assignment = waterfall_assignment(intensities, fraction)
+        results[float(fraction)] = assignment.average_effective_intensity()
+    return results

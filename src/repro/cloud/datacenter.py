@@ -1,0 +1,136 @@
+"""Datacenter and fleet model.
+
+The capacity-constrained spatial analysis (Figure 5) assumes every region
+hosts a datacenter of identical capacity with a given idle fraction.  This
+module provides the explicit objects behind that assumption so examples and
+extensions can model heterogeneous fleets as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.grid.catalog import RegionCatalog
+
+
+@dataclass
+class Datacenter:
+    """A datacenter located in one region.
+
+    Capacity is expressed in abstract "units of work per hour"; the limits
+    analysis uses 1.0 for every region (identical capacity) and varies only
+    the idle fraction.
+    """
+
+    region_code: str
+    capacity: float = 1.0
+    utilization: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.region_code:
+            raise ConfigurationError("region_code must be non-empty")
+        if self.capacity <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if not 0.0 <= self.utilization <= 1.0:
+            raise ConfigurationError("utilization must be within [0, 1]")
+
+    # ------------------------------------------------------------------
+    @property
+    def idle_capacity(self) -> float:
+        """Capacity currently unused and available to absorb migrated work."""
+        return self.capacity * (1.0 - self.utilization)
+
+    @property
+    def local_load(self) -> float:
+        """Work currently running locally (the load that could migrate away)."""
+        return self.capacity * self.utilization
+
+    def admit(self, amount: float) -> None:
+        """Admit ``amount`` units of migrated work, consuming idle capacity."""
+        if amount < 0:
+            raise ConfigurationError("amount must be non-negative")
+        if amount > self.idle_capacity + 1e-12:
+            raise CapacityError(
+                f"datacenter {self.region_code} cannot admit {amount:.3f} units; "
+                f"idle capacity is {self.idle_capacity:.3f}"
+            )
+        self.utilization = min(1.0, self.utilization + amount / self.capacity)
+
+    def release(self, amount: float) -> None:
+        """Release ``amount`` units of local work (it migrated elsewhere)."""
+        if amount < 0:
+            raise ConfigurationError("amount must be non-negative")
+        if amount > self.local_load + 1e-12:
+            raise CapacityError(
+                f"datacenter {self.region_code} cannot release {amount:.3f} units; "
+                f"local load is {self.local_load:.3f}"
+            )
+        self.utilization = max(0.0, self.utilization - amount / self.capacity)
+
+
+@dataclass
+class DatacenterFleet:
+    """A set of datacenters, one per region."""
+
+    datacenters: dict[str, Datacenter] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.datacenters)
+
+    def __iter__(self) -> Iterator[Datacenter]:
+        return iter(self.datacenters.values())
+
+    def __contains__(self, region_code: str) -> bool:
+        return region_code in self.datacenters
+
+    def get(self, region_code: str) -> Datacenter:
+        """The datacenter in ``region_code``."""
+        if region_code not in self.datacenters:
+            raise ConfigurationError(f"no datacenter in region {region_code!r}")
+        return self.datacenters[region_code]
+
+    # ------------------------------------------------------------------
+    def total_capacity(self) -> float:
+        """Total capacity across the fleet."""
+        return sum(d.capacity for d in self)
+
+    def total_idle_capacity(self) -> float:
+        """Total idle capacity across the fleet."""
+        return sum(d.idle_capacity for d in self)
+
+    def total_local_load(self) -> float:
+        """Total local load across the fleet."""
+        return sum(d.local_load for d in self)
+
+    def average_utilization(self) -> float:
+        """Capacity-weighted average utilization."""
+        capacity = self.total_capacity()
+        if capacity == 0:
+            return 0.0
+        return self.total_local_load() / capacity
+
+    def idle_capacities(self) -> Mapping[str, float]:
+        """Idle capacity per region."""
+        return {code: d.idle_capacity for code, d in self.datacenters.items()}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(
+        cls,
+        catalog: RegionCatalog,
+        capacity: float = 1.0,
+        utilization: float = 0.5,
+        codes: Iterable[str] | None = None,
+    ) -> "DatacenterFleet":
+        """A fleet with one identical datacenter per region — the paper's
+        Figure-5 assumption."""
+        codes = tuple(codes) if codes is not None else catalog.codes()
+        return cls(
+            datacenters={
+                code: Datacenter(region_code=code, capacity=capacity, utilization=utilization)
+                for code in codes
+            }
+        )

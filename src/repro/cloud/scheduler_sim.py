@@ -1,0 +1,191 @@
+"""Capacity-limited cluster scheduling simulator.
+
+The limits analysis evaluates each job in isolation (infinite slots), and the
+paper notes that *resource constraints that prevent running many jobs during
+low-carbon periods* will erode the temporal savings further (§5.2.5).  This
+module provides a small discrete-time simulator to quantify that effect: a
+single region has a fixed number of execution slots, jobs arrive over time
+with a slack, and a scheduling policy decides which queued jobs run each
+hour.  Two policies are provided:
+
+* :class:`FifoSchedulingPolicy` — run jobs as soon as a slot is free
+  (carbon-agnostic).
+* :class:`CarbonAwareSchedulingPolicy` — a job only starts in the current
+  hour if the hour is "cheap" relative to the cheapest hours left inside the
+  job's remaining slack window (threshold rule on the forecastable trace);
+  jobs whose slack has run out start unconditionally.
+
+The simulator charges emissions per executed hour at the trace's intensity
+and reports total emissions, so the carbon saving of carbon-aware queueing
+under contention can be compared against the isolated-job upper bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.timeseries.series import HourlySeries
+from repro.workloads.traces import ClusterTrace, TraceJob
+
+
+@dataclass
+class _PendingJob:
+    """Internal bookkeeping for one job inside the simulator."""
+
+    trace_job: TraceJob
+    remaining_hours: int
+    deadline_hour: int
+    started: bool = False
+    finished_hour: int | None = None
+    emissions_g: float = 0.0
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of simulating one policy on one region."""
+
+    policy: str
+    total_emissions_g: float
+    completed_jobs: int
+    total_jobs: int
+    mean_start_delay_hours: float
+    max_queue_length: int
+
+    @property
+    def all_completed(self) -> bool:
+        """Whether every job finished within the simulated horizon."""
+        return self.completed_jobs == self.total_jobs
+
+
+class SchedulingPolicy:
+    """Decides which queued jobs may start in the current hour."""
+
+    name = "base"
+
+    def wants_to_start(
+        self, job: _PendingJob, hour: int, trace: HourlySeries
+    ) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class FifoSchedulingPolicy(SchedulingPolicy):
+    """Carbon-agnostic: start any queued job as soon as a slot is free."""
+
+    name = "fifo"
+
+    def wants_to_start(self, job: _PendingJob, hour: int, trace: HourlySeries) -> bool:
+        return True
+
+
+class CarbonAwareSchedulingPolicy(SchedulingPolicy):
+    """Start a job only during the cheap hours of its remaining slack window.
+
+    For a job with ``remaining_hours`` left and a deadline, the policy
+    computes the latest admissible start and starts the job now only if the
+    current hour's intensity is within the ``remaining_hours`` cheapest hours
+    of the window between now and that latest start (so a feasible schedule
+    always exists).  Once the deadline forces it, the job starts regardless.
+    """
+
+    name = "carbon-aware"
+
+    def wants_to_start(self, job: _PendingJob, hour: int, trace: HourlySeries) -> bool:
+        latest_start = job.deadline_hour - job.remaining_hours
+        if hour >= latest_start:
+            return True
+        window = trace.values[hour : latest_start + 1]
+        if window.size <= job.remaining_hours:
+            return True
+        threshold = np.partition(window, job.remaining_hours - 1)[job.remaining_hours - 1]
+        return trace.values[hour] <= threshold
+
+
+class ClusterSimulator:
+    """Discrete-time, single-region, slot-limited cluster simulator."""
+
+    def __init__(self, trace: HourlySeries, num_slots: int) -> None:
+        if num_slots <= 0:
+            raise ConfigurationError("num_slots must be positive")
+        self.trace = trace
+        self.num_slots = num_slots
+
+    # ------------------------------------------------------------------
+    def run(self, workload: ClusterTrace, policy: SchedulingPolicy) -> SimulationResult:
+        """Simulate the workload under the given policy.
+
+        Jobs run whole hours (lengths are rounded up); the simulation horizon
+        is the trace length and any work still unfinished at the end counts
+        as incomplete.
+        """
+        horizon = len(self.trace)
+        pending: list[_PendingJob] = []
+        for trace_job in workload:
+            length = trace_job.job.whole_hours
+            deadline = min(
+                trace_job.arrival_hour + length + int(trace_job.job.slack_hours), horizon
+            )
+            pending.append(
+                _PendingJob(
+                    trace_job=trace_job,
+                    remaining_hours=length,
+                    deadline_hour=deadline,
+                )
+            )
+        pending.sort(key=lambda j: j.trace_job.arrival_hour)
+
+        running: list[_PendingJob] = []
+        queued: list[_PendingJob] = []
+        start_delays: list[float] = []
+        max_queue = 0
+        next_arrival = 0
+
+        for hour in range(horizon):
+            intensity = self.trace.values[hour]
+            # Admit arrivals.
+            while next_arrival < len(pending) and pending[next_arrival].trace_job.arrival_hour <= hour:
+                queued.append(pending[next_arrival])
+                next_arrival += 1
+            max_queue = max(max_queue, len(queued))
+            # Start jobs while slots are free, oldest arrival first.
+            for job in list(queued):
+                if len(running) >= self.num_slots:
+                    break
+                if policy.wants_to_start(job, hour, self.trace):
+                    queued.remove(job)
+                    running.append(job)
+                    if not job.started:
+                        job.started = True
+                        start_delays.append(hour - job.trace_job.arrival_hour)
+            # Execute one hour of every running job.
+            still_running: list[_PendingJob] = []
+            for job in running:
+                job.emissions_g += intensity * job.trace_job.job.power_kw
+                job.remaining_hours -= 1
+                if job.remaining_hours <= 0:
+                    job.finished_hour = hour + 1
+                else:
+                    still_running.append(job)
+            running = still_running
+            if next_arrival >= len(pending) and not queued and not running:
+                break
+
+        completed = sum(1 for job in pending if job.finished_hour is not None)
+        total_emissions = sum(job.emissions_g for job in pending)
+        return SimulationResult(
+            policy=policy.name,
+            total_emissions_g=total_emissions,
+            completed_jobs=completed,
+            total_jobs=len(pending),
+            mean_start_delay_hours=float(np.mean(start_delays)) if start_delays else 0.0,
+            max_queue_length=max_queue,
+        )
+
+    def compare(self, workload: ClusterTrace) -> dict[str, SimulationResult]:
+        """Run the FIFO and carbon-aware policies on the same workload."""
+        return {
+            policy.name: self.run(workload, policy)
+            for policy in (FifoSchedulingPolicy(), CarbonAwareSchedulingPolicy())
+        }

@@ -1,0 +1,44 @@
+"""Physical and calendar constants used throughout the library.
+
+All carbon intensities are expressed in grams of CO2-equivalent per
+kilowatt-hour (g·CO2eq/kWh) and all energies in kilowatt-hours, matching the
+units used by the paper.
+"""
+
+#: Hours in a day; traces are hourly so this is also samples per day.
+HOURS_PER_DAY = 24
+
+#: Hours in a week (the 168-hour weekly period detected in Figure 4).
+HOURS_PER_WEEK = 168
+
+#: Hours in a non-leap year; the paper evaluates all 8760 start times.
+HOURS_PER_YEAR = 8760
+
+#: Hours in a leap year (2020 is part of the paper's dataset).
+HOURS_PER_LEAP_YEAR = 8784
+
+#: The paper's global average carbon intensity (g·CO2eq/kWh), used as the
+#: denominator of the "global average reduction" metric (§3.1.3).  The
+#: synthetic dataset recomputes its own global average; this constant is the
+#: published reference value.
+GLOBAL_AVERAGE_CARBON_INTENSITY = 368.39
+
+#: Coefficient-of-variation threshold below which the paper considers a
+#: region to have "low daily variations" (§1, footnote 1).
+LOW_DAILY_CV_THRESHOLD = 0.1
+
+#: Threshold (g·CO2eq/kWh) for an "insignificant" change in average carbon
+#: intensity between 2020 and 2022 (§4.2).
+INSIGNIFICANT_CI_CHANGE = 25.0
+
+#: Years covered by the paper's carbon-intensity dataset.
+DATASET_YEARS = (2020, 2021, 2022)
+
+#: Number of regions in the paper's dataset.
+NUM_REGIONS = 123
+
+#: Assumed server power draw (kW) for converting job-hours into energy when a
+#: power model is not supplied.  The paper normalises per unit of energy, so
+#: the default of 1 kW makes emissions numerically equal to the summed
+#: carbon-intensity values (g·CO2eq per kWh × 1 kWh per hour).
+DEFAULT_POWER_KW = 1.0

@@ -1,0 +1,19 @@
+"""Core abstractions shared by all policies and experiments: schedule
+results, emissions accounting and carbon-reduction metrics."""
+
+from repro.core.metrics import (
+    CarbonReduction,
+    absolute_reduction,
+    global_average_reduction_percent,
+    relative_reduction_percent,
+)
+from repro.core.result import ExecutionSlice, ScheduleResult
+
+__all__ = [
+    "CarbonReduction",
+    "ExecutionSlice",
+    "ScheduleResult",
+    "absolute_reduction",
+    "global_average_reduction_percent",
+    "relative_reduction_percent",
+]

@@ -1,0 +1,77 @@
+"""Carbon-reduction metrics (§3.1.3).
+
+The paper reports two metrics:
+
+* **Absolute carbon reduction** — grams of CO2eq avoided relative to the
+  carbon-agnostic baseline.
+* **Global average reduction** — the absolute reduction expressed as a
+  percentage of the global average carbon intensity (368.39 g·CO2eq/kWh in
+  the paper; recomputed from the dataset in this reproduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import GLOBAL_AVERAGE_CARBON_INTENSITY
+from repro.exceptions import ConfigurationError
+
+
+def absolute_reduction(baseline_emissions_g: float, optimized_emissions_g: float) -> float:
+    """Absolute carbon reduction in g·CO2eq (positive when the optimised
+    schedule emits less than the baseline)."""
+    return baseline_emissions_g - optimized_emissions_g
+
+
+def relative_reduction_percent(
+    baseline_emissions_g: float, optimized_emissions_g: float
+) -> float:
+    """Reduction as a percentage of the baseline emissions."""
+    if baseline_emissions_g == 0:
+        return 0.0
+    return 100.0 * (baseline_emissions_g - optimized_emissions_g) / baseline_emissions_g
+
+
+def global_average_reduction_percent(
+    absolute_reduction_g_per_kwh: float,
+    global_average_intensity: float = GLOBAL_AVERAGE_CARBON_INTENSITY,
+) -> float:
+    """Absolute reduction (per kWh of work) as a percentage of the global
+    average carbon intensity — the paper's "global average reduction"."""
+    if global_average_intensity <= 0:
+        raise ConfigurationError("global average intensity must be positive")
+    return 100.0 * absolute_reduction_g_per_kwh / global_average_intensity
+
+
+@dataclass(frozen=True)
+class CarbonReduction:
+    """A reduction expressed in the paper's two metrics."""
+
+    absolute_g: float
+    global_average_intensity: float = GLOBAL_AVERAGE_CARBON_INTENSITY
+
+    def __post_init__(self) -> None:
+        if self.global_average_intensity <= 0:
+            raise ConfigurationError("global average intensity must be positive")
+
+    @property
+    def global_average_percent(self) -> float:
+        """Reduction as a percentage of the global average carbon intensity."""
+        return global_average_reduction_percent(
+            self.absolute_g, self.global_average_intensity
+        )
+
+    @classmethod
+    def from_emissions(
+        cls,
+        baseline_emissions_g: float,
+        optimized_emissions_g: float,
+        energy_kwh: float = 1.0,
+        global_average_intensity: float = GLOBAL_AVERAGE_CARBON_INTENSITY,
+    ) -> "CarbonReduction":
+        """Build a reduction from total emissions, normalising per kWh so the
+        percentage metric is comparable across job sizes."""
+        if energy_kwh <= 0:
+            raise ConfigurationError("energy_kwh must be positive")
+        per_kwh = absolute_reduction(baseline_emissions_g, optimized_emissions_g) / energy_kwh
+        return cls(absolute_g=per_kwh, global_average_intensity=global_average_intensity)

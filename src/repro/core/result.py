@@ -1,0 +1,146 @@
+"""Schedule results and emissions accounting.
+
+Every policy returns a :class:`ScheduleResult`: where and when each hour of
+the job ran, the resulting emissions, and the carbon-agnostic baseline it is
+compared against (§3.1.3 of the paper defines the reduction metrics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.job import Job
+
+
+@dataclass(frozen=True)
+class ExecutionSlice:
+    """One contiguous stretch of execution in one region.
+
+    Attributes
+    ----------
+    region:
+        Region code where the slice runs.
+    start_hour:
+        Hour (absolute trace index) at which the slice starts.
+    duration_hours:
+        Length of the slice in hours (may be fractional for interactive jobs).
+    emissions_g:
+        Carbon emitted during the slice.
+    """
+
+    region: str
+    start_hour: int
+    duration_hours: float
+    emissions_g: float
+
+    def __post_init__(self) -> None:
+        if self.duration_hours <= 0:
+            raise ConfigurationError("slice duration must be positive")
+        if self.start_hour < 0:
+            raise ConfigurationError("slice start_hour must be non-negative")
+        if self.emissions_g < 0:
+            raise ConfigurationError("slice emissions must be non-negative")
+
+    @property
+    def end_hour(self) -> float:
+        """Hour at which the slice finishes."""
+        return self.start_hour + self.duration_hours
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of scheduling one job under one policy."""
+
+    job: Job
+    policy: str
+    arrival_hour: int
+    slices: tuple[ExecutionSlice, ...]
+    emissions_g: float
+    baseline_emissions_g: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_hour < 0:
+            raise ConfigurationError("arrival_hour must be non-negative")
+        if self.emissions_g < 0 or self.baseline_emissions_g < 0:
+            raise ConfigurationError("emissions must be non-negative")
+        object.__setattr__(self, "slices", tuple(self.slices))
+
+    # ------------------------------------------------------------------
+    @property
+    def reduction_g(self) -> float:
+        """Absolute carbon reduction versus the carbon-agnostic baseline
+        (positive means the policy emitted less)."""
+        return self.baseline_emissions_g - self.emissions_g
+
+    @property
+    def reduction_vs_baseline_g(self) -> float:
+        """Alias for :attr:`reduction_g` (kept for API readability)."""
+        return self.reduction_g
+
+    @property
+    def relative_reduction(self) -> float:
+        """Reduction as a fraction of the baseline emissions."""
+        if self.baseline_emissions_g == 0:
+            return 0.0
+        return self.reduction_g / self.baseline_emissions_g
+
+    @property
+    def reduction_per_job_hour_g(self) -> float:
+        """Reduction normalised by the job length (the y-axis of
+        Figures 7 and 8)."""
+        return self.reduction_g / self.job.length_hours
+
+    @property
+    def completion_hour(self) -> float:
+        """Hour at which the last execution slice finishes."""
+        if not self.slices:
+            return float(self.arrival_hour)
+        return max(s.end_hour for s in self.slices)
+
+    @property
+    def delay_hours(self) -> float:
+        """Delay of the start of execution relative to the arrival hour."""
+        if not self.slices:
+            return 0.0
+        return min(s.start_hour for s in self.slices) - self.arrival_hour
+
+    @property
+    def total_executed_hours(self) -> float:
+        """Sum of slice durations (sanity: equals the job length)."""
+        return sum(s.duration_hours for s in self.slices)
+
+    @property
+    def num_migrations(self) -> int:
+        """Number of region changes across consecutive slices."""
+        regions = [s.region for s in sorted(self.slices, key=lambda s: s.start_hour)]
+        return sum(1 for a, b in zip(regions, regions[1:]) if a != b)
+
+    @property
+    def num_interruptions(self) -> int:
+        """Number of gaps between consecutive execution slices."""
+        ordered = sorted(self.slices, key=lambda s: s.start_hour)
+        gaps = 0
+        for previous, current in zip(ordered, ordered[1:]):
+            if current.start_hour > previous.end_hour:
+                gaps += 1
+        return gaps
+
+    def regions_used(self) -> tuple[str, ...]:
+        """Distinct regions touched by the schedule, in execution order."""
+        seen: list[str] = []
+        for item in sorted(self.slices, key=lambda s: s.start_hour):
+            if item.region not in seen:
+                seen.append(item.region)
+        return tuple(seen)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def validate_covers_job(result: "ScheduleResult", tolerance: float = 1e-6) -> None:
+        """Raise if the slices do not add up to the job's length."""
+        if abs(result.total_executed_hours - result.job.length_hours) > tolerance:
+            raise ConfigurationError(
+                "schedule does not cover the job: "
+                f"{result.total_executed_hours} executed vs {result.job.length_hours} required"
+            )

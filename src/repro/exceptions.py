@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro library.
+
+Every exception raised by the library derives from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration problems from data problems and
+scheduling infeasibilities.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or invoked with invalid parameters."""
+
+
+class DataError(ReproError):
+    """A trace, catalog or dataset is malformed or missing required entries."""
+
+
+class SchedulingError(ReproError):
+    """A policy could not produce a feasible schedule for the given job."""
+
+
+class CapacityError(SchedulingError):
+    """A placement could not be found because regions ran out of capacity."""
+
+
+class ForecastError(ReproError):
+    """A forecasting model was used incorrectly (e.g. horizon out of range)."""

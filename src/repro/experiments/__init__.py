@@ -1,0 +1,13 @@
+"""Experiment harness: one entry point per paper figure.
+
+Each module exposes a ``run_*`` function that takes a
+:class:`~repro.grid.dataset.CarbonDataset` plus experiment parameters and
+returns a result dataclass with the rows/series of the corresponding figure.
+``repro.experiments.registry`` maps experiment identifiers (``"fig3a"``,
+``"fig7"``, ...) to those entry points; the benchmark suite and the examples
+drive everything through that registry.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, ExperimentSpec, get_experiment, list_experiments
+
+__all__ = ["EXPERIMENTS", "ExperimentSpec", "get_experiment", "list_experiments"]

@@ -1,0 +1,101 @@
+"""Figure 1: illustrative carbon traces and generation mixes.
+
+Figure 1(a) shows one day of carbon intensity for a high-variability region
+(California), a very low-carbon region (Ontario) and a high-carbon region
+(Mumbai); Figure 1(b) shows their generation mixes.  The figure motivates
+the 2× temporal and ~43× spatial variation the paper exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.grid.dataset import CarbonDataset
+from repro.grid.sources import SOURCE_ORDER
+
+#: The regions the paper uses to illustrate temporal and spatial variation.
+DEFAULT_ILLUSTRATION_REGIONS = ("US-CA", "CA-ON", "IN-MH")
+
+
+@dataclass(frozen=True)
+class RegionTraceIllustration:
+    """One region's illustrative day and mix."""
+
+    code: str
+    day_values: tuple[float, ...]
+    mix_shares: dict[str, float]
+
+    @property
+    def daily_swing(self) -> float:
+        """Max/min ratio of the illustrated day (the "2×" of Figure 1(a))."""
+        minimum = min(self.day_values)
+        if minimum <= 0:
+            return float("inf")
+        return max(self.day_values) / minimum
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    """Rows of Figure 1: per-region day trace and generation mix."""
+
+    regions: tuple[RegionTraceIllustration, ...]
+    day_index: int
+
+    def spatial_ratio(self) -> float:
+        """Ratio between the highest and lowest mean intensity of the
+        illustrated regions (the "43×" of Figure 1(a))."""
+        means = [float(np.mean(r.day_values)) for r in self.regions]
+        low = min(means)
+        if low <= 0:
+            return float("inf")
+        return max(means) / low
+
+    def rows(self) -> list[dict]:
+        """Tabular form: one row per region."""
+        return [
+            {
+                "region": r.code,
+                "day_mean": float(np.mean(r.day_values)),
+                "day_min": min(r.day_values),
+                "day_max": max(r.day_values),
+                "daily_swing": r.daily_swing,
+                **{f"mix_{source}": share for source, share in r.mix_shares.items()},
+            }
+            for r in self.regions
+        ]
+
+
+def run_fig01(
+    dataset: CarbonDataset,
+    regions: tuple[str, ...] = DEFAULT_ILLUSTRATION_REGIONS,
+    day_index: int = 180,
+    year: int | None = None,
+) -> Figure1Result:
+    """Extract the Figure-1 illustration for the given regions and day."""
+    if not regions:
+        raise ConfigurationError("at least one region is required")
+    illustrations = []
+    for code in regions:
+        series = dataset.series(code, year)
+        if day_index < 0 or day_index >= series.num_days:
+            raise ConfigurationError(
+                f"day_index {day_index} out of range for {code} ({series.num_days} days)"
+            )
+        day = series.day(day_index)
+        region = dataset.region(code)
+        mix = {
+            source.value: region.mix.share(source)
+            for source in SOURCE_ORDER
+            if region.mix.share(source) > 0
+        }
+        illustrations.append(
+            RegionTraceIllustration(
+                code=code,
+                day_values=tuple(float(v) for v in day.values),
+                mix_shares=mix,
+            )
+        )
+    return Figure1Result(regions=tuple(illustrations), day_index=day_index)

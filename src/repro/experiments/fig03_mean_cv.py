@@ -1,0 +1,109 @@
+"""Figure 3: global carbon analysis.
+
+Figure 3(a) plots every region's yearly mean carbon intensity against its
+average daily coefficient of variation; Figure 3(b) plots the change in both
+quantities between the first and last dataset years and clusters the regions
+with K-Means++ (k=3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.carbon_stats import (
+    RegionCarbonStats,
+    dataset_statistics,
+    fraction_above_mean_intensity,
+    fraction_with_low_daily_cv,
+    global_mean_daily_cv,
+    global_mean_intensity,
+    intensity_spread,
+)
+from repro.analysis.quadrants import QuadrantAnalysis, classify_regions
+from repro.analysis.trends import TrendAnalysis, trend_analysis
+from repro.grid.dataset import CarbonDataset
+
+
+@dataclass(frozen=True)
+class Figure3aResult:
+    """Per-region mean/CV scatter plus the headline fractions the paper
+    quotes in §4.1."""
+
+    stats: tuple[RegionCarbonStats, ...]
+    quadrants: QuadrantAnalysis
+    global_mean: float
+    global_daily_cv: float
+    fraction_low_daily_cv: float
+    fraction_high_intensity: float
+    min_intensity: float
+    max_intensity: float
+    spread_ratio: float
+
+    def rows(self) -> list[dict]:
+        """One row per region for CSV export / plotting."""
+        return [
+            {
+                "region": s.code,
+                "group": s.group.value,
+                "mean_intensity": s.mean_intensity,
+                "daily_cv": s.daily_cv,
+                "quadrant": self.quadrants.assignments[s.code].value,
+            }
+            for s in self.stats
+        ]
+
+
+@dataclass(frozen=True)
+class Figure3bResult:
+    """Per-region changes between two years plus the K-Means clustering."""
+
+    trends: TrendAnalysis
+    fraction_decreased: float
+    fraction_increased: float
+    fraction_unchanged: float
+
+    def rows(self) -> list[dict]:
+        """One row per region."""
+        return [
+            {
+                "region": t.code,
+                "mean_change": t.mean_change,
+                "daily_cv_change": t.daily_cv_change,
+                "direction": t.direction,
+                "cluster": self.trends.cluster_of(t.code),
+            }
+            for t in self.trends.trends
+        ]
+
+
+def run_fig03a(dataset: CarbonDataset, year: int | None = None) -> Figure3aResult:
+    """Compute Figure 3(a)."""
+    stats = dataset_statistics(dataset, year)
+    quadrants = classify_regions(stats)
+    minimum, maximum, ratio = intensity_spread(stats)
+    return Figure3aResult(
+        stats=tuple(stats),
+        quadrants=quadrants,
+        global_mean=global_mean_intensity(stats),
+        global_daily_cv=global_mean_daily_cv(stats),
+        fraction_low_daily_cv=fraction_with_low_daily_cv(stats),
+        fraction_high_intensity=fraction_above_mean_intensity(stats),
+        min_intensity=minimum,
+        max_intensity=maximum,
+        spread_ratio=ratio,
+    )
+
+
+def run_fig03b(
+    dataset: CarbonDataset,
+    from_year: int | None = None,
+    to_year: int | None = None,
+) -> Figure3bResult:
+    """Compute Figure 3(b)."""
+    trends = trend_analysis(dataset, from_year, to_year)
+    return Figure3bResult(
+        trends=trends,
+        fraction_decreased=trends.fraction("decreased"),
+        fraction_increased=trends.fraction("increased"),
+        fraction_unchanged=trends.fraction("unchanged"),
+    )

@@ -1,0 +1,59 @@
+"""Figure 4: periodicity scores of datacenter regions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.periodicity_report import (
+    PeriodicityEntry,
+    fraction_with_daily_period,
+    periodicity_report,
+)
+from repro.grid.dataset import CarbonDataset
+
+
+@dataclass(frozen=True)
+class Figure4Result:
+    """Periodicity scores for the reported regions, ordered by mean
+    intensity (lowest first) as in Figure 4."""
+
+    entries: tuple[PeriodicityEntry, ...]
+    fraction_daily: float
+    fraction_weekly: float
+
+    def rows(self) -> list[dict]:
+        """One row per region."""
+        return [
+            {
+                "region": e.code,
+                "mean_intensity": e.mean_intensity,
+                "daily_score": e.daily_score,
+                "weekly_score": e.weekly_score,
+            }
+            for e in self.entries
+        ]
+
+    def non_periodic_regions(self, threshold: float = 0.5) -> tuple[str, ...]:
+        """Regions with no significant daily period (the paper's Hong Kong /
+        Indonesia observation)."""
+        return tuple(e.code for e in self.entries if e.daily_score < threshold)
+
+
+def run_fig04(
+    dataset: CarbonDataset,
+    year: int | None = None,
+    max_regions: int = 40,
+    datacenter_only: bool = True,
+) -> Figure4Result:
+    """Compute Figure 4 for (by default) 40 datacenter regions."""
+    entries = periodicity_report(
+        dataset, year=year, datacenter_only=datacenter_only, max_regions=max_regions
+    )
+    weekly_fraction = (
+        sum(e.has_weekly_period() for e in entries) / len(entries) if entries else 0.0
+    )
+    return Figure4Result(
+        entries=tuple(entries),
+        fraction_daily=fraction_with_daily_period(entries),
+        fraction_weekly=weekly_fraction,
+    )

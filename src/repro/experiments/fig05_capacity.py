@@ -1,0 +1,169 @@
+"""Figure 5: spatial shifting under capacity constraints.
+
+* Figure 5(a): carbon reduction per geographic grouping when every region
+  can migrate to the world's greenest region (infinite capacity).
+* Figure 5(b): the same reductions when every region has identical capacity
+  and 50 % idle capacity (the greedy dirtiest-to-greenest waterfall).
+* Figure 5(c): global average reduction as the idle-capacity fraction sweeps
+  from 0 to 99 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cloud.capacity import waterfall_assignment
+from repro.grid.dataset import CarbonDataset
+from repro.grid.region import GeographicGroup
+
+#: Idle-capacity fractions swept in Figure 5(c).
+DEFAULT_IDLE_FRACTIONS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.99)
+
+
+@dataclass(frozen=True)
+class GroupReduction:
+    """Average reduction for the regions of one geographic grouping."""
+
+    group: str
+    mean_origin_intensity: float
+    mean_reduction: float
+
+    def reduction_percent_of(self, global_average: float) -> float:
+        """Reduction relative to the global average intensity (the paper's
+        percentage metric)."""
+        return 100.0 * self.mean_reduction / global_average
+
+
+@dataclass(frozen=True)
+class Figure5Result:
+    """All three panels of Figure 5."""
+
+    global_average_intensity: float
+    greenest_region: str
+    greenest_intensity: float
+    infinite_capacity: tuple[GroupReduction, ...]
+    constrained_capacity: tuple[GroupReduction, ...]
+    constrained_idle_fraction: float
+    idle_capacity_curve: dict[float, float]
+
+    # ------------------------------------------------------------------
+    def infinite_reduction(self, group: str = "Global") -> float:
+        """Reduction of one grouping in the infinite-capacity panel."""
+        for entry in self.infinite_capacity:
+            if entry.group == group:
+                return entry.mean_reduction
+        raise KeyError(group)
+
+    def constrained_reduction(self, group: str = "Global") -> float:
+        """Reduction of one grouping in the capacity-constrained panel."""
+        for entry in self.constrained_capacity:
+            if entry.group == group:
+                return entry.mean_reduction
+        raise KeyError(group)
+
+    def idle_reduction_percent(self, idle_fraction: float) -> float:
+        """Global average reduction (in %) at one idle-capacity fraction."""
+        effective = self.idle_capacity_curve[idle_fraction]
+        return 100.0 * (self.global_average_intensity - effective) / self.global_average_intensity
+
+    def rows(self) -> list[dict]:
+        """Tabular form covering all three panels."""
+        rows = [
+            {
+                "panel": "5a-infinite",
+                "group": e.group,
+                "reduction": e.mean_reduction,
+                "reduction_percent": e.reduction_percent_of(self.global_average_intensity),
+            }
+            for e in self.infinite_capacity
+        ]
+        rows += [
+            {
+                "panel": "5b-constrained",
+                "group": e.group,
+                "reduction": e.mean_reduction,
+                "reduction_percent": e.reduction_percent_of(self.global_average_intensity),
+            }
+            for e in self.constrained_capacity
+        ]
+        rows += [
+            {
+                "panel": "5c-idle-sweep",
+                "idle_fraction": fraction,
+                "effective_intensity": intensity,
+                "reduction_percent": self.idle_reduction_percent(fraction),
+            }
+            for fraction, intensity in self.idle_capacity_curve.items()
+        ]
+        return rows
+
+
+def _group_reductions(
+    dataset: CarbonDataset,
+    reductions_by_region: dict[str, float],
+    means: dict[str, float],
+) -> tuple[GroupReduction, ...]:
+    """Aggregate per-region reductions into per-grouping averages, plus a
+    "Global" row."""
+    entries: list[GroupReduction] = []
+    all_codes = list(reductions_by_region)
+    entries.append(
+        GroupReduction(
+            group="Global",
+            mean_origin_intensity=float(np.mean([means[c] for c in all_codes])),
+            mean_reduction=float(np.mean([reductions_by_region[c] for c in all_codes])),
+        )
+    )
+    for group in GeographicGroup.ordered():
+        codes = [c for c in all_codes if dataset.region(c).group == group]
+        if not codes:
+            continue
+        entries.append(
+            GroupReduction(
+                group=group.value,
+                mean_origin_intensity=float(np.mean([means[c] for c in codes])),
+                mean_reduction=float(np.mean([reductions_by_region[c] for c in codes])),
+            )
+        )
+    return tuple(entries)
+
+
+def run_fig05(
+    dataset: CarbonDataset,
+    year: int | None = None,
+    constrained_idle_fraction: float = 0.5,
+    idle_fractions: Sequence[float] = DEFAULT_IDLE_FRACTIONS,
+) -> Figure5Result:
+    """Compute all three panels of Figure 5."""
+    means = dataset.annual_means(year)
+    global_average = float(np.mean(list(means.values())))
+    greenest = min(means, key=means.get)
+    greenest_intensity = means[greenest]
+
+    # Panel (a): infinite capacity — every region migrates to the greenest.
+    infinite_reductions = {code: means[code] - greenest_intensity for code in means}
+    infinite = _group_reductions(dataset, infinite_reductions, means)
+
+    # Panel (b): identical capacity, fixed idle fraction — waterfall.
+    assignment = waterfall_assignment(means, idle_fraction=constrained_idle_fraction)
+    constrained = _group_reductions(dataset, assignment.reductions_by_origin(), means)
+
+    # Panel (c): idle-capacity sweep of the global effective intensity.
+    curve = {
+        float(fraction): waterfall_assignment(means, idle_fraction=float(fraction))
+        .average_effective_intensity()
+        for fraction in idle_fractions
+    }
+
+    return Figure5Result(
+        global_average_intensity=global_average,
+        greenest_region=greenest,
+        greenest_intensity=greenest_intensity,
+        infinite_capacity=infinite,
+        constrained_capacity=constrained,
+        constrained_idle_fraction=constrained_idle_fraction,
+        idle_capacity_curve=curve,
+    )

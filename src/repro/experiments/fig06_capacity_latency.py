@@ -1,0 +1,180 @@
+"""Figure 6: latency-constrained migration and smart region hopping.
+
+* Figure 6(a): global average carbon reduction as a function of the latency
+  SLO, for infinite capacity and for 50 % utilisation.
+* Figure 6(b): one-time migration vs the clairvoyant ∞-migration policy,
+  with migration restricted to the origin's geographic grouping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cloud.latency import LatencyModel
+from repro.grid.dataset import CarbonDataset
+from repro.grid.region import GeographicGroup
+from repro.scheduling.latency_aware import latency_capacity_tradeoff, reduction_by_slo
+from repro.scheduling.spatial import CandidateSelector, SpatialSweep
+
+#: Latency SLOs (ms) swept in Figure 6(a).
+DEFAULT_LATENCY_SLOS_MS = (0.0, 25.0, 50.0, 100.0, 150.0, 200.0, 250.0, 300.0)
+
+
+@dataclass(frozen=True)
+class MigrationPolicyComparison:
+    """One-migration vs ∞-migration reductions for one geographic grouping.
+
+    Reductions are averages over arrival hours and regions of the grouping,
+    for a job of ``length_hours`` hours, normalised per job-hour so they are
+    comparable to the paper's per-unit-energy numbers.
+    """
+
+    group: str
+    one_migration_reduction: float
+    infinite_migration_reduction: float
+
+    @property
+    def extra_benefit(self) -> float:
+        """Additional reduction of ∞-migration over a single migration — the
+        quantity the paper bounds at <10 g·CO2eq."""
+        return self.infinite_migration_reduction - self.one_migration_reduction
+
+
+@dataclass(frozen=True)
+class Figure6Result:
+    """Both panels of Figure 6."""
+
+    global_average_intensity: float
+    latency_curves: dict[float, dict[float, float]]
+    policy_comparison: tuple[MigrationPolicyComparison, ...]
+    job_length_hours: int
+
+    def latency_reduction_percent(self, idle_fraction: float, slo_ms: float) -> float:
+        """Reduction (in % of the global average) at one SLO and idle level."""
+        reduction = self.latency_curves[idle_fraction][slo_ms]
+        return 100.0 * reduction / self.global_average_intensity
+
+    def max_extra_benefit(self) -> float:
+        """Largest ∞-migration advantage across groupings."""
+        return max(c.extra_benefit for c in self.policy_comparison)
+
+    def rows(self) -> list[dict]:
+        """Tabular form covering both panels."""
+        rows = []
+        for idle_fraction, curve in self.latency_curves.items():
+            for slo, reduction in curve.items():
+                rows.append(
+                    {
+                        "panel": "6a-latency",
+                        "idle_fraction": idle_fraction,
+                        "latency_slo_ms": slo,
+                        "reduction": reduction,
+                        "reduction_percent": 100.0 * reduction / self.global_average_intensity,
+                    }
+                )
+        for comparison in self.policy_comparison:
+            rows.append(
+                {
+                    "panel": "6b-policies",
+                    "group": comparison.group,
+                    "one_migration": comparison.one_migration_reduction,
+                    "infinite_migration": comparison.infinite_migration_reduction,
+                    "extra_benefit": comparison.extra_benefit,
+                }
+            )
+        return rows
+
+
+def run_fig06a(
+    dataset: CarbonDataset,
+    year: int | None = None,
+    latency_slos_ms: Sequence[float] = DEFAULT_LATENCY_SLOS_MS,
+    idle_fractions: Sequence[float] = (1.0, 0.5),
+    latency_model: LatencyModel | None = None,
+) -> dict[float, dict[float, float]]:
+    """Latency-SLO sweep: reduction curves keyed by idle fraction then SLO."""
+    points = latency_capacity_tradeoff(
+        dataset,
+        latency_slos_ms=latency_slos_ms,
+        idle_fractions=idle_fractions,
+        latency_model=latency_model,
+        year=year,
+    )
+    return {
+        float(idle): dict(reduction_by_slo(points, idle)) for idle in idle_fractions
+    }
+
+
+def run_fig06b(
+    dataset: CarbonDataset,
+    year: int | None = None,
+    job_length_hours: int = 24,
+    sample_regions_per_group: int | None = None,
+) -> tuple[MigrationPolicyComparison, ...]:
+    """Compare 1-migration and ∞-migration within each geographic grouping.
+
+    ``sample_regions_per_group`` caps how many origin regions per grouping
+    are evaluated (useful in benchmarks); ``None`` evaluates all of them.
+    """
+    selector = CandidateSelector(scope="group")
+    comparisons: list[MigrationPolicyComparison] = []
+    all_one: list[float] = []
+    all_inf: list[float] = []
+    for group in GeographicGroup.ordered():
+        codes = list(dataset.catalog.in_group(group).codes())
+        if not codes:
+            continue
+        if sample_regions_per_group is not None:
+            codes = codes[:sample_regions_per_group]
+        one_reductions = []
+        inf_reductions = []
+        for origin in codes:
+            candidates = selector.candidates(dataset, origin)
+            sweep = SpatialSweep(dataset, origin, candidates, job_length_hours, year)
+            reductions = sweep.mean_reductions()
+            one_reductions.append(
+                reductions["one_migration_reduction_mean"] / job_length_hours
+            )
+            inf_reductions.append(
+                reductions["infinite_migration_reduction_mean"] / job_length_hours
+            )
+        comparisons.append(
+            MigrationPolicyComparison(
+                group=group.value,
+                one_migration_reduction=float(np.mean(one_reductions)),
+                infinite_migration_reduction=float(np.mean(inf_reductions)),
+            )
+        )
+        all_one.extend(one_reductions)
+        all_inf.extend(inf_reductions)
+    comparisons.insert(
+        0,
+        MigrationPolicyComparison(
+            group="Global",
+            one_migration_reduction=float(np.mean(all_one)),
+            infinite_migration_reduction=float(np.mean(all_inf)),
+        ),
+    )
+    return tuple(comparisons)
+
+
+def run_fig06(
+    dataset: CarbonDataset,
+    year: int | None = None,
+    latency_slos_ms: Sequence[float] = DEFAULT_LATENCY_SLOS_MS,
+    idle_fractions: Sequence[float] = (1.0, 0.5),
+    job_length_hours: int = 24,
+    sample_regions_per_group: int | None = None,
+) -> Figure6Result:
+    """Compute both panels of Figure 6."""
+    curves = run_fig06a(dataset, year, latency_slos_ms, idle_fractions)
+    comparison = run_fig06b(dataset, year, job_length_hours, sample_regions_per_group)
+    return Figure6Result(
+        global_average_intensity=dataset.global_average(year),
+        latency_curves=curves,
+        policy_comparison=comparison,
+        job_length_hours=job_length_hours,
+    )

@@ -1,0 +1,74 @@
+"""Figure 7: carbon reduction from deferrability, normalised by job length.
+
+Panel (a) gives the job one year of slack (the ideal setting); panel (b)
+restricts it to 24 hours (the practical setting).  Reductions are averaged
+over all arrival hours and all regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.constants import HOURS_PER_DAY
+from repro.experiments.temporal_common import (
+    ONE_YEAR_SLACK,
+    TemporalTable,
+    compute_temporal_table,
+)
+from repro.grid.dataset import CarbonDataset
+from repro.workloads.job_lengths import BATCH_JOB_LENGTHS
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    """Per-job-length deferral reductions for the two slack settings."""
+
+    ideal: TemporalTable
+    practical: TemporalTable
+    global_average_intensity: float
+
+    def ideal_reduction(self, length_hours: int) -> float:
+        """Per-job-hour deferral reduction with one-year slack."""
+        return self.ideal.global_average(length_hours, "deferral")
+
+    def practical_reduction(self, length_hours: int) -> float:
+        """Per-job-hour deferral reduction with 24-hour slack."""
+        return self.practical.global_average(length_hours, "deferral")
+
+    def rows(self) -> list[dict]:
+        """One row per (slack setting, job length)."""
+        rows = []
+        for label, table in (("one-year", self.ideal), ("24h", self.practical)):
+            for length in table.lengths():
+                reduction = table.global_average(length, "deferral")
+                rows.append(
+                    {
+                        "slack": label,
+                        "job_length_hours": length,
+                        "reduction_per_job_hour": reduction,
+                        "reduction_percent": 100.0 * reduction / self.global_average_intensity,
+                    }
+                )
+        return rows
+
+
+def run_fig07(
+    dataset: CarbonDataset,
+    lengths_hours: Sequence[int] = BATCH_JOB_LENGTHS,
+    region_codes: Sequence[str] | None = None,
+    year: int | None = None,
+    arrival_stride: int = 1,
+) -> Figure7Result:
+    """Compute both panels of Figure 7."""
+    ideal = compute_temporal_table(
+        dataset, lengths_hours, ONE_YEAR_SLACK, region_codes, year, arrival_stride
+    )
+    practical = compute_temporal_table(
+        dataset, lengths_hours, HOURS_PER_DAY, region_codes, year, arrival_stride
+    )
+    return Figure7Result(
+        ideal=ideal,
+        practical=practical,
+        global_average_intensity=dataset.global_average(year),
+    )

@@ -1,0 +1,109 @@
+"""Figure 9: breakdown of temporal reductions into deferrability and
+interruptibility, as a percentage of the global average carbon intensity.
+
+Panel (a) uses one-year slack, panel (b) 24-hour slack.  The figure shows
+how deferrability's contribution shrinks with job length while
+interruptibility partially compensates in the ideal setting but not in the
+practical one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.constants import HOURS_PER_DAY
+from repro.experiments.temporal_common import (
+    ONE_YEAR_SLACK,
+    TemporalTable,
+    compute_temporal_table,
+)
+from repro.grid.dataset import CarbonDataset
+from repro.workloads.job_lengths import BATCH_JOB_LENGTHS
+
+
+@dataclass(frozen=True)
+class TemporalBreakdownRow:
+    """Deferral / interrupt breakdown for one (slack, job length) pair."""
+
+    slack: str
+    job_length_hours: int
+    deferral_percent: float
+    interrupt_extra_percent: float
+
+    @property
+    def combined_percent(self) -> float:
+        """Total temporal reduction as a percentage of the global average."""
+        return self.deferral_percent + self.interrupt_extra_percent
+
+
+@dataclass(frozen=True)
+class Figure9Result:
+    """Both panels of Figure 9."""
+
+    rows_ideal: tuple[TemporalBreakdownRow, ...]
+    rows_practical: tuple[TemporalBreakdownRow, ...]
+    global_average_intensity: float
+
+    def row(self, slack: str, length_hours: int) -> TemporalBreakdownRow:
+        """The breakdown row for one slack setting and job length."""
+        rows = self.rows_ideal if slack == "one-year" else self.rows_practical
+        for entry in rows:
+            if entry.job_length_hours == length_hours:
+                return entry
+        raise KeyError((slack, length_hours))
+
+    def rows(self) -> list[dict]:
+        """All rows in tabular form."""
+        out = []
+        for entry in self.rows_ideal + self.rows_practical:
+            out.append(
+                {
+                    "slack": entry.slack,
+                    "job_length_hours": entry.job_length_hours,
+                    "deferral_percent": entry.deferral_percent,
+                    "interrupt_extra_percent": entry.interrupt_extra_percent,
+                    "combined_percent": entry.combined_percent,
+                }
+            )
+        return out
+
+
+def _breakdown_rows(
+    table: TemporalTable, slack_label: str, global_average: float
+) -> tuple[TemporalBreakdownRow, ...]:
+    rows = []
+    for length in table.lengths():
+        deferral = table.global_average(length, "deferral")
+        interrupt_extra = table.global_average(length, "interrupt_extra")
+        rows.append(
+            TemporalBreakdownRow(
+                slack=slack_label,
+                job_length_hours=length,
+                deferral_percent=100.0 * deferral / global_average,
+                interrupt_extra_percent=100.0 * interrupt_extra / global_average,
+            )
+        )
+    return tuple(rows)
+
+
+def run_fig09(
+    dataset: CarbonDataset,
+    lengths_hours: Sequence[int] = BATCH_JOB_LENGTHS,
+    region_codes: Sequence[str] | None = None,
+    year: int | None = None,
+    arrival_stride: int = 1,
+) -> Figure9Result:
+    """Compute both panels of Figure 9."""
+    global_average = dataset.global_average(year)
+    ideal = compute_temporal_table(
+        dataset, lengths_hours, ONE_YEAR_SLACK, region_codes, year, arrival_stride
+    )
+    practical = compute_temporal_table(
+        dataset, lengths_hours, HOURS_PER_DAY, region_codes, year, arrival_stride
+    )
+    return Figure9Result(
+        rows_ideal=_breakdown_rows(ideal, "one-year", global_average),
+        rows_practical=_breakdown_rows(practical, "24h", global_average),
+        global_average_intensity=global_average,
+    )

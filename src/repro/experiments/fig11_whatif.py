@@ -1,0 +1,270 @@
+"""Figure 11: what-if scenarios.
+
+* Panel (a): carbon reduction as a function of the fraction of the workload
+  that is migratable (mixed batch/interactive workloads, §6.1).
+* Panel (b): carbon increase caused by carbon-intensity prediction error for
+  temporal and spatial scheduling (§6.2).
+* Panels (c)–(d): carbon emissions of carbon-agnostic vs carbon-aware
+  temporal/spatial scheduling as a sample region's grid adds renewables
+  (§6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.forecast.impact import spatial_error_impact, temporal_error_impact
+from repro.grid.dataset import CarbonDataset
+from repro.grid.evolution import GridEvolution
+from repro.grid.synthesis import SynthesisConfig
+from repro.scheduling.sweep import TemporalSweep
+
+#: Migratable-workload fractions swept in panel (a).
+DEFAULT_MIGRATABLE_FRACTIONS = (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+#: Prediction-error magnitudes swept in panel (b).
+DEFAULT_ERROR_MAGNITUDES = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
+
+#: Added-renewable fractions swept in panels (c)-(d).
+DEFAULT_RENEWABLE_FRACTIONS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
+
+
+# ----------------------------------------------------------------------
+# Panel (a): mixed workloads
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MixedWorkloadPoint:
+    """Reduction achieved when only part of the workload can migrate."""
+
+    migratable_fraction: float
+    reduction: float
+    reduction_percent: float
+
+
+def run_fig11a(
+    dataset: CarbonDataset,
+    migratable_fractions: Sequence[float] = DEFAULT_MIGRATABLE_FRACTIONS,
+    year: int | None = None,
+) -> tuple[MixedWorkloadPoint, ...]:
+    """Carbon reduction vs migratable fraction.
+
+    Non-migratable work runs in its arrival region; migratable work runs in
+    the region with the lowest carbon intensity at the arrival hour.  The
+    reduction is averaged over all regions (as arrival regions) and hours.
+    """
+    matrix = dataset.intensity_matrix(year)
+    hourly_min = matrix.min(axis=0)
+    local_mean = float(matrix.mean())
+    migrated_mean = float(hourly_min.mean())
+    global_average = dataset.global_average(year)
+    points = []
+    for fraction in migratable_fractions:
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError("migratable fractions must be within [0, 1]")
+        effective = (1.0 - fraction) * local_mean + fraction * migrated_mean
+        reduction = local_mean - effective
+        points.append(
+            MixedWorkloadPoint(
+                migratable_fraction=float(fraction),
+                reduction=reduction,
+                reduction_percent=100.0 * reduction / global_average,
+            )
+        )
+    return tuple(points)
+
+
+# ----------------------------------------------------------------------
+# Panel (b): prediction error
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PredictionErrorPoint:
+    """Carbon increase caused by one forecast-error magnitude."""
+
+    error_magnitude: float
+    temporal_increase_percent: float
+    spatial_increase_percent: float
+
+
+def run_fig11b(
+    dataset: CarbonDataset,
+    error_magnitudes: Sequence[float] = DEFAULT_ERROR_MAGNITUDES,
+    job_length_hours: int = 24,
+    sample_regions: Sequence[str] | None = None,
+    year: int | None = None,
+    seed: int = 0,
+) -> tuple[PredictionErrorPoint, ...]:
+    """Carbon increase vs prediction error for temporal and spatial policies."""
+    codes = tuple(sample_regions) if sample_regions is not None else dataset.codes()
+    points = []
+    for magnitude in error_magnitudes:
+        temporal_increases = []
+        for code in codes:
+            impact = temporal_error_impact(
+                dataset.series(code, year), job_length_hours, magnitude, seed=seed
+            )
+            temporal_increases.append(impact.carbon_increase_percent)
+        # The spatial policy always chooses among *all* regions: the believed
+        # greenest region can change under error even when the temporal
+        # sample is restricted for runtime reasons.
+        spatial_impact = spatial_error_impact(
+            dataset, magnitude, candidates=None, year=year, seed=seed
+        )
+        points.append(
+            PredictionErrorPoint(
+                error_magnitude=float(magnitude),
+                temporal_increase_percent=float(np.mean(temporal_increases)),
+                spatial_increase_percent=spatial_impact.carbon_increase_percent,
+            )
+        )
+    return tuple(points)
+
+
+# ----------------------------------------------------------------------
+# Panels (c)-(d): increasing renewable penetration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RenewablePenetrationPoint:
+    """Emissions of carbon-agnostic and carbon-aware scheduling for one
+    added-renewable fraction (per job-hour, g·CO2eq)."""
+
+    added_renewable_fraction: float
+    agnostic_temporal: float
+    aware_temporal: float
+    agnostic_spatial: float
+    aware_spatial: float
+
+    @property
+    def temporal_benefit(self) -> float:
+        """Gap between carbon-agnostic and carbon-aware temporal scheduling."""
+        return self.agnostic_temporal - self.aware_temporal
+
+    @property
+    def spatial_benefit(self) -> float:
+        """Gap between carbon-agnostic and carbon-aware spatial scheduling."""
+        return self.agnostic_spatial - self.aware_spatial
+
+
+def run_fig11cd(
+    dataset: CarbonDataset,
+    region_code: str = "US-CA",
+    renewable_fractions: Sequence[float] = DEFAULT_RENEWABLE_FRACTIONS,
+    job_length_hours: int = 24,
+    year: int | None = None,
+    config: SynthesisConfig | None = None,
+) -> tuple[RenewablePenetrationPoint, ...]:
+    """Emissions of carbon-agnostic vs carbon-aware scheduling as the sample
+    region's grid adds renewables.
+
+    Temporal carbon-aware scheduling uses a one-year slack (interruptible);
+    spatial carbon-aware scheduling uses the ∞-migration policy against the
+    rest of the (unchanged) dataset.
+    """
+    region = dataset.region(region_code)
+    evolution = GridEvolution(region, year=year or dataset.latest_year, config=config)
+    matrix = dataset.intensity_matrix(year)
+    other_codes = [c for c in dataset.codes() if c != region_code]
+    other_matrix = dataset.intensity_matrix(year, codes=other_codes)
+
+    points = []
+    for fraction in renewable_fractions:
+        scenario = evolution.scenario(fraction)
+        trace = scenario.trace
+        sweep = TemporalSweep(trace, job_length_hours, len(trace) - job_length_hours)
+        baseline = sweep.baseline_sums()
+        aware_temporal = sweep.interruptible_sums()
+
+        # Spatial: each hour the job may run in the evolved region or in any
+        # other region of the dataset, whichever is cleanest at that hour.
+        hourly_min_other = other_matrix.min(axis=0)
+        combined_min = np.minimum(trace.values, hourly_min_other[: len(trace)])
+        spatial_sweep = TemporalSweep(
+            trace.with_name(region_code), job_length_hours, 0
+        )
+        agnostic = spatial_sweep.baseline_sums()
+        aware_spatial_sums = TemporalSweep(
+            type(trace)(combined_min, name=f"{region_code}-min"), job_length_hours, 0
+        ).baseline_sums()
+
+        per_hour = float(job_length_hours)
+        points.append(
+            RenewablePenetrationPoint(
+                added_renewable_fraction=float(fraction),
+                agnostic_temporal=float(baseline.mean()) / per_hour,
+                aware_temporal=float(aware_temporal.mean()) / per_hour,
+                agnostic_spatial=float(agnostic.mean()) / per_hour,
+                aware_spatial=float(aware_spatial_sums.mean()) / per_hour,
+            )
+        )
+    return tuple(points)
+
+
+# ----------------------------------------------------------------------
+# Combined result
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Figure11Result:
+    """All four panels of Figure 11."""
+
+    mixed_workload: tuple[MixedWorkloadPoint, ...]
+    prediction_error: tuple[PredictionErrorPoint, ...]
+    renewable_penetration: tuple[RenewablePenetrationPoint, ...]
+    sample_region: str
+
+    def rows(self) -> list[dict]:
+        """Tabular form covering all panels."""
+        rows = [
+            {
+                "panel": "11a-mixed",
+                "migratable_fraction": p.migratable_fraction,
+                "reduction": p.reduction,
+                "reduction_percent": p.reduction_percent,
+            }
+            for p in self.mixed_workload
+        ]
+        rows += [
+            {
+                "panel": "11b-error",
+                "error_magnitude": p.error_magnitude,
+                "temporal_increase_percent": p.temporal_increase_percent,
+                "spatial_increase_percent": p.spatial_increase_percent,
+            }
+            for p in self.prediction_error
+        ]
+        rows += [
+            {
+                "panel": "11cd-renewables",
+                "added_renewables": p.added_renewable_fraction,
+                "agnostic_temporal": p.agnostic_temporal,
+                "aware_temporal": p.aware_temporal,
+                "agnostic_spatial": p.agnostic_spatial,
+                "aware_spatial": p.aware_spatial,
+            }
+            for p in self.renewable_penetration
+        ]
+        return rows
+
+
+def run_fig11(
+    dataset: CarbonDataset,
+    year: int | None = None,
+    sample_region: str = "US-CA",
+    error_sample_regions: Sequence[str] | None = None,
+    migratable_fractions: Sequence[float] = DEFAULT_MIGRATABLE_FRACTIONS,
+    error_magnitudes: Sequence[float] = DEFAULT_ERROR_MAGNITUDES,
+    renewable_fractions: Sequence[float] = DEFAULT_RENEWABLE_FRACTIONS,
+) -> Figure11Result:
+    """Compute all four panels of Figure 11."""
+    return Figure11Result(
+        mixed_workload=run_fig11a(dataset, migratable_fractions, year),
+        prediction_error=run_fig11b(
+            dataset, error_magnitudes, sample_regions=error_sample_regions, year=year
+        ),
+        renewable_penetration=run_fig11cd(
+            dataset, sample_region, renewable_fractions, year=year
+        ),
+        sample_region=sample_region,
+    )

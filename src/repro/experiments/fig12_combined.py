@@ -1,0 +1,121 @@
+"""Figure 12: combined spatial + temporal shifting.
+
+For a set of destination regions, the figure decomposes the net carbon
+reduction of "migrate all jobs there, then shift temporally" into its
+spatial component (difference between the global-average origin intensity
+and the destination's) and its temporal component (additional savings from
+deferring/interrupting inside the destination), for both one-year and
+24-hour slack.  The headline takeaway is that the spatial component
+dominates: migrating to a green region with low variability (Sweden,
+Ontario, Belgium) beats migrating to a variable but dirtier region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.constants import HOURS_PER_DAY
+from repro.grid.dataset import CarbonDataset
+from repro.scheduling.combined import CombinedSweep
+
+#: Destinations highlighted in the paper's Figure 12 that exist in the
+#: catalog: green low-variability regions (SE, CA-ON, BE), dirtier regions
+#: with high variability (NL, KR, US-UT) and mixed cases (US-CA, US-VA).
+DEFAULT_DESTINATIONS = ("SE", "CA-ON", "BE", "US-CA", "US-VA", "NL", "KR", "US-UT")
+
+
+@dataclass(frozen=True)
+class CombinedDestinationRow:
+    """Spatial/temporal/net reductions for one destination and slack."""
+
+    destination: str
+    slack: str
+    spatial_reduction: float
+    temporal_reduction: float
+
+    @property
+    def net_reduction(self) -> float:
+        """Net reduction of migrating to this destination then shifting."""
+        return self.spatial_reduction + self.temporal_reduction
+
+
+@dataclass(frozen=True)
+class Figure12Result:
+    """Rows of Figure 12 (both slack settings)."""
+
+    rows_by_destination: tuple[CombinedDestinationRow, ...]
+    job_length_hours: int
+    global_average_intensity: float
+
+    def row(self, destination: str, slack: str) -> CombinedDestinationRow:
+        """The row for one destination and slack setting."""
+        for entry in self.rows_by_destination:
+            if entry.destination == destination and entry.slack == slack:
+                return entry
+        raise KeyError((destination, slack))
+
+    def best_destination(self, slack: str = "one-year") -> str:
+        """Destination with the highest net reduction."""
+        candidates = [r for r in self.rows_by_destination if r.slack == slack]
+        return max(candidates, key=lambda r: r.net_reduction).destination
+
+    def spatial_dominates(self) -> bool:
+        """Whether the spatial component exceeds the temporal component for
+        the majority of destinations (the paper's takeaway)."""
+        rows = self.rows_by_destination
+        dominated = sum(1 for r in rows if abs(r.spatial_reduction) >= abs(r.temporal_reduction))
+        return dominated >= len(rows) / 2
+
+    def rows(self) -> list[dict]:
+        """Tabular form."""
+        return [
+            {
+                "destination": r.destination,
+                "slack": r.slack,
+                "spatial_reduction": r.spatial_reduction,
+                "temporal_reduction": r.temporal_reduction,
+                "net_reduction": r.net_reduction,
+            }
+            for r in self.rows_by_destination
+        ]
+
+
+def run_fig12(
+    dataset: CarbonDataset,
+    destinations: Sequence[str] = DEFAULT_DESTINATIONS,
+    job_length_hours: int = 24,
+    year: int | None = None,
+) -> Figure12Result:
+    """Compute Figure 12 for the given destination regions.
+
+    Reductions are per job-hour (g·CO2eq) averaged over all origins and
+    arrival hours.  Destinations missing from the dataset (e.g. when running
+    on a reduced region subset) are skipped.
+    """
+    destinations = tuple(code for code in destinations if code in dataset.catalog)
+    if not destinations:
+        destinations = (dataset.greenest_region(year), dataset.dirtiest_region(year))
+    rows: list[CombinedDestinationRow] = []
+    for slack_label, slack_hours in (("one-year", None), ("24h", HOURS_PER_DAY)):
+        resolved_slack = (
+            len(dataset.series(dataset.codes()[0], year)) - job_length_hours
+            if slack_hours is None
+            else slack_hours
+        )
+        sweep = CombinedSweep(dataset, job_length_hours, resolved_slack, year)
+        for destination in destinations:
+            breakdown = sweep.global_breakdown(destination)
+            rows.append(
+                CombinedDestinationRow(
+                    destination=destination,
+                    slack=slack_label,
+                    spatial_reduction=breakdown.spatial_reduction / job_length_hours,
+                    temporal_reduction=breakdown.temporal_reduction / job_length_hours,
+                )
+            )
+    return Figure12Result(
+        rows_by_destination=tuple(rows),
+        job_length_hours=job_length_hours,
+        global_average_intensity=dataset.global_average(year),
+    )

@@ -1,0 +1,132 @@
+"""Registry of experiments: one entry per paper figure/table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.fig01_carbon_trace import run_fig01
+from repro.experiments.fig03_mean_cv import run_fig03a, run_fig03b
+from repro.experiments.fig04_periodicity import run_fig04
+from repro.experiments.fig05_capacity import run_fig05
+from repro.experiments.fig06_capacity_latency import run_fig06
+from repro.experiments.fig07_deferrability import run_fig07
+from repro.experiments.fig08_interruptibility import run_fig08
+from repro.experiments.fig09_combined_temporal import run_fig09
+from repro.experiments.fig10_distributions import run_fig10
+from repro.experiments.fig11_whatif import run_fig11
+from repro.experiments.fig12_combined import run_fig12
+from repro.experiments.table1_config import run_table1
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment."""
+
+    identifier: str
+    description: str
+    figure: str
+    run: Callable
+
+    def __call__(self, *args, **kwargs):
+        return self.run(*args, **kwargs)
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.identifier: spec
+    for spec in (
+        ExperimentSpec(
+            "table1",
+            "Workload characteristics and flexibility dimensions",
+            "Table 1",
+            run_table1,
+        ),
+        ExperimentSpec(
+            "fig1",
+            "Illustrative carbon traces and generation mixes",
+            "Figure 1(a)-(b)",
+            run_fig01,
+        ),
+        ExperimentSpec(
+            "fig3a",
+            "Yearly mean and average daily CV of every region",
+            "Figure 3(a)",
+            run_fig03a,
+        ),
+        ExperimentSpec(
+            "fig3b",
+            "Change in mean and daily CV between 2020 and 2022 with K-Means clusters",
+            "Figure 3(b)",
+            run_fig03b,
+        ),
+        ExperimentSpec(
+            "fig4",
+            "Periodicity scores for datacenter regions",
+            "Figure 4",
+            run_fig04,
+        ),
+        ExperimentSpec(
+            "fig5",
+            "Spatial shifting under capacity constraints",
+            "Figure 5(a)-(c)",
+            run_fig05,
+        ),
+        ExperimentSpec(
+            "fig6",
+            "Latency-constrained migration and one vs infinite migration",
+            "Figure 6(a)-(b)",
+            run_fig06,
+        ),
+        ExperimentSpec(
+            "fig7",
+            "Carbon reduction from deferrability by job length",
+            "Figure 7(a)-(b)",
+            run_fig07,
+        ),
+        ExperimentSpec(
+            "fig8",
+            "Additional carbon reduction from interruptibility by job length",
+            "Figure 8(a)-(b)",
+            run_fig08,
+        ),
+        ExperimentSpec(
+            "fig9",
+            "Deferrability/interruptibility breakdown relative to the global average",
+            "Figure 9(a)-(b)",
+            run_fig09,
+        ),
+        ExperimentSpec(
+            "fig10",
+            "Temporal reductions under job-length distributions and slack sweep",
+            "Figure 10(a)-(d)",
+            run_fig10,
+        ),
+        ExperimentSpec(
+            "fig11",
+            "What-if scenarios: mixed workloads, prediction error, greener grids",
+            "Figure 11(a)-(d)",
+            run_fig11,
+        ),
+        ExperimentSpec(
+            "fig12",
+            "Combined spatial and temporal shifting by destination region",
+            "Figure 12",
+            run_fig12,
+        ),
+    )
+}
+
+
+def get_experiment(identifier: str) -> ExperimentSpec:
+    """Look up an experiment by identifier (e.g. ``"fig7"``)."""
+    if identifier not in EXPERIMENTS:
+        raise ConfigurationError(
+            f"unknown experiment {identifier!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[identifier]
+
+
+def list_experiments() -> list[ExperimentSpec]:
+    """All registered experiments in registry order."""
+    return list(EXPERIMENTS.values())

@@ -1,0 +1,71 @@
+"""Table 1: workload characteristics, flexibility dimensions and
+configurations used throughout the analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import NUM_REGIONS
+from repro.grid.catalog import default_catalog
+from repro.workloads.job_lengths import (
+    DEFERRABILITY_CHOICES_HOURS,
+    TABLE1_JOB_LENGTHS_HOURS,
+    WorkloadConfiguration,
+    table1_configuration,
+)
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """The rows of Table 1."""
+
+    configuration: WorkloadConfiguration
+    num_job_origins: int
+
+    def rows(self) -> list[dict]:
+        """One row per workload dimension, mirroring Table 1."""
+        config = self.configuration
+        return [
+            {"dimension": "Type", "value": "batch, interactive"},
+            {
+                "dimension": "Length (Hour)",
+                "value": ", ".join(str(length) for length in config.job_lengths_hours),
+            },
+            {
+                "dimension": "Deferrability",
+                "value": ", ".join(str(slack) for slack in config.deferrability_hours),
+            },
+            {
+                "dimension": "Interruptibility",
+                "value": f"zero overhead ({config.interruption_overhead_hours} h)",
+            },
+            {
+                "dimension": "Spatial Migration",
+                "value": f"zero overhead ({config.migration_overhead_hours} h)",
+            },
+            {
+                "dimension": "Job Arrival Time",
+                "value": f"every {config.arrival_stride_hours} hour(s) of the year",
+            },
+            {"dimension": "Job Origin", "value": f"{self.num_job_origins} locations"},
+            {
+                "dimension": "Resource Usage",
+                "value": f"energy-optimized {config.resource_usage:.0%} usage",
+            },
+        ]
+
+
+def run_table1(num_job_origins: int | None = None) -> Table1Result:
+    """Build Table 1 from the default configuration and catalog."""
+    if num_job_origins is None:
+        num_job_origins = len(default_catalog())
+    assert num_job_origins <= NUM_REGIONS or num_job_origins > 0
+    return Table1Result(
+        configuration=table1_configuration(),
+        num_job_origins=num_job_origins,
+    )
+
+
+#: Re-export of the raw grids for convenience.
+JOB_LENGTHS = TABLE1_JOB_LENGTHS_HOURS
+DEFERRABILITY = DEFERRABILITY_CHOICES_HOURS

@@ -1,0 +1,160 @@
+"""Shared machinery for the temporal-shifting experiments (Figures 7–10).
+
+All of those figures are different aggregations of the same underlying
+quantity: for a region, a job length and a slack, the average (over all
+arrival hours) carbon reduction of the deferral policy and of the
+deferral+interrupt policy relative to the carbon-agnostic baseline,
+normalised by the job length.  This module computes that table once per
+(regions × lengths × slack) request so the figure modules stay small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.constants import HOURS_PER_YEAR
+from repro.exceptions import ConfigurationError
+from repro.grid.dataset import CarbonDataset
+from repro.grid.region import GeographicGroup
+from repro.scheduling.sweep import sweep_reductions_per_job_hour
+
+#: Sentinel accepted wherever a slack is expected: a full year of slack (the
+#: paper's "ideal" setting).
+ONE_YEAR_SLACK = "year"
+
+
+def resolve_slack_hours(slack: int | str, trace_hours: int, length_hours: int) -> int:
+    """Resolve a slack specification to hours.
+
+    ``"year"`` (or any slack that would overflow the trace) resolves to the
+    largest slack representable on the trace, which the sweep kernels treat
+    as "the whole cyclic year is available".
+    """
+    if isinstance(slack, str):
+        if slack != ONE_YEAR_SLACK:
+            raise ConfigurationError(f"unknown slack specification {slack!r}")
+        return trace_hours - length_hours
+    slack = int(slack)
+    if slack < 0:
+        raise ConfigurationError("slack must be non-negative")
+    return min(slack, trace_hours - length_hours)
+
+
+@dataclass(frozen=True)
+class TemporalCell:
+    """Per-(region, length) average reductions, normalised per job-hour."""
+
+    region: str
+    length_hours: int
+    slack_label: str
+    deferral: float
+    interrupt_extra: float
+    combined: float
+    baseline_per_hour: float
+
+
+@dataclass(frozen=True)
+class TemporalTable:
+    """Collection of :class:`TemporalCell` with aggregation helpers."""
+
+    cells: tuple[TemporalCell, ...]
+    dataset: CarbonDataset
+
+    # ------------------------------------------------------------------
+    def lengths(self) -> tuple[int, ...]:
+        """Job lengths present, ascending."""
+        return tuple(sorted({c.length_hours for c in self.cells}))
+
+    def regions(self) -> tuple[str, ...]:
+        """Regions present."""
+        return tuple(sorted({c.region for c in self.cells}))
+
+    def cells_for_length(self, length_hours: int) -> tuple[TemporalCell, ...]:
+        """All cells of one job length."""
+        return tuple(c for c in self.cells if c.length_hours == length_hours)
+
+    def cells_for_region(self, region: str) -> tuple[TemporalCell, ...]:
+        """All cells of one region."""
+        return tuple(c for c in self.cells if c.region == region)
+
+    # ------------------------------------------------------------------
+    def global_average(self, length_hours: int, field: str = "combined") -> float:
+        """Average of one field over all regions, for one job length."""
+        cells = self.cells_for_length(length_hours)
+        if not cells:
+            raise ConfigurationError(f"no cells for length {length_hours}")
+        return float(np.mean([getattr(c, field) for c in cells]))
+
+    def group_average(
+        self, group: GeographicGroup | str, length_hours: int, field: str = "combined"
+    ) -> float:
+        """Average of one field over the regions of one geographic group."""
+        group = GeographicGroup(group)
+        cells = [
+            c
+            for c in self.cells_for_length(length_hours)
+            if self.dataset.region(c.region).group == group
+        ]
+        if not cells:
+            raise ConfigurationError(f"no cells for group {group.value}")
+        return float(np.mean([getattr(c, field) for c in cells]))
+
+    def weighted_global_average(
+        self, weights: Mapping[float, float], field: str = "combined"
+    ) -> float:
+        """Average over job lengths weighted by a job-length distribution."""
+        total = 0.0
+        for length, weight in weights.items():
+            total += weight * self.global_average(int(length), field)
+        return total
+
+    def weighted_group_average(
+        self,
+        group: GeographicGroup | str,
+        weights: Mapping[float, float],
+        field: str = "combined",
+    ) -> float:
+        """Group average over job lengths weighted by a distribution."""
+        total = 0.0
+        for length, weight in weights.items():
+            total += weight * self.group_average(group, int(length), field)
+        return total
+
+
+def compute_temporal_table(
+    dataset: CarbonDataset,
+    lengths_hours: Sequence[int],
+    slack: int | str,
+    region_codes: Sequence[str] | None = None,
+    year: int | None = None,
+    arrival_stride: int = 1,
+) -> TemporalTable:
+    """Compute the reductions table for the given lengths, slack and regions."""
+    if not lengths_hours:
+        raise ConfigurationError("at least one job length is required")
+    codes = tuple(region_codes) if region_codes is not None else dataset.codes()
+    slack_label = str(slack)
+    cells: list[TemporalCell] = []
+    for code in codes:
+        trace = dataset.series(code, year)
+        for length in lengths_hours:
+            length = int(length)
+            slack_hours = resolve_slack_hours(slack, len(trace), length)
+            reductions = sweep_reductions_per_job_hour(
+                trace, length, slack_hours, arrival_stride=arrival_stride
+            )
+            cells.append(
+                TemporalCell(
+                    region=code,
+                    length_hours=length,
+                    slack_label=slack_label,
+                    deferral=reductions["deferral"],
+                    interrupt_extra=reductions["interrupt_extra"],
+                    combined=reductions["combined"],
+                    baseline_per_hour=reductions["baseline_per_hour"],
+                )
+            )
+    return TemporalTable(cells=tuple(cells), dataset=dataset)

@@ -1,0 +1,21 @@
+"""Carbon-intensity forecasting: simple forecasters and the forecast-error
+what-if of §6.2."""
+
+from repro.forecast.error import UniformErrorModel, add_uniform_error
+from repro.forecast.impact import (
+    ForecastImpact,
+    spatial_error_impact,
+    temporal_error_impact,
+)
+from repro.forecast.models import ClimatologyForecaster, Forecaster, PersistenceForecaster
+
+__all__ = [
+    "ClimatologyForecaster",
+    "ForecastImpact",
+    "Forecaster",
+    "PersistenceForecaster",
+    "UniformErrorModel",
+    "add_uniform_error",
+    "spatial_error_impact",
+    "temporal_error_impact",
+]

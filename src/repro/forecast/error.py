@@ -1,0 +1,60 @@
+"""Forecast error injection (§6.2, Figure 11(b)).
+
+The paper models imperfect carbon-intensity forecasts by adding uniformly
+distributed relative error to the error-free trace, scheduling against the
+erroneous trace, and accounting emissions against the true one.  This module
+provides the error injection; :mod:`repro.forecast.impact` performs the
+scheduling comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.timeseries.series import HourlySeries
+
+
+@dataclass(frozen=True)
+class UniformErrorModel:
+    """Multiplicative uniform forecast error.
+
+    Each hourly value v becomes ``v * (1 + u)`` with ``u`` drawn uniformly
+    from ``[-magnitude, +magnitude]``.  ``magnitude=0.5`` therefore means the
+    forecast may be off by up to ±50 %, matching the x-axis of Figure 11(b).
+    """
+
+    magnitude: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.magnitude <= 1.0:
+            raise ConfigurationError("error magnitude must be within [0, 1]")
+
+    def apply(self, trace: HourlySeries) -> HourlySeries:
+        """Return the error-injected forecast of ``trace``."""
+        if self.magnitude == 0:
+            return trace
+        rng = np.random.default_rng(self.seed)
+        noise = rng.uniform(-self.magnitude, self.magnitude, size=len(trace))
+        values = np.clip(trace.values * (1.0 + noise), 0.0, None)
+        return HourlySeries(values, start_hour=trace.start_hour, name=trace.name)
+
+    def mean_absolute_percentage_error(self, trace: HourlySeries) -> float:
+        """MAPE of the injected forecast against the true trace, in percent.
+
+        Useful to relate the uniform-error magnitude to forecasting systems
+        such as CarbonCast, which the paper cites at 4.8–13.9 % MAPE.
+        """
+        forecast = self.apply(trace)
+        true = trace.values
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ape = np.where(true > 0, np.abs(forecast.values - true) / true, 0.0)
+        return float(100.0 * ape.mean())
+
+
+def add_uniform_error(trace: HourlySeries, magnitude: float, seed: int = 0) -> HourlySeries:
+    """Convenience wrapper around :class:`UniformErrorModel`."""
+    return UniformErrorModel(magnitude=magnitude, seed=seed).apply(trace)

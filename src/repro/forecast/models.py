@@ -1,0 +1,84 @@
+"""Simple carbon-intensity forecasters.
+
+The paper assumes perfect future knowledge for its upper bounds and models
+imperfect knowledge only through injected error.  These forecasters provide
+practical reference points: a persistence forecaster (tomorrow looks like the
+last observed hour) and a diurnal climatology forecaster (tomorrow looks like
+the average day so far).  They are used by the examples to show how far a
+realistic, non-clairvoyant scheduler lands from the clairvoyant upper bound.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.constants import HOURS_PER_DAY
+from repro.exceptions import ForecastError
+from repro.timeseries.series import HourlySeries
+
+
+class Forecaster(ABC):
+    """Base class: forecast the next ``horizon`` hours given history."""
+
+    name: str = "forecaster"
+
+    @abstractmethod
+    def forecast(self, history: HourlySeries, horizon_hours: int) -> np.ndarray:
+        """Forecast the ``horizon_hours`` values following ``history``."""
+
+    def _validate(self, history: HourlySeries, horizon_hours: int) -> None:
+        if horizon_hours <= 0:
+            raise ForecastError("horizon_hours must be positive")
+        if len(history) == 0:
+            raise ForecastError("history must not be empty")
+
+
+class PersistenceForecaster(Forecaster):
+    """Forecast every future hour as the last observed value."""
+
+    name = "persistence"
+
+    def forecast(self, history: HourlySeries, horizon_hours: int) -> np.ndarray:
+        self._validate(history, horizon_hours)
+        return np.full(horizon_hours, history[len(history) - 1])
+
+
+class ClimatologyForecaster(Forecaster):
+    """Forecast each future hour as the historical mean of that hour of day.
+
+    Works well exactly when the trace is periodic (Figure 4 shows most
+    datacenter regions have a strong 24-hour period), and poorly when it is
+    not — which is the paper's point about predictability.
+    """
+
+    name = "diurnal-climatology"
+
+    def forecast(self, history: HourlySeries, horizon_hours: int) -> np.ndarray:
+        self._validate(history, horizon_hours)
+        if len(history) < HOURS_PER_DAY:
+            raise ForecastError(
+                "climatology forecast needs at least one full day of history"
+            )
+        profile = history.hour_of_day_profile()
+        start_hour_of_day = (history.start_hour + len(history)) % HOURS_PER_DAY
+        indices = (start_hour_of_day + np.arange(horizon_hours)) % HOURS_PER_DAY
+        return profile[indices]
+
+
+def forecast_mape(forecaster: Forecaster, trace: HourlySeries, split_hour: int,
+                  horizon_hours: int) -> float:
+    """Mean absolute percentage error of a forecaster on one trace.
+
+    The trace is split at ``split_hour``; the forecaster sees the history and
+    is scored on the following ``horizon_hours`` hours.
+    """
+    if split_hour <= 0 or split_hour + horizon_hours > len(trace):
+        raise ForecastError("split/horizon outside the trace")
+    history = trace[0:split_hour]
+    actual = trace.values[split_hour : split_hour + horizon_hours]
+    predicted = forecaster.forecast(history, horizon_hours)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ape = np.where(actual > 0, np.abs(predicted - actual) / actual, 0.0)
+    return float(100.0 * ape.mean())

@@ -1,0 +1,26 @@
+"""Grid substrate: generation sources, region catalog, synthetic
+carbon-intensity traces and the multi-region dataset used by every
+experiment."""
+
+from repro.grid.catalog import RegionCatalog, default_catalog
+from repro.grid.dataset import CarbonDataset
+from repro.grid.evolution import GridEvolution, add_renewables
+from repro.grid.mix import GenerationMix
+from repro.grid.region import GeographicGroup, Region
+from repro.grid.sources import EMISSION_FACTORS, GenerationSource
+from repro.grid.synthesis import SynthesisConfig, TraceSynthesizer
+
+__all__ = [
+    "CarbonDataset",
+    "EMISSION_FACTORS",
+    "GenerationMix",
+    "GenerationSource",
+    "GeographicGroup",
+    "GridEvolution",
+    "Region",
+    "RegionCatalog",
+    "SynthesisConfig",
+    "TraceSynthesizer",
+    "add_renewables",
+    "default_catalog",
+]

@@ -1,0 +1,150 @@
+"""Region catalog: lookup, filtering and grouping of the 123 regions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.grid.catalog_data import REGION_ROWS
+from repro.grid.mix import GenerationMix
+from repro.grid.region import CloudProvider, GeographicGroup, Region
+from repro.grid.sources import GenerationSource
+
+
+def _mix_from_percent(mix_percent: Mapping[str, float]) -> GenerationMix:
+    """Build a :class:`GenerationMix` from a percent mapping, normalising to 1."""
+    total = float(sum(mix_percent.values()))
+    if total <= 0:
+        raise DataError("generation mix percentages must sum to a positive value")
+    return GenerationMix(
+        {GenerationSource(name): value / total for name, value in mix_percent.items()}
+    )
+
+
+def _region_from_row(row: tuple) -> Region:
+    code, name, group, lat, lon, providers, mix_percent = row
+    return Region(
+        code=code,
+        name=name,
+        group=GeographicGroup(group),
+        latitude=float(lat),
+        longitude=float(lon),
+        mix=_mix_from_percent(mix_percent),
+        providers=frozenset(CloudProvider(p) for p in providers),
+        privacy_restricted=GeographicGroup(group) == GeographicGroup.EUROPE,
+    )
+
+
+@dataclass(frozen=True)
+class RegionCatalog:
+    """An immutable collection of regions with convenient lookups.
+
+    The default catalog (:func:`default_catalog`) contains the 123 regions of
+    the paper's dataset; smaller catalogs can be built for tests or focused
+    studies via :meth:`subset` or the constructor.
+    """
+
+    regions: tuple[Region, ...]
+
+    def __post_init__(self) -> None:
+        codes = [r.code for r in self.regions]
+        if len(codes) != len(set(codes)):
+            duplicates = sorted({c for c in codes if codes.count(c) > 1})
+            raise DataError(f"duplicate region codes in catalog: {duplicates}")
+        object.__setattr__(self, "regions", tuple(self.regions))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def __iter__(self) -> Iterator[Region]:
+        return iter(self.regions)
+
+    def __contains__(self, code: str) -> bool:
+        return any(r.code == code for r in self.regions)
+
+    def get(self, code: str) -> Region:
+        """Look up a region by code; raises :class:`DataError` if absent."""
+        for region in self.regions:
+            if region.code == code:
+                return region
+        raise DataError(f"unknown region code: {code!r}")
+
+    def codes(self) -> tuple[str, ...]:
+        """All region codes, in catalog order."""
+        return tuple(r.code for r in self.regions)
+
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Callable[[Region], bool]) -> "RegionCatalog":
+        """Catalog restricted to regions matching ``predicate``."""
+        return RegionCatalog(tuple(r for r in self.regions if predicate(r)))
+
+    def subset(self, codes: Iterable[str]) -> "RegionCatalog":
+        """Catalog restricted to the given codes (order preserved as given)."""
+        return RegionCatalog(tuple(self.get(code) for code in codes))
+
+    def in_group(self, group: GeographicGroup | str) -> "RegionCatalog":
+        """Regions in one continent-level geographic group."""
+        group = GeographicGroup(group)
+        return self.filter(lambda r: r.group == group)
+
+    def with_datacenters(self, provider: CloudProvider | str | None = None) -> "RegionCatalog":
+        """Regions that host a hyperscaler datacenter (optionally one provider)."""
+        if provider is None:
+            return self.filter(lambda r: r.has_datacenter)
+        provider = CloudProvider(provider)
+        return self.filter(lambda r: provider in r.providers)
+
+    def groups(self) -> dict[GeographicGroup, "RegionCatalog"]:
+        """Split the catalog by geographic group."""
+        return {
+            group: self.in_group(group)
+            for group in GeographicGroup.ordered()
+            if len(self.in_group(group)) > 0
+        }
+
+    # ------------------------------------------------------------------
+    def sorted_by_expected_intensity(self) -> "RegionCatalog":
+        """Regions ordered from greenest to dirtiest expected carbon intensity."""
+        ordered = sorted(self.regions, key=lambda r: r.expected_carbon_intensity)
+        return RegionCatalog(tuple(ordered))
+
+    def greenest(self) -> Region:
+        """The region with the lowest expected carbon intensity."""
+        return min(self.regions, key=lambda r: r.expected_carbon_intensity)
+
+    def dirtiest(self) -> Region:
+        """The region with the highest expected carbon intensity."""
+        return max(self.regions, key=lambda r: r.expected_carbon_intensity)
+
+    def provider_counts(self) -> dict[CloudProvider, int]:
+        """Number of regions hosting each provider."""
+        counts = {provider: 0 for provider in CloudProvider}
+        for region in self.regions:
+            for provider in region.providers:
+                counts[provider] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, rows: Sequence[tuple]) -> "RegionCatalog":
+        """Build a catalog from raw catalog-data rows."""
+        if not rows:
+            raise ConfigurationError("catalog requires at least one region row")
+        return cls(tuple(_region_from_row(row) for row in rows))
+
+
+_DEFAULT_CATALOG: RegionCatalog | None = None
+
+
+def default_catalog() -> RegionCatalog:
+    """The 123-region catalog used throughout the reproduction.
+
+    The catalog is built once and cached; it is immutable so sharing the
+    instance is safe.
+    """
+    global _DEFAULT_CATALOG
+    if _DEFAULT_CATALOG is None:
+        _DEFAULT_CATALOG = RegionCatalog.from_rows(REGION_ROWS)
+    return _DEFAULT_CATALOG

@@ -1,0 +1,193 @@
+"""Multi-region, multi-year carbon-intensity dataset.
+
+:class:`CarbonDataset` is the central data object of the reproduction: every
+experiment takes a dataset (plus workload parameters) and produces the rows
+of one paper figure.  A dataset maps ``(region code, year)`` to an
+:class:`~repro.timeseries.series.HourlySeries` and carries the region
+catalog so policies can reason about geography, providers and capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.constants import DATASET_YEARS
+from repro.exceptions import ConfigurationError, DataError
+from repro.grid.catalog import RegionCatalog, default_catalog
+from repro.grid.region import GeographicGroup, Region
+from repro.grid.synthesis import SynthesisConfig, TraceSynthesizer
+from repro.timeseries.series import HourlySeries
+
+
+@dataclass(frozen=True)
+class CarbonDataset:
+    """Hourly carbon-intensity traces for a set of regions and years."""
+
+    catalog: RegionCatalog
+    traces: Mapping[tuple[str, int], HourlySeries]
+    years: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.years:
+            raise ConfigurationError("dataset must cover at least one year")
+        object.__setattr__(self, "years", tuple(sorted(self.years)))
+        object.__setattr__(self, "traces", dict(self.traces))
+        for (code, year), series in self.traces.items():
+            if code not in self.catalog:
+                raise DataError(f"trace for unknown region {code!r}")
+            if year not in self.years:
+                raise DataError(f"trace for year {year} outside dataset years {self.years}")
+            if not isinstance(series, HourlySeries):
+                raise DataError(f"trace for ({code}, {year}) is not an HourlySeries")
+        for region in self.catalog:
+            for year in self.years:
+                if (region.code, year) not in self.traces:
+                    raise DataError(f"missing trace for ({region.code}, {year})")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def synthetic(
+        cls,
+        catalog: RegionCatalog | None = None,
+        years: Sequence[int] = DATASET_YEARS,
+        config: SynthesisConfig | None = None,
+    ) -> "CarbonDataset":
+        """Generate the synthetic dataset for the given catalog and years."""
+        catalog = catalog or default_catalog()
+        synthesizer = TraceSynthesizer(config)
+        traces = {
+            (region.code, year): synthesizer.synthesize(region, year)
+            for region in catalog
+            for year in years
+        }
+        return cls(catalog=catalog, traces=traces, years=tuple(years))
+
+    @classmethod
+    def from_traces(
+        cls,
+        catalog: RegionCatalog,
+        traces: Mapping[tuple[str, int], HourlySeries],
+    ) -> "CarbonDataset":
+        """Build a dataset from externally supplied traces (e.g. real data)."""
+        years = tuple(sorted({year for _, year in traces}))
+        return cls(catalog=catalog, traces=traces, years=years)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def series(self, code: str, year: int | None = None) -> HourlySeries:
+        """The trace of one region in one year (latest year by default)."""
+        year = self.latest_year if year is None else year
+        key = (code, year)
+        if key not in self.traces:
+            raise DataError(f"no trace for region {code!r} in year {year}")
+        return self.traces[key]
+
+    def region(self, code: str) -> Region:
+        """Region metadata for a code."""
+        return self.catalog.get(code)
+
+    @property
+    def latest_year(self) -> int:
+        """Most recent year in the dataset."""
+        return self.years[-1]
+
+    @property
+    def earliest_year(self) -> int:
+        """Oldest year in the dataset."""
+        return self.years[0]
+
+    def codes(self) -> tuple[str, ...]:
+        """All region codes."""
+        return self.catalog.codes()
+
+    def __len__(self) -> int:
+        return len(self.catalog)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def mean_intensity(self, code: str, year: int | None = None) -> float:
+        """Annual-average carbon intensity of one region."""
+        return self.series(code, year).mean()
+
+    def annual_means(self, year: int | None = None) -> dict[str, float]:
+        """Annual-average carbon intensity of every region."""
+        year = self.latest_year if year is None else year
+        return {code: self.mean_intensity(code, year) for code in self.codes()}
+
+    def global_average(self, year: int | None = None) -> float:
+        """Unweighted average of regional annual means — the denominator of
+        the paper's "global average reduction" metric."""
+        means = self.annual_means(year)
+        return float(np.mean(list(means.values())))
+
+    def group_average(self, group: GeographicGroup | str, year: int | None = None) -> float:
+        """Average annual carbon intensity of one geographic group."""
+        group = GeographicGroup(group)
+        codes = self.catalog.in_group(group).codes()
+        if not codes:
+            raise DataError(f"no regions in group {group.value}")
+        means = self.annual_means(year)
+        return float(np.mean([means[code] for code in codes]))
+
+    def intensity_matrix(self, year: int | None = None, codes: Sequence[str] | None = None) -> np.ndarray:
+        """Matrix of traces (regions × hours) for vectorised spatial analysis.
+
+        All traces of one year have the same length, so this is safe; the row
+        order follows ``codes`` (catalog order by default).
+        """
+        year = self.latest_year if year is None else year
+        codes = tuple(codes) if codes is not None else self.codes()
+        rows = [self.series(code, year).values for code in codes]
+        lengths = {row.size for row in rows}
+        if len(lengths) != 1:
+            raise DataError("traces of one year must all have the same length")
+        return np.vstack(rows)
+
+    def greenest_region(self, year: int | None = None) -> str:
+        """Code of the region with the lowest annual-average intensity."""
+        means = self.annual_means(year)
+        return min(means, key=means.get)
+
+    def dirtiest_region(self, year: int | None = None) -> str:
+        """Code of the region with the highest annual-average intensity."""
+        means = self.annual_means(year)
+        return max(means, key=means.get)
+
+    def rank_order(self, year: int | None = None) -> tuple[str, ...]:
+        """Region codes ordered from greenest to dirtiest annual mean."""
+        means = self.annual_means(year)
+        return tuple(sorted(means, key=means.get))
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def subset(self, codes: Iterable[str]) -> "CarbonDataset":
+        """Dataset restricted to the given region codes."""
+        codes = tuple(codes)
+        catalog = self.catalog.subset(codes)
+        traces = {
+            (code, year): self.traces[(code, year)]
+            for code in codes
+            for year in self.years
+        }
+        return CarbonDataset(catalog=catalog, traces=traces, years=self.years)
+
+    def for_group(self, group: GeographicGroup | str) -> "CarbonDataset":
+        """Dataset restricted to one geographic group."""
+        group = GeographicGroup(group)
+        return self.subset(self.catalog.in_group(group).codes())
+
+    def with_traces(
+        self, replacements: Mapping[tuple[str, int], HourlySeries]
+    ) -> "CarbonDataset":
+        """Dataset with some traces replaced (e.g. error-injected forecasts)."""
+        traces = dict(self.traces)
+        traces.update(replacements)
+        return CarbonDataset(catalog=self.catalog, traces=traces, years=self.years)

@@ -1,0 +1,105 @@
+"""Grid-evolution what-ifs: increasing renewable penetration (§6.3).
+
+The paper's experiment E10 asks how the benefit of carbon-aware scheduling
+changes as a region's grid becomes greener.  The artifact implements this by
+adding renewable generation to the raw Electricity Maps trace and
+re-computing the carbon intensity from per-source emission factors; this
+module does the synthetic-analogue: evolve the region's generation mix and
+re-synthesise its trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.grid.mix import GenerationMix
+from repro.grid.region import Region
+from repro.grid.sources import EMISSION_FACTORS, SOURCE_ORDER, GenerationSource
+from repro.grid.synthesis import BASE_YEAR, SynthesisConfig, TraceSynthesizer, stable_region_seed
+from repro.timeseries.series import HourlySeries
+
+
+def emission_factor_table() -> dict[str, float]:
+    """Per-source emission factors (g·CO2eq/kWh), the synthetic analogue of
+    the artifact's ``create_emission_factors.py`` output."""
+    return {source.value: EMISSION_FACTORS[source] for source in SOURCE_ORDER}
+
+
+def add_renewables(
+    region: Region,
+    added_fraction: float,
+    solar_fraction: float = 0.5,
+) -> GenerationMix:
+    """Return the region's mix after converting ``added_fraction`` of total
+    generation from fossil sources to new solar and wind."""
+    return region.mix.with_added_renewables(added_fraction, solar_fraction)
+
+
+@dataclass(frozen=True)
+class GreenerScenario:
+    """One point of the renewable-penetration sweep."""
+
+    added_renewable_fraction: float
+    mix: GenerationMix
+    trace: HourlySeries
+
+    @property
+    def mean_intensity(self) -> float:
+        """Annual-average carbon intensity of the scenario's trace."""
+        return self.trace.mean()
+
+    @property
+    def variable_renewable_share(self) -> float:
+        """Solar + wind share of the scenario's mix."""
+        return self.mix.variable_renewable_share
+
+
+class GridEvolution:
+    """Generates "greener grid" scenarios for one region.
+
+    Each scenario converts a fraction of the region's fossil generation into
+    new solar and wind, then re-synthesises the hourly trace.  As the
+    fraction grows the mean carbon intensity falls while the variability
+    rises — exactly the regime in which the paper argues the *relative*
+    benefit of carbon-aware scheduling shrinks even as variability grows.
+    """
+
+    def __init__(
+        self,
+        region: Region,
+        year: int = BASE_YEAR,
+        config: SynthesisConfig | None = None,
+        solar_fraction: float = 0.5,
+    ) -> None:
+        if not 0.0 <= solar_fraction <= 1.0:
+            raise ConfigurationError("solar_fraction must be within [0, 1]")
+        self.region = region
+        self.year = year
+        self.solar_fraction = solar_fraction
+        self._synthesizer = TraceSynthesizer(config)
+
+    def scenario(self, added_fraction: float) -> GreenerScenario:
+        """Build the scenario with ``added_fraction`` of generation converted
+        to renewables."""
+        mix = add_renewables(self.region, added_fraction, self.solar_fraction)
+        trace = self._synthesizer.synthesize_from_mix(
+            mix,
+            year=self.year,
+            latitude=self.region.latitude,
+            name=f"{self.region.code}+re{added_fraction:.2f}",
+            seed=stable_region_seed(self.region.code, self.year, self._synthesizer.config.seed),
+        )
+        return GreenerScenario(added_renewable_fraction=added_fraction, mix=mix, trace=trace)
+
+    def sweep(self, fractions: Sequence[float]) -> list[GreenerScenario]:
+        """Build scenarios for a list of added-renewable fractions."""
+        for fraction in fractions:
+            if not 0.0 <= fraction <= 1.0:
+                raise ConfigurationError("added fractions must be within [0, 1]")
+        return [self.scenario(fraction) for fraction in fractions]
+
+    def intensity_by_fraction(self, fractions: Sequence[float]) -> Mapping[float, float]:
+        """Mean carbon intensity for each added-renewable fraction."""
+        return {s.added_renewable_fraction: s.mean_intensity for s in self.sweep(fractions)}

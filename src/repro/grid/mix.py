@@ -1,0 +1,147 @@
+"""Generation mix of a region.
+
+A :class:`GenerationMix` is the annual-average share of each generation
+source in a region's electricity.  It determines both the *magnitude* of the
+region's carbon intensity (via emission factors) and its *variability* (via
+the share of variable renewables), which is exactly the causal story the
+paper tells in §1 and §4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.exceptions import ConfigurationError
+from repro.grid.sources import EMISSION_FACTORS, SOURCE_ORDER, GenerationSource
+
+_SHARE_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class GenerationMix:
+    """Immutable mapping from generation source to its share of generation.
+
+    Shares must be non-negative and sum to 1 (within a small tolerance).
+    """
+
+    shares: Mapping[GenerationSource, float]
+
+    def __post_init__(self) -> None:
+        normalized: dict[GenerationSource, float] = {}
+        for source, share in self.shares.items():
+            source = GenerationSource(source)
+            if share < -_SHARE_TOLERANCE:
+                raise ConfigurationError(f"negative share for {source.value}: {share}")
+            normalized[source] = max(float(share), 0.0)
+        total = sum(normalized.values())
+        if abs(total - 1.0) > 1e-3:
+            raise ConfigurationError(
+                f"generation mix shares must sum to 1, got {total:.6f}"
+            )
+        # Re-normalise exactly to 1 to avoid drift when mixes are transformed.
+        normalized = {s: v / total for s, v in normalized.items()}
+        object.__setattr__(self, "shares", normalized)
+
+    # ------------------------------------------------------------------
+    def share(self, source: GenerationSource) -> float:
+        """Share of ``source`` in the mix (0 if absent)."""
+        return self.shares.get(GenerationSource(source), 0.0)
+
+    @property
+    def fossil_share(self) -> float:
+        """Total share of coal, gas and oil."""
+        return sum(v for s, v in self.shares.items() if s.is_fossil)
+
+    @property
+    def renewable_share(self) -> float:
+        """Total share of renewable sources (including hydro and biomass)."""
+        return sum(v for s, v in self.shares.items() if s.is_renewable)
+
+    @property
+    def variable_renewable_share(self) -> float:
+        """Total share of solar and wind (the non-dispatchable sources)."""
+        return sum(v for s, v in self.shares.items() if s.is_variable_renewable)
+
+    @property
+    def solar_share(self) -> float:
+        """Share of solar generation."""
+        return self.share(GenerationSource.SOLAR)
+
+    @property
+    def wind_share(self) -> float:
+        """Share of wind generation."""
+        return self.share(GenerationSource.WIND)
+
+    @property
+    def dispatchable_fossil_share(self) -> float:
+        """Share of fossil generation, which follows demand and therefore
+        drives demand-correlated carbon-intensity swings."""
+        return self.fossil_share
+
+    # ------------------------------------------------------------------
+    def average_carbon_intensity(
+        self, emission_factors: Mapping[GenerationSource, float] | None = None
+    ) -> float:
+        """Annual-average carbon intensity implied by the mix (g·CO2eq/kWh).
+
+        This is the generation-weighted average of per-source emission
+        factors, the same construction Electricity Maps uses.
+        """
+        factors = emission_factors or EMISSION_FACTORS
+        return sum(share * factors[source] for source, share in self.shares.items())
+
+    def as_vector(self) -> tuple[float, ...]:
+        """Shares in :data:`~repro.grid.sources.SOURCE_ORDER` order."""
+        return tuple(self.share(source) for source in SOURCE_ORDER)
+
+    # ------------------------------------------------------------------
+    def with_added_renewables(
+        self,
+        added_fraction: float,
+        solar_fraction: float = 0.5,
+    ) -> "GenerationMix":
+        """Return a mix where ``added_fraction`` of total generation has been
+        converted from fossil sources to new solar and wind capacity.
+
+        This implements the "increasing renewable penetration" what-if
+        (§6.3): the added renewable energy displaces the dirtiest sources
+        first (coal, then oil, then gas).  ``solar_fraction`` controls how
+        the new renewable energy is split between solar and wind.
+        """
+        if not 0.0 <= added_fraction <= 1.0:
+            raise ConfigurationError("added_fraction must be within [0, 1]")
+        if not 0.0 <= solar_fraction <= 1.0:
+            raise ConfigurationError("solar_fraction must be within [0, 1]")
+        remaining = min(added_fraction, self.fossil_share)
+        shares = dict(self.shares)
+        for source in (GenerationSource.COAL, GenerationSource.OIL, GenerationSource.GAS):
+            if remaining <= 0:
+                break
+            available = shares.get(source, 0.0)
+            displaced = min(available, remaining)
+            shares[source] = available - displaced
+            remaining -= displaced
+        added = min(added_fraction, self.fossil_share)
+        if added > 0:
+            shares[GenerationSource.SOLAR] = (
+                shares.get(GenerationSource.SOLAR, 0.0) + added * solar_fraction
+            )
+            shares[GenerationSource.WIND] = (
+                shares.get(GenerationSource.WIND, 0.0) + added * (1.0 - solar_fraction)
+            )
+        # Drop zero-share entries so transformed mixes stay tidy.
+        shares = {source: value for source, value in shares.items() if value > 0}
+        return GenerationMix(shares)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_kwargs(cls, **shares: float) -> "GenerationMix":
+        """Build a mix from keyword arguments named after source values,
+        e.g. ``GenerationMix.from_kwargs(coal=0.3, gas=0.3, hydro=0.4)``."""
+        return cls({GenerationSource(name): value for name, value in shares.items()})
+
+    @classmethod
+    def single_source(cls, source: GenerationSource) -> "GenerationMix":
+        """A degenerate mix generated entirely by one source."""
+        return cls({GenerationSource(source): 1.0})

@@ -1,0 +1,127 @@
+"""Region model.
+
+A :class:`Region` is one balancing-authority-level electricity zone, the
+granularity at which Electricity Maps reports carbon intensity and at which
+the paper's spatial policies migrate work.  Regions carry the metadata the
+experiments need: a geographic grouping (continent-level, Figure 5), a
+coordinate (for the latency model of Figure 6(a)), the cloud providers that
+operate datacenters there (Figure 4 restricts to hyperscaler regions), and
+the generation mix used to synthesise the region's carbon trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.exceptions import ConfigurationError
+from repro.grid.mix import GenerationMix
+
+
+class GeographicGroup(str, Enum):
+    """Continent-level geographic groupings used in Figures 5 and 10."""
+
+    AFRICA = "Africa"
+    ASIA = "Asia"
+    EUROPE = "Europe"
+    NORTH_AMERICA = "North America"
+    OCEANIA = "Oceania"
+    SOUTH_AMERICA = "South America"
+
+    @classmethod
+    def ordered(cls) -> tuple["GeographicGroup", ...]:
+        """Groups in a stable reporting order."""
+        return (
+            cls.AFRICA,
+            cls.ASIA,
+            cls.EUROPE,
+            cls.NORTH_AMERICA,
+            cls.OCEANIA,
+            cls.SOUTH_AMERICA,
+        )
+
+
+class CloudProvider(str, Enum):
+    """Hyperscale cloud providers whose datacenter regions the paper maps
+    onto electricity zones (§3.1.1)."""
+
+    GCP = "GCP"
+    AZURE = "Azure"
+    AWS = "AWS"
+    IBM = "IBM"
+    ALIBABA = "Alibaba"
+
+
+@dataclass(frozen=True)
+class Region:
+    """One electricity zone.
+
+    Parameters
+    ----------
+    code:
+        Short zone code (e.g. ``"SE"``, ``"US-CA"``, ``"IN-MH"``).
+    name:
+        Human-readable name.
+    group:
+        Continent-level geographic grouping.
+    latitude, longitude:
+        Representative coordinate for the zone, used by the latency model.
+    mix:
+        Annual-average generation mix, which drives trace synthesis.
+    providers:
+        Cloud providers with a datacenter region in this zone (may be empty —
+        24 of the 123 zones have no hyperscaler datacenter).
+    privacy_restricted:
+        Whether data-residency regulation (e.g. GDPR-style rules) restricts
+        workloads originating here to stay within the same geographic group.
+    """
+
+    code: str
+    name: str
+    group: GeographicGroup
+    latitude: float
+    longitude: float
+    mix: GenerationMix
+    providers: frozenset[CloudProvider] = field(default_factory=frozenset)
+    privacy_restricted: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.code:
+            raise ConfigurationError("region code must be non-empty")
+        if not -90.0 <= self.latitude <= 90.0:
+            raise ConfigurationError(f"latitude {self.latitude} out of range for {self.code}")
+        if not -180.0 <= self.longitude <= 180.0:
+            raise ConfigurationError(
+                f"longitude {self.longitude} out of range for {self.code}"
+            )
+        object.__setattr__(self, "providers", frozenset(CloudProvider(p) for p in self.providers))
+
+    # ------------------------------------------------------------------
+    @property
+    def has_datacenter(self) -> bool:
+        """Whether any hyperscaler operates a datacenter region here."""
+        return bool(self.providers)
+
+    @property
+    def expected_carbon_intensity(self) -> float:
+        """Annual-average carbon intensity implied by the generation mix."""
+        return self.mix.average_carbon_intensity()
+
+    def hosts(self, provider: CloudProvider | str) -> bool:
+        """Whether the given provider has a datacenter in this region."""
+        return CloudProvider(provider) in self.providers
+
+    def distance_km(self, other: "Region") -> float:
+        """Great-circle distance to another region in kilometres."""
+        import math
+
+        lat1, lon1 = math.radians(self.latitude), math.radians(self.longitude)
+        lat2, lon2 = math.radians(other.latitude), math.radians(other.longitude)
+        dlat = lat2 - lat1
+        dlon = lon2 - lon1
+        a = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+        earth_radius_km = 6371.0
+        return 2 * earth_radius_km * math.asin(min(1.0, math.sqrt(a)))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.code} ({self.name})"

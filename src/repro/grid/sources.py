@@ -1,0 +1,118 @@
+"""Electricity generation sources and their emission factors.
+
+The paper's carbon-intensity data comes from Electricity Maps, which derives
+each region's average carbon intensity from its real-time generation mix and
+per-source emission factors.  This module provides the source taxonomy and
+the emission factors used by the synthetic trace generator and by the
+"increasing renewable penetration" what-if (§6.3), which needs an emission
+factor file per region (experiment E10's ``create_emission_factors.py``).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class GenerationSource(str, Enum):
+    """Electricity generation source categories.
+
+    The split mirrors the categories Electricity Maps reports and that the
+    paper discusses: dispatchable fossil sources (coal, gas, oil), firm
+    low-carbon sources (nuclear, hydro, geothermal, biomass) and variable
+    renewables (solar, wind).
+    """
+
+    COAL = "coal"
+    GAS = "gas"
+    OIL = "oil"
+    NUCLEAR = "nuclear"
+    HYDRO = "hydro"
+    WIND = "wind"
+    SOLAR = "solar"
+    GEOTHERMAL = "geothermal"
+    BIOMASS = "biomass"
+
+    @property
+    def is_fossil(self) -> bool:
+        """Whether the source burns fossil fuel."""
+        return self in _FOSSIL_SOURCES
+
+    @property
+    def is_renewable(self) -> bool:
+        """Whether the source is renewable (includes hydro and biomass)."""
+        return self in _RENEWABLE_SOURCES
+
+    @property
+    def is_variable_renewable(self) -> bool:
+        """Whether the source is a non-dispatchable variable renewable."""
+        return self in _VARIABLE_RENEWABLES
+
+    @property
+    def is_dispatchable(self) -> bool:
+        """Whether output can be controlled to follow demand."""
+        return self not in _VARIABLE_RENEWABLES
+
+    @property
+    def emission_factor(self) -> float:
+        """Emission factor in g·CO2eq/kWh."""
+        return EMISSION_FACTORS[self]
+
+
+_FOSSIL_SOURCES = frozenset(
+    {GenerationSource.COAL, GenerationSource.GAS, GenerationSource.OIL}
+)
+_RENEWABLE_SOURCES = frozenset(
+    {
+        GenerationSource.HYDRO,
+        GenerationSource.WIND,
+        GenerationSource.SOLAR,
+        GenerationSource.GEOTHERMAL,
+        GenerationSource.BIOMASS,
+    }
+)
+_VARIABLE_RENEWABLES = frozenset({GenerationSource.WIND, GenerationSource.SOLAR})
+
+
+#: Emission factors in g·CO2eq/kWh.  Fossil factors follow IPCC-style
+#: operational values; low-carbon factors are small but non-zero so that
+#: near-100 %-clean grids land near the paper's Sweden figure
+#: (~16 g·CO2eq/kWh) rather than at exactly zero.
+EMISSION_FACTORS: dict[GenerationSource, float] = {
+    GenerationSource.COAL: 820.0,
+    GenerationSource.GAS: 490.0,
+    GenerationSource.OIL: 650.0,
+    GenerationSource.NUCLEAR: 6.0,
+    GenerationSource.HYDRO: 6.0,
+    GenerationSource.WIND: 7.0,
+    GenerationSource.SOLAR: 28.0,
+    GenerationSource.GEOTHERMAL: 38.0,
+    GenerationSource.BIOMASS: 80.0,
+}
+
+#: Order in which sources are reported in mix vectors and CSV exports.
+SOURCE_ORDER: tuple[GenerationSource, ...] = (
+    GenerationSource.COAL,
+    GenerationSource.GAS,
+    GenerationSource.OIL,
+    GenerationSource.NUCLEAR,
+    GenerationSource.HYDRO,
+    GenerationSource.WIND,
+    GenerationSource.SOLAR,
+    GenerationSource.GEOTHERMAL,
+    GenerationSource.BIOMASS,
+)
+
+
+def fossil_sources() -> tuple[GenerationSource, ...]:
+    """The fossil-fuel sources, in reporting order."""
+    return tuple(s for s in SOURCE_ORDER if s.is_fossil)
+
+
+def renewable_sources() -> tuple[GenerationSource, ...]:
+    """The renewable sources, in reporting order."""
+    return tuple(s for s in SOURCE_ORDER if s.is_renewable)
+
+
+def variable_renewable_sources() -> tuple[GenerationSource, ...]:
+    """The variable (non-dispatchable) renewable sources."""
+    return tuple(s for s in SOURCE_ORDER if s.is_variable_renewable)

@@ -1,0 +1,6 @@
+"""Reporting helpers: plain-text tables and CSV export of experiment rows."""
+
+from repro.reporting.export import rows_to_csv, write_rows_csv
+from repro.reporting.tables import format_table
+
+__all__ = ["format_table", "rows_to_csv", "write_rows_csv"]

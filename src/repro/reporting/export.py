@@ -1,0 +1,40 @@
+"""CSV export of experiment rows."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+def _columns(rows: Sequence[Mapping[str, object]]) -> list[str]:
+    seen: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.append(key)
+    return seen
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render experiment rows as CSV text."""
+    if not rows:
+        raise ConfigurationError("cannot export an empty row list")
+    columns = _columns(rows)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(dict(row))
+    return buffer.getvalue()
+
+
+def write_rows_csv(rows: Sequence[Mapping[str, object]], path: str | Path) -> Path:
+    """Write experiment rows to a CSV file and return its path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(rows_to_csv(rows), encoding="utf-8")
+    return path

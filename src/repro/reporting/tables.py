@@ -1,0 +1,72 @@
+"""Plain-text table formatting for experiment rows.
+
+Every experiment's ``rows()`` method returns a list of dictionaries; this
+module renders them as aligned text tables so examples and benchmarks can
+print the same rows/series the paper's figures report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+def _format_value(value: object, float_digits: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Iterable[str] | None = None,
+    float_digits: int = 2,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned plain-text table.
+
+    Parameters
+    ----------
+    rows:
+        The experiment rows (list of dicts).
+    columns:
+        Column order; defaults to the union of keys in first-seen order.
+    float_digits:
+        Number of decimal places for floats.
+    title:
+        Optional title printed above the table.
+    """
+    if not rows:
+        raise ConfigurationError("cannot format an empty table")
+    if columns is None:
+        seen: list[str] = []
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+    columns = list(columns)
+
+    rendered = [
+        [_format_value(row.get(column, ""), float_digits) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(column), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+
+    def format_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(format_line(columns))
+    lines.append(format_line(["-" * width for width in widths]))
+    lines.extend(format_line(line) for line in rendered)
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Carbon-aware scheduling policies — the paper's core contribution.
+
+Temporal policies (§5.2) operate on a single region's trace and exploit a
+job's slack (deferral) and interruptibility; spatial policies (§5.1) choose
+which region a job runs in (one-shot or ∞-migration, optionally constrained
+by capacity, latency or geography); the combined policy (§6.4) does both.
+"""
+
+from repro.scheduling.combined import CombinedShiftingPolicy, CombinedSweep
+from repro.scheduling.latency_aware import LatencyConstrainedPolicy
+from repro.scheduling.online import ForecastDeferralPolicy, clairvoyance_gap
+from repro.scheduling.overheads import (
+    OverheadAwareInterruptiblePolicy,
+    OverheadAwareMigrationPolicy,
+    OverheadModel,
+)
+from repro.scheduling.spatial import (
+    CandidateSelector,
+    InfiniteMigrationPolicy,
+    OneMigrationPolicy,
+    SpatialPolicy,
+    SpatialSweep,
+)
+from repro.scheduling.sweep import TemporalSweep
+from repro.scheduling.temporal import (
+    CarbonAgnosticPolicy,
+    DeferralPolicy,
+    InterruptiblePolicy,
+    TemporalPolicy,
+)
+
+__all__ = [
+    "CandidateSelector",
+    "CarbonAgnosticPolicy",
+    "CombinedShiftingPolicy",
+    "CombinedSweep",
+    "DeferralPolicy",
+    "ForecastDeferralPolicy",
+    "InfiniteMigrationPolicy",
+    "InterruptiblePolicy",
+    "LatencyConstrainedPolicy",
+    "OneMigrationPolicy",
+    "OverheadAwareInterruptiblePolicy",
+    "OverheadAwareMigrationPolicy",
+    "OverheadModel",
+    "SpatialPolicy",
+    "SpatialSweep",
+    "TemporalPolicy",
+    "TemporalSweep",
+    "clairvoyance_gap",
+]

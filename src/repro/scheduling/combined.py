@@ -1,0 +1,154 @@
+"""Combined spatial + temporal shifting (§6.4, Figure 12).
+
+A job first (possibly) migrates to a destination region and then exploits
+its temporal flexibility (deferral, and optionally interruption) within that
+region.  The paper's Figure 12 decomposes the net reduction into the spatial
+part (difference of running at arrival in the destination vs the origin) and
+the temporal part (additional savings from shifting within the destination).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.result import ScheduleResult
+from repro.exceptions import ConfigurationError
+from repro.grid.dataset import CarbonDataset
+from repro.scheduling.spatial import CandidateSelector, SpatialPolicy
+from repro.scheduling.sweep import TemporalSweep
+from repro.scheduling.temporal import DeferralPolicy, InterruptiblePolicy, TemporalPolicy
+from repro.workloads.job import Job
+
+
+class CombinedShiftingPolicy(SpatialPolicy):
+    """Migrate once to the greenest candidate (by annual mean), then apply a
+    temporal policy inside the destination region."""
+
+    name = "spatial+temporal"
+
+    def __init__(
+        self,
+        selector: CandidateSelector | None = None,
+        temporal_policy: TemporalPolicy | None = None,
+    ) -> None:
+        super().__init__(selector)
+        self.temporal_policy = temporal_policy or InterruptiblePolicy()
+
+    def schedule(
+        self,
+        job: Job,
+        dataset: CarbonDataset,
+        origin_code: str,
+        arrival_hour: int,
+        year: int | None = None,
+    ) -> ScheduleResult:
+        self._validate(job, dataset, origin_code, arrival_hour, year)
+        baseline = self._baseline(job, dataset, origin_code, arrival_hour, year)
+        candidates = self._candidates(job, dataset, origin_code)
+        means = {code: dataset.mean_intensity(code, year) for code in candidates}
+        destination = min(means, key=means.get)
+        destination_trace = dataset.series(destination, year)
+        temporal_result = self.temporal_policy.schedule(job, destination_trace, arrival_hour)
+        return ScheduleResult(
+            job=job,
+            policy=self.name,
+            arrival_hour=arrival_hour,
+            slices=temporal_result.slices,
+            emissions_g=temporal_result.emissions_g,
+            baseline_emissions_g=baseline,
+        )
+
+
+@dataclass(frozen=True)
+class CombinedBreakdown:
+    """Decomposition of the combined policy's reduction for one destination.
+
+    All values are averages over arrival hours, in g·CO2eq for a 1 kW job of
+    the given length (i.e. per-kWh-comparable when divided by job length).
+    """
+
+    origin: str
+    destination: str
+    spatial_reduction: float
+    temporal_reduction: float
+
+    @property
+    def net_reduction(self) -> float:
+        """Total reduction of migrating then shifting temporally."""
+        return self.spatial_reduction + self.temporal_reduction
+
+
+class CombinedSweep:
+    """Vectorised evaluation of the combined policy over all arrival hours.
+
+    Used by the Figure-12 experiment: for a fixed origin (or for the global
+    average origin) and a set of candidate destinations, compute the spatial
+    and temporal components of the reduction when jobs migrate to each
+    destination and then defer/interrupt there.
+    """
+
+    def __init__(
+        self,
+        dataset: CarbonDataset,
+        length_hours: int,
+        slack_hours: int,
+        year: int | None = None,
+    ) -> None:
+        if length_hours <= 0:
+            raise ConfigurationError("length_hours must be positive")
+        if slack_hours < 0:
+            raise ConfigurationError("slack_hours must be non-negative")
+        self.dataset = dataset
+        self.length_hours = length_hours
+        self.slack_hours = slack_hours
+        self.year = year
+
+    # ------------------------------------------------------------------
+    def breakdown(self, origin_code: str, destination_code: str) -> CombinedBreakdown:
+        """Spatial / temporal decomposition for one origin→destination pair."""
+        origin_trace = self.dataset.series(origin_code, self.year)
+        destination_trace = self.dataset.series(destination_code, self.year)
+        origin_sweep = TemporalSweep(origin_trace, self.length_hours, 0)
+        destination_baseline = TemporalSweep(destination_trace, self.length_hours, 0)
+        destination_temporal = TemporalSweep(
+            destination_trace, self.length_hours, self.slack_hours
+        )
+        origin_sums = origin_sweep.baseline_sums()
+        destination_sums = destination_baseline.baseline_sums()
+        shifted_sums = destination_temporal.interruptible_sums()
+        spatial = float((origin_sums - destination_sums).mean())
+        temporal = float((destination_sums - shifted_sums).mean())
+        return CombinedBreakdown(
+            origin=origin_code,
+            destination=destination_code,
+            spatial_reduction=spatial,
+            temporal_reduction=temporal,
+        )
+
+    def global_breakdown(self, destination_code: str) -> CombinedBreakdown:
+        """Decomposition averaged over *all* origins migrating to one
+        destination — the bars of Figure 12."""
+        destination_trace = self.dataset.series(destination_code, self.year)
+        destination_baseline = TemporalSweep(destination_trace, self.length_hours, 0)
+        destination_temporal = TemporalSweep(
+            destination_trace, self.length_hours, self.slack_hours
+        )
+        destination_sums = destination_baseline.baseline_sums()
+        shifted_sums = destination_temporal.interruptible_sums()
+        temporal = float((destination_sums - shifted_sums).mean())
+
+        origin_means = []
+        for code in self.dataset.codes():
+            origin_sums = TemporalSweep(
+                self.dataset.series(code, self.year), self.length_hours, 0
+            ).baseline_sums()
+            origin_means.append(float(origin_sums.mean()))
+        spatial = float(np.mean(origin_means) - destination_sums.mean())
+        return CombinedBreakdown(
+            origin="global",
+            destination=destination_code,
+            spatial_reduction=spatial,
+            temporal_reduction=temporal,
+        )

@@ -1,0 +1,118 @@
+"""Latency-constrained spatial shifting (Figure 6(a)).
+
+Interactive requests can only migrate to regions whose round-trip time from
+the origin stays within the request's latency SLO.  This module combines the
+latency model, the candidate selector and — optionally — the capacity
+waterfall to evaluate how the global carbon reduction varies with the SLO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.cloud.capacity import CapacityAssignment, waterfall_assignment
+from repro.cloud.latency import LatencyModel
+from repro.exceptions import ConfigurationError
+from repro.grid.dataset import CarbonDataset
+from repro.scheduling.spatial import CandidateSelector, OneMigrationPolicy
+
+
+class LatencyConstrainedPolicy(OneMigrationPolicy):
+    """One-shot migration restricted to regions within a latency SLO."""
+
+    name = "latency-constrained"
+
+    def __init__(
+        self,
+        latency_model: LatencyModel | None = None,
+        latency_slo_ms: float = 50.0,
+        scope: str = "global",
+    ) -> None:
+        if latency_slo_ms < 0:
+            raise ConfigurationError("latency_slo_ms must be non-negative")
+        selector = CandidateSelector(
+            scope=scope,
+            latency_model=latency_model or LatencyModel(),
+            latency_slo_ms=latency_slo_ms,
+        )
+        super().__init__(selector)
+        self.latency_slo_ms = latency_slo_ms
+
+
+@dataclass(frozen=True)
+class LatencyCapacityPoint:
+    """One point of the latency/capacity trade-off curve."""
+
+    latency_slo_ms: float
+    idle_fraction: float
+    average_effective_intensity: float
+    average_reduction: float
+
+    def reduction_percent_of(self, global_average: float) -> float:
+        """Reduction as a percentage of a global-average intensity."""
+        if global_average <= 0:
+            raise ConfigurationError("global_average must be positive")
+        return 100.0 * self.average_reduction / global_average
+
+
+def reachability_sets(
+    dataset: CarbonDataset,
+    latency_model: LatencyModel,
+    slo_ms: float,
+) -> dict[str, tuple[str, ...]]:
+    """Regions reachable within ``slo_ms`` from every origin."""
+    return {
+        code: latency_model.reachable_within(dataset.catalog, code, slo_ms)
+        for code in dataset.codes()
+    }
+
+
+def latency_capacity_tradeoff(
+    dataset: CarbonDataset,
+    latency_slos_ms: Sequence[float],
+    idle_fractions: Sequence[float],
+    latency_model: LatencyModel | None = None,
+    year: int | None = None,
+) -> list[LatencyCapacityPoint]:
+    """Sweep latency SLOs × idle-capacity fractions (Figure 6(a)).
+
+    For each SLO the per-origin admissible destinations are the regions
+    within the RTT budget; the capacity waterfall then places every region's
+    load greedily within its admissible set.  ``idle_fraction=1`` models the
+    infinite-capacity curve.
+    """
+    latency_model = latency_model or LatencyModel()
+    means = dataset.annual_means(year)
+    points: list[LatencyCapacityPoint] = []
+    for slo in latency_slos_ms:
+        reachable = reachability_sets(dataset, latency_model, slo)
+        for idle in idle_fractions:
+            assignment: CapacityAssignment = waterfall_assignment(
+                means, idle_fraction=idle, reachable=reachable
+            )
+            points.append(
+                LatencyCapacityPoint(
+                    latency_slo_ms=float(slo),
+                    idle_fraction=float(idle),
+                    average_effective_intensity=assignment.average_effective_intensity(),
+                    average_reduction=assignment.average_reduction(),
+                )
+            )
+    return points
+
+
+def reduction_by_slo(
+    points: Sequence[LatencyCapacityPoint], idle_fraction: float
+) -> Mapping[float, float]:
+    """Extract the reduction-vs-SLO series for one idle fraction."""
+    series = {
+        p.latency_slo_ms: p.average_reduction
+        for p in points
+        if abs(p.idle_fraction - idle_fraction) < 1e-9
+    }
+    if not series:
+        raise ConfigurationError(f"no points with idle_fraction={idle_fraction}")
+    return dict(sorted(series.items()))

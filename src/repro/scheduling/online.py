@@ -1,0 +1,111 @@
+"""Non-clairvoyant (online) temporal scheduling.
+
+The paper's upper bounds assume perfect knowledge of the future carbon
+trace.  A real scheduler only has a forecast.  This module provides an
+online deferral policy that uses a :class:`~repro.forecast.models.Forecaster`
+to pick the start hour and is charged against the *true* trace, so the gap
+between the clairvoyant upper bound and a realistic scheduler can be
+measured (one of the practical-constraint arguments of §5.2.5/§6.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import ExecutionSlice, ScheduleResult
+from repro.exceptions import ConfigurationError
+from repro.forecast.models import ClimatologyForecaster, Forecaster
+from repro.scheduling.temporal import TemporalPolicy, _cyclic_window
+from repro.timeseries.series import HourlySeries
+from repro.timeseries.windows import min_sum_contiguous_window
+from repro.workloads.job import Job
+
+
+class ForecastDeferralPolicy(TemporalPolicy):
+    """Deferral guided by a forecast instead of the true future trace.
+
+    At the arrival hour the policy builds a forecast of the next
+    ``length + slack`` hours from the trace observed *so far* (at least
+    ``history_hours`` of history are required, wrapping jobs that arrive too
+    early run immediately), picks the contiguous window that minimises the
+    *forecast* emissions, and is charged the *true* emissions of that window.
+    """
+
+    name = "forecast-deferral"
+
+    def __init__(self, forecaster: Forecaster | None = None, history_hours: int = 14 * 24) -> None:
+        if history_hours <= 0:
+            raise ConfigurationError("history_hours must be positive")
+        self.forecaster = forecaster or ClimatologyForecaster()
+        self.history_hours = history_hours
+
+    def schedule(self, job: Job, trace: HourlySeries, arrival_hour: int) -> ScheduleResult:
+        self._validate(job, trace, arrival_hour)
+        baseline = self._baseline_emissions(job, trace, arrival_hour)
+        if job.length_hours < 1 or not job.is_deferrable or arrival_hour < self.history_hours:
+            emissions = baseline
+            start = arrival_hour
+        else:
+            history = trace[arrival_hour - self.history_hours : arrival_hour]
+            horizon = job.window_hours
+            predicted = np.asarray(self.forecaster.forecast(history, horizon), dtype=float)
+            best = min_sum_contiguous_window(predicted, job.whole_hours)
+            start = arrival_hour + best.start
+            true_window = _cyclic_window(trace, start % len(trace), job.whole_hours)
+            emissions = float(true_window.sum()) * job.power_kw * (
+                job.length_hours / job.whole_hours
+            )
+        slices = (
+            ExecutionSlice(
+                region=trace.name or "local",
+                start_hour=start,
+                duration_hours=job.length_hours,
+                emissions_g=emissions,
+            ),
+        )
+        return ScheduleResult(
+            job=job,
+            policy=self.name,
+            arrival_hour=arrival_hour,
+            slices=slices,
+            emissions_g=emissions,
+            baseline_emissions_g=baseline,
+        )
+
+
+def clairvoyance_gap(
+    trace: HourlySeries,
+    job: Job,
+    arrival_hours: np.ndarray | list[int],
+    forecaster: Forecaster | None = None,
+) -> dict[str, float]:
+    """Average emissions of baseline / forecast-driven / clairvoyant deferral.
+
+    Returns a dictionary with the three averages plus the fraction of the
+    clairvoyant reduction that the forecast-driven policy captures.
+    """
+    from repro.scheduling.temporal import CarbonAgnosticPolicy, DeferralPolicy
+
+    online = ForecastDeferralPolicy(forecaster)
+    clairvoyant = DeferralPolicy()
+    agnostic = CarbonAgnosticPolicy()
+    baseline_total = online_total = clairvoyant_total = 0.0
+    for arrival in arrival_hours:
+        arrival = int(arrival)
+        baseline_total += agnostic.schedule(job, trace, arrival).emissions_g
+        online_total += online.schedule(job, trace, arrival).emissions_g
+        clairvoyant_total += clairvoyant.schedule(job, trace, arrival).emissions_g
+    count = len(arrival_hours)
+    baseline_mean = baseline_total / count
+    online_mean = online_total / count
+    clairvoyant_mean = clairvoyant_total / count
+    ideal_reduction = baseline_mean - clairvoyant_mean
+    captured = (
+        (baseline_mean - online_mean) / ideal_reduction if ideal_reduction > 0 else 0.0
+    )
+    return {
+        "baseline_mean": baseline_mean,
+        "online_mean": online_mean,
+        "clairvoyant_mean": clairvoyant_mean,
+        "captured_fraction": captured,
+    }

@@ -1,0 +1,185 @@
+"""Overhead-aware temporal and spatial policies (ablation of the paper's
+zero-overhead assumption).
+
+The paper's upper bounds assume suspend/resume and migration are free
+(§3.1.2).  In practice both cost time and energy that *add* emissions and
+reduce the attainable savings.  These policy variants charge a fixed
+per-interruption and per-migration overhead (expressed as extra hours of
+execution at the surrounding carbon intensity) so the gap between the ideal
+and an overhead-aware schedule can be quantified — the ablation registered
+as ``benchmarks/test_bench_ablation_overheads.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.result import ExecutionSlice, ScheduleResult
+from repro.exceptions import ConfigurationError
+from repro.grid.dataset import CarbonDataset
+from repro.scheduling.spatial import CandidateSelector, OneMigrationPolicy
+from repro.scheduling.temporal import InterruptiblePolicy, _cyclic_window
+from repro.timeseries.series import HourlySeries
+from repro.timeseries.windows import k_smallest_slots, min_sum_contiguous_window
+from repro.workloads.job import Job
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """Costs of exercising flexibility.
+
+    Parameters
+    ----------
+    suspend_resume_hours:
+        Extra execution time charged for every suspend/resume pair, i.e. for
+        every gap in the interruptible schedule.  The overhead runs at the
+        carbon intensity of the hour in which the job resumes.
+    migration_hours:
+        Extra execution time charged for every region change, at the
+        destination region's intensity at the migration hour.
+    """
+
+    suspend_resume_hours: float = 0.0
+    migration_hours: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.suspend_resume_hours < 0 or self.migration_hours < 0:
+            raise ConfigurationError("overheads must be non-negative")
+
+    @property
+    def is_free(self) -> bool:
+        """Whether the model degenerates to the paper's zero-overhead case."""
+        return self.suspend_resume_hours == 0 and self.migration_hours == 0
+
+
+class OverheadAwareInterruptiblePolicy(InterruptiblePolicy):
+    """Deferral+interrupt that accounts for suspend/resume overhead.
+
+    The schedule itself is chosen the same way as the ideal policy (cheapest
+    hours of the window); the overhead is then charged for every gap between
+    consecutive execution slices.  When the overhead makes the interrupted
+    schedule worse than simply deferring contiguously, the policy falls back
+    to the contiguous schedule — an overhead-aware scheduler would never
+    interrupt at a loss.
+    """
+
+    name = "deferral+interrupt+overhead"
+
+    def __init__(self, overheads: OverheadModel | None = None) -> None:
+        self.overheads = overheads or OverheadModel()
+
+    def schedule(self, job: Job, trace: HourlySeries, arrival_hour: int) -> ScheduleResult:
+        ideal = super().schedule(job, trace, arrival_hour)
+        if self.overheads.is_free or job.length_hours < 1 or not job.is_deferrable:
+            return ideal
+        window = _cyclic_window(trace, arrival_hour, job.window_hours)
+        scattered = k_smallest_slots(window, job.whole_hours)
+        contiguous = min_sum_contiguous_window(window, job.whole_hours)
+        scale = job.power_kw * (job.length_hours / job.whole_hours)
+
+        # Charge one suspend/resume overhead per gap between selected hours.
+        offsets = np.sort(scattered.indices)
+        gaps = int(np.sum(np.diff(offsets) > 1))
+        overhead_emissions = 0.0
+        for previous, current in zip(offsets, offsets[1:]):
+            if current - previous > 1:
+                overhead_emissions += (
+                    float(window[current])
+                    * job.power_kw
+                    * self.overheads.suspend_resume_hours
+                )
+        scattered_total = scattered.total * scale + overhead_emissions
+        contiguous_total = contiguous.total * scale
+
+        if contiguous_total <= scattered_total:
+            start = arrival_hour + contiguous.start
+            slices = (
+                ExecutionSlice(
+                    region=trace.name or "local",
+                    start_hour=start,
+                    duration_hours=job.length_hours,
+                    emissions_g=contiguous_total,
+                ),
+            )
+            emissions = contiguous_total
+        else:
+            slices = ideal.slices
+            emissions = scattered_total
+        return ScheduleResult(
+            job=job,
+            policy=self.name,
+            arrival_hour=arrival_hour,
+            slices=slices,
+            emissions_g=emissions,
+            baseline_emissions_g=ideal.baseline_emissions_g,
+        )
+
+
+class OverheadAwareMigrationPolicy(OneMigrationPolicy):
+    """One-shot migration that charges a migration overhead.
+
+    The overhead is charged at the destination's intensity at the arrival
+    hour; if migrating (including its overhead) is worse than staying home,
+    the job stays home.
+    """
+
+    name = "1-migration+overhead"
+
+    def __init__(
+        self,
+        overheads: OverheadModel | None = None,
+        selector: CandidateSelector | None = None,
+    ) -> None:
+        super().__init__(selector)
+        self.overheads = overheads or OverheadModel()
+
+    def schedule(
+        self,
+        job: Job,
+        dataset: CarbonDataset,
+        origin_code: str,
+        arrival_hour: int,
+        year: int | None = None,
+    ) -> ScheduleResult:
+        migrated = super().schedule(job, dataset, origin_code, arrival_hour, year)
+        if self.overheads.is_free:
+            return migrated
+        destination = migrated.regions_used()[0]
+        baseline = migrated.baseline_emissions_g
+        if destination == origin_code:
+            return migrated
+        destination_trace = dataset.series(destination, year)
+        overhead = (
+            destination_trace[arrival_hour % len(destination_trace)]
+            * job.power_kw
+            * self.overheads.migration_hours
+        )
+        total = migrated.emissions_g + overhead
+        if total >= baseline:
+            # Migration no longer pays off: stay home.
+            slices = (
+                ExecutionSlice(
+                    region=origin_code,
+                    start_hour=arrival_hour,
+                    duration_hours=job.length_hours,
+                    emissions_g=baseline,
+                ),
+            )
+            return ScheduleResult(
+                job=job,
+                policy=self.name,
+                arrival_hour=arrival_hour,
+                slices=slices,
+                emissions_g=baseline,
+                baseline_emissions_g=baseline,
+            )
+        return ScheduleResult(
+            job=job,
+            policy=self.name,
+            arrival_hour=arrival_hour,
+            slices=migrated.slices,
+            emissions_g=total,
+            baseline_emissions_g=baseline,
+        )

@@ -1,0 +1,302 @@
+"""Spatial shifting policies (§3.2.2, §5.1).
+
+Two migration policies are analysed by the paper:
+
+* :class:`OneMigrationPolicy` — migrate once, to the candidate region with
+  the lowest *annual average* carbon intensity, and run the whole job there.
+* :class:`InfiniteMigrationPolicy` — a clairvoyant region-hopping policy that
+  every hour runs in whichever candidate region has the lowest carbon
+  intensity at that hour (zero migration overhead).
+
+The candidate set is produced by a :class:`CandidateSelector`, which models
+the paper's constraint scenarios: global migration, migration restricted to
+the origin's geographic group, an explicit allow-list, or a latency budget
+(see :mod:`repro.scheduling.latency_aware`).
+
+:class:`SpatialSweep` provides the vectorised all-arrival-hours evaluation
+used by the experiments.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cloud.latency import LatencyModel
+from repro.core.result import ExecutionSlice, ScheduleResult
+from repro.exceptions import ConfigurationError, SchedulingError
+from repro.grid.dataset import CarbonDataset
+from repro.workloads.job import Job
+
+
+@dataclass(frozen=True)
+class CandidateSelector:
+    """Computes the destination regions a job may migrate to.
+
+    Parameters
+    ----------
+    scope:
+        ``"global"`` (any region), ``"group"`` (only regions in the origin's
+        geographic group — the paper's stand-in for data-residency rules), or
+        ``"origin"`` (no migration allowed).
+    allowed_codes:
+        Optional explicit allow-list further intersected with the scope.
+    latency_model / latency_slo_ms:
+        When both are given, destinations must be reachable within the RTT
+        budget from the origin.
+    require_datacenter:
+        When true, only regions hosting a hyperscaler datacenter are
+        admissible destinations (the origin is always admissible).
+    """
+
+    scope: str = "global"
+    allowed_codes: tuple[str, ...] | None = None
+    latency_model: LatencyModel | None = None
+    latency_slo_ms: float | None = None
+    require_datacenter: bool = False
+
+    def __post_init__(self) -> None:
+        if self.scope not in {"global", "group", "origin"}:
+            raise ConfigurationError(f"unknown scope {self.scope!r}")
+        if (self.latency_model is None) != (self.latency_slo_ms is None):
+            raise ConfigurationError(
+                "latency_model and latency_slo_ms must be provided together"
+            )
+
+    def candidates(self, dataset: CarbonDataset, origin_code: str) -> tuple[str, ...]:
+        """Admissible destination codes for a job originating in ``origin_code``.
+
+        The origin itself is always included (a job can always stay home).
+        """
+        catalog = dataset.catalog
+        origin = catalog.get(origin_code)
+        if self.scope == "origin":
+            codes: Sequence[str] = (origin_code,)
+        elif self.scope == "group":
+            codes = catalog.in_group(origin.group).codes()
+        else:
+            codes = catalog.codes()
+        selected = list(codes)
+        if self.allowed_codes is not None:
+            allowed = set(self.allowed_codes) | {origin_code}
+            selected = [code for code in selected if code in allowed]
+        if self.require_datacenter:
+            selected = [
+                code for code in selected
+                if code == origin_code or catalog.get(code).has_datacenter
+            ]
+        if self.latency_model is not None and self.latency_slo_ms is not None:
+            reachable = set(
+                self.latency_model.reachable_within(catalog, origin_code, self.latency_slo_ms)
+            )
+            selected = [code for code in selected if code in reachable]
+        if origin_code not in selected:
+            selected.insert(0, origin_code)
+        return tuple(selected)
+
+
+class SpatialPolicy(ABC):
+    """Base class of spatial shifting policies."""
+
+    name: str = "spatial"
+
+    def __init__(self, selector: CandidateSelector | None = None) -> None:
+        self.selector = selector or CandidateSelector()
+
+    @abstractmethod
+    def schedule(
+        self,
+        job: Job,
+        dataset: CarbonDataset,
+        origin_code: str,
+        arrival_hour: int,
+        year: int | None = None,
+    ) -> ScheduleResult:
+        """Schedule ``job`` arriving in ``origin_code`` at ``arrival_hour``."""
+
+    # ------------------------------------------------------------------
+    def _validate(self, job: Job, dataset: CarbonDataset, origin_code: str, arrival_hour: int,
+                  year: int | None) -> None:
+        trace = dataset.series(origin_code, year)
+        if arrival_hour < 0 or arrival_hour >= len(trace):
+            raise ConfigurationError(
+                f"arrival_hour {arrival_hour} outside trace of length {len(trace)}"
+            )
+        if job.whole_hours > len(trace):
+            raise SchedulingError("job longer than the trace")
+
+    def _baseline(self, job: Job, dataset: CarbonDataset, origin_code: str,
+                  arrival_hour: int, year: int | None) -> float:
+        """Carbon-agnostic baseline: run at arrival in the origin region."""
+        trace = dataset.series(origin_code, year)
+        if job.length_hours < 1:
+            return trace[arrival_hour] * job.power_kw * job.length_hours
+        window = trace.window(arrival_hour, job.whole_hours, wrap=True)
+        return float(window.sum()) * job.power_kw * (job.length_hours / job.whole_hours)
+
+    def _candidates(self, job: Job, dataset: CarbonDataset, origin_code: str) -> tuple[str, ...]:
+        if not job.migratable:
+            return (origin_code,)
+        return self.selector.candidates(dataset, origin_code)
+
+
+class OneMigrationPolicy(SpatialPolicy):
+    """Migrate once, to the candidate with the lowest annual-average
+    intensity, and run the entire job there."""
+
+    name = "1-migration"
+
+    def schedule(
+        self,
+        job: Job,
+        dataset: CarbonDataset,
+        origin_code: str,
+        arrival_hour: int,
+        year: int | None = None,
+    ) -> ScheduleResult:
+        self._validate(job, dataset, origin_code, arrival_hour, year)
+        baseline = self._baseline(job, dataset, origin_code, arrival_hour, year)
+        candidates = self._candidates(job, dataset, origin_code)
+        means = {code: dataset.mean_intensity(code, year) for code in candidates}
+        destination = min(means, key=means.get)
+        trace = dataset.series(destination, year)
+        if job.length_hours < 1:
+            emissions = trace[arrival_hour] * job.power_kw * job.length_hours
+        else:
+            window = trace.window(arrival_hour, job.whole_hours, wrap=True)
+            emissions = float(window.sum()) * job.power_kw * (
+                job.length_hours / job.whole_hours
+            )
+        slices = (
+            ExecutionSlice(
+                region=destination,
+                start_hour=arrival_hour,
+                duration_hours=job.length_hours,
+                emissions_g=emissions,
+            ),
+        )
+        return ScheduleResult(
+            job=job,
+            policy=self.name,
+            arrival_hour=arrival_hour,
+            slices=slices,
+            emissions_g=emissions,
+            baseline_emissions_g=baseline,
+        )
+
+
+class InfiniteMigrationPolicy(SpatialPolicy):
+    """Clairvoyant region hopping: every hour run in the candidate region
+    with the lowest carbon intensity at that hour (zero overhead)."""
+
+    name = "inf-migration"
+
+    def schedule(
+        self,
+        job: Job,
+        dataset: CarbonDataset,
+        origin_code: str,
+        arrival_hour: int,
+        year: int | None = None,
+    ) -> ScheduleResult:
+        self._validate(job, dataset, origin_code, arrival_hour, year)
+        baseline = self._baseline(job, dataset, origin_code, arrival_hour, year)
+        candidates = self._candidates(job, dataset, origin_code)
+        matrix = dataset.intensity_matrix(year, codes=candidates)
+        num_hours = matrix.shape[1]
+        if job.length_hours < 1:
+            column = matrix[:, arrival_hour]
+            best = int(np.argmin(column))
+            emissions = float(column[best]) * job.power_kw * job.length_hours
+            slices = (
+                ExecutionSlice(
+                    region=candidates[best],
+                    start_hour=arrival_hour,
+                    duration_hours=job.length_hours,
+                    emissions_g=emissions,
+                ),
+            )
+        else:
+            hours = (arrival_hour + np.arange(job.whole_hours)) % num_hours
+            columns = matrix[:, hours]
+            best_rows = np.argmin(columns, axis=0)
+            hourly = columns[best_rows, np.arange(job.whole_hours)]
+            scale = job.power_kw * (job.length_hours / job.whole_hours)
+            emissions = float(hourly.sum()) * scale
+            slices = tuple(
+                ExecutionSlice(
+                    region=candidates[int(best_rows[i])],
+                    start_hour=int(arrival_hour + i),
+                    duration_hours=job.length_hours / job.whole_hours,
+                    emissions_g=float(hourly[i]) * scale,
+                )
+                for i in range(job.whole_hours)
+            )
+        return ScheduleResult(
+            job=job,
+            policy=self.name,
+            arrival_hour=arrival_hour,
+            slices=slices,
+            emissions_g=emissions,
+            baseline_emissions_g=baseline,
+        )
+
+
+@dataclass(frozen=True)
+class SpatialSweep:
+    """Vectorised evaluation of spatial policies over all arrival hours.
+
+    Works on the intensity matrix of one year restricted to an origin and a
+    candidate set; returns per-arrival emission sums for a job of
+    ``length_hours`` (1 kW), mirroring :class:`~repro.scheduling.sweep.TemporalSweep`.
+    """
+
+    dataset: CarbonDataset
+    origin_code: str
+    candidates: tuple[str, ...]
+    length_hours: int
+    year: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.length_hours <= 0:
+            raise ConfigurationError("length_hours must be positive")
+        if not self.candidates:
+            raise ConfigurationError("candidate set must not be empty")
+
+    # ------------------------------------------------------------------
+    def _window_sums(self, values: np.ndarray) -> np.ndarray:
+        extended = np.concatenate([values, values[: self.length_hours - 1]])
+        cumsum = np.cumsum(np.insert(extended, 0, 0.0))
+        return cumsum[self.length_hours :] - cumsum[: -self.length_hours]
+
+    def baseline_sums(self) -> np.ndarray:
+        """Per-arrival emissions of staying in the origin region."""
+        return self._window_sums(self.dataset.series(self.origin_code, self.year).values)
+
+    def one_migration_sums(self) -> np.ndarray:
+        """Per-arrival emissions of migrating once to the greenest candidate
+        (by annual mean)."""
+        means = {code: self.dataset.mean_intensity(code, self.year) for code in self.candidates}
+        destination = min(means, key=means.get)
+        return self._window_sums(self.dataset.series(destination, self.year).values)
+
+    def infinite_migration_sums(self) -> np.ndarray:
+        """Per-arrival emissions of the hourly region-hopping policy."""
+        matrix = self.dataset.intensity_matrix(self.year, codes=self.candidates)
+        hourly_minimum = matrix.min(axis=0)
+        return self._window_sums(hourly_minimum)
+
+    # ------------------------------------------------------------------
+    def mean_reductions(self) -> dict[str, float]:
+        """Average per-arrival reductions of both policies vs the baseline."""
+        baseline = self.baseline_sums()
+        one = self.one_migration_sums()
+        infinite = self.infinite_migration_sums()
+        return {
+            "baseline_mean": float(baseline.mean()),
+            "one_migration_reduction_mean": float((baseline - one).mean()),
+            "infinite_migration_reduction_mean": float((baseline - infinite).mean()),
+        }

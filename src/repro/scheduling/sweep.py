@@ -1,0 +1,204 @@
+"""Vectorised temporal sweeps over all arrival hours.
+
+The paper evaluates every policy at all 8760 possible arrival hours of the
+year and reports the mean (and spread) over arrivals (§3.1.2).  Doing that
+one arrival at a time through the policy objects would be prohibitively slow
+for 123 regions × 8 job lengths × several slacks, so this module provides
+vectorised kernels that compute, for a single trace, the per-arrival job
+emissions of the carbon-agnostic baseline, the deferral policy and the
+deferral+interrupt policy in one shot.
+
+All kernels treat the trace as cyclic (a window that runs past the end of
+the year wraps to its beginning) so every arrival hour is a valid start, the
+same convention the per-job policies use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.ndimage import minimum_filter1d
+
+from repro.exceptions import ConfigurationError
+from repro.timeseries.series import HourlySeries
+
+
+def _as_values(trace: HourlySeries | np.ndarray) -> np.ndarray:
+    if isinstance(trace, HourlySeries):
+        return trace.values
+    return np.asarray(trace, dtype=float)
+
+
+def _cyclic_extension(values: np.ndarray, extra: int) -> np.ndarray:
+    """The trace followed by its first ``extra`` hours (cyclic wrap)."""
+    if extra == 0:
+        return values
+    if extra > values.size:
+        raise ConfigurationError("cyclic extension longer than the trace itself")
+    return np.concatenate([values, values[:extra]])
+
+
+def _cyclic_window_sums(values: np.ndarray, window: int) -> np.ndarray:
+    """Sum of each cyclic window of ``window`` hours, one per start hour."""
+    if window <= 0:
+        raise ConfigurationError("window must be positive")
+    if window > values.size:
+        raise ConfigurationError("window larger than the trace")
+    extended = _cyclic_extension(values, window - 1)
+    cumsum = np.cumsum(np.insert(extended, 0, 0.0))
+    return cumsum[window:] - cumsum[:-window]
+
+
+@dataclass(frozen=True)
+class TemporalSweep:
+    """Per-arrival emission sums for one trace and one job shape.
+
+    The sums are expressed in g·CO2eq for a 1 kW job (i.e. they are sums of
+    hourly carbon intensities); callers multiply by the job's power and, for
+    jobs whose length is not a whole number of hours, by the fractional-hour
+    correction.
+    """
+
+    trace: HourlySeries
+    length_hours: int
+    slack_hours: int
+    #: Evaluate every ``arrival_stride``-th arrival hour.  1 evaluates all
+    #: 8760 arrivals; larger strides subsample arrivals (e.g. 24 evaluates one
+    #: arrival per day), which the heavier experiments use to bound runtime
+    #: without changing the averages materially.
+    arrival_stride: int = 1
+
+    def __post_init__(self) -> None:
+        if self.length_hours <= 0:
+            raise ConfigurationError("length_hours must be positive")
+        if self.slack_hours < 0:
+            raise ConfigurationError("slack_hours must be non-negative")
+        if self.arrival_stride <= 0:
+            raise ConfigurationError("arrival_stride must be positive")
+        if self.length_hours + self.slack_hours > len(self.trace):
+            raise ConfigurationError(
+                "length plus slack exceeds the trace length "
+                f"({self.length_hours}+{self.slack_hours} > {len(self.trace)})"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_arrivals(self) -> int:
+        """Number of arrival hours evaluated before striding."""
+        return len(self.trace)
+
+    def _strided(self, per_arrival: np.ndarray) -> np.ndarray:
+        """Subsample a per-arrival array according to the stride."""
+        return per_arrival[:: self.arrival_stride]
+
+    @property
+    def window_hours(self) -> int:
+        """Slack window size: job length plus slack."""
+        return self.length_hours + self.slack_hours
+
+    # ------------------------------------------------------------------
+    def baseline_sums(self) -> np.ndarray:
+        """Per-arrival emissions of running immediately at arrival."""
+        return self._strided(
+            _cyclic_window_sums(_as_values(self.trace), self.length_hours)
+        )
+
+    def deferral_sums(self) -> np.ndarray:
+        """Per-arrival emissions of the deferral policy.
+
+        For each arrival the policy may start the job at any offset in
+        ``[0, slack]``; the per-arrival optimum is therefore the minimum of
+        the window sums over that offset range, computed with a sliding
+        minimum filter over the cyclic window-sum array.
+        """
+        window_sums = _cyclic_window_sums(_as_values(self.trace), self.length_hours)
+        if self.slack_hours == 0:
+            return self._strided(window_sums)
+        if self.window_hours >= len(self.trace):
+            # Full-year slack: every start hour of the (cyclic) year is an
+            # admissible deferral target, so every arrival achieves the global
+            # minimum window sum.
+            return self._strided(
+                np.full(self.num_arrivals, float(window_sums.min()))
+            )
+        # The admissible starts for arrival t are t .. t+slack; build the
+        # cyclically extended array and take a forward-looking running min.
+        size = self.slack_hours + 1
+        extended = _cyclic_extension(window_sums, self.slack_hours)
+        # minimum_filter1d uses a centred window covering
+        # [j - size//2, j + (size-1)//2]; evaluating it at j = t + size//2
+        # makes the window exactly [t, t + slack].
+        filtered = minimum_filter1d(extended, size=size, mode="nearest")
+        offset = size // 2
+        return self._strided(filtered[offset : offset + self.num_arrivals])
+
+    def interruptible_sums(self) -> np.ndarray:
+        """Per-arrival emissions of the deferral+interrupt policy.
+
+        For each arrival the job runs during the ``length`` cheapest hours of
+        its ``length + slack`` window.  With a one-year slack the window is
+        the entire (cyclic) year, so the answer is identical for every
+        arrival; otherwise the k-smallest sums are computed for all windows
+        at once via a partition over a strided window view.
+        """
+        values = _as_values(self.trace)
+        window = self.window_hours
+        if window >= values.size:
+            # Full-year window: same cheapest hours for every arrival.
+            smallest = np.partition(values, self.length_hours - 1)[: self.length_hours]
+            return self._strided(np.full(self.num_arrivals, float(smallest.sum())))
+        if self.slack_hours == 0:
+            return self.baseline_sums()
+        extended = _cyclic_extension(values, window - 1)
+        windows = np.lib.stride_tricks.sliding_window_view(extended, window)
+        windows = windows[:: self.arrival_stride]
+        partitioned = np.partition(windows, self.length_hours - 1, axis=1)
+        return partitioned[:, : self.length_hours].sum(axis=1)
+
+    # ------------------------------------------------------------------
+    def mean_reductions(self) -> dict[str, float]:
+        """Average per-arrival reductions of both policies vs the baseline."""
+        baseline = self.baseline_sums()
+        deferral = self.deferral_sums()
+        interruptible = self.interruptible_sums()
+        return {
+            "baseline_mean": float(baseline.mean()),
+            "deferral_reduction_mean": float((baseline - deferral).mean()),
+            "interruptible_reduction_mean": float((baseline - interruptible).mean()),
+        }
+
+
+def sweep_reductions_per_job_hour(
+    trace: HourlySeries,
+    length_hours: int,
+    slack_hours: int,
+    arrival_stride: int = 1,
+) -> dict[str, float]:
+    """Average reductions normalised by the job length (Figures 7 and 8).
+
+    Returns the mean over all arrival hours of
+
+    * ``deferral`` — reduction of the deferral-only policy,
+    * ``interrupt_extra`` — the additional reduction interruptibility adds on
+      top of deferral,
+    * ``combined`` — the reduction of deferral+interrupt,
+
+    each divided by the job length in hours.
+    """
+    sweep = TemporalSweep(
+        trace=trace,
+        length_hours=length_hours,
+        slack_hours=slack_hours,
+        arrival_stride=arrival_stride,
+    )
+    baseline = sweep.baseline_sums()
+    deferral = sweep.deferral_sums()
+    interruptible = sweep.interruptible_sums()
+    per_hour = float(length_hours)
+    return {
+        "deferral": float((baseline - deferral).mean()) / per_hour,
+        "interrupt_extra": float((deferral - interruptible).mean()) / per_hour,
+        "combined": float((baseline - interruptible).mean()) / per_hour,
+        "baseline_per_hour": float(baseline.mean()) / per_hour,
+    }

@@ -1,0 +1,190 @@
+"""Temporal shifting policies (§3.2.1, §5.2).
+
+Three policies operate on a single region's hourly carbon trace:
+
+* :class:`CarbonAgnosticPolicy` — the baseline: run immediately at arrival.
+* :class:`DeferralPolicy` — delay the start within the slack window and run
+  contiguously in the cheapest window (k-element minimum-sum sub-array).
+* :class:`InterruptiblePolicy` — in addition to deferring, pause and resume
+  at hour granularity, i.e. run during the k cheapest hours of the window.
+
+All policies assume clairvoyant knowledge of the carbon trace and zero
+suspend/resume overhead, matching the paper's upper-bound methodology.
+Windows that extend past the end of the trace wrap around to its beginning,
+so every one of the 8760 arrival hours is a valid start time.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.result import ExecutionSlice, ScheduleResult
+from repro.exceptions import ConfigurationError, SchedulingError
+from repro.timeseries.series import HourlySeries
+from repro.timeseries.windows import k_smallest_slots, min_sum_contiguous_window
+from repro.workloads.job import Job
+
+
+def _cyclic_window(trace: HourlySeries, start: int, length: int) -> np.ndarray:
+    """Extract ``length`` hourly intensities starting at ``start``, wrapping
+    around the end of the trace."""
+    if length > len(trace):
+        raise SchedulingError(
+            f"window of {length} hours exceeds the trace length {len(trace)}"
+        )
+    return trace.window(start % len(trace), length, wrap=True)
+
+
+def _fractional_job_emissions(job: Job, trace: HourlySeries, start_hour: int) -> float:
+    """Emissions of a job shorter than one hour: it runs entirely within the
+    arrival hour at that hour's carbon intensity."""
+    intensity = trace[start_hour % len(trace)]
+    return intensity * job.power_kw * job.length_hours
+
+
+class TemporalPolicy(ABC):
+    """Base class of temporal shifting policies."""
+
+    #: Name used in results and reports.
+    name: str = "temporal"
+
+    @abstractmethod
+    def schedule(self, job: Job, trace: HourlySeries, arrival_hour: int) -> ScheduleResult:
+        """Schedule ``job`` on ``trace`` given its arrival hour."""
+
+    # ------------------------------------------------------------------
+    def _validate(self, job: Job, trace: HourlySeries, arrival_hour: int) -> None:
+        if arrival_hour < 0 or arrival_hour >= len(trace):
+            raise ConfigurationError(
+                f"arrival_hour {arrival_hour} outside trace of length {len(trace)}"
+            )
+        if job.window_hours > len(trace):
+            raise SchedulingError(
+                "job length plus slack exceeds the trace length; "
+                "use a shorter slack or a longer trace"
+            )
+
+    def _baseline_emissions(self, job: Job, trace: HourlySeries, arrival_hour: int) -> float:
+        """Emissions of running the job immediately at arrival (the
+        carbon-agnostic baseline every reduction is measured against)."""
+        if job.length_hours < 1:
+            return _fractional_job_emissions(job, trace, arrival_hour)
+        window = _cyclic_window(trace, arrival_hour, job.whole_hours)
+        return float(window.sum()) * job.power_kw * (job.length_hours / job.whole_hours)
+
+
+class CarbonAgnosticPolicy(TemporalPolicy):
+    """Run the job immediately at its arrival hour (no shifting)."""
+
+    name = "carbon-agnostic"
+
+    def schedule(self, job: Job, trace: HourlySeries, arrival_hour: int) -> ScheduleResult:
+        self._validate(job, trace, arrival_hour)
+        emissions = self._baseline_emissions(job, trace, arrival_hour)
+        slices = (
+            ExecutionSlice(
+                region=trace.name or "local",
+                start_hour=arrival_hour,
+                duration_hours=job.length_hours,
+                emissions_g=emissions,
+            ),
+        )
+        return ScheduleResult(
+            job=job,
+            policy=self.name,
+            arrival_hour=arrival_hour,
+            slices=slices,
+            emissions_g=emissions,
+            baseline_emissions_g=emissions,
+        )
+
+
+class DeferralPolicy(TemporalPolicy):
+    """Defer the job start within its slack window; run contiguously.
+
+    The execution window is the ``job length + slack`` hours following the
+    arrival; the policy picks the contiguous stretch of ``job length`` hours
+    with the minimum total carbon intensity (ties broken towards the earliest
+    start).
+    """
+
+    name = "deferral"
+
+    def schedule(self, job: Job, trace: HourlySeries, arrival_hour: int) -> ScheduleResult:
+        self._validate(job, trace, arrival_hour)
+        baseline = self._baseline_emissions(job, trace, arrival_hour)
+        if job.length_hours < 1 or not job.is_deferrable:
+            # Sub-hour jobs cannot exploit hourly shifting; non-deferrable
+            # jobs have no slack.  Both degrade to the baseline.
+            emissions = baseline
+            start = arrival_hour
+        else:
+            window = _cyclic_window(trace, arrival_hour, job.window_hours)
+            best = min_sum_contiguous_window(window, job.whole_hours)
+            emissions = best.total * job.power_kw * (job.length_hours / job.whole_hours)
+            start = arrival_hour + best.start
+        slices = (
+            ExecutionSlice(
+                region=trace.name or "local",
+                start_hour=start,
+                duration_hours=job.length_hours,
+                emissions_g=emissions,
+            ),
+        )
+        return ScheduleResult(
+            job=job,
+            policy=self.name,
+            arrival_hour=arrival_hour,
+            slices=slices,
+            emissions_g=emissions,
+            baseline_emissions_g=baseline,
+        )
+
+
+class InterruptiblePolicy(TemporalPolicy):
+    """Defer *and* interrupt: run during the cheapest hours of the window.
+
+    The job is split into hour-granularity pieces that run during the
+    ``job length`` cheapest hours of the ``job length + slack`` window, with
+    zero suspend/resume overhead (the paper's upper-bound assumption).
+    """
+
+    name = "deferral+interrupt"
+
+    def schedule(self, job: Job, trace: HourlySeries, arrival_hour: int) -> ScheduleResult:
+        self._validate(job, trace, arrival_hour)
+        baseline = self._baseline_emissions(job, trace, arrival_hour)
+        if job.length_hours < 1 or not job.is_deferrable:
+            emissions = baseline
+            slices = (
+                ExecutionSlice(
+                    region=trace.name or "local",
+                    start_hour=arrival_hour,
+                    duration_hours=job.length_hours,
+                    emissions_g=emissions,
+                ),
+            )
+        else:
+            window = _cyclic_window(trace, arrival_hour, job.window_hours)
+            best = k_smallest_slots(window, job.whole_hours)
+            scale = job.power_kw * (job.length_hours / job.whole_hours)
+            emissions = best.total * scale
+            slices = tuple(
+                ExecutionSlice(
+                    region=trace.name or "local",
+                    start_hour=arrival_hour + int(offset),
+                    duration_hours=job.length_hours / job.whole_hours,
+                    emissions_g=float(window[offset]) * scale,
+                )
+                for offset in best.indices
+            )
+        return ScheduleResult(
+            job=job,
+            policy=self.name,
+            arrival_hour=arrival_hour,
+            slices=slices,
+            emissions_g=emissions,
+            baseline_emissions_g=baseline,
+        )

@@ -1,0 +1,33 @@
+"""Time-series substrate: hourly series, statistics, periodicity, clustering
+and the window-search kernels used by the temporal shifting policies."""
+
+from repro.timeseries.clustering import KMeansPlusPlus, KMeansResult
+from repro.timeseries.periodicity import PeriodDetection, detect_periods, periodicity_score
+from repro.timeseries.series import HourlySeries
+from repro.timeseries.stats import (
+    coefficient_of_variation,
+    daily_coefficient_of_variation,
+    rolling_mean,
+    summary_statistics,
+)
+from repro.timeseries.windows import (
+    k_smallest_slots,
+    min_sum_contiguous_window,
+    sliding_window_sums,
+)
+
+__all__ = [
+    "HourlySeries",
+    "KMeansPlusPlus",
+    "KMeansResult",
+    "PeriodDetection",
+    "coefficient_of_variation",
+    "daily_coefficient_of_variation",
+    "detect_periods",
+    "k_smallest_slots",
+    "min_sum_contiguous_window",
+    "periodicity_score",
+    "rolling_mean",
+    "sliding_window_sums",
+    "summary_statistics",
+]

@@ -1,0 +1,215 @@
+"""Hourly time series container.
+
+The whole analysis operates on hourly-resolution carbon-intensity traces.
+:class:`HourlySeries` is a thin, immutable wrapper around a 1-D numpy array
+that adds the calendar operations the analysis needs (day slicing, yearly
+statistics, window extraction with wrap-around) without pulling in pandas,
+which is not available in this environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.constants import HOURS_PER_DAY
+from repro.exceptions import ConfigurationError, DataError
+
+
+@dataclass(frozen=True)
+class HourlySeries:
+    """An hourly-resolution time series.
+
+    Parameters
+    ----------
+    values:
+        One value per hour.  For carbon traces the unit is g·CO2eq/kWh.
+    start_hour:
+        Hour-of-year index of the first sample (0 for a series that starts at
+        midnight on January 1st).  Only used for labelling; arithmetic is
+        positional.
+    name:
+        Optional label (typically the region code).
+    """
+
+    values: np.ndarray
+    start_hour: int = 0
+    name: str = ""
+    _readonly: bool = field(default=True, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.values, dtype=float)
+        if arr.ndim != 1:
+            raise ConfigurationError(
+                f"HourlySeries requires a 1-D array, got shape {arr.shape}"
+            )
+        if arr.size == 0:
+            raise ConfigurationError("HourlySeries cannot be empty")
+        if np.isnan(arr).any():
+            raise DataError(f"HourlySeries {self.name!r} contains NaN values")
+        arr = arr.copy()
+        arr.setflags(write=False)
+        object.__setattr__(self, "values", arr)
+        if self.start_hour < 0:
+            raise ConfigurationError("start_hour must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.values)
+
+    def __getitem__(self, index):
+        result = self.values[index]
+        if isinstance(index, slice):
+            start = index.start or 0
+            return HourlySeries(result, start_hour=self.start_hour + start, name=self.name)
+        return float(result)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        """Arithmetic mean of the series."""
+        return float(self.values.mean())
+
+    def std(self) -> float:
+        """Population standard deviation of the series."""
+        return float(self.values.std())
+
+    def min(self) -> float:
+        """Minimum value."""
+        return float(self.values.min())
+
+    def max(self) -> float:
+        """Maximum value."""
+        return float(self.values.max())
+
+    def sum(self) -> float:
+        """Sum of all samples."""
+        return float(self.values.sum())
+
+    def coefficient_of_variation(self) -> float:
+        """Standard deviation divided by the mean (dimensionless)."""
+        mean = self.mean()
+        if mean == 0:
+            return 0.0
+        return self.std() / mean
+
+    # ------------------------------------------------------------------
+    # Calendar helpers
+    # ------------------------------------------------------------------
+    @property
+    def num_days(self) -> int:
+        """Number of complete days covered by the series."""
+        return len(self) // HOURS_PER_DAY
+
+    def day(self, day_index: int) -> "HourlySeries":
+        """Return the 24-hour slice for day ``day_index`` (0-based)."""
+        if day_index < 0 or day_index >= self.num_days:
+            raise ConfigurationError(
+                f"day_index {day_index} out of range (series covers {self.num_days} days)"
+            )
+        start = day_index * HOURS_PER_DAY
+        return self[start : start + HOURS_PER_DAY]
+
+    def days(self) -> Iterator["HourlySeries"]:
+        """Iterate over the complete days in the series."""
+        for day_index in range(self.num_days):
+            yield self.day(day_index)
+
+    def daily_matrix(self) -> np.ndarray:
+        """Return the complete days as a ``(num_days, 24)`` matrix."""
+        usable = self.num_days * HOURS_PER_DAY
+        return self.values[:usable].reshape(self.num_days, HOURS_PER_DAY)
+
+    def hour_of_day_profile(self) -> np.ndarray:
+        """Mean value for each hour of the day (length-24 vector)."""
+        return self.daily_matrix().mean(axis=0)
+
+    # ------------------------------------------------------------------
+    # Window extraction
+    # ------------------------------------------------------------------
+    def window(self, start: int, length: int, wrap: bool = False) -> np.ndarray:
+        """Return ``length`` samples starting at ``start``.
+
+        With ``wrap=True`` the window wraps around to the beginning of the
+        series (used when a job arrives near the end of the year but its
+        slack window extends past the final hour).
+        """
+        if length < 0:
+            raise ConfigurationError("window length must be non-negative")
+        if start < 0 or start >= len(self):
+            raise ConfigurationError(
+                f"window start {start} out of range for series of length {len(self)}"
+            )
+        end = start + length
+        if end <= len(self):
+            return np.asarray(self.values[start:end])
+        if not wrap:
+            raise ConfigurationError(
+                f"window [{start}, {end}) exceeds series length {len(self)}; "
+                "pass wrap=True to wrap around"
+            )
+        if length > len(self):
+            raise ConfigurationError(
+                "wrapped window length cannot exceed the series length"
+            )
+        head = self.values[start:]
+        tail = self.values[: end - len(self)]
+        return np.concatenate([head, tail])
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def scale(self, factor: float) -> "HourlySeries":
+        """Return a new series with every sample multiplied by ``factor``."""
+        return HourlySeries(self.values * factor, self.start_hour, self.name)
+
+    def shift_values(self, offset: float) -> "HourlySeries":
+        """Return a new series with ``offset`` added to every sample."""
+        return HourlySeries(self.values + offset, self.start_hour, self.name)
+
+    def clip(self, lower: float = 0.0, upper: float | None = None) -> "HourlySeries":
+        """Return a new series with samples clipped to ``[lower, upper]``."""
+        return HourlySeries(
+            np.clip(self.values, lower, upper), self.start_hour, self.name
+        )
+
+    def with_name(self, name: str) -> "HourlySeries":
+        """Return the same series relabelled as ``name``."""
+        return HourlySeries(self.values, self.start_hour, name)
+
+    def resample_to_daily_mean(self) -> np.ndarray:
+        """Collapse the series into one mean value per complete day."""
+        return self.daily_matrix().mean(axis=1)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_iterable(
+        cls, values: Iterable[float], start_hour: int = 0, name: str = ""
+    ) -> "HourlySeries":
+        """Build a series from any iterable of numbers."""
+        return cls(np.fromiter((float(v) for v in values), dtype=float), start_hour, name)
+
+    @classmethod
+    def constant(cls, value: float, length: int, name: str = "") -> "HourlySeries":
+        """A constant series of the given length."""
+        if length <= 0:
+            raise ConfigurationError("length must be positive")
+        return cls(np.full(length, float(value)), 0, name)
+
+    @classmethod
+    def concat(cls, pieces: Sequence["HourlySeries"], name: str = "") -> "HourlySeries":
+        """Concatenate several series end to end."""
+        if not pieces:
+            raise ConfigurationError("concat requires at least one series")
+        values = np.concatenate([p.values for p in pieces])
+        return cls(values, pieces[0].start_hour, name or pieces[0].name)

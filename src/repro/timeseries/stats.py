@@ -1,0 +1,118 @@
+"""Summary statistics for carbon-intensity traces.
+
+These functions implement the statistics used in the paper's global carbon
+analysis (§4): yearly means, coefficients of variation, and the *average
+daily* coefficient of variation used on the x-axis of Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import HOURS_PER_DAY
+from repro.exceptions import ConfigurationError
+from repro.timeseries.series import HourlySeries
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Summary statistics of one trace.
+
+    Attributes mirror the quantities plotted in Figure 3(a): the yearly mean
+    carbon intensity and the average daily coefficient of variation, plus a
+    few extras that other experiments use.
+    """
+
+    name: str
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    coefficient_of_variation: float
+    daily_coefficient_of_variation: float
+    num_hours: int
+
+    @property
+    def spread(self) -> float:
+        """Max minus min of the trace."""
+        return self.maximum - self.minimum
+
+
+def coefficient_of_variation(values: np.ndarray) -> float:
+    """Standard deviation divided by mean; 0 when the mean is 0."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("coefficient_of_variation of empty array")
+    mean = values.mean()
+    if mean == 0:
+        return 0.0
+    return float(values.std() / mean)
+
+
+def daily_coefficient_of_variation(series: HourlySeries) -> float:
+    """Average of the per-day coefficients of variation.
+
+    This is the variability measure used by the paper ("average daily
+    variability"): for each complete day compute std/mean over its 24 hourly
+    samples, then average across days.  It captures how much headroom
+    *temporal shifting within a day* has, independent of seasonal drift.
+    """
+    matrix = series.daily_matrix()
+    if matrix.size == 0:
+        raise ConfigurationError("series does not cover a complete day")
+    means = matrix.mean(axis=1)
+    stds = matrix.std(axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cvs = np.where(means > 0, stds / means, 0.0)
+    return float(cvs.mean())
+
+
+def rolling_mean(values: np.ndarray, window: int) -> np.ndarray:
+    """Simple trailing rolling mean with a full-window requirement.
+
+    Returns an array of length ``len(values) - window + 1``.
+    """
+    values = np.asarray(values, dtype=float)
+    if window <= 0:
+        raise ConfigurationError("window must be positive")
+    if window > values.size:
+        raise ConfigurationError("window larger than the series")
+    cumsum = np.cumsum(np.insert(values, 0, 0.0))
+    return (cumsum[window:] - cumsum[:-window]) / window
+
+
+def summary_statistics(series: HourlySeries) -> SeriesSummary:
+    """Compute the Figure-3 statistics for one trace."""
+    return SeriesSummary(
+        name=series.name,
+        mean=series.mean(),
+        std=series.std(),
+        minimum=series.min(),
+        maximum=series.max(),
+        coefficient_of_variation=series.coefficient_of_variation(),
+        daily_coefficient_of_variation=daily_coefficient_of_variation(series),
+        num_hours=len(series),
+    )
+
+
+def diurnal_range(series: HourlySeries) -> float:
+    """Average (max - min) within a day, a direct measure of how much a
+    deferrable sub-24h job can gain by moving inside the day."""
+    matrix = series.daily_matrix()
+    return float((matrix.max(axis=1) - matrix.min(axis=1)).mean())
+
+
+def hour_of_day_means(series: HourlySeries) -> np.ndarray:
+    """Mean carbon intensity per hour of day (length 24)."""
+    return series.hour_of_day_profile()
+
+
+def normalized_profile(series: HourlySeries) -> np.ndarray:
+    """Hour-of-day profile divided by its mean (dimensionless shape)."""
+    profile = series.hour_of_day_profile()
+    mean = profile.mean()
+    if mean == 0:
+        return np.zeros(HOURS_PER_DAY)
+    return profile / mean

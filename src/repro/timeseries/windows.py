@@ -1,0 +1,118 @@
+"""Window-search kernels used by the temporal shifting policies.
+
+The paper's temporal analysis (§3.2.1) maps deferrable jobs onto the
+classic *k-element contiguous sub-array with minimum sum* problem and
+interruptible jobs onto selecting the *k smallest elements* of the slack
+window.  These kernels are the computational heart of the temporal policies,
+so they are implemented once here, vectorised, and re-used everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """Result of a window search.
+
+    Attributes
+    ----------
+    start:
+        Offset (within the searched array) of the chosen window, or -1 for a
+        non-contiguous selection.
+    indices:
+        The selected hour offsets, in execution order.
+    total:
+        Sum of the selected elements.
+    """
+
+    start: int
+    indices: np.ndarray
+    total: float
+
+
+def sliding_window_sums(values: np.ndarray, window: int) -> np.ndarray:
+    """Sums of every contiguous window of length ``window``.
+
+    Returns an array of length ``len(values) - window + 1``.  Uses a
+    cumulative sum so the cost is O(n) regardless of the window size.
+    """
+    values = np.asarray(values, dtype=float)
+    if window <= 0:
+        raise ConfigurationError("window must be positive")
+    if window > values.size:
+        raise ConfigurationError(
+            f"window {window} larger than array of size {values.size}"
+        )
+    cumsum = np.cumsum(np.insert(values, 0, 0.0))
+    return cumsum[window:] - cumsum[:-window]
+
+
+def min_sum_contiguous_window(values: np.ndarray, window: int) -> WindowResult:
+    """Find the contiguous window of length ``window`` with minimum sum.
+
+    This models a *deferrable but non-interruptible* job of length
+    ``window`` hours that may start anywhere inside ``values`` (the slack
+    window): the job must occupy consecutive hours, so the best it can do is
+    pick the cheapest contiguous stretch.
+
+    Ties are broken towards the earliest start, matching a scheduler that
+    prefers to run work sooner when carbon is equal.
+    """
+    sums = sliding_window_sums(values, window)
+    start = int(np.argmin(sums))
+    indices = np.arange(start, start + window)
+    return WindowResult(start=start, indices=indices, total=float(sums[start]))
+
+
+def k_smallest_slots(values: np.ndarray, k: int) -> WindowResult:
+    """Select the ``k`` smallest elements of ``values``.
+
+    This models a *deferrable and interruptible* job of length ``k`` hours:
+    it can be paused and resumed at hour granularity with zero overhead, so
+    the optimal schedule simply runs during the ``k`` cheapest hours of the
+    slack window.  The returned indices are sorted in time order (the order
+    in which the job's pieces execute).
+    """
+    values = np.asarray(values, dtype=float)
+    if k <= 0:
+        raise ConfigurationError("k must be positive")
+    if k > values.size:
+        raise ConfigurationError(f"k={k} larger than array of size {values.size}")
+    if k == values.size:
+        indices = np.arange(values.size)
+    else:
+        indices = np.argpartition(values, k)[:k]
+        indices = np.sort(indices)
+    total = float(values[indices].sum())
+    return WindowResult(start=-1, indices=indices, total=total)
+
+
+def max_sum_contiguous_window(values: np.ndarray, window: int) -> WindowResult:
+    """Mirror of :func:`min_sum_contiguous_window` (used in tests and for
+    worst-case placement analysis)."""
+    sums = sliding_window_sums(values, window)
+    start = int(np.argmax(sums))
+    indices = np.arange(start, start + window)
+    return WindowResult(start=start, indices=indices, total=float(sums[start]))
+
+
+def best_start_offsets(values: np.ndarray, window: int) -> np.ndarray:
+    """Return all start offsets sorted from cheapest to most expensive
+    contiguous window.  Useful for capacity-aware temporal packing where the
+    globally cheapest window may be unavailable."""
+    sums = sliding_window_sums(values, window)
+    return np.argsort(sums, kind="stable")
+
+
+def window_sum_at(values: np.ndarray, start: int, window: int) -> float:
+    """Sum of the window of length ``window`` starting at ``start``."""
+    values = np.asarray(values, dtype=float)
+    if start < 0 or start + window > values.size:
+        raise ConfigurationError("window out of bounds")
+    return float(values[start : start + window].sum())

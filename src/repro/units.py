@@ -1,0 +1,65 @@
+"""Unit helpers for carbon accounting.
+
+The library works internally in grams of CO2-equivalent (g·CO2eq) and
+kilowatt-hours (kWh).  These helpers make conversions explicit at API
+boundaries instead of scattering magic factors through the code.
+"""
+
+from __future__ import annotations
+
+GRAMS_PER_KILOGRAM = 1_000.0
+GRAMS_PER_TONNE = 1_000_000.0
+WATTS_PER_KILOWATT = 1_000.0
+MINUTES_PER_HOUR = 60.0
+SECONDS_PER_HOUR = 3_600.0
+
+
+def grams_to_kilograms(grams: float) -> float:
+    """Convert g·CO2eq to kg·CO2eq."""
+    return grams / GRAMS_PER_KILOGRAM
+
+
+def grams_to_tonnes(grams: float) -> float:
+    """Convert g·CO2eq to tonnes of CO2eq."""
+    return grams / GRAMS_PER_TONNE
+
+
+def kilograms_to_grams(kilograms: float) -> float:
+    """Convert kg·CO2eq to g·CO2eq."""
+    return kilograms * GRAMS_PER_KILOGRAM
+
+
+def watts_to_kilowatts(watts: float) -> float:
+    """Convert W to kW."""
+    return watts / WATTS_PER_KILOWATT
+
+
+def kilowatts_to_watts(kilowatts: float) -> float:
+    """Convert kW to W."""
+    return kilowatts * WATTS_PER_KILOWATT
+
+
+def hours_to_minutes(hours: float) -> float:
+    """Convert hours to minutes."""
+    return hours * MINUTES_PER_HOUR
+
+
+def minutes_to_hours(minutes: float) -> float:
+    """Convert minutes to hours."""
+    return minutes / MINUTES_PER_HOUR
+
+
+def hours_to_seconds(hours: float) -> float:
+    """Convert hours to seconds."""
+    return hours * SECONDS_PER_HOUR
+
+
+def emissions_g(carbon_intensity_g_per_kwh: float, energy_kwh: float) -> float:
+    """Carbon emissions (g·CO2eq) of consuming ``energy_kwh`` at the given
+    average carbon intensity (g·CO2eq/kWh)."""
+    return carbon_intensity_g_per_kwh * energy_kwh
+
+
+def energy_kwh(power_kw: float, duration_hours: float) -> float:
+    """Energy (kWh) drawn by a constant ``power_kw`` load over a duration."""
+    return power_kw * duration_hours

@@ -1,0 +1,41 @@
+"""Workload substrate: jobs, the Table-1 configuration grid, job-length
+distributions and the synthetic cluster-trace generator."""
+
+from repro.workloads.distributions import (
+    AZURE_LIKE_DISTRIBUTION,
+    EQUAL_DISTRIBUTION,
+    GOOGLE_LIKE_DISTRIBUTION,
+    JobLengthDistribution,
+    named_distributions,
+)
+from repro.workloads.generator import ClusterTraceGenerator, GeneratorConfig
+from repro.workloads.job import Job, JobClass
+from repro.workloads.job_lengths import (
+    BATCH_JOB_LENGTHS,
+    DEFERRABILITY_CHOICES_HOURS,
+    INTERACTIVE_JOB_LENGTH_HOURS,
+    TABLE1_JOB_LENGTHS_HOURS,
+    WorkloadConfiguration,
+    table1_configuration,
+)
+from repro.workloads.traces import ClusterTrace, TraceJob
+
+__all__ = [
+    "AZURE_LIKE_DISTRIBUTION",
+    "BATCH_JOB_LENGTHS",
+    "ClusterTrace",
+    "ClusterTraceGenerator",
+    "DEFERRABILITY_CHOICES_HOURS",
+    "EQUAL_DISTRIBUTION",
+    "GOOGLE_LIKE_DISTRIBUTION",
+    "GeneratorConfig",
+    "INTERACTIVE_JOB_LENGTH_HOURS",
+    "Job",
+    "JobClass",
+    "JobLengthDistribution",
+    "TABLE1_JOB_LENGTHS_HOURS",
+    "TraceJob",
+    "WorkloadConfiguration",
+    "named_distributions",
+    "table1_configuration",
+]

@@ -1,0 +1,155 @@
+"""Synthetic cluster-trace generator.
+
+Generates concrete job arrivals (a :class:`~repro.workloads.traces.ClusterTrace`)
+with a configurable mix of batch and interactive jobs, a job-length
+distribution, and arrival patterns (uniform or diurnal).  This is the
+substitute for replaying the Azure/Google traces in the examples and the
+mixed-workload what-if (§6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.constants import HOURS_PER_DAY, HOURS_PER_YEAR
+from repro.exceptions import ConfigurationError
+from repro.workloads.distributions import EQUAL_DISTRIBUTION, JobLengthDistribution
+from repro.workloads.job import Job, JobClass
+from repro.workloads.job_lengths import INTERACTIVE_JOB_LENGTH_HOURS
+from repro.workloads.traces import ClusterTrace, TraceJob
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Configuration of the synthetic cluster-trace generator.
+
+    Parameters
+    ----------
+    num_jobs:
+        Number of jobs to generate.
+    interactive_fraction:
+        Fraction of jobs that are interactive requests (the paper cites ~30 %
+        of VMs having strict SLOs in real clouds, §6.1).
+    batch_slack_hours:
+        Slack given to every batch job.
+    batch_interruptible:
+        Whether batch jobs may be suspended and resumed.
+    horizon_hours:
+        Jobs arrive within ``[0, horizon_hours)``.
+    diurnal_arrivals:
+        If true, arrivals follow a day/night pattern (more submissions during
+        working hours); otherwise they are uniform.
+    seed:
+        Seed of the generator.
+    """
+
+    num_jobs: int = 1000
+    interactive_fraction: float = 0.3
+    batch_slack_hours: float = 24.0
+    batch_interruptible: bool = True
+    horizon_hours: int = HOURS_PER_YEAR
+    diurnal_arrivals: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_jobs <= 0:
+            raise ConfigurationError("num_jobs must be positive")
+        if not 0.0 <= self.interactive_fraction <= 1.0:
+            raise ConfigurationError("interactive_fraction must be within [0, 1]")
+        if self.batch_slack_hours < 0:
+            raise ConfigurationError("batch_slack_hours must be non-negative")
+        if self.horizon_hours <= 0:
+            raise ConfigurationError("horizon_hours must be positive")
+
+
+class ClusterTraceGenerator:
+    """Generates synthetic cluster traces."""
+
+    def __init__(
+        self,
+        config: GeneratorConfig | None = None,
+        length_distribution: JobLengthDistribution = EQUAL_DISTRIBUTION,
+    ) -> None:
+        self.config = config or GeneratorConfig()
+        self.length_distribution = length_distribution
+
+    # ------------------------------------------------------------------
+    def generate(self, origin_regions: Sequence[str]) -> ClusterTrace:
+        """Generate a trace whose jobs originate uniformly from the given
+        regions."""
+        if not origin_regions:
+            raise ConfigurationError("at least one origin region is required")
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        num_interactive = int(round(config.num_jobs * config.interactive_fraction))
+        num_batch = config.num_jobs - num_interactive
+
+        arrivals = self._arrival_hours(config.num_jobs, rng)
+        origins = rng.choice(np.array(origin_regions, dtype=object), size=config.num_jobs)
+        batch_lengths = self.length_distribution.sample_lengths(
+            max(num_batch, 1), seed=config.seed + 1
+        )
+
+        jobs: list[TraceJob] = []
+        batch_index = 0
+        for index in range(config.num_jobs):
+            origin = str(origins[index])
+            arrival = int(arrivals[index])
+            if index < num_interactive:
+                job = Job.interactive(
+                    length_hours=INTERACTIVE_JOB_LENGTH_HOURS,
+                    migratable=True,
+                    name=f"interactive-{index}",
+                )
+            else:
+                length = float(batch_lengths[batch_index])
+                batch_index += 1
+                job = Job.batch(
+                    length_hours=length,
+                    slack_hours=config.batch_slack_hours,
+                    interruptible=config.batch_interruptible,
+                    name=f"batch-{index}",
+                )
+            jobs.append(TraceJob(job=job, arrival_hour=arrival, origin_region=origin))
+        return ClusterTrace.from_jobs(jobs)
+
+    def generate_mixed(
+        self,
+        origin_regions: Sequence[str],
+        migratable_fraction: float,
+    ) -> ClusterTrace:
+        """Generate a trace where only ``migratable_fraction`` of the jobs are
+        spatially migratable (the §6.1 mixed-workload scenario)."""
+        if not 0.0 <= migratable_fraction <= 1.0:
+            raise ConfigurationError("migratable_fraction must be within [0, 1]")
+        base = self.generate(origin_regions)
+        rng = np.random.default_rng(self.config.seed + 7)
+        migratable_mask = rng.random(len(base)) < migratable_fraction
+        jobs = []
+        for keep_migratable, trace_job in zip(migratable_mask, base):
+            job = trace_job.job if keep_migratable else trace_job.job.as_non_migratable()
+            jobs.append(
+                TraceJob(
+                    job=job,
+                    arrival_hour=trace_job.arrival_hour,
+                    origin_region=trace_job.origin_region,
+                )
+            )
+        return ClusterTrace.from_jobs(jobs)
+
+    # ------------------------------------------------------------------
+    def _arrival_hours(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        config = self.config
+        if not config.diurnal_arrivals:
+            return rng.integers(0, config.horizon_hours, size=count)
+        # Diurnal arrival pattern: submissions peak during working hours.
+        hours_of_day = np.arange(HOURS_PER_DAY)
+        weights = 1.0 + 0.8 * np.clip(np.sin(np.pi * (hours_of_day - 8) / 12.0), 0.0, None)
+        weights = weights / weights.sum()
+        days = rng.integers(0, max(config.horizon_hours // HOURS_PER_DAY, 1), size=count)
+        hour_in_day = rng.choice(hours_of_day, size=count, p=weights)
+        arrivals = days * HOURS_PER_DAY + hour_in_day
+        return np.minimum(arrivals, config.horizon_hours - 1)

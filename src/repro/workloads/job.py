@@ -1,0 +1,158 @@
+"""Job model.
+
+A :class:`Job` captures the flexibility dimensions of Table 1: length,
+deferrability (slack), interruptibility, spatial migratability, and the
+workload class (batch vs interactive).  Jobs are pure descriptions; the
+policies in :mod:`repro.scheduling` decide when and where they run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+from repro.constants import DEFAULT_POWER_KW
+from repro.exceptions import ConfigurationError
+
+
+class JobClass(str, Enum):
+    """The two broad workload classes the paper analyses (§2.2)."""
+
+    BATCH = "batch"
+    INTERACTIVE = "interactive"
+
+
+@dataclass(frozen=True)
+class Job:
+    """A single schedulable unit of work.
+
+    Parameters
+    ----------
+    length_hours:
+        Time the job needs to complete without interruption.  Interactive
+        jobs are shorter than an hour (the paper uses 0.01 h ≈ 36 s);
+        batch jobs are an integer number of hours.
+    slack_hours:
+        Maximum delay the job tolerates beyond its arrival time
+        (deferrability).  Zero means the job must start immediately.
+    interruptible:
+        Whether the job may be suspended and resumed at hour granularity.
+    migratable:
+        Whether the job may be executed in (or moved to) another region.
+    job_class:
+        Batch or interactive.
+    power_kw:
+        Average power drawn while running.  Defaults to 1 kW so emissions are
+        numerically the summed carbon intensity over the hours run.
+    origin_region:
+        Optional region code where the job arrives.
+    name:
+        Optional label for reporting.
+    """
+
+    length_hours: float
+    slack_hours: float = 0.0
+    interruptible: bool = False
+    migratable: bool = True
+    job_class: JobClass = JobClass.BATCH
+    power_kw: float = DEFAULT_POWER_KW
+    origin_region: str | None = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.length_hours <= 0:
+            raise ConfigurationError("length_hours must be positive")
+        if self.slack_hours < 0:
+            raise ConfigurationError("slack_hours must be non-negative")
+        if self.power_kw <= 0:
+            raise ConfigurationError("power_kw must be positive")
+        if self.job_class == JobClass.INTERACTIVE and self.slack_hours > 0:
+            raise ConfigurationError(
+                "interactive jobs have no temporal flexibility (slack must be 0)"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_interactive(self) -> bool:
+        """Whether the job is an interactive request."""
+        return self.job_class == JobClass.INTERACTIVE
+
+    @property
+    def is_batch(self) -> bool:
+        """Whether the job is a batch job."""
+        return self.job_class == JobClass.BATCH
+
+    @property
+    def whole_hours(self) -> int:
+        """Job length rounded up to whole hours — the granularity at which the
+        hourly traces can discriminate execution slots."""
+        import math
+
+        return max(1, math.ceil(self.length_hours))
+
+    @property
+    def window_hours(self) -> int:
+        """Size of the scheduling window: job length plus slack, in whole hours."""
+        import math
+
+        return self.whole_hours + int(math.floor(self.slack_hours))
+
+    @property
+    def energy_kwh(self) -> float:
+        """Total energy the job consumes."""
+        return self.power_kw * self.length_hours
+
+    @property
+    def is_deferrable(self) -> bool:
+        """Whether the job has any slack to defer its start."""
+        return self.slack_hours > 0
+
+    # ------------------------------------------------------------------
+    def with_slack(self, slack_hours: float) -> "Job":
+        """Copy of the job with a different slack."""
+        return replace(self, slack_hours=slack_hours)
+
+    def with_length(self, length_hours: float) -> "Job":
+        """Copy of the job with a different length."""
+        return replace(self, length_hours=length_hours)
+
+    def as_interruptible(self, interruptible: bool = True) -> "Job":
+        """Copy of the job with interruptibility toggled."""
+        return replace(self, interruptible=interruptible)
+
+    def as_non_migratable(self) -> "Job":
+        """Copy of the job pinned to its origin region."""
+        return replace(self, migratable=False)
+
+    def at_origin(self, region_code: str) -> "Job":
+        """Copy of the job arriving in ``region_code``."""
+        return replace(self, origin_region=region_code)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def interactive(cls, length_hours: float = 0.01, **kwargs) -> "Job":
+        """Convenience constructor for interactive requests."""
+        return cls(
+            length_hours=length_hours,
+            slack_hours=0.0,
+            interruptible=False,
+            job_class=JobClass.INTERACTIVE,
+            **kwargs,
+        )
+
+    @classmethod
+    def batch(
+        cls,
+        length_hours: float,
+        slack_hours: float = 24.0,
+        interruptible: bool = False,
+        **kwargs,
+    ) -> "Job":
+        """Convenience constructor for batch jobs."""
+        return cls(
+            length_hours=length_hours,
+            slack_hours=slack_hours,
+            interruptible=interruptible,
+            job_class=JobClass.BATCH,
+            **kwargs,
+        )

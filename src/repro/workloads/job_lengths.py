@@ -1,0 +1,129 @@
+"""Table-1 workload configuration grid.
+
+The paper sweeps job length, deferrability (slack), interruptibility, and
+job arrival time over fixed grids (Table 1).  This module encodes those
+grids so that every experiment draws its parameters from the same place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.constants import HOURS_PER_DAY, HOURS_PER_WEEK, HOURS_PER_YEAR
+from repro.exceptions import ConfigurationError
+
+#: Job lengths of Table 1 (hours).  0.01 h represents an interactive request
+#: of roughly half a minute; the remaining values are batch jobs from 1 hour
+#: to a week, taken from the Borg v3 trace buckets.
+TABLE1_JOB_LENGTHS_HOURS: tuple[float, ...] = (0.01, 1, 6, 12, 24, 48, 96, 168)
+
+#: The interactive job length of Table 1 (hours).
+INTERACTIVE_JOB_LENGTH_HOURS: float = 0.01
+
+#: The batch job lengths of Table 1 (hours).
+BATCH_JOB_LENGTHS: tuple[int, ...] = (1, 6, 12, 24, 48, 96, 168)
+
+#: Deferrability (slack) choices of Table 1: 24 hours, 7 days, 24 days,
+#: 30 days, one year, and "10×" the job length.
+DEFERRABILITY_CHOICES_HOURS: tuple[object, ...] = (
+    HOURS_PER_DAY,
+    7 * HOURS_PER_DAY,
+    24 * HOURS_PER_DAY,
+    30 * HOURS_PER_DAY,
+    HOURS_PER_YEAR,
+    "10x",
+)
+
+#: Slack used for the paper's "ideal" setting (§5.2): a full year.
+IDEAL_SLACK_HOURS: int = HOURS_PER_YEAR
+
+#: Slack used for the paper's "practical" setting (§5.2): 24 hours.
+PRACTICAL_SLACK_HOURS: int = HOURS_PER_DAY
+
+
+def job_length_label(length_hours: float) -> str:
+    """Human-readable label for a job length (used in figure rows)."""
+    if length_hours < 1:
+        return f"{length_hours * 60:.0f}min"
+    if length_hours < HOURS_PER_DAY:
+        return f"{length_hours:.0f}h"
+    if length_hours % HOURS_PER_DAY == 0:
+        days = int(length_hours // HOURS_PER_DAY)
+        return f"{days}d"
+    return f"{length_hours:.0f}h"
+
+
+def resolve_slack(slack: object, length_hours: float) -> float:
+    """Resolve a Table-1 slack choice to hours.
+
+    The ``"10x"`` choice means ten times the job length.
+    """
+    if isinstance(slack, str):
+        if slack.lower() != "10x":
+            raise ConfigurationError(f"unknown slack specification {slack!r}")
+        return 10.0 * length_hours
+    value = float(slack)
+    if value < 0:
+        raise ConfigurationError("slack must be non-negative")
+    return value
+
+
+@dataclass(frozen=True)
+class WorkloadConfiguration:
+    """The full Table-1 configuration used by the experiments."""
+
+    job_lengths_hours: tuple[float, ...] = TABLE1_JOB_LENGTHS_HOURS
+    deferrability_hours: tuple[object, ...] = DEFERRABILITY_CHOICES_HOURS
+    interruption_overhead_hours: float = 0.0
+    migration_overhead_hours: float = 0.0
+    arrival_stride_hours: int = 1
+    resource_usage: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.job_lengths_hours:
+            raise ConfigurationError("at least one job length is required")
+        if any(length <= 0 for length in self.job_lengths_hours):
+            raise ConfigurationError("job lengths must be positive")
+        if self.arrival_stride_hours <= 0:
+            raise ConfigurationError("arrival_stride_hours must be positive")
+        if not 0 < self.resource_usage <= 1:
+            raise ConfigurationError("resource_usage must be within (0, 1]")
+        if self.interruption_overhead_hours < 0 or self.migration_overhead_hours < 0:
+            raise ConfigurationError("overheads must be non-negative")
+
+    @property
+    def batch_lengths(self) -> tuple[float, ...]:
+        """Job lengths of at least one hour (the batch jobs)."""
+        return tuple(length for length in self.job_lengths_hours if length >= 1)
+
+    @property
+    def interactive_lengths(self) -> tuple[float, ...]:
+        """Job lengths below one hour (the interactive requests)."""
+        return tuple(length for length in self.job_lengths_hours if length < 1)
+
+    def arrival_hours(self, num_hours: int) -> range:
+        """All arrival hours considered over a trace of ``num_hours`` samples."""
+        return range(0, num_hours, self.arrival_stride_hours)
+
+    def slack_grid(self, length_hours: float) -> tuple[float, ...]:
+        """Resolved slack values (hours) for a given job length."""
+        return tuple(resolve_slack(slack, length_hours) for slack in self.deferrability_hours)
+
+
+def table1_configuration() -> WorkloadConfiguration:
+    """The default Table-1 configuration (zero overheads, hourly arrivals)."""
+    return WorkloadConfiguration()
+
+
+def classify_job_length(length_hours: float) -> str:
+    """Classify a job length using the paper's taxonomy (§3.1.2): interactive
+    (≤1 minute), small batch (1–24 h), long batch (24–168 h) or
+    uninterruptible service job (>168 h)."""
+    if length_hours <= 1 / 60:
+        return "interactive"
+    if length_hours <= HOURS_PER_DAY:
+        return "small-batch"
+    if length_hours <= HOURS_PER_WEEK:
+        return "long-batch"
+    return "service"

@@ -1,0 +1,127 @@
+"""Cluster traces: collections of concrete jobs with arrival times.
+
+The limits analysis mostly sweeps parameters analytically (every possible
+arrival hour), but the examples and the mixed-workload what-if operate on
+concrete collections of jobs.  :class:`ClusterTrace` is that collection,
+with the aggregation helpers the experiments need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.job import Job, JobClass
+
+
+@dataclass(frozen=True)
+class TraceJob:
+    """A job instance with its arrival hour and origin region."""
+
+    job: Job
+    arrival_hour: int
+    origin_region: str
+
+    def __post_init__(self) -> None:
+        if self.arrival_hour < 0:
+            raise ConfigurationError("arrival_hour must be non-negative")
+        if not self.origin_region:
+            raise ConfigurationError("origin_region must be non-empty")
+
+
+@dataclass(frozen=True)
+class ClusterTrace:
+    """An ordered collection of :class:`TraceJob` entries."""
+
+    jobs: tuple[TraceJob, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[TraceJob]:
+        return iter(self.jobs)
+
+    def __getitem__(self, index: int) -> TraceJob:
+        return self.jobs[index]
+
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Callable[[TraceJob], bool]) -> "ClusterTrace":
+        """Trace restricted to jobs matching ``predicate``."""
+        return ClusterTrace(tuple(j for j in self.jobs if predicate(j)))
+
+    def batch_jobs(self) -> "ClusterTrace":
+        """Only the batch jobs."""
+        return self.filter(lambda t: t.job.is_batch)
+
+    def interactive_jobs(self) -> "ClusterTrace":
+        """Only the interactive jobs."""
+        return self.filter(lambda t: t.job.is_interactive)
+
+    def migratable_jobs(self) -> "ClusterTrace":
+        """Only the migratable jobs."""
+        return self.filter(lambda t: t.job.migratable)
+
+    def in_region(self, region_code: str) -> "ClusterTrace":
+        """Only jobs arriving in ``region_code``."""
+        return self.filter(lambda t: t.origin_region == region_code)
+
+    # ------------------------------------------------------------------
+    def total_job_hours(self) -> float:
+        """Sum of job lengths (hours)."""
+        return float(sum(t.job.length_hours for t in self.jobs))
+
+    def total_energy_kwh(self) -> float:
+        """Sum of job energies."""
+        return float(sum(t.job.energy_kwh for t in self.jobs))
+
+    def job_length_histogram(self) -> dict[float, int]:
+        """Count of jobs per length bucket."""
+        histogram: dict[float, int] = {}
+        for trace_job in self.jobs:
+            histogram[trace_job.job.length_hours] = (
+                histogram.get(trace_job.job.length_hours, 0) + 1
+            )
+        return dict(sorted(histogram.items()))
+
+    def arrival_hours(self) -> np.ndarray:
+        """Arrival hours of all jobs."""
+        return np.array([t.arrival_hour for t in self.jobs], dtype=int)
+
+    def origin_regions(self) -> tuple[str, ...]:
+        """Distinct origin regions, sorted."""
+        return tuple(sorted({t.origin_region for t in self.jobs}))
+
+    def migratable_fraction(self) -> float:
+        """Fraction of jobs that are migratable."""
+        if not self.jobs:
+            return 0.0
+        return len(self.migratable_jobs()) / len(self.jobs)
+
+    def class_counts(self) -> dict[JobClass, int]:
+        """Number of jobs per workload class."""
+        counts = {JobClass.BATCH: 0, JobClass.INTERACTIVE: 0}
+        for trace_job in self.jobs:
+            counts[trace_job.job.job_class] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_jobs(cls, jobs: Iterable[TraceJob]) -> "ClusterTrace":
+        """Build a trace from an iterable of jobs, sorted by arrival."""
+        ordered = sorted(jobs, key=lambda t: t.arrival_hour)
+        return cls(tuple(ordered))
+
+    @classmethod
+    def concat(cls, traces: Sequence["ClusterTrace"]) -> "ClusterTrace":
+        """Merge several traces into one (re-sorted by arrival)."""
+        merged: list[TraceJob] = []
+        for trace in traces:
+            merged.extend(trace.jobs)
+        return cls.from_jobs(merged)

@@ -1,0 +1,87 @@
+"""Shared fixtures for the test suite.
+
+The fixtures build a *small* synthetic dataset (a diverse subset of regions,
+one or two years) once per session so individual tests stay fast while still
+exercising the real synthesis, catalog and scheduling code paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CarbonDataset, default_catalog
+from repro.grid.synthesis import SynthesisConfig
+from repro.timeseries.series import HourlySeries
+
+#: A deliberately diverse subset of regions: the greenest (SE), very clean
+#: hydro (CA-QC), high-solar/high-CV (US-CA, AU-SA), coal-heavy low-CV
+#: (IN-MH, PL), gas-only (SG), and mixed European/American grids.
+SMALL_REGION_SET = (
+    "SE",
+    "CA-QC",
+    "US-CA",
+    "AU-SA",
+    "IN-MH",
+    "PL",
+    "SG",
+    "DE",
+    "US-VA",
+    "BR-S",
+)
+
+
+@pytest.fixture(scope="session")
+def full_catalog():
+    """The 123-region default catalog."""
+    return default_catalog()
+
+
+@pytest.fixture(scope="session")
+def small_catalog(full_catalog):
+    """A 10-region diverse subset of the catalog."""
+    return full_catalog.subset(SMALL_REGION_SET)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_catalog):
+    """One year of synthetic traces for the small catalog."""
+    return CarbonDataset.synthetic(catalog=small_catalog, years=(2022,))
+
+
+@pytest.fixture(scope="session")
+def trend_dataset(small_catalog):
+    """Two years (2020 and 2022) of synthetic traces for trend analysis."""
+    return CarbonDataset.synthetic(catalog=small_catalog, years=(2020, 2022))
+
+
+@pytest.fixture(scope="session")
+def synthesis_config():
+    """The default synthesis configuration."""
+    return SynthesisConfig()
+
+
+@pytest.fixture()
+def diurnal_trace():
+    """A deterministic one-year trace with a clean 24-hour cycle.
+
+    Mean 300, amplitude 100 — low-carbon valley at hour 12 of every day.
+    """
+    hours = np.arange(8760)
+    values = 300.0 + 100.0 * np.cos(2 * np.pi * (hours - 12) / 24.0)
+    return HourlySeries(values, name="diurnal")
+
+
+@pytest.fixture()
+def flat_trace():
+    """A constant one-year trace (no temporal shifting potential)."""
+    return HourlySeries.constant(400.0, 8760, name="flat")
+
+
+@pytest.fixture()
+def short_trace():
+    """A small deterministic trace for window-kernel unit tests."""
+    return HourlySeries(
+        np.array([5.0, 1.0, 4.0, 2.0, 8.0, 3.0, 7.0, 6.0, 9.0, 0.5], dtype=float),
+        name="short",
+    )

@@ -1,0 +1,143 @@
+"""Unit tests for the global carbon analysis (repro.analysis)."""
+
+import pytest
+
+from repro.analysis.carbon_stats import (
+    dataset_statistics,
+    fraction_above_mean_intensity,
+    fraction_with_low_daily_cv,
+    global_mean_daily_cv,
+    global_mean_intensity,
+    intensity_spread,
+)
+from repro.analysis.periodicity_report import fraction_with_daily_period, periodicity_report
+from repro.analysis.quadrants import Quadrant, classify_regions
+from repro.analysis.trends import trend_analysis
+from repro.exceptions import ConfigurationError
+
+
+class TestCarbonStats:
+    def test_covers_every_region(self, small_dataset):
+        stats = dataset_statistics(small_dataset)
+        assert {s.code for s in stats} == set(small_dataset.codes())
+
+    def test_global_mean_matches_dataset(self, small_dataset):
+        stats = dataset_statistics(small_dataset)
+        assert global_mean_intensity(stats) == pytest.approx(small_dataset.global_average())
+
+    def test_fractions_within_unit_interval(self, small_dataset):
+        stats = dataset_statistics(small_dataset)
+        assert 0.0 <= fraction_with_low_daily_cv(stats) <= 1.0
+        assert 0.0 <= fraction_above_mean_intensity(stats) <= 1.0
+        assert global_mean_daily_cv(stats) > 0
+
+    def test_intensity_spread(self, small_dataset):
+        minimum, maximum, ratio = intensity_spread(dataset_statistics(small_dataset))
+        assert minimum < maximum
+        assert ratio > 10  # SE vs IN-MH in the small fixture
+
+    def test_stats_identify_extreme_regions(self, small_dataset):
+        stats = {s.code: s for s in dataset_statistics(small_dataset)}
+        assert stats["SE"].mean_intensity < stats["IN-MH"].mean_intensity
+        assert stats["US-CA"].daily_cv > stats["SG"].daily_cv
+
+
+class TestQuadrants:
+    def test_every_region_assigned(self, small_dataset):
+        stats = dataset_statistics(small_dataset)
+        analysis = classify_regions(stats)
+        assert set(analysis.assignments) == set(small_dataset.codes())
+        assert sum(analysis.counts().values()) == len(stats)
+
+    def test_extreme_regions_land_in_expected_quadrants(self, small_dataset):
+        stats = dataset_statistics(small_dataset)
+        analysis = classify_regions(stats)
+        assert analysis.assignments["SE"] == Quadrant.LOW_INTENSITY_LOW_VARIABILITY
+        assert analysis.assignments["IN-MH"] == Quadrant.HIGH_INTENSITY_LOW_VARIABILITY
+        assert analysis.assignments["US-CA"].benefits_from_temporal_shifting
+
+    def test_fractions_sum_to_one(self, small_dataset):
+        analysis = classify_regions(dataset_statistics(small_dataset))
+        assert sum(analysis.fractions().values()) == pytest.approx(1.0)
+
+    def test_explicit_thresholds(self, small_dataset):
+        stats = dataset_statistics(small_dataset)
+        analysis = classify_regions(stats, mean_intensity_threshold=400.0)
+        assert analysis.mean_intensity_threshold == 400.0
+
+    def test_regions_in_quadrant(self, small_dataset):
+        analysis = classify_regions(dataset_statistics(small_dataset))
+        low_low = analysis.regions_in(Quadrant.LOW_INTENSITY_LOW_VARIABILITY)
+        assert "SE" in low_low
+
+    def test_empty_stats_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classify_regions([])
+
+
+class TestTrends:
+    def test_covers_every_region(self, trend_dataset):
+        analysis = trend_analysis(trend_dataset)
+        assert len(analysis.trends) == len(trend_dataset.codes())
+        assert analysis.from_year == 2020
+        assert analysis.to_year == 2022
+
+    def test_fractions_sum_to_one(self, trend_dataset):
+        analysis = trend_analysis(trend_dataset)
+        total = (
+            analysis.fraction("decreased")
+            + analysis.fraction("increased")
+            + analysis.fraction("unchanged")
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_cluster_labels_within_range(self, trend_dataset):
+        analysis = trend_analysis(trend_dataset)
+        for trend in analysis.trends:
+            assert 0 <= analysis.cluster_of(trend.code) < 3
+
+    def test_changes_matrix_shape(self, trend_dataset):
+        analysis = trend_analysis(trend_dataset)
+        assert analysis.changes_matrix().shape == (len(trend_dataset.codes()), 2)
+
+    def test_unknown_direction_rejected(self, trend_dataset):
+        analysis = trend_analysis(trend_dataset)
+        with pytest.raises(ConfigurationError):
+            analysis.fraction("sideways")
+
+    def test_same_year_rejected(self, small_dataset):
+        with pytest.raises(ConfigurationError):
+            trend_analysis(small_dataset, from_year=2022, to_year=2022)
+
+    def test_unknown_region_in_cluster_lookup(self, trend_dataset):
+        analysis = trend_analysis(trend_dataset)
+        with pytest.raises(ConfigurationError):
+            analysis.cluster_of("NOPE")
+
+
+class TestPeriodicityReport:
+    def test_entries_sorted_by_intensity(self, small_dataset):
+        entries = periodicity_report(small_dataset, datacenter_only=False, max_regions=None)
+        means = [e.mean_intensity for e in entries]
+        assert means == sorted(means)
+
+    def test_max_regions_cap(self, small_dataset):
+        entries = periodicity_report(small_dataset, datacenter_only=False, max_regions=3)
+        assert len(entries) == 3
+
+    def test_scores_within_unit_interval(self, small_dataset):
+        for entry in periodicity_report(small_dataset, datacenter_only=False, max_regions=None):
+            assert 0.0 <= entry.daily_score <= 1.0
+            assert 0.0 <= entry.weekly_score <= 1.0
+
+    def test_solar_region_has_daily_period(self, small_dataset):
+        entries = {e.code: e for e in periodicity_report(small_dataset, datacenter_only=False,
+                                                          max_regions=None)}
+        assert entries["US-CA"].has_daily_period()
+
+    def test_fraction_with_daily_period(self, small_dataset):
+        entries = periodicity_report(small_dataset, datacenter_only=False, max_regions=None)
+        assert 0.0 <= fraction_with_daily_period(entries) <= 1.0
+
+    def test_empty_entries(self):
+        assert fraction_with_daily_period([]) == 0.0

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig5"])
+        assert args.experiment == "fig5"
+        assert args.years == "2020,2022"
+        assert args.csv is None
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig5" in output
+        assert "Figure 12" in output
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        output = capsys.readouterr().out
+        assert "Deferrability" in output
+
+    def test_run_fig5_on_subset_with_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "fig5.csv"
+        exit_code = main(
+            [
+                "run",
+                "fig5",
+                "--regions",
+                "SE,US-CA,IN-MH,DE,PL,SG",
+                "--years",
+                "2022",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert exit_code == 0
+        assert csv_path.exists()
+        output = capsys.readouterr().out
+        assert "5a-infinite" in output
+
+    def test_dataset_summary(self, capsys):
+        assert main(["dataset-summary", "--regions", "SE,US-CA,IN-MH", "--years", "2022"]) == 0
+        output = capsys.readouterr().out
+        assert "greenest: SE" in output
+
+    def test_unknown_experiment_raises(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["run", "fig99", "--regions", "SE,US-CA", "--years", "2022"])

@@ -1,0 +1,116 @@
+"""Unit tests for the capacity-constrained waterfall placement."""
+
+import pytest
+
+from repro.cloud.capacity import idle_capacity_sweep, waterfall_assignment
+from repro.exceptions import ConfigurationError
+
+INTENSITIES = {"green": 20.0, "mid": 300.0, "dirty": 700.0}
+
+
+class TestWaterfallAssignment:
+    def test_zero_idle_capacity_moves_nothing(self):
+        assignment = waterfall_assignment(INTENSITIES, idle_fraction=0.0)
+        assert assignment.average_effective_intensity() == pytest.approx(
+            assignment.average_origin_intensity()
+        )
+        for entry in assignment.assignments:
+            assert entry.migrated_fraction == pytest.approx(0.0)
+
+    def test_full_idle_capacity_moves_everything_to_greenest(self):
+        assignment = waterfall_assignment(INTENSITIES, idle_fraction=0.99)
+        assert assignment.average_effective_intensity() == pytest.approx(20.0, rel=0.05)
+
+    def test_half_idle_pairs_dirtiest_with_greenest(self):
+        assignment = waterfall_assignment(INTENSITIES, idle_fraction=0.5)
+        dirty = assignment.assignment_for("dirty")
+        assert dirty.migrated_fraction == pytest.approx(1.0)
+        assert dirty.placements.get("green", 0.0) == pytest.approx(0.5)
+        # The greenest region keeps its own load.
+        green = assignment.assignment_for("green")
+        assert green.migrated_fraction == pytest.approx(0.0)
+
+    def test_reduction_increases_with_idle_capacity(self):
+        reductions = [
+            waterfall_assignment(INTENSITIES, idle_fraction=f).average_reduction()
+            for f in (0.0, 0.25, 0.5, 0.75, 0.99)
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(reductions, reductions[1:]))
+
+    def test_load_never_moves_to_dirtier_region(self):
+        assignment = waterfall_assignment(INTENSITIES, idle_fraction=0.7)
+        for entry in assignment.assignments:
+            for destination, amount in entry.placements.items():
+                if destination != entry.origin and amount > 0:
+                    assert INTENSITIES[destination] < entry.origin_intensity
+
+    def test_placements_conserve_load(self):
+        assignment = waterfall_assignment(INTENSITIES, idle_fraction=0.3)
+        for entry in assignment.assignments:
+            assert sum(entry.placements.values()) == pytest.approx(0.7)
+
+    def test_idle_capacity_never_exceeded(self):
+        intensities = {f"r{i}": 100.0 + 50.0 * i for i in range(8)}
+        idle = 0.4
+        assignment = waterfall_assignment(intensities, idle_fraction=idle)
+        received: dict[str, float] = {}
+        for entry in assignment.assignments:
+            for destination, amount in entry.placements.items():
+                if destination != entry.origin:
+                    received[destination] = received.get(destination, 0.0) + amount
+        for amount in received.values():
+            assert amount <= idle + 1e-9
+
+    def test_reachability_restriction(self):
+        reachable = {"dirty": ["dirty", "mid"], "mid": ["mid"], "green": ["green"]}
+        assignment = waterfall_assignment(INTENSITIES, idle_fraction=0.9, reachable=reachable)
+        dirty = assignment.assignment_for("dirty")
+        assert "green" not in dirty.placements
+        assert dirty.placements.get("mid", 0.0) > 0
+
+    def test_effective_intensity_with_reachability_is_worse(self):
+        reachable = {code: [code] for code in INTENSITIES}
+        constrained = waterfall_assignment(INTENSITIES, 0.9, reachable=reachable)
+        unconstrained = waterfall_assignment(INTENSITIES, 0.9)
+        assert (
+            constrained.average_effective_intensity()
+            >= unconstrained.average_effective_intensity()
+        )
+
+    def test_infinite_capacity_respects_reachability(self):
+        # With idle_fraction=1 there is no load to place; the effective
+        # intensity must still be the greenest *reachable* region, not the
+        # globally greenest one.
+        reachable = {"dirty": ["dirty", "mid"], "mid": ["mid"], "green": ["green"]}
+        assignment = waterfall_assignment(INTENSITIES, idle_fraction=1.0, reachable=reachable)
+        assert assignment.assignment_for("dirty").effective_intensity == pytest.approx(300.0)
+        assert assignment.assignment_for("mid").effective_intensity == pytest.approx(300.0)
+        assert assignment.assignment_for("green").effective_intensity == pytest.approx(20.0)
+
+    def test_infinite_capacity_unconstrained_reaches_greenest(self):
+        assignment = waterfall_assignment(INTENSITIES, idle_fraction=1.0)
+        for entry in assignment.assignments:
+            assert entry.effective_intensity == pytest.approx(20.0)
+
+    def test_unknown_origin_raises(self):
+        assignment = waterfall_assignment(INTENSITIES, idle_fraction=0.5)
+        with pytest.raises(ConfigurationError):
+            assignment.assignment_for("nope")
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            waterfall_assignment({}, 0.5)
+        with pytest.raises(ConfigurationError):
+            waterfall_assignment(INTENSITIES, 1.5)
+
+
+class TestIdleCapacitySweep:
+    def test_monotonically_decreasing_intensity(self):
+        curve = idle_capacity_sweep(INTENSITIES, [0.0, 0.3, 0.6, 0.99])
+        values = list(curve.values())
+        assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_endpoints(self):
+        curve = idle_capacity_sweep(INTENSITIES, [0.0, 0.99])
+        assert curve[0.0] == pytest.approx(sum(INTENSITIES.values()) / 3)
+        assert curve[0.99] == pytest.approx(20.0, rel=0.05)

@@ -1,0 +1,81 @@
+"""Unit tests for the datacenter/fleet model."""
+
+import pytest
+
+from repro.cloud.datacenter import Datacenter, DatacenterFleet
+from repro.exceptions import CapacityError, ConfigurationError
+
+
+class TestDatacenter:
+    def test_idle_and_local_load(self):
+        datacenter = Datacenter("SE", capacity=2.0, utilization=0.25)
+        assert datacenter.idle_capacity == pytest.approx(1.5)
+        assert datacenter.local_load == pytest.approx(0.5)
+
+    def test_admit_consumes_idle(self):
+        datacenter = Datacenter("SE", utilization=0.5)
+        datacenter.admit(0.3)
+        assert datacenter.utilization == pytest.approx(0.8)
+        assert datacenter.idle_capacity == pytest.approx(0.2)
+
+    def test_admit_beyond_capacity_raises(self):
+        datacenter = Datacenter("SE", utilization=0.9)
+        with pytest.raises(CapacityError):
+            datacenter.admit(0.2)
+
+    def test_release_frees_capacity(self):
+        datacenter = Datacenter("SE", utilization=0.5)
+        datacenter.release(0.5)
+        assert datacenter.utilization == pytest.approx(0.0)
+
+    def test_release_more_than_load_raises(self):
+        datacenter = Datacenter("SE", utilization=0.1)
+        with pytest.raises(CapacityError):
+            datacenter.release(0.5)
+
+    def test_negative_amounts_rejected(self):
+        datacenter = Datacenter("SE")
+        with pytest.raises(ConfigurationError):
+            datacenter.admit(-0.1)
+        with pytest.raises(ConfigurationError):
+            datacenter.release(-0.1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            Datacenter("", capacity=1.0)
+        with pytest.raises(ConfigurationError):
+            Datacenter("SE", capacity=0.0)
+        with pytest.raises(ConfigurationError):
+            Datacenter("SE", utilization=1.5)
+
+
+class TestDatacenterFleet:
+    def test_uniform_fleet_covers_catalog(self, small_catalog):
+        fleet = DatacenterFleet.uniform(small_catalog, utilization=0.5)
+        assert len(fleet) == len(small_catalog)
+        assert "SE" in fleet
+
+    def test_totals(self, small_catalog):
+        fleet = DatacenterFleet.uniform(small_catalog, capacity=2.0, utilization=0.25)
+        assert fleet.total_capacity() == pytest.approx(2.0 * len(small_catalog))
+        assert fleet.total_idle_capacity() == pytest.approx(1.5 * len(small_catalog))
+        assert fleet.total_local_load() == pytest.approx(0.5 * len(small_catalog))
+        assert fleet.average_utilization() == pytest.approx(0.25)
+
+    def test_idle_capacities_mapping(self, small_catalog):
+        fleet = DatacenterFleet.uniform(small_catalog, utilization=0.4)
+        idles = fleet.idle_capacities()
+        assert set(idles) == set(small_catalog.codes())
+        assert all(v == pytest.approx(0.6) for v in idles.values())
+
+    def test_get_unknown_raises(self, small_catalog):
+        fleet = DatacenterFleet.uniform(small_catalog)
+        with pytest.raises(ConfigurationError):
+            fleet.get("NOPE")
+
+    def test_uniform_with_subset_codes(self, small_catalog):
+        fleet = DatacenterFleet.uniform(small_catalog, codes=["SE", "US-CA"])
+        assert len(fleet) == 2
+
+    def test_average_utilization_of_empty_fleet(self):
+        assert DatacenterFleet().average_utilization() == 0.0

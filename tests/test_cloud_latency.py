@@ -1,0 +1,73 @@
+"""Unit tests for the latency model."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.latency import LatencyModel
+from repro.exceptions import ConfigurationError
+
+
+class TestLatencyModel:
+    def test_self_latency_is_base_rtt(self, small_catalog):
+        model = LatencyModel()
+        region = small_catalog.get("SE")
+        assert model.rtt_ms(region, region) == model.base_rtt_ms
+
+    def test_symmetry(self, small_catalog):
+        model = LatencyModel()
+        a = small_catalog.get("SE")
+        b = small_catalog.get("US-CA")
+        assert model.rtt_ms(a, b) == pytest.approx(model.rtt_ms(b, a))
+
+    def test_nearby_regions_have_lower_rtt(self, full_catalog):
+        model = LatencyModel()
+        germany = full_catalog.get("DE")
+        netherlands = full_catalog.get("NL")
+        australia = full_catalog.get("AU-NSW")
+        assert model.rtt_ms(germany, netherlands) < model.rtt_ms(germany, australia)
+
+    def test_transatlantic_rtt_plausible(self, full_catalog):
+        model = LatencyModel()
+        virginia = full_catalog.get("US-VA")
+        britain = full_catalog.get("GB")
+        rtt = model.rtt_ms(virginia, britain)
+        assert 60 <= rtt <= 160
+
+    def test_matrix_properties(self, small_catalog):
+        model = LatencyModel()
+        matrix = model.matrix(small_catalog)
+        assert matrix.shape == (len(small_catalog), len(small_catalog))
+        assert np.allclose(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == model.base_rtt_ms)
+
+    def test_rtt_map_covers_catalog(self, small_catalog):
+        model = LatencyModel()
+        rtts = model.rtt_map(small_catalog, "SE")
+        assert set(rtts) == set(small_catalog.codes())
+
+    def test_reachable_within_includes_origin(self, small_catalog):
+        model = LatencyModel()
+        reachable = model.reachable_within(small_catalog, "SE", 0.0)
+        assert reachable == ("SE",)
+
+    def test_reachable_grows_with_slo(self, small_catalog):
+        model = LatencyModel()
+        near = model.reachable_within(small_catalog, "DE", 40.0)
+        far = model.reachable_within(small_catalog, "DE", 300.0)
+        assert set(near) <= set(far)
+        assert len(far) == len(small_catalog)
+
+    def test_max_rtt_bounds_reachability(self, small_catalog):
+        model = LatencyModel()
+        slo = model.max_rtt_ms(small_catalog)
+        assert len(model.reachable_within(small_catalog, "SE", slo)) == len(small_catalog)
+
+    def test_negative_slo_rejected(self, small_catalog):
+        with pytest.raises(ConfigurationError):
+            LatencyModel().reachable_within(small_catalog, "SE", -1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel(ms_per_km=0)
+        with pytest.raises(ConfigurationError):
+            LatencyModel(base_rtt_ms=-1)

@@ -1,0 +1,119 @@
+"""Unit tests for schedule results and carbon-reduction metrics."""
+
+import pytest
+
+from repro.constants import GLOBAL_AVERAGE_CARBON_INTENSITY
+from repro.core.metrics import (
+    CarbonReduction,
+    absolute_reduction,
+    global_average_reduction_percent,
+    relative_reduction_percent,
+)
+from repro.core.result import ExecutionSlice, ScheduleResult
+from repro.exceptions import ConfigurationError
+from repro.workloads.job import Job
+
+
+def _result(slices, emissions, baseline, arrival=0, length=2.0):
+    return ScheduleResult(
+        job=Job.batch(length_hours=length, slack_hours=24),
+        policy="test",
+        arrival_hour=arrival,
+        slices=slices,
+        emissions_g=emissions,
+        baseline_emissions_g=baseline,
+    )
+
+
+class TestExecutionSlice:
+    def test_end_hour(self):
+        piece = ExecutionSlice("SE", start_hour=5, duration_hours=2.0, emissions_g=10.0)
+        assert piece.end_hour == 7.0
+
+    def test_invalid_slices(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionSlice("SE", start_hour=0, duration_hours=0.0, emissions_g=1.0)
+        with pytest.raises(ConfigurationError):
+            ExecutionSlice("SE", start_hour=-1, duration_hours=1.0, emissions_g=1.0)
+        with pytest.raises(ConfigurationError):
+            ExecutionSlice("SE", start_hour=0, duration_hours=1.0, emissions_g=-1.0)
+
+
+class TestScheduleResult:
+    def test_reduction_metrics(self):
+        slices = (ExecutionSlice("SE", 3, 2.0, 60.0),)
+        result = _result(slices, emissions=60.0, baseline=100.0)
+        assert result.reduction_g == pytest.approx(40.0)
+        assert result.relative_reduction == pytest.approx(0.4)
+        assert result.reduction_per_job_hour_g == pytest.approx(20.0)
+
+    def test_relative_reduction_with_zero_baseline(self):
+        slices = (ExecutionSlice("SE", 0, 2.0, 0.0),)
+        result = _result(slices, emissions=0.0, baseline=0.0)
+        assert result.relative_reduction == 0.0
+
+    def test_delay_and_completion(self):
+        slices = (ExecutionSlice("SE", 5, 1.0, 10.0), ExecutionSlice("SE", 8, 1.0, 10.0))
+        result = _result(slices, 20.0, 30.0, arrival=2)
+        assert result.delay_hours == 3
+        assert result.completion_hour == 9.0
+        assert result.total_executed_hours == pytest.approx(2.0)
+
+    def test_interruptions_and_migrations(self):
+        slices = (
+            ExecutionSlice("SE", 0, 1.0, 5.0),
+            ExecutionSlice("SE", 2, 1.0, 5.0),
+            ExecutionSlice("DE", 3, 1.0, 5.0),
+        )
+        result = _result(slices, 15.0, 20.0, length=3.0)
+        assert result.num_interruptions == 1
+        assert result.num_migrations == 1
+        assert result.regions_used() == ("SE", "DE")
+
+    def test_validate_covers_job(self):
+        slices = (ExecutionSlice("SE", 0, 2.0, 5.0),)
+        good = _result(slices, 5.0, 5.0, length=2.0)
+        ScheduleResult.validate_covers_job(good)
+        bad = _result(slices, 5.0, 5.0, length=3.0)
+        with pytest.raises(ConfigurationError):
+            ScheduleResult.validate_covers_job(bad)
+
+    def test_invalid_result(self):
+        slices = (ExecutionSlice("SE", 0, 1.0, 5.0),)
+        with pytest.raises(ConfigurationError):
+            _result(slices, -1.0, 5.0)
+        with pytest.raises(ConfigurationError):
+            _result(slices, 1.0, 5.0, arrival=-1)
+
+
+class TestMetrics:
+    def test_absolute_reduction(self):
+        assert absolute_reduction(100.0, 60.0) == 40.0
+        assert absolute_reduction(60.0, 100.0) == -40.0
+
+    def test_relative_reduction_percent(self):
+        assert relative_reduction_percent(100.0, 60.0) == pytest.approx(40.0)
+        assert relative_reduction_percent(0.0, 0.0) == 0.0
+
+    def test_global_average_reduction_percent(self):
+        assert global_average_reduction_percent(
+            GLOBAL_AVERAGE_CARBON_INTENSITY / 2
+        ) == pytest.approx(50.0)
+
+    def test_global_average_requires_positive_denominator(self):
+        with pytest.raises(ConfigurationError):
+            global_average_reduction_percent(10.0, global_average_intensity=0.0)
+
+    def test_carbon_reduction_dataclass(self):
+        reduction = CarbonReduction(absolute_g=36.839)
+        assert reduction.global_average_percent == pytest.approx(10.0)
+
+    def test_carbon_reduction_from_emissions_normalises_energy(self):
+        reduction = CarbonReduction.from_emissions(
+            baseline_emissions_g=2000.0, optimized_emissions_g=1000.0, energy_kwh=10.0
+        )
+        assert reduction.absolute_g == pytest.approx(100.0)
+
+    def test_carbon_reduction_invalid_energy(self):
+        with pytest.raises(ConfigurationError):
+            CarbonReduction.from_emissions(10.0, 5.0, energy_kwh=0.0)

@@ -1,0 +1,179 @@
+"""Integration tests: every experiment runs on the small dataset and its
+results exhibit the qualitative shape the paper reports."""
+
+import pytest
+
+from repro.experiments import get_experiment, list_experiments
+from repro.experiments.fig01_carbon_trace import run_fig01
+from repro.experiments.fig03_mean_cv import run_fig03a, run_fig03b
+from repro.experiments.fig04_periodicity import run_fig04
+from repro.experiments.fig05_capacity import run_fig05
+from repro.experiments.fig06_capacity_latency import run_fig06
+from repro.experiments.fig07_deferrability import run_fig07
+from repro.experiments.fig08_interruptibility import run_fig08
+from repro.experiments.fig09_combined_temporal import run_fig09
+from repro.experiments.fig10_distributions import run_fig10
+from repro.experiments.fig11_whatif import run_fig11a, run_fig11b, run_fig11cd
+from repro.experiments.fig12_combined import run_fig12
+from repro.experiments.table1_config import run_table1
+from repro.exceptions import ConfigurationError
+
+LENGTHS = (1, 6, 24, 96)
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        identifiers = {spec.identifier for spec in list_experiments()}
+        expected = {
+            "table1", "fig1", "fig3a", "fig3b", "fig4", "fig5", "fig6",
+            "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+        }
+        assert identifiers == expected
+
+    def test_get_experiment(self):
+        spec = get_experiment("fig7")
+        assert spec.figure.startswith("Figure 7")
+        assert callable(spec.run)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("fig99")
+
+
+class TestTable1AndFig1:
+    def test_table1_rows(self):
+        result = run_table1()
+        dimensions = {row["dimension"] for row in result.rows()}
+        assert "Length (Hour)" in dimensions
+        assert "Deferrability" in dimensions
+        assert result.num_job_origins == 123
+
+    def test_fig1_illustration(self, small_dataset):
+        result = run_fig01(small_dataset, regions=("US-CA", "SE", "IN-MH"))
+        assert result.spatial_ratio() > 10
+        california = next(r for r in result.regions if r.code == "US-CA")
+        assert california.daily_swing > 1.3
+        assert len(result.rows()) == 3
+
+    def test_fig1_invalid_day(self, small_dataset):
+        with pytest.raises(ConfigurationError):
+            run_fig01(small_dataset, day_index=10_000)
+
+
+class TestGlobalAnalysis:
+    def test_fig3a_shape(self, small_dataset):
+        result = run_fig03a(small_dataset)
+        assert len(result.rows()) == len(small_dataset.codes())
+        assert result.spread_ratio > 10
+        assert 0 < result.fraction_low_daily_cv < 1
+
+    def test_fig3b_shape(self, trend_dataset):
+        result = run_fig03b(trend_dataset)
+        total = result.fraction_decreased + result.fraction_increased + result.fraction_unchanged
+        assert total == pytest.approx(1.0)
+        assert len(result.rows()) == len(trend_dataset.codes())
+
+    def test_fig4_shape(self, small_dataset):
+        result = run_fig04(small_dataset, datacenter_only=False, max_regions=None)
+        assert len(result.entries) == len(small_dataset.codes())
+        assert 0.0 <= result.fraction_daily <= 1.0
+
+
+class TestSpatialExperiments:
+    def test_fig5_ideal_vs_constrained(self, small_dataset):
+        result = run_fig05(small_dataset)
+        assert result.greenest_region == small_dataset.greenest_region()
+        # Ideal (infinite capacity) beats the 50 %-idle constrained setting.
+        assert result.infinite_reduction() > result.constrained_reduction()
+        # Almost-full idle capacity recovers almost all of the ideal savings.
+        assert result.idle_reduction_percent(0.99) > 80.0
+        assert result.idle_reduction_percent(0.0) == pytest.approx(0.0)
+
+    def test_fig5_asia_reduction_exceeds_global(self, small_dataset):
+        result = run_fig05(small_dataset)
+        assert result.infinite_reduction("Asia") > result.infinite_reduction("Global")
+
+    def test_fig6_latency_and_policies(self, small_dataset):
+        result = run_fig06(small_dataset, sample_regions_per_group=2, job_length_hours=24)
+        unconstrained = result.latency_curves[1.0]
+        slos = sorted(unconstrained)
+        assert unconstrained[slos[-1]] >= unconstrained[slos[0]] - 1e-9
+        # The clairvoyant infinite-migration policy adds only a small benefit.
+        for comparison in result.policy_comparison:
+            assert comparison.extra_benefit >= -1e-9
+        assert result.max_extra_benefit() < 40.0
+
+
+class TestTemporalExperiments:
+    def test_fig7_reductions_decrease_with_length(self, small_dataset):
+        result = run_fig07(small_dataset, lengths_hours=LENGTHS, arrival_stride=12)
+        assert result.ideal_reduction(1) > result.ideal_reduction(96)
+        assert result.practical_reduction(1) > result.practical_reduction(96)
+        # The ideal slack dominates the practical one everywhere.
+        for length in LENGTHS:
+            assert result.ideal_reduction(length) >= result.practical_reduction(length) - 1e-9
+
+    def test_fig8_interruptibility_gains(self, small_dataset):
+        result = run_fig08(small_dataset, lengths_hours=LENGTHS, arrival_stride=12)
+        assert result.ideal_gain(1) == pytest.approx(0.0, abs=1e-9)
+        assert result.ideal_gain(96) > result.ideal_gain(6)
+        for length in LENGTHS:
+            assert result.practical_gain(length) >= -1e-9
+
+    def test_fig9_breakdown_consistency(self, small_dataset):
+        result = run_fig09(small_dataset, lengths_hours=LENGTHS, arrival_stride=12)
+        row = result.row("one-year", 96)
+        assert row.combined_percent == pytest.approx(
+            row.deferral_percent + row.interrupt_extra_percent
+        )
+        # Deferral's share shrinks with job length.
+        assert result.row("one-year", 1).deferral_percent > row.deferral_percent
+
+    def test_fig10_distributions_and_slack(self, small_dataset):
+        result = run_fig10(
+            small_dataset, lengths_hours=LENGTHS, arrival_stride=24,
+            slack_sweep=(24, 168, "year"),
+        )
+        equal = result.for_distribution("equal").global_reduction
+        google = result.for_distribution("google").global_reduction
+        azure = result.for_distribution("azure").global_reduction
+        # Long-job-heavy cloud distributions reduce less than the equal mix.
+        assert google <= equal + 1e-9
+        assert azure <= equal + 1e-9
+        # Slack growth is strongly sub-linear.
+        sweep = list(result.slack_sweep.values())
+        assert sweep[0] <= sweep[-1] + 1e-9
+        assert result.slack_growth_ratio() < 50
+
+
+class TestWhatIfExperiments:
+    def test_fig11a_monotone_in_migratable_fraction(self, small_dataset):
+        points = run_fig11a(small_dataset, migratable_fractions=(0.0, 0.5, 1.0))
+        reductions = [p.reduction for p in points]
+        assert reductions[0] == pytest.approx(0.0)
+        assert reductions[2] > reductions[1] > reductions[0]
+
+    def test_fig11b_error_increases_emissions(self, small_dataset):
+        points = run_fig11b(
+            small_dataset, error_magnitudes=(0.0, 0.5),
+            sample_regions=("US-CA", "SE", "IN-MH"),
+        )
+        assert points[0].temporal_increase_percent == pytest.approx(0.0)
+        assert points[1].temporal_increase_percent > 0
+        assert points[1].spatial_increase_percent >= 0
+
+    def test_fig11cd_greener_grid_shrinks_the_gap(self, small_dataset):
+        points = run_fig11cd(
+            small_dataset, region_code="US-CA", renewable_fractions=(0.0, 0.4),
+        )
+        assert points[1].agnostic_temporal < points[0].agnostic_temporal
+        assert points[1].temporal_benefit < points[0].temporal_benefit
+
+    def test_fig12_spatial_dominates(self, small_dataset):
+        result = run_fig12(small_dataset, destinations=("SE", "US-CA", "IN-MH"))
+        assert result.spatial_dominates()
+        assert result.best_destination() == "SE"
+        sweden = result.row("SE", "one-year")
+        mumbai = result.row("IN-MH", "one-year")
+        assert sweden.net_reduction > mumbai.net_reduction
+        assert mumbai.spatial_reduction < 0

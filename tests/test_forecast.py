@@ -1,0 +1,120 @@
+"""Unit tests for forecasting, error injection and error impact."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ForecastError
+from repro.forecast.error import UniformErrorModel, add_uniform_error
+from repro.forecast.impact import spatial_error_impact, temporal_error_impact
+from repro.forecast.models import ClimatologyForecaster, PersistenceForecaster, forecast_mape
+from repro.timeseries.series import HourlySeries
+
+
+class TestUniformErrorModel:
+    def test_zero_error_is_identity(self, diurnal_trace):
+        assert np.array_equal(
+            UniformErrorModel(0.0).apply(diurnal_trace).values, diurnal_trace.values
+        )
+
+    def test_error_bounded_by_magnitude(self, diurnal_trace):
+        model = UniformErrorModel(0.3, seed=1)
+        forecast = model.apply(diurnal_trace)
+        relative = np.abs(forecast.values - diurnal_trace.values) / diurnal_trace.values
+        assert relative.max() <= 0.3 + 1e-9
+
+    def test_deterministic_given_seed(self, diurnal_trace):
+        a = UniformErrorModel(0.2, seed=3).apply(diurnal_trace)
+        b = UniformErrorModel(0.2, seed=3).apply(diurnal_trace)
+        assert np.array_equal(a.values, b.values)
+
+    def test_values_stay_non_negative(self):
+        trace = HourlySeries(np.full(100, 0.5))
+        forecast = UniformErrorModel(1.0, seed=0).apply(trace)
+        assert forecast.min() >= 0.0
+
+    def test_mape_scales_with_magnitude(self, diurnal_trace):
+        small = UniformErrorModel(0.1, seed=0).mean_absolute_percentage_error(diurnal_trace)
+        large = UniformErrorModel(0.5, seed=0).mean_absolute_percentage_error(diurnal_trace)
+        assert large > small
+        assert small == pytest.approx(5.0, abs=2.0)
+
+    def test_invalid_magnitude(self):
+        with pytest.raises(ConfigurationError):
+            UniformErrorModel(1.5)
+
+    def test_convenience_wrapper(self, diurnal_trace):
+        forecast = add_uniform_error(diurnal_trace, 0.2, seed=4)
+        assert len(forecast) == len(diurnal_trace)
+
+
+class TestForecasters:
+    def test_persistence_repeats_last_value(self, diurnal_trace):
+        history = diurnal_trace[0:100]
+        prediction = PersistenceForecaster().forecast(history, 5)
+        assert np.allclose(prediction, history[99])
+
+    def test_climatology_matches_perfect_diurnal_pattern(self, diurnal_trace):
+        mape = forecast_mape(ClimatologyForecaster(), diurnal_trace, split_hour=24 * 30,
+                             horizon_hours=48)
+        assert mape < 1.0
+
+    def test_persistence_is_worse_than_climatology_on_periodic_trace(self, diurnal_trace):
+        persistence = forecast_mape(PersistenceForecaster(), diurnal_trace, 24 * 30, 48)
+        climatology = forecast_mape(ClimatologyForecaster(), diurnal_trace, 24 * 30, 48)
+        assert climatology < persistence
+
+    def test_climatology_requires_full_day(self):
+        history = HourlySeries(np.arange(10.0))
+        with pytest.raises(ForecastError):
+            ClimatologyForecaster().forecast(history, 5)
+
+    def test_invalid_horizon(self, diurnal_trace):
+        with pytest.raises(ForecastError):
+            PersistenceForecaster().forecast(diurnal_trace, 0)
+
+    def test_forecast_mape_bounds_check(self, diurnal_trace):
+        with pytest.raises(ForecastError):
+            forecast_mape(PersistenceForecaster(), diurnal_trace, 8759, 100)
+
+
+class TestTemporalErrorImpact:
+    def test_zero_error_has_zero_impact(self, diurnal_trace):
+        impact = temporal_error_impact(diurnal_trace, 24, 0.0)
+        assert impact.carbon_increase == pytest.approx(0.0)
+        assert impact.carbon_increase_percent == pytest.approx(0.0)
+
+    def test_error_never_reduces_emissions(self, small_dataset):
+        trace = small_dataset.series("US-CA")
+        for magnitude in (0.1, 0.3, 0.5):
+            impact = temporal_error_impact(trace, 24, magnitude, seed=2)
+            assert impact.carbon_increase >= -1e-9
+
+    def test_impact_grows_with_error(self, small_dataset):
+        trace = small_dataset.series("US-CA")
+        small = temporal_error_impact(trace, 24, 0.1, seed=3)
+        large = temporal_error_impact(trace, 24, 0.5, seed=3)
+        assert large.carbon_increase >= small.carbon_increase - 1e-9
+
+    def test_invalid_length(self, diurnal_trace):
+        with pytest.raises(ConfigurationError):
+            temporal_error_impact(diurnal_trace, 0, 0.1)
+        with pytest.raises(ConfigurationError):
+            temporal_error_impact(diurnal_trace, 9000, 0.1)
+
+
+class TestSpatialErrorImpact:
+    def test_zero_error_has_zero_impact(self, small_dataset):
+        impact = spatial_error_impact(small_dataset, 0.0)
+        assert impact.carbon_increase == pytest.approx(0.0)
+
+    def test_error_never_reduces_emissions(self, small_dataset):
+        impact = spatial_error_impact(small_dataset, 0.5, seed=1)
+        assert impact.carbon_increase >= -1e-9
+
+    def test_candidate_restriction(self, small_dataset):
+        impact = spatial_error_impact(small_dataset, 0.3, candidates=("SE", "US-CA"))
+        assert impact.error_free_emissions > 0
+
+    def test_empty_candidates_rejected(self, small_dataset):
+        with pytest.raises(ConfigurationError):
+            spatial_error_impact(small_dataset, 0.3, candidates=())

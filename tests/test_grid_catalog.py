@@ -1,0 +1,140 @@
+"""Unit tests for the region model and the 123-region catalog."""
+
+import pytest
+
+from repro.constants import NUM_REGIONS
+from repro.exceptions import ConfigurationError, DataError
+from repro.grid.catalog import RegionCatalog, default_catalog
+from repro.grid.mix import GenerationMix
+from repro.grid.region import CloudProvider, GeographicGroup, Region
+
+
+def _region(code="XX", group=GeographicGroup.EUROPE, lat=0.0, lon=0.0, providers=()):
+    return Region(
+        code=code,
+        name=code,
+        group=group,
+        latitude=lat,
+        longitude=lon,
+        mix=GenerationMix.from_kwargs(gas=1.0),
+        providers=frozenset(providers),
+    )
+
+
+class TestRegion:
+    def test_rejects_empty_code(self):
+        with pytest.raises(ConfigurationError):
+            _region(code="")
+
+    def test_rejects_bad_coordinates(self):
+        with pytest.raises(ConfigurationError):
+            _region(lat=95.0)
+        with pytest.raises(ConfigurationError):
+            _region(lon=181.0)
+
+    def test_has_datacenter(self):
+        assert not _region().has_datacenter
+        assert _region(providers=(CloudProvider.GCP,)).has_datacenter
+
+    def test_hosts(self):
+        region = _region(providers=(CloudProvider.AWS,))
+        assert region.hosts("AWS")
+        assert not region.hosts(CloudProvider.GCP)
+
+    def test_expected_carbon_intensity(self):
+        assert _region().expected_carbon_intensity == pytest.approx(490.0)
+
+    def test_distance_to_self_is_zero(self):
+        region = _region(lat=40.0, lon=-75.0)
+        assert region.distance_km(region) == pytest.approx(0.0, abs=1e-6)
+
+    def test_distance_is_symmetric_and_plausible(self):
+        new_york = _region(code="NY", lat=40.7, lon=-74.0)
+        london = _region(code="LDN", lat=51.5, lon=-0.1)
+        there = new_york.distance_km(london)
+        back = london.distance_km(new_york)
+        assert there == pytest.approx(back)
+        assert 5000 < there < 6100  # transatlantic great-circle distance
+
+
+class TestDefaultCatalog:
+    def test_has_123_regions(self, full_catalog):
+        assert len(full_catalog) == NUM_REGIONS
+
+    def test_codes_are_unique(self, full_catalog):
+        codes = full_catalog.codes()
+        assert len(codes) == len(set(codes))
+
+    def test_all_groups_present(self, full_catalog):
+        groups = {region.group for region in full_catalog}
+        assert groups == set(GeographicGroup)
+
+    def test_contains_paper_highlight_regions(self, full_catalog):
+        for code in ("SE", "CA-ON", "BE", "NL", "KR", "US-UT", "US-CA", "US-VA",
+                     "US-WA", "HK", "ID", "IN-MH"):
+            assert code in full_catalog
+
+    def test_sweden_is_greenest_by_mix(self, full_catalog):
+        assert full_catalog.greenest().code == "SE"
+        assert full_catalog.greenest().expected_carbon_intensity < 25
+
+    def test_dirtiest_is_coal_heavy(self, full_catalog):
+        dirtiest = full_catalog.dirtiest()
+        assert dirtiest.expected_carbon_intensity > 600
+
+    def test_every_provider_has_multiple_regions(self, full_catalog):
+        counts = full_catalog.provider_counts()
+        for provider in CloudProvider:
+            assert counts[provider] >= 5
+
+    def test_majority_of_regions_host_datacenters(self, full_catalog):
+        assert len(full_catalog.with_datacenters()) >= 60
+
+    def test_catalog_is_cached(self):
+        assert default_catalog() is default_catalog()
+
+    def test_european_regions_are_privacy_restricted(self, full_catalog):
+        assert full_catalog.get("DE").privacy_restricted
+        assert not full_catalog.get("US-CA").privacy_restricted
+
+
+class TestCatalogOperations:
+    def test_get_unknown_raises(self, full_catalog):
+        with pytest.raises(DataError):
+            full_catalog.get("NOPE")
+
+    def test_subset_preserves_order(self, full_catalog):
+        subset = full_catalog.subset(["US-CA", "SE"])
+        assert subset.codes() == ("US-CA", "SE")
+
+    def test_in_group(self, full_catalog):
+        europe = full_catalog.in_group(GeographicGroup.EUROPE)
+        assert all(region.group == GeographicGroup.EUROPE for region in europe)
+        assert len(europe) >= 30
+
+    def test_with_datacenters_filters(self, full_catalog):
+        gcp = full_catalog.with_datacenters("GCP")
+        assert all(region.hosts("GCP") for region in gcp)
+
+    def test_groups_partition(self, full_catalog):
+        grouped = full_catalog.groups()
+        assert sum(len(c) for c in grouped.values()) == len(full_catalog)
+
+    def test_sorted_by_expected_intensity(self, full_catalog):
+        ordered = full_catalog.sorted_by_expected_intensity()
+        intensities = [r.expected_carbon_intensity for r in ordered]
+        assert intensities == sorted(intensities)
+
+    def test_duplicate_codes_rejected(self):
+        region = _region()
+        with pytest.raises(DataError):
+            RegionCatalog((region, region))
+
+    def test_from_rows_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            RegionCatalog.from_rows([])
+
+    def test_filter(self, full_catalog):
+        coastal = full_catalog.filter(lambda r: r.latitude < 0)
+        assert all(region.latitude < 0 for region in coastal)
+        assert len(coastal) > 0

@@ -1,0 +1,123 @@
+"""Unit tests for the CarbonDataset container."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.grid.dataset import CarbonDataset
+from repro.grid.region import GeographicGroup
+from repro.timeseries.series import HourlySeries
+
+
+class TestAccess:
+    def test_series_lookup(self, small_dataset):
+        series = small_dataset.series("SE", 2022)
+        assert len(series) == 8760
+        assert series.name == "SE"
+
+    def test_default_year_is_latest(self, small_dataset):
+        assert np.array_equal(
+            small_dataset.series("SE").values, small_dataset.series("SE", 2022).values
+        )
+
+    def test_unknown_region_raises(self, small_dataset):
+        with pytest.raises(DataError):
+            small_dataset.series("NOPE", 2022)
+
+    def test_unknown_year_raises(self, small_dataset):
+        with pytest.raises(DataError):
+            small_dataset.series("SE", 1999)
+
+    def test_len_and_codes(self, small_dataset):
+        assert len(small_dataset) == 10
+        assert "US-CA" in small_dataset.codes()
+
+    def test_region_metadata(self, small_dataset):
+        assert small_dataset.region("SE").group == GeographicGroup.EUROPE
+
+
+class TestAggregates:
+    def test_annual_means_cover_all_regions(self, small_dataset):
+        means = small_dataset.annual_means()
+        assert set(means) == set(small_dataset.codes())
+
+    def test_global_average_is_mean_of_means(self, small_dataset):
+        means = small_dataset.annual_means()
+        assert small_dataset.global_average() == pytest.approx(np.mean(list(means.values())))
+
+    def test_group_average(self, small_dataset):
+        europe = small_dataset.group_average(GeographicGroup.EUROPE)
+        assert europe > 0
+
+    def test_group_average_unknown_group_raises(self, small_dataset):
+        with pytest.raises(DataError):
+            small_dataset.group_average(GeographicGroup.AFRICA)
+
+    def test_intensity_matrix_shape_and_order(self, small_dataset):
+        matrix = small_dataset.intensity_matrix()
+        assert matrix.shape == (10, 8760)
+        codes = small_dataset.codes()
+        assert np.array_equal(matrix[codes.index("SE")], small_dataset.series("SE").values)
+
+    def test_greenest_and_dirtiest(self, small_dataset):
+        means = small_dataset.annual_means()
+        assert small_dataset.greenest_region() == min(means, key=means.get)
+        assert small_dataset.dirtiest_region() == max(means, key=means.get)
+
+    def test_rank_order_sorted(self, small_dataset):
+        means = small_dataset.annual_means()
+        order = small_dataset.rank_order()
+        values = [means[c] for c in order]
+        assert values == sorted(values)
+
+
+class TestDerivation:
+    def test_subset(self, small_dataset):
+        subset = small_dataset.subset(["SE", "US-CA"])
+        assert len(subset) == 2
+        assert subset.codes() == ("SE", "US-CA")
+
+    def test_for_group(self, small_dataset):
+        europe = small_dataset.for_group(GeographicGroup.EUROPE)
+        assert all(
+            europe.region(code).group == GeographicGroup.EUROPE for code in europe.codes()
+        )
+
+    def test_with_traces_replaces(self, small_dataset):
+        replacement = HourlySeries.constant(1.0, 8760, name="SE")
+        modified = small_dataset.with_traces({("SE", 2022): replacement})
+        assert modified.mean_intensity("SE") == pytest.approx(1.0)
+        # The original dataset is untouched.
+        assert small_dataset.mean_intensity("SE") > 5
+
+    def test_validation_missing_trace(self, small_catalog):
+        with pytest.raises(DataError):
+            CarbonDataset(
+                catalog=small_catalog,
+                traces={("SE", 2022): HourlySeries.constant(1.0, 10)},
+                years=(2022,),
+            )
+
+    def test_validation_unknown_region(self, small_dataset, small_catalog):
+        traces = dict(small_dataset.traces)
+        traces[("NOPE", 2022)] = HourlySeries.constant(1.0, 8760)
+        with pytest.raises(DataError):
+            CarbonDataset(catalog=small_catalog, traces=traces, years=(2022,))
+
+    def test_requires_at_least_one_year(self, small_catalog):
+        with pytest.raises(ConfigurationError):
+            CarbonDataset(catalog=small_catalog, traces={}, years=())
+
+    def test_from_traces_infers_years(self, small_catalog):
+        traces = {
+            (code, 2022): HourlySeries.constant(100.0, 8760, name=code)
+            for code in small_catalog.codes()
+        }
+        dataset = CarbonDataset.from_traces(small_catalog, traces)
+        assert dataset.years == (2022,)
+
+    def test_trend_dataset_years(self, trend_dataset):
+        assert trend_dataset.years == (2020, 2022)
+        assert trend_dataset.earliest_year == 2020
+        assert trend_dataset.latest_year == 2022
+        assert len(trend_dataset.series("SE", 2020)) == 8784

@@ -1,0 +1,69 @@
+"""Unit tests for the greener-grid what-if (repro.grid.evolution)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.grid.evolution import GridEvolution, add_renewables, emission_factor_table
+from repro.grid.sources import GenerationSource
+
+
+class TestEmissionFactorTable:
+    def test_contains_every_source(self):
+        table = emission_factor_table()
+        assert set(table) == {source.value for source in GenerationSource}
+
+    def test_coal_is_dirtiest(self):
+        table = emission_factor_table()
+        assert table["coal"] == max(table.values())
+
+
+class TestAddRenewables:
+    def test_reduces_expected_intensity(self, small_catalog):
+        region = small_catalog.get("PL")
+        greener = add_renewables(region, 0.4)
+        assert greener.average_carbon_intensity() < region.mix.average_carbon_intensity()
+
+    def test_zero_addition_keeps_mix(self, small_catalog):
+        region = small_catalog.get("PL")
+        assert add_renewables(region, 0.0).average_carbon_intensity() == pytest.approx(
+            region.mix.average_carbon_intensity()
+        )
+
+
+class TestGridEvolution:
+    def test_scenario_intensity_decreases_with_renewables(self, small_catalog):
+        evolution = GridEvolution(small_catalog.get("US-CA"), year=2022)
+        scenarios = evolution.sweep([0.0, 0.2, 0.4])
+        intensities = [s.mean_intensity for s in scenarios]
+        assert intensities[0] > intensities[1] > intensities[2]
+
+    def test_scenario_variability_share_increases(self, small_catalog):
+        evolution = GridEvolution(small_catalog.get("PL"), year=2022)
+        scenarios = evolution.sweep([0.0, 0.3])
+        assert (
+            scenarios[1].variable_renewable_share > scenarios[0].variable_renewable_share
+        )
+
+    def test_trace_has_full_year(self, small_catalog):
+        evolution = GridEvolution(small_catalog.get("DE"), year=2022)
+        assert len(evolution.scenario(0.1).trace) == 8760
+
+    def test_intensity_by_fraction_keys(self, small_catalog):
+        evolution = GridEvolution(small_catalog.get("DE"), year=2022)
+        curve = evolution.intensity_by_fraction([0.0, 0.5])
+        assert set(curve) == {0.0, 0.5}
+
+    def test_invalid_fraction_rejected(self, small_catalog):
+        evolution = GridEvolution(small_catalog.get("DE"), year=2022)
+        with pytest.raises(ConfigurationError):
+            evolution.sweep([1.5])
+
+    def test_invalid_solar_fraction_rejected(self, small_catalog):
+        with pytest.raises(ConfigurationError):
+            GridEvolution(small_catalog.get("DE"), solar_fraction=1.5)
+
+    def test_scenario_is_deterministic(self, small_catalog):
+        evolution = GridEvolution(small_catalog.get("US-CA"), year=2022)
+        a = evolution.scenario(0.2).trace
+        b = evolution.scenario(0.2).trace
+        assert a.values.tolist() == b.values.tolist()

@@ -1,0 +1,138 @@
+"""Unit tests for generation sources and mixes."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.grid.mix import GenerationMix
+from repro.grid.sources import (
+    EMISSION_FACTORS,
+    SOURCE_ORDER,
+    GenerationSource,
+    fossil_sources,
+    renewable_sources,
+    variable_renewable_sources,
+)
+
+
+class TestGenerationSource:
+    def test_fossil_classification(self):
+        assert GenerationSource.COAL.is_fossil
+        assert GenerationSource.GAS.is_fossil
+        assert GenerationSource.OIL.is_fossil
+        assert not GenerationSource.NUCLEAR.is_fossil
+
+    def test_renewable_classification(self):
+        assert GenerationSource.HYDRO.is_renewable
+        assert GenerationSource.WIND.is_renewable
+        assert not GenerationSource.COAL.is_renewable
+        assert not GenerationSource.NUCLEAR.is_renewable
+
+    def test_variable_renewables(self):
+        assert GenerationSource.SOLAR.is_variable_renewable
+        assert GenerationSource.WIND.is_variable_renewable
+        assert not GenerationSource.HYDRO.is_variable_renewable
+
+    def test_dispatchability(self):
+        assert GenerationSource.GAS.is_dispatchable
+        assert not GenerationSource.SOLAR.is_dispatchable
+
+    def test_emission_factor_ordering(self):
+        assert GenerationSource.COAL.emission_factor > GenerationSource.GAS.emission_factor
+        assert GenerationSource.GAS.emission_factor > GenerationSource.SOLAR.emission_factor
+        assert GenerationSource.NUCLEAR.emission_factor < 20
+
+    def test_all_sources_have_emission_factors(self):
+        for source in GenerationSource:
+            assert source in EMISSION_FACTORS
+
+    def test_source_groupings_cover_everything(self):
+        grouped = set(fossil_sources()) | set(renewable_sources()) | {GenerationSource.NUCLEAR}
+        assert grouped == set(SOURCE_ORDER)
+        assert set(variable_renewable_sources()) <= set(renewable_sources())
+
+
+class TestGenerationMix:
+    def test_shares_normalised(self):
+        mix = GenerationMix.from_kwargs(coal=0.5, gas=0.5)
+        assert mix.share(GenerationSource.COAL) == pytest.approx(0.5)
+        assert sum(mix.shares.values()) == pytest.approx(1.0)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ConfigurationError):
+            GenerationMix.from_kwargs(coal=0.5, gas=0.2)
+
+    def test_rejects_negative_share(self):
+        with pytest.raises(ConfigurationError):
+            GenerationMix.from_kwargs(coal=-0.1, gas=1.1)
+
+    def test_average_carbon_intensity(self):
+        mix = GenerationMix.from_kwargs(coal=0.5, hydro=0.5)
+        expected = 0.5 * EMISSION_FACTORS[GenerationSource.COAL] + 0.5 * EMISSION_FACTORS[
+            GenerationSource.HYDRO
+        ]
+        assert mix.average_carbon_intensity() == pytest.approx(expected)
+
+    def test_share_accessors(self):
+        mix = GenerationMix.from_kwargs(coal=0.3, gas=0.2, solar=0.1, wind=0.1, hydro=0.3)
+        assert mix.fossil_share == pytest.approx(0.5)
+        assert mix.variable_renewable_share == pytest.approx(0.2)
+        assert mix.renewable_share == pytest.approx(0.5)
+        assert mix.solar_share == pytest.approx(0.1)
+        assert mix.wind_share == pytest.approx(0.1)
+
+    def test_single_source(self):
+        mix = GenerationMix.single_source(GenerationSource.GAS)
+        assert mix.share(GenerationSource.GAS) == 1.0
+        assert mix.average_carbon_intensity() == EMISSION_FACTORS[GenerationSource.GAS]
+
+    def test_as_vector_order(self):
+        mix = GenerationMix.single_source(GenerationSource.COAL)
+        vector = mix.as_vector()
+        assert vector[SOURCE_ORDER.index(GenerationSource.COAL)] == 1.0
+        assert sum(vector) == pytest.approx(1.0)
+
+    def test_missing_source_share_is_zero(self):
+        mix = GenerationMix.from_kwargs(gas=1.0)
+        assert mix.share(GenerationSource.COAL) == 0.0
+
+
+class TestAddedRenewables:
+    def test_displaces_dirtiest_first(self):
+        mix = GenerationMix.from_kwargs(coal=0.4, gas=0.4, hydro=0.2)
+        greener = mix.with_added_renewables(0.3)
+        assert greener.share(GenerationSource.COAL) == pytest.approx(0.1)
+        assert greener.share(GenerationSource.GAS) == pytest.approx(0.4)
+        assert greener.variable_renewable_share == pytest.approx(0.3)
+
+    def test_reduces_carbon_intensity(self):
+        mix = GenerationMix.from_kwargs(coal=0.6, gas=0.4)
+        assert mix.with_added_renewables(0.4).average_carbon_intensity() < mix.average_carbon_intensity()
+
+    def test_capped_by_fossil_share(self):
+        mix = GenerationMix.from_kwargs(gas=0.2, hydro=0.8)
+        greener = mix.with_added_renewables(0.9)
+        assert greener.fossil_share == pytest.approx(0.0, abs=1e-9)
+        assert greener.variable_renewable_share == pytest.approx(0.2)
+
+    def test_solar_wind_split(self):
+        mix = GenerationMix.from_kwargs(coal=1.0)
+        greener = mix.with_added_renewables(0.5, solar_fraction=1.0)
+        assert greener.share(GenerationSource.SOLAR) == pytest.approx(0.5)
+        assert greener.share(GenerationSource.WIND) == pytest.approx(0.0)
+
+    def test_zero_addition_is_identity(self):
+        mix = GenerationMix.from_kwargs(coal=0.5, gas=0.5)
+        same = mix.with_added_renewables(0.0)
+        assert same.shares == mix.shares
+
+    def test_invalid_fraction(self):
+        mix = GenerationMix.from_kwargs(coal=1.0)
+        with pytest.raises(ConfigurationError):
+            mix.with_added_renewables(1.5)
+        with pytest.raises(ConfigurationError):
+            mix.with_added_renewables(0.5, solar_fraction=2.0)
+
+    def test_shares_remain_normalised(self):
+        mix = GenerationMix.from_kwargs(coal=0.3, gas=0.3, oil=0.1, hydro=0.3)
+        greener = mix.with_added_renewables(0.45)
+        assert sum(greener.shares.values()) == pytest.approx(1.0)

@@ -1,0 +1,151 @@
+"""Unit tests for the synthetic trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.grid.mix import GenerationMix
+from repro.grid.synthesis import (
+    BASE_YEAR,
+    RegionTrend,
+    SynthesisConfig,
+    TraceSynthesizer,
+    hours_in_year,
+    stable_region_seed,
+)
+from repro.timeseries.stats import daily_coefficient_of_variation
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        SynthesisConfig()
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ConfigurationError):
+            SynthesisConfig(improving_fraction=0.8, worsening_fraction=0.5)
+        with pytest.raises(ConfigurationError):
+            SynthesisConfig(improving_fraction=-0.1)
+
+    def test_invalid_autocorrelation(self):
+        with pytest.raises(ConfigurationError):
+            SynthesisConfig(wind_autocorrelation=1.0)
+
+    def test_invalid_clamps(self):
+        with pytest.raises(ConfigurationError):
+            SynthesisConfig(min_intensity=0)
+        with pytest.raises(ConfigurationError):
+            SynthesisConfig(min_intensity=10, max_intensity=5)
+
+
+class TestHelpers:
+    def test_hours_in_year(self):
+        assert hours_in_year(2022) == 8760
+        assert hours_in_year(2020) == 8784
+        assert hours_in_year(2100) == 8760  # century non-leap
+        assert hours_in_year(2000) == 8784  # 400-year leap
+
+    def test_stable_seed_is_deterministic(self):
+        assert stable_region_seed("SE", 2022, 1) == stable_region_seed("SE", 2022, 1)
+        assert stable_region_seed("SE", 2022, 1) != stable_region_seed("SE", 2021, 1)
+        assert stable_region_seed("SE", 2022, 1) != stable_region_seed("DE", 2022, 1)
+
+
+class TestTraceSynthesis:
+    def test_trace_length_matches_year(self, small_catalog):
+        synthesizer = TraceSynthesizer()
+        region = small_catalog.get("US-CA")
+        assert len(synthesizer.synthesize(region, 2022)) == 8760
+        assert len(synthesizer.synthesize(region, 2020)) == 8784
+
+    def test_reproducible(self, small_catalog):
+        region = small_catalog.get("DE")
+        a = TraceSynthesizer().synthesize(region, 2022)
+        b = TraceSynthesizer().synthesize(region, 2022)
+        assert np.array_equal(a.values, b.values)
+
+    def test_mean_close_to_mix_intensity(self, small_catalog):
+        synthesizer = TraceSynthesizer()
+        for code in ("SE", "IN-MH", "DE"):
+            region = small_catalog.get(code)
+            trace = synthesizer.synthesize(region, BASE_YEAR)
+            assert trace.mean() == pytest.approx(
+                region.expected_carbon_intensity, rel=0.25
+            )
+
+    def test_values_within_clamps(self, small_catalog):
+        config = SynthesisConfig()
+        synthesizer = TraceSynthesizer(config)
+        trace = synthesizer.synthesize(small_catalog.get("PL"), 2022)
+        assert trace.min() >= config.min_intensity
+        assert trace.max() <= config.max_intensity
+
+    def test_renewable_heavy_region_varies_more_than_fossil_region(self, small_catalog):
+        synthesizer = TraceSynthesizer()
+        variable = synthesizer.synthesize(small_catalog.get("US-CA"), 2022)
+        stable = synthesizer.synthesize(small_catalog.get("SG"), 2022)
+        assert daily_coefficient_of_variation(variable) > 3 * daily_coefficient_of_variation(stable)
+
+    def test_clean_grid_is_low_carbon(self, small_catalog):
+        synthesizer = TraceSynthesizer()
+        sweden = synthesizer.synthesize(small_catalog.get("SE"), 2022)
+        mumbai = synthesizer.synthesize(small_catalog.get("IN-MH"), 2022)
+        assert sweden.mean() < 30
+        assert mumbai.mean() > 450
+
+    def test_solar_region_has_midday_valley(self, small_catalog):
+        synthesizer = TraceSynthesizer()
+        california = synthesizer.synthesize(small_catalog.get("US-CA"), 2022)
+        profile = california.hour_of_day_profile()
+        assert profile[12] < profile[20]
+
+    def test_synthesize_from_mix_respects_emission_ordering(self):
+        synthesizer = TraceSynthesizer()
+        dirty = synthesizer.synthesize_from_mix(GenerationMix.from_kwargs(coal=1.0), seed=1)
+        clean = synthesizer.synthesize_from_mix(GenerationMix.from_kwargs(hydro=1.0), seed=1)
+        assert dirty.mean() > 10 * clean.mean()
+
+
+class TestTrends:
+    def test_trend_assignment_is_deterministic(self, full_catalog):
+        synthesizer = TraceSynthesizer()
+        region = full_catalog.get("FR")
+        assert synthesizer.region_trend(region) == synthesizer.region_trend(region)
+
+    def test_trend_fractions_roughly_match_config(self, full_catalog):
+        synthesizer = TraceSynthesizer()
+        trends = [synthesizer.region_trend(region) for region in full_catalog]
+        improving = trends.count(RegionTrend.IMPROVING) / len(trends)
+        worsening = trends.count(RegionTrend.WORSENING) / len(trends)
+        assert 0.1 < improving < 0.4
+        assert 0.08 < worsening < 0.35
+
+    def test_mix_for_base_year_is_catalog_mix(self, full_catalog):
+        synthesizer = TraceSynthesizer()
+        region = full_catalog.get("DE")
+        assert synthesizer.mix_for_year(region, BASE_YEAR).shares == region.mix.shares
+
+    def test_improving_region_was_dirtier_in_the_past(self, full_catalog):
+        synthesizer = TraceSynthesizer()
+        improving = [
+            region
+            for region in full_catalog
+            if synthesizer.region_trend(region) == RegionTrend.IMPROVING
+            and region.mix.variable_renewable_share > 0.05
+        ]
+        assert improving, "expected at least one improving region with renewables"
+        region = improving[0]
+        past = synthesizer.mix_for_year(region, 2020)
+        assert past.average_carbon_intensity() > region.mix.average_carbon_intensity()
+
+    def test_worsening_region_was_cleaner_in_the_past(self, full_catalog):
+        synthesizer = TraceSynthesizer()
+        worsening = [
+            region
+            for region in full_catalog
+            if synthesizer.region_trend(region) == RegionTrend.WORSENING
+            and region.mix.fossil_share > 0.1
+        ]
+        assert worsening, "expected at least one worsening region with fossil generation"
+        region = worsening[0]
+        past = synthesizer.mix_for_year(region, 2020)
+        assert past.average_carbon_intensity() < region.mix.average_carbon_intensity()

@@ -1,0 +1,129 @@
+"""End-to-end integration tests: from catalog to headline claims.
+
+These tests run the library the way a user of the reproduction would, on the
+small fixture dataset, and assert the paper's qualitative claims (the
+"shape" of the results) rather than specific numbers.
+"""
+
+import pytest
+
+from repro import CarbonDataset, Job, default_catalog
+from repro.cloud.capacity import waterfall_assignment
+from repro.scheduling import (
+    CandidateSelector,
+    CombinedShiftingPolicy,
+    DeferralPolicy,
+    InfiniteMigrationPolicy,
+    InterruptiblePolicy,
+    OneMigrationPolicy,
+    SpatialSweep,
+    TemporalSweep,
+)
+
+
+class TestHeadlineClaims:
+    """The paper's bullet-point findings, checked on the fixture dataset."""
+
+    def test_spatial_reductions_exceed_temporal_reductions(self, small_dataset):
+        """'Carbon reductions from spatial shifting are substantially higher
+        than those from temporal shifting.'"""
+        length = 24
+        spatial, temporal = [], []
+        for code in small_dataset.codes():
+            trace = small_dataset.series(code)
+            t_sweep = TemporalSweep(trace, length, 24)
+            temporal.append(float((t_sweep.baseline_sums() - t_sweep.interruptible_sums()).mean()))
+            s_sweep = SpatialSweep(small_dataset, code, small_dataset.codes(), length)
+            spatial.append(s_sweep.mean_reductions()["one_migration_reduction_mean"])
+        assert sum(spatial) > 2 * sum(temporal)
+
+    def test_single_migration_captures_most_of_the_benefit(self, small_dataset):
+        """'Migrating once to the greenest region yields the vast majority of
+        the carbon reductions.'"""
+        for origin in ("IN-MH", "DE", "PL"):
+            sweep = SpatialSweep(small_dataset, origin, small_dataset.codes(), 24)
+            reductions = sweep.mean_reductions()
+            one = reductions["one_migration_reduction_mean"]
+            infinite = reductions["infinite_migration_reduction_mean"]
+            assert infinite - one < 0.05 * infinite + 10.0
+
+    def test_practical_slack_much_worse_than_ideal(self, small_dataset):
+        """'Practical constraints limit temporal savings to a fraction of the
+        ideal.'"""
+        trace = small_dataset.series("US-CA")
+        ideal = TemporalSweep(trace, 24, len(trace) - 24)
+        practical = TemporalSweep(trace, 24, 24)
+        ideal_gain = float((ideal.baseline_sums() - ideal.interruptible_sums()).mean())
+        practical_gain = float(
+            (practical.baseline_sums() - practical.interruptible_sums()).mean()
+        )
+        assert practical_gain < 0.75 * ideal_gain
+
+    def test_long_jobs_gain_less_per_hour_than_short_jobs(self, small_dataset):
+        trace = small_dataset.series("US-CA")
+        slack = len(trace) - 168
+        short = TemporalSweep(trace, 1, slack)
+        long = TemporalSweep(trace, 168, slack)
+        short_gain = float((short.baseline_sums() - short.deferral_sums()).mean())
+        long_gain = float((long.baseline_sums() - long.deferral_sums()).mean()) / 168
+        assert short_gain > long_gain
+
+    def test_capacity_constraints_halve_the_ideal_spatial_savings(self, small_dataset):
+        means = small_dataset.annual_means()
+        ideal = waterfall_assignment(means, idle_fraction=0.99).average_reduction()
+        constrained = waterfall_assignment(means, idle_fraction=0.5).average_reduction()
+        assert constrained < 0.8 * ideal
+        assert constrained > 0
+
+    def test_low_variability_regions_gain_nothing_from_temporal_shifting(self, small_dataset):
+        flat = small_dataset.series("SG")
+        sweep = TemporalSweep(flat, 24, 24)
+        gain = float((sweep.baseline_sums() - sweep.interruptible_sums()).mean())
+        variable = small_dataset.series("US-CA")
+        variable_gain = float(
+            (TemporalSweep(variable, 24, 24).baseline_sums()
+             - TemporalSweep(variable, 24, 24).interruptible_sums()).mean()
+        )
+        assert gain < 0.2 * variable_gain
+
+
+class TestWorkflow:
+    """A realistic user workflow touching every layer of the library."""
+
+    def test_schedule_one_job_through_every_policy(self, small_dataset):
+        job = Job.batch(length_hours=24, slack_hours=24, interruptible=True)
+        origin = "DE"
+        trace = small_dataset.series(origin)
+        results = {
+            "deferral": DeferralPolicy().schedule(job, trace, 4000),
+            "interrupt": InterruptiblePolicy().schedule(job, trace, 4000),
+            "one-migration": OneMigrationPolicy().schedule(job, small_dataset, origin, 4000),
+            "inf-migration": InfiniteMigrationPolicy().schedule(job, small_dataset, origin, 4000),
+            "combined": CombinedShiftingPolicy().schedule(job, small_dataset, origin, 4000),
+        }
+        for result in results.values():
+            assert result.emissions_g <= result.baseline_emissions_g + 1e-9
+        assert results["combined"].emissions_g <= results["one-migration"].emissions_g + 1e-9
+        assert results["interrupt"].emissions_g <= results["deferral"].emissions_g + 1e-9
+
+    def test_group_constrained_migration_stays_in_group(self, small_dataset):
+        job = Job.batch(length_hours=12)
+        selector = CandidateSelector(scope="group")
+        policy = OneMigrationPolicy(selector)
+        result = policy.schedule(job, small_dataset, "PL", 0)
+        destination = result.regions_used()[0]
+        assert small_dataset.region(destination).group == small_dataset.region("PL").group
+
+    def test_full_catalog_dataset_has_expected_global_statistics(self):
+        # Build a 1-year dataset over the full 123-region catalog and verify
+        # the headline statistics of the synthetic data layer itself.
+        dataset = CarbonDataset.synthetic(catalog=default_catalog(), years=(2022,))
+        assert len(dataset) == 123
+        assert dataset.greenest_region() == "SE"
+        assert dataset.mean_intensity("SE") < 30
+        global_average = dataset.global_average()
+        assert 280 <= global_average <= 430
+        spread = dataset.mean_intensity(dataset.dirtiest_region()) / dataset.mean_intensity(
+            dataset.greenest_region()
+        )
+        assert spread > 20

@@ -1,0 +1,244 @@
+"""Property-based tests (hypothesis) for the core kernels and invariants.
+
+These tests check the algorithmic heart of the reproduction against brute
+force on small random inputs: the window-search kernels that implement the
+temporal policies, the sweep kernels, the generation-mix algebra and the
+capacity waterfall.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.capacity import waterfall_assignment
+from repro.core.metrics import absolute_reduction, relative_reduction_percent
+from repro.grid.mix import GenerationMix
+from repro.grid.sources import EMISSION_FACTORS, GenerationSource
+from repro.scheduling.sweep import TemporalSweep
+from repro.timeseries.series import HourlySeries
+from repro.timeseries.windows import k_smallest_slots, min_sum_contiguous_window
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+intensity_values = st.lists(
+    st.floats(min_value=1.0, max_value=900.0, allow_nan=False, allow_infinity=False),
+    min_size=8,
+    max_size=200,
+)
+
+
+@st.composite
+def values_and_window(draw):
+    values = np.array(draw(intensity_values))
+    window = draw(st.integers(min_value=1, max_value=len(values)))
+    return values, window
+
+
+@st.composite
+def trace_length_slack(draw):
+    """A small 'year' (48–240 hours) plus a job length and slack that fit."""
+    num_hours = draw(st.integers(min_value=48, max_value=240))
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**16)))
+    values = rng.uniform(1.0, 900.0, size=num_hours)
+    length = draw(st.integers(min_value=1, max_value=min(24, num_hours - 1)))
+    slack = draw(st.integers(min_value=0, max_value=num_hours - length))
+    return HourlySeries(values, name="hyp"), length, slack
+
+
+@st.composite
+def mixes(draw):
+    sources = list(GenerationSource)
+    raw = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=len(sources),
+            max_size=len(sources),
+        ).filter(lambda xs: sum(xs) > 0.1)
+    )
+    total = sum(raw)
+    return GenerationMix({s: v / total for s, v in zip(sources, raw) if v > 0})
+
+
+# ----------------------------------------------------------------------
+# Window kernels vs brute force
+# ----------------------------------------------------------------------
+class TestWindowKernelProperties:
+    @given(values_and_window())
+    @settings(max_examples=150, deadline=None)
+    def test_min_sum_window_matches_brute_force(self, case):
+        values, window = case
+        result = min_sum_contiguous_window(values, window)
+        brute = min(values[i : i + window].sum() for i in range(len(values) - window + 1))
+        assert result.total == pytest.approx(brute)
+
+    @given(values_and_window())
+    @settings(max_examples=150, deadline=None)
+    def test_k_smallest_matches_brute_force(self, case):
+        values, k = case
+        result = k_smallest_slots(values, k)
+        assert result.total == pytest.approx(np.sort(values)[:k].sum())
+
+    @given(values_and_window())
+    @settings(max_examples=100, deadline=None)
+    def test_interruptible_never_worse_than_contiguous(self, case):
+        values, window = case
+        contiguous = min_sum_contiguous_window(values, window)
+        scattered = k_smallest_slots(values, window)
+        assert scattered.total <= contiguous.total + 1e-6
+
+    @given(values_and_window())
+    @settings(max_examples=100, deadline=None)
+    def test_selected_indices_are_valid_and_unique(self, case):
+        values, k = case
+        result = k_smallest_slots(values, k)
+        assert len(result.indices) == k
+        assert len(set(result.indices.tolist())) == k
+        assert result.indices.min() >= 0
+        assert result.indices.max() < len(values)
+
+
+# ----------------------------------------------------------------------
+# Sweep kernels vs brute force
+# ----------------------------------------------------------------------
+def _brute_force_sums(values: np.ndarray, length: int, slack: int):
+    """Reference implementation of the three per-arrival emission sums."""
+    n = len(values)
+    doubled = np.concatenate([values, values])
+    baseline, deferral, interruptible = [], [], []
+    for arrival in range(n):
+        window = doubled[arrival : arrival + length + slack]
+        baseline.append(window[:length].sum())
+        deferral.append(
+            min(window[d : d + length].sum() for d in range(slack + 1))
+        )
+        interruptible.append(np.sort(window)[:length].sum())
+    return np.array(baseline), np.array(deferral), np.array(interruptible)
+
+
+class TestSweepProperties:
+    @given(trace_length_slack())
+    @settings(max_examples=40, deadline=None)
+    def test_sweeps_match_brute_force(self, case):
+        trace, length, slack = case
+        sweep = TemporalSweep(trace, length, slack)
+        baseline, deferral, interruptible = _brute_force_sums(trace.values, length, slack)
+        assert np.allclose(sweep.baseline_sums(), baseline)
+        assert np.allclose(sweep.deferral_sums(), deferral)
+        assert np.allclose(sweep.interruptible_sums(), interruptible)
+
+    @given(trace_length_slack())
+    @settings(max_examples=40, deadline=None)
+    def test_ordering_invariant(self, case):
+        trace, length, slack = case
+        sweep = TemporalSweep(trace, length, slack)
+        baseline = sweep.baseline_sums()
+        deferral = sweep.deferral_sums()
+        interruptible = sweep.interruptible_sums()
+        assert np.all(deferral <= baseline + 1e-6)
+        assert np.all(interruptible <= deferral + 1e-6)
+        assert np.all(interruptible > 0)
+
+
+# ----------------------------------------------------------------------
+# Generation-mix algebra
+# ----------------------------------------------------------------------
+class TestMixProperties:
+    @given(mixes())
+    @settings(max_examples=100, deadline=None)
+    def test_shares_always_normalised(self, mix):
+        assert sum(mix.shares.values()) == pytest.approx(1.0)
+        assert all(share >= 0 for share in mix.shares.values())
+
+    @given(mixes())
+    @settings(max_examples=100, deadline=None)
+    def test_intensity_bounded_by_extreme_factors(self, mix):
+        intensity = mix.average_carbon_intensity()
+        assert min(EMISSION_FACTORS.values()) - 1e-9 <= intensity
+        assert intensity <= max(EMISSION_FACTORS.values()) + 1e-9
+
+    @given(mixes(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_adding_renewables_never_increases_intensity(self, mix, fraction):
+        greener = mix.with_added_renewables(fraction)
+        assert greener.average_carbon_intensity() <= mix.average_carbon_intensity() + 1e-6
+        assert sum(greener.shares.values()) == pytest.approx(1.0)
+
+    @given(mixes(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_adding_renewables_preserves_non_fossil_low_carbon(self, mix, fraction):
+        greener = mix.with_added_renewables(fraction)
+        for source in (GenerationSource.NUCLEAR, GenerationSource.GEOTHERMAL,
+                       GenerationSource.BIOMASS, GenerationSource.HYDRO):
+            assert greener.share(source) == pytest.approx(mix.share(source), abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Capacity waterfall
+# ----------------------------------------------------------------------
+@st.composite
+def intensity_maps(draw):
+    count = draw(st.integers(min_value=2, max_value=15))
+    values = draw(
+        st.lists(
+            st.floats(min_value=5.0, max_value=900.0, allow_nan=False),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    return {f"r{i}": value for i, value in enumerate(values)}
+
+
+class TestCapacityProperties:
+    @given(intensity_maps(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_waterfall_never_increases_average_intensity(self, intensities, idle):
+        assignment = waterfall_assignment(intensities, idle)
+        assert (
+            assignment.average_effective_intensity()
+            <= assignment.average_origin_intensity() + 1e-6
+        )
+
+    @given(intensity_maps(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_waterfall_conserves_load_and_respects_capacity(self, intensities, idle):
+        assignment = waterfall_assignment(intensities, idle)
+        local_load = 1.0 - idle
+        received: dict[str, float] = {}
+        for entry in assignment.assignments:
+            assert sum(entry.placements.values()) == pytest.approx(local_load, abs=1e-9)
+            for destination, amount in entry.placements.items():
+                assert amount >= -1e-12
+                if destination != entry.origin:
+                    received[destination] = received.get(destination, 0.0) + amount
+        for amount in received.values():
+            assert amount <= idle + 1e-9
+
+    @given(intensity_maps())
+    @settings(max_examples=60, deadline=None)
+    def test_more_idle_capacity_never_hurts(self, intensities):
+        low = waterfall_assignment(intensities, 0.2).average_effective_intensity()
+        high = waterfall_assignment(intensities, 0.8).average_effective_intensity()
+        assert high <= low + 1e-6
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetricProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_reduction_antisymmetry(self, a, b):
+        assert absolute_reduction(a, b) == pytest.approx(-absolute_reduction(b, a))
+
+    @given(st.floats(min_value=1e-3, max_value=1e6), st.floats(min_value=0.0, max_value=1e6))
+    @settings(max_examples=100, deadline=None)
+    def test_relative_reduction_bounded_above_by_100(self, baseline, optimized):
+        # Allow a few ulps of floating-point headroom above the exact bound.
+        assert relative_reduction_percent(baseline, optimized) <= 100.0 + 1e-9

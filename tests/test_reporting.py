@@ -1,0 +1,64 @@
+"""Unit tests for the reporting helpers."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.reporting import format_table, rows_to_csv, write_rows_csv
+
+ROWS = [
+    {"region": "SE", "mean": 14.234, "datacenter": True},
+    {"region": "IN-MH", "mean": 622.1, "datacenter": False},
+]
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self):
+        text = format_table(ROWS)
+        assert "region" in text
+        assert "SE" in text
+        assert "622.10" in text
+
+    def test_title(self):
+        text = format_table(ROWS, title="Figure 3a")
+        assert text.startswith("Figure 3a")
+
+    def test_column_selection_and_order(self):
+        text = format_table(ROWS, columns=["mean", "region"])
+        header = text.splitlines()[0]
+        assert header.index("mean") < header.index("region")
+
+    def test_float_digits(self):
+        text = format_table(ROWS, float_digits=0)
+        assert "14" in text
+        assert "14.23" not in text
+
+    def test_booleans_rendered(self):
+        text = format_table(ROWS)
+        assert "yes" in text
+        assert "no" in text
+
+    def test_missing_column_value_is_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = format_table(rows)
+        assert "b" in text
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table([])
+
+
+class TestCsvExport:
+    def test_csv_roundtrip(self):
+        text = rows_to_csv(ROWS)
+        lines = text.strip().splitlines()
+        assert lines[0] == "region,mean,datacenter"
+        assert len(lines) == 3
+
+    def test_write_rows_csv(self, tmp_path):
+        path = write_rows_csv(ROWS, tmp_path / "out" / "rows.csv")
+        assert path.exists()
+        assert "SE" in path.read_text()
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rows_to_csv([])

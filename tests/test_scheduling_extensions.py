@@ -1,0 +1,171 @@
+"""Unit tests for the extension policies: overhead-aware scheduling,
+forecast-driven (non-clairvoyant) scheduling and rank-stability analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.rank_stability import rank_stability
+from repro.exceptions import ConfigurationError
+from repro.forecast.models import PersistenceForecaster
+from repro.scheduling import (
+    DeferralPolicy,
+    ForecastDeferralPolicy,
+    InterruptiblePolicy,
+    OneMigrationPolicy,
+    OverheadAwareInterruptiblePolicy,
+    OverheadAwareMigrationPolicy,
+    OverheadModel,
+    clairvoyance_gap,
+)
+from repro.timeseries.series import HourlySeries
+from repro.workloads.job import Job
+
+
+class TestOverheadModel:
+    def test_defaults_are_free(self):
+        assert OverheadModel().is_free
+
+    def test_invalid_overheads(self):
+        with pytest.raises(ConfigurationError):
+            OverheadModel(suspend_resume_hours=-1)
+        with pytest.raises(ConfigurationError):
+            OverheadModel(migration_hours=-0.5)
+
+
+class TestOverheadAwareInterruptiblePolicy:
+    def test_zero_overhead_matches_ideal(self, small_dataset):
+        trace = small_dataset.series("US-CA")
+        job = Job.batch(length_hours=24, slack_hours=48, interruptible=True)
+        ideal = InterruptiblePolicy().schedule(job, trace, 1000)
+        aware = OverheadAwareInterruptiblePolicy(OverheadModel()).schedule(job, trace, 1000)
+        assert aware.emissions_g == pytest.approx(ideal.emissions_g)
+
+    def test_overhead_reduces_the_savings(self, small_dataset):
+        trace = small_dataset.series("US-CA")
+        job = Job.batch(length_hours=24, slack_hours=168, interruptible=True)
+        ideal = InterruptiblePolicy().schedule(job, trace, 2000)
+        aware = OverheadAwareInterruptiblePolicy(
+            OverheadModel(suspend_resume_hours=0.5)
+        ).schedule(job, trace, 2000)
+        assert aware.emissions_g >= ideal.emissions_g - 1e-9
+
+    def test_falls_back_to_contiguous_when_overhead_dominates(self, small_dataset):
+        trace = small_dataset.series("US-CA")
+        job = Job.batch(length_hours=24, slack_hours=168, interruptible=True)
+        aware = OverheadAwareInterruptiblePolicy(
+            OverheadModel(suspend_resume_hours=100.0)
+        ).schedule(job, trace, 2000)
+        deferral = DeferralPolicy().schedule(job, trace, 2000)
+        assert aware.emissions_g == pytest.approx(deferral.emissions_g)
+        assert aware.num_interruptions == 0
+
+    def test_never_worse_than_baseline(self, small_dataset):
+        trace = small_dataset.series("DE")
+        job = Job.batch(length_hours=12, slack_hours=24, interruptible=True)
+        policy = OverheadAwareInterruptiblePolicy(OverheadModel(suspend_resume_hours=1.0))
+        for arrival in (0, 3000, 8000):
+            result = policy.schedule(job, trace, arrival)
+            assert result.emissions_g <= result.baseline_emissions_g + 1e-9
+
+
+class TestOverheadAwareMigrationPolicy:
+    def test_zero_overhead_matches_ideal(self, small_dataset):
+        job = Job.batch(length_hours=24)
+        ideal = OneMigrationPolicy().schedule(job, small_dataset, "IN-MH", 0)
+        aware = OverheadAwareMigrationPolicy().schedule(job, small_dataset, "IN-MH", 0)
+        assert aware.emissions_g == pytest.approx(ideal.emissions_g)
+
+    def test_overhead_added_to_migrated_emissions(self, small_dataset):
+        job = Job.batch(length_hours=24)
+        ideal = OneMigrationPolicy().schedule(job, small_dataset, "IN-MH", 0)
+        aware = OverheadAwareMigrationPolicy(
+            OverheadModel(migration_hours=2.0)
+        ).schedule(job, small_dataset, "IN-MH", 0)
+        assert aware.emissions_g > ideal.emissions_g
+        assert aware.emissions_g < aware.baseline_emissions_g
+
+    def test_stays_home_when_migration_does_not_pay(self, small_dataset):
+        # A short job from an already-green region with a huge overhead.
+        job = Job.batch(length_hours=1)
+        origin = "CA-QC"
+        aware = OverheadAwareMigrationPolicy(
+            OverheadModel(migration_hours=500.0)
+        ).schedule(job, small_dataset, origin, 0)
+        assert aware.regions_used() == (origin,)
+        assert aware.emissions_g == pytest.approx(aware.baseline_emissions_g)
+
+
+class TestForecastDeferralPolicy:
+    def test_perfect_periodic_trace_matches_clairvoyant(self, diurnal_trace):
+        job = Job.batch(length_hours=6, slack_hours=24)
+        arrival = 24 * 40
+        online = ForecastDeferralPolicy().schedule(job, diurnal_trace, arrival)
+        clairvoyant = DeferralPolicy().schedule(job, diurnal_trace, arrival)
+        assert online.emissions_g == pytest.approx(clairvoyant.emissions_g, rel=1e-3)
+
+    def test_insufficient_history_runs_immediately(self, diurnal_trace):
+        job = Job.batch(length_hours=6, slack_hours=24)
+        result = ForecastDeferralPolicy(history_hours=200).schedule(job, diurnal_trace, 10)
+        assert result.delay_hours == 0
+
+    def test_never_better_than_clairvoyant(self, small_dataset):
+        trace = small_dataset.series("US-CA")
+        job = Job.batch(length_hours=12, slack_hours=24)
+        online = ForecastDeferralPolicy()
+        clairvoyant = DeferralPolicy()
+        for arrival in (1000, 4000, 7000):
+            assert (
+                online.schedule(job, trace, arrival).emissions_g
+                >= clairvoyant.schedule(job, trace, arrival).emissions_g - 1e-6
+            )
+
+    def test_invalid_history(self):
+        with pytest.raises(ConfigurationError):
+            ForecastDeferralPolicy(history_hours=0)
+
+    def test_clairvoyance_gap_summary(self, small_dataset):
+        trace = small_dataset.series("US-CA")
+        job = Job.batch(length_hours=12, slack_hours=24)
+        summary = clairvoyance_gap(trace, job, list(range(1000, 2000, 200)))
+        assert summary["clairvoyant_mean"] <= summary["online_mean"] + 1e-6
+        assert summary["online_mean"] <= summary["baseline_mean"] + 1e-6
+        assert 0.0 <= summary["captured_fraction"] <= 1.0 + 1e-9
+
+    def test_persistence_forecaster_can_be_injected(self, small_dataset):
+        # A persistence forecast carries no signal about the future, so the
+        # chosen window is effectively arbitrary within the slack; the result
+        # must still be a valid schedule that starts within the slack window.
+        trace = small_dataset.series("US-CA")
+        job = Job.batch(length_hours=12, slack_hours=24)
+        policy = ForecastDeferralPolicy(PersistenceForecaster())
+        result = policy.schedule(job, trace, 5000)
+        from repro.core.result import ScheduleResult
+
+        ScheduleResult.validate_covers_job(result)
+        assert 0 <= result.delay_hours <= job.slack_hours
+
+
+class TestRankStability:
+    def test_statistics_on_small_dataset(self, small_dataset):
+        stability = rank_stability(small_dataset)
+        assert 0.0 <= stability.greenest_agreement <= 1.0
+        assert stability.greenest_in_top_k >= stability.greenest_agreement
+        assert -1.0 <= stability.mean_rank_correlation <= 1.0
+        assert stability.greenest_changes_per_day >= 1.0
+
+    def test_synthetic_dataset_rank_order_is_stable(self, small_dataset):
+        stability = rank_stability(small_dataset)
+        assert stability.mean_rank_correlation > 0.8
+        assert stability.is_stable
+
+    def test_identical_regions_are_not_flagged_unstable_by_top_k(self, small_dataset):
+        stability = rank_stability(small_dataset, top_k=len(small_dataset.codes()))
+        assert stability.greenest_in_top_k == pytest.approx(1.0)
+
+    def test_requires_two_regions(self, small_dataset):
+        with pytest.raises(ConfigurationError):
+            rank_stability(small_dataset, codes=("SE",))
+
+    def test_invalid_top_k(self, small_dataset):
+        with pytest.raises(ConfigurationError):
+            rank_stability(small_dataset, top_k=0)

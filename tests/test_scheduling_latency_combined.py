@@ -1,0 +1,118 @@
+"""Unit tests for latency-constrained and combined spatiotemporal policies."""
+
+import pytest
+
+from repro.cloud.latency import LatencyModel
+from repro.exceptions import ConfigurationError
+from repro.scheduling.combined import CombinedShiftingPolicy, CombinedSweep
+from repro.scheduling.latency_aware import (
+    LatencyConstrainedPolicy,
+    latency_capacity_tradeoff,
+    reduction_by_slo,
+)
+from repro.scheduling.spatial import OneMigrationPolicy
+from repro.scheduling.temporal import DeferralPolicy, InterruptiblePolicy
+from repro.workloads.job import Job
+
+
+class TestLatencyConstrainedPolicy:
+    def test_tight_slo_limits_reduction(self, small_dataset):
+        job = Job.interactive()
+        tight = LatencyConstrainedPolicy(latency_slo_ms=10.0)
+        loose = LatencyConstrainedPolicy(latency_slo_ms=500.0)
+        origin = "IN-MH"
+        tight_result = tight.schedule(job, small_dataset, origin, 0)
+        loose_result = loose.schedule(job, small_dataset, origin, 0)
+        assert loose_result.emissions_g <= tight_result.emissions_g + 1e-9
+
+    def test_invalid_slo(self):
+        with pytest.raises(ConfigurationError):
+            LatencyConstrainedPolicy(latency_slo_ms=-5.0)
+
+
+class TestLatencyCapacityTradeoff:
+    def test_reduction_grows_with_slo(self, small_dataset):
+        points = latency_capacity_tradeoff(
+            small_dataset,
+            latency_slos_ms=(0.0, 100.0, 300.0),
+            idle_fractions=(1.0,),
+        )
+        curve = reduction_by_slo(points, 1.0)
+        values = list(curve.values())
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_infinite_capacity_beats_constrained(self, small_dataset):
+        points = latency_capacity_tradeoff(
+            small_dataset,
+            latency_slos_ms=(300.0,),
+            idle_fractions=(1.0, 0.5),
+        )
+        unconstrained = reduction_by_slo(points, 1.0)[300.0]
+        constrained = reduction_by_slo(points, 0.5)[300.0]
+        assert unconstrained >= constrained - 1e-9
+
+    def test_reduction_percent_helper(self, small_dataset):
+        points = latency_capacity_tradeoff(
+            small_dataset, latency_slos_ms=(250.0,), idle_fractions=(1.0,)
+        )
+        point = points[0]
+        percent = point.reduction_percent_of(small_dataset.global_average())
+        assert 0 <= percent <= 100
+
+    def test_unknown_idle_fraction_raises(self, small_dataset):
+        points = latency_capacity_tradeoff(
+            small_dataset, latency_slos_ms=(100.0,), idle_fractions=(1.0,)
+        )
+        with pytest.raises(ConfigurationError):
+            reduction_by_slo(points, 0.25)
+
+
+class TestCombinedShiftingPolicy:
+    def test_beats_pure_temporal_for_dirty_origin(self, small_dataset):
+        job = Job.batch(length_hours=24, slack_hours=24, interruptible=True)
+        origin = "IN-MH"
+        temporal_only = InterruptiblePolicy().schedule(
+            job, small_dataset.series(origin), 100
+        )
+        combined = CombinedShiftingPolicy().schedule(job, small_dataset, origin, 100)
+        assert combined.emissions_g <= temporal_only.emissions_g + 1e-9
+
+    def test_beats_or_matches_pure_spatial(self, small_dataset):
+        job = Job.batch(length_hours=24, slack_hours=168, interruptible=True)
+        origin = "DE"
+        spatial_only = OneMigrationPolicy().schedule(job, small_dataset, origin, 100)
+        combined = CombinedShiftingPolicy().schedule(job, small_dataset, origin, 100)
+        assert combined.emissions_g <= spatial_only.emissions_g + 1e-9
+
+    def test_uses_custom_temporal_policy(self, small_dataset):
+        job = Job.batch(length_hours=24, slack_hours=24)
+        policy = CombinedShiftingPolicy(temporal_policy=DeferralPolicy())
+        result = policy.schedule(job, small_dataset, "DE", 0)
+        assert result.num_interruptions == 0
+
+
+class TestCombinedSweep:
+    def test_breakdown_components(self, small_dataset):
+        sweep = CombinedSweep(small_dataset, length_hours=24, slack_hours=24)
+        breakdown = sweep.breakdown("IN-MH", "SE")
+        assert breakdown.spatial_reduction > 0
+        assert breakdown.temporal_reduction >= 0
+        assert breakdown.net_reduction == pytest.approx(
+            breakdown.spatial_reduction + breakdown.temporal_reduction
+        )
+
+    def test_migrating_to_dirty_region_is_negative_spatially(self, small_dataset):
+        sweep = CombinedSweep(small_dataset, length_hours=24, slack_hours=24)
+        breakdown = sweep.breakdown("SE", "IN-MH")
+        assert breakdown.spatial_reduction < 0
+
+    def test_global_breakdown_spatial_dominates_for_greenest(self, small_dataset):
+        sweep = CombinedSweep(small_dataset, length_hours=24, slack_hours=24)
+        breakdown = sweep.global_breakdown(small_dataset.greenest_region())
+        assert breakdown.spatial_reduction > breakdown.temporal_reduction
+
+    def test_invalid_parameters(self, small_dataset):
+        with pytest.raises(ConfigurationError):
+            CombinedSweep(small_dataset, length_hours=0, slack_hours=24)
+        with pytest.raises(ConfigurationError):
+            CombinedSweep(small_dataset, length_hours=24, slack_hours=-1)

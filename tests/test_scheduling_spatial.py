@@ -1,0 +1,168 @@
+"""Unit tests for the spatial shifting policies."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.latency import LatencyModel
+from repro.core.result import ScheduleResult
+from repro.exceptions import ConfigurationError
+from repro.grid.region import GeographicGroup
+from repro.scheduling.spatial import (
+    CandidateSelector,
+    InfiniteMigrationPolicy,
+    OneMigrationPolicy,
+    SpatialSweep,
+)
+from repro.workloads.job import Job
+
+
+class TestCandidateSelector:
+    def test_global_scope_returns_all(self, small_dataset):
+        selector = CandidateSelector(scope="global")
+        assert set(selector.candidates(small_dataset, "SE")) == set(small_dataset.codes())
+
+    def test_group_scope_restricts_to_continent(self, small_dataset):
+        selector = CandidateSelector(scope="group")
+        candidates = selector.candidates(small_dataset, "DE")
+        groups = {small_dataset.region(code).group for code in candidates}
+        assert groups == {GeographicGroup.EUROPE}
+
+    def test_origin_scope(self, small_dataset):
+        selector = CandidateSelector(scope="origin")
+        assert selector.candidates(small_dataset, "SG") == ("SG",)
+
+    def test_allowed_codes_intersection(self, small_dataset):
+        selector = CandidateSelector(allowed_codes=("SE", "US-CA"))
+        candidates = selector.candidates(small_dataset, "IN-MH")
+        assert set(candidates) == {"SE", "US-CA", "IN-MH"}
+
+    def test_origin_always_included(self, small_dataset):
+        selector = CandidateSelector(allowed_codes=("SE",))
+        assert "SG" in selector.candidates(small_dataset, "SG")
+
+    def test_latency_constraint_shrinks_candidates(self, small_dataset):
+        tight = CandidateSelector(latency_model=LatencyModel(), latency_slo_ms=30.0)
+        loose = CandidateSelector(latency_model=LatencyModel(), latency_slo_ms=400.0)
+        assert len(tight.candidates(small_dataset, "DE")) <= len(
+            loose.candidates(small_dataset, "DE")
+        )
+
+    def test_require_datacenter(self, small_dataset):
+        selector = CandidateSelector(require_datacenter=True)
+        candidates = selector.candidates(small_dataset, "SE")
+        for code in candidates:
+            assert code == "SE" or small_dataset.region(code).has_datacenter
+
+    def test_invalid_scope(self):
+        with pytest.raises(ConfigurationError):
+            CandidateSelector(scope="continent")
+
+    def test_latency_parameters_must_come_together(self):
+        with pytest.raises(ConfigurationError):
+            CandidateSelector(latency_slo_ms=50.0)
+
+
+class TestOneMigrationPolicy:
+    def test_migrates_to_greenest_region(self, small_dataset):
+        job = Job.batch(length_hours=24)
+        result = OneMigrationPolicy().schedule(job, small_dataset, "IN-MH", 0)
+        assert result.regions_used() == (small_dataset.greenest_region(),)
+        assert result.reduction_g > 0
+        ScheduleResult.validate_covers_job(result)
+
+    def test_non_migratable_job_stays_home(self, small_dataset):
+        job = Job.batch(length_hours=24).as_non_migratable()
+        result = OneMigrationPolicy().schedule(job, small_dataset, "IN-MH", 0)
+        assert result.regions_used() == ("IN-MH",)
+        assert result.reduction_g == pytest.approx(0.0)
+
+    def test_greenest_origin_gains_little(self, small_dataset):
+        job = Job.batch(length_hours=24)
+        origin = small_dataset.greenest_region()
+        result = OneMigrationPolicy().schedule(job, small_dataset, origin, 0)
+        assert abs(result.reduction_g) < 0.05 * result.baseline_emissions_g + 1e-9
+
+    def test_group_scope_respects_borders(self, small_dataset):
+        job = Job.batch(length_hours=24)
+        policy = OneMigrationPolicy(CandidateSelector(scope="group"))
+        result = policy.schedule(job, small_dataset, "IN-MH", 0)
+        destination = result.regions_used()[0]
+        assert small_dataset.region(destination).group == GeographicGroup.ASIA
+
+    def test_interactive_job(self, small_dataset):
+        job = Job.interactive()
+        result = OneMigrationPolicy().schedule(job, small_dataset, "IN-MH", 100)
+        assert result.emissions_g < result.baseline_emissions_g
+
+    def test_invalid_arrival_hour(self, small_dataset):
+        job = Job.batch(length_hours=24)
+        with pytest.raises(ConfigurationError):
+            OneMigrationPolicy().schedule(job, small_dataset, "SE", 9999)
+
+
+class TestInfiniteMigrationPolicy:
+    def test_beats_or_matches_one_migration(self, small_dataset):
+        job = Job.batch(length_hours=48)
+        for origin in ("IN-MH", "DE", "US-CA"):
+            one = OneMigrationPolicy().schedule(job, small_dataset, origin, 1000)
+            infinite = InfiniteMigrationPolicy().schedule(job, small_dataset, origin, 1000)
+            assert infinite.emissions_g <= one.emissions_g + 1e-6
+
+    def test_emissions_equal_hourly_minimum(self, small_dataset):
+        job = Job.batch(length_hours=24)
+        result = InfiniteMigrationPolicy().schedule(job, small_dataset, "DE", 0)
+        matrix = small_dataset.intensity_matrix()
+        expected = matrix[:, :24].min(axis=0).sum()
+        assert result.emissions_g == pytest.approx(expected)
+
+    def test_slices_cover_job(self, small_dataset):
+        job = Job.batch(length_hours=24)
+        result = InfiniteMigrationPolicy().schedule(job, small_dataset, "DE", 0)
+        ScheduleResult.validate_covers_job(result)
+
+    def test_non_migratable_job_stays_home(self, small_dataset):
+        job = Job.batch(length_hours=12).as_non_migratable()
+        result = InfiniteMigrationPolicy().schedule(job, small_dataset, "PL", 0)
+        assert result.regions_used() == ("PL",)
+
+    def test_interactive_job_routes_to_cleanest_now(self, small_dataset):
+        job = Job.interactive()
+        result = InfiniteMigrationPolicy().schedule(job, small_dataset, "PL", 5000)
+        matrix = small_dataset.intensity_matrix()
+        assert result.emissions_g == pytest.approx(matrix[:, 5000].min() * 0.01)
+
+
+class TestSpatialSweep:
+    def test_matches_policy_at_sample_arrivals(self, small_dataset):
+        selector = CandidateSelector()
+        candidates = selector.candidates(small_dataset, "IN-MH")
+        sweep = SpatialSweep(small_dataset, "IN-MH", candidates, 24)
+        one = sweep.one_migration_sums()
+        infinite = sweep.infinite_migration_sums()
+        baseline = sweep.baseline_sums()
+        job = Job.batch(length_hours=24)
+        for arrival in (0, 1000, 8759):
+            one_policy = OneMigrationPolicy().schedule(job, small_dataset, "IN-MH", arrival)
+            inf_policy = InfiniteMigrationPolicy().schedule(job, small_dataset, "IN-MH", arrival)
+            assert baseline[arrival] == pytest.approx(one_policy.baseline_emissions_g)
+            assert one[arrival] == pytest.approx(one_policy.emissions_g)
+            assert infinite[arrival] == pytest.approx(inf_policy.emissions_g, rel=1e-6)
+
+    def test_infinite_never_exceeds_one_migration(self, small_dataset):
+        candidates = small_dataset.codes()
+        sweep = SpatialSweep(small_dataset, "DE", candidates, 24)
+        assert np.all(sweep.infinite_migration_sums() <= sweep.one_migration_sums() + 1e-9)
+
+    def test_mean_reductions_keys(self, small_dataset):
+        sweep = SpatialSweep(small_dataset, "DE", small_dataset.codes(), 24)
+        assert set(sweep.mean_reductions()) == {
+            "baseline_mean",
+            "one_migration_reduction_mean",
+            "infinite_migration_reduction_mean",
+        }
+
+    def test_invalid_parameters(self, small_dataset):
+        with pytest.raises(ConfigurationError):
+            SpatialSweep(small_dataset, "DE", (), 24)
+        with pytest.raises(ConfigurationError):
+            SpatialSweep(small_dataset, "DE", small_dataset.codes(), 0)

@@ -1,0 +1,107 @@
+"""Unit tests for the vectorised temporal sweep kernels."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scheduling.sweep import TemporalSweep, sweep_reductions_per_job_hour
+from repro.scheduling.temporal import CarbonAgnosticPolicy, DeferralPolicy, InterruptiblePolicy
+from repro.timeseries.series import HourlySeries
+from repro.workloads.job import Job
+
+
+class TestAgainstPolicies:
+    """The vectorised sweeps must agree with the per-job policies."""
+
+    @pytest.mark.parametrize("length,slack", [(1, 24), (6, 24), (24, 24), (24, 168), (48, 24)])
+    def test_matches_policy_results(self, small_dataset, length, slack):
+        trace = small_dataset.series("US-CA")
+        sweep = TemporalSweep(trace, length, slack)
+        baseline = sweep.baseline_sums()
+        deferral = sweep.deferral_sums()
+        interruptible = sweep.interruptible_sums()
+        job = Job.batch(length_hours=length, slack_hours=slack, interruptible=True)
+        for arrival in (0, 17, 4321, 8700, 8759):
+            agnostic = CarbonAgnosticPolicy().schedule(job, trace, arrival)
+            deferred = DeferralPolicy().schedule(job, trace, arrival)
+            interrupted = InterruptiblePolicy().schedule(job, trace, arrival)
+            assert baseline[arrival] == pytest.approx(agnostic.emissions_g)
+            assert deferral[arrival] == pytest.approx(deferred.emissions_g)
+            assert interruptible[arrival] == pytest.approx(interrupted.emissions_g)
+
+    def test_one_year_slack_matches_global_minimum(self, small_dataset):
+        trace = small_dataset.series("DE")
+        length = 24
+        sweep = TemporalSweep(trace, length, len(trace) - length)
+        interruptible = sweep.interruptible_sums()
+        expected = np.sort(trace.values)[:length].sum()
+        assert np.allclose(interruptible, expected)
+        deferral = sweep.deferral_sums()
+        assert np.all(deferral >= interruptible - 1e-9)
+
+
+class TestOrderingInvariants:
+    def test_deferral_never_exceeds_baseline(self, small_dataset):
+        trace = small_dataset.series("AU-SA")
+        sweep = TemporalSweep(trace, 12, 24)
+        assert np.all(sweep.deferral_sums() <= sweep.baseline_sums() + 1e-9)
+
+    def test_interruptible_never_exceeds_deferral(self, small_dataset):
+        trace = small_dataset.series("AU-SA")
+        sweep = TemporalSweep(trace, 12, 24)
+        assert np.all(sweep.interruptible_sums() <= sweep.deferral_sums() + 1e-9)
+
+    def test_more_slack_never_hurts(self, small_dataset):
+        trace = small_dataset.series("US-CA")
+        little = TemporalSweep(trace, 24, 24).deferral_sums()
+        lots = TemporalSweep(trace, 24, 168).deferral_sums()
+        assert np.all(lots <= little + 1e-9)
+
+    def test_flat_trace_offers_no_reduction(self, flat_trace):
+        sweep = TemporalSweep(flat_trace, 24, 168)
+        assert np.allclose(sweep.baseline_sums(), sweep.interruptible_sums())
+
+
+class TestStride:
+    def test_stride_subsamples_arrivals(self, small_dataset):
+        trace = small_dataset.series("DE")
+        full = TemporalSweep(trace, 6, 24)
+        strided = TemporalSweep(trace, 6, 24, arrival_stride=24)
+        assert len(strided.baseline_sums()) == 365
+        assert np.allclose(strided.baseline_sums(), full.baseline_sums()[::24])
+        assert np.allclose(strided.deferral_sums(), full.deferral_sums()[::24])
+        assert np.allclose(strided.interruptible_sums(), full.interruptible_sums()[::24])
+
+    def test_strided_mean_close_to_full_mean(self, small_dataset):
+        trace = small_dataset.series("US-CA")
+        full = sweep_reductions_per_job_hour(trace, 24, 24)
+        strided = sweep_reductions_per_job_hour(trace, 24, 24, arrival_stride=24)
+        assert strided["combined"] == pytest.approx(full["combined"], rel=0.1)
+
+
+class TestValidation:
+    def test_invalid_parameters(self, flat_trace):
+        with pytest.raises(ConfigurationError):
+            TemporalSweep(flat_trace, 0, 24)
+        with pytest.raises(ConfigurationError):
+            TemporalSweep(flat_trace, 24, -1)
+        with pytest.raises(ConfigurationError):
+            TemporalSweep(flat_trace, 24, 24, arrival_stride=0)
+        with pytest.raises(ConfigurationError):
+            TemporalSweep(flat_trace, 8000, 8000)
+
+    def test_mean_reductions_keys(self, small_dataset):
+        sweep = TemporalSweep(small_dataset.series("SE"), 6, 24)
+        result = sweep.mean_reductions()
+        assert set(result) == {
+            "baseline_mean",
+            "deferral_reduction_mean",
+            "interruptible_reduction_mean",
+        }
+
+    def test_reductions_per_job_hour_fields(self, small_dataset):
+        result = sweep_reductions_per_job_hour(small_dataset.series("US-CA"), 24, 24)
+        assert result["combined"] == pytest.approx(
+            result["deferral"] + result["interrupt_extra"]
+        )
+        assert result["baseline_per_hour"] > 0

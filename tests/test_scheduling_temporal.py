@@ -1,0 +1,122 @@
+"""Unit tests for the temporal shifting policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import ScheduleResult
+from repro.exceptions import ConfigurationError, SchedulingError
+from repro.scheduling.temporal import CarbonAgnosticPolicy, DeferralPolicy, InterruptiblePolicy
+from repro.timeseries.series import HourlySeries
+from repro.workloads.job import Job
+
+
+@pytest.fixture()
+def valley_trace():
+    """48-hour trace with an obvious valley on day two (hours 30-35)."""
+    values = np.full(8760, 500.0)
+    values[30:36] = 50.0
+    return HourlySeries(values, name="valley")
+
+
+class TestCarbonAgnosticPolicy:
+    def test_runs_at_arrival(self, valley_trace):
+        job = Job.batch(length_hours=4, slack_hours=24)
+        result = CarbonAgnosticPolicy().schedule(job, valley_trace, arrival_hour=10)
+        assert result.emissions_g == pytest.approx(4 * 500.0)
+        assert result.reduction_g == 0.0
+        assert result.delay_hours == 0
+
+    def test_interactive_job_emissions(self, valley_trace):
+        job = Job.interactive(length_hours=0.01)
+        result = CarbonAgnosticPolicy().schedule(job, valley_trace, arrival_hour=31)
+        assert result.emissions_g == pytest.approx(50.0 * 0.01)
+
+    def test_wraps_around_year_end(self, valley_trace):
+        job = Job.batch(length_hours=6, slack_hours=0)
+        result = CarbonAgnosticPolicy().schedule(job, valley_trace, arrival_hour=8758)
+        ScheduleResult.validate_covers_job(result)
+        assert result.emissions_g == pytest.approx(6 * 500.0)
+
+    def test_invalid_arrival(self, valley_trace):
+        job = Job.batch(length_hours=4)
+        with pytest.raises(ConfigurationError):
+            CarbonAgnosticPolicy().schedule(job, valley_trace, arrival_hour=9000)
+
+    def test_job_longer_than_trace_rejected(self):
+        trace = HourlySeries(np.full(48, 100.0))
+        job = Job.batch(length_hours=24, slack_hours=48)
+        with pytest.raises(SchedulingError):
+            CarbonAgnosticPolicy().schedule(job, trace, arrival_hour=0)
+
+
+class TestDeferralPolicy:
+    def test_defers_into_the_valley(self, valley_trace):
+        job = Job.batch(length_hours=6, slack_hours=48)
+        result = DeferralPolicy().schedule(job, valley_trace, arrival_hour=10)
+        assert result.emissions_g == pytest.approx(6 * 50.0)
+        assert result.delay_hours == 20
+        assert result.num_interruptions == 0
+
+    def test_zero_slack_equals_baseline(self, valley_trace):
+        job = Job.batch(length_hours=6, slack_hours=0)
+        result = DeferralPolicy().schedule(job, valley_trace, arrival_hour=10)
+        assert result.emissions_g == pytest.approx(result.baseline_emissions_g)
+
+    def test_never_worse_than_baseline(self, small_dataset):
+        trace = small_dataset.series("US-CA")
+        policy = DeferralPolicy()
+        for arrival in (0, 1234, 8000):
+            job = Job.batch(length_hours=12, slack_hours=24)
+            result = policy.schedule(job, trace, arrival)
+            assert result.emissions_g <= result.baseline_emissions_g + 1e-9
+
+    def test_contiguous_execution(self, valley_trace):
+        job = Job.batch(length_hours=6, slack_hours=48)
+        result = DeferralPolicy().schedule(job, valley_trace, arrival_hour=0)
+        assert len(result.slices) == 1
+        ScheduleResult.validate_covers_job(result)
+
+    def test_sub_hour_job_degrades_to_baseline(self, valley_trace):
+        job = Job(length_hours=0.5, slack_hours=24)
+        result = DeferralPolicy().schedule(job, valley_trace, arrival_hour=0)
+        assert result.emissions_g == pytest.approx(result.baseline_emissions_g)
+
+
+class TestInterruptiblePolicy:
+    def test_picks_cheapest_hours(self, valley_trace):
+        job = Job.batch(length_hours=8, slack_hours=48, interruptible=True)
+        result = InterruptiblePolicy().schedule(job, valley_trace, arrival_hour=0)
+        # Six hours in the valley at 50, the remaining two at 500.
+        assert result.emissions_g == pytest.approx(6 * 50.0 + 2 * 500.0)
+        assert result.num_interruptions >= 1
+
+    def test_beats_or_matches_deferral(self, small_dataset):
+        trace = small_dataset.series("US-CA")
+        job = Job.batch(length_hours=24, slack_hours=48, interruptible=True)
+        for arrival in (0, 500, 4000):
+            deferral = DeferralPolicy().schedule(job, trace, arrival)
+            interruptible = InterruptiblePolicy().schedule(job, trace, arrival)
+            assert interruptible.emissions_g <= deferral.emissions_g + 1e-9
+
+    def test_slices_cover_job(self, valley_trace):
+        job = Job.batch(length_hours=5, slack_hours=48, interruptible=True)
+        result = InterruptiblePolicy().schedule(job, valley_trace, arrival_hour=0)
+        ScheduleResult.validate_covers_job(result)
+        assert len(result.slices) == 5
+
+    def test_one_hour_job_gains_nothing_over_deferral(self, small_dataset):
+        trace = small_dataset.series("DE")
+        job = Job.batch(length_hours=1, slack_hours=24, interruptible=True)
+        deferral = DeferralPolicy().schedule(job, trace, 100)
+        interruptible = InterruptiblePolicy().schedule(job, trace, 100)
+        assert interruptible.emissions_g == pytest.approx(deferral.emissions_g)
+
+    def test_flat_trace_yields_zero_reduction(self, flat_trace):
+        job = Job.batch(length_hours=24, slack_hours=168, interruptible=True)
+        result = InterruptiblePolicy().schedule(job, flat_trace, arrival_hour=0)
+        assert result.reduction_g == pytest.approx(0.0)
+
+    def test_power_scales_emissions(self, valley_trace):
+        job = Job.batch(length_hours=6, slack_hours=48, interruptible=True, power_kw=2.0)
+        result = InterruptiblePolicy().schedule(job, valley_trace, arrival_hour=0)
+        assert result.emissions_g == pytest.approx(2.0 * 6 * 50.0)

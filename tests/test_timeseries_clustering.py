@@ -1,0 +1,79 @@
+"""Unit tests for the K-Means++ implementation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.timeseries.clustering import KMeansPlusPlus
+
+
+def _three_blobs(points_per_blob: int = 30, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]])
+    blobs = [center + rng.normal(0, 0.5, size=(points_per_blob, 2)) for center in centers]
+    return np.vstack(blobs)
+
+
+class TestKMeansPlusPlus:
+    def test_recovers_well_separated_blobs(self):
+        points = _three_blobs()
+        result = KMeansPlusPlus(num_clusters=3).fit(points)
+        assert result.num_clusters == 3
+        # Every blob should map to exactly one cluster label.
+        labels = result.labels.reshape(3, -1)
+        for blob_labels in labels:
+            assert len(set(blob_labels.tolist())) == 1
+        # And the three blobs should get three distinct labels.
+        assert len({blob[0] for blob in labels}) == 3
+
+    def test_inertia_is_small_for_tight_blobs(self):
+        points = _three_blobs()
+        result = KMeansPlusPlus(num_clusters=3).fit(points)
+        assert result.inertia < 100.0
+
+    def test_cluster_sizes_sum_to_points(self):
+        points = _three_blobs()
+        result = KMeansPlusPlus(num_clusters=3).fit(points)
+        assert result.cluster_sizes().sum() == points.shape[0]
+
+    def test_deterministic_given_seed(self):
+        points = _three_blobs()
+        a = KMeansPlusPlus(num_clusters=3, seed=7).fit(points)
+        b = KMeansPlusPlus(num_clusters=3, seed=7).fit(points)
+        assert np.array_equal(a.labels, b.labels)
+        assert np.allclose(a.centroids, b.centroids)
+
+    def test_one_dimensional_input(self):
+        points = np.array([0.0, 0.1, 0.2, 5.0, 5.1, 5.2])
+        result = KMeansPlusPlus(num_clusters=2).fit(points)
+        assert result.num_clusters == 2
+        assert set(result.labels[:3]) != set(result.labels[3:]) or (
+            result.labels[0] != result.labels[-1]
+        )
+
+    def test_identical_points(self):
+        points = np.ones((10, 2))
+        result = KMeansPlusPlus(num_clusters=2).fit(points)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_more_clusters_than_points_raises(self):
+        with pytest.raises(ConfigurationError):
+            KMeansPlusPlus(num_clusters=5).fit(np.zeros((3, 2)))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            KMeansPlusPlus(num_clusters=0)
+        with pytest.raises(ConfigurationError):
+            KMeansPlusPlus(max_iterations=0)
+        with pytest.raises(ConfigurationError):
+            KMeansPlusPlus(num_restarts=0)
+
+    def test_rejects_3d_input(self):
+        with pytest.raises(ConfigurationError):
+            KMeansPlusPlus(num_clusters=2).fit(np.zeros((2, 2, 2)))
+
+    def test_labels_within_range(self):
+        points = _three_blobs()
+        result = KMeansPlusPlus(num_clusters=3).fit(points)
+        assert result.labels.min() >= 0
+        assert result.labels.max() < 3

@@ -1,0 +1,108 @@
+"""Unit tests for repro.timeseries.periodicity."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.timeseries.periodicity import (
+    autocorrelation_at_lag,
+    detect_periods,
+    dominant_period,
+    periodicity_score,
+    periodogram_peaks,
+)
+from repro.timeseries.series import HourlySeries
+
+
+def _weekly_trace() -> HourlySeries:
+    hours = np.arange(24 * 7 * 8)
+    weekly = 50.0 * np.cos(2 * np.pi * hours / 168.0)
+    return HourlySeries(300.0 + weekly, name="weekly")
+
+
+class TestPeriodicityScore:
+    def test_perfect_daily_cycle_scores_high(self, diurnal_trace):
+        assert periodicity_score(diurnal_trace, 24) > 0.95
+
+    def test_daily_cycle_scores_low_at_weekly_period(self, diurnal_trace):
+        # A pure 24-hour cycle also repeats weekly, so this is high as well;
+        # but white noise at the weekly lag should not be.  Use a noisy trace.
+        rng = np.random.default_rng(0)
+        noise = HourlySeries(rng.normal(300, 30, size=8760))
+        assert periodicity_score(noise, 168) < 0.3
+
+    def test_constant_series_scores_zero(self, flat_trace):
+        assert periodicity_score(flat_trace, 24) == 0.0
+
+    def test_noise_scores_low(self):
+        rng = np.random.default_rng(1)
+        noise = HourlySeries(rng.normal(300, 30, size=8760))
+        assert periodicity_score(noise, 24) < 0.3
+
+    def test_weekly_cycle_detected(self):
+        assert periodicity_score(_weekly_trace(), 168) > 0.9
+
+    def test_accepts_plain_arrays(self, diurnal_trace):
+        assert periodicity_score(diurnal_trace.values, 24) > 0.95
+
+    def test_linear_trend_does_not_create_periodicity(self):
+        trend = HourlySeries(np.linspace(100, 500, 8760))
+        assert periodicity_score(trend, 24) < 0.5
+
+    def test_requires_two_periods(self):
+        with pytest.raises(ConfigurationError):
+            periodicity_score(HourlySeries(np.arange(30.0)), 24)
+
+    def test_rejects_non_positive_period(self, diurnal_trace):
+        with pytest.raises(ConfigurationError):
+            periodicity_score(diurnal_trace, 0)
+
+    def test_score_clipped_to_unit_interval(self, diurnal_trace):
+        score = periodicity_score(diurnal_trace, 24)
+        assert 0.0 <= score <= 1.0
+
+
+class TestAutocorrelation:
+    def test_perfect_correlation_at_period(self, diurnal_trace):
+        assert autocorrelation_at_lag(diurnal_trace.values, 24) == pytest.approx(1.0, abs=1e-6)
+
+    def test_anticorrelation_at_half_period(self, diurnal_trace):
+        assert autocorrelation_at_lag(diurnal_trace.values, 12) == pytest.approx(-1.0, abs=1e-6)
+
+    def test_invalid_lag(self, diurnal_trace):
+        with pytest.raises(ConfigurationError):
+            autocorrelation_at_lag(diurnal_trace.values, 0)
+        with pytest.raises(ConfigurationError):
+            autocorrelation_at_lag(diurnal_trace.values, len(diurnal_trace))
+
+
+class TestDetection:
+    def test_detect_periods_returns_sorted_scores(self, diurnal_trace):
+        detections = detect_periods(diurnal_trace)
+        assert len(detections) == 2
+        assert detections[0].score >= detections[1].score
+
+    def test_dominant_period_of_diurnal_trace(self, diurnal_trace):
+        dominant = dominant_period(diurnal_trace)
+        assert dominant is not None
+        assert dominant.period_hours == 24
+
+    def test_dominant_period_of_noise_is_none(self):
+        rng = np.random.default_rng(2)
+        noise = HourlySeries(rng.normal(300, 30, size=8760))
+        assert dominant_period(noise) is None
+
+    def test_is_significant_threshold(self, diurnal_trace):
+        detection = detect_periods(diurnal_trace)[0]
+        assert detection.is_significant()
+        assert not detection.is_significant(threshold=1.01)
+
+
+class TestPeriodogram:
+    def test_peak_at_24_hours(self, diurnal_trace):
+        peaks = periodogram_peaks(diurnal_trace.values, top_k=3)
+        assert peaks[0][0] == pytest.approx(24.0, rel=0.05)
+
+    def test_requires_minimum_length(self):
+        with pytest.raises(ConfigurationError):
+            periodogram_peaks(np.array([1.0, 2.0]))

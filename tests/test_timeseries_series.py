@@ -1,0 +1,171 @@
+"""Unit tests for repro.timeseries.series."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.timeseries.series import HourlySeries
+
+
+class TestConstruction:
+    def test_from_array(self):
+        series = HourlySeries(np.arange(10.0), name="x")
+        assert len(series) == 10
+        assert series.name == "x"
+
+    def test_values_are_read_only(self):
+        series = HourlySeries(np.arange(10.0))
+        with pytest.raises(ValueError):
+            series.values[0] = 99.0
+
+    def test_input_array_is_copied(self):
+        raw = np.arange(5.0)
+        series = HourlySeries(raw)
+        raw[0] = 123.0
+        assert series[0] == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            HourlySeries(np.array([]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            HourlySeries(np.zeros((2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataError):
+            HourlySeries(np.array([1.0, np.nan]))
+
+    def test_rejects_negative_start_hour(self):
+        with pytest.raises(ConfigurationError):
+            HourlySeries(np.arange(3.0), start_hour=-1)
+
+    def test_from_iterable(self):
+        series = HourlySeries.from_iterable([1, 2, 3])
+        assert list(series) == [1.0, 2.0, 3.0]
+
+    def test_constant(self):
+        series = HourlySeries.constant(5.0, 4)
+        assert series.sum() == 20.0
+
+    def test_constant_rejects_zero_length(self):
+        with pytest.raises(ConfigurationError):
+            HourlySeries.constant(5.0, 0)
+
+    def test_concat(self):
+        a = HourlySeries(np.array([1.0, 2.0]), name="a")
+        b = HourlySeries(np.array([3.0]), name="b")
+        joined = HourlySeries.concat([a, b])
+        assert list(joined) == [1.0, 2.0, 3.0]
+        assert joined.name == "a"
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HourlySeries.concat([])
+
+
+class TestStatistics:
+    def test_mean_std_min_max_sum(self):
+        series = HourlySeries(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert series.mean() == 2.5
+        assert series.min() == 1.0
+        assert series.max() == 4.0
+        assert series.sum() == 10.0
+        assert series.std() == pytest.approx(np.std([1, 2, 3, 4]))
+
+    def test_coefficient_of_variation(self):
+        series = HourlySeries(np.array([1.0, 3.0]))
+        assert series.coefficient_of_variation() == pytest.approx(1.0 / 2.0)
+
+    def test_cv_of_constant_is_zero(self):
+        assert HourlySeries.constant(7.0, 10).coefficient_of_variation() == 0.0
+
+
+class TestCalendar:
+    def test_num_days(self):
+        assert HourlySeries(np.arange(50.0)).num_days == 2
+
+    def test_day_slice(self):
+        series = HourlySeries(np.arange(48.0))
+        day1 = series.day(1)
+        assert len(day1) == 24
+        assert day1[0] == 24.0
+        assert day1.start_hour == 24
+
+    def test_day_out_of_range(self):
+        series = HourlySeries(np.arange(48.0))
+        with pytest.raises(ConfigurationError):
+            series.day(2)
+
+    def test_days_iterator(self):
+        series = HourlySeries(np.arange(72.0))
+        assert len(list(series.days())) == 3
+
+    def test_daily_matrix_shape(self):
+        series = HourlySeries(np.arange(50.0))
+        assert series.daily_matrix().shape == (2, 24)
+
+    def test_hour_of_day_profile(self):
+        values = np.tile(np.arange(24.0), 3)
+        series = HourlySeries(values)
+        assert np.allclose(series.hour_of_day_profile(), np.arange(24.0))
+
+    def test_resample_to_daily_mean(self):
+        values = np.concatenate([np.full(24, 1.0), np.full(24, 3.0)])
+        series = HourlySeries(values)
+        assert np.allclose(series.resample_to_daily_mean(), [1.0, 3.0])
+
+
+class TestWindows:
+    def test_plain_window(self):
+        series = HourlySeries(np.arange(10.0))
+        assert np.allclose(series.window(2, 3), [2, 3, 4])
+
+    def test_window_wraps(self):
+        series = HourlySeries(np.arange(10.0))
+        assert np.allclose(series.window(8, 4, wrap=True), [8, 9, 0, 1])
+
+    def test_window_without_wrap_raises(self):
+        series = HourlySeries(np.arange(10.0))
+        with pytest.raises(ConfigurationError):
+            series.window(8, 4)
+
+    def test_window_start_out_of_range(self):
+        series = HourlySeries(np.arange(10.0))
+        with pytest.raises(ConfigurationError):
+            series.window(10, 1)
+
+    def test_wrapped_window_cannot_exceed_length(self):
+        series = HourlySeries(np.arange(10.0))
+        with pytest.raises(ConfigurationError):
+            series.window(0, 11, wrap=True)
+
+
+class TestTransforms:
+    def test_scale(self):
+        series = HourlySeries(np.array([1.0, 2.0]))
+        assert list(series.scale(2.0)) == [2.0, 4.0]
+
+    def test_shift_values(self):
+        series = HourlySeries(np.array([1.0, 2.0]))
+        assert list(series.shift_values(1.0)) == [2.0, 3.0]
+
+    def test_clip(self):
+        series = HourlySeries(np.array([-5.0, 2.0, 100.0]))
+        assert list(series.clip(0.0, 10.0)) == [0.0, 2.0, 10.0]
+
+    def test_with_name(self):
+        series = HourlySeries(np.array([1.0]), name="a")
+        assert series.with_name("b").name == "b"
+
+    def test_slice_returns_series(self):
+        series = HourlySeries(np.arange(10.0), name="x")
+        piece = series[2:5]
+        assert isinstance(piece, HourlySeries)
+        assert piece.start_hour == 2
+        assert piece.name == "x"
+
+    def test_scalar_indexing(self):
+        series = HourlySeries(np.arange(10.0))
+        assert series[3] == 3.0
+        assert isinstance(series[3], float)

@@ -1,0 +1,91 @@
+"""Unit tests for repro.timeseries.stats."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.timeseries.series import HourlySeries
+from repro.timeseries.stats import (
+    coefficient_of_variation,
+    daily_coefficient_of_variation,
+    diurnal_range,
+    hour_of_day_means,
+    normalized_profile,
+    rolling_mean,
+    summary_statistics,
+)
+
+
+class TestCoefficientOfVariation:
+    def test_basic(self):
+        assert coefficient_of_variation(np.array([1.0, 3.0])) == pytest.approx(0.5)
+
+    def test_zero_mean(self):
+        assert coefficient_of_variation(np.array([0.0, 0.0])) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            coefficient_of_variation(np.array([]))
+
+
+class TestDailyCV:
+    def test_constant_series_has_zero_daily_cv(self, flat_trace):
+        assert daily_coefficient_of_variation(flat_trace) == 0.0
+
+    def test_diurnal_series_has_positive_daily_cv(self, diurnal_trace):
+        assert daily_coefficient_of_variation(diurnal_trace) > 0.1
+
+    def test_requires_a_complete_day(self):
+        with pytest.raises(ConfigurationError):
+            daily_coefficient_of_variation(HourlySeries(np.arange(10.0)))
+
+    def test_daily_cv_is_average_of_per_day_cv(self):
+        # Day 1: constant (CV 0).  Day 2: values with CV 0.5.
+        day1 = np.full(24, 10.0)
+        day2 = np.array([5.0, 15.0] * 12)
+        series = HourlySeries(np.concatenate([day1, day2]))
+        expected_day2 = np.std(day2) / np.mean(day2)
+        assert daily_coefficient_of_variation(series) == pytest.approx(expected_day2 / 2)
+
+
+class TestRollingMean:
+    def test_values(self):
+        result = rolling_mean(np.array([1.0, 2.0, 3.0, 4.0]), 2)
+        assert np.allclose(result, [1.5, 2.5, 3.5])
+
+    def test_window_equal_to_length(self):
+        result = rolling_mean(np.array([2.0, 4.0]), 2)
+        assert np.allclose(result, [3.0])
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            rolling_mean(np.arange(5.0), 0)
+        with pytest.raises(ConfigurationError):
+            rolling_mean(np.arange(5.0), 6)
+
+
+class TestSummaryStatistics:
+    def test_fields(self, diurnal_trace):
+        summary = summary_statistics(diurnal_trace)
+        assert summary.name == "diurnal"
+        assert summary.mean == pytest.approx(300.0, rel=1e-6)
+        assert summary.minimum == pytest.approx(200.0)
+        assert summary.maximum == pytest.approx(400.0)
+        assert summary.spread == pytest.approx(200.0)
+        assert summary.num_hours == 8760
+        assert summary.daily_coefficient_of_variation > 0
+
+    def test_diurnal_range(self, diurnal_trace, flat_trace):
+        assert diurnal_range(diurnal_trace) == pytest.approx(200.0, rel=1e-6)
+        assert diurnal_range(flat_trace) == 0.0
+
+    def test_hour_of_day_means_shape(self, diurnal_trace):
+        assert hour_of_day_means(diurnal_trace).shape == (24,)
+
+    def test_normalized_profile_mean_is_one(self, diurnal_trace):
+        profile = normalized_profile(diurnal_trace)
+        assert profile.mean() == pytest.approx(1.0)
+
+    def test_normalized_profile_of_zero_series(self):
+        series = HourlySeries(np.zeros(48))
+        assert np.allclose(normalized_profile(series), 0.0)

@@ -1,0 +1,103 @@
+"""Unit tests for the window-search kernels."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.timeseries.windows import (
+    best_start_offsets,
+    k_smallest_slots,
+    max_sum_contiguous_window,
+    min_sum_contiguous_window,
+    sliding_window_sums,
+    window_sum_at,
+)
+
+VALUES = np.array([5.0, 1.0, 4.0, 2.0, 8.0, 3.0, 7.0, 6.0, 9.0, 0.5])
+
+
+class TestSlidingWindowSums:
+    def test_matches_manual_sums(self):
+        sums = sliding_window_sums(VALUES, 3)
+        expected = [VALUES[i : i + 3].sum() for i in range(len(VALUES) - 2)]
+        assert np.allclose(sums, expected)
+
+    def test_window_one_returns_values(self):
+        assert np.allclose(sliding_window_sums(VALUES, 1), VALUES)
+
+    def test_window_full_length(self):
+        assert np.allclose(sliding_window_sums(VALUES, len(VALUES)), [VALUES.sum()])
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            sliding_window_sums(VALUES, 0)
+        with pytest.raises(ConfigurationError):
+            sliding_window_sums(VALUES, len(VALUES) + 1)
+
+
+class TestMinSumContiguousWindow:
+    def test_finds_minimum(self):
+        result = min_sum_contiguous_window(VALUES, 2)
+        # The cheapest 2-hour stretch is [9.0, 0.5]?  No: contiguous sums are
+        # minimised by [1.0, 4.0]=5.0 vs [2.0, 8.0]=10 ... check directly.
+        sums = [VALUES[i : i + 2].sum() for i in range(len(VALUES) - 1)]
+        assert result.total == pytest.approx(min(sums))
+        assert result.start == int(np.argmin(sums))
+
+    def test_indices_are_contiguous(self):
+        result = min_sum_contiguous_window(VALUES, 4)
+        assert np.array_equal(result.indices, np.arange(result.start, result.start + 4))
+
+    def test_tie_breaks_to_earliest(self):
+        values = np.array([1.0, 1.0, 5.0, 1.0, 1.0])
+        result = min_sum_contiguous_window(values, 2)
+        assert result.start == 0
+
+    def test_window_equal_to_length(self):
+        result = min_sum_contiguous_window(VALUES, len(VALUES))
+        assert result.total == pytest.approx(VALUES.sum())
+
+
+class TestKSmallestSlots:
+    def test_selects_cheapest_hours(self):
+        result = k_smallest_slots(VALUES, 3)
+        assert result.total == pytest.approx(np.sort(VALUES)[:3].sum())
+
+    def test_indices_sorted_in_time_order(self):
+        result = k_smallest_slots(VALUES, 4)
+        assert np.all(np.diff(result.indices) > 0)
+
+    def test_k_equals_length(self):
+        result = k_smallest_slots(VALUES, len(VALUES))
+        assert result.total == pytest.approx(VALUES.sum())
+
+    def test_never_exceeds_contiguous_minimum(self):
+        for k in range(1, len(VALUES) + 1):
+            contiguous = min_sum_contiguous_window(VALUES, k)
+            scattered = k_smallest_slots(VALUES, k)
+            assert scattered.total <= contiguous.total + 1e-9
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            k_smallest_slots(VALUES, 0)
+        with pytest.raises(ConfigurationError):
+            k_smallest_slots(VALUES, len(VALUES) + 1)
+
+
+class TestOtherKernels:
+    def test_max_sum_window(self):
+        result = max_sum_contiguous_window(VALUES, 2)
+        sums = [VALUES[i : i + 2].sum() for i in range(len(VALUES) - 1)]
+        assert result.total == pytest.approx(max(sums))
+
+    def test_best_start_offsets_sorted(self):
+        order = best_start_offsets(VALUES, 3)
+        sums = sliding_window_sums(VALUES, 3)
+        assert np.all(np.diff(sums[order]) >= 0)
+
+    def test_window_sum_at(self):
+        assert window_sum_at(VALUES, 1, 3) == pytest.approx(VALUES[1:4].sum())
+
+    def test_window_sum_at_out_of_bounds(self):
+        with pytest.raises(ConfigurationError):
+            window_sum_at(VALUES, 8, 3)

@@ -1,0 +1,40 @@
+"""Unit tests for unit conversions and library constants."""
+
+import pytest
+
+from repro import constants, units
+
+
+class TestUnits:
+    def test_mass_conversions_roundtrip(self):
+        assert units.grams_to_kilograms(1500.0) == pytest.approx(1.5)
+        assert units.kilograms_to_grams(1.5) == pytest.approx(1500.0)
+        assert units.grams_to_tonnes(2_000_000.0) == pytest.approx(2.0)
+
+    def test_power_conversions(self):
+        assert units.watts_to_kilowatts(250.0) == pytest.approx(0.25)
+        assert units.kilowatts_to_watts(0.25) == pytest.approx(250.0)
+
+    def test_time_conversions(self):
+        assert units.hours_to_minutes(1.5) == pytest.approx(90.0)
+        assert units.minutes_to_hours(90.0) == pytest.approx(1.5)
+        assert units.hours_to_seconds(2.0) == pytest.approx(7200.0)
+
+    def test_emissions_and_energy(self):
+        assert units.energy_kwh(power_kw=0.5, duration_hours=10.0) == pytest.approx(5.0)
+        assert units.emissions_g(400.0, 5.0) == pytest.approx(2000.0)
+
+
+class TestConstants:
+    def test_calendar_constants(self):
+        assert constants.HOURS_PER_DAY == 24
+        assert constants.HOURS_PER_WEEK == 168
+        assert constants.HOURS_PER_YEAR == 8760
+        assert constants.HOURS_PER_LEAP_YEAR == 8784
+
+    def test_paper_reference_values(self):
+        assert constants.GLOBAL_AVERAGE_CARBON_INTENSITY == pytest.approx(368.39)
+        assert constants.NUM_REGIONS == 123
+        assert constants.DATASET_YEARS == (2020, 2021, 2022)
+        assert 0 < constants.LOW_DAILY_CV_THRESHOLD < 1
+        assert constants.INSIGNIFICANT_CI_CHANGE == 25.0

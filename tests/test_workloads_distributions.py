@@ -1,0 +1,90 @@
+"""Unit tests for job-length distributions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.distributions import (
+    AZURE_LIKE_DISTRIBUTION,
+    EQUAL_DISTRIBUTION,
+    GOOGLE_LIKE_DISTRIBUTION,
+    JobLengthDistribution,
+    named_distributions,
+)
+from repro.workloads.job_lengths import BATCH_JOB_LENGTHS
+
+
+class TestJobLengthDistribution:
+    def test_weights_normalised(self):
+        distribution = JobLengthDistribution("d", {1: 1.0, 6: 3.0})
+        assert distribution.weight(1) == pytest.approx(0.25)
+        assert distribution.weight(6) == pytest.approx(0.75)
+        assert sum(distribution.weights.values()) == pytest.approx(1.0)
+
+    def test_missing_bucket_weight_is_zero(self):
+        distribution = JobLengthDistribution("d", {1: 1.0})
+        assert distribution.weight(24) == 0.0
+
+    def test_mean_length(self):
+        distribution = JobLengthDistribution("d", {1: 0.5, 3: 0.5})
+        assert distribution.mean_length() == pytest.approx(2.0)
+
+    def test_long_job_fraction(self):
+        distribution = JobLengthDistribution("d", {24: 0.5, 96: 0.5})
+        assert distribution.long_job_fraction(48) == pytest.approx(0.5)
+
+    def test_weighted_average(self):
+        distribution = JobLengthDistribution("d", {1: 0.5, 3: 0.5})
+        assert distribution.weighted_average({1.0: 10.0, 3.0: 20.0}) == pytest.approx(15.0)
+
+    def test_weighted_average_missing_value_raises(self):
+        distribution = JobLengthDistribution("d", {1: 0.5, 3: 0.5})
+        with pytest.raises(ConfigurationError):
+            distribution.weighted_average({1.0: 10.0})
+
+    def test_sample_lengths(self):
+        samples = EQUAL_DISTRIBUTION.sample_lengths(500, seed=1)
+        assert len(samples) == 500
+        assert set(np.unique(samples)) <= {float(b) for b in BATCH_JOB_LENGTHS}
+
+    def test_sample_lengths_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            EQUAL_DISTRIBUTION.sample_lengths(0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            JobLengthDistribution("d", {})
+        with pytest.raises(ConfigurationError):
+            JobLengthDistribution("d", {1: -1.0})
+        with pytest.raises(ConfigurationError):
+            JobLengthDistribution("d", {0: 1.0})
+        with pytest.raises(ConfigurationError):
+            JobLengthDistribution("d", {1: 0.0})
+
+
+class TestNamedDistributions:
+    def test_all_cover_batch_buckets(self):
+        for distribution in named_distributions().values():
+            assert distribution.lengths() == tuple(float(b) for b in BATCH_JOB_LENGTHS)
+
+    def test_equal_distribution_is_uniform(self):
+        weights = set(EQUAL_DISTRIBUTION.weights.values())
+        assert len(weights) == 1
+
+    def test_cloud_traces_are_long_job_heavy(self):
+        threshold = 48.0
+        equal = EQUAL_DISTRIBUTION.long_job_fraction(threshold)
+        azure = AZURE_LIKE_DISTRIBUTION.long_job_fraction(threshold)
+        google = GOOGLE_LIKE_DISTRIBUTION.long_job_fraction(threshold)
+        assert azure > equal
+        assert google > equal
+
+    def test_google_heavier_than_azure_in_longest_bucket(self):
+        assert GOOGLE_LIKE_DISTRIBUTION.weight(168) > AZURE_LIKE_DISTRIBUTION.weight(168)
+
+    def test_mean_length_ordering(self):
+        assert GOOGLE_LIKE_DISTRIBUTION.mean_length() > EQUAL_DISTRIBUTION.mean_length()
+        assert AZURE_LIKE_DISTRIBUTION.mean_length() > EQUAL_DISTRIBUTION.mean_length()
+
+    def test_names(self):
+        assert set(named_distributions()) == {"equal", "azure", "google"}

@@ -1,0 +1,133 @@
+"""Unit tests for the Job model and Table-1 configuration."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.job import Job, JobClass
+from repro.workloads.job_lengths import (
+    BATCH_JOB_LENGTHS,
+    TABLE1_JOB_LENGTHS_HOURS,
+    WorkloadConfiguration,
+    classify_job_length,
+    job_length_label,
+    resolve_slack,
+    table1_configuration,
+)
+
+
+class TestJob:
+    def test_basic_batch_job(self):
+        job = Job.batch(length_hours=24, slack_hours=24)
+        assert job.is_batch
+        assert not job.is_interactive
+        assert job.whole_hours == 24
+        assert job.window_hours == 48
+        assert job.is_deferrable
+        assert job.energy_kwh == pytest.approx(24.0)
+
+    def test_interactive_job(self):
+        job = Job.interactive()
+        assert job.is_interactive
+        assert job.slack_hours == 0
+        assert job.whole_hours == 1
+        assert not job.is_deferrable
+
+    def test_interactive_with_slack_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Job(length_hours=0.01, slack_hours=5, job_class=JobClass.INTERACTIVE)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Job(length_hours=0)
+        with pytest.raises(ConfigurationError):
+            Job(length_hours=1, slack_hours=-1)
+        with pytest.raises(ConfigurationError):
+            Job(length_hours=1, power_kw=0)
+
+    def test_fractional_length_rounds_up_whole_hours(self):
+        job = Job(length_hours=2.5)
+        assert job.whole_hours == 3
+
+    def test_window_hours_floors_slack(self):
+        job = Job(length_hours=2, slack_hours=5.9)
+        assert job.window_hours == 7
+
+    def test_with_slack_and_length_copies(self):
+        job = Job.batch(length_hours=6, slack_hours=12)
+        assert job.with_slack(48).slack_hours == 48
+        assert job.with_length(96).length_hours == 96
+        assert job.with_slack(48).length_hours == 6
+
+    def test_as_interruptible_and_non_migratable(self):
+        job = Job.batch(length_hours=6)
+        assert job.as_interruptible().interruptible
+        assert not job.as_non_migratable().migratable
+
+    def test_at_origin(self):
+        job = Job.batch(length_hours=6).at_origin("SE")
+        assert job.origin_region == "SE"
+
+    def test_power_scales_energy(self):
+        job = Job(length_hours=10, power_kw=0.5)
+        assert job.energy_kwh == pytest.approx(5.0)
+
+
+class TestTable1Grids:
+    def test_job_length_grid_matches_paper(self):
+        assert TABLE1_JOB_LENGTHS_HOURS == (0.01, 1, 6, 12, 24, 48, 96, 168)
+        assert BATCH_JOB_LENGTHS == (1, 6, 12, 24, 48, 96, 168)
+
+    def test_job_length_label(self):
+        assert job_length_label(0.01) == "1min"
+        assert job_length_label(6) == "6h"
+        assert job_length_label(48) == "2d"
+        assert job_length_label(168) == "7d"
+
+    def test_resolve_slack_fixed(self):
+        assert resolve_slack(24, 6) == 24
+
+    def test_resolve_slack_ten_x(self):
+        assert resolve_slack("10x", 6) == 60
+
+    def test_resolve_slack_invalid(self):
+        with pytest.raises(ConfigurationError):
+            resolve_slack("5x", 6)
+        with pytest.raises(ConfigurationError):
+            resolve_slack(-1, 6)
+
+    def test_classify_job_length(self):
+        assert classify_job_length(0.01) == "interactive"
+        assert classify_job_length(6) == "small-batch"
+        assert classify_job_length(96) == "long-batch"
+        assert classify_job_length(200) == "service"
+
+
+class TestWorkloadConfiguration:
+    def test_default_configuration(self):
+        config = table1_configuration()
+        assert config.interruption_overhead_hours == 0
+        assert config.migration_overhead_hours == 0
+        assert config.resource_usage == 1.0
+        assert config.batch_lengths == BATCH_JOB_LENGTHS
+        assert config.interactive_lengths == (0.01,)
+
+    def test_arrival_hours(self):
+        config = WorkloadConfiguration(arrival_stride_hours=24)
+        assert len(list(config.arrival_hours(8760))) == 365
+
+    def test_slack_grid_resolves_ten_x(self):
+        config = table1_configuration()
+        grid = config.slack_grid(6)
+        assert 60.0 in grid
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfiguration(job_lengths_hours=())
+        with pytest.raises(ConfigurationError):
+            WorkloadConfiguration(job_lengths_hours=(0,))
+        with pytest.raises(ConfigurationError):
+            WorkloadConfiguration(arrival_stride_hours=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfiguration(resource_usage=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfiguration(migration_overhead_hours=-1)

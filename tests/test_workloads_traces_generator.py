@@ -1,0 +1,131 @@
+"""Unit tests for cluster traces and the synthetic trace generator."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.generator import ClusterTraceGenerator, GeneratorConfig
+from repro.workloads.job import Job, JobClass
+from repro.workloads.traces import ClusterTrace, TraceJob
+
+
+def _trace_job(length=6.0, arrival=0, origin="SE", migratable=True, interactive=False):
+    if interactive:
+        job = Job.interactive(migratable=migratable)
+    else:
+        job = Job.batch(length_hours=length, migratable=migratable)
+    return TraceJob(job=job, arrival_hour=arrival, origin_region=origin)
+
+
+class TestTraceJob:
+    def test_invalid_arrival(self):
+        with pytest.raises(ConfigurationError):
+            TraceJob(job=Job.batch(1), arrival_hour=-1, origin_region="SE")
+
+    def test_invalid_origin(self):
+        with pytest.raises(ConfigurationError):
+            TraceJob(job=Job.batch(1), arrival_hour=0, origin_region="")
+
+
+class TestClusterTrace:
+    def test_from_jobs_sorts_by_arrival(self):
+        trace = ClusterTrace.from_jobs([_trace_job(arrival=5), _trace_job(arrival=1)])
+        assert trace[0].arrival_hour == 1
+
+    def test_filters(self):
+        trace = ClusterTrace.from_jobs(
+            [
+                _trace_job(interactive=True, origin="SE"),
+                _trace_job(length=24, origin="DE"),
+                _trace_job(length=6, origin="DE", migratable=False),
+            ]
+        )
+        assert len(trace.interactive_jobs()) == 1
+        assert len(trace.batch_jobs()) == 2
+        assert len(trace.migratable_jobs()) == 2
+        assert len(trace.in_region("DE")) == 2
+
+    def test_aggregates(self):
+        trace = ClusterTrace.from_jobs([_trace_job(length=6), _trace_job(length=24)])
+        assert trace.total_job_hours() == pytest.approx(30.0)
+        assert trace.total_energy_kwh() == pytest.approx(30.0)
+        assert trace.job_length_histogram() == {6.0: 1, 24.0: 1}
+
+    def test_migratable_fraction(self):
+        trace = ClusterTrace.from_jobs(
+            [_trace_job(migratable=True), _trace_job(migratable=False)]
+        )
+        assert trace.migratable_fraction() == pytest.approx(0.5)
+
+    def test_migratable_fraction_of_empty_trace(self):
+        assert ClusterTrace(()).migratable_fraction() == 0.0
+
+    def test_class_counts(self):
+        trace = ClusterTrace.from_jobs([_trace_job(interactive=True), _trace_job()])
+        counts = trace.class_counts()
+        assert counts[JobClass.INTERACTIVE] == 1
+        assert counts[JobClass.BATCH] == 1
+
+    def test_concat(self):
+        a = ClusterTrace.from_jobs([_trace_job(arrival=3)])
+        b = ClusterTrace.from_jobs([_trace_job(arrival=1)])
+        merged = ClusterTrace.concat([a, b])
+        assert len(merged) == 2
+        assert merged[0].arrival_hour == 1
+
+    def test_origin_regions_sorted(self):
+        trace = ClusterTrace.from_jobs([_trace_job(origin="DE"), _trace_job(origin="SE")])
+        assert trace.origin_regions() == ("DE", "SE")
+
+
+class TestClusterTraceGenerator:
+    def test_generates_requested_number_of_jobs(self):
+        generator = ClusterTraceGenerator(GeneratorConfig(num_jobs=100, seed=1))
+        trace = generator.generate(["SE", "DE"])
+        assert len(trace) == 100
+
+    def test_interactive_fraction_respected(self):
+        generator = ClusterTraceGenerator(
+            GeneratorConfig(num_jobs=200, interactive_fraction=0.3, seed=2)
+        )
+        trace = generator.generate(["SE"])
+        assert len(trace.interactive_jobs()) == 60
+
+    def test_origins_drawn_from_given_regions(self):
+        generator = ClusterTraceGenerator(GeneratorConfig(num_jobs=50, seed=3))
+        trace = generator.generate(["SE", "DE", "US-CA"])
+        assert set(trace.origin_regions()) <= {"SE", "DE", "US-CA"}
+
+    def test_arrivals_within_horizon(self):
+        config = GeneratorConfig(num_jobs=300, horizon_hours=1000, seed=4)
+        trace = ClusterTraceGenerator(config).generate(["SE"])
+        assert trace.arrival_hours().max() < 1000
+
+    def test_deterministic_given_seed(self):
+        config = GeneratorConfig(num_jobs=50, seed=5)
+        a = ClusterTraceGenerator(config).generate(["SE"])
+        b = ClusterTraceGenerator(config).generate(["SE"])
+        assert [t.arrival_hour for t in a] == [t.arrival_hour for t in b]
+        assert [t.job.length_hours for t in a] == [t.job.length_hours for t in b]
+
+    def test_generate_mixed_controls_migratable_fraction(self):
+        generator = ClusterTraceGenerator(GeneratorConfig(num_jobs=400, seed=6))
+        trace = generator.generate_mixed(["SE", "DE"], migratable_fraction=0.25)
+        assert trace.migratable_fraction() == pytest.approx(0.25, abs=0.08)
+
+    def test_generate_requires_origins(self):
+        with pytest.raises(ConfigurationError):
+            ClusterTraceGenerator().generate([])
+
+    def test_generate_mixed_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            ClusterTraceGenerator().generate_mixed(["SE"], 1.5)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(num_jobs=0)
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(interactive_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(batch_slack_hours=-1)
+        with pytest.raises(ConfigurationError):
+            GeneratorConfig(horizon_hours=0)
