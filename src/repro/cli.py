@@ -46,10 +46,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         dataset = _build_dataset(args.regions, args.years)
         kwargs = {}
-        if spec.identifier == "fig10":
+        if spec.identifier in {"fig10", "combined"}:
             kwargs["arrival_stride"] = args.arrival_stride
         if spec.identifier == "fig6":
             kwargs["sample_regions_per_group"] = args.sample_regions_per_group
+        if spec.identifier in {"fig7", "fig8", "fig9"} and args.workers:
+            kwargs["workers"] = args.workers
         result = spec.run(dataset, **kwargs)
     rows = result.rows()
     print(format_table(rows, title=f"{spec.identifier} — {spec.figure}"))
@@ -102,6 +104,9 @@ def build_parser() -> argparse.ArgumentParser:
                             help="arrival subsampling for the heavy temporal sweeps")
     run_parser.add_argument("--sample-regions-per-group", type=int, default=6,
                             help="origins per geographic group for fig6")
+    run_parser.add_argument("--workers", type=int, default=0,
+                            help="process-pool size for the per-region temporal sweeps "
+                            "(0/1 = serial, -1 = one per CPU; applies to fig7/fig8/fig9)")
     run_parser.set_defaults(handler=_cmd_run)
 
     summary_parser = subparsers.add_parser(

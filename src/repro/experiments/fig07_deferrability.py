@@ -59,13 +59,14 @@ def run_fig07(
     region_codes: Sequence[str] | None = None,
     year: int | None = None,
     arrival_stride: int = 1,
+    workers: int | None = None,
 ) -> Figure7Result:
     """Compute both panels of Figure 7."""
     ideal = compute_temporal_table(
-        dataset, lengths_hours, ONE_YEAR_SLACK, region_codes, year, arrival_stride
+        dataset, lengths_hours, ONE_YEAR_SLACK, region_codes, year, arrival_stride, workers
     )
     practical = compute_temporal_table(
-        dataset, lengths_hours, HOURS_PER_DAY, region_codes, year, arrival_stride
+        dataset, lengths_hours, HOURS_PER_DAY, region_codes, year, arrival_stride, workers
     )
     return Figure7Result(
         ideal=ideal,

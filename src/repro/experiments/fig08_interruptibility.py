@@ -66,13 +66,14 @@ def run_fig08(
     region_codes: Sequence[str] | None = None,
     year: int | None = None,
     arrival_stride: int = 1,
+    workers: int | None = None,
 ) -> Figure8Result:
     """Compute both panels of Figure 8."""
     ideal = compute_temporal_table(
-        dataset, lengths_hours, ONE_YEAR_SLACK, region_codes, year, arrival_stride
+        dataset, lengths_hours, ONE_YEAR_SLACK, region_codes, year, arrival_stride, workers
     )
     practical = compute_temporal_table(
-        dataset, lengths_hours, HOURS_PER_DAY, region_codes, year, arrival_stride
+        dataset, lengths_hours, HOURS_PER_DAY, region_codes, year, arrival_stride, workers
     )
     return Figure8Result(
         ideal=ideal,

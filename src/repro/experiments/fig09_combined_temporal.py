@@ -93,14 +93,19 @@ def run_fig09(
     region_codes: Sequence[str] | None = None,
     year: int | None = None,
     arrival_stride: int = 1,
+    workers: int | None = None,
 ) -> Figure9Result:
-    """Compute both panels of Figure 9."""
+    """Compute both panels of Figure 9.
+
+    ``workers`` fans the per-region sweeps out over a process pool (see
+    :func:`repro.experiments.temporal_common.compute_temporal_table`).
+    """
     global_average = dataset.global_average(year)
     ideal = compute_temporal_table(
-        dataset, lengths_hours, ONE_YEAR_SLACK, region_codes, year, arrival_stride
+        dataset, lengths_hours, ONE_YEAR_SLACK, region_codes, year, arrival_stride, workers
     )
     practical = compute_temporal_table(
-        dataset, lengths_hours, HOURS_PER_DAY, region_codes, year, arrival_stride
+        dataset, lengths_hours, HOURS_PER_DAY, region_codes, year, arrival_stride, workers
     )
     return Figure9Result(
         rows_ideal=_breakdown_rows(ideal, "one-year", global_average),

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.constants import HOURS_PER_DAY
+from repro.exceptions import ConfigurationError
 from repro.grid.dataset import CarbonDataset
 from repro.scheduling.combined import CombinedSweep
 
@@ -91,7 +92,9 @@ def run_fig12(
 
     Reductions are per job-hour (g·CO2eq) averaged over all origins and
     arrival hours.  Destinations missing from the dataset (e.g. when running
-    on a reduced region subset) are skipped.
+    on a reduced region subset) are skipped.  Both slack settings run on the
+    vectorised :class:`CombinedSweep` engine; the dataset's window-sum cache
+    means the per-origin baselines are computed once and shared between them.
     """
     destinations = tuple(code for code in destinations if code in dataset.catalog)
     if not destinations:
@@ -117,5 +120,109 @@ def run_fig12(
     return Figure12Result(
         rows_by_destination=tuple(rows),
         job_length_hours=job_length_hours,
+        global_average_intensity=dataset.global_average(year),
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-origin combined sweep (the new engine exposed as an experiment)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CombinedOriginRow:
+    """Mean per-arrival reductions of the combined policy for one origin.
+
+    All reductions are per job-hour (g·CO2eq for a 1 kW job), i.e. directly
+    comparable to the Figure 7/8 axes.
+    """
+
+    origin: str
+    destination: str
+    baseline_per_hour: float
+    migrate_only_reduction: float
+    migrate_deferral_reduction: float
+    migrate_interrupt_reduction: float
+
+
+@dataclass(frozen=True)
+class CombinedOriginsResult:
+    """Per-origin rows of the combined spatial+temporal sweep."""
+
+    rows_by_origin: tuple[CombinedOriginRow, ...]
+    job_length_hours: int
+    slack_hours: int
+    global_average_intensity: float
+
+    def row(self, origin: str) -> CombinedOriginRow:
+        """The row for one origin region."""
+        for entry in self.rows_by_origin:
+            if entry.origin == origin:
+                return entry
+        raise KeyError(origin)
+
+    def mean_migrate_interrupt_reduction(self) -> float:
+        """Average migrate-then-interrupt reduction over all origins."""
+        values = [r.migrate_interrupt_reduction for r in self.rows_by_origin]
+        return float(sum(values) / len(values))
+
+    def rows(self) -> list[dict]:
+        """Tabular form."""
+        return [
+            {
+                "origin": r.origin,
+                "destination": r.destination,
+                "baseline_per_hour": r.baseline_per_hour,
+                "migrate_only_reduction": r.migrate_only_reduction,
+                "migrate_deferral_reduction": r.migrate_deferral_reduction,
+                "migrate_interrupt_reduction": r.migrate_interrupt_reduction,
+            }
+            for r in self.rows_by_origin
+        ]
+
+
+def run_combined_origins(
+    dataset: CarbonDataset,
+    job_length_hours: int = 24,
+    slack_hours: int = HOURS_PER_DAY,
+    region_codes: Sequence[str] | None = None,
+    year: int | None = None,
+    arrival_stride: int = 1,
+) -> CombinedOriginsResult:
+    """Evaluate migrate-then-defer and migrate-then-interrupt for every
+    origin region over all arrival hours, on the vectorised engine.
+
+    This is the per-origin view behind Figure 12: each origin migrates to its
+    greenest admissible destination and then shifts temporally there.  The
+    engine memoises destination temporal sums, so the whole catalog costs
+    barely more than the handful of distinct destinations it maps to.
+    """
+    codes = tuple(region_codes) if region_codes is not None else dataset.codes()
+    if not codes:
+        raise ConfigurationError("at least one origin region is required")
+    sweep = CombinedSweep(
+        dataset, job_length_hours, slack_hours, year, arrival_stride=arrival_stride
+    )
+    per_hour = float(job_length_hours)
+    rows = []
+    for code in codes:
+        sums = sweep.per_arrival(code)
+        reductions = sums.mean_reductions()
+        rows.append(
+            CombinedOriginRow(
+                origin=code,
+                destination=sums.destination,
+                baseline_per_hour=reductions["baseline_mean"] / per_hour,
+                migrate_only_reduction=reductions["migrate_only_reduction_mean"] / per_hour,
+                migrate_deferral_reduction=(
+                    reductions["migrate_deferral_reduction_mean"] / per_hour
+                ),
+                migrate_interrupt_reduction=(
+                    reductions["migrate_interrupt_reduction_mean"] / per_hour
+                ),
+            )
+        )
+    return CombinedOriginsResult(
+        rows_by_origin=tuple(rows),
+        job_length_hours=job_length_hours,
+        slack_hours=slack_hours,
         global_average_intensity=dataset.global_average(year),
     )

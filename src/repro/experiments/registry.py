@@ -16,7 +16,7 @@ from repro.experiments.fig08_interruptibility import run_fig08
 from repro.experiments.fig09_combined_temporal import run_fig09
 from repro.experiments.fig10_distributions import run_fig10
 from repro.experiments.fig11_whatif import run_fig11
-from repro.experiments.fig12_combined import run_fig12
+from repro.experiments.fig12_combined import run_combined_origins, run_fig12
 from repro.experiments.table1_config import run_table1
 
 
@@ -113,6 +113,12 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "Combined spatial and temporal shifting by destination region",
             "Figure 12",
             run_fig12,
+        ),
+        ExperimentSpec(
+            "combined",
+            "Per-origin migrate-then-shift sweep on the vectorised combined engine",
+            "Figure 12 (per-origin)",
+            run_combined_origins,
         ),
     )
 }

@@ -20,6 +20,7 @@ from repro.grid.catalog import RegionCatalog, default_catalog
 from repro.grid.region import GeographicGroup, Region
 from repro.grid.synthesis import SynthesisConfig, TraceSynthesizer
 from repro.timeseries.series import HourlySeries
+from repro.timeseries.windows import cyclic_window_sums
 
 
 @dataclass(frozen=True)
@@ -46,6 +47,13 @@ class CarbonDataset:
             for year in self.years:
                 if (region.code, year) not in self.traces:
                     raise DataError(f"missing trace for ({region.code}, {year})")
+        # Memoisation caches for derived, immutable quantities.  The traces
+        # themselves never change after construction, so cached window sums
+        # and means stay valid for the dataset's lifetime; the caches let
+        # multi-experiment runs (every figure touches the same 123 regions)
+        # stop recomputing identical cumulative sums.
+        object.__setattr__(self, "_window_sum_cache", {})
+        object.__setattr__(self, "_mean_cache", {})
 
     # ------------------------------------------------------------------
     # Construction
@@ -110,11 +118,57 @@ class CarbonDataset:
         return len(self.catalog)
 
     # ------------------------------------------------------------------
+    # Cached kernels
+    # ------------------------------------------------------------------
+    def trace_values(self, code: str, year: int | None = None) -> np.ndarray:
+        """The raw (read-only) value array of one region's trace."""
+        return self.series(code, year).values
+
+    def window_sums(self, code: str, window: int, year: int | None = None) -> np.ndarray:
+        """Cyclic ``window``-hour sums of one region's trace, memoised.
+
+        Entry ``t`` is the summed carbon intensity of hours
+        ``t .. t+window-1`` (wrapping around the year), i.e. the per-arrival
+        emissions of a 1 kW job of ``window`` hours started at ``t``.  Every
+        sweep engine needs these sums; memoising them per ``(region, year,
+        window)`` means a multi-experiment run computes each cumulative sum
+        exactly once.  The returned array is read-only and shared — copy
+        before mutating.
+        """
+        year = self.latest_year if year is None else year
+        key = (code, year, int(window))
+        cached = self._window_sum_cache.get(key)
+        if cached is None:
+            cached = cyclic_window_sums(self.trace_values(code, year), int(window))
+            cached.setflags(write=False)
+            self._window_sum_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Drop the memoisation caches so worker processes get lean pickles."""
+        state = dict(self.__dict__)
+        state["_window_sum_cache"] = {}
+        state["_mean_cache"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    # ------------------------------------------------------------------
     # Aggregates
     # ------------------------------------------------------------------
     def mean_intensity(self, code: str, year: int | None = None) -> float:
-        """Annual-average carbon intensity of one region."""
-        return self.series(code, year).mean()
+        """Annual-average carbon intensity of one region (memoised)."""
+        year = self.latest_year if year is None else year
+        key = (code, year)
+        cached = self._mean_cache.get(key)
+        if cached is None:
+            cached = self.series(code, year).mean()
+            self._mean_cache[key] = cached
+        return cached
 
     def annual_means(self, year: int | None = None) -> dict[str, float]:
         """Annual-average carbon intensity of every region."""
@@ -152,8 +206,19 @@ class CarbonDataset:
 
     def greenest_region(self, year: int | None = None) -> str:
         """Code of the region with the lowest annual-average intensity."""
-        means = self.annual_means(year)
-        return min(means, key=means.get)
+        return self.greenest_of(self.codes(), year)
+
+    def greenest_of(self, codes: Sequence[str], year: int | None = None) -> str:
+        """First code among ``codes`` with the lowest annual-average intensity.
+
+        This is the destination-selection rule shared by every
+        migrate-to-greenest policy and sweep; ties break towards the earlier
+        code so the per-job policies and the vectorised engines always agree.
+        """
+        codes = tuple(codes)
+        if not codes:
+            raise ConfigurationError("greenest_of requires at least one code")
+        return min(codes, key=lambda code: self.mean_intensity(code, year))
 
     def dirtiest_region(self, year: int | None = None) -> str:
         """Code of the region with the highest annual-average intensity."""

@@ -6,7 +6,12 @@ which region a job runs in (one-shot or ∞-migration, optionally constrained
 by capacity, latency or geography); the combined policy (§6.4) does both.
 """
 
-from repro.scheduling.combined import CombinedShiftingPolicy, CombinedSweep
+from repro.scheduling.combined import (
+    CombinedArrivalSums,
+    CombinedBreakdown,
+    CombinedShiftingPolicy,
+    CombinedSweep,
+)
 from repro.scheduling.latency_aware import LatencyConstrainedPolicy
 from repro.scheduling.online import ForecastDeferralPolicy, clairvoyance_gap
 from repro.scheduling.overheads import (
@@ -32,6 +37,8 @@ from repro.scheduling.temporal import (
 __all__ = [
     "CandidateSelector",
     "CarbonAgnosticPolicy",
+    "CombinedArrivalSums",
+    "CombinedBreakdown",
     "CombinedShiftingPolicy",
     "CombinedSweep",
     "DeferralPolicy",

@@ -5,6 +5,17 @@ its temporal flexibility (deferral, and optionally interruption) within that
 region.  The paper's Figure 12 decomposes the net reduction into the spatial
 part (difference of running at arrival in the destination vs the origin) and
 the temporal part (additional savings from shifting within the destination).
+
+Two layers are provided:
+
+* :class:`CombinedShiftingPolicy` — the per-job policy object (one job, one
+  arrival hour), used for spot checks and by the online simulator.
+* :class:`CombinedSweep` — the vectorised engine: per-arrival emissions of
+  migrate-then-defer and migrate-then-interrupt over *all* arrival hours of
+  the year in one shot, proven equivalent to the per-job policy in the test
+  suite.  Destination temporal sums are memoised per engine instance and the
+  origin/destination baselines come from the dataset's shared cyclic
+  window-sum cache, so evaluating many origins costs barely more than one.
 """
 
 from __future__ import annotations
@@ -18,7 +29,7 @@ from repro.exceptions import ConfigurationError
 from repro.grid.dataset import CarbonDataset
 from repro.scheduling.spatial import CandidateSelector, SpatialPolicy
 from repro.scheduling.sweep import TemporalSweep
-from repro.scheduling.temporal import DeferralPolicy, InterruptiblePolicy, TemporalPolicy
+from repro.scheduling.temporal import InterruptiblePolicy, TemporalPolicy
 from repro.workloads.job import Job
 
 
@@ -47,8 +58,7 @@ class CombinedShiftingPolicy(SpatialPolicy):
         self._validate(job, dataset, origin_code, arrival_hour, year)
         baseline = self._baseline(job, dataset, origin_code, arrival_hour, year)
         candidates = self._candidates(job, dataset, origin_code)
-        means = {code: dataset.mean_intensity(code, year) for code in candidates}
-        destination = min(means, key=means.get)
+        destination = dataset.greenest_of(candidates, year)
         destination_trace = dataset.series(destination, year)
         temporal_result = self.temporal_policy.schedule(job, destination_trace, arrival_hour)
         return ScheduleResult(
@@ -80,13 +90,58 @@ class CombinedBreakdown:
         return self.spatial_reduction + self.temporal_reduction
 
 
+@dataclass(frozen=True)
+class CombinedArrivalSums:
+    """Per-arrival emission sums of the combined policy for one origin.
+
+    All arrays are g·CO2eq sums for a 1 kW job (i.e. summed hourly carbon
+    intensities); entry ``t`` corresponds to arrival hour
+    ``t * arrival_stride``.  Callers multiply by the job's power and, for
+    fractional job lengths, by the fractional-hour correction.
+    """
+
+    origin: str
+    destination: str
+    #: Carbon-agnostic baseline: run at arrival in the origin region.
+    baseline: np.ndarray
+    #: Migrate to the destination, run immediately (no temporal shifting).
+    migrate_only: np.ndarray
+    #: Migrate, then defer contiguously within the slack window.
+    migrate_deferral: np.ndarray
+    #: Migrate, then run during the cheapest hours of the slack window.
+    migrate_interrupt: np.ndarray
+
+    def mean_reductions(self) -> dict[str, float]:
+        """Average per-arrival reductions of each stage vs the baseline."""
+        return {
+            "baseline_mean": float(self.baseline.mean()),
+            "migrate_only_reduction_mean": float((self.baseline - self.migrate_only).mean()),
+            "migrate_deferral_reduction_mean": float(
+                (self.baseline - self.migrate_deferral).mean()
+            ),
+            "migrate_interrupt_reduction_mean": float(
+                (self.baseline - self.migrate_interrupt).mean()
+            ),
+        }
+
+
 class CombinedSweep:
     """Vectorised evaluation of the combined policy over all arrival hours.
 
-    Used by the Figure-12 experiment: for a fixed origin (or for the global
-    average origin) and a set of candidate destinations, compute the spatial
-    and temporal components of the reduction when jobs migrate to each
-    destination and then defer/interrupt there.
+    For a fixed job shape (length and slack, in whole hours) the engine
+    computes, per origin region, the per-arrival emissions of
+
+    * the carbon-agnostic baseline (run at arrival in the origin),
+    * migrate-only (run at arrival in the greenest admissible destination),
+    * migrate-then-defer (contiguous start in the destination's window), and
+    * migrate-then-interrupt (cheapest hours of the destination's window),
+
+    matching :class:`CombinedShiftingPolicy` with the corresponding temporal
+    policy at every arrival hour.  Origin and destination baselines are read
+    from the dataset's memoised cyclic window-sum cache; destination temporal
+    sums are memoised per engine instance, so sweeping all 123 origins (which
+    typically share a handful of destinations) does the expensive temporal
+    kernels only once per distinct destination.
     """
 
     def __init__(
@@ -95,29 +150,101 @@ class CombinedSweep:
         length_hours: int,
         slack_hours: int,
         year: int | None = None,
+        selector: CandidateSelector | None = None,
+        arrival_stride: int = 1,
     ) -> None:
         if length_hours <= 0:
             raise ConfigurationError("length_hours must be positive")
         if slack_hours < 0:
             raise ConfigurationError("slack_hours must be non-negative")
+        if arrival_stride <= 0:
+            raise ConfigurationError("arrival_stride must be positive")
         self.dataset = dataset
-        self.length_hours = length_hours
-        self.slack_hours = slack_hours
+        self.length_hours = int(length_hours)
+        self.slack_hours = int(slack_hours)
         self.year = year
+        self.selector = selector or CandidateSelector()
+        self.arrival_stride = int(arrival_stride)
+        #: destination code -> (deferral sums, interrupt sums), memoised.
+        self._destination_cache: dict[str, tuple[np.ndarray, np.ndarray]] = {}
 
+    # ------------------------------------------------------------------
+    # Destination selection (identical tie-breaking to the per-job policy)
+    # ------------------------------------------------------------------
+    def destination_for(self, origin_code: str) -> str:
+        """Greenest admissible destination (by annual mean) for one origin."""
+        candidates = self.selector.candidates(self.dataset, origin_code)
+        return self.dataset.greenest_of(candidates, self.year)
+
+    # ------------------------------------------------------------------
+    # Per-arrival sums
+    # ------------------------------------------------------------------
+    def _strided(self, per_arrival: np.ndarray) -> np.ndarray:
+        return per_arrival[:: self.arrival_stride]
+
+    def baseline_sums(self, origin_code: str) -> np.ndarray:
+        """Per-arrival emissions of running at arrival in the origin."""
+        return self._strided(
+            self.dataset.window_sums(origin_code, self.length_hours, self.year)
+        )
+
+    def _temporal_sums(self, destination: str) -> tuple[np.ndarray, np.ndarray]:
+        cached = self._destination_cache.get(destination)
+        if cached is None:
+            trace = self.dataset.series(destination, self.year)
+            sweep = TemporalSweep(
+                trace,
+                self.length_hours,
+                self.slack_hours,
+                arrival_stride=self.arrival_stride,
+            )
+            # Feed the dataset's memoised window sums into the deferral
+            # kernel so the cumulative sum is shared with the migrate-only
+            # baseline instead of being recomputed per destination.
+            window_sums = self.dataset.window_sums(
+                destination, self.length_hours, self.year
+            )
+            cached = (sweep.deferral_sums(window_sums), sweep.interruptible_sums())
+            self._destination_cache[destination] = cached
+        return cached
+
+    def per_arrival(self, origin_code: str) -> CombinedArrivalSums:
+        """All four per-arrival emission arrays for one origin, in one shot."""
+        destination = self.destination_for(origin_code)
+        deferral, interrupt = self._temporal_sums(destination)
+        return CombinedArrivalSums(
+            origin=origin_code,
+            destination=destination,
+            baseline=self.baseline_sums(origin_code),
+            migrate_only=self._strided(
+                self.dataset.window_sums(destination, self.length_hours, self.year)
+            ),
+            migrate_deferral=deferral,
+            migrate_interrupt=interrupt,
+        )
+
+    def migrate_deferral_sums(self, origin_code: str) -> np.ndarray:
+        """Per-arrival emissions of migrate-then-defer for one origin."""
+        return self._temporal_sums(self.destination_for(origin_code))[0]
+
+    def migrate_interrupt_sums(self, origin_code: str) -> np.ndarray:
+        """Per-arrival emissions of migrate-then-interrupt for one origin."""
+        return self._temporal_sums(self.destination_for(origin_code))[1]
+
+    def mean_reductions(self, origin_code: str) -> dict[str, float]:
+        """Average per-arrival reductions of every stage for one origin."""
+        return self.per_arrival(origin_code).mean_reductions()
+
+    # ------------------------------------------------------------------
+    # Figure-12 decomposition
     # ------------------------------------------------------------------
     def breakdown(self, origin_code: str, destination_code: str) -> CombinedBreakdown:
         """Spatial / temporal decomposition for one origin→destination pair."""
-        origin_trace = self.dataset.series(origin_code, self.year)
-        destination_trace = self.dataset.series(destination_code, self.year)
-        origin_sweep = TemporalSweep(origin_trace, self.length_hours, 0)
-        destination_baseline = TemporalSweep(destination_trace, self.length_hours, 0)
-        destination_temporal = TemporalSweep(
-            destination_trace, self.length_hours, self.slack_hours
+        origin_sums = self.baseline_sums(origin_code)
+        destination_sums = self._strided(
+            self.dataset.window_sums(destination_code, self.length_hours, self.year)
         )
-        origin_sums = origin_sweep.baseline_sums()
-        destination_sums = destination_baseline.baseline_sums()
-        shifted_sums = destination_temporal.interruptible_sums()
+        _, shifted_sums = self._temporal_sums(destination_code)
         spatial = float((origin_sums - destination_sums).mean())
         temporal = float((destination_sums - shifted_sums).mean())
         return CombinedBreakdown(
@@ -130,21 +257,14 @@ class CombinedSweep:
     def global_breakdown(self, destination_code: str) -> CombinedBreakdown:
         """Decomposition averaged over *all* origins migrating to one
         destination — the bars of Figure 12."""
-        destination_trace = self.dataset.series(destination_code, self.year)
-        destination_baseline = TemporalSweep(destination_trace, self.length_hours, 0)
-        destination_temporal = TemporalSweep(
-            destination_trace, self.length_hours, self.slack_hours
+        destination_sums = self._strided(
+            self.dataset.window_sums(destination_code, self.length_hours, self.year)
         )
-        destination_sums = destination_baseline.baseline_sums()
-        shifted_sums = destination_temporal.interruptible_sums()
+        _, shifted_sums = self._temporal_sums(destination_code)
         temporal = float((destination_sums - shifted_sums).mean())
-
-        origin_means = []
-        for code in self.dataset.codes():
-            origin_sums = TemporalSweep(
-                self.dataset.series(code, self.year), self.length_hours, 0
-            ).baseline_sums()
-            origin_means.append(float(origin_sums.mean()))
+        origin_means = [
+            float(self.baseline_sums(code).mean()) for code in self.dataset.codes()
+        ]
         spatial = float(np.mean(origin_means) - destination_sums.mean())
         return CombinedBreakdown(
             origin="global",

@@ -72,7 +72,14 @@ class OverheadAwareInterruptiblePolicy(InterruptiblePolicy):
 
     def schedule(self, job: Job, trace: HourlySeries, arrival_hour: int) -> ScheduleResult:
         ideal = super().schedule(job, trace, arrival_hour)
-        if self.overheads.is_free or job.length_hours < 1 or not job.is_deferrable:
+        if (
+            self.overheads.is_free
+            or job.length_hours < 1
+            or not job.is_deferrable
+            or not job.interruptible
+        ):
+            # Non-interruptible jobs already degrade to a contiguous deferral
+            # schedule in the base policy, which incurs no suspend/resume.
             return ideal
         window = _cyclic_window(trace, arrival_hour, job.window_hours)
         scattered = k_smallest_slots(window, job.whole_hours)
@@ -94,7 +101,7 @@ class OverheadAwareInterruptiblePolicy(InterruptiblePolicy):
         contiguous_total = contiguous.total * scale
 
         if contiguous_total <= scattered_total:
-            start = arrival_hour + contiguous.start
+            start = (arrival_hour + contiguous.start) % len(trace)
             slices = (
                 ExecutionSlice(
                     region=trace.name or "local",

@@ -29,6 +29,7 @@ from repro.cloud.latency import LatencyModel
 from repro.core.result import ExecutionSlice, ScheduleResult
 from repro.exceptions import ConfigurationError, SchedulingError
 from repro.grid.dataset import CarbonDataset
+from repro.timeseries.windows import cyclic_window_sums
 from repro.workloads.job import Job
 
 
@@ -160,8 +161,7 @@ class OneMigrationPolicy(SpatialPolicy):
         self._validate(job, dataset, origin_code, arrival_hour, year)
         baseline = self._baseline(job, dataset, origin_code, arrival_hour, year)
         candidates = self._candidates(job, dataset, origin_code)
-        means = {code: dataset.mean_intensity(code, year) for code in candidates}
-        destination = min(means, key=means.get)
+        destination = dataset.greenest_of(candidates, year)
         trace = dataset.series(destination, year)
         if job.length_hours < 1:
             emissions = trace[arrival_hour] * job.power_kw * job.length_hours
@@ -229,7 +229,7 @@ class InfiniteMigrationPolicy(SpatialPolicy):
             slices = tuple(
                 ExecutionSlice(
                     region=candidates[int(best_rows[i])],
-                    start_hour=int(arrival_hour + i),
+                    start_hour=int((arrival_hour + i) % num_hours),
                     duration_hours=job.length_hours / job.whole_hours,
                     emissions_g=float(hourly[i]) * scale,
                 )
@@ -268,20 +268,17 @@ class SpatialSweep:
 
     # ------------------------------------------------------------------
     def _window_sums(self, values: np.ndarray) -> np.ndarray:
-        extended = np.concatenate([values, values[: self.length_hours - 1]])
-        cumsum = np.cumsum(np.insert(extended, 0, 0.0))
-        return cumsum[self.length_hours :] - cumsum[: -self.length_hours]
+        return cyclic_window_sums(values, self.length_hours)
 
     def baseline_sums(self) -> np.ndarray:
         """Per-arrival emissions of staying in the origin region."""
-        return self._window_sums(self.dataset.series(self.origin_code, self.year).values)
+        return self.dataset.window_sums(self.origin_code, self.length_hours, self.year)
 
     def one_migration_sums(self) -> np.ndarray:
         """Per-arrival emissions of migrating once to the greenest candidate
         (by annual mean)."""
-        means = {code: self.dataset.mean_intensity(code, self.year) for code in self.candidates}
-        destination = min(means, key=means.get)
-        return self._window_sums(self.dataset.series(destination, self.year).values)
+        destination = self.dataset.greenest_of(self.candidates, self.year)
+        return self.dataset.window_sums(destination, self.length_hours, self.year)
 
     def infinite_migration_sums(self) -> np.ndarray:
         """Per-arrival emissions of the hourly region-hopping policy."""

@@ -22,6 +22,7 @@ from scipy.ndimage import minimum_filter1d
 
 from repro.exceptions import ConfigurationError
 from repro.timeseries.series import HourlySeries
+from repro.timeseries.windows import cyclic_extension, cyclic_window_sums
 
 
 def _as_values(trace: HourlySeries | np.ndarray) -> np.ndarray:
@@ -30,24 +31,11 @@ def _as_values(trace: HourlySeries | np.ndarray) -> np.ndarray:
     return np.asarray(trace, dtype=float)
 
 
-def _cyclic_extension(values: np.ndarray, extra: int) -> np.ndarray:
-    """The trace followed by its first ``extra`` hours (cyclic wrap)."""
-    if extra == 0:
-        return values
-    if extra > values.size:
-        raise ConfigurationError("cyclic extension longer than the trace itself")
-    return np.concatenate([values, values[:extra]])
-
-
-def _cyclic_window_sums(values: np.ndarray, window: int) -> np.ndarray:
-    """Sum of each cyclic window of ``window`` hours, one per start hour."""
-    if window <= 0:
-        raise ConfigurationError("window must be positive")
-    if window > values.size:
-        raise ConfigurationError("window larger than the trace")
-    extended = _cyclic_extension(values, window - 1)
-    cumsum = np.cumsum(np.insert(extended, 0, 0.0))
-    return cumsum[window:] - cumsum[:-window]
+#: Backwards-compatible aliases — the kernels now live in
+#: :mod:`repro.timeseries.windows` so the temporal, spatial and combined
+#: sweeps all share one implementation.
+_cyclic_extension = cyclic_extension
+_cyclic_window_sums = cyclic_window_sums
 
 
 @dataclass(frozen=True)
@@ -98,34 +86,53 @@ class TemporalSweep:
         return self.length_hours + self.slack_hours
 
     # ------------------------------------------------------------------
-    def baseline_sums(self) -> np.ndarray:
-        """Per-arrival emissions of running immediately at arrival."""
-        return self._strided(
-            _cyclic_window_sums(_as_values(self.trace), self.length_hours)
-        )
+    def _window_sums(self, window_sums: np.ndarray | None) -> np.ndarray:
+        """Validate precomputed cyclic window sums, or compute them."""
+        if window_sums is None:
+            return cyclic_window_sums(_as_values(self.trace), self.length_hours)
+        window_sums = np.asarray(window_sums, dtype=float)
+        if window_sums.shape != (self.num_arrivals,):
+            raise ConfigurationError(
+                "precomputed window sums must have one entry per arrival hour"
+            )
+        return window_sums
 
-    def deferral_sums(self) -> np.ndarray:
+    def baseline_sums(self, window_sums: np.ndarray | None = None) -> np.ndarray:
+        """Per-arrival emissions of running immediately at arrival.
+
+        ``window_sums`` may pass in the precomputed cyclic ``length_hours``
+        window sums of the trace (e.g. from
+        :meth:`repro.grid.dataset.CarbonDataset.window_sums`) to avoid
+        recomputing the cumulative sum.
+        """
+        return self._strided(self._window_sums(window_sums))
+
+    def deferral_sums(self, window_sums: np.ndarray | None = None) -> np.ndarray:
         """Per-arrival emissions of the deferral policy.
 
         For each arrival the policy may start the job at any offset in
         ``[0, slack]``; the per-arrival optimum is therefore the minimum of
         the window sums over that offset range, computed with a sliding
-        minimum filter over the cyclic window-sum array.
+        minimum filter over the cyclic window-sum array.  ``window_sums``
+        optionally supplies those sums precomputed (see
+        :meth:`baseline_sums`).
         """
-        window_sums = _cyclic_window_sums(_as_values(self.trace), self.length_hours)
+        window_sums = self._window_sums(window_sums)
         if self.slack_hours == 0:
             return self._strided(window_sums)
-        if self.window_hours >= len(self.trace):
-            # Full-year slack: every start hour of the (cyclic) year is an
-            # admissible deferral target, so every arrival achieves the global
-            # minimum window sum.
+        if self.slack_hours >= self.num_arrivals - 1:
+            # The admissible starts t .. t+slack cover every start hour of
+            # the (cyclic) year, so every arrival achieves the global minimum
+            # window sum.  Note that ``window_hours == len(trace)`` is NOT
+            # sufficient for this: a job of length L with slack N-L may only
+            # start at N-L+1 of the N start hours.
             return self._strided(
                 np.full(self.num_arrivals, float(window_sums.min()))
             )
         # The admissible starts for arrival t are t .. t+slack; build the
         # cyclically extended array and take a forward-looking running min.
         size = self.slack_hours + 1
-        extended = _cyclic_extension(window_sums, self.slack_hours)
+        extended = cyclic_extension(window_sums, self.slack_hours)
         # minimum_filter1d uses a centred window covering
         # [j - size//2, j + (size-1)//2]; evaluating it at j = t + size//2
         # makes the window exactly [t, t + slack].
@@ -150,7 +157,7 @@ class TemporalSweep:
             return self._strided(np.full(self.num_arrivals, float(smallest.sum())))
         if self.slack_hours == 0:
             return self.baseline_sums()
-        extended = _cyclic_extension(values, window - 1)
+        extended = cyclic_extension(values, window - 1)
         windows = np.lib.stride_tricks.sliding_window_view(extended, window)
         windows = windows[:: self.arrival_stride]
         partitioned = np.partition(windows, self.length_hours - 1, axis=1)

@@ -124,7 +124,9 @@ class DeferralPolicy(TemporalPolicy):
             window = _cyclic_window(trace, arrival_hour, job.window_hours)
             best = min_sum_contiguous_window(window, job.whole_hours)
             emissions = best.total * job.power_kw * (job.length_hours / job.whole_hours)
-            start = arrival_hour + best.start
+            # Reduce modulo the trace length: deferred starts past the end of
+            # the year wrap to its beginning (the module's cyclic convention).
+            start = (arrival_hour + best.start) % len(trace)
         slices = (
             ExecutionSlice(
                 region=trace.name or "local",
@@ -149,6 +151,8 @@ class InterruptiblePolicy(TemporalPolicy):
     The job is split into hour-granularity pieces that run during the
     ``job length`` cheapest hours of the ``job length + slack`` window, with
     zero suspend/resume overhead (the paper's upper-bound assumption).
+    Jobs constructed with ``interruptible=False`` must not be split, so they
+    degrade to the contiguous deferral schedule.
     """
 
     name = "deferral+interrupt"
@@ -166,6 +170,21 @@ class InterruptiblePolicy(TemporalPolicy):
                     emissions_g=emissions,
                 ),
             )
+        elif not job.interruptible:
+            # A non-interruptible job may still be deferred, but it must run
+            # contiguously — splitting it into pieces would violate the job's
+            # declared flexibility.
+            window = _cyclic_window(trace, arrival_hour, job.window_hours)
+            best = min_sum_contiguous_window(window, job.whole_hours)
+            emissions = best.total * job.power_kw * (job.length_hours / job.whole_hours)
+            slices = (
+                ExecutionSlice(
+                    region=trace.name or "local",
+                    start_hour=(arrival_hour + best.start) % len(trace),
+                    duration_hours=job.length_hours,
+                    emissions_g=emissions,
+                ),
+            )
         else:
             window = _cyclic_window(trace, arrival_hour, job.window_hours)
             best = k_smallest_slots(window, job.whole_hours)
@@ -174,7 +193,7 @@ class InterruptiblePolicy(TemporalPolicy):
             slices = tuple(
                 ExecutionSlice(
                     region=trace.name or "local",
-                    start_hour=arrival_hour + int(offset),
+                    start_hour=(arrival_hour + int(offset)) % len(trace),
                     duration_hours=job.length_hours / job.whole_hours,
                     emissions_g=float(window[offset]) * scale,
                 )

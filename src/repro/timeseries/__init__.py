@@ -11,6 +11,8 @@ from repro.timeseries.stats import (
     summary_statistics,
 )
 from repro.timeseries.windows import (
+    cyclic_extension,
+    cyclic_window_sums,
     k_smallest_slots,
     min_sum_contiguous_window,
     sliding_window_sums,
@@ -22,6 +24,8 @@ __all__ = [
     "KMeansResult",
     "PeriodDetection",
     "coefficient_of_variation",
+    "cyclic_extension",
+    "cyclic_window_sums",
     "daily_coefficient_of_variation",
     "detect_periods",
     "k_smallest_slots",

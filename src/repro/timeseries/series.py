@@ -65,11 +65,21 @@ class HourlySeries:
         return iter(self.values)
 
     def __getitem__(self, index):
-        result = self.values[index]
         if isinstance(index, slice):
-            start = index.start or 0
-            return HourlySeries(result, start_hour=self.start_hour + start, name=self.name)
-        return float(result)
+            if index.step not in (None, 1):
+                raise ConfigurationError(
+                    "HourlySeries only supports contiguous slices (step 1); "
+                    f"got step {index.step}"
+                )
+            # Normalise negative / None bounds so the slice's start_hour label
+            # matches the positional offset of its first sample.
+            start, stop, _ = index.indices(len(self))
+            return HourlySeries(
+                self.values[start:stop],
+                start_hour=self.start_hour + start,
+                name=self.name,
+            )
+        return float(self.values[index])
 
     # ------------------------------------------------------------------
     # Statistics

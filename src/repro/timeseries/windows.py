@@ -36,6 +36,43 @@ class WindowResult:
     total: float
 
 
+def cyclic_extension(values: np.ndarray, extra: int) -> np.ndarray:
+    """The array followed by its first ``extra`` elements (cyclic wrap).
+
+    This is the building block of every cyclic (wrap-around) window kernel:
+    a window that runs past the end of the year continues at its beginning,
+    so extending the trace by ``window - 1`` hours lets plain contiguous
+    kernels answer cyclic queries.
+    """
+    values = np.asarray(values, dtype=float)
+    if extra < 0:
+        raise ConfigurationError("cyclic extension must be non-negative")
+    if extra == 0:
+        return values
+    if extra > values.size:
+        raise ConfigurationError("cyclic extension longer than the trace itself")
+    return np.concatenate([values, values[:extra]])
+
+
+def cyclic_window_sums(values: np.ndarray, window: int) -> np.ndarray:
+    """Sum of each cyclic window of ``window`` elements, one per start index.
+
+    Returns an array of length ``len(values)``: entry ``t`` is the sum of
+    ``values[t], values[t+1], ..., values[t+window-1]`` with indices taken
+    modulo ``len(values)``.  Computed with one cumulative sum, so the cost is
+    O(n) regardless of the window size.  This is the single shared kernel
+    behind the temporal, spatial and combined sweep engines.
+    """
+    values = np.asarray(values, dtype=float)
+    if window <= 0:
+        raise ConfigurationError("window must be positive")
+    if window > values.size:
+        raise ConfigurationError("window larger than the trace")
+    extended = cyclic_extension(values, window - 1)
+    cumsum = np.cumsum(np.insert(extended, 0, 0.0))
+    return cumsum[window:] - cumsum[:-window]
+
+
 def sliding_window_sums(values: np.ndarray, window: int) -> np.ndarray:
     """Sums of every contiguous window of length ``window``.
 

@@ -1,0 +1,226 @@
+"""Equivalence tests for the vectorised combined spatial+temporal engine.
+
+The acceptance bar of the sweep engines is that they are *indistinguishable*
+from the per-job policy objects: for every sampled (origin, arrival, job
+shape) triple — including arrivals near hour 8759 whose windows wrap around
+the year — the per-arrival arrays must match what the policy objects compute
+one job at a time, within 1e-9 relative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.fig12_combined import run_combined_origins
+from repro.experiments.temporal_common import compute_temporal_table, resolve_workers
+from repro.scheduling.combined import CombinedShiftingPolicy, CombinedSweep
+from repro.scheduling.spatial import CandidateSelector, OneMigrationPolicy, SpatialSweep
+from repro.scheduling.sweep import TemporalSweep
+from repro.scheduling.temporal import (
+    CarbonAgnosticPolicy,
+    DeferralPolicy,
+    InterruptiblePolicy,
+)
+from repro.workloads.job import Job
+
+#: Arrival hours sampled in every equivalence test: start / mid-year / the
+#: last hours of the year, whose slack windows wrap around the year end.
+SAMPLE_ARRIVALS = (0, 17, 4321, 8700, 8736, 8759)
+
+#: Job shapes (length, slack) covering short/long jobs and short/long slack.
+JOB_SHAPES = ((1, 24), (4, 24), (24, 24), (24, 168), (48, 24))
+
+REL = 1e-9
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= REL * max(1.0, abs(a), abs(b))
+
+
+class TestCombinedSweepMatchesPolicy:
+    """CombinedSweep vs CombinedShiftingPolicy on sampled triples.
+
+    3 origins × 5 job shapes × 6 arrivals = 90 sampled triples per temporal
+    mode, comfortably above the 50-triple acceptance floor.
+    """
+
+    @pytest.mark.parametrize("length,slack", JOB_SHAPES)
+    @pytest.mark.parametrize("origin", ("IN-MH", "SE", "US-CA"))
+    def test_migrate_interrupt_matches(self, small_dataset, origin, length, slack):
+        sweep = CombinedSweep(small_dataset, length, slack)
+        sums = sweep.per_arrival(origin)
+        job = Job.batch(length_hours=length, slack_hours=slack, interruptible=True)
+        policy = CombinedShiftingPolicy(temporal_policy=InterruptiblePolicy())
+        for arrival in SAMPLE_ARRIVALS:
+            result = policy.schedule(job, small_dataset, origin, arrival)
+            assert _close(sums.migrate_interrupt[arrival], result.emissions_g)
+            assert _close(sums.baseline[arrival], result.baseline_emissions_g)
+            assert result.regions_used() == (sums.destination,)
+
+    @pytest.mark.parametrize("length,slack", JOB_SHAPES)
+    @pytest.mark.parametrize("origin", ("IN-MH", "SE", "US-CA"))
+    def test_migrate_deferral_matches(self, small_dataset, origin, length, slack):
+        sweep = CombinedSweep(small_dataset, length, slack)
+        sums = sweep.per_arrival(origin)
+        job = Job.batch(length_hours=length, slack_hours=slack)
+        policy = CombinedShiftingPolicy(temporal_policy=DeferralPolicy())
+        for arrival in SAMPLE_ARRIVALS:
+            result = policy.schedule(job, small_dataset, origin, arrival)
+            assert _close(sums.migrate_deferral[arrival], result.emissions_g)
+
+    def test_migrate_only_matches_one_migration_policy(self, small_dataset):
+        sweep = CombinedSweep(small_dataset, 24, 24)
+        sums = sweep.per_arrival("IN-MH")
+        job = Job.batch(length_hours=24)
+        for arrival in SAMPLE_ARRIVALS:
+            result = OneMigrationPolicy().schedule(job, small_dataset, "IN-MH", arrival)
+            assert _close(sums.migrate_only[arrival], result.emissions_g)
+
+    def test_group_scope_selector_matches(self, small_dataset):
+        selector = CandidateSelector(scope="group")
+        sweep = CombinedSweep(small_dataset, 24, 24, selector=selector)
+        sums = sweep.per_arrival("IN-MH")
+        job = Job.batch(length_hours=24, slack_hours=24, interruptible=True)
+        policy = CombinedShiftingPolicy(selector, InterruptiblePolicy())
+        for arrival in (0, 5000, 8759):
+            result = policy.schedule(job, small_dataset, "IN-MH", arrival)
+            assert result.regions_used() == (sums.destination,)
+            assert _close(sums.migrate_interrupt[arrival], result.emissions_g)
+
+    def test_ordering_invariants(self, small_dataset):
+        sums = CombinedSweep(small_dataset, 24, 24).per_arrival("IN-MH")
+        assert np.all(sums.migrate_deferral <= sums.migrate_only + 1e-9)
+        assert np.all(sums.migrate_interrupt <= sums.migrate_deferral + 1e-9)
+
+    def test_mean_reductions_keys_and_consistency(self, small_dataset):
+        sweep = CombinedSweep(small_dataset, 24, 24)
+        reductions = sweep.mean_reductions("PL")
+        assert set(reductions) == {
+            "baseline_mean",
+            "migrate_only_reduction_mean",
+            "migrate_deferral_reduction_mean",
+            "migrate_interrupt_reduction_mean",
+        }
+        assert (
+            reductions["migrate_interrupt_reduction_mean"]
+            >= reductions["migrate_deferral_reduction_mean"] - 1e-9
+        )
+
+    def test_destination_memoised_across_origins(self, small_dataset):
+        sweep = CombinedSweep(small_dataset, 24, 24)
+        first = sweep.migrate_interrupt_sums("IN-MH")
+        second = sweep.migrate_interrupt_sums("PL")
+        if sweep.destination_for("IN-MH") == sweep.destination_for("PL"):
+            assert first is second
+
+    def test_arrival_stride_subsamples(self, small_dataset):
+        full = CombinedSweep(small_dataset, 24, 24).per_arrival("DE")
+        strided = CombinedSweep(small_dataset, 24, 24, arrival_stride=24).per_arrival("DE")
+        assert np.allclose(strided.baseline, full.baseline[::24])
+        assert np.allclose(strided.migrate_interrupt, full.migrate_interrupt[::24])
+
+    def test_invalid_parameters(self, small_dataset):
+        with pytest.raises(ConfigurationError):
+            CombinedSweep(small_dataset, 0, 24)
+        with pytest.raises(ConfigurationError):
+            CombinedSweep(small_dataset, 24, -1)
+        with pytest.raises(ConfigurationError):
+            CombinedSweep(small_dataset, 24, 24, arrival_stride=0)
+
+
+class TestTemporalSweepWrapArrivals:
+    """TemporalSweep vs the per-job policies at wrap-around arrivals."""
+
+    @pytest.mark.parametrize("length,slack", JOB_SHAPES)
+    def test_matches_policies_near_year_end(self, small_dataset, length, slack):
+        trace = small_dataset.series("AU-SA")
+        sweep = TemporalSweep(trace, length, slack)
+        baseline = sweep.baseline_sums()
+        deferral = sweep.deferral_sums()
+        interruptible = sweep.interruptible_sums()
+        job = Job.batch(length_hours=length, slack_hours=slack, interruptible=True)
+        for arrival in (8700, 8736, 8758, 8759):
+            assert _close(
+                baseline[arrival],
+                CarbonAgnosticPolicy().schedule(job, trace, arrival).emissions_g,
+            )
+            assert _close(
+                deferral[arrival],
+                DeferralPolicy().schedule(job, trace, arrival).emissions_g,
+            )
+            assert _close(
+                interruptible[arrival],
+                InterruptiblePolicy().schedule(job, trace, arrival).emissions_g,
+            )
+
+    def test_full_window_slack_is_not_global_minimum(self):
+        """Regression: length + slack == len(trace) does NOT admit every
+        start hour — only slack+1 of them."""
+        rng = np.random.default_rng(7)
+        values = rng.uniform(1.0, 900.0, size=120)
+        from repro.timeseries.series import HourlySeries
+
+        trace = HourlySeries(values, name="reg")
+        length, slack = 17, 103
+        sweep = TemporalSweep(trace, length, slack)
+        got = sweep.deferral_sums()
+        doubled = np.concatenate([values, values])
+        expected = np.array(
+            [
+                min(doubled[a + d : a + d + length].sum() for d in range(slack + 1))
+                for a in range(len(values))
+            ]
+        )
+        assert np.allclose(got, expected)
+
+
+class TestSpatialSweepWrapArrivals:
+    """SpatialSweep vs the per-job spatial policies at wrap-around arrivals."""
+
+    def test_matches_policies_near_year_end(self, small_dataset):
+        selector = CandidateSelector()
+        candidates = selector.candidates(small_dataset, "IN-MH")
+        sweep = SpatialSweep(small_dataset, "IN-MH", candidates, 24)
+        one = sweep.one_migration_sums()
+        baseline = sweep.baseline_sums()
+        job = Job.batch(length_hours=24)
+        for arrival in (8700, 8736, 8759):
+            result = OneMigrationPolicy(selector).schedule(
+                job, small_dataset, "IN-MH", arrival
+            )
+            assert _close(one[arrival], result.emissions_g)
+            assert _close(baseline[arrival], result.baseline_emissions_g)
+
+
+class TestParallelRunner:
+    def test_workers_match_sequential(self, small_dataset):
+        sequential = compute_temporal_table(small_dataset, (6, 24), 24, arrival_stride=24)
+        parallel = compute_temporal_table(
+            small_dataset, (6, 24), 24, arrival_stride=24, workers=2
+        )
+        assert sequential.cells == parallel.cells
+
+    def test_resolve_workers(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(0) == 1
+        assert resolve_workers(1) == 1
+        assert resolve_workers(4) == 4
+        assert resolve_workers(-1) >= 1
+        with pytest.raises(ConfigurationError):
+            resolve_workers(-2)
+
+
+class TestCombinedOriginsExperiment:
+    def test_rows_cover_all_origins(self, small_dataset):
+        result = run_combined_origins(small_dataset, arrival_stride=24)
+        assert {r["origin"] for r in result.rows()} == set(small_dataset.codes())
+        for row in result.rows():
+            assert row["migrate_interrupt_reduction"] >= row["migrate_deferral_reduction"] - 1e-9
+
+    def test_greenest_origin_gains_least_spatially(self, small_dataset):
+        result = run_combined_origins(small_dataset, arrival_stride=24)
+        greenest = result.row(small_dataset.greenest_region())
+        dirtiest = result.row(small_dataset.dirtiest_region())
+        assert dirtiest.migrate_only_reduction > greenest.migrate_only_reduction

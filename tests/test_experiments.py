@@ -26,7 +26,7 @@ class TestRegistry:
         identifiers = {spec.identifier for spec in list_experiments()}
         expected = {
             "table1", "fig1", "fig3a", "fig3b", "fig4", "fig5", "fig6",
-            "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+            "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "combined",
         }
         assert identifiers == expected
 

@@ -36,6 +36,47 @@ class TestAccess:
         assert small_dataset.region("SE").group == GeographicGroup.EUROPE
 
 
+class TestCachedKernels:
+    def test_window_sums_match_direct_computation(self, small_dataset):
+        from repro.timeseries.windows import cyclic_window_sums
+
+        direct = cyclic_window_sums(small_dataset.series("DE").values, 24)
+        assert np.allclose(small_dataset.window_sums("DE", 24), direct)
+
+    def test_window_sums_memoised(self, small_dataset):
+        first = small_dataset.window_sums("SE", 24)
+        second = small_dataset.window_sums("SE", 24)
+        assert first is second
+
+    def test_window_sums_read_only(self, small_dataset):
+        sums = small_dataset.window_sums("SE", 6)
+        with pytest.raises(ValueError):
+            sums[0] = 0.0
+
+    def test_distinct_windows_cached_separately(self, small_dataset):
+        assert not np.array_equal(
+            small_dataset.window_sums("SE", 6), small_dataset.window_sums("SE", 12)
+        )
+
+    def test_trace_values_match_series(self, small_dataset):
+        assert np.array_equal(
+            small_dataset.trace_values("PL"), small_dataset.series("PL").values
+        )
+
+    def test_pickle_drops_cache_but_preserves_data(self, small_dataset):
+        import pickle
+
+        small_dataset.window_sums("SE", 24)
+        clone = pickle.loads(pickle.dumps(small_dataset))
+        assert not clone._window_sum_cache
+        assert np.allclose(clone.window_sums("SE", 24), small_dataset.window_sums("SE", 24))
+
+    def test_mean_intensity_memoised(self, small_dataset):
+        first = small_dataset.mean_intensity("SE")
+        assert small_dataset.mean_intensity("SE") == first
+        assert ("SE", small_dataset.latest_year) in small_dataset._mean_cache
+
+
 class TestAggregates:
     def test_annual_means_cover_all_regions(self, small_dataset):
         means = small_dataset.annual_means()

@@ -131,6 +131,19 @@ class TestInfiniteMigrationPolicy:
         matrix = small_dataset.intensity_matrix()
         assert result.emissions_g == pytest.approx(matrix[:, 5000].min() * 0.01)
 
+    def test_slice_starts_wrap_near_year_end(self, small_dataset):
+        """Regression: hourly slices past hour 8759 must wrap to the start of
+        the year instead of emitting out-of-trace start hours."""
+        job = Job.batch(length_hours=24)
+        result = InfiniteMigrationPolicy().schedule(job, small_dataset, "DE", 8750)
+        trace_hours = len(small_dataset.series("DE"))
+        starts = [piece.start_hour for piece in result.slices]
+        assert all(0 <= start < trace_hours for start in starts)
+        # The wrapped hours keep the hourly-minimum emissions.
+        matrix = small_dataset.intensity_matrix()
+        hours = (8750 + np.arange(24)) % trace_hours
+        assert result.emissions_g == pytest.approx(matrix[:, hours].min(axis=0).sum())
+
 
 class TestSpatialSweep:
     def test_matches_policy_at_sample_arrivals(self, small_dataset):

@@ -120,3 +120,59 @@ class TestInterruptiblePolicy:
         job = Job.batch(length_hours=6, slack_hours=48, interruptible=True, power_kw=2.0)
         result = InterruptiblePolicy().schedule(job, valley_trace, arrival_hour=0)
         assert result.emissions_g == pytest.approx(2.0 * 6 * 50.0)
+
+    def test_non_interruptible_job_runs_contiguously(self, valley_trace):
+        """A job with interruptible=False must not be split into pieces; it
+        degrades to the contiguous deferral schedule."""
+        job = Job.batch(length_hours=8, slack_hours=48, interruptible=False)
+        result = InterruptiblePolicy().schedule(job, valley_trace, arrival_hour=0)
+        deferred = DeferralPolicy().schedule(job, valley_trace, arrival_hour=0)
+        assert len(result.slices) == 1
+        assert result.num_interruptions == 0
+        assert result.emissions_g == pytest.approx(deferred.emissions_g)
+        ScheduleResult.validate_covers_job(result)
+
+    def test_non_interruptible_still_defers(self, valley_trace):
+        job = Job.batch(length_hours=6, slack_hours=48, interruptible=False)
+        result = InterruptiblePolicy().schedule(job, valley_trace, arrival_hour=10)
+        assert result.emissions_g == pytest.approx(6 * 50.0)
+
+
+class TestCyclicWrapConvention:
+    """Slice start hours must stay inside the trace (cyclic wrap).
+
+    Regression tests for arrivals near hour 8759: deferred or interrupted
+    starts that land past the end of the year must be reduced modulo the
+    trace length, per the module's documented convention.
+    """
+
+    def test_deferral_start_wraps_near_year_end(self, valley_trace):
+        # Arrival 8759 with 48h slack: the cheapest window is the day-two
+        # valley only if the search wraps; whatever is chosen, the slice's
+        # start hour must be a valid trace index.
+        job = Job.batch(length_hours=6, slack_hours=48)
+        result = DeferralPolicy().schedule(job, valley_trace, arrival_hour=8759)
+        for piece in result.slices:
+            assert 0 <= piece.start_hour < len(valley_trace)
+        assert result.emissions_g == pytest.approx(6 * 50.0)
+
+    def test_interrupt_starts_wrap_near_year_end(self, valley_trace):
+        job = Job.batch(length_hours=8, slack_hours=48, interruptible=True)
+        result = InterruptiblePolicy().schedule(job, valley_trace, arrival_hour=8755)
+        for piece in result.slices:
+            assert 0 <= piece.start_hour < len(valley_trace)
+        # The six valley hours (30-35) are reachable only through the wrap.
+        assert result.emissions_g == pytest.approx(6 * 50.0 + 2 * 500.0)
+
+    def test_wrapped_emissions_match_unwrapped_rotation(self, small_dataset):
+        """Scheduling at arrival a on a trace rotated by a must equal
+        scheduling at hour 0 of the rotated trace."""
+        trace = small_dataset.series("US-CA")
+        arrival = 8759
+        rotated = HourlySeries(
+            np.roll(np.asarray(trace.values), -arrival), name="rot"
+        )
+        job = Job.batch(length_hours=12, slack_hours=24, interruptible=True)
+        wrapped = InterruptiblePolicy().schedule(job, trace, arrival)
+        unwrapped = InterruptiblePolicy().schedule(job, rotated, 0)
+        assert wrapped.emissions_g == pytest.approx(unwrapped.emissions_g)

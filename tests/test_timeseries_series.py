@@ -169,3 +169,35 @@ class TestTransforms:
         series = HourlySeries(np.arange(10.0))
         assert series[3] == 3.0
         assert isinstance(series[3], float)
+
+    def test_negative_start_slice_labels_correctly(self):
+        """Regression: a [-k:] slice used to label start_hour as
+        base - k instead of the positional offset of its first sample."""
+        series = HourlySeries(np.arange(10.0), start_hour=100, name="x")
+        piece = series[-3:]
+        assert list(piece) == [7.0, 8.0, 9.0]
+        assert piece.start_hour == 107
+
+    def test_negative_stop_slice(self):
+        series = HourlySeries(np.arange(10.0))
+        piece = series[2:-2]
+        assert list(piece) == [2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
+        assert piece.start_hour == 2
+
+    def test_open_ended_slice_keeps_base_label(self):
+        series = HourlySeries(np.arange(10.0), start_hour=50)
+        assert series[:4].start_hour == 50
+
+    def test_stepped_slice_rejected(self):
+        """Regression: slice steps used to be silently ignored for the
+        start_hour label; now any step other than 1 is rejected."""
+        series = HourlySeries(np.arange(10.0))
+        with pytest.raises(ConfigurationError):
+            series[::2]
+        with pytest.raises(ConfigurationError):
+            series[8:0:-1]
+
+    def test_empty_slice_rejected(self):
+        series = HourlySeries(np.arange(10.0))
+        with pytest.raises(ConfigurationError):
+            series[5:5]

@@ -6,6 +6,8 @@ import pytest
 from repro.exceptions import ConfigurationError
 from repro.timeseries.windows import (
     best_start_offsets,
+    cyclic_extension,
+    cyclic_window_sums,
     k_smallest_slots,
     max_sum_contiguous_window,
     min_sum_contiguous_window,
@@ -14,6 +16,47 @@ from repro.timeseries.windows import (
 )
 
 VALUES = np.array([5.0, 1.0, 4.0, 2.0, 8.0, 3.0, 7.0, 6.0, 9.0, 0.5])
+
+
+class TestCyclicExtension:
+    def test_appends_head(self):
+        assert np.allclose(cyclic_extension(VALUES, 2), np.concatenate([VALUES, VALUES[:2]]))
+
+    def test_zero_extra_is_identity(self):
+        assert np.allclose(cyclic_extension(VALUES, 0), VALUES)
+
+    def test_invalid_extra(self):
+        with pytest.raises(ConfigurationError):
+            cyclic_extension(VALUES, -1)
+        with pytest.raises(ConfigurationError):
+            cyclic_extension(VALUES, len(VALUES) + 1)
+
+
+class TestCyclicWindowSums:
+    def test_matches_manual_wrap(self):
+        window = 4
+        doubled = np.concatenate([VALUES, VALUES])
+        expected = [doubled[i : i + window].sum() for i in range(len(VALUES))]
+        assert np.allclose(cyclic_window_sums(VALUES, window), expected)
+
+    def test_one_entry_per_start_hour(self):
+        assert cyclic_window_sums(VALUES, 3).shape == VALUES.shape
+
+    def test_full_window_equals_total_everywhere(self):
+        sums = cyclic_window_sums(VALUES, len(VALUES))
+        assert np.allclose(sums, VALUES.sum())
+
+    def test_agrees_with_sliding_window_sums_prefix(self):
+        window = 3
+        cyclic = cyclic_window_sums(VALUES, window)
+        plain = sliding_window_sums(VALUES, window)
+        assert np.allclose(cyclic[: len(plain)], plain)
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            cyclic_window_sums(VALUES, 0)
+        with pytest.raises(ConfigurationError):
+            cyclic_window_sums(VALUES, len(VALUES) + 1)
 
 
 class TestSlidingWindowSums:
