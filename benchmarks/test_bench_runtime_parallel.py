@@ -1,0 +1,71 @@
+"""Benchmark: region-sharded fan-out of the combined per-origin sweep.
+
+Runs the Figure-12 per-origin experiment (`run_combined_origins`) over the
+full catalog at workers ∈ {1, 2, all CPUs} and records the speedup of the
+`repro.runtime.parallel_map_regions` fan-out over the serial engine.  The
+three runs are also checked to produce identical rows — the runtime's core
+guarantee.
+
+On single-core machines ``workers=-1`` resolves to serial execution, so the
+speedup column simply reports 1.0x there; the benchmark still validates the
+pooled path via the explicit 2-worker run.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig12_combined import run_combined_origins
+from repro.reporting import format_table
+from repro.runtime import resolve_workers
+
+#: Arrival subsampling used by the benchmark (one arrival per day keeps the
+#: full-catalog sweep comfortably inside CI budgets at every worker count).
+ARRIVAL_STRIDE = 24
+
+
+def test_bench_combined_origins_parallel_speedup(benchmark, bench_dataset):
+    all_cpus = resolve_workers(-1)
+    worker_counts = [1, 2, all_cpus] if all_cpus not in (1, 2) else [1, 2]
+
+    timings: dict[int, float] = {}
+    results = {}
+    for workers in worker_counts:
+        start = time.perf_counter()
+        results[workers] = run_combined_origins(
+            bench_dataset, arrival_stride=ARRIVAL_STRIDE, workers=workers
+        )
+        timings[workers] = time.perf_counter() - start
+
+    # The headline run (all CPUs) under pytest-benchmark timing.
+    run_once(
+        benchmark,
+        run_combined_origins,
+        bench_dataset,
+        arrival_stride=ARRIVAL_STRIDE,
+        workers=-1,
+    )
+
+    # Correctness: every worker count produces identical rows.
+    serial_rows = results[1].rows()
+    for workers, result in results.items():
+        assert result.rows() == serial_rows, f"workers={workers} diverged from serial"
+
+    rows = [
+        {
+            "workers": workers,
+            "seconds": round(timings[workers], 3),
+            "speedup_vs_serial": round(timings[1] / timings[workers], 2),
+        }
+        for workers in worker_counts
+    ]
+    print()
+    print(
+        format_table(
+            rows,
+            title=(
+                "Combined per-origin sweep: parallel fan-out over "
+                f"{len(bench_dataset)} regions ({os.cpu_count()} CPUs available)"
+            ),
+        )
+    )

@@ -48,6 +48,7 @@ from repro.exceptions import (
 from repro.grid.catalog import RegionCatalog, default_catalog
 from repro.grid.dataset import CarbonDataset
 from repro.grid.region import GeographicGroup, Region
+from repro.runtime import RunConfig
 from repro.workloads.job import Job, JobClass
 
 __version__ = "1.0.0"
@@ -67,6 +68,7 @@ __all__ = [
     "Region",
     "RegionCatalog",
     "ReproError",
+    "RunConfig",
     "SchedulingError",
     "default_catalog",
     "__version__",

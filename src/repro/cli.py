@@ -4,11 +4,23 @@ Usage::
 
     python -m repro list
     python -m repro run fig5 --csv results/fig5.csv
-    python -m repro run fig7 --regions SE,DE,US-CA --years 2022
+    python -m repro run fig7 --regions SE,DE,US-CA --years 2022 --workers -1
+    python -m repro run-all --regions SE,DE,US-CA --arrival-stride 168
     python -m repro dataset-summary --years 2022
 
 ``run`` executes one registered experiment on a freshly synthesised dataset
 and prints its rows as a plain-text table (optionally also writing a CSV).
+``run-all`` executes *every* registered experiment on one shared dataset —
+so memoised window sums and annual means are computed once — and writes one
+CSV per figure into ``--out-dir``.
+
+Option routing is declarative: the CLI builds a single
+:class:`~repro.runtime.RunConfig` from the arguments and each experiment
+receives exactly the options its :class:`ExperimentSpec` declares
+(``--workers``, ``--arrival-stride``, ``--sample-regions-per-group``).
+Passing an option to a ``run`` experiment that does not declare it is a
+:class:`~repro.exceptions.ConfigurationError` rather than a silent no-op;
+``run-all`` applies each option wherever it is supported.
 """
 
 from __future__ import annotations
@@ -17,22 +29,49 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro import CarbonDataset, default_catalog
+from repro import CarbonDataset
+from repro.exceptions import ReproError
 from repro.experiments import get_experiment, list_experiments
 from repro.reporting import format_table, write_rows_csv
+from repro.runtime import RunConfig
 
 
-def _build_dataset(regions: str | None, years: str) -> CarbonDataset:
-    catalog = default_catalog()
-    if regions:
-        catalog = catalog.subset([code.strip() for code in regions.split(",") if code.strip()])
-    year_tuple = tuple(int(y) for y in years.split(",") if y.strip())
-    return CarbonDataset.synthetic(catalog=catalog, years=year_tuple)
+def _parse_codes(regions: str | None) -> tuple[str, ...] | None:
+    if regions is None:
+        return None
+    codes = tuple(code.strip() for code in regions.split(",") if code.strip())
+    return codes or None
+
+
+def _parse_years(years: str) -> tuple[int, ...]:
+    return tuple(int(y) for y in years.split(",") if y.strip())
+
+
+def _config_from_args(args: argparse.Namespace) -> RunConfig:
+    """Build the one RunConfig of this invocation from parsed arguments."""
+    return RunConfig(
+        regions=_parse_codes(args.regions),
+        years=_parse_years(args.years),
+        workers=args.workers,
+        arrival_stride=args.arrival_stride,
+        sample_regions_per_group=args.sample_regions_per_group,
+        seed=args.seed,
+        cache_dir=getattr(args, "out_dir", None),
+    )
+
+
+def _build_dataset(config: RunConfig) -> CarbonDataset:
+    return config.build_dataset()
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
     rows = [
-        {"id": spec.identifier, "figure": spec.figure, "description": spec.description}
+        {
+            "id": spec.identifier,
+            "figure": spec.figure,
+            "options": ",".join(sorted(spec.options)) or "-",
+            "description": spec.description,
+        }
         for spec in list_experiments()
     ]
     print(format_table(rows, title="Registered experiments"))
@@ -41,18 +80,11 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = get_experiment(args.experiment)
-    if spec.identifier == "table1":
-        result = spec.run()
-    else:
-        dataset = _build_dataset(args.regions, args.years)
-        kwargs = {}
-        if spec.identifier in {"fig10", "combined"}:
-            kwargs["arrival_stride"] = args.arrival_stride
-        if spec.identifier == "fig6":
-            kwargs["sample_regions_per_group"] = args.sample_regions_per_group
-        if spec.identifier in {"fig7", "fig8", "fig9"} and args.workers:
-            kwargs["workers"] = args.workers
-        result = spec.run(dataset, **kwargs)
+    config = _config_from_args(args)
+    # Fail fast on misrouted options before paying for dataset synthesis.
+    spec.check_options(config)
+    dataset = _build_dataset(config) if spec.needs_dataset else None
+    result = spec.execute(dataset, config)
     rows = result.rows()
     print(format_table(rows, title=f"{spec.identifier} — {spec.figure}"))
     if args.csv:
@@ -61,8 +93,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    out_dir = config.output_dir()
+    dataset = _build_dataset(config)
+    print(
+        f"run-all: {len(dataset)} regions ({config.describe()}), "
+        f"writing CSVs to {out_dir}/"
+    )
+    failures: list[str] = []
+    completed = 0
+    for spec in list_experiments():
+        if not spec.supports(dataset):
+            print(
+                f"  {spec.identifier:<8} skipped (needs >= {spec.min_years} dataset years)"
+            )
+            continue
+        try:
+            result = spec.execute(dataset, config, strict=False)
+            rows = result.rows()
+            path = write_rows_csv(rows, out_dir / f"{spec.identifier}.csv")
+            print(f"  {spec.identifier:<8} {len(rows):>4} rows -> {path}")
+            completed += 1
+        except ReproError as error:
+            failures.append(spec.identifier)
+            print(f"  {spec.identifier:<8} FAILED: {error}")
+    if failures:
+        print(f"\n{len(failures)} experiment(s) failed: {', '.join(failures)}")
+        return 1
+    print(f"\nall {completed} runnable experiments completed")
+    return 0
+
+
 def _cmd_dataset_summary(args: argparse.Namespace) -> int:
-    dataset = _build_dataset(args.regions, args.years)
+    config = RunConfig(
+        regions=_parse_codes(args.regions), years=_parse_years(args.years)
+    )
+    dataset = _build_dataset(config)
     means = dataset.annual_means()
     rows = [
         {
@@ -81,6 +148,25 @@ def _cmd_dataset_summary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by ``run`` and ``run-all`` (one RunConfig each)."""
+    parser.add_argument("--regions", default=None,
+                        help="comma-separated region codes (default: all 123)")
+    parser.add_argument("--years", default="2020,2022",
+                        help="comma-separated years to synthesise (default: 2020,2022)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="synthesis seed override (default: the built-in seed)")
+    parser.add_argument("--arrival-stride", type=int, default=None,
+                        help="arrival subsampling for the heavy sweeps "
+                        "(default: each experiment's own; 1 = every arrival hour)")
+    parser.add_argument("--sample-regions-per-group", type=int, default=None,
+                        help="origins per geographic group for fig6 "
+                        "(default: all of them)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size for the region-sharded sweeps "
+                        "(0/1 = serial, -1 = one per CPU)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -95,19 +181,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment", help="experiment id, e.g. fig5")
-    run_parser.add_argument("--regions", default=None,
-                            help="comma-separated region codes (default: all 123)")
-    run_parser.add_argument("--years", default="2020,2022",
-                            help="comma-separated years to synthesise (default: 2020,2022)")
+    _add_config_arguments(run_parser)
     run_parser.add_argument("--csv", default=None, help="write the rows to this CSV file")
-    run_parser.add_argument("--arrival-stride", type=int, default=24,
-                            help="arrival subsampling for the heavy temporal sweeps")
-    run_parser.add_argument("--sample-regions-per-group", type=int, default=6,
-                            help="origins per geographic group for fig6")
-    run_parser.add_argument("--workers", type=int, default=0,
-                            help="process-pool size for the per-region temporal sweeps "
-                            "(0/1 = serial, -1 = one per CPU; applies to fig7/fig8/fig9)")
     run_parser.set_defaults(handler=_cmd_run)
+
+    run_all_parser = subparsers.add_parser(
+        "run-all",
+        help="run every registered experiment on one shared dataset, "
+        "writing one CSV per figure",
+    )
+    _add_config_arguments(run_all_parser)
+    run_all_parser.add_argument(
+        "--out-dir", default=None,
+        help="directory for the per-figure CSVs (default: results/)",
+    )
+    run_all_parser.set_defaults(handler=_cmd_run_all)
 
     summary_parser = subparsers.add_parser(
         "dataset-summary", help="summarise the synthetic dataset"

@@ -74,9 +74,18 @@ def run_fig01(
     day_index: int = 180,
     year: int | None = None,
 ) -> Figure1Result:
-    """Extract the Figure-1 illustration for the given regions and day."""
+    """Extract the Figure-1 illustration for the given regions and day.
+
+    Regions missing from the dataset (e.g. when running on a reduced region
+    subset via ``run-all``) are skipped; if none of the requested regions is
+    present, the greenest and dirtiest dataset regions illustrate the spread
+    instead.
+    """
     if not regions:
         raise ConfigurationError("at least one region is required")
+    regions = tuple(code for code in regions if code in dataset.catalog)
+    if not regions:
+        regions = (dataset.greenest_region(year), dataset.dirtiest_region(year))
     illustrations = []
     for code in regions:
         series = dataset.series(code, year)

@@ -18,6 +18,7 @@ import numpy as np
 from repro.cloud.capacity import waterfall_assignment
 from repro.grid.dataset import CarbonDataset
 from repro.grid.region import GeographicGroup
+from repro.runtime import RunConfig, config_option, parallel_map_regions, resolve_workers
 
 #: Idle-capacity fractions swept in Figure 5(c).
 DEFAULT_IDLE_FRACTIONS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.99)
@@ -131,14 +132,56 @@ def _group_reductions(
     return tuple(entries)
 
 
+def _region_mean(code: str, values: np.ndarray) -> float:
+    """Annual-mean intensity of one region from its raw trace values.
+
+    Matches :meth:`HourlySeries.mean` exactly so pooled and serial runs of
+    the spatial sweep agree bit-for-bit.  Module-level for picklability.
+    """
+    del code
+    return float(values.mean())
+
+
+def _annual_means(
+    dataset: CarbonDataset, year: int | None, workers: int | None
+) -> dict[str, float]:
+    """Per-region annual means, fanned out over the region executor.
+
+    The spatial sweep's per-region kernel is the trace mean; with ``workers``
+    it shards over :func:`repro.runtime.parallel_map_regions` like every
+    other sweep.  Serial runs read the dataset's memoised means, which are
+    computed by the exact same expression as :func:`_region_mean`, so both
+    paths agree bit-for-bit.
+    """
+    if resolve_workers(workers) <= 1:
+        return dataset.annual_means(year)
+    codes = dataset.codes()
+    means = parallel_map_regions(
+        _region_mean, codes, dataset.region_payloads(codes, year), workers=workers
+    )
+    return dict(zip(codes, means))
+
+
 def run_fig05(
     dataset: CarbonDataset,
     year: int | None = None,
     constrained_idle_fraction: float = 0.5,
     idle_fractions: Sequence[float] = DEFAULT_IDLE_FRACTIONS,
+    workers: int | None = None,
+    config: RunConfig | None = None,
 ) -> Figure5Result:
-    """Compute all three panels of Figure 5."""
-    means = dataset.annual_means(year)
+    """Compute all three panels of Figure 5.
+
+    With ``workers`` the per-region spatial kernel (the annual-mean sweep
+    feeding every panel) fans out region-sharded; the waterfall assignment
+    itself is a global greedy pass and stays in-process.  Serial and pooled
+    runs produce identical rows.  Note that fig5's per-region kernel is a
+    single trace mean — pool spawn exceeds the compute, so ``workers`` here
+    buys uniformity with the other sweeps (and exercises the shared
+    executor), not wall-clock; leave it unset for the fastest path.
+    """
+    workers = config_option(config, "workers", workers)
+    means = _annual_means(dataset, year, workers)
     global_average = float(np.mean(list(means.values())))
     greenest = min(means, key=means.get)
     greenest_intensity = means[greenest]

@@ -16,8 +16,10 @@ import numpy as np
 from repro.cloud.latency import LatencyModel
 from repro.grid.dataset import CarbonDataset
 from repro.grid.region import GeographicGroup
+from repro.runtime import RunConfig, config_option, parallel_map_regions, resolve_workers
 from repro.scheduling.latency_aware import latency_capacity_tradeoff, reduction_by_slo
 from repro.scheduling.spatial import CandidateSelector, SpatialSweep
+from repro.timeseries.windows import cyclic_window_sums
 
 #: Latency SLOs (ms) swept in Figure 6(a).
 DEFAULT_LATENCY_SLOS_MS = (0.0, 25.0, 50.0, 100.0, 150.0, 200.0, 250.0, 300.0)
@@ -108,39 +110,107 @@ def run_fig06a(
     }
 
 
+def _fig06_group_shard(
+    group_value: str,
+    payload: tuple[np.ndarray, tuple[int, ...], tuple[float, ...], int],
+) -> list[tuple[float, float]]:
+    """Raw (1-migration, ∞-migration) mean reductions for one group's origins.
+
+    One shard is one geographic grouping: the candidate set (and therefore
+    the greenest destination and the hourly-minimum envelope) is shared by
+    every origin of the group, so the shard computes the destination and
+    envelope window sums once and reuses them — the same arithmetic as
+    :class:`SpatialSweep` per origin, on a lean matrix payload.  Module-level
+    for picklability.
+    """
+    del group_value
+    matrix, origin_indices, means, length_hours = payload
+    # Stable argmin over candidate order — identical tie-breaking to
+    # CarbonDataset.greenest_of (min() keeps the earliest minimum).
+    destination_index = min(range(len(means)), key=means.__getitem__)
+    one_sums = cyclic_window_sums(matrix[destination_index], length_hours)
+    infinite_sums = cyclic_window_sums(matrix.min(axis=0), length_hours)
+    results = []
+    for index in origin_indices:
+        baseline = cyclic_window_sums(matrix[index], length_hours)
+        results.append(
+            (
+                float((baseline - one_sums).mean()),
+                float((baseline - infinite_sums).mean()),
+            )
+        )
+    return results
+
+
 def run_fig06b(
     dataset: CarbonDataset,
     year: int | None = None,
     job_length_hours: int = 24,
     sample_regions_per_group: int | None = None,
+    workers: int | None = None,
 ) -> tuple[MigrationPolicyComparison, ...]:
     """Compare 1-migration and ∞-migration within each geographic grouping.
 
     ``sample_regions_per_group`` caps how many origin regions per grouping
     are evaluated (useful in benchmarks); ``None`` evaluates all of them.
+    With ``workers`` the :class:`SpatialSweep` evaluation fans out sharded
+    by geographic group (each shard ships one group's intensity matrix and
+    shares its candidate kernels across the group's origins); serial and
+    pooled runs produce identical rows.
     """
     selector = CandidateSelector(scope="group")
-    comparisons: list[MigrationPolicyComparison] = []
-    all_one: list[float] = []
-    all_inf: list[float] = []
+    groups: list[GeographicGroup] = []
+    origin_lists: list[list[str]] = []
     for group in GeographicGroup.ordered():
         codes = list(dataset.catalog.in_group(group).codes())
         if not codes:
             continue
-        if sample_regions_per_group is not None:
-            codes = codes[:sample_regions_per_group]
-        one_reductions = []
-        inf_reductions = []
-        for origin in codes:
-            candidates = selector.candidates(dataset, origin)
-            sweep = SpatialSweep(dataset, origin, candidates, job_length_hours, year)
-            reductions = sweep.mean_reductions()
-            one_reductions.append(
-                reductions["one_migration_reduction_mean"] / job_length_hours
+        groups.append(group)
+        origin_lists.append(
+            codes if sample_regions_per_group is None else codes[:sample_regions_per_group]
+        )
+
+    per_group_reductions: list[list[tuple[float, float]]]
+    if resolve_workers(workers) > 1 and len(groups) > 1:
+        payloads = []
+        for group, origins in zip(groups, origin_lists):
+            candidates = dataset.catalog.in_group(group).codes()
+            payloads.append(
+                (
+                    dataset.intensity_matrix(year, codes=candidates),
+                    tuple(candidates.index(origin) for origin in origins),
+                    tuple(dataset.mean_intensity(code, year) for code in candidates),
+                    job_length_hours,
+                )
             )
-            inf_reductions.append(
-                reductions["infinite_migration_reduction_mean"] / job_length_hours
-            )
+        per_group_reductions = parallel_map_regions(
+            _fig06_group_shard,
+            [group.value for group in groups],
+            payloads,
+            workers=workers,
+        )
+    else:
+        per_group_reductions = []
+        for origins in origin_lists:
+            group_reductions = []
+            for origin in origins:
+                candidates = selector.candidates(dataset, origin)
+                sweep = SpatialSweep(dataset, origin, candidates, job_length_hours, year)
+                reductions = sweep.mean_reductions()
+                group_reductions.append(
+                    (
+                        reductions["one_migration_reduction_mean"],
+                        reductions["infinite_migration_reduction_mean"],
+                    )
+                )
+            per_group_reductions.append(group_reductions)
+
+    comparisons: list[MigrationPolicyComparison] = []
+    all_one: list[float] = []
+    all_inf: list[float] = []
+    for group, group_reductions in zip(groups, per_group_reductions):
+        one_reductions = [one / job_length_hours for one, _ in group_reductions]
+        inf_reductions = [inf / job_length_hours for _, inf in group_reductions]
         comparisons.append(
             MigrationPolicyComparison(
                 group=group.value,
@@ -168,10 +238,23 @@ def run_fig06(
     idle_fractions: Sequence[float] = (1.0, 0.5),
     job_length_hours: int = 24,
     sample_regions_per_group: int | None = None,
+    workers: int | None = None,
+    config: RunConfig | None = None,
 ) -> Figure6Result:
-    """Compute both panels of Figure 6."""
+    """Compute both panels of Figure 6.
+
+    ``workers`` fans the panel-(b) :class:`SpatialSweep` evaluation out over
+    group shards (see :func:`run_fig06b`); panel (a)'s latency sweep is a
+    global pass and stays in-process.
+    """
+    workers = config_option(config, "workers", workers)
+    sample_regions_per_group = config_option(
+        config, "sample_regions_per_group", sample_regions_per_group
+    )
     curves = run_fig06a(dataset, year, latency_slos_ms, idle_fractions)
-    comparison = run_fig06b(dataset, year, job_length_hours, sample_regions_per_group)
+    comparison = run_fig06b(
+        dataset, year, job_length_hours, sample_regions_per_group, workers
+    )
     return Figure6Result(
         global_average_intensity=dataset.global_average(year),
         latency_curves=curves,

@@ -17,6 +17,7 @@ from repro.experiments.temporal_common import (
     compute_temporal_table,
 )
 from repro.grid.dataset import CarbonDataset
+from repro.runtime import RunConfig, config_option
 from repro.workloads.job_lengths import BATCH_JOB_LENGTHS
 
 
@@ -58,10 +59,17 @@ def run_fig07(
     lengths_hours: Sequence[int] = BATCH_JOB_LENGTHS,
     region_codes: Sequence[str] | None = None,
     year: int | None = None,
-    arrival_stride: int = 1,
+    arrival_stride: int | None = None,
     workers: int | None = None,
+    config: RunConfig | None = None,
 ) -> Figure7Result:
-    """Compute both panels of Figure 7."""
+    """Compute both panels of Figure 7.
+
+    ``workers``/``arrival_stride`` may also come from a
+    :class:`~repro.runtime.RunConfig` (explicit keywords win).
+    """
+    arrival_stride = config_option(config, "arrival_stride", arrival_stride, default=1)
+    workers = config_option(config, "workers", workers)
     ideal = compute_temporal_table(
         dataset, lengths_hours, ONE_YEAR_SLACK, region_codes, year, arrival_stride, workers
     )

@@ -19,6 +19,7 @@ from repro.experiments.temporal_common import (
     compute_temporal_table,
 )
 from repro.grid.dataset import CarbonDataset
+from repro.runtime import RunConfig, config_option
 from repro.workloads.job_lengths import BATCH_JOB_LENGTHS
 
 
@@ -92,14 +93,19 @@ def run_fig09(
     lengths_hours: Sequence[int] = BATCH_JOB_LENGTHS,
     region_codes: Sequence[str] | None = None,
     year: int | None = None,
-    arrival_stride: int = 1,
+    arrival_stride: int | None = None,
     workers: int | None = None,
+    config: RunConfig | None = None,
 ) -> Figure9Result:
     """Compute both panels of Figure 9.
 
     ``workers`` fans the per-region sweeps out over a process pool (see
-    :func:`repro.experiments.temporal_common.compute_temporal_table`).
+    :func:`repro.experiments.temporal_common.compute_temporal_table`); both
+    it and ``arrival_stride`` may also come from a
+    :class:`~repro.runtime.RunConfig` (explicit keywords win).
     """
+    arrival_stride = config_option(config, "arrival_stride", arrival_stride, default=1)
+    workers = config_option(config, "workers", workers)
     global_average = dataset.global_average(year)
     ideal = compute_temporal_table(
         dataset, lengths_hours, ONE_YEAR_SLACK, region_codes, year, arrival_stride, workers

@@ -21,6 +21,7 @@ from repro.experiments.temporal_common import (
 )
 from repro.grid.dataset import CarbonDataset
 from repro.grid.region import GeographicGroup
+from repro.runtime import RunConfig, config_option
 from repro.workloads.distributions import JobLengthDistribution, named_distributions
 from repro.workloads.job_lengths import BATCH_JOB_LENGTHS
 
@@ -151,18 +152,31 @@ def run_fig10(
     lengths_hours: Sequence[int] = BATCH_JOB_LENGTHS,
     region_codes: Sequence[str] | None = None,
     year: int | None = None,
-    arrival_stride: int = 24,
+    arrival_stride: int | None = None,
     slack_sweep: Sequence[int | str] = DEFAULT_SLACK_SWEEP,
+    workers: int | None = None,
+    config: RunConfig | None = None,
 ) -> Figure10Result:
     """Compute all four panels of Figure 10.
 
     The slack sweep of panel (d) is the most expensive part (intermediate
     slacks cannot be collapsed to a single full-year window), so arrivals are
-    subsampled daily by default; pass ``arrival_stride=1`` for the exact
-    all-arrivals evaluation.
+    subsampled daily by default (``arrival_stride=24``); pass
+    ``arrival_stride=1`` for the exact all-arrivals evaluation.  ``workers``
+    fans every underlying temporal table out per region; both options may
+    also come from a :class:`~repro.runtime.RunConfig` (explicit keywords
+    win).
     """
+    arrival_stride = config_option(config, "arrival_stride", arrival_stride, default=24)
+    workers = config_option(config, "workers", workers)
     ideal_table = compute_temporal_table(
-        dataset, lengths_hours, ONE_YEAR_SLACK, region_codes, year, arrival_stride=1
+        dataset,
+        lengths_hours,
+        ONE_YEAR_SLACK,
+        region_codes,
+        year,
+        arrival_stride=1,
+        workers=workers,
     )
     distributions = tuple(
         _distribution_reductions(ideal_table, distribution, dataset)
@@ -176,7 +190,7 @@ def run_fig10(
             table = ideal_table
         else:
             table = compute_temporal_table(
-                dataset, lengths_hours, slack, region_codes, year, arrival_stride
+                dataset, lengths_hours, slack, region_codes, year, arrival_stride, workers
             )
         sweep_results[str(slack)] = table.weighted_global_average(equal_weights, "combined")
 

@@ -257,7 +257,14 @@ def run_fig11(
     error_magnitudes: Sequence[float] = DEFAULT_ERROR_MAGNITUDES,
     renewable_fractions: Sequence[float] = DEFAULT_RENEWABLE_FRACTIONS,
 ) -> Figure11Result:
-    """Compute all four panels of Figure 11."""
+    """Compute all four panels of Figure 11.
+
+    When the default what-if region (``US-CA``) is not part of the dataset
+    (e.g. a reduced ``run-all`` subset), the dirtiest dataset region stands
+    in — the greener-grid scenario needs a region with headroom to improve.
+    """
+    if sample_region not in dataset.catalog:
+        sample_region = dataset.dirtiest_region(year)
     return Figure11Result(
         mixed_workload=run_fig11a(dataset, migratable_fractions, year),
         prediction_error=run_fig11b(

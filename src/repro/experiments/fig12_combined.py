@@ -15,10 +15,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.constants import HOURS_PER_DAY
 from repro.exceptions import ConfigurationError
 from repro.grid.dataset import CarbonDataset
-from repro.scheduling.combined import CombinedSweep
+from repro.runtime import RunConfig, config_option, parallel_map_regions, resolve_workers
+from repro.scheduling.combined import CombinedArrivalSums, CombinedSweep
+from repro.scheduling.sweep import TemporalSweep
+from repro.timeseries.series import HourlySeries
+from repro.timeseries.windows import cyclic_window_sums
 
 #: Destinations highlighted in the paper's Figure 12 that exist in the
 #: catalog: green low-variability regions (SE, CA-ON, BE), dirtier regions
@@ -82,41 +88,83 @@ class Figure12Result:
         ]
 
 
+def _fig12_destination_shard(
+    code: str, payload: tuple[np.ndarray, int, int, float]
+) -> tuple[float, float]:
+    """Raw (spatial, temporal) reduction for one (destination, slack) shard.
+
+    Mirrors :meth:`CombinedSweep.global_breakdown` on a lean payload — the
+    destination's trace values plus the precomputed mean of all origins'
+    per-arrival baseline sums — so pool workers never receive the dataset.
+    Module-level for picklability.
+    """
+    values, length_hours, slack_hours, mean_origin_sums = payload
+    destination_sums = cyclic_window_sums(values, length_hours)
+    sweep = TemporalSweep(HourlySeries(values, name=code), length_hours, slack_hours)
+    shifted_sums = sweep.interruptible_sums()
+    spatial = float(mean_origin_sums - destination_sums.mean())
+    temporal = float((destination_sums - shifted_sums).mean())
+    return spatial, temporal
+
+
 def run_fig12(
     dataset: CarbonDataset,
     destinations: Sequence[str] = DEFAULT_DESTINATIONS,
     job_length_hours: int = 24,
     year: int | None = None,
+    workers: int | None = None,
+    config: RunConfig | None = None,
 ) -> Figure12Result:
     """Compute Figure 12 for the given destination regions.
 
     Reductions are per job-hour (g·CO2eq) averaged over all origins and
     arrival hours.  Destinations missing from the dataset (e.g. when running
-    on a reduced region subset) are skipped.  Both slack settings run on the
-    vectorised :class:`CombinedSweep` engine; the dataset's window-sum cache
-    means the per-origin baselines are computed once and shared between them.
+    on a reduced region subset) are skipped.  One-year slack is resolved per
+    destination from that destination's own trace length, so datasets with
+    heterogeneous trace lengths decompose correctly.  With ``workers`` the
+    per-(destination, slack) temporal kernels fan out over
+    :func:`repro.runtime.parallel_map_regions`; serial and pooled runs
+    produce identical rows.
     """
+    workers = config_option(config, "workers", workers)
     destinations = tuple(code for code in destinations if code in dataset.catalog)
     if not destinations:
         destinations = (dataset.greenest_region(year), dataset.dirtiest_region(year))
-    rows: list[CombinedDestinationRow] = []
-    for slack_label, slack_hours in (("one-year", None), ("24h", HOURS_PER_DAY)):
-        resolved_slack = (
-            len(dataset.series(dataset.codes()[0], year)) - job_length_hours
-            if slack_hours is None
-            else slack_hours
+    # Mean over all origins of the per-arrival baseline sums, shared by every
+    # destination shard (the spatial component's minuend).
+    mean_origin_sums = float(
+        np.mean(
+            [
+                float(dataset.window_sums(code, job_length_hours, year).mean())
+                for code in dataset.codes()
+            ]
         )
-        sweep = CombinedSweep(dataset, job_length_hours, resolved_slack, year)
+    )
+    shards: list[tuple[str, str]] = []  # (slack label, destination)
+    payloads: list[tuple[np.ndarray, int, int, float]] = []
+    for slack_label, slack_hours in (("one-year", None), ("24h", HOURS_PER_DAY)):
         for destination in destinations:
-            breakdown = sweep.global_breakdown(destination)
-            rows.append(
-                CombinedDestinationRow(
-                    destination=destination,
-                    slack=slack_label,
-                    spatial_reduction=breakdown.spatial_reduction / job_length_hours,
-                    temporal_reduction=breakdown.temporal_reduction / job_length_hours,
-                )
+            values = dataset.trace_values(destination, year)
+            resolved_slack = (
+                values.size - job_length_hours if slack_hours is None else slack_hours
             )
+            shards.append((slack_label, destination))
+            payloads.append((values, job_length_hours, resolved_slack, mean_origin_sums))
+    breakdowns = parallel_map_regions(
+        _fig12_destination_shard,
+        [destination for _, destination in shards],
+        payloads,
+        workers=workers,
+    )
+    rows = [
+        CombinedDestinationRow(
+            destination=destination,
+            slack=slack_label,
+            spatial_reduction=spatial / job_length_hours,
+            temporal_reduction=temporal / job_length_hours,
+        )
+        for (slack_label, destination), (spatial, temporal) in zip(shards, breakdowns)
+    ]
     return Figure12Result(
         rows_by_destination=tuple(rows),
         job_length_hours=job_length_hours,
@@ -179,13 +227,68 @@ class CombinedOriginsResult:
         ]
 
 
+def _combined_destination_shard(
+    code: str,
+    payload: tuple[np.ndarray, tuple[tuple[str, np.ndarray], ...], int, int, int],
+) -> list[tuple[str, dict[str, float]]]:
+    """Mean reductions for every origin migrating to one destination.
+
+    One shard is one destination plus the origins that migrate to it, so
+    the destination's expensive temporal kernels (deferral and interrupt
+    sums) run exactly once per shard and are shared by all of its origins —
+    the process-pool equivalent of :class:`CombinedSweep`'s per-instance
+    destination memoisation.  Module-level for picklability.
+    """
+    values, origins, length_hours, slack_hours, arrival_stride = payload
+    window_sums = cyclic_window_sums(values, length_hours)
+    sweep = TemporalSweep(
+        HourlySeries(values, name=code),
+        length_hours,
+        slack_hours,
+        arrival_stride=arrival_stride,
+    )
+    migrate_deferral = sweep.deferral_sums(window_sums)
+    migrate_interrupt = sweep.interruptible_sums()
+    migrate_only = window_sums[::arrival_stride]
+    results = []
+    for origin, origin_values in origins:
+        sums = CombinedArrivalSums(
+            origin=origin,
+            destination=code,
+            baseline=cyclic_window_sums(origin_values, length_hours)[::arrival_stride],
+            migrate_only=migrate_only,
+            migrate_deferral=migrate_deferral,
+            migrate_interrupt=migrate_interrupt,
+        )
+        results.append((origin, sums.mean_reductions()))
+    return results
+
+
+def _origin_row(
+    origin: str, destination: str, reductions: dict[str, float], per_hour: float
+) -> CombinedOriginRow:
+    """Assemble one :class:`CombinedOriginRow` from mean reductions."""
+    return CombinedOriginRow(
+        origin=origin,
+        destination=destination,
+        baseline_per_hour=reductions["baseline_mean"] / per_hour,
+        migrate_only_reduction=reductions["migrate_only_reduction_mean"] / per_hour,
+        migrate_deferral_reduction=reductions["migrate_deferral_reduction_mean"] / per_hour,
+        migrate_interrupt_reduction=(
+            reductions["migrate_interrupt_reduction_mean"] / per_hour
+        ),
+    )
+
+
 def run_combined_origins(
     dataset: CarbonDataset,
     job_length_hours: int = 24,
     slack_hours: int = HOURS_PER_DAY,
     region_codes: Sequence[str] | None = None,
     year: int | None = None,
-    arrival_stride: int = 1,
+    arrival_stride: int | None = None,
+    workers: int | None = None,
+    config: RunConfig | None = None,
 ) -> CombinedOriginsResult:
     """Evaluate migrate-then-defer and migrate-then-interrupt for every
     origin region over all arrival hours, on the vectorised engine.
@@ -194,7 +297,16 @@ def run_combined_origins(
     greenest admissible destination and then shifts temporally there.  The
     engine memoises destination temporal sums, so the whole catalog costs
     barely more than the handful of distinct destinations it maps to.
+
+    With ``workers`` the evaluation is sharded *by destination* over
+    :func:`repro.runtime.parallel_map_regions`: each pool worker receives one
+    destination's trace plus the traces of the origins that migrate to it,
+    computes the destination's temporal sums once, and shares them across
+    those origins — preserving the serial path's memoisation while fanning
+    out.  Serial and pooled runs produce identical rows in origin order.
     """
+    arrival_stride = config_option(config, "arrival_stride", arrival_stride, default=1)
+    workers = config_option(config, "workers", workers)
     codes = tuple(region_codes) if region_codes is not None else dataset.codes()
     if not codes:
         raise ConfigurationError("at least one origin region is required")
@@ -202,24 +314,46 @@ def run_combined_origins(
         dataset, job_length_hours, slack_hours, year, arrival_stride=arrival_stride
     )
     per_hour = float(job_length_hours)
-    rows = []
-    for code in codes:
-        sums = sweep.per_arrival(code)
-        reductions = sums.mean_reductions()
-        rows.append(
-            CombinedOriginRow(
-                origin=code,
-                destination=sums.destination,
-                baseline_per_hour=reductions["baseline_mean"] / per_hour,
-                migrate_only_reduction=reductions["migrate_only_reduction_mean"] / per_hour,
-                migrate_deferral_reduction=(
-                    reductions["migrate_deferral_reduction_mean"] / per_hour
+    rows: list[CombinedOriginRow]
+    if resolve_workers(workers) > 1 and len(codes) > 1:
+        # Partition origins by destination (in first-appearance order) so
+        # each shard computes its destination's temporal sums exactly once.
+        origins_by_destination: dict[str, list[str]] = {}
+        for code in codes:
+            origins_by_destination.setdefault(sweep.destination_for(code), []).append(code)
+        shard_codes = tuple(origins_by_destination)
+        payloads = [
+            (
+                dataset.trace_values(destination, year),
+                tuple(
+                    (origin, dataset.trace_values(origin, year))
+                    for origin in origins_by_destination[destination]
                 ),
-                migrate_interrupt_reduction=(
-                    reductions["migrate_interrupt_reduction_mean"] / per_hour
-                ),
+                job_length_hours,
+                slack_hours,
+                arrival_stride,
             )
+            for destination in shard_codes
+        ]
+        shard_results = parallel_map_regions(
+            _combined_destination_shard, shard_codes, payloads, workers=workers
         )
+        row_by_origin = {
+            origin: _origin_row(origin, destination, reductions, per_hour)
+            for destination, shard in zip(shard_codes, shard_results)
+            for origin, reductions in shard
+        }
+        rows = [row_by_origin[code] for code in codes]
+    else:
+        rows = [
+            _origin_row(
+                code,
+                sweep.destination_for(code),
+                sweep.per_arrival(code).mean_reductions(),
+                per_hour,
+            )
+            for code in codes
+        ]
     return CombinedOriginsResult(
         rows_by_origin=tuple(rows),
         job_length_hours=job_length_hours,

@@ -1,4 +1,15 @@
-"""Registry of experiments: one entry per paper figure/table."""
+"""Registry of experiments: one entry per paper figure/table.
+
+Each :class:`ExperimentSpec` *declares* which runtime options its entry
+point accepts (:attr:`ExperimentSpec.options`), so callers — the CLI's
+``run`` and ``run-all`` subcommands in particular — route
+``--workers``/``--arrival-stride``/``--sample-regions-per-group`` through
+the registry instead of hard-coding per-experiment knowledge.
+:meth:`ExperimentSpec.execute` is the uniform ``(dataset, config)`` entry
+point: it validates a :class:`~repro.runtime.RunConfig` against the declared
+options and invokes the underlying ``run_*`` function with exactly the
+options it supports.
+"""
 
 from __future__ import annotations
 
@@ -18,19 +29,75 @@ from repro.experiments.fig10_distributions import run_fig10
 from repro.experiments.fig11_whatif import run_fig11
 from repro.experiments.fig12_combined import run_combined_origins, run_fig12
 from repro.experiments.table1_config import run_table1
+from repro.runtime import RunConfig
 
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """One registered experiment."""
+    """One registered experiment.
+
+    Attributes
+    ----------
+    options:
+        The :data:`repro.runtime.OPTION_FIELDS` names this experiment's
+        entry point accepts.  The CLI refuses explicitly-set options outside
+        this set (``strict`` mode) rather than silently dropping them.
+    needs_dataset:
+        Whether the entry point takes a :class:`CarbonDataset` first
+        argument (everything except Table 1 does).
+    min_years:
+        Minimum number of dataset years the experiment needs (the trend
+        analysis compares two); ``run-all`` skips experiments whose
+        prerequisite is not met instead of failing the whole sweep.
+    """
 
     identifier: str
     description: str
     figure: str
     run: Callable
+    options: frozenset[str] = frozenset()
+    needs_dataset: bool = True
+    min_years: int = 1
+
+    def supports(self, dataset) -> bool:
+        """Whether ``dataset`` satisfies this experiment's prerequisites."""
+        if not self.needs_dataset:
+            return True
+        return dataset is not None and len(dataset.years) >= self.min_years
 
     def __call__(self, *args, **kwargs):
         return self.run(*args, **kwargs)
+
+    def check_options(self, config: RunConfig) -> None:
+        """Reject explicitly-set options this experiment does not declare.
+
+        Callers that do expensive work before running (the CLI synthesises
+        the dataset first) invoke this up front so configuration mistakes
+        fail fast.
+        """
+        unsupported = config.explicit_options() - self.options
+        if unsupported:
+            accepted = ", ".join(sorted(self.options)) or "none"
+            raise ConfigurationError(
+                f"experiment {self.identifier!r} does not accept option(s) "
+                f"{sorted(unsupported)}; accepted options: {accepted}"
+            )
+
+    def execute(self, dataset, config: RunConfig | None = None, strict: bool = True):
+        """Uniform ``(dataset, config)`` entry point.
+
+        Routes the configuration's per-experiment options into the entry
+        point according to the declared :attr:`options`.  In ``strict`` mode
+        an explicitly-set option the experiment does not declare raises
+        :class:`ConfigurationError`; with ``strict=False`` (the ``run-all``
+        path) undeclared options are simply not passed.
+        """
+        config = config if config is not None else RunConfig()
+        if strict:
+            self.check_options(config)
+        if not self.needs_dataset:
+            return self.run()
+        return self.run(dataset, **config.experiment_kwargs(self.options))
 
 
 EXPERIMENTS: dict[str, ExperimentSpec] = {
@@ -41,6 +108,7 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "Workload characteristics and flexibility dimensions",
             "Table 1",
             run_table1,
+            needs_dataset=False,
         ),
         ExperimentSpec(
             "fig1",
@@ -59,6 +127,7 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "Change in mean and daily CV between 2020 and 2022 with K-Means clusters",
             "Figure 3(b)",
             run_fig03b,
+            min_years=2,
         ),
         ExperimentSpec(
             "fig4",
@@ -71,36 +140,42 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "Spatial shifting under capacity constraints",
             "Figure 5(a)-(c)",
             run_fig05,
+            options=frozenset({"workers"}),
         ),
         ExperimentSpec(
             "fig6",
             "Latency-constrained migration and one vs infinite migration",
             "Figure 6(a)-(b)",
             run_fig06,
+            options=frozenset({"workers", "sample_regions_per_group"}),
         ),
         ExperimentSpec(
             "fig7",
             "Carbon reduction from deferrability by job length",
             "Figure 7(a)-(b)",
             run_fig07,
+            options=frozenset({"workers", "arrival_stride"}),
         ),
         ExperimentSpec(
             "fig8",
             "Additional carbon reduction from interruptibility by job length",
             "Figure 8(a)-(b)",
             run_fig08,
+            options=frozenset({"workers", "arrival_stride"}),
         ),
         ExperimentSpec(
             "fig9",
             "Deferrability/interruptibility breakdown relative to the global average",
             "Figure 9(a)-(b)",
             run_fig09,
+            options=frozenset({"workers", "arrival_stride"}),
         ),
         ExperimentSpec(
             "fig10",
             "Temporal reductions under job-length distributions and slack sweep",
             "Figure 10(a)-(d)",
             run_fig10,
+            options=frozenset({"workers", "arrival_stride"}),
         ),
         ExperimentSpec(
             "fig11",
@@ -113,12 +188,14 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "Combined spatial and temporal shifting by destination region",
             "Figure 12",
             run_fig12,
+            options=frozenset({"workers"}),
         ),
         ExperimentSpec(
             "combined",
             "Per-origin migrate-then-shift sweep on the vectorised combined engine",
             "Figure 12 (per-origin)",
             run_combined_origins,
+            options=frozenset({"workers", "arrival_stride"}),
         ),
     )
 }

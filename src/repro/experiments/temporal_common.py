@@ -10,9 +10,8 @@ normalised by the job length.  This module computes that table once per
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -20,8 +19,18 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.grid.dataset import CarbonDataset
 from repro.grid.region import GeographicGroup
+from repro.runtime import parallel_map_regions, resolve_workers
 from repro.scheduling.sweep import sweep_reductions_per_job_hour
 from repro.timeseries.series import HourlySeries
+
+__all__ = [
+    "ONE_YEAR_SLACK",
+    "TemporalCell",
+    "TemporalTable",
+    "compute_temporal_table",
+    "resolve_slack_hours",
+    "resolve_workers",  # re-exported from repro.runtime for backwards compat
+]
 
 #: Sentinel accepted wherever a slack is expected: a full year of slack (the
 #: paper's "ideal" setting).
@@ -129,6 +138,7 @@ class TemporalTable:
 def _region_cells(
     code: str,
     values: np.ndarray,
+    *,
     lengths_hours: Sequence[int],
     slack: int | str,
     slack_label: str,
@@ -138,7 +148,8 @@ def _region_cells(
 
     Takes the raw value array rather than a dataset so worker processes only
     receive the one trace they need (a few kB) instead of the whole dataset.
-    Module-level so it is picklable by :class:`ProcessPoolExecutor`.
+    Module-level so it is picklable by the process-pool executor behind
+    :func:`repro.runtime.parallel_map_regions`.
     """
     trace = HourlySeries(values, name=code)
     cells: list[TemporalCell] = []
@@ -162,22 +173,6 @@ def _region_cells(
     return cells
 
 
-def resolve_workers(workers: int | None) -> int:
-    """Resolve a worker-count specification to an effective process count.
-
-    ``None``, 0 and 1 mean "run in this process"; -1 means "one worker per
-    CPU"; any other positive value is used as given.
-    """
-    if workers is None:
-        return 1
-    workers = int(workers)
-    if workers == -1:
-        return os.cpu_count() or 1
-    if workers < -1:
-        raise ConfigurationError("workers must be -1 (all CPUs), 0/1 or a positive count")
-    return max(1, workers)
-
-
 def compute_temporal_table(
     dataset: CarbonDataset,
     lengths_hours: Sequence[int],
@@ -190,39 +185,25 @@ def compute_temporal_table(
     """Compute the reductions table for the given lengths, slack and regions.
 
     With ``workers`` > 1 (or -1 for all CPUs) the per-region sweeps fan out
-    over a process pool — each region is an independent unit of work, so the
-    123-region table parallelises embarrassingly well.  Results are returned
-    in the same deterministic region order as the sequential path.
+    over :func:`repro.runtime.parallel_map_regions` — each region is an
+    independent unit of work, so the 123-region table parallelises
+    embarrassingly well.  Results are returned in the same deterministic
+    region order as the sequential path (bit-identical cells either way).
     """
     if not lengths_hours:
         raise ConfigurationError("at least one job length is required")
     codes = tuple(region_codes) if region_codes is not None else dataset.codes()
-    slack_label = str(slack)
-    num_workers = resolve_workers(workers)
+    worker = partial(
+        _region_cells,
+        lengths_hours=tuple(int(length) for length in lengths_hours),
+        slack=slack,
+        slack_label=str(slack),
+        arrival_stride=arrival_stride,
+    )
+    per_region = parallel_map_regions(
+        worker, codes, dataset.region_payloads(codes, year), workers=workers
+    )
     cells: list[TemporalCell] = []
-    if num_workers > 1 and len(codes) > 1:
-        with ProcessPoolExecutor(max_workers=min(num_workers, len(codes))) as pool:
-            per_region = pool.map(
-                _region_cells,
-                codes,
-                (dataset.trace_values(code, year) for code in codes),
-                (lengths_hours,) * len(codes),
-                (slack,) * len(codes),
-                (slack_label,) * len(codes),
-                (arrival_stride,) * len(codes),
-            )
-            for region_cells in per_region:
-                cells.extend(region_cells)
-    else:
-        for code in codes:
-            cells.extend(
-                _region_cells(
-                    code,
-                    dataset.trace_values(code, year),
-                    lengths_hours,
-                    slack,
-                    slack_label,
-                    arrival_stride,
-                )
-            )
+    for region_cells in per_region:
+        cells.extend(region_cells)
     return TemporalTable(cells=tuple(cells), dataset=dataset)

@@ -124,6 +124,21 @@ class CarbonDataset:
         """The raw (read-only) value array of one region's trace."""
         return self.series(code, year).values
 
+    def region_payloads(
+        self, codes: Sequence[str] | None = None, year: int | None = None
+    ) -> tuple[np.ndarray, ...]:
+        """Lean per-region worker payloads: raw trace value arrays.
+
+        This is the canonical payload source for
+        :func:`repro.runtime.parallel_map_regions`: each worker process
+        receives only the few-kB float array of the regions it evaluates,
+        never the whole dataset.  Arrays follow ``codes`` order (catalog
+        order by default) and are the same objects the dataset's own cached
+        kernels read, so serial and pooled sweeps see identical inputs.
+        """
+        codes = tuple(codes) if codes is not None else self.codes()
+        return tuple(self.trace_values(code, year) for code in codes)
+
     def window_sums(self, code: str, window: int, year: int | None = None) -> np.ndarray:
         """Cyclic ``window``-hour sums of one region's trace, memoised.
 

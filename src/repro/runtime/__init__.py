@@ -1,0 +1,34 @@
+"""Shared parallel experiment runtime.
+
+Every headline result of the paper (Figures 5–12) is an embarrassingly
+parallel per-region evaluation: the sweep kernels are pure functions of one
+region's trace (plus, for the combined sweeps, one destination's trace).
+This package is the execution backbone those experiments sit on:
+
+* :class:`~repro.runtime.config.RunConfig` — one immutable description of a
+  run (regions, years, workers, arrival stride, seed, cache directory) that
+  the CLI builds once and every experiment entry point consumes through the
+  registry's declarative option routing.
+* :func:`~repro.runtime.executor.parallel_map_regions` — a generic
+  region-sharded executor: apply ``fn(code, payload)`` to every region,
+  optionally over a process pool, shipping each worker only the per-region
+  payload it needs and returning results in deterministic region order.
+* :func:`~repro.runtime.executor.resolve_workers` — the single worker-count
+  convention (``None``/0/1 = serial, ``-1`` = one per CPU).
+
+The temporal table runner (Figures 7–10), the combined origin/destination
+sweeps (Figure 12) and the spatial fan-outs (Figures 5–6) all fan out
+through :func:`parallel_map_regions`, so serial and pooled runs are
+bit-identical by construction.
+"""
+
+from repro.runtime.config import OPTION_FIELDS, RunConfig, config_option
+from repro.runtime.executor import parallel_map_regions, resolve_workers
+
+__all__ = [
+    "OPTION_FIELDS",
+    "RunConfig",
+    "config_option",
+    "parallel_map_regions",
+    "resolve_workers",
+]

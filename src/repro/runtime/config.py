@@ -1,0 +1,176 @@
+"""Run configuration shared by the CLI, the registry and ``run-all``.
+
+A :class:`RunConfig` is one immutable description of an experiment run: which
+regions and years to synthesise, how wide to fan out
+(:attr:`~RunConfig.workers`), how densely to sample arrivals
+(:attr:`~RunConfig.arrival_stride`), the synthesis seed and where ``run-all``
+writes its per-figure CSVs.  The CLI builds exactly one of these per
+invocation; experiments receive the subset of fields they declare via
+:attr:`repro.experiments.registry.ExperimentSpec.options`, so option routing
+lives in the registry instead of being hard-coded per experiment id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+from repro.constants import DATASET_YEARS
+from repro.exceptions import ConfigurationError
+from repro.grid.catalog import default_catalog
+from repro.grid.dataset import CarbonDataset
+from repro.grid.synthesis import SynthesisConfig
+from repro.runtime.executor import resolve_workers
+
+#: Per-experiment option fields: the RunConfig attributes that may be routed
+#: into a ``run_figXX`` entry point when the experiment declares them in its
+#: :attr:`ExperimentSpec.options`.  Dataset-shaping fields (regions, years,
+#: seed) and reporting fields (cache_dir) are deliberately not options — they
+#: parameterise the shared dataset / output layout, not one experiment.
+OPTION_FIELDS = ("workers", "arrival_stride", "sample_regions_per_group")
+
+#: Default directory for ``run-all`` CSV artifacts.
+DEFAULT_CACHE_DIR = Path("results")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Immutable description of one experiment run.
+
+    Attributes
+    ----------
+    regions:
+        Region codes to restrict the synthetic dataset to (``None`` = the
+        full 123-region catalog).
+    years:
+        Years to synthesise traces for.
+    workers:
+        Process-pool width for the region-sharded sweeps (``None``/0/1 =
+        serial, ``-1`` = one worker per CPU).
+    arrival_stride:
+        Arrival-hour subsampling for the heavy sweeps (``None`` = each
+        experiment's own default; 1 = every arrival hour).
+    sample_regions_per_group:
+        Origins evaluated per geographic group in Figure 6(b) (``None`` =
+        all of them).
+    seed:
+        Synthesis seed override (``None`` = the default seed, making runs
+        reproducible across sessions).
+    cache_dir:
+        Directory where ``run-all`` writes one CSV per figure.
+    """
+
+    regions: tuple[str, ...] | None = None
+    years: tuple[int, ...] = DATASET_YEARS
+    workers: int | None = None
+    arrival_stride: int | None = None
+    sample_regions_per_group: int | None = None
+    seed: int | None = None
+    cache_dir: Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.regions is not None:
+            regions = tuple(str(code) for code in self.regions)
+            if not regions:
+                raise ConfigurationError("regions must be None or a non-empty sequence")
+            object.__setattr__(self, "regions", regions)
+        years = tuple(int(year) for year in self.years)
+        if not years:
+            raise ConfigurationError("at least one year is required")
+        object.__setattr__(self, "years", years)
+        if self.workers is not None:
+            # Single source of truth for the worker-count convention.
+            resolve_workers(self.workers)
+        if self.arrival_stride is not None and int(self.arrival_stride) <= 0:
+            raise ConfigurationError("arrival_stride must be positive")
+        if (
+            self.sample_regions_per_group is not None
+            and int(self.sample_regions_per_group) <= 0
+        ):
+            raise ConfigurationError("sample_regions_per_group must be positive")
+        if self.cache_dir is not None:
+            object.__setattr__(self, "cache_dir", Path(self.cache_dir))
+
+    # ------------------------------------------------------------------
+    # Dataset construction
+    # ------------------------------------------------------------------
+    def build_dataset(self) -> CarbonDataset:
+        """Synthesise the dataset this configuration describes.
+
+        One dataset (and therefore one set of memoised window-sum caches) is
+        shared by every experiment of a ``run-all`` invocation.
+        """
+        catalog = default_catalog()
+        if self.regions is not None:
+            catalog = catalog.subset(self.regions)
+        synthesis = SynthesisConfig(seed=int(self.seed)) if self.seed is not None else None
+        return CarbonDataset.synthetic(catalog=catalog, years=self.years, config=synthesis)
+
+    # ------------------------------------------------------------------
+    # Declarative option routing
+    # ------------------------------------------------------------------
+    def explicit_options(self) -> frozenset[str]:
+        """Names of per-experiment options this configuration sets."""
+        return frozenset(
+            name for name in OPTION_FIELDS if getattr(self, name) is not None
+        )
+
+    def experiment_kwargs(self, options: frozenset[str]) -> dict[str, int]:
+        """Keyword arguments for an experiment declaring ``options``.
+
+        Only options the experiment declares *and* this configuration sets
+        are passed, so each ``run_figXX`` keeps its own defaults for the
+        rest.
+        """
+        unknown = set(options) - set(OPTION_FIELDS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown experiment options {sorted(unknown)}; "
+                f"routable options: {sorted(OPTION_FIELDS)}"
+            )
+        return {
+            name: int(getattr(self, name))
+            for name in sorted(options)
+            if getattr(self, name) is not None
+        }
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def output_dir(self) -> Path:
+        """Directory for ``run-all`` CSV artifacts."""
+        return self.cache_dir if self.cache_dir is not None else DEFAULT_CACHE_DIR
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used by the CLI)."""
+        parts = []
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if value is not None:
+                parts.append(f"{spec_field.name}={value}")
+        return ", ".join(parts)
+
+
+def config_option(
+    config: "RunConfig | None",
+    name: str,
+    value: int | None,
+    default: int | None = None,
+) -> int | None:
+    """Resolve one experiment option against an optional :class:`RunConfig`.
+
+    Precedence: an explicitly passed keyword argument wins, then the
+    configuration's field, then the experiment's own ``default``.  This is
+    how every ``run_figXX`` entry point supports the uniform
+    ``run_figXX(dataset, config=config)`` calling convention while staying
+    backwards compatible with its historical keyword arguments.
+    """
+    if name not in OPTION_FIELDS:
+        raise ConfigurationError(
+            f"unknown experiment option {name!r}; routable options: {sorted(OPTION_FIELDS)}"
+        )
+    if value is not None:
+        return value
+    if config is not None and getattr(config, name) is not None:
+        return getattr(config, name)
+    return default

@@ -1,0 +1,123 @@
+"""Region-sharded parallel executor.
+
+The experiments' unit of parallel work is always "one region" (an origin, a
+destination, or a geographic-group shard): the sweep kernels are pure
+functions of a small per-region payload — a trace value array, or a trace
+plus the origins that migrate to it.  :func:`parallel_map_regions`
+generalises the ad-hoc process-pool runner that used to live in
+``repro.experiments.temporal_common``:
+
+* each worker receives only the payload of the regions it processes (a few
+  kB of float64 per region), never the whole dataset;
+* small tasks are chunked so pool overhead does not dominate (by default
+  roughly four chunks per worker, which also load-balances uneven regions);
+* results come back in the exact order of ``codes``, so serial and pooled
+  runs of the same function are bit-identical.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.exceptions import ConfigurationError
+
+PayloadT = TypeVar("PayloadT")
+ResultT = TypeVar("ResultT")
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Resolve a worker-count specification to an effective process count.
+
+    ``None``, 0 and 1 mean "run in this process"; -1 means "one worker per
+    CPU"; any other positive value is used as given.
+    """
+    if workers is None:
+        return 1
+    workers = int(workers)
+    if workers == -1:
+        return os.cpu_count() or 1
+    if workers < -1:
+        raise ConfigurationError("workers must be -1 (all CPUs), 0/1 or a positive count")
+    return max(1, workers)
+
+
+def default_chunk_size(num_items: int, num_workers: int) -> int:
+    """Chunk size giving roughly four chunks per worker.
+
+    Four chunks per worker amortises per-task pickling for cheap regions
+    while still letting the pool rebalance when some regions (longer traces,
+    more origins per destination) are slower than others.
+    """
+    if num_items <= 0 or num_workers <= 0:
+        return 1
+    return max(1, -(-num_items // (num_workers * 4)))
+
+
+def _apply_chunk(
+    fn: Callable[[str, PayloadT], ResultT],
+    chunk: Sequence[tuple[str, PayloadT]],
+) -> list[ResultT]:
+    """Apply ``fn`` to one chunk of (code, payload) pairs.
+
+    Module-level so it is picklable by :class:`ProcessPoolExecutor`; ``fn``
+    itself must be a module-level callable (or a :func:`functools.partial`
+    of one) for the same reason.
+    """
+    return [fn(code, payload) for code, payload in chunk]
+
+
+def parallel_map_regions(
+    fn: Callable[[str, PayloadT], ResultT],
+    codes: Sequence[str],
+    payloads: Iterable[PayloadT],
+    workers: int | None = None,
+    chunk_size: int | None = None,
+) -> list[ResultT]:
+    """Apply ``fn(code, payload)`` to every region, optionally in parallel.
+
+    Parameters
+    ----------
+    fn:
+        A picklable (module-level, or ``functools.partial`` of module-level)
+        function of one region code and its payload.
+    codes:
+        Region codes, one per unit of work.  The returned list follows this
+        order exactly regardless of worker count.
+    payloads:
+        One payload per code — typically a raw trace value array extracted
+        via :meth:`repro.grid.dataset.CarbonDataset.region_payloads` so
+        workers never receive the whole dataset.
+    workers:
+        Worker-count specification (see :func:`resolve_workers`).  Serial
+        execution (``None``/0/1, or a single region) runs ``fn`` inline in
+        this process.
+    chunk_size:
+        Regions per pool task; defaults to :func:`default_chunk_size`.
+
+    Serial and pooled invocations produce bit-identical results: the same
+    ``fn`` runs on the same payloads either way, and ordering is restored
+    from the submission order.
+    """
+    codes = tuple(codes)
+    try:
+        pairs = list(zip(codes, payloads, strict=True))
+    except ValueError as error:
+        raise ConfigurationError(
+            "codes and payloads must have the same length"
+        ) from error
+    if chunk_size is not None and int(chunk_size) <= 0:
+        raise ConfigurationError("chunk_size must be positive")
+    num_workers = min(resolve_workers(workers), len(pairs)) if pairs else 1
+    if num_workers <= 1 or len(pairs) <= 1:
+        return [fn(code, payload) for code, payload in pairs]
+    size = int(chunk_size) if chunk_size is not None else default_chunk_size(
+        len(pairs), num_workers
+    )
+    chunks = [pairs[i : i + size] for i in range(0, len(pairs), size)]
+    results: list[ResultT] = []
+    with ProcessPoolExecutor(max_workers=min(num_workers, len(chunks))) as pool:
+        for chunk_result in pool.map(_apply_chunk, (fn,) * len(chunks), chunks):
+            results.extend(chunk_result)
+    return results

@@ -15,6 +15,16 @@ class TestParser:
         assert args.experiment == "fig5"
         assert args.years == "2020,2022"
         assert args.csv is None
+        # Options default to "unset" so the registry can tell explicit use
+        # apart from each experiment's own default.
+        assert args.workers is None
+        assert args.arrival_stride is None
+        assert args.sample_regions_per_group is None
+
+    def test_run_all_defaults(self):
+        args = build_parser().parse_args(["run-all"])
+        assert args.out_dir is None
+        assert args.years == "2020,2022"
 
 
 class TestCommands:
@@ -58,3 +68,94 @@ class TestCommands:
 
         with pytest.raises(ConfigurationError):
             main(["run", "fig99", "--regions", "SE,US-CA", "--years", "2022"])
+
+    def test_run_with_workers_pool(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "fig7",
+                "--regions",
+                "SE,DE,US-CA",
+                "--years",
+                "2022",
+                "--arrival-stride",
+                "168",
+                "--workers",
+                "2",
+            ]
+        )
+        assert exit_code == 0
+        assert "job_length_hours" in capsys.readouterr().out
+
+    def test_undeclared_option_is_an_explicit_error(self):
+        """--arrival-stride used to be silently dropped for experiments that
+        don't take it; it must now raise a ConfigurationError."""
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="does not accept"):
+            main(
+                [
+                    "run",
+                    "fig5",
+                    "--regions",
+                    "SE,US-CA",
+                    "--years",
+                    "2022",
+                    "--arrival-stride",
+                    "24",
+                ]
+            )
+        with pytest.raises(ConfigurationError, match="does not accept"):
+            main(["run", "fig1", "--regions", "SE,US-CA", "--years", "2022",
+                  "--workers", "2"])
+
+
+class TestRunAll:
+    def test_run_all_reduced_regions(self, capsys, tmp_path):
+        exit_code = main(
+            [
+                "run-all",
+                "--regions",
+                "SE,DE,US-CA",
+                "--years",
+                "2020,2022",
+                "--arrival-stride",
+                "168",
+                "--workers",
+                "2",
+                "--out-dir",
+                str(tmp_path / "results"),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "all 14 runnable experiments completed" in output
+        from repro.experiments import list_experiments
+
+        for spec in list_experiments():
+            csv_path = tmp_path / "results" / f"{spec.identifier}.csv"
+            assert csv_path.exists(), spec.identifier
+            assert csv_path.read_text().strip(), spec.identifier
+
+    def test_run_all_shares_one_dataset_and_respects_options(self, capsys, tmp_path):
+        """run-all routes options leniently: experiments that do not declare
+        --arrival-stride still run instead of failing."""
+        exit_code = main(
+            [
+                "run-all",
+                "--regions",
+                "SE,US-CA",
+                "--years",
+                "2022",
+                "--arrival-stride",
+                "168",
+                "--out-dir",
+                str(tmp_path),
+            ]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "fig5.csv").exists()  # fig5 declares no stride
+        assert (tmp_path / "fig7.csv").exists()
+        # fig3b needs two dataset years: skipped, not failed.
+        assert not (tmp_path / "fig3b.csv").exists()
+        assert "skipped" in capsys.readouterr().out

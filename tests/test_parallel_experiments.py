@@ -1,0 +1,163 @@
+"""Serial vs pooled equivalence of the region-sharded experiment layer.
+
+The acceptance bar for the runtime refactor: running fig5, fig6, fig7, fig12
+and the per-origin combined sweep with a process pool must produce rows that
+are *identical* (exact float equality, same order) to the serial run, and
+the declarative registry must route options without silent drops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CarbonDataset, RunConfig
+from repro.exceptions import ConfigurationError
+from repro.experiments import get_experiment
+from repro.experiments.fig05_capacity import run_fig05
+from repro.experiments.fig06_capacity_latency import run_fig06b
+from repro.experiments.fig07_deferrability import run_fig07
+from repro.experiments.fig12_combined import run_combined_origins, run_fig12
+from repro.timeseries.series import HourlySeries
+
+#: Pool width used to force the pooled code path (the CI container may have
+#: a single CPU, where ``workers=-1`` legitimately resolves to serial).
+POOL = 2
+
+
+class TestSerialPooledIdentity:
+    def test_fig5_rows_identical(self, small_dataset):
+        serial = run_fig05(small_dataset)
+        pooled = run_fig05(small_dataset, workers=POOL)
+        assert serial.rows() == pooled.rows()
+        all_cpus = run_fig05(small_dataset, workers=-1)
+        assert serial.rows() == all_cpus.rows()
+
+    def test_fig6b_rows_identical(self, small_dataset):
+        serial = run_fig06b(small_dataset, job_length_hours=24)
+        pooled = run_fig06b(small_dataset, job_length_hours=24, workers=POOL)
+        assert serial == pooled
+
+    def test_fig6b_sampled_rows_identical(self, small_dataset):
+        serial = run_fig06b(small_dataset, sample_regions_per_group=2)
+        pooled = run_fig06b(small_dataset, sample_regions_per_group=2, workers=POOL)
+        assert serial == pooled
+
+    def test_fig7_rows_identical(self, small_dataset):
+        serial = run_fig07(small_dataset, lengths_hours=(6, 24), arrival_stride=24)
+        pooled = run_fig07(
+            small_dataset, lengths_hours=(6, 24), arrival_stride=24, workers=POOL
+        )
+        assert serial.rows() == pooled.rows()
+        assert serial.ideal.cells == pooled.ideal.cells
+        all_cpus = run_fig07(
+            small_dataset, lengths_hours=(6, 24), arrival_stride=24, workers=-1
+        )
+        assert serial.rows() == all_cpus.rows()
+
+    def test_fig12_rows_identical(self, small_dataset):
+        destinations = ("SE", "US-CA", "IN-MH")
+        serial = run_fig12(small_dataset, destinations=destinations)
+        pooled = run_fig12(small_dataset, destinations=destinations, workers=POOL)
+        assert serial.rows() == pooled.rows()
+        all_cpus = run_fig12(small_dataset, destinations=destinations, workers=-1)
+        assert serial.rows() == all_cpus.rows()
+
+    def test_combined_origins_rows_identical(self, small_dataset):
+        serial = run_combined_origins(small_dataset, arrival_stride=24)
+        pooled = run_combined_origins(small_dataset, arrival_stride=24, workers=POOL)
+        assert serial.rows() == pooled.rows()
+        all_cpus = run_combined_origins(small_dataset, arrival_stride=24, workers=-1)
+        assert serial.rows() == all_cpus.rows()
+
+    def test_combined_origins_pooled_destinations_match_serial_engine(
+        self, small_dataset
+    ):
+        """The destination-sharded pool path must pick the same destination
+        (same tie-breaking) as the serial CombinedSweep engine."""
+        serial = run_combined_origins(small_dataset, arrival_stride=24)
+        pooled = run_combined_origins(small_dataset, arrival_stride=24, workers=POOL)
+        for origin in small_dataset.codes():
+            assert serial.row(origin).destination == pooled.row(origin).destination
+
+
+class TestFig12PerDestinationSlack:
+    def test_heterogeneous_trace_lengths(self, full_catalog):
+        """One-year slack must resolve from each destination's own trace.
+
+        Before the fix, the slack came from ``dataset.codes()[0]``'s trace
+        length; on a dataset where another region has a shorter trace the
+        temporal sweep would reject ``length + slack > trace`` (or silently
+        use the wrong window).
+        """
+        catalog = full_catalog.subset(("SE", "US-CA"))
+        rng = np.random.default_rng(11)
+        traces = {
+            # First catalog code gets the *longer* trace, so the old
+            # first-region rule would produce an infeasible slack for the
+            # shorter destination below.
+            ("SE", 2022): HourlySeries(rng.uniform(20, 80, size=8760), name="SE"),
+            ("US-CA", 2022): HourlySeries(
+                rng.uniform(100, 400, size=4380), name="US-CA"
+            ),
+        }
+        dataset = CarbonDataset.from_traces(catalog, traces)
+        result = run_fig12(
+            dataset, destinations=("SE", "US-CA"), job_length_hours=24
+        )
+        assert {r["destination"] for r in result.rows()} == {"SE", "US-CA"}
+        # Both slack settings produced a row for the short-trace destination.
+        assert result.row("US-CA", "one-year") is not None
+        assert result.row("US-CA", "24h") is not None
+
+
+class TestRegistryOptionRouting:
+    def test_specs_declare_options(self):
+        assert get_experiment("fig7").options == frozenset({"workers", "arrival_stride"})
+        assert get_experiment("fig5").options == frozenset({"workers"})
+        assert get_experiment("fig6").options == frozenset(
+            {"workers", "sample_regions_per_group"}
+        )
+        assert get_experiment("fig1").options == frozenset()
+        assert not get_experiment("table1").needs_dataset
+
+    def test_execute_routes_declared_options(self, small_dataset):
+        config = RunConfig(arrival_stride=24, workers=POOL)
+        result = get_experiment("fig7").execute(small_dataset, config)
+        baseline = run_fig07(small_dataset, arrival_stride=24)
+        assert result.rows() == baseline.rows()
+
+    def test_execute_rejects_undeclared_explicit_option(self, small_dataset):
+        config = RunConfig(arrival_stride=24)
+        with pytest.raises(ConfigurationError, match="does not accept"):
+            get_experiment("fig5").execute(small_dataset, config)
+
+    def test_execute_lenient_mode_drops_undeclared_options(self, small_dataset):
+        config = RunConfig(arrival_stride=24)
+        result = get_experiment("fig5").execute(small_dataset, config, strict=False)
+        assert result.rows() == run_fig05(small_dataset).rows()
+
+    def test_execute_without_config_uses_defaults(self, small_dataset):
+        result = get_experiment("fig5").execute(small_dataset)
+        assert result.rows() == run_fig05(small_dataset).rows()
+
+    def test_table1_executes_without_dataset(self):
+        result = get_experiment("table1").execute(None, RunConfig())
+        assert result.rows()
+
+    def test_config_kwarg_on_entry_points(self, small_dataset):
+        """run_figXX(dataset, config=...) — the uniform entry point —
+        matches the historical keyword-argument call."""
+        config = RunConfig(arrival_stride=24, workers=POOL)
+        via_config = run_fig07(small_dataset, lengths_hours=(6,), config=config)
+        via_kwargs = run_fig07(
+            small_dataset, lengths_hours=(6,), arrival_stride=24, workers=POOL
+        )
+        assert via_config.rows() == via_kwargs.rows()
+        # Explicit keyword beats the config field.
+        explicit = run_fig07(
+            small_dataset, lengths_hours=(6,), arrival_stride=12, config=config
+        )
+        assert explicit.rows() == run_fig07(
+            small_dataset, lengths_hours=(6,), arrival_stride=12
+        ).rows()

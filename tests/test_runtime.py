@@ -1,0 +1,197 @@
+"""Tests for the shared parallel experiment runtime (`repro.runtime`)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.runtime import (
+    OPTION_FIELDS,
+    RunConfig,
+    config_option,
+    parallel_map_regions,
+    resolve_workers,
+)
+from repro.runtime.executor import default_chunk_size
+
+
+def _windowed_stats(code: str, values: np.ndarray) -> tuple[str, float, float]:
+    """A small but non-trivial per-region kernel (module-level: picklable)."""
+    sums = np.cumsum(values)
+    return code, float(sums[-1]), float(values.mean())
+
+
+def _boom(code: str, values: np.ndarray) -> float:
+    raise RuntimeError(f"worker failure in {code}")
+
+
+class TestResolveWorkers:
+    def test_serial_specifications(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(0) == 1
+        assert resolve_workers(1) == 1
+
+    def test_positive_counts_used_as_given(self):
+        assert resolve_workers(2) == 2
+        assert resolve_workers(16) == 16
+
+    def test_all_cpus(self):
+        assert resolve_workers(-1) >= 1
+
+    def test_invalid_negative(self):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(-2)
+
+
+class TestDefaultChunkSize:
+    def test_roughly_four_chunks_per_worker(self):
+        assert default_chunk_size(123, 4) == 8  # ceil(123 / 16)
+
+    def test_never_below_one(self):
+        assert default_chunk_size(2, 16) == 1
+        assert default_chunk_size(0, 4) == 1
+        assert default_chunk_size(5, 0) == 1
+
+
+class TestParallelMapRegions:
+    @pytest.fixture()
+    def payloads(self):
+        rng = np.random.default_rng(7)
+        codes = tuple(f"R{i:02d}" for i in range(9))
+        return codes, tuple(rng.normal(300.0, 40.0, size=48) for _ in codes)
+
+    def test_serial_matches_inline_loop(self, payloads):
+        codes, values = payloads
+        expected = [_windowed_stats(c, v) for c, v in zip(codes, values)]
+        assert parallel_map_regions(_windowed_stats, codes, values) == expected
+
+    def test_pooled_is_bit_identical_to_serial(self, payloads):
+        codes, values = payloads
+        serial = parallel_map_regions(_windowed_stats, codes, values, workers=None)
+        pooled = parallel_map_regions(_windowed_stats, codes, values, workers=2)
+        assert serial == pooled  # exact float equality, and same order
+
+    def test_pooled_with_explicit_chunk_size(self, payloads):
+        codes, values = payloads
+        serial = parallel_map_regions(_windowed_stats, codes, values)
+        pooled = parallel_map_regions(
+            _windowed_stats, codes, values, workers=2, chunk_size=4
+        )
+        assert serial == pooled
+
+    def test_more_workers_than_regions(self, payloads):
+        codes, values = payloads
+        serial = parallel_map_regions(_windowed_stats, codes, values)
+        pooled = parallel_map_regions(_windowed_stats, codes, values, workers=64)
+        assert serial == pooled
+
+    def test_empty_input(self):
+        assert parallel_map_regions(_windowed_stats, (), (), workers=2) == []
+
+    def test_single_region_stays_serial(self):
+        values = np.arange(24.0)
+        result = parallel_map_regions(_windowed_stats, ("X",), (values,), workers=-1)
+        assert result == [_windowed_stats("X", values)]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            parallel_map_regions(_windowed_stats, ("A", "B"), (np.ones(4),))
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ConfigurationError):
+            parallel_map_regions(
+                _windowed_stats, ("A",), (np.ones(4),), workers=2, chunk_size=0
+            )
+
+    def test_worker_errors_propagate_serial(self):
+        with pytest.raises(RuntimeError, match="worker failure in A"):
+            parallel_map_regions(_boom, ("A",), (np.ones(4),))
+
+    def test_worker_errors_propagate_pooled(self):
+        with pytest.raises(RuntimeError, match="worker failure"):
+            parallel_map_regions(_boom, ("A", "B"), (np.ones(4), np.ones(4)), workers=2)
+
+
+class TestRunConfig:
+    def test_defaults(self):
+        config = RunConfig()
+        assert config.regions is None
+        assert config.workers is None
+        assert config.explicit_options() == frozenset()
+        assert config.output_dir() == Path("results")
+
+    def test_field_validation(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig(years=())
+        with pytest.raises(ConfigurationError):
+            RunConfig(regions=())
+        with pytest.raises(ConfigurationError):
+            RunConfig(workers=-3)
+        with pytest.raises(ConfigurationError):
+            RunConfig(arrival_stride=0)
+        with pytest.raises(ConfigurationError):
+            RunConfig(sample_regions_per_group=0)
+
+    def test_coercion(self):
+        config = RunConfig(regions=["SE", "DE"], years=[2022], cache_dir="out")
+        assert config.regions == ("SE", "DE")
+        assert config.years == (2022,)
+        assert config.cache_dir == Path("out")
+        assert config.output_dir() == Path("out")
+
+    def test_explicit_options_and_kwargs(self):
+        config = RunConfig(workers=2, arrival_stride=24)
+        assert config.explicit_options() == frozenset({"workers", "arrival_stride"})
+        assert config.experiment_kwargs(frozenset({"workers"})) == {"workers": 2}
+        assert config.experiment_kwargs(
+            frozenset({"workers", "arrival_stride", "sample_regions_per_group"})
+        ) == {"workers": 2, "arrival_stride": 24}
+        assert config.experiment_kwargs(frozenset()) == {}
+
+    def test_unknown_option_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig().experiment_kwargs(frozenset({"turbo"}))
+
+    def test_build_dataset_respects_regions_years_and_seed(self):
+        config = RunConfig(regions=("SE", "DE"), years=(2022,), seed=1234)
+        dataset = config.build_dataset()
+        assert set(dataset.codes()) == {"SE", "DE"}
+        assert dataset.years == (2022,)
+        # A different seed must synthesise different traces.
+        other = RunConfig(regions=("SE", "DE"), years=(2022,), seed=99).build_dataset()
+        assert not np.array_equal(
+            dataset.trace_values("SE"), other.trace_values("SE")
+        )
+
+    def test_describe_mentions_set_fields(self):
+        text = RunConfig(workers=4, arrival_stride=24).describe()
+        assert "workers=4" in text
+        assert "arrival_stride=24" in text
+
+
+class TestConfigOption:
+    def test_explicit_value_wins(self):
+        config = RunConfig(arrival_stride=24)
+        assert config_option(config, "arrival_stride", 12, default=1) == 12
+
+    def test_config_fills_unset_value(self):
+        config = RunConfig(arrival_stride=24)
+        assert config_option(config, "arrival_stride", None, default=1) == 24
+
+    def test_default_when_neither_set(self):
+        assert config_option(None, "arrival_stride", None, default=1) == 1
+        assert config_option(RunConfig(), "workers", None) is None
+
+    def test_unknown_option_name(self):
+        with pytest.raises(ConfigurationError):
+            config_option(RunConfig(), "not_an_option", None)
+
+    def test_option_fields_cover_routable_options(self):
+        assert set(OPTION_FIELDS) == {
+            "workers",
+            "arrival_stride",
+            "sample_regions_per_group",
+        }
