@@ -68,6 +68,23 @@ def bench_dataset_multi_year(bench_catalog):
     return CarbonDataset.synthetic(catalog=bench_catalog, years=(2020, 2022))
 
 
+def sample_codes(dataset, preferred, minimum=3):
+    """The ``preferred`` region codes that exist in the benchmark dataset.
+
+    ``REPRO_BENCH_REGIONS`` may restrict the catalog below the regions a
+    benchmark samples by name; codes missing from the restricted catalog
+    are dropped and topped back up (in catalog order) to ``minimum`` so the
+    benchmark still runs on a reduced dataset instead of failing.
+    """
+    codes = [code for code in preferred if code in dataset.catalog]
+    for code in dataset.codes():
+        if len(codes) >= minimum:
+            break
+        if code not in codes:
+            codes.append(code)
+    return tuple(codes)
+
+
 def run_once(benchmark, function, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing.
 

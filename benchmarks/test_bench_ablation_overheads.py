@@ -9,7 +9,7 @@ arrival hours under increasing overhead costs.
 
 import numpy as np
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, sample_codes
 from repro.reporting import format_table
 from repro.scheduling import (
     InterruptiblePolicy,
@@ -37,7 +37,7 @@ def _ablation(dataset):
         migration_policy = OverheadAwareMigrationPolicy(
             OverheadModel(migration_hours=overhead)
         )
-        for region in SAMPLE_REGIONS:
+        for region in sample_codes(dataset, SAMPLE_REGIONS):
             trace = dataset.series(region)
             for arrival in ARRIVALS:
                 ideal = InterruptiblePolicy().schedule(job, trace, arrival)

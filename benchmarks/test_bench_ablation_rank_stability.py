@@ -9,7 +9,7 @@ Two of the paper's arguments rest on structural properties of the traces:
 This ablation quantifies both on the synthetic dataset.
 """
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, sample_codes
 from repro.analysis.rank_stability import rank_stability
 from repro.reporting import format_table
 from repro.scheduling import clairvoyance_gap
@@ -45,7 +45,7 @@ def _rank_stability_rows(dataset):
 def _clairvoyance_rows(dataset):
     job = Job.batch(length_hours=12, slack_hours=24)
     rows = []
-    for region in GAP_REGIONS:
+    for region in sample_codes(dataset, GAP_REGIONS):
         summary = clairvoyance_gap(dataset.series(region), job, GAP_ARRIVALS)
         rows.append(
             {

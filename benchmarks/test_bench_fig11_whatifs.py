@@ -1,7 +1,7 @@
 """Benchmark: Figure 11 — what-if scenarios (mixed workloads, prediction
 error, increasing renewable penetration)."""
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, sample_codes
 from repro.experiments.fig11_whatif import run_fig11
 from repro.reporting import format_table
 
@@ -15,7 +15,7 @@ def test_bench_fig11_whatifs(benchmark, bench_dataset):
         benchmark,
         run_fig11,
         bench_dataset,
-        error_sample_regions=ERROR_SAMPLE_REGIONS,
+        error_sample_regions=sample_codes(bench_dataset, ERROR_SAMPLE_REGIONS),
     )
     print()
     rows = result.rows()

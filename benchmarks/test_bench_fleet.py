@@ -1,0 +1,150 @@
+"""Benchmark: the fleet contention subsystem.
+
+Two comparisons back the PR's performance claims:
+
+* the vectorised slot/queue engine (`ClusterSimulator.run`) versus the
+  per-job reference loop (`ClusterSimulator.run_reference`) on one busy
+  region — the runs are also asserted bit-identical;
+* the fleet contention sweep (`run_fleet`) serial versus pooled
+  (`workers=2` and all CPUs) — identical rows, wall-clock speedup table.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.cloud import (
+    CarbonAwareSchedulingPolicy,
+    ClusterSimulator,
+    FifoSchedulingPolicy,
+)
+from repro.experiments.fleet_contention import run_fleet
+from repro.reporting import format_table
+from repro.runtime import resolve_workers
+from repro.timeseries.series import HourlySeries
+from repro.workloads.generator import ClusterTraceGenerator, GeneratorConfig
+
+#: Single-region engine benchmark: one year, a busy queue.
+ENGINE_NUM_JOBS = 1500
+ENGINE_SLOTS = 16
+
+#: Fleet sweep kept small enough for CI while still fanning out per region.
+FLEET_NUM_JOBS = 200
+FLEET_SLOTS = (2, 8)
+
+
+def _engine_workload():
+    generator = ClusterTraceGenerator(
+        GeneratorConfig(num_jobs=ENGINE_NUM_JOBS, horizon_hours=8760, seed=42)
+    )
+    return generator.generate(["X"])
+
+
+def _engine_trace():
+    hours = np.arange(8760)
+    rng = np.random.default_rng(7)
+    values = 400.0 + 150.0 * np.cos(2 * np.pi * (hours - 14) / 24.0)
+    return HourlySeries(np.clip(values + rng.normal(0.0, 25.0, hours.size), 1.0, None), name="X")
+
+
+def test_bench_engine_vs_reference_loop(benchmark):
+    trace = _engine_trace()
+    workload = _engine_workload()
+    simulator = ClusterSimulator(trace, ENGINE_SLOTS)
+
+    timings = {}
+    results = {}
+    for label, runner in (
+        ("vectorised", simulator.run),
+        ("reference", simulator.run_reference),
+    ):
+        start = time.perf_counter()
+        results[label] = {
+            policy.name: runner(workload, policy)
+            for policy in (FifoSchedulingPolicy(), CarbonAwareSchedulingPolicy())
+        }
+        timings[label] = time.perf_counter() - start
+
+    # The engine must reproduce the reference loop: identical decisions,
+    # emissions equal to within float-addition associativity.
+    for name in results["vectorised"]:
+        fast, reference = results["vectorised"][name], results["reference"][name]
+        assert fast.completed_jobs == reference.completed_jobs
+        assert fast.mean_start_delay_hours == reference.mean_start_delay_hours
+        assert fast.max_queue_length == reference.max_queue_length
+        assert abs(fast.total_emissions_g - reference.total_emissions_g) <= (
+            1e-9 * reference.total_emissions_g
+        )
+
+    # Headline timing: the vectorised engine on the carbon-aware policy.
+    run_once(benchmark, simulator.run, workload, CarbonAwareSchedulingPolicy())
+
+    rows = [
+        {
+            "engine": label,
+            "seconds": round(timings[label], 3),
+            "speedup_vs_reference": round(timings["reference"] / timings[label], 2),
+        }
+        for label in ("vectorised", "reference")
+    ]
+    print()
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Slot/queue engine: {ENGINE_NUM_JOBS} jobs, "
+                f"{ENGINE_SLOTS} slots, 8760 h horizon"
+            ),
+        )
+    )
+
+
+def test_bench_fleet_parallel_speedup(benchmark, bench_dataset):
+    all_cpus = resolve_workers(-1)
+    worker_counts = [1, 2, all_cpus] if all_cpus not in (1, 2) else [1, 2]
+
+    timings: dict[int, float] = {}
+    results = {}
+    for workers in worker_counts:
+        start = time.perf_counter()
+        results[workers] = run_fleet(
+            bench_dataset,
+            num_jobs=FLEET_NUM_JOBS,
+            slots_per_region=FLEET_SLOTS,
+            workers=workers,
+        )
+        timings[workers] = time.perf_counter() - start
+
+    run_once(
+        benchmark,
+        run_fleet,
+        bench_dataset,
+        num_jobs=FLEET_NUM_JOBS,
+        slots_per_region=FLEET_SLOTS,
+        workers=-1,
+    )
+
+    serial_rows = results[1].rows()
+    for workers, result in results.items():
+        assert result.rows() == serial_rows, f"workers={workers} diverged from serial"
+
+    rows = [
+        {
+            "workers": workers,
+            "seconds": round(timings[workers], 3),
+            "speedup_vs_serial": round(timings[1] / timings[workers], 2),
+        }
+        for workers in worker_counts
+    ]
+    print()
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Fleet contention sweep over {len(bench_dataset)} regions "
+                f"({os.cpu_count()} CPUs available)"
+            ),
+        )
+    )

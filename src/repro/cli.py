@@ -5,6 +5,7 @@ Usage::
     python -m repro list
     python -m repro run fig5 --csv results/fig5.csv
     python -m repro run fig7 --regions SE,DE,US-CA --years 2022 --workers -1
+    python -m repro run fleet --regions SE,DE,US-CA --workers 2 --csv fleet.csv
     python -m repro run-all --regions SE,DE,US-CA --arrival-stride 168
     python -m repro dataset-summary --years 2022
 
@@ -155,7 +156,8 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--years", default="2020,2022",
                         help="comma-separated years to synthesise (default: 2020,2022)")
     parser.add_argument("--seed", type=int, default=None,
-                        help="synthesis seed override (default: the built-in seed)")
+                        help="synthesis seed override; experiments that declare it "
+                        "(fleet) also seed their workload generation with it")
     parser.add_argument("--arrival-stride", type=int, default=None,
                         help="arrival subsampling for the heavy sweeps "
                         "(default: each experiment's own; 1 = every arrival hour)")

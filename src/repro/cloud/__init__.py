@@ -1,5 +1,6 @@
-"""Cloud substrate: datacenter capacity model, inter-region latency model and
-provider/datacenter metadata used by the spatial shifting experiments."""
+"""Cloud substrate: datacenter capacity model, inter-region latency model,
+provider/datacenter metadata, and the slot-limited cluster/fleet simulators
+used by the contention experiments."""
 
 from repro.cloud.capacity import (
     CapacityAssignment,
@@ -7,6 +8,21 @@ from repro.cloud.capacity import (
     waterfall_assignment,
 )
 from repro.cloud.datacenter import Datacenter, DatacenterFleet
+from repro.cloud.engine import (
+    ADMISSION_CARBON_AWARE,
+    ADMISSION_FIFO,
+    SlotQueueOutcome,
+    simulate_slot_queue,
+)
+from repro.cloud.fleet import (
+    ADMISSION_FORECAST,
+    FLEET_ADMISSIONS,
+    PLACEMENT_GREENEST,
+    PLACEMENT_ORIGIN,
+    FleetResult,
+    FleetSimulator,
+    RegionLoadResult,
+)
 from repro.cloud.latency import LatencyModel
 from repro.cloud.scheduler_sim import (
     CarbonAwareSchedulingPolicy,
@@ -16,14 +32,25 @@ from repro.cloud.scheduler_sim import (
 )
 
 __all__ = [
+    "ADMISSION_CARBON_AWARE",
+    "ADMISSION_FIFO",
+    "ADMISSION_FORECAST",
     "CapacityAssignment",
     "CarbonAwareSchedulingPolicy",
     "ClusterSimulator",
     "Datacenter",
     "DatacenterFleet",
+    "FLEET_ADMISSIONS",
     "FifoSchedulingPolicy",
+    "FleetResult",
+    "FleetSimulator",
     "LatencyModel",
+    "PLACEMENT_GREENEST",
+    "PLACEMENT_ORIGIN",
     "RegionAssignment",
+    "RegionLoadResult",
     "SimulationResult",
+    "SlotQueueOutcome",
+    "simulate_slot_queue",
     "waterfall_assignment",
 ]

@@ -1,0 +1,347 @@
+"""Fleet-scale contention simulation: the whole catalog under slot limits.
+
+The paper's headline savings are *per-job upper bounds*: every job is
+evaluated alone against an uncontended trace.  §5.2.5 and §6.1–§6.2 argue
+those savings erode once jobs compete for slots, once part of the workload
+is non-migratable or interactive, and once admission decisions come from an
+imperfect forecast.  This module quantifies all three at once:
+
+1. **Placement** — each job of a :class:`~repro.workloads.traces.ClusterTrace`
+   is placed spatially: either it stays in its origin region
+   (``"origin"``) or, if it is migratable, it moves to the greenest
+   admissible candidate by annual mean (``"greenest"`` — the
+   :class:`~repro.scheduling.spatial.OneMigrationPolicy` destination rule).
+   Non-migratable jobs always stay home, which is exactly how spatial
+   consolidation creates contention: the migratable share of the fleet
+   funnels into one green region.
+2. **Admission** — each region runs the slot-limited queue of
+   :mod:`repro.cloud.engine` under one of three rules: ``"fifo"``
+   (carbon-agnostic), ``"carbon-aware"`` (clairvoyant threshold rule on the
+   true trace) or ``"forecast"`` (the same rule deciding on an
+   error-injected forecast, charged against the true trace).
+3. **Accounting** — executed hours are charged at the region's *true*
+   intensity; jobs the horizon cuts off keep their partial emissions but do
+   not count as completed.
+
+After placement the regions are independent, so the fleet fans out one
+shard per busy region through
+:func:`repro.runtime.parallel_map_regions` — each pool worker receives only
+its region's trace values and flat per-job arrays, and serial and pooled
+runs are bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cloud.engine import (
+    ADMISSION_CARBON_AWARE,
+    ADMISSION_FIFO,
+    simulate_slot_queue,
+)
+from repro.exceptions import ConfigurationError
+from repro.forecast.error import UniformErrorModel
+from repro.grid.dataset import CarbonDataset
+from repro.runtime import parallel_map_regions
+from repro.workloads.traces import ClusterTrace
+
+#: Spatial placement rules.
+PLACEMENT_ORIGIN = "origin"
+PLACEMENT_GREENEST = "greenest"
+PLACEMENT_KINDS = (PLACEMENT_ORIGIN, PLACEMENT_GREENEST)
+
+#: Fleet admission rules (the engine's two, plus forecast-driven admission).
+ADMISSION_FORECAST = "forecast"
+FLEET_ADMISSIONS = (ADMISSION_FIFO, ADMISSION_CARBON_AWARE, ADMISSION_FORECAST)
+
+
+@dataclass(frozen=True)
+class RegionLoadResult:
+    """Outcome of one region's slot-limited queue inside a fleet run."""
+
+    region: str
+    num_jobs: int
+    started_jobs: int
+    completed_jobs: int
+    emissions_g: float
+    mean_start_delay_hours: float
+    max_queue_length: int
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Outcome of replaying one workload across the fleet."""
+
+    placement: str
+    admission: str
+    slots_per_region: int
+    error_magnitude: float
+    per_region: tuple[RegionLoadResult, ...]
+
+    def region(self, code: str) -> RegionLoadResult:
+        """The load result of one region."""
+        for load in self.per_region:
+            if load.region == code:
+                return load
+        raise KeyError(code)
+
+    @property
+    def total_emissions_g(self) -> float:
+        """Fleet-wide emissions (g·CO2eq), in deterministic region order."""
+        return float(sum(load.emissions_g for load in self.per_region))
+
+    @property
+    def total_jobs(self) -> int:
+        """Number of jobs placed across the fleet."""
+        return sum(load.num_jobs for load in self.per_region)
+
+    @property
+    def completed_jobs(self) -> int:
+        """Jobs that finished inside the horizon, fleet-wide."""
+        return sum(load.completed_jobs for load in self.per_region)
+
+    @property
+    def all_completed(self) -> bool:
+        """Whether every placed job finished within the horizon."""
+        return self.completed_jobs == self.total_jobs
+
+    @property
+    def mean_start_delay_hours(self) -> float:
+        """Queueing delay averaged over every job that started."""
+        started = sum(load.started_jobs for load in self.per_region)
+        if started == 0:
+            return 0.0
+        weighted = sum(
+            load.mean_start_delay_hours * load.started_jobs for load in self.per_region
+        )
+        return weighted / started
+
+    @property
+    def max_queue_length(self) -> int:
+        """Deepest queue observed in any region."""
+        return max((load.max_queue_length for load in self.per_region), default=0)
+
+    def busiest_region(self) -> str:
+        """Region that received the most jobs."""
+        if not self.per_region:
+            raise ConfigurationError("fleet result has no regions")
+        return max(self.per_region, key=lambda load: load.num_jobs).region
+
+
+def _fleet_region_shard(
+    code: str,
+    payload: tuple[
+        np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, int, str, float, int
+    ],
+) -> RegionLoadResult:
+    """Simulate one region's queue on its lean payload.
+
+    Module-level for picklability.  The forecast-admission decision trace is
+    derived *inside* the shard from the region's deterministic seed, so the
+    payload ships only the true values and the pooled run injects exactly
+    the error the serial run would.
+    """
+    (
+        values,
+        arrivals,
+        lengths,
+        deadlines,
+        powers,
+        num_slots,
+        admission,
+        error_magnitude,
+        region_seed,
+    ) = payload
+    decision_values = None
+    engine_admission = admission
+    if admission == ADMISSION_FORECAST:
+        engine_admission = ADMISSION_CARBON_AWARE
+        decision_values = UniformErrorModel(
+            magnitude=error_magnitude, seed=region_seed
+        ).apply_values(values)
+    outcome = simulate_slot_queue(
+        values,
+        arrivals,
+        lengths,
+        deadlines,
+        powers,
+        num_slots,
+        admission=engine_admission,
+        decision_values=decision_values,
+    )
+    return RegionLoadResult(
+        region=code,
+        num_jobs=int(arrivals.size),
+        started_jobs=outcome.started_jobs,
+        completed_jobs=outcome.completed_jobs,
+        emissions_g=outcome.total_emissions_g(),
+        mean_start_delay_hours=outcome.mean_start_delay_hours(),
+        max_queue_length=outcome.max_queue_length,
+    )
+
+
+class FleetSimulator:
+    """Multi-region, slot-limited replay of a cluster trace.
+
+    Parameters
+    ----------
+    dataset:
+        Carbon dataset providing one trace per region; its catalog defines
+        the admissible regions.
+    slots_per_region:
+        Concurrent execution slots of every region.
+    year:
+        Trace year (latest dataset year by default).
+    """
+
+    def __init__(
+        self, dataset: CarbonDataset, slots_per_region: int, year: int | None = None
+    ) -> None:
+        if slots_per_region <= 0:
+            raise ConfigurationError("slots_per_region must be positive")
+        self.dataset = dataset
+        self.slots_per_region = slots_per_region
+        self.year = year
+
+    # ------------------------------------------------------------------
+    def place(
+        self,
+        workload: ClusterTrace,
+        placement: str = PLACEMENT_ORIGIN,
+        candidates: Sequence[str] | None = None,
+    ) -> dict[str, ClusterTrace]:
+        """Destination region of every job, as per-region sub-traces.
+
+        ``"origin"`` keeps each job home; ``"greenest"`` sends migratable
+        jobs to the greenest candidate by annual mean (all dataset regions
+        by default) while non-migratable jobs stay at their origin.  The
+        returned mapping follows catalog order and contains only regions
+        that received at least one job.
+        """
+        if placement not in PLACEMENT_KINDS:
+            raise ConfigurationError(
+                f"unknown placement {placement!r}; known: {PLACEMENT_KINDS}"
+            )
+        codes = self.dataset.codes()
+        greenest = None
+        if placement == PLACEMENT_GREENEST:
+            pool = tuple(candidates) if candidates is not None else codes
+            unknown = [code for code in pool if code not in self.dataset.catalog]
+            if unknown:
+                raise ConfigurationError(f"unknown candidate regions {unknown}")
+            greenest = self.dataset.greenest_of(pool, self.year)
+        jobs_by_region: dict[str, list] = {}
+        for trace_job in workload:
+            if trace_job.origin_region not in self.dataset.catalog:
+                raise ConfigurationError(
+                    f"job origin {trace_job.origin_region!r} is not in the dataset"
+                )
+            destination = trace_job.origin_region
+            if greenest is not None and trace_job.job.migratable:
+                destination = greenest
+            jobs_by_region.setdefault(destination, []).append(trace_job)
+        return {
+            code: ClusterTrace.from_jobs(jobs_by_region[code])
+            for code in codes
+            if code in jobs_by_region
+        }
+
+    def run(
+        self,
+        workload: ClusterTrace,
+        placement: str = PLACEMENT_ORIGIN,
+        admission: str = ADMISSION_FIFO,
+        candidates: Sequence[str] | None = None,
+        error_magnitude: float = 0.0,
+        seed: int = 0,
+        workers: int | None = None,
+    ) -> FleetResult:
+        """Replay ``workload`` across the fleet and account true emissions.
+
+        Parameters
+        ----------
+        workload:
+            The cluster trace to replay.
+        placement:
+            Spatial rule (see :meth:`place`).
+        admission:
+            ``"fifo"``, ``"carbon-aware"`` (clairvoyant) or ``"forecast"``
+            (decides on an error-injected trace, pays the true one).
+        candidates:
+            Admissible migration destinations for ``"greenest"`` placement
+            (default: every dataset region).
+        error_magnitude:
+            Relative forecast error for ``"forecast"`` admission (each
+            region draws its own noise from a deterministic per-region
+            seed).
+        seed:
+            Base seed of the forecast error draws.
+        workers:
+            Fan the per-region shards out over a process pool
+            (:func:`repro.runtime.parallel_map_regions` conventions; serial
+            and pooled runs are bit-identical).
+        """
+        if admission not in FLEET_ADMISSIONS:
+            raise ConfigurationError(
+                f"unknown admission {admission!r}; known: {FLEET_ADMISSIONS}"
+            )
+        if not 0.0 <= error_magnitude <= 1.0:
+            raise ConfigurationError("error_magnitude must be within [0, 1]")
+        by_region = self.place(workload, placement, candidates)
+        codes = tuple(by_region)
+        # Per-region seeds follow the catalog index so the same region draws
+        # the same forecast noise regardless of which other regions are busy
+        # or how the shards are chunked across workers.
+        catalog_index = {code: index for index, code in enumerate(self.dataset.codes())}
+        payloads = []
+        for code in codes:
+            arrivals, lengths, deadlines, powers = by_region[code].scheduling_arrays()
+            payloads.append(
+                (
+                    self.dataset.trace_values(code, self.year),
+                    arrivals,
+                    lengths,
+                    deadlines,
+                    powers,
+                    self.slots_per_region,
+                    admission,
+                    float(error_magnitude),
+                    int(seed) + catalog_index[code],
+                )
+            )
+        loads = parallel_map_regions(_fleet_region_shard, codes, payloads, workers=workers)
+        return FleetResult(
+            placement=placement,
+            admission=admission,
+            slots_per_region=self.slots_per_region,
+            error_magnitude=float(error_magnitude),
+            per_region=tuple(loads),
+        )
+
+    def compare(
+        self,
+        workload: ClusterTrace,
+        placement: str = PLACEMENT_ORIGIN,
+        error_magnitude: float = 0.0,
+        seed: int = 0,
+        workers: int | None = None,
+    ) -> dict[str, FleetResult]:
+        """FIFO versus carbon-aware (or forecast-driven, if ``error_magnitude``
+        is positive) admission on the same placed workload."""
+        aware = ADMISSION_FORECAST if error_magnitude > 0 else ADMISSION_CARBON_AWARE
+        return {
+            ADMISSION_FIFO: self.run(
+                workload, placement, ADMISSION_FIFO, workers=workers
+            ),
+            aware: self.run(
+                workload,
+                placement,
+                aware,
+                error_magnitude=error_magnitude,
+                seed=seed,
+                workers=workers,
+            ),
+        }

@@ -28,6 +28,7 @@ from repro.experiments.fig09_combined_temporal import run_fig09
 from repro.experiments.fig10_distributions import run_fig10
 from repro.experiments.fig11_whatif import run_fig11
 from repro.experiments.fig12_combined import run_combined_origins, run_fig12
+from repro.experiments.fleet_contention import run_fleet
 from repro.experiments.table1_config import run_table1
 from repro.runtime import RunConfig
 
@@ -196,6 +197,14 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "Figure 12 (per-origin)",
             run_combined_origins,
             options=frozenset({"workers", "arrival_stride"}),
+        ),
+        ExperimentSpec(
+            "fleet",
+            "Fleet-scale contention: slot limits, mixed workloads and forecast "
+            "error eroding the isolated-job savings",
+            "§5.2.5/§6.1-§6.2 (contention)",
+            run_fleet,
+            options=frozenset({"workers", "seed", "sample_regions_per_group"}),
         ),
     )
 }

@@ -37,10 +37,25 @@ class UniformErrorModel:
         """Return the error-injected forecast of ``trace``."""
         if self.magnitude == 0:
             return trace
-        rng = np.random.default_rng(self.seed)
-        noise = rng.uniform(-self.magnitude, self.magnitude, size=len(trace))
-        values = np.clip(trace.values * (1.0 + noise), 0.0, None)
+        values = self.apply_values(trace.values)
         return HourlySeries(values, start_hour=trace.start_hour, name=trace.name)
+
+    def apply_values(self, values: np.ndarray) -> np.ndarray:
+        """Error-injected copy of a raw value array.
+
+        The array form of :meth:`apply` (same draws for the same seed and
+        length), used where only trace values are available — matrix rows in
+        :func:`repro.forecast.impact.spatial_error_impact` and the lean
+        per-region payloads of the fleet simulator's pool workers.
+        """
+        values = np.asarray(values, dtype=float)
+        if self.magnitude == 0:
+            # Still a copy: callers may mutate the result, and the input is
+            # often a dataset's shared, memoised trace array.
+            return values.copy()
+        rng = np.random.default_rng(self.seed)
+        noise = rng.uniform(-self.magnitude, self.magnitude, size=values.size)
+        return np.clip(values * (1.0 + noise), 0.0, None)
 
     def mean_absolute_percentage_error(self, trace: HourlySeries) -> float:
         """MAPE of the injected forecast against the true trace, in percent.

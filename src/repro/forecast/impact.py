@@ -96,12 +96,14 @@ def spatial_error_impact(
     if not codes:
         raise ConfigurationError("candidate set must not be empty")
     matrix = dataset.intensity_matrix(year, codes=codes)
-    rng_offset = 0
-    forecast_rows = []
-    for index, code in enumerate(codes):
-        model = UniformErrorModel(magnitude=error_magnitude, seed=seed + rng_offset + index)
-        forecast_rows.append(model.apply(dataset.series(code, year)).values)
-    forecast_matrix = np.vstack(forecast_rows)
+    # Each region gets its own error draw (seed offset by row index) so the
+    # believed-greenest choice is perturbed independently per region.
+    forecast_matrix = np.vstack(
+        [
+            UniformErrorModel(magnitude=error_magnitude, seed=seed + index).apply_values(row)
+            for index, row in enumerate(matrix)
+        ]
+    )
 
     true_best = matrix.min(axis=0)
     believed_best_rows = np.argmin(forecast_matrix, axis=0)

@@ -62,8 +62,12 @@ class ClimatologyForecaster(Forecaster):
                 "climatology forecast needs at least one full day of history"
             )
         profile = history.hour_of_day_profile()
-        start_hour_of_day = (history.start_hour + len(history)) % HOURS_PER_DAY
-        indices = (start_hour_of_day + np.arange(horizon_hours)) % HOURS_PER_DAY
+        # The profile is indexed relative to the *start of the history
+        # series* (daily_matrix reshapes from position 0), so the first
+        # forecast hour sits at phase ``len(history) % 24`` — adding the
+        # series' absolute start hour here would time-shift the forecast for
+        # any history window that does not begin on a day boundary.
+        indices = (len(history) + np.arange(horizon_hours)) % HOURS_PER_DAY
         return profile[indices]
 
 

@@ -22,11 +22,17 @@ through :func:`parallel_map_regions`, so serial and pooled runs are
 bit-identical by construction.
 """
 
-from repro.runtime.config import OPTION_FIELDS, RunConfig, config_option
+from repro.runtime.config import (
+    OPTION_FIELDS,
+    SHARED_OPTION_FIELDS,
+    RunConfig,
+    config_option,
+)
 from repro.runtime.executor import parallel_map_regions, resolve_workers
 
 __all__ = [
     "OPTION_FIELDS",
+    "SHARED_OPTION_FIELDS",
     "RunConfig",
     "config_option",
     "parallel_map_regions",

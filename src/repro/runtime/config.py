@@ -24,10 +24,16 @@ from repro.runtime.executor import resolve_workers
 
 #: Per-experiment option fields: the RunConfig attributes that may be routed
 #: into a ``run_figXX`` entry point when the experiment declares them in its
-#: :attr:`ExperimentSpec.options`.  Dataset-shaping fields (regions, years,
-#: seed) and reporting fields (cache_dir) are deliberately not options — they
+#: :attr:`ExperimentSpec.options`.  Dataset-shaping fields (regions, years)
+#: and reporting fields (cache_dir) are deliberately not options — they
 #: parameterise the shared dataset / output layout, not one experiment.
-OPTION_FIELDS = ("workers", "arrival_stride", "sample_regions_per_group")
+OPTION_FIELDS = ("workers", "arrival_stride", "sample_regions_per_group", "seed")
+
+#: Option fields that are *also* global run parameters (``seed`` shapes the
+#: synthetic dataset for every experiment).  They route into experiments that
+#: declare them — the fleet sweep seeds its workload generator — but setting
+#: them explicitly is never a routing error for experiments that don't.
+SHARED_OPTION_FIELDS = frozenset({"seed"})
 
 #: Default directory for ``run-all`` CSV artifacts.
 DEFAULT_CACHE_DIR = Path("results")
@@ -55,7 +61,9 @@ class RunConfig:
         all of them).
     seed:
         Synthesis seed override (``None`` = the default seed, making runs
-        reproducible across sessions).
+        reproducible across sessions).  Experiments that declare ``seed`` as
+        an option (the fleet contention sweep) additionally receive it to
+        seed their workload generation.
     cache_dir:
         Directory where ``run-all`` writes one CSV per figure.
     """
@@ -110,9 +118,16 @@ class RunConfig:
     # Declarative option routing
     # ------------------------------------------------------------------
     def explicit_options(self) -> frozenset[str]:
-        """Names of per-experiment options this configuration sets."""
+        """Names of per-experiment options this configuration sets.
+
+        Shared fields (:data:`SHARED_OPTION_FIELDS`) are excluded: setting
+        ``seed`` always parameterises dataset synthesis, so it is valid for
+        every experiment and must not trip the strict routing check.
+        """
         return frozenset(
-            name for name in OPTION_FIELDS if getattr(self, name) is not None
+            name
+            for name in OPTION_FIELDS
+            if name not in SHARED_OPTION_FIELDS and getattr(self, name) is not None
         )
 
     def experiment_kwargs(self, options: frozenset[str]) -> dict[str, int]:

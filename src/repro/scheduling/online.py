@@ -50,8 +50,11 @@ class ForecastDeferralPolicy(TemporalPolicy):
             horizon = job.window_hours
             predicted = np.asarray(self.forecaster.forecast(history, horizon), dtype=float)
             best = min_sum_contiguous_window(predicted, job.whole_hours)
-            start = arrival_hour + best.start
-            true_window = _cyclic_window(trace, start % len(trace), job.whole_hours)
+            # Reduce modulo the trace length: forecast-chosen starts past the
+            # end of the year wrap to its beginning, matching the clairvoyant
+            # policies' cyclic convention.
+            start = (arrival_hour + best.start) % len(trace)
+            true_window = _cyclic_window(trace, start, job.whole_hours)
             emissions = float(true_window.sum()) * job.power_kw * (
                 job.length_hours / job.whole_hours
             )

@@ -94,6 +94,20 @@ class ClusterTrace:
         """Arrival hours of all jobs."""
         return np.array([t.arrival_hour for t in self.jobs], dtype=int)
 
+    def scheduling_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-job ``(arrivals, lengths, deadlines, powers)`` arrays.
+
+        The flat-array form the vectorised slot/queue simulators consume:
+        arrival hours, whole-hour lengths, *true* deadlines
+        (``arrival + length + floor(slack)``, deliberately not clamped to any
+        horizon) and power draws, all in trace order.
+        """
+        arrivals = np.array([t.arrival_hour for t in self.jobs], dtype=np.int64)
+        lengths = np.array([t.job.whole_hours for t in self.jobs], dtype=np.int64)
+        slacks = np.array([int(t.job.slack_hours) for t in self.jobs], dtype=np.int64)
+        powers = np.array([t.job.power_kw for t in self.jobs], dtype=float)
+        return arrivals, lengths, arrivals + lengths + slacks, powers
+
     def origin_regions(self) -> tuple[str, ...]:
         """Distinct origin regions, sorted."""
         return tuple(sorted({t.origin_region for t in self.jobs}))

@@ -87,6 +87,32 @@ class TestCommands:
         assert exit_code == 0
         assert "job_length_hours" in capsys.readouterr().out
 
+    def test_run_fleet_writes_csv(self, capsys, tmp_path):
+        """Acceptance: `run fleet --regions SE,DE,US-CA --workers 2` works
+        end-to-end and produces a CSV."""
+        csv_path = tmp_path / "fleet.csv"
+        exit_code = main(
+            [
+                "run",
+                "fleet",
+                "--regions",
+                "SE,DE,US-CA",
+                "--years",
+                "2022",
+                "--workers",
+                "2",
+                "--seed",
+                "7",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert exit_code == 0
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert "saving_retained" in header
+        assert "slots_per_region" in header
+
     def test_undeclared_option_is_an_explicit_error(self):
         """--arrival-stride used to be silently dropped for experiments that
         don't take it; it must now raise a ConfigurationError."""
@@ -129,7 +155,7 @@ class TestRunAll:
         )
         assert exit_code == 0
         output = capsys.readouterr().out
-        assert "all 14 runnable experiments completed" in output
+        assert "all 15 runnable experiments completed" in output
         from repro.experiments import list_experiments
 
         for spec in list_experiments():

@@ -1,0 +1,304 @@
+"""Tests for the fleet-scale contention simulation subsystem."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CarbonDataset, RunConfig, default_catalog
+from repro.cloud.engine import simulate_slot_queue
+from repro.cloud.fleet import (
+    ADMISSION_FORECAST,
+    PLACEMENT_GREENEST,
+    PLACEMENT_ORIGIN,
+    FleetSimulator,
+)
+from repro.exceptions import ConfigurationError
+from repro.experiments import get_experiment
+from repro.experiments.fleet_contention import run_fleet
+from repro.timeseries.series import HourlySeries
+from repro.workloads.generator import ClusterTraceGenerator, GeneratorConfig
+from repro.workloads.traces import ClusterTrace
+
+#: Pool width forcing the pooled code path regardless of CI core count.
+POOL = 2
+
+FLEET_REGIONS = ("SE", "DE", "PL")
+HORIZON = 24 * 30
+
+
+@pytest.fixture(scope="module")
+def fleet_dataset():
+    """Three regions with clearly ordered annual means (SE greenest)."""
+    catalog = default_catalog().subset(FLEET_REGIONS)
+    hours = np.arange(HORIZON)
+    diurnal = np.cos(2 * np.pi * (hours - 14) / 24.0)
+    traces = {
+        ("SE", 2022): HourlySeries(60.0 + 25.0 * diurnal, name="SE"),
+        ("DE", 2022): HourlySeries(380.0 + 150.0 * diurnal, name="DE"),
+        ("PL", 2022): HourlySeries(660.0 + 90.0 * diurnal, name="PL"),
+    }
+    return CarbonDataset.from_traces(catalog, traces)
+
+
+@pytest.fixture(scope="module")
+def mixed_workload():
+    """A mixed workload (interactive + batch) with half the jobs migratable."""
+    generator = ClusterTraceGenerator(
+        GeneratorConfig(num_jobs=80, horizon_hours=HORIZON, seed=5)
+    )
+    return generator.generate_mixed(FLEET_REGIONS, migratable_fraction=0.5)
+
+
+class TestEngineValidation:
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ConfigurationError):
+            simulate_slot_queue(np.ones(4), np.array([0]), np.array([1]),
+                                np.array([1]), np.array([1.0]), num_slots=0)
+
+    def test_rejects_unknown_admission(self):
+        with pytest.raises(ConfigurationError):
+            simulate_slot_queue(np.ones(4), np.array([0]), np.array([1]),
+                                np.array([1]), np.array([1.0]), 1, admission="greedy")
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ConfigurationError):
+            simulate_slot_queue(np.ones(4), np.array([0, 1]), np.array([1]),
+                                np.array([1]), np.array([1.0]), 1)
+
+    def test_rejects_short_decision_trace(self):
+        with pytest.raises(ConfigurationError):
+            simulate_slot_queue(np.ones(4), np.array([0]), np.array([1]),
+                                np.array([1]), np.array([1.0]), 1,
+                                decision_values=np.ones(3))
+
+    def test_empty_workload(self):
+        outcome = simulate_slot_queue(
+            np.ones(4), np.array([], dtype=int), np.array([], dtype=int),
+            np.array([], dtype=int), np.array([], dtype=float), 1
+        )
+        assert outcome.completed_jobs == 0
+        assert outcome.total_emissions_g() == 0.0
+        assert outcome.mean_start_delay_hours() == 0.0
+
+
+class TestPlacement:
+    def test_origin_placement_keeps_jobs_home(self, fleet_dataset, mixed_workload):
+        simulator = FleetSimulator(fleet_dataset, slots_per_region=4)
+        by_region = simulator.place(mixed_workload, PLACEMENT_ORIGIN)
+        assert set(by_region) == set(mixed_workload.origin_regions())
+        for code, sub_trace in by_region.items():
+            assert all(t.origin_region == code for t in sub_trace)
+        assert sum(len(t) for t in by_region.values()) == len(mixed_workload)
+
+    def test_greenest_placement_respects_migratable(self, fleet_dataset, mixed_workload):
+        simulator = FleetSimulator(fleet_dataset, slots_per_region=4)
+        by_region = simulator.place(mixed_workload, PLACEMENT_GREENEST)
+        # SE has the lowest annual mean: every migratable job lands there,
+        # non-migratable jobs stay at their origin.
+        assert all(t.job.migratable for t in by_region["SE"] if t.origin_region != "SE")
+        for code in set(by_region) - {"SE"}:
+            assert all(not t.job.migratable for t in by_region[code])
+        assert sum(len(t) for t in by_region.values()) == len(mixed_workload)
+
+    def test_greenest_placement_with_candidate_list(self, fleet_dataset, mixed_workload):
+        simulator = FleetSimulator(fleet_dataset, slots_per_region=4)
+        by_region = simulator.place(
+            mixed_workload, PLACEMENT_GREENEST, candidates=("DE", "PL")
+        )
+        # DE is the greenest admissible candidate.
+        assert all(not t.job.migratable for t in by_region.get("PL", ()))
+        assert any(t.origin_region != "DE" for t in by_region["DE"])
+
+    def test_unknown_candidate_raises(self, fleet_dataset, mixed_workload):
+        simulator = FleetSimulator(fleet_dataset, slots_per_region=4)
+        with pytest.raises(ConfigurationError):
+            simulator.place(mixed_workload, PLACEMENT_GREENEST, candidates=("XX",))
+
+    def test_unknown_origin_raises(self, fleet_dataset):
+        generator = ClusterTraceGenerator(
+            GeneratorConfig(num_jobs=5, horizon_hours=HORIZON, seed=1)
+        )
+        workload = generator.generate(["US-CA"])
+        simulator = FleetSimulator(fleet_dataset, slots_per_region=4)
+        with pytest.raises(ConfigurationError):
+            simulator.place(workload, PLACEMENT_ORIGIN)
+
+    def test_unknown_placement_and_admission(self, fleet_dataset, mixed_workload):
+        simulator = FleetSimulator(fleet_dataset, slots_per_region=4)
+        with pytest.raises(ConfigurationError):
+            simulator.place(mixed_workload, "teleport")
+        with pytest.raises(ConfigurationError):
+            simulator.run(mixed_workload, admission="greedy")
+        with pytest.raises(ConfigurationError):
+            simulator.run(mixed_workload, admission=ADMISSION_FORECAST, error_magnitude=2.0)
+
+    def test_invalid_slots(self, fleet_dataset):
+        with pytest.raises(ConfigurationError):
+            FleetSimulator(fleet_dataset, slots_per_region=0)
+
+
+class TestFleetRuns:
+    def test_serial_and_pooled_runs_bit_identical(self, fleet_dataset, mixed_workload):
+        simulator = FleetSimulator(fleet_dataset, slots_per_region=2)
+        serial = simulator.run(
+            mixed_workload, PLACEMENT_GREENEST, ADMISSION_FORECAST,
+            error_magnitude=0.3, seed=9,
+        )
+        pooled = simulator.run(
+            mixed_workload, PLACEMENT_GREENEST, ADMISSION_FORECAST,
+            error_magnitude=0.3, seed=9, workers=POOL,
+        )
+        all_cpus = simulator.run(
+            mixed_workload, PLACEMENT_GREENEST, ADMISSION_FORECAST,
+            error_magnitude=0.3, seed=9, workers=-1,
+        )
+        assert serial == pooled  # frozen dataclasses: exact float equality
+        assert serial == all_cpus
+
+    def test_total_accounting_adds_up(self, fleet_dataset, mixed_workload):
+        simulator = FleetSimulator(fleet_dataset, slots_per_region=2)
+        result = simulator.run(mixed_workload, PLACEMENT_ORIGIN)
+        assert result.total_jobs == len(mixed_workload)
+        assert result.completed_jobs <= result.total_jobs
+        assert result.total_emissions_g > 0
+        assert result.total_emissions_g == pytest.approx(
+            sum(load.emissions_g for load in result.per_region)
+        )
+        assert result.max_queue_length >= 1
+
+    def test_zero_error_forecast_equals_clairvoyant(self, fleet_dataset, mixed_workload):
+        simulator = FleetSimulator(fleet_dataset, slots_per_region=2)
+        aware = simulator.run(mixed_workload, PLACEMENT_GREENEST, "carbon-aware")
+        forecast = simulator.run(
+            mixed_workload, PLACEMENT_GREENEST, ADMISSION_FORECAST, error_magnitude=0.0
+        )
+        assert forecast.per_region == aware.per_region
+
+    def test_forecast_error_is_deterministic_per_seed(self, fleet_dataset, mixed_workload):
+        simulator = FleetSimulator(fleet_dataset, slots_per_region=2)
+        first = simulator.run(
+            mixed_workload, PLACEMENT_GREENEST, ADMISSION_FORECAST,
+            error_magnitude=0.4, seed=3,
+        )
+        second = simulator.run(
+            mixed_workload, PLACEMENT_GREENEST, ADMISSION_FORECAST,
+            error_magnitude=0.4, seed=3,
+        )
+        assert first == second
+
+    def test_carbon_aware_saves_when_uncontended(self, fleet_dataset, mixed_workload):
+        roomy = FleetSimulator(fleet_dataset, slots_per_region=len(mixed_workload))
+        comparison = roomy.compare(mixed_workload, PLACEMENT_GREENEST)
+        assert (
+            comparison["carbon-aware"].total_emissions_g
+            <= comparison["fifo"].total_emissions_g + 1e-9
+        )
+
+    def test_contention_erodes_the_saving(self, fleet_dataset, mixed_workload):
+        def saving(slots):
+            comparison = FleetSimulator(fleet_dataset, slots).compare(
+                mixed_workload, PLACEMENT_GREENEST
+            )
+            fifo = comparison["fifo"].total_emissions_g
+            return (fifo - comparison["carbon-aware"].total_emissions_g) / fifo
+
+        assert saving(1) <= saving(len(mixed_workload)) + 1e-9
+
+    def test_busiest_region_is_the_greenest_under_consolidation(
+        self, fleet_dataset, mixed_workload
+    ):
+        simulator = FleetSimulator(fleet_dataset, slots_per_region=2)
+        result = simulator.run(mixed_workload, PLACEMENT_GREENEST)
+        assert result.busiest_region() == "SE"
+
+
+class TestFleetExperiment:
+    @pytest.fixture(scope="class")
+    def sweep(self, fleet_dataset):
+        return run_fleet(
+            fleet_dataset,
+            num_jobs=40,
+            slots_per_region=(1, 3),
+            migratable_fractions=(0.0, 1.0),
+            error_magnitudes=(0.0, 0.4),
+            seed=11,
+        )
+
+    def test_row_grid_is_complete(self, sweep):
+        assert len(sweep.rows_by_setting) == 2 * 2 * 2
+        row = sweep.row(1, 1.0, 0.4)
+        assert row.total_jobs == 40
+        assert row.fifo_emissions_g > 0
+        assert 0 <= row.completed_jobs <= row.total_jobs
+
+    def test_rows_tabular_form(self, sweep):
+        rows = sweep.rows()
+        assert len(rows) == 8
+        assert {"slots_per_region", "saving_fraction", "saving_retained"} <= set(rows[0])
+
+    def test_missing_row_raises(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.row(99, 0.0, 0.0)
+
+    def test_retained_by_slots_summary(self, sweep):
+        retained = sweep.retained_by_slots()
+        assert set(retained) == {1, 3}
+        assert all(value >= 0.0 for value in retained.values())
+
+    def test_contention_worsens_queueing(self, sweep):
+        """Tighter slot limits must never shorten queues or start delays —
+        the robust face of the contention argument (the emissions saving
+        itself need not be monotone: queueing also degrades the FIFO
+        baseline)."""
+        for fraction in (0.0, 1.0):
+            for error in (0.0, 0.4):
+                tight = sweep.row(1, fraction, error)
+                roomy = sweep.row(3, fraction, error)
+                assert tight.mean_start_delay_hours >= roomy.mean_start_delay_hours - 1e-9
+                assert tight.max_queue_length >= roomy.max_queue_length
+                assert tight.completed_jobs <= roomy.completed_jobs
+
+    def test_serial_and_pooled_sweeps_identical(self, fleet_dataset, sweep):
+        pooled = run_fleet(
+            fleet_dataset,
+            num_jobs=40,
+            slots_per_region=(1, 3),
+            migratable_fractions=(0.0, 1.0),
+            error_magnitudes=(0.0, 0.4),
+            seed=11,
+            workers=POOL,
+        )
+        assert sweep.rows() == pooled.rows()
+
+    def test_invalid_grids(self, fleet_dataset):
+        with pytest.raises(ConfigurationError):
+            run_fleet(fleet_dataset, slots_per_region=())
+        with pytest.raises(ConfigurationError):
+            run_fleet(fleet_dataset, num_jobs=0)
+
+    def test_registry_declares_fleet_options(self):
+        spec = get_experiment("fleet")
+        assert spec.options == frozenset({"workers", "seed", "sample_regions_per_group"})
+
+    def test_registry_routes_seed_and_sampling(self, fleet_dataset):
+        config = RunConfig(seed=11, workers=POOL, sample_regions_per_group=1)
+        result = get_experiment("fleet").execute(fleet_dataset, config)
+        assert result.rows()
+        # The routed seed matches an explicit keyword call.
+        explicit = run_fleet(
+            fleet_dataset, seed=11, workers=POOL, sample_regions_per_group=1
+        )
+        assert result.rows() == explicit.rows()
+
+    def test_sampled_origins_shrink_the_workload_spread(self, fleet_dataset):
+        result = run_fleet(
+            fleet_dataset,
+            num_jobs=30,
+            slots_per_region=(2,),
+            migratable_fractions=(0.0,),
+            error_magnitudes=(0.0,),
+            sample_regions_per_group=1,
+            seed=2,
+        )
+        assert result.rows()

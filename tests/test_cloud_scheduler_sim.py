@@ -103,3 +103,179 @@ class TestPolicyComparison:
             comparison["fifo"].total_emissions_g
         )
         assert comparison["carbon-aware"].mean_start_delay_hours == pytest.approx(0.0)
+
+
+def _random_workload(num_jobs, horizon, seed):
+    rng = np.random.default_rng(seed)
+    jobs = [
+        TraceJob(
+            job=Job.batch(
+                length_hours=int(length),
+                slack_hours=int(slack),
+                interruptible=False,
+                power_kw=float(power),
+            ),
+            arrival_hour=int(arrival),
+            origin_region="X",
+        )
+        for arrival, length, slack, power in zip(
+            rng.integers(0, horizon, num_jobs),
+            rng.integers(1, 40, num_jobs),
+            rng.integers(0, 96, num_jobs),
+            rng.uniform(0.5, 2.0, num_jobs),
+        )
+    ]
+    return ClusterTrace.from_jobs(jobs)
+
+
+class _EvenHourPolicy(FifoSchedulingPolicy):
+    """Custom policy exercising the reference-loop fallback path."""
+
+    name = "even-hours"
+
+    def wants_to_start(self, job, hour, trace):
+        return hour % 2 == 0 or hour >= job.deadline_hour - job.remaining_hours
+
+
+def _assert_equivalent(fast, reference):
+    """Engine vs reference contract: every decision-derived field is exactly
+    equal; emissions agree up to float-addition associativity (the engine's
+    event-driven span batching sums intensity segments before multiplying by
+    power)."""
+    assert fast.policy == reference.policy
+    assert fast.completed_jobs == reference.completed_jobs
+    assert fast.total_jobs == reference.total_jobs
+    assert fast.mean_start_delay_hours == reference.mean_start_delay_hours
+    assert fast.max_queue_length == reference.max_queue_length
+    assert fast.total_emissions_g == pytest.approx(
+        reference.total_emissions_g, rel=1e-12, abs=1e-9
+    )
+
+
+class TestVectorisedEngineEquivalence:
+    """The vectorised engine must reproduce the per-job reference loop:
+    identical decisions, emissions equal to within float associativity."""
+
+    @pytest.mark.parametrize("num_slots", [1, 3, 7, 200])
+    @pytest.mark.parametrize(
+        "policy", [FifoSchedulingPolicy(), CarbonAwareSchedulingPolicy()]
+    )
+    def test_run_matches_reference(self, valley_trace, num_slots, policy):
+        workload = _random_workload(150, len(valley_trace), seed=17)
+        simulator = ClusterSimulator(valley_trace, num_slots)
+        _assert_equivalent(
+            simulator.run(workload, policy),
+            simulator.run_reference(workload, policy),
+        )
+
+    def test_custom_policy_falls_back_to_reference(self, valley_trace):
+        workload = _random_workload(40, len(valley_trace), seed=3)
+        simulator = ClusterSimulator(valley_trace, num_slots=3)
+        policy = _EvenHourPolicy()
+        result = simulator.run(workload, policy)
+        assert result == simulator.run_reference(workload, policy)
+        assert result.policy == "even-hours"
+
+    def test_empty_workload(self, valley_trace):
+        simulator = ClusterSimulator(valley_trace, num_slots=2)
+        result = simulator.run(ClusterTrace(()), FifoSchedulingPolicy())
+        assert result.total_jobs == 0
+        assert result.total_emissions_g == 0.0
+        assert result.all_completed
+
+
+class TestTrueDeadlineSemantics:
+    """Late-arriving jobs keep their slack (the deadline is no longer clamped
+    to the horizon; only the carbon-aware search window is)."""
+
+    def test_late_arrival_defers_to_cheap_in_horizon_hours(self):
+        # Hours 40-43 expensive, 44-47 cheap.  A 4-hour job arriving at 40
+        # with huge slack used to be force-started at 40 (clamped deadline
+        # made `hour >= latest_start` fire); it must now wait for hour 44.
+        values = np.full(48, 1000.0)
+        values[44:] = 100.0
+        trace = HourlySeries(values, name="X")
+        job = TraceJob(
+            job=Job.batch(length_hours=4, slack_hours=100, interruptible=False),
+            arrival_hour=40,
+            origin_region="X",
+        )
+        workload = ClusterTrace.from_jobs([job])
+        simulator = ClusterSimulator(trace, num_slots=1)
+        result = simulator.run(workload, CarbonAwareSchedulingPolicy())
+        assert result.total_emissions_g == pytest.approx(4 * 100.0)
+        assert result.mean_start_delay_hours == pytest.approx(4.0)
+        assert result.all_completed
+        # The reference loop implements the same semantics.
+        _assert_equivalent(
+            result, simulator.run_reference(workload, CarbonAwareSchedulingPolicy())
+        )
+
+    def test_fifo_unaffected_by_deadline_semantics(self):
+        values = np.full(48, 1000.0)
+        values[44:] = 100.0
+        trace = HourlySeries(values, name="X")
+        workload = ClusterTrace.from_jobs(
+            [
+                TraceJob(
+                    job=Job.batch(length_hours=4, slack_hours=100),
+                    arrival_hour=40,
+                    origin_region="X",
+                )
+            ]
+        )
+        result = ClusterSimulator(trace, 1).run(workload, FifoSchedulingPolicy())
+        assert result.mean_start_delay_hours == pytest.approx(0.0)
+
+
+class TestPartialCompletionAccounting:
+    """Jobs the horizon cuts off keep their partial emissions but do not
+    count as completed."""
+
+    def test_unfinished_job_charges_partial_emissions(self):
+        trace = HourlySeries.constant(200.0, 10, name="X")
+        workload = ClusterTrace.from_jobs(
+            [
+                TraceJob(
+                    job=Job.batch(length_hours=8, slack_hours=0),
+                    arrival_hour=6,
+                    origin_region="X",
+                )
+            ]
+        )
+        result = ClusterSimulator(trace, 1).run(workload, FifoSchedulingPolicy())
+        assert result.completed_jobs == 0
+        assert not result.all_completed
+        # Started at 6, executed hours 6-9 (4 of 8) before the horizon.
+        assert result.total_emissions_g == pytest.approx(4 * 200.0)
+        assert result.mean_start_delay_hours == pytest.approx(0.0)
+        _assert_equivalent(
+            result,
+            ClusterSimulator(trace, 1).run_reference(workload, FifoSchedulingPolicy()),
+        )
+
+    def test_never_started_job_charges_nothing(self):
+        trace = HourlySeries.constant(200.0, 10, name="X")
+        # One slot: the second job queues behind an 8-hour job and the
+        # horizon ends before a slot frees up.
+        workload = ClusterTrace.from_jobs(
+            [
+                TraceJob(
+                    job=Job.batch(length_hours=8, slack_hours=0),
+                    arrival_hour=2,
+                    origin_region="X",
+                ),
+                TraceJob(
+                    job=Job.batch(length_hours=2, slack_hours=0),
+                    arrival_hour=3,
+                    origin_region="X",
+                ),
+            ]
+        )
+        result = ClusterSimulator(trace, 1).run(workload, FifoSchedulingPolicy())
+        assert result.completed_jobs == 1
+        assert result.total_jobs == 2
+        # Only the first job's 8 executed hours are charged.
+        assert result.total_emissions_g == pytest.approx(8 * 200.0)
+        # The queued job never started, so it contributes no start delay.
+        assert result.mean_start_delay_hours == pytest.approx(0.0)

@@ -27,6 +27,7 @@ class TestRegistry:
         expected = {
             "table1", "fig1", "fig3a", "fig3b", "fig4", "fig5", "fig6",
             "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "combined",
+            "fleet",
         }
         assert identifiers == expected
 

@@ -118,3 +118,37 @@ class TestSpatialErrorImpact:
     def test_empty_candidates_rejected(self, small_dataset):
         with pytest.raises(ConfigurationError):
             spatial_error_impact(small_dataset, 0.3, candidates=())
+
+    def test_per_region_error_draws_are_distinct(self):
+        """Every candidate region must draw its own forecast noise.
+
+        Two regions whose traces keep a strict 1 % ordering can only swap in
+        the *believed* ranking if their noise differs: a shared draw
+        multiplies both rows by the same factors, preserves the order
+        everywhere, and would make the carbon increase exactly zero.
+        """
+        from repro import CarbonDataset, default_catalog
+
+        rng = np.random.default_rng(23)
+        base = rng.uniform(200.0, 400.0, size=2000)
+        catalog = default_catalog().subset(("SE", "DE"))
+        dataset = CarbonDataset.from_traces(
+            catalog,
+            {
+                ("SE", 2022): HourlySeries(base, name="SE"),
+                ("DE", 2022): HourlySeries(base * 1.01, name="DE"),
+            },
+        )
+        impact = spatial_error_impact(dataset, 0.3, seed=4)
+        assert impact.carbon_increase > 0.0
+
+    def test_apply_values_matches_apply(self, diurnal_trace):
+        model = UniformErrorModel(magnitude=0.25, seed=9)
+        np.testing.assert_array_equal(
+            model.apply(diurnal_trace).values, model.apply_values(diurnal_trace.values)
+        )
+        # Zero magnitude is the identity on values.
+        identity = UniformErrorModel(magnitude=0.0, seed=9)
+        np.testing.assert_array_equal(
+            identity.apply_values(diurnal_trace.values), diurnal_trace.values
+        )

@@ -155,6 +155,17 @@ class TestRunConfig:
         with pytest.raises(ConfigurationError):
             RunConfig().experiment_kwargs(frozenset({"turbo"}))
 
+    def test_seed_is_a_shared_option(self):
+        """Setting --seed always shapes the dataset, so it must not trip the
+        strict routing check; it still routes into experiments that declare
+        it (the fleet sweep)."""
+        config = RunConfig(seed=7)
+        assert config.explicit_options() == frozenset()
+        assert config.experiment_kwargs(frozenset({"seed"})) == {"seed": 7}
+        assert config.experiment_kwargs(frozenset()) == {}
+        assert config_option(config, "seed", None, default=0) == 7
+        assert config_option(RunConfig(), "seed", None, default=0) == 0
+
     def test_build_dataset_respects_regions_years_and_seed(self):
         config = RunConfig(regions=("SE", "DE"), years=(2022,), seed=1234)
         dataset = config.build_dataset()
@@ -194,4 +205,5 @@ class TestConfigOption:
             "workers",
             "arrival_stride",
             "sample_regions_per_group",
+            "seed",
         }

@@ -131,6 +131,57 @@ class TestForecastDeferralPolicy:
         assert summary["online_mean"] <= summary["baseline_mean"] + 1e-6
         assert 0.0 <= summary["captured_fraction"] <= 1.0 + 1e-9
 
+    def test_year_end_arrival_wraps_start_hour(self, diurnal_trace):
+        """Regression: a forecast-chosen start past the year end must be
+        reduced modulo the trace length (the policies' cyclic convention),
+        not emitted as an out-of-trace absolute hour."""
+        from repro.forecast.models import Forecaster
+
+        class DescendingForecaster(Forecaster):
+            name = "descending"
+
+            def forecast(self, history, horizon_hours):
+                # Cheapest at the end of the horizon: forces the latest start.
+                return np.arange(float(horizon_hours), 0.0, -1.0)
+
+        job = Job.batch(length_hours=4, slack_hours=44)
+        arrival = 8758
+        result = ForecastDeferralPolicy(DescendingForecaster()).schedule(
+            job, diurnal_trace, arrival
+        )
+        start = result.slices[0].start_hour
+        # The latest window start is offset 44: (8758 + 44) % 8760 == 42.
+        assert start == 42
+        assert 0 <= start < len(diurnal_trace)
+        expected = float(diurnal_trace.window(42, 4, wrap=True).sum())
+        assert result.emissions_g == pytest.approx(expected)
+
+    def test_clairvoyance_gap_zero_ideal_reduction(self):
+        """On a flat trace deferral cannot reduce anything: the captured
+        fraction must take the zero-division branch, not blow up."""
+        flat = HourlySeries.constant(350.0, 24 * 40, name="flat")
+        job = Job.batch(length_hours=6, slack_hours=24)
+        summary = clairvoyance_gap(flat, job, [400, 500, 600])
+        assert summary["baseline_mean"] == pytest.approx(summary["clairvoyant_mean"])
+        assert summary["online_mean"] == pytest.approx(summary["baseline_mean"])
+        assert summary["captured_fraction"] == 0.0
+
+    def test_clairvoyance_gap_non_deferrable_job(self, diurnal_trace):
+        """Zero slack: all three policies coincide, captured fraction is 0."""
+        job = Job.batch(length_hours=6, slack_hours=0)
+        summary = clairvoyance_gap(diurnal_trace, job, [1000, 2000])
+        assert summary["online_mean"] == pytest.approx(summary["baseline_mean"])
+        assert summary["captured_fraction"] == 0.0
+
+    def test_clairvoyance_gap_captured_fraction_bounds(self, diurnal_trace):
+        """On a predictable trace with real headroom the forecast captures a
+        positive share of the clairvoyant reduction, never more than all
+        of it."""
+        job = Job.batch(length_hours=6, slack_hours=24)
+        summary = clairvoyance_gap(diurnal_trace, job, list(range(1000, 3000, 250)))
+        assert summary["baseline_mean"] > summary["clairvoyant_mean"]
+        assert 0.0 < summary["captured_fraction"] <= 1.0 + 1e-9
+
     def test_persistence_forecaster_can_be_injected(self, small_dataset):
         # A persistence forecast carries no signal about the future, so the
         # chosen window is effectively arbitrary within the slack; the result
