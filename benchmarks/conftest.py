@@ -12,16 +12,83 @@ are provided:
 Set the environment variable ``REPRO_BENCH_REGIONS`` to an integer to
 restrict the benchmarks to the first N catalog regions (useful on very slow
 machines); by default all 123 regions are used.
+
+Every session that executes at least one benchmark also persists its
+wall-clock table as a ``BENCH_<utc-timestamp>_<pid>.json`` artifact (one
+record per benchmark test: nodeid, seconds, outcome) — the first step of
+the ROADMAP's benchmark-tracking item, and what CI uploads so run-over-run
+history accumulates.  The directory defaults to ``bench-results/`` and can
+be redirected with ``REPRO_BENCH_JSON_DIR``; set it to an empty string to
+disable the artifact entirely.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 import sys
+import time
+from pathlib import Path
 
 import pytest
 
 from repro import CarbonDataset, default_catalog
+
+#: Wall-clock records of this session's benchmark tests, in execution order.
+_WALL_CLOCK_RECORDS: list[dict] = []
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Record each benchmark test's wall-clock duration as it finishes."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call":
+        _WALL_CLOCK_RECORDS.append(
+            {
+                "test": item.nodeid,
+                "seconds": round(report.duration, 6),
+                "outcome": report.outcome,
+            }
+        )
+
+
+def write_bench_json(records, out_dir=None):
+    """Persist one benchmark run's wall-clock table as ``BENCH_*.json``.
+
+    Returns the written path, or ``None`` when the artifact is disabled
+    (``REPRO_BENCH_JSON_DIR`` set to an empty string) or there is nothing
+    to record.
+    """
+    if not records:
+        return None
+    if out_dir is None:
+        raw = os.environ.get("REPRO_BENCH_JSON_DIR", "bench-results")
+        if not raw:
+            return None
+        out_dir = Path(raw)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+    path = out_dir / f"BENCH_{stamp}_{os.getpid()}.json"
+    payload = {
+        "created_utc": stamp,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "regions_limit": os.environ.get("REPRO_BENCH_REGIONS") or None,
+        "total_seconds": round(sum(r["seconds"] for r in records), 6),
+        "benchmarks": list(records),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the wall-clock artifact once the session is over."""
+    path = write_bench_json(_WALL_CLOCK_RECORDS)
+    if path is not None:
+        print(f"\nwrote benchmark wall-clock table to {path}")
 
 
 @pytest.fixture(autouse=True)

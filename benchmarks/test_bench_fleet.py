@@ -19,6 +19,7 @@ from repro.cloud import (
     CarbonAwareSchedulingPolicy,
     ClusterSimulator,
     FifoSchedulingPolicy,
+    PreemptiveCarbonAwareSchedulingPolicy,
 )
 from repro.experiments.fleet_contention import run_fleet
 from repro.reporting import format_table
@@ -60,34 +61,47 @@ def test_bench_engine_vs_reference_loop(benchmark):
         ("vectorised", simulator.run),
         ("reference", simulator.run_reference),
     ):
-        start = time.perf_counter()
-        results[label] = {
-            policy.name: runner(workload, policy)
-            for policy in (FifoSchedulingPolicy(), CarbonAwareSchedulingPolicy())
-        }
-        timings[label] = time.perf_counter() - start
+        results[label] = {}
+        timings[label] = {}
+        for policy in (
+            FifoSchedulingPolicy(),
+            CarbonAwareSchedulingPolicy(),
+            PreemptiveCarbonAwareSchedulingPolicy(),
+        ):
+            start = time.perf_counter()
+            results[label][policy.name] = runner(workload, policy)
+            timings[label][policy.name] = time.perf_counter() - start
 
-    # The engine must reproduce the reference loop: identical decisions,
-    # emissions equal to within float-addition associativity.
+    # The engine must reproduce the reference loop: identical decisions
+    # (including suspend/resume events of the preemptive policy), emissions
+    # equal to within float-addition associativity.
     for name in results["vectorised"]:
         fast, reference = results["vectorised"][name], results["reference"][name]
         assert fast.completed_jobs == reference.completed_jobs
         assert fast.mean_start_delay_hours == reference.mean_start_delay_hours
         assert fast.max_queue_length == reference.max_queue_length
+        assert fast.suspensions == reference.suspensions
         assert abs(fast.total_emissions_g - reference.total_emissions_g) <= (
             1e-9 * reference.total_emissions_g
         )
+    # The generator marks batch jobs interruptible by default, so the
+    # preemptive run must actually exercise the suspend/resume path.
+    assert results["vectorised"]["carbon-aware-preemptive"].suspensions > 0
 
     # Headline timing: the vectorised engine on the carbon-aware policy.
     run_once(benchmark, simulator.run, workload, CarbonAwareSchedulingPolicy())
 
     rows = [
         {
-            "engine": label,
-            "seconds": round(timings[label], 3),
-            "speedup_vs_reference": round(timings["reference"] / timings[label], 2),
+            "policy": name,
+            "vectorised_s": round(timings["vectorised"][name], 3),
+            "reference_s": round(timings["reference"][name], 3),
+            "speedup_vs_reference": round(
+                timings["reference"][name] / timings["vectorised"][name], 2
+            ),
+            "suspensions": results["vectorised"][name].suspensions,
         }
-        for label in ("vectorised", "reference")
+        for name in results["vectorised"]
     ]
     print()
     print(

@@ -10,12 +10,14 @@ from repro.cloud.capacity import (
 from repro.cloud.datacenter import Datacenter, DatacenterFleet
 from repro.cloud.engine import (
     ADMISSION_CARBON_AWARE,
+    ADMISSION_CARBON_AWARE_PREEMPTIVE,
     ADMISSION_FIFO,
     SlotQueueOutcome,
     simulate_slot_queue,
 )
 from repro.cloud.fleet import (
     ADMISSION_FORECAST,
+    ADMISSION_FORECAST_PREEMPTIVE,
     FLEET_ADMISSIONS,
     PLACEMENT_GREENEST,
     PLACEMENT_ORIGIN,
@@ -28,13 +30,16 @@ from repro.cloud.scheduler_sim import (
     CarbonAwareSchedulingPolicy,
     ClusterSimulator,
     FifoSchedulingPolicy,
+    PreemptiveCarbonAwareSchedulingPolicy,
     SimulationResult,
 )
 
 __all__ = [
     "ADMISSION_CARBON_AWARE",
+    "ADMISSION_CARBON_AWARE_PREEMPTIVE",
     "ADMISSION_FIFO",
     "ADMISSION_FORECAST",
+    "ADMISSION_FORECAST_PREEMPTIVE",
     "CapacityAssignment",
     "CarbonAwareSchedulingPolicy",
     "ClusterSimulator",
@@ -47,6 +52,7 @@ __all__ = [
     "LatencyModel",
     "PLACEMENT_GREENEST",
     "PLACEMENT_ORIGIN",
+    "PreemptiveCarbonAwareSchedulingPolicy",
     "RegionAssignment",
     "RegionLoadResult",
     "SimulationResult",

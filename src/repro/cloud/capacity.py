@@ -99,7 +99,11 @@ def waterfall_assignment(
     reachable:
         Optional per-origin set of admissible destination codes (e.g. the
         regions within a latency SLO).  The origin itself is always an
-        admissible "destination" (load can stay home).
+        admissible "destination" (load can stay home).  An origin *missing*
+        from the mapping is **unconstrained** — it may migrate anywhere,
+        exactly as if ``reachable`` had not been given for it.  To pin an
+        origin's load at home, list it with an empty (or origin-only)
+        reachability set; absence never silently freezes load.
 
     Returns
     -------
@@ -131,7 +135,13 @@ def waterfall_assignment(
         origin_intensity = intensities[origin]
         remaining = local_load
         placements: dict[str, float] = {}
-        allowed = set(reachable.get(origin, [])) if reachable is not None else None
+        # A missing origin is unconstrained (allowed = None), not frozen at
+        # home: only an explicit entry restricts where its load may go.
+        allowed = (
+            set(reachable[origin])
+            if reachable is not None and origin in reachable
+            else None
+        )
         if remaining > 0:
             for destination in greenest_first:
                 if intensities[destination] >= origin_intensity:

@@ -9,36 +9,55 @@ engine both simulators run on instead:
 
 * all job state (lengths, deadlines, power, emissions, start/finish hours)
   lives in flat NumPy arrays indexed by job;
-* started jobs run contiguously, so each job's emissions are charged *once*,
-  at start, as ``power × (prefix[end] − prefix[start])`` on a precomputed
+* emissions are charged per contiguous *run segment* as
+  ``power × (prefix[seg_end] − prefix[seg_start])`` on a precomputed
   prefix-sum of the region's intensity array — there is no per-hour
-  execution step at all;
+  execution step at all.  Under the non-preemptive admissions a job has
+  exactly one segment, charged once at start; under
+  :data:`ADMISSION_CARBON_AWARE_PREEMPTIVE` a segment is charged when it
+  ends (suspension, completion, or the horizon);
 * the loop is event-driven: it only visits hours where the schedule can
-  change — completions (a min-heap of finish times), arrivals, and, while a
-  slot is free with jobs queued, consecutive hours (admission decisions are
-  hourly).  Idle and fully-busy stretches are skipped outright;
-* admission decisions for a queue are computed at once, sharing one window
-  partition per distinct ``(latest start, length)`` pair — homogeneous
-  workloads evaluate a single partition per decision hour regardless of
-  queue length.
+  change — completions (a min-heap of finish times), arrivals, consecutive
+  hours while a free slot has jobs queued (admission is hourly), and
+  consecutive hours while an interruptible job is running under the
+  preemptive admission (suspension is hourly too).  Idle and fully-busy
+  stretches with nothing suspendable are skipped outright;
+* admission and suspension decisions for one hour are computed at once,
+  sharing one window partition per distinct ``(latest start, length)`` pair
+  — homogeneous workloads evaluate a single partition per decision hour
+  regardless of queue length.
 
 The prefix-sum accounting reorders float additions relative to a strictly
 hour-by-hour accumulation, so emissions may differ from the per-job
 reference loop in the last few ULPs (float addition is not associative).
-All *decisions* — starts, completions, queue depths, delays — are taken on
-raw trace values and are exactly identical to the reference loop; repeated
-runs of the engine itself (serial or pooled) are bit-identical.
+All *decisions* — starts, suspensions, completions, queue depths, delays —
+are taken on raw trace values and are exactly identical to the reference
+loop; repeated runs of the engine itself (serial or pooled) are
+bit-identical.
 
 Deadline semantics: a job's deadline is its *true* deadline
 (``arrival + length + slack``), which may fall beyond the simulated horizon
 for late-arriving jobs.  Only the carbon-aware *search window* is clamped to
 the horizon, so a late job keeps its slack and still picks the cheapest
 in-horizon hours instead of being force-started at arrival.
+
+Preemption semantics (:data:`ADMISSION_CARBON_AWARE_PREEMPTIVE`): a running
+job whose ``interruptible`` flag is set is re-evaluated every hour with the
+same threshold rule used for admission, on its *remaining* length and
+unchanged true deadline.  The moment the current hour stops being one of
+the ``remaining`` cheapest hours of its window, the job is suspended: its
+finished segment is charged, and it re-joins the queue *at its original
+arrival-order position*, so the lazy arrival-order admission scan and the
+per-``(latest start, length)`` memo keep working unchanged.  Jobs whose
+flag is unset run contiguously exactly as under
+:data:`ADMISSION_CARBON_AWARE` — a workload with no interruptible jobs is
+bit-identical between the two admissions.
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import insort
 from dataclasses import dataclass
 
 import numpy as np
@@ -48,7 +67,12 @@ from repro.exceptions import ConfigurationError
 #: Admission rules the engine understands.
 ADMISSION_FIFO = "fifo"
 ADMISSION_CARBON_AWARE = "carbon-aware"
-ADMISSION_KINDS = (ADMISSION_FIFO, ADMISSION_CARBON_AWARE)
+ADMISSION_CARBON_AWARE_PREEMPTIVE = "carbon-aware-preemptive"
+ADMISSION_KINDS = (
+    ADMISSION_FIFO,
+    ADMISSION_CARBON_AWARE,
+    ADMISSION_CARBON_AWARE_PREEMPTIVE,
+)
 
 
 @dataclass(frozen=True)
@@ -56,9 +80,11 @@ class SlotQueueOutcome:
     """Per-job outcome arrays of one slot/queue simulation.
 
     All arrays are indexed by the job's position in the input arrays.
-    ``start_hours``/``finish_hours`` are ``-1`` for jobs that never started
-    (or never finished) inside the horizon; such jobs still carry the
-    emissions of the hours they did execute.
+    ``start_hours`` is the hour of the job's *first* start (``-1`` for jobs
+    that never started inside the horizon); ``finish_hours`` is ``-1`` for
+    jobs that never finished.  Such jobs still carry the emissions of the
+    hours they did execute.  ``suspension_counts`` is all zeros except under
+    the preemptive admission.
     """
 
     emissions_g: np.ndarray
@@ -66,6 +92,7 @@ class SlotQueueOutcome:
     finish_hours: np.ndarray
     start_delays: tuple[float, ...]
     max_queue_length: int
+    suspension_counts: np.ndarray
 
     @property
     def completed_jobs(self) -> int:
@@ -76,6 +103,11 @@ class SlotQueueOutcome:
     def started_jobs(self) -> int:
         """Number of jobs that started inside the horizon."""
         return len(self.start_delays)
+
+    @property
+    def total_suspensions(self) -> int:
+        """Total suspend/resume events across all jobs."""
+        return int(self.suspension_counts.sum())
 
     def total_emissions_g(self) -> float:
         """Summed emissions in deterministic (input-order) accumulation."""
@@ -95,17 +127,19 @@ def carbon_aware_wants(
     deadline: int,
     memo: dict[tuple[int, int], bool] | None = None,
 ) -> bool:
-    """Whether a queued job wants to start at ``hour`` (threshold rule).
+    """Whether a job wants to run at ``hour`` (threshold rule).
 
-    A job starts when its slack has run out (``hour`` has reached its true
-    latest start) or when the current hour is within the ``length`` cheapest
-    hours of its search window — the stretch from ``hour`` to the latest
-    start, clamped to the horizon.  Decisions are taken on
-    ``decision_values`` (the true trace for the clairvoyant rule, a forecast
-    for the online rule).  ``memo`` — valid for one ``(hour, trace)`` only —
-    lets jobs sharing a ``(latest start, length)`` pair share a single
-    window partition, so homogeneous queues evaluate one partition per
-    decision hour regardless of depth.
+    A job wants the hour when its slack has run out (``hour`` has reached
+    its true latest start) or when the current hour is within the
+    ``length`` cheapest hours of its search window — the stretch from
+    ``hour`` to the latest start, clamped to the horizon.  Decisions are
+    taken on ``decision_values`` (the true trace for the clairvoyant rule, a
+    forecast for the online rule).  ``memo`` — valid for one
+    ``(hour, trace)`` only — lets jobs sharing a ``(latest start, length)``
+    pair share a single window partition, so homogeneous queues evaluate one
+    partition per decision hour regardless of depth.  The preemptive
+    admission applies the same rule to its *running* interruptible jobs
+    (with ``length`` being the remaining hours), sharing the same memo.
     """
     latest = deadline - length
     if hour >= latest:
@@ -133,6 +167,7 @@ def simulate_slot_queue(
     num_slots: int,
     admission: str = ADMISSION_FIFO,
     decision_values: np.ndarray | None = None,
+    interruptible: np.ndarray | None = None,
 ) -> SlotQueueOutcome:
     """Replay one region's jobs through a slot-limited queue.
 
@@ -149,16 +184,24 @@ def simulate_slot_queue(
         Concurrent execution slots of the region.
     admission:
         :data:`ADMISSION_FIFO` (start as soon as a slot frees up, in arrival
-        order) or :data:`ADMISSION_CARBON_AWARE` (threshold rule of
-        :func:`carbon_aware_wants`).
+        order), :data:`ADMISSION_CARBON_AWARE` (threshold rule of
+        :func:`carbon_aware_wants`, started jobs run contiguously) or
+        :data:`ADMISSION_CARBON_AWARE_PREEMPTIVE` (same threshold rule, but
+        a running *interruptible* job is suspended and re-queued the moment
+        the rule stops wanting the current hour).
     decision_values:
         Trace the carbon-aware rule *decides* on; defaults to
         ``true_values`` (clairvoyant).  Pass an error-injected forecast for
         forecast-driven admission — emissions are still charged on
         ``true_values``.
+    interruptible:
+        Per-job boolean array; only consulted by the preemptive admission
+        (jobs with a false flag always run contiguously).  Defaults to all
+        false.
 
-    Jobs start in arrival order among those that want to start; a started
-    job runs contiguously to completion.  Work left unfinished at the end of
+    Jobs start in arrival order among those that want to start; a suspended
+    job keeps its remaining length and true deadline and re-enters the
+    queue at its arrival-order position.  Work left unfinished at the end of
     the horizon keeps its partial emissions but no finish hour.
     """
     if num_slots <= 0:
@@ -183,80 +226,154 @@ def simulate_slot_queue(
     n = arrivals.size
     if not (lengths.size == deadlines.size == powers.size == n):
         raise ConfigurationError("per-job arrays must have the same length")
+    if interruptible is None:
+        interruptible = np.zeros(n, dtype=bool)
+    else:
+        interruptible = np.asarray(interruptible, dtype=bool)
+        if interruptible.size != n:
+            raise ConfigurationError("per-job arrays must have the same length")
     if n and (lengths.min() < 1 or arrivals.min() < 0):
         raise ConfigurationError("jobs need length >= 1 hour and arrival >= 0")
 
     emissions = np.zeros(n, dtype=float)
     start_hours = np.full(n, -1, dtype=np.int64)
     finish_hours = np.full(n, -1, dtype=np.int64)
+    suspension_counts = np.zeros(n, dtype=np.int64)
     start_delays: list[float] = []
     # Prefix sums of the intensity trace: a contiguous run over
     # [start, end) costs power × (prefix[end] − prefix[start]).
     prefix = np.concatenate(([0.0], np.cumsum(true_values)))
     order = np.argsort(arrivals, kind="stable")
     arrivals_list = arrivals.tolist()
-    lengths_list = lengths.tolist()
     deadlines_list = deadlines.tolist()
     powers_list = powers.tolist()
+    intr_list = interruptible.tolist()
     arrivals_sorted = [arrivals_list[index] for index in order]
     order_sorted = [int(index) for index in order]
+    rank_of = [0] * n  # inverse of order_sorted: job index -> arrival rank
+    for rank, index in enumerate(order_sorted):
+        rank_of[index] = rank
     fifo = admission == ADMISSION_FIFO
+    preemptive = admission == ADMISSION_CARBON_AWARE_PREEMPTIVE
+    # Remaining whole hours of each job as of its last segment boundary;
+    # while a job runs, its true remaining is ``remaining - (hour - seg_start)``.
+    remaining = lengths.tolist()
+    seg_start = [-1] * n
+    # Expected finish of the current segment; mismatching heap entries are
+    # stale leftovers of a suspension and are discarded on pop.
+    expected_finish = [-1] * n
+    # The queue holds positions in arrival-sorted order ("ranks"), kept
+    # ascending: fresh arrivals append the next-largest rank, and a
+    # suspended job re-enters at its original rank via one bisect —
+    # preserving the lazy arrival-order admission scan unchanged.
     queue: list[int] = []
     running: list[tuple[int, int]] = []  # min-heap of (finish hour, job index)
+    running_count = 0
+    #: Ranks of currently-running interruptible jobs (preemptive only),
+    #: ascending so the hourly suspension scan is deterministic.
+    running_intr: list[int] = []
     next_arrival = 0
     max_queue = 0
     hour = 0
     while hour < horizon:
         # Free the slots of jobs that completed by now.
         while running and running[0][0] <= hour:
-            heapq.heappop(running)
-        if not queue and not running:
+            fin, index = heapq.heappop(running)
+            if expected_finish[index] != fin:
+                continue  # stale entry of a job suspended mid-segment
+            expected_finish[index] = -1
+            running_count -= 1
+            if preemptive:
+                emissions[index] += powers_list[index] * (
+                    prefix[fin] - prefix[seg_start[index]]
+                )
+                finish_hours[index] = fin
+                remaining[index] = 0
+                if intr_list[index]:
+                    running_intr.remove(rank_of[index])
+                seg_start[index] = -1
+        if not queue and running_count == 0:
             # Idle: jump straight to the next arrival.
             if next_arrival >= n:
                 break
             hour = max(hour, arrivals_sorted[next_arrival])
             if hour >= horizon:
                 break
+        # One threshold-partition memo per hour, shared between the
+        # suspension scan and the admission scan.
+        memo: dict[tuple[int, int], bool] | None = None if fifo else {}
+        if preemptive and running_intr:
+            # Suspension scan: a running interruptible job that no longer
+            # wants this hour is suspended — its finished segment is charged
+            # and it re-joins the queue at its arrival-order rank.
+            for rank in list(running_intr):
+                index = order_sorted[rank]
+                left = remaining[index] - (hour - seg_start[index])
+                if carbon_aware_wants(
+                    decision, hour, left, deadlines_list[index], memo
+                ):
+                    continue
+                emissions[index] += powers_list[index] * (
+                    prefix[hour] - prefix[seg_start[index]]
+                )
+                remaining[index] = left
+                suspension_counts[index] += 1
+                seg_start[index] = -1
+                expected_finish[index] = -1  # invalidates the heap entry
+                running_count -= 1
+                running_intr.remove(rank)
+                insort(queue, rank)
         while next_arrival < n and arrivals_sorted[next_arrival] <= hour:
-            queue.append(order_sorted[next_arrival])
+            queue.append(next_arrival)  # ranks arrive in ascending order
             next_arrival += 1
         if len(queue) > max_queue:
             max_queue = len(queue)
-        free = num_slots - len(running)
+        free = num_slots - running_count
         if free > 0 and queue:
             # Lazy admission in arrival order: stop scanning once the slots
             # are full — jobs past that point keep their queue position
             # without being evaluated (or even touched; the tail is spliced
             # back with one slice).  The memo shares one threshold partition
             # per distinct (latest start, length) pair within this hour.
-            memo: dict[tuple[int, int], bool] = {}
             kept: list[int] = []
             scanned = 0
-            for index in queue:
+            for rank in queue:
                 if free == 0:
                     break
                 scanned += 1
+                index = order_sorted[rank]
                 if fifo or carbon_aware_wants(
-                    decision, hour, lengths_list[index], deadlines_list[index], memo
+                    decision, hour, remaining[index], deadlines_list[index], memo
                 ):
                     free -= 1
-                    start_hours[index] = hour
-                    start_delays.append(float(hour - arrivals_list[index]))
-                    end = hour + lengths_list[index]
-                    emissions[index] = powers_list[index] * (
-                        prefix[min(end, horizon)] - prefix[hour]
-                    )
-                    if end <= horizon:
-                        finish_hours[index] = end
+                    if start_hours[index] < 0:
+                        start_hours[index] = hour
+                        start_delays.append(float(hour - arrivals_list[index]))
+                    end = hour + remaining[index]
+                    seg_start[index] = hour
+                    expected_finish[index] = end
+                    if preemptive:
+                        # Segment accounting: the charge happens when the
+                        # segment ends (suspension, completion or horizon).
+                        if intr_list[index]:
+                            insort(running_intr, rank)
+                    else:
+                        emissions[index] = powers_list[index] * (
+                            prefix[min(end, horizon)] - prefix[hour]
+                        )
+                        if end <= horizon:
+                            finish_hours[index] = end
                     heapq.heappush(running, (end, index))
+                    running_count += 1
                 else:
-                    kept.append(index)
+                    kept.append(rank)
             queue = kept + queue[scanned:] if kept or scanned < len(queue) else []
         # Advance to the next hour at which the schedule can change: the
         # very next hour while an admission decision is pending (a free
-        # slot with jobs still queued), otherwise the next completion or
-        # arrival, whichever comes first.
-        if queue and len(running) < num_slots:
+        # slot with jobs still queued) or while an interruptible job is
+        # running under the preemptive admission (it may want to suspend),
+        # otherwise the next completion or arrival, whichever comes first.
+        if (queue and running_count < num_slots) or running_intr:
             hour += 1
         else:
             next_event = horizon
@@ -265,10 +382,28 @@ def simulate_slot_queue(
             if next_arrival < n:
                 next_event = min(next_event, arrivals_sorted[next_arrival])
             hour = max(hour + 1, next_event)
+    if preemptive:
+        # Charge the open segments of jobs the horizon cut off mid-run (a
+        # job finishing exactly at the horizon still counts as completed).
+        while running:
+            fin, index = heapq.heappop(running)
+            if expected_finish[index] != fin:
+                continue
+            expected_finish[index] = -1
+            if fin <= horizon:
+                emissions[index] += powers_list[index] * (
+                    prefix[fin] - prefix[seg_start[index]]
+                )
+                finish_hours[index] = fin
+            else:
+                emissions[index] += powers_list[index] * (
+                    prefix[horizon] - prefix[seg_start[index]]
+                )
     return SlotQueueOutcome(
         emissions_g=emissions,
         start_hours=start_hours,
         finish_hours=finish_hours,
         start_delays=tuple(start_delays),
         max_queue_length=max_queue,
+        suspension_counts=suspension_counts,
     )

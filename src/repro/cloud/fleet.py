@@ -15,13 +15,17 @@ imperfect forecast.  This module quantifies all three at once:
    consolidation creates contention: the migratable share of the fleet
    funnels into one green region.
 2. **Admission** — each region runs the slot-limited queue of
-   :mod:`repro.cloud.engine` under one of three rules: ``"fifo"``
+   :mod:`repro.cloud.engine` under one of five rules: ``"fifo"``
    (carbon-agnostic), ``"carbon-aware"`` (clairvoyant threshold rule on the
-   true trace) or ``"forecast"`` (the same rule deciding on an
-   error-injected forecast, charged against the true trace).
+   true trace), ``"forecast"`` (the same rule deciding on an error-injected
+   forecast, charged against the true trace), or the preemptive variants
+   ``"carbon-aware-preemptive"`` / ``"forecast-preemptive"``, under which a
+   running *interruptible* job is suspended at hour granularity and
+   re-queued with its remaining length and true deadline — the contended
+   counterpart of the §5.2.2 interruptibility upper bound.
 3. **Accounting** — executed hours are charged at the region's *true*
-   intensity; jobs the horizon cuts off keep their partial emissions but do
-   not count as completed.
+   intensity, per contiguous run segment; jobs the horizon cuts off keep
+   their partial emissions but do not count as completed.
 
 After placement the regions are independent, so the fleet fans out one
 shard per busy region through
@@ -39,6 +43,7 @@ import numpy as np
 
 from repro.cloud.engine import (
     ADMISSION_CARBON_AWARE,
+    ADMISSION_CARBON_AWARE_PREEMPTIVE,
     ADMISSION_FIFO,
     simulate_slot_queue,
 )
@@ -53,14 +58,32 @@ PLACEMENT_ORIGIN = "origin"
 PLACEMENT_GREENEST = "greenest"
 PLACEMENT_KINDS = (PLACEMENT_ORIGIN, PLACEMENT_GREENEST)
 
-#: Fleet admission rules (the engine's two, plus forecast-driven admission).
+#: Fleet admission rules (the engine's three, plus forecast-driven variants).
 ADMISSION_FORECAST = "forecast"
-FLEET_ADMISSIONS = (ADMISSION_FIFO, ADMISSION_CARBON_AWARE, ADMISSION_FORECAST)
+ADMISSION_FORECAST_PREEMPTIVE = "forecast-preemptive"
+FLEET_ADMISSIONS = (
+    ADMISSION_FIFO,
+    ADMISSION_CARBON_AWARE,
+    ADMISSION_CARBON_AWARE_PREEMPTIVE,
+    ADMISSION_FORECAST,
+    ADMISSION_FORECAST_PREEMPTIVE,
+)
+
+#: Fleet admissions that decide on an error-injected forecast, mapped to the
+#: engine admission they run under.
+_FORECAST_TO_ENGINE = {
+    ADMISSION_FORECAST: ADMISSION_CARBON_AWARE,
+    ADMISSION_FORECAST_PREEMPTIVE: ADMISSION_CARBON_AWARE_PREEMPTIVE,
+}
 
 
 @dataclass(frozen=True)
 class RegionLoadResult:
-    """Outcome of one region's slot-limited queue inside a fleet run."""
+    """Outcome of one region's slot-limited queue inside a fleet run.
+
+    ``suspensions`` counts suspend/resume events and is zero except under
+    the preemptive admissions.
+    """
 
     region: str
     num_jobs: int
@@ -69,6 +92,7 @@ class RegionLoadResult:
     emissions_g: float
     mean_start_delay_hours: float
     max_queue_length: int
+    suspensions: int = 0
 
 
 @dataclass(frozen=True)
@@ -124,6 +148,11 @@ class FleetResult:
         """Deepest queue observed in any region."""
         return max((load.max_queue_length for load in self.per_region), default=0)
 
+    @property
+    def total_suspensions(self) -> int:
+        """Suspend/resume events fleet-wide (zero unless preemptive)."""
+        return sum(load.suspensions for load in self.per_region)
+
     def busiest_region(self) -> str:
         """Region that received the most jobs."""
         if not self.per_region:
@@ -134,7 +163,16 @@ class FleetResult:
 def _fleet_region_shard(
     code: str,
     payload: tuple[
-        np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, int, str, float, int
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+        int,
+        str,
+        float,
+        int,
     ],
 ) -> RegionLoadResult:
     """Simulate one region's queue on its lean payload.
@@ -150,15 +188,15 @@ def _fleet_region_shard(
         lengths,
         deadlines,
         powers,
+        interruptible,
         num_slots,
         admission,
         error_magnitude,
         region_seed,
     ) = payload
     decision_values = None
-    engine_admission = admission
-    if admission == ADMISSION_FORECAST:
-        engine_admission = ADMISSION_CARBON_AWARE
+    engine_admission = _FORECAST_TO_ENGINE.get(admission, admission)
+    if admission in _FORECAST_TO_ENGINE:
         decision_values = UniformErrorModel(
             magnitude=error_magnitude, seed=region_seed
         ).apply_values(values)
@@ -171,6 +209,7 @@ def _fleet_region_shard(
         num_slots,
         admission=engine_admission,
         decision_values=decision_values,
+        interruptible=interruptible,
     )
     return RegionLoadResult(
         region=code,
@@ -180,6 +219,7 @@ def _fleet_region_shard(
         emissions_g=outcome.total_emissions_g(),
         mean_start_delay_hours=outcome.mean_start_delay_hours(),
         max_queue_length=outcome.max_queue_length,
+        suspensions=outcome.total_suspensions,
     )
 
 
@@ -217,9 +257,14 @@ class FleetSimulator:
 
         ``"origin"`` keeps each job home; ``"greenest"`` sends migratable
         jobs to the greenest candidate by annual mean (all dataset regions
-        by default) while non-migratable jobs stay at their origin.  The
-        returned mapping follows catalog order and contains only regions
-        that received at least one job.
+        by default) while non-migratable jobs stay at their origin.  A
+        migratable job only moves when the greenest candidate is *strictly
+        greener than its origin* — matching
+        :class:`~repro.scheduling.spatial.OneMigrationPolicy`, whose
+        candidate set always contains the origin; a restricted ``candidates``
+        list must never push work to a dirtier region.  The returned mapping
+        follows catalog order and contains only regions that received at
+        least one job.
         """
         if placement not in PLACEMENT_KINDS:
             raise ConfigurationError(
@@ -227,12 +272,14 @@ class FleetSimulator:
             )
         codes = self.dataset.codes()
         greenest = None
+        greenest_mean = 0.0
         if placement == PLACEMENT_GREENEST:
             pool = tuple(candidates) if candidates is not None else codes
             unknown = [code for code in pool if code not in self.dataset.catalog]
             if unknown:
                 raise ConfigurationError(f"unknown candidate regions {unknown}")
             greenest = self.dataset.greenest_of(pool, self.year)
+            greenest_mean = self.dataset.mean_intensity(greenest, self.year)
         jobs_by_region: dict[str, list] = {}
         for trace_job in workload:
             if trace_job.origin_region not in self.dataset.catalog:
@@ -240,7 +287,12 @@ class FleetSimulator:
                     f"job origin {trace_job.origin_region!r} is not in the dataset"
                 )
             destination = trace_job.origin_region
-            if greenest is not None and trace_job.job.migratable:
+            if (
+                greenest is not None
+                and trace_job.job.migratable
+                and greenest_mean
+                < self.dataset.mean_intensity(trace_job.origin_region, self.year)
+            ):
                 destination = greenest
             jobs_by_region.setdefault(destination, []).append(trace_job)
         return {
@@ -268,8 +320,11 @@ class FleetSimulator:
         placement:
             Spatial rule (see :meth:`place`).
         admission:
-            ``"fifo"``, ``"carbon-aware"`` (clairvoyant) or ``"forecast"``
-            (decides on an error-injected trace, pays the true one).
+            ``"fifo"``, ``"carbon-aware"`` (clairvoyant), ``"forecast"``
+            (decides on an error-injected trace, pays the true one), or the
+            preemptive variants ``"carbon-aware-preemptive"`` /
+            ``"forecast-preemptive"`` that may suspend and re-queue running
+            interruptible jobs at hour granularity.
         candidates:
             Admissible migration destinations for ``"greenest"`` placement
             (default: every dataset region).
@@ -298,7 +353,9 @@ class FleetSimulator:
         catalog_index = {code: index for index, code in enumerate(self.dataset.codes())}
         payloads = []
         for code in codes:
-            arrivals, lengths, deadlines, powers = by_region[code].scheduling_arrays()
+            arrivals, lengths, deadlines, powers, interruptible = by_region[
+                code
+            ].scheduling_arrays()
             payloads.append(
                 (
                     self.dataset.trace_values(code, self.year),
@@ -306,6 +363,7 @@ class FleetSimulator:
                     lengths,
                     deadlines,
                     powers,
+                    interruptible,
                     self.slots_per_region,
                     admission,
                     float(error_magnitude),
@@ -328,10 +386,21 @@ class FleetSimulator:
         error_magnitude: float = 0.0,
         seed: int = 0,
         workers: int | None = None,
+        preemptive: bool = False,
     ) -> dict[str, FleetResult]:
         """FIFO versus carbon-aware (or forecast-driven, if ``error_magnitude``
-        is positive) admission on the same placed workload."""
-        aware = ADMISSION_FORECAST if error_magnitude > 0 else ADMISSION_CARBON_AWARE
+        is positive) admission on the same placed workload.  ``preemptive``
+        switches the aware arm to its suspend/resume variant."""
+        if error_magnitude > 0:
+            aware = (
+                ADMISSION_FORECAST_PREEMPTIVE if preemptive else ADMISSION_FORECAST
+            )
+        else:
+            aware = (
+                ADMISSION_CARBON_AWARE_PREEMPTIVE
+                if preemptive
+                else ADMISSION_CARBON_AWARE
+            )
         return {
             ADMISSION_FIFO: self.run(
                 workload, placement, ADMISSION_FIFO, workers=workers

@@ -6,14 +6,21 @@ low-carbon periods* will erode the temporal savings further (§5.2.5).  This
 module provides a small discrete-time simulator to quantify that effect: a
 single region has a fixed number of execution slots, jobs arrive over time
 with a slack, and a scheduling policy decides which queued jobs run each
-hour.  Two policies are provided:
+hour.  Three policies are provided:
 
 * :class:`FifoSchedulingPolicy` — run jobs as soon as a slot is free
   (carbon-agnostic).
 * :class:`CarbonAwareSchedulingPolicy` — a job only starts in the current
   hour if the hour is "cheap" relative to the cheapest hours left inside the
   job's remaining slack window (threshold rule on the forecastable trace);
-  jobs whose slack has run out start unconditionally.
+  jobs whose slack has run out start unconditionally.  Started jobs run
+  contiguously.
+* :class:`PreemptiveCarbonAwareSchedulingPolicy` — the same threshold rule,
+  but a running *interruptible* job is suspended at hour granularity the
+  moment the rule stops wanting the current hour, and re-queued with its
+  remaining length and true deadline (the contended counterpart of the
+  :class:`~repro.scheduling.temporal.InterruptiblePolicy` upper bound,
+  §5.2.2).
 
 The simulator charges emissions per executed hour at the trace's intensity
 and reports total emissions, so the carbon saving of carbon-aware queueing
@@ -25,18 +32,21 @@ per hour for the whole queue, event-driven multi-hour execution spans);
 custom :class:`SchedulingPolicy` subclasses fall back to the per-job
 reference loop, which is also kept as
 :meth:`ClusterSimulator.run_reference` so tests and benchmarks can assert
-the engine reproduces it — identical decisions, emissions equal to within
-float-addition associativity.
+the engine reproduces it — identical decisions (starts, suspensions,
+completions, queue depths), emissions equal to within float-addition
+associativity.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.cloud.engine import (
     ADMISSION_CARBON_AWARE,
+    ADMISSION_CARBON_AWARE_PREEMPTIVE,
     ADMISSION_FIFO,
     simulate_slot_queue,
 )
@@ -52,6 +62,9 @@ class _PendingJob:
     trace_job: TraceJob
     remaining_hours: int
     deadline_hour: int
+    #: Position in arrival-sorted order; a suspended job re-enters the queue
+    #: at this rank, mirroring the engine's re-queueing rule.
+    rank: int = 0
     started: bool = False
     finished_hour: int | None = None
     emissions_g: float = 0.0
@@ -63,7 +76,8 @@ class SimulationResult:
 
     ``completed_jobs`` counts only jobs that finished inside the simulated
     horizon; ``total_emissions_g`` still includes the partial emissions of
-    jobs the horizon cut off mid-run.
+    jobs the horizon cut off mid-run.  ``suspensions`` counts suspend/resume
+    events and is zero for non-preemptive policies.
     """
 
     policy: str
@@ -72,6 +86,7 @@ class SimulationResult:
     total_jobs: int
     mean_start_delay_hours: float
     max_queue_length: int
+    suspensions: int = 0
 
     @property
     def all_completed(self) -> bool:
@@ -80,9 +95,18 @@ class SimulationResult:
 
 
 class SchedulingPolicy:
-    """Decides which queued jobs may start in the current hour."""
+    """Decides which queued jobs may start in the current hour.
+
+    Policies with :attr:`preemptive` set additionally re-evaluate
+    ``wants_to_start`` for every running *interruptible* job each hour; a
+    job whose answer turns false is suspended and re-queued at its
+    arrival-order position with its remaining length and true deadline.
+    """
 
     name = "base"
+    #: Whether running interruptible jobs are re-evaluated (and possibly
+    #: suspended) every hour.
+    preemptive = False
 
     def wants_to_start(
         self, job: _PendingJob, hour: int, trace: HourlySeries
@@ -127,10 +151,28 @@ class CarbonAwareSchedulingPolicy(SchedulingPolicy):
         return trace.values[hour] <= threshold
 
 
+class PreemptiveCarbonAwareSchedulingPolicy(CarbonAwareSchedulingPolicy):
+    """Carbon-aware admission plus hour-granularity suspend/resume.
+
+    The same threshold rule as :class:`CarbonAwareSchedulingPolicy` governs
+    both starting *and staying started*: every hour a running job whose
+    ``interruptible`` flag is set is re-evaluated on its remaining length,
+    and suspended (segment charged, job re-queued in arrival order, keeping
+    its true deadline) when the current hour is no longer among the
+    remaining cheapest hours of its window.  Non-interruptible jobs run
+    contiguously exactly as under the non-preemptive policy, so a workload
+    without interruptible jobs is bit-identical between the two.
+    """
+
+    name = "carbon-aware-preemptive"
+    preemptive = True
+
+
 #: Built-in policies the vectorised engine implements directly.
 _ENGINE_ADMISSIONS: dict[type, str] = {
     FifoSchedulingPolicy: ADMISSION_FIFO,
     CarbonAwareSchedulingPolicy: ADMISSION_CARBON_AWARE,
+    PreemptiveCarbonAwareSchedulingPolicy: ADMISSION_CARBON_AWARE_PREEMPTIVE,
 }
 
 
@@ -156,7 +198,9 @@ class ClusterSimulator:
         admission = _ENGINE_ADMISSIONS.get(type(policy))
         if admission is None:
             return self.run_reference(workload, policy)
-        arrivals, lengths, deadlines, powers = workload.scheduling_arrays()
+        arrivals, lengths, deadlines, powers, interruptible = (
+            workload.scheduling_arrays()
+        )
         outcome = simulate_slot_queue(
             self.trace.values,
             arrivals,
@@ -165,6 +209,7 @@ class ClusterSimulator:
             powers,
             self.num_slots,
             admission=admission,
+            interruptible=interruptible,
         )
         # Accumulate totals in arrival order, matching the reference loop's
         # float-summation order exactly.
@@ -176,6 +221,7 @@ class ClusterSimulator:
             total_jobs=len(workload),
             mean_start_delay_hours=outcome.mean_start_delay_hours(),
             max_queue_length=outcome.max_queue_length,
+            suspensions=outcome.total_suspensions,
         )
 
     def run_reference(
@@ -185,7 +231,8 @@ class ClusterSimulator:
 
         Kept as the behavioural oracle for the vectorised engine (the
         equivalence is asserted in the tests and benchmarked) and as the
-        fallback for custom :class:`SchedulingPolicy` subclasses.
+        fallback for custom :class:`SchedulingPolicy` subclasses —
+        including preemptive ones.
         """
         horizon = len(self.trace)
         pending: list[_PendingJob] = []
@@ -203,15 +250,30 @@ class ClusterSimulator:
                 )
             )
         pending.sort(key=lambda j: j.trace_job.arrival_hour)
+        for rank, job in enumerate(pending):
+            job.rank = rank
 
         running: list[_PendingJob] = []
         queued: list[_PendingJob] = []
         start_delays: list[float] = []
         max_queue = 0
+        suspensions = 0
         next_arrival = 0
 
         for hour in range(horizon):
             intensity = self.trace.values[hour]
+            if policy.preemptive and running:
+                # Suspension scan: a running interruptible job that no
+                # longer wants this hour is re-queued at its arrival rank
+                # (it does not execute this hour).
+                for job in sorted(running, key=lambda j: j.rank):
+                    if not job.trace_job.job.interruptible:
+                        continue
+                    if policy.wants_to_start(job, hour, self.trace):
+                        continue
+                    running.remove(job)
+                    insort(queued, job, key=lambda j: j.rank)
+                    suspensions += 1
             # Admit arrivals.
             while next_arrival < len(pending) and pending[next_arrival].trace_job.arrival_hour <= hour:
                 queued.append(pending[next_arrival])
@@ -249,6 +311,7 @@ class ClusterSimulator:
             total_jobs=len(pending),
             mean_start_delay_hours=float(np.mean(start_delays)) if start_delays else 0.0,
             max_queue_length=max_queue,
+            suspensions=suspensions,
         )
 
     def compare(self, workload: ClusterTrace) -> dict[str, SimulationResult]:

@@ -2,19 +2,27 @@
 
 The paper's per-job savings assume an uncontended cluster.  This experiment
 replays a synthetic mixed workload (interactive + batch, partially
-migratable) through the :class:`~repro.cloud.fleet.FleetSimulator` and
-sweeps the three practical constraints of §5.2.5/§6.1–§6.2 jointly:
+migratable, partially interruptible) through the
+:class:`~repro.cloud.fleet.FleetSimulator` and sweeps the practical
+constraints of §5.2.2/§5.2.5/§6.1–§6.2 jointly:
 
 * **slots per region** — how many jobs a region can run concurrently;
 * **migratable fraction** — how much of the batch fleet may consolidate
   into the greenest region (spatial placement), the §6.1 mixed-workload
   knob;
+* **interruptible fraction** — how much of the batch fleet may be suspended
+  and resumed at hour granularity (the §5.2.2 interruptibility dimension,
+  run under the preemptive admission instead of as an isolated-job bound);
 * **forecast error** — the admission rule decides on an error-injected
   trace but pays the true one, the §6.2 imperfect-forecast knob.
 
-Each setting reports the carbon-aware saving over FIFO *and* the fraction
-of the uncontended (slots ≈ ∞) saving that survives the slot limit —
-``saving_retained`` is the experiment's headline column.
+Each setting reports the carbon-aware saving over FIFO, the fraction of the
+uncontended (slots ≈ ∞) saving that survives the slot limit
+(``saving_retained``, the experiment's headline column), and the fraction of
+the uncontended *per-job* :class:`~repro.scheduling.temporal.InterruptiblePolicy`
+bound the contended fleet still realises (``bound_saving_retained``) — the
+direct answer to "how much of Figure 8's interruptibility benefit survives
+slot limits".
 """
 
 from __future__ import annotations
@@ -22,18 +30,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.cloud.engine import ADMISSION_CARBON_AWARE, ADMISSION_FIFO
-from repro.cloud.fleet import ADMISSION_FORECAST, PLACEMENT_GREENEST, FleetSimulator
+from repro.cloud.engine import ADMISSION_CARBON_AWARE_PREEMPTIVE, ADMISSION_FIFO
+from repro.cloud.fleet import (
+    ADMISSION_FORECAST_PREEMPTIVE,
+    PLACEMENT_GREENEST,
+    FleetSimulator,
+)
 from repro.exceptions import ConfigurationError
 from repro.grid.dataset import CarbonDataset
 from repro.runtime import RunConfig, config_option
+from repro.scheduling.temporal import CarbonAgnosticPolicy, InterruptiblePolicy
 from repro.workloads.distributions import EQUAL_DISTRIBUTION, JobLengthDistribution
 from repro.workloads.generator import ClusterTraceGenerator, GeneratorConfig
+from repro.workloads.traces import ClusterTrace
 
 #: Default sweep grids: one tight and one roomy slot limit, fully pinned vs
-#: fully migratable batch jobs, perfect vs CarbonCast-grade forecasts.
+#: fully migratable batch jobs, fully contiguous vs fully interruptible
+#: batch jobs, perfect vs CarbonCast-grade forecasts.
 DEFAULT_SLOTS = (2, 8)
 DEFAULT_MIGRATABLE_FRACTIONS = (0.0, 1.0)
+DEFAULT_INTERRUPTIBLE_FRACTIONS = (0.0, 1.0)
 DEFAULT_ERROR_MAGNITUDES = (0.0, 0.3)
 DEFAULT_NUM_JOBS = 300
 DEFAULT_BATCH_SLACK_HOURS = 48.0
@@ -41,18 +57,21 @@ DEFAULT_BATCH_SLACK_HOURS = 48.0
 
 @dataclass(frozen=True)
 class FleetContentionRow:
-    """One sweep setting: a (slots, migratable fraction, error) cell."""
+    """One sweep setting: a (slots, migratable, interruptible, error) cell."""
 
     slots_per_region: int
     migratable_fraction: float
+    interruptible_fraction: float
     error_magnitude: float
     fifo_emissions_g: float
     aware_emissions_g: float
     uncontended_saving_fraction: float
+    bound_saving_fraction: float
     completed_jobs: int
     total_jobs: int
     mean_start_delay_hours: float
     max_queue_length: int
+    suspensions: int
 
     @property
     def saving_fraction(self) -> float:
@@ -63,10 +82,31 @@ class FleetContentionRow:
 
     @property
     def saving_retained(self) -> float:
-        """Fraction of the uncontended saving that survives contention."""
+        """Fraction of the uncontended saving that survives contention.
+
+        When the uncontended bound offers no saving at all, the convention
+        matches :func:`repro.scheduling.online.clairvoyance_gap`: ``1.0``
+        if the contended fleet does not lose to FIFO (it retained all of
+        the nothing there was), ``0.0`` only on an actual loss.
+        """
         if self.uncontended_saving_fraction <= 0:
-            return 0.0
+            return 1.0 if self.saving_fraction >= 0 else 0.0
         return self.saving_fraction / self.uncontended_saving_fraction
+
+    @property
+    def bound_saving_retained(self) -> float:
+        """Fraction of the per-job ``InterruptiblePolicy`` bound realised.
+
+        The bound evaluates every placed job in isolation with the §5.2.2
+        upper-bound policy (interruptible jobs run their window's cheapest
+        hours, the rest degrade to contiguous deferral), so this column is
+        how much of Figure 8's benefit the slot-limited fleet keeps.  A
+        zero bound uses the same degenerate-case convention as
+        :attr:`saving_retained`.
+        """
+        if self.bound_saving_fraction <= 0:
+            return 1.0 if self.saving_fraction >= 0 else 0.0
+        return self.saving_fraction / self.bound_saving_fraction
 
 
 @dataclass(frozen=True)
@@ -79,7 +119,11 @@ class FleetContentionResult:
     uncontended_slots: int
 
     def row(
-        self, slots: int, migratable_fraction: float, error_magnitude: float
+        self,
+        slots: int,
+        migratable_fraction: float,
+        error_magnitude: float,
+        interruptible_fraction: float = 0.0,
     ) -> FleetContentionRow:
         """The row for one sweep setting."""
         for entry in self.rows_by_setting:
@@ -87,9 +131,12 @@ class FleetContentionResult:
                 entry.slots_per_region == slots
                 and entry.migratable_fraction == migratable_fraction
                 and entry.error_magnitude == error_magnitude
+                and entry.interruptible_fraction == interruptible_fraction
             ):
                 return entry
-        raise KeyError((slots, migratable_fraction, error_magnitude))
+        raise KeyError(
+            (slots, migratable_fraction, error_magnitude, interruptible_fraction)
+        )
 
     def retained_by_slots(self) -> dict[int, float]:
         """Mean ``saving_retained`` per slot limit, across all other knobs.
@@ -114,16 +161,20 @@ class FleetContentionResult:
             {
                 "slots_per_region": r.slots_per_region,
                 "migratable_fraction": r.migratable_fraction,
+                "interruptible_fraction": r.interruptible_fraction,
                 "error_magnitude": r.error_magnitude,
                 "fifo_emissions_g": r.fifo_emissions_g,
                 "aware_emissions_g": r.aware_emissions_g,
                 "saving_fraction": r.saving_fraction,
                 "uncontended_saving_fraction": r.uncontended_saving_fraction,
                 "saving_retained": r.saving_retained,
+                "bound_saving_fraction": r.bound_saving_fraction,
+                "bound_saving_retained": r.bound_saving_retained,
                 "completed_jobs": r.completed_jobs,
                 "total_jobs": r.total_jobs,
                 "mean_start_delay_hours": r.mean_start_delay_hours,
                 "max_queue_length": r.max_queue_length,
+                "suspensions": r.suspensions,
             }
             for r in self.rows_by_setting
         ]
@@ -145,11 +196,44 @@ def _sampled_origins(
     return tuple(origins)
 
 
+def _interruptible_bound_saving(
+    dataset: CarbonDataset,
+    workload: ClusterTrace,
+    placement: str,
+    year: int | None,
+) -> float:
+    """Uncontended per-job bound of the placed workload (§5.2.2).
+
+    Every placed job is evaluated in isolation on its destination trace:
+    the :class:`InterruptiblePolicy` upper bound (which degrades to
+    contiguous deferral for non-interruptible jobs and to the baseline for
+    non-deferrable ones) against the carbon-agnostic baseline.  Returns the
+    fractional saving; the contended rows report how much of it survives.
+    """
+    placer = FleetSimulator(dataset, slots_per_region=1, year=year)
+    bound_policy = InterruptiblePolicy()
+    agnostic = CarbonAgnosticPolicy()
+    baseline_total = bound_total = 0.0
+    for code, sub_trace in placer.place(workload, placement).items():
+        trace = dataset.series(code, year)
+        for trace_job in sub_trace:
+            baseline_total += agnostic.schedule(
+                trace_job.job, trace, trace_job.arrival_hour
+            ).emissions_g
+            bound_total += bound_policy.schedule(
+                trace_job.job, trace, trace_job.arrival_hour
+            ).emissions_g
+    if baseline_total <= 0:
+        return 0.0
+    return (baseline_total - bound_total) / baseline_total
+
+
 def run_fleet(
     dataset: CarbonDataset,
     num_jobs: int = DEFAULT_NUM_JOBS,
     slots_per_region: Sequence[int] = DEFAULT_SLOTS,
     migratable_fractions: Sequence[float] = DEFAULT_MIGRATABLE_FRACTIONS,
+    interruptible_fractions: Sequence[float] = DEFAULT_INTERRUPTIBLE_FRACTIONS,
     error_magnitudes: Sequence[float] = DEFAULT_ERROR_MAGNITUDES,
     placement: str = PLACEMENT_GREENEST,
     batch_slack_hours: float = DEFAULT_BATCH_SLACK_HOURS,
@@ -160,14 +244,17 @@ def run_fleet(
     sample_regions_per_group: int | None = None,
     config: RunConfig | None = None,
 ) -> FleetContentionResult:
-    """Sweep slots × migratable fraction × forecast error across the fleet.
+    """Sweep slots × migratable × interruptible × forecast error fleet-wide.
 
-    For every migratable fraction one workload is generated (same seed, so
-    settings differ only in the knob under study), placed with the given
-    placement rule, and replayed under FIFO and carbon-aware/forecast
-    admission at each slot limit plus an uncontended reference
-    (``slots = num_jobs``, so no job ever queues behind another).  Emissions
-    are always charged on the true traces.
+    For every (migratable, interruptible) fraction pair one workload is
+    generated (same seed, so settings differ only in the knobs under
+    study), placed with the given placement rule, and replayed under FIFO
+    and preemptive carbon-aware/forecast admission at each slot limit plus
+    an uncontended reference (``slots = num_jobs``, so no job ever queues
+    behind another).  Jobs whose ``interruptible`` flag is set may be
+    suspended and resumed at hour granularity; an interruptible fraction of
+    ``0.0`` runs every job contiguously and reproduces the non-preemptive
+    sweep bit-for-bit.  Emissions are always charged on the true traces.
 
     ``workers`` fans each fleet replay out per busy region via
     :func:`repro.runtime.parallel_map_regions`; serial and pooled sweeps
@@ -183,8 +270,9 @@ def run_fleet(
     )
     slots_grid = tuple(int(slots) for slots in slots_per_region)
     fractions = tuple(float(fraction) for fraction in migratable_fractions)
+    intr_fractions = tuple(float(fraction) for fraction in interruptible_fractions)
     errors = tuple(float(error) for error in error_magnitudes)
-    if not slots_grid or not fractions or not errors:
+    if not slots_grid or not fractions or not intr_fractions or not errors:
         raise ConfigurationError("all sweep grids must be non-empty")
     if num_jobs <= 0:
         raise ConfigurationError("num_jobs must be positive")
@@ -203,48 +291,62 @@ def run_fleet(
 
     rows: list[FleetContentionRow] = []
     for fraction in fractions:
-        workload = generator.generate_mixed(origins, fraction)
+        # FIFO ignores interruptibility, so one set of baseline runs serves
+        # every interruptible fraction of this migratable fraction.
+        base_workload = generator.generate_mixed(origins, fraction)
         fifo_by_slots = {
             slots: FleetSimulator(dataset, slots, year).run(
-                workload, placement, ADMISSION_FIFO, workers=workers
+                base_workload, placement, ADMISSION_FIFO, workers=workers
             )
             for slots in (*slots_grid, uncontended)
         }
-        for error in errors:
-            admission = ADMISSION_FORECAST if error > 0 else ADMISSION_CARBON_AWARE
-            aware_by_slots = {
-                slots: FleetSimulator(dataset, slots, year).run(
-                    workload,
-                    placement,
-                    admission,
-                    error_magnitude=error,
-                    seed=int(seed),
-                    workers=workers,
-                )
-                for slots in (*slots_grid, uncontended)
-            }
-            fifo_free = fifo_by_slots[uncontended].total_emissions_g
-            aware_free = aware_by_slots[uncontended].total_emissions_g
-            uncontended_saving = (
-                (fifo_free - aware_free) / fifo_free if fifo_free > 0 else 0.0
+        for intr_fraction in intr_fractions:
+            workload = generator.generate_mixed(origins, fraction, intr_fraction)
+            bound_saving = _interruptible_bound_saving(
+                dataset, workload, placement, year
             )
-            for slots in slots_grid:
-                fifo = fifo_by_slots[slots]
-                aware = aware_by_slots[slots]
-                rows.append(
-                    FleetContentionRow(
-                        slots_per_region=slots,
-                        migratable_fraction=fraction,
-                        error_magnitude=error,
-                        fifo_emissions_g=fifo.total_emissions_g,
-                        aware_emissions_g=aware.total_emissions_g,
-                        uncontended_saving_fraction=uncontended_saving,
-                        completed_jobs=aware.completed_jobs,
-                        total_jobs=aware.total_jobs,
-                        mean_start_delay_hours=aware.mean_start_delay_hours,
-                        max_queue_length=aware.max_queue_length,
-                    )
+            for error in errors:
+                admission = (
+                    ADMISSION_FORECAST_PREEMPTIVE
+                    if error > 0
+                    else ADMISSION_CARBON_AWARE_PREEMPTIVE
                 )
+                aware_by_slots = {
+                    slots: FleetSimulator(dataset, slots, year).run(
+                        workload,
+                        placement,
+                        admission,
+                        error_magnitude=error,
+                        seed=int(seed),
+                        workers=workers,
+                    )
+                    for slots in (*slots_grid, uncontended)
+                }
+                fifo_free = fifo_by_slots[uncontended].total_emissions_g
+                aware_free = aware_by_slots[uncontended].total_emissions_g
+                uncontended_saving = (
+                    (fifo_free - aware_free) / fifo_free if fifo_free > 0 else 0.0
+                )
+                for slots in slots_grid:
+                    fifo = fifo_by_slots[slots]
+                    aware = aware_by_slots[slots]
+                    rows.append(
+                        FleetContentionRow(
+                            slots_per_region=slots,
+                            migratable_fraction=fraction,
+                            interruptible_fraction=intr_fraction,
+                            error_magnitude=error,
+                            fifo_emissions_g=fifo.total_emissions_g,
+                            aware_emissions_g=aware.total_emissions_g,
+                            uncontended_saving_fraction=uncontended_saving,
+                            bound_saving_fraction=bound_saving,
+                            completed_jobs=aware.completed_jobs,
+                            total_jobs=aware.total_jobs,
+                            mean_start_delay_hours=aware.mean_start_delay_hours,
+                            max_queue_length=aware.max_queue_length,
+                            suspensions=aware.total_suspensions,
+                        )
+                    )
     return FleetContentionResult(
         rows_by_setting=tuple(rows),
         num_jobs=int(num_jobs),

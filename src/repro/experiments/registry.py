@@ -200,9 +200,10 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
         ),
         ExperimentSpec(
             "fleet",
-            "Fleet-scale contention: slot limits, mixed workloads and forecast "
-            "error eroding the isolated-job savings",
-            "§5.2.5/§6.1-§6.2 (contention)",
+            "Fleet-scale contention: slot limits, mixed workloads, "
+            "suspend/resume interruptibility and forecast error eroding the "
+            "isolated-job savings",
+            "§5.2.2/§5.2.5/§6.1-§6.2 (contention)",
             run_fleet,
             options=frozenset({"workers", "seed", "sample_regions_per_group"}),
         ),

@@ -85,10 +85,19 @@ def clairvoyance_gap(
     """Average emissions of baseline / forecast-driven / clairvoyant deferral.
 
     Returns a dictionary with the three averages plus the fraction of the
-    clairvoyant reduction that the forecast-driven policy captures.
+    clairvoyant reduction that the forecast-driven policy captures.  When
+    the clairvoyant bound offers no reduction at all (a flat trace, or zero
+    slack), ``captured_fraction`` is defined as ``1.0`` if the online policy
+    matches (or beats) the baseline — it captured all of the nothing there
+    was to capture — and ``0.0`` only if it actually loses to the baseline.
+    An empty ``arrival_hours`` is a :class:`ConfigurationError`, not a
+    ``ZeroDivisionError``.
     """
     from repro.scheduling.temporal import CarbonAgnosticPolicy, DeferralPolicy
 
+    count = len(arrival_hours)
+    if count == 0:
+        raise ConfigurationError("arrival_hours must not be empty")
     online = ForecastDeferralPolicy(forecaster)
     clairvoyant = DeferralPolicy()
     agnostic = CarbonAgnosticPolicy()
@@ -98,14 +107,14 @@ def clairvoyance_gap(
         baseline_total += agnostic.schedule(job, trace, arrival).emissions_g
         online_total += online.schedule(job, trace, arrival).emissions_g
         clairvoyant_total += clairvoyant.schedule(job, trace, arrival).emissions_g
-    count = len(arrival_hours)
     baseline_mean = baseline_total / count
     online_mean = online_total / count
     clairvoyant_mean = clairvoyant_total / count
     ideal_reduction = baseline_mean - clairvoyant_mean
-    captured = (
-        (baseline_mean - online_mean) / ideal_reduction if ideal_reduction > 0 else 0.0
-    )
+    if ideal_reduction > 0:
+        captured = (baseline_mean - online_mean) / ideal_reduction
+    else:
+        captured = 1.0 if online_mean <= baseline_mean else 0.0
     return {
         "baseline_mean": baseline_mean,
         "online_mean": online_mean,

@@ -120,17 +120,40 @@ class ClusterTraceGenerator:
         self,
         origin_regions: Sequence[str],
         migratable_fraction: float,
+        interruptible_fraction: float | None = None,
     ) -> ClusterTrace:
         """Generate a trace where only ``migratable_fraction`` of the jobs are
-        spatially migratable (the §6.1 mixed-workload scenario)."""
+        spatially migratable (the §6.1 mixed-workload scenario).
+
+        ``interruptible_fraction``, when given, additionally resamples which
+        *batch* jobs may be suspended and resumed (the §5.2.2 knob): each
+        batch job draws its ``interruptible`` flag independently, from an RNG
+        stream separate from the migratable draws so the two masks can be
+        swept without perturbing each other.  Interactive jobs are never
+        interruptible.  ``None`` keeps the flags the base generator assigned
+        (``config.batch_interruptible`` for every batch job).
+        """
         if not 0.0 <= migratable_fraction <= 1.0:
             raise ConfigurationError("migratable_fraction must be within [0, 1]")
+        if interruptible_fraction is not None and not 0.0 <= interruptible_fraction <= 1.0:
+            raise ConfigurationError("interruptible_fraction must be within [0, 1]")
         base = self.generate(origin_regions)
         rng = np.random.default_rng(self.config.seed + 7)
         migratable_mask = rng.random(len(base)) < migratable_fraction
+        if interruptible_fraction is None:
+            interruptible_mask = [t.job.interruptible for t in base]
+        else:
+            intr_rng = np.random.default_rng(self.config.seed + 13)
+            interruptible_mask = (
+                intr_rng.random(len(base)) < interruptible_fraction
+            ).tolist()
         jobs = []
-        for keep_migratable, trace_job in zip(migratable_mask, base):
+        for keep_migratable, keep_interruptible, trace_job in zip(
+            migratable_mask, interruptible_mask, base
+        ):
             job = trace_job.job if keep_migratable else trace_job.job.as_non_migratable()
+            if job.is_batch and job.interruptible != bool(keep_interruptible):
+                job = job.as_interruptible(bool(keep_interruptible))
             jobs.append(
                 TraceJob(
                     job=job,

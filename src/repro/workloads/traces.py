@@ -68,6 +68,10 @@ class ClusterTrace:
         """Only the migratable jobs."""
         return self.filter(lambda t: t.job.migratable)
 
+    def interruptible_jobs(self) -> "ClusterTrace":
+        """Only the interruptible jobs."""
+        return self.filter(lambda t: t.job.interruptible)
+
     def in_region(self, region_code: str) -> "ClusterTrace":
         """Only jobs arriving in ``region_code``."""
         return self.filter(lambda t: t.origin_region == region_code)
@@ -94,19 +98,23 @@ class ClusterTrace:
         """Arrival hours of all jobs."""
         return np.array([t.arrival_hour for t in self.jobs], dtype=int)
 
-    def scheduling_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Per-job ``(arrivals, lengths, deadlines, powers)`` arrays.
+    def scheduling_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-job ``(arrivals, lengths, deadlines, powers, interruptible)``.
 
         The flat-array form the vectorised slot/queue simulators consume:
         arrival hours, whole-hour lengths, *true* deadlines
         (``arrival + length + floor(slack)``, deliberately not clamped to any
-        horizon) and power draws, all in trace order.
+        horizon), power draws, and the interruptibility flags the preemptive
+        admission consults, all in trace order.
         """
         arrivals = np.array([t.arrival_hour for t in self.jobs], dtype=np.int64)
         lengths = np.array([t.job.whole_hours for t in self.jobs], dtype=np.int64)
         slacks = np.array([int(t.job.slack_hours) for t in self.jobs], dtype=np.int64)
         powers = np.array([t.job.power_kw for t in self.jobs], dtype=float)
-        return arrivals, lengths, arrivals + lengths + slacks, powers
+        interruptible = np.array([t.job.interruptible for t in self.jobs], dtype=bool)
+        return arrivals, lengths, arrivals + lengths + slacks, powers, interruptible
 
     def origin_regions(self) -> tuple[str, ...]:
         """Distinct origin regions, sorted."""
@@ -117,6 +125,12 @@ class ClusterTrace:
         if not self.jobs:
             return 0.0
         return len(self.migratable_jobs()) / len(self.jobs)
+
+    def interruptible_fraction(self) -> float:
+        """Fraction of jobs that are interruptible."""
+        if not self.jobs:
+            return 0.0
+        return len(self.interruptible_jobs()) / len(self.jobs)
 
     def class_counts(self) -> dict[JobClass, int]:
         """Number of jobs per workload class."""

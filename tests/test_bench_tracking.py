@@ -1,0 +1,39 @@
+"""Tests for the persisted benchmark wall-clock artifacts (BENCH_*.json)."""
+
+import json
+
+from benchmarks.conftest import write_bench_json
+
+
+class TestWriteBenchJson:
+    def test_writes_one_artifact_with_the_records(self, tmp_path):
+        records = [
+            {"test": "benchmarks/test_bench_fleet.py::test_bench", "seconds": 1.25,
+             "outcome": "passed"},
+            {"test": "benchmarks/test_bench_fig05_capacity.py::test_bench",
+             "seconds": 0.5, "outcome": "passed"},
+        ]
+        path = write_bench_json(records, out_dir=tmp_path)
+        assert path is not None
+        assert path.name.startswith("BENCH_") and path.suffix == ".json"
+        payload = json.loads(path.read_text())
+        assert payload["benchmarks"] == records
+        assert payload["total_seconds"] == 1.75
+        assert payload["python"]
+        assert "created_utc" in payload
+
+    def test_no_records_writes_nothing(self, tmp_path):
+        assert write_bench_json([], out_dir=tmp_path) is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_disabled_via_empty_dir_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_BENCH_JSON_DIR", "")
+        records = [{"test": "t", "seconds": 0.1, "outcome": "passed"}]
+        assert write_bench_json(records) is None
+
+    def test_env_dir_is_used(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_BENCH_JSON_DIR", str(tmp_path / "history"))
+        records = [{"test": "t", "seconds": 0.1, "outcome": "passed"}]
+        path = write_bench_json(records)
+        assert path is not None
+        assert path.parent == tmp_path / "history"

@@ -68,6 +68,33 @@ class TestWaterfallAssignment:
         assert "green" not in dirty.placements
         assert dirty.placements.get("mid", 0.0) > 0
 
+    def test_origin_missing_from_reachable_is_unconstrained(self):
+        """Pinned semantics: an origin *absent* from the `reachable` mapping
+        may migrate anywhere — identical to passing no mapping for it — and
+        is not silently frozen at home (the old behaviour treated absence as
+        an empty reachability set)."""
+        only_mid_constrained = {"mid": ["mid"]}
+        constrained = waterfall_assignment(
+            INTENSITIES, idle_fraction=0.9, reachable=only_mid_constrained
+        )
+        unconstrained = waterfall_assignment(INTENSITIES, idle_fraction=0.9)
+        dirty = constrained.assignment_for("dirty")
+        # "dirty" is missing from the mapping: it migrates exactly as in the
+        # fully unconstrained assignment.
+        assert dirty.placements == unconstrained.assignment_for("dirty").placements
+        assert dirty.migrated_fraction > 0
+        # "mid" is listed with an origin-only set: its load stays home.
+        assert constrained.assignment_for("mid").migrated_fraction == pytest.approx(0.0)
+
+    def test_origin_with_empty_reachable_set_stays_home(self):
+        """Listing an origin with an empty set pins its load at home (the
+        origin itself is always an admissible destination)."""
+        reachable = {"dirty": [], "mid": [], "green": []}
+        assignment = waterfall_assignment(INTENSITIES, idle_fraction=0.9, reachable=reachable)
+        for entry in assignment.assignments:
+            assert entry.migrated_fraction == pytest.approx(0.0)
+            assert entry.effective_intensity == pytest.approx(entry.origin_intensity)
+
     def test_effective_intensity_with_reachability_is_worse(self):
         reachable = {code: [code] for code in INTENSITIES}
         constrained = waterfall_assignment(INTENSITIES, 0.9, reachable=reachable)

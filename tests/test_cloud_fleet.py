@@ -6,9 +6,13 @@ import numpy as np
 import pytest
 
 from repro import CarbonDataset, RunConfig, default_catalog
-from repro.cloud.engine import simulate_slot_queue
+from repro.cloud.engine import (
+    ADMISSION_CARBON_AWARE_PREEMPTIVE,
+    simulate_slot_queue,
+)
 from repro.cloud.fleet import (
     ADMISSION_FORECAST,
+    ADMISSION_FORECAST_PREEMPTIVE,
     PLACEMENT_GREENEST,
     PLACEMENT_ORIGIN,
     FleetSimulator,
@@ -106,9 +110,30 @@ class TestPlacement:
         by_region = simulator.place(
             mixed_workload, PLACEMENT_GREENEST, candidates=("DE", "PL")
         )
-        # DE is the greenest admissible candidate.
+        # DE is the greenest admissible candidate: PL's migratable jobs move
+        # there, PL keeps only pinned jobs.
         assert all(not t.job.migratable for t in by_region.get("PL", ()))
         assert any(t.origin_region != "DE" for t in by_region["DE"])
+
+    def test_greenest_placement_never_moves_work_to_a_dirtier_region(
+        self, fleet_dataset, mixed_workload
+    ):
+        """Regression: with a candidate list excluding the origin, migratable
+        jobs from a region *greener* than every candidate used to be shipped
+        to a dirtier region.  They must stay home (OneMigrationPolicy's
+        only-migrate-if-greener semantics: the origin always beats a dirtier
+        greenest candidate)."""
+        simulator = FleetSimulator(fleet_dataset, slots_per_region=4)
+        by_region = simulator.place(
+            mixed_workload, PLACEMENT_GREENEST, candidates=("DE", "PL")
+        )
+        # SE (the greenest region of the dataset) is not a candidate, yet
+        # none of its jobs — migratable or not — may leave it.
+        se_jobs = sum(1 for t in mixed_workload if t.origin_region == "SE")
+        assert len(by_region["SE"]) == se_jobs
+        assert all(t.origin_region == "SE" for t in by_region["SE"])
+        for code in set(by_region) - {"SE"}:
+            assert all(t.origin_region != "SE" for t in by_region[code])
 
     def test_unknown_candidate_raises(self, fleet_dataset, mixed_workload):
         simulator = FleetSimulator(fleet_dataset, slots_per_region=4)
@@ -213,29 +238,117 @@ class TestFleetRuns:
         assert result.busiest_region() == "SE"
 
 
+class TestPreemptiveFleetRuns:
+    """Suspend/resume admissions at the fleet layer."""
+
+    def test_preemptive_serial_and_pooled_runs_bit_identical(
+        self, fleet_dataset, mixed_workload
+    ):
+        simulator = FleetSimulator(fleet_dataset, slots_per_region=2)
+        serial = simulator.run(
+            mixed_workload, PLACEMENT_GREENEST, ADMISSION_FORECAST_PREEMPTIVE,
+            error_magnitude=0.3, seed=9,
+        )
+        pooled = simulator.run(
+            mixed_workload, PLACEMENT_GREENEST, ADMISSION_FORECAST_PREEMPTIVE,
+            error_magnitude=0.3, seed=9, workers=POOL,
+        )
+        assert serial == pooled  # frozen dataclasses: exact float equality
+        assert serial.total_suspensions > 0
+
+    def test_preemptive_equals_contiguous_without_interruptible_jobs(
+        self, fleet_dataset, mixed_workload
+    ):
+        """With every job pinned to contiguous execution the preemptive
+        admission must be bit-identical to the plain carbon-aware one — the
+        fleet experiment's interruptible-fraction-0.0 guarantee."""
+        pinned = ClusterTrace.from_jobs(
+            [
+                type(t)(
+                    job=t.job.as_interruptible(False),
+                    arrival_hour=t.arrival_hour,
+                    origin_region=t.origin_region,
+                )
+                for t in mixed_workload
+            ]
+        )
+        simulator = FleetSimulator(fleet_dataset, slots_per_region=2)
+        contiguous = simulator.run(pinned, PLACEMENT_GREENEST, "carbon-aware")
+        preemptive = simulator.run(
+            pinned, PLACEMENT_GREENEST, ADMISSION_CARBON_AWARE_PREEMPTIVE
+        )
+        assert preemptive.total_suspensions == 0
+        assert preemptive.per_region == contiguous.per_region
+
+    def test_preemption_saves_when_uncontended(self, fleet_dataset, mixed_workload):
+        """With ample slots suspend/resume must do at least as well as
+        contiguous carbon-aware admission (it can always fall back to the
+        contiguous schedule)."""
+        roomy = FleetSimulator(fleet_dataset, slots_per_region=len(mixed_workload))
+        contiguous = roomy.run(mixed_workload, PLACEMENT_GREENEST, "carbon-aware")
+        preemptive = roomy.run(
+            mixed_workload, PLACEMENT_GREENEST, ADMISSION_CARBON_AWARE_PREEMPTIVE
+        )
+        assert (
+            preemptive.total_emissions_g <= contiguous.total_emissions_g + 1e-9
+        )
+        assert preemptive.total_suspensions > 0
+
+    def test_zero_error_preemptive_forecast_equals_clairvoyant(
+        self, fleet_dataset, mixed_workload
+    ):
+        simulator = FleetSimulator(fleet_dataset, slots_per_region=2)
+        aware = simulator.run(
+            mixed_workload, PLACEMENT_GREENEST, ADMISSION_CARBON_AWARE_PREEMPTIVE
+        )
+        forecast = simulator.run(
+            mixed_workload, PLACEMENT_GREENEST, ADMISSION_FORECAST_PREEMPTIVE,
+            error_magnitude=0.0,
+        )
+        assert forecast.per_region == aware.per_region
+
+    def test_compare_preemptive_switch(self, fleet_dataset, mixed_workload):
+        simulator = FleetSimulator(fleet_dataset, slots_per_region=2)
+        comparison = simulator.compare(
+            mixed_workload, PLACEMENT_GREENEST, preemptive=True
+        )
+        assert set(comparison) == {"fifo", ADMISSION_CARBON_AWARE_PREEMPTIVE}
+        assert comparison["fifo"].total_suspensions == 0
+
+
 class TestFleetExperiment:
+    SWEEP_GRIDS = dict(
+        num_jobs=40,
+        slots_per_region=(1, 3),
+        migratable_fractions=(0.0, 1.0),
+        interruptible_fractions=(0.0, 1.0),
+        error_magnitudes=(0.0, 0.4),
+        seed=11,
+    )
+
     @pytest.fixture(scope="class")
     def sweep(self, fleet_dataset):
-        return run_fleet(
-            fleet_dataset,
-            num_jobs=40,
-            slots_per_region=(1, 3),
-            migratable_fractions=(0.0, 1.0),
-            error_magnitudes=(0.0, 0.4),
-            seed=11,
-        )
+        return run_fleet(fleet_dataset, **self.SWEEP_GRIDS)
 
     def test_row_grid_is_complete(self, sweep):
-        assert len(sweep.rows_by_setting) == 2 * 2 * 2
-        row = sweep.row(1, 1.0, 0.4)
+        assert len(sweep.rows_by_setting) == 2 * 2 * 2 * 2
+        row = sweep.row(1, 1.0, 0.4, interruptible_fraction=1.0)
         assert row.total_jobs == 40
         assert row.fifo_emissions_g > 0
         assert 0 <= row.completed_jobs <= row.total_jobs
 
     def test_rows_tabular_form(self, sweep):
         rows = sweep.rows()
-        assert len(rows) == 8
-        assert {"slots_per_region", "saving_fraction", "saving_retained"} <= set(rows[0])
+        assert len(rows) == 16
+        assert {
+            "slots_per_region",
+            "saving_fraction",
+            "saving_retained",
+            "interruptible_fraction",
+            "bound_saving_fraction",
+            "bound_saving_retained",
+            "suspensions",
+        } <= set(rows[0])
 
     def test_missing_row_raises(self, sweep):
         with pytest.raises(KeyError):
@@ -247,29 +360,79 @@ class TestFleetExperiment:
         assert all(value >= 0.0 for value in retained.values())
 
     def test_contention_worsens_queueing(self, sweep):
-        """Tighter slot limits must never shorten queues or start delays —
-        the robust face of the contention argument (the emissions saving
-        itself need not be monotone: queueing also degrades the FIFO
-        baseline)."""
+        """Tighter slot limits must never shorten queues or start delays
+        when jobs run contiguously — the robust face of the contention
+        argument (the emissions saving itself need not be monotone:
+        queueing also degrades the FIFO baseline).  Preemptive rows are
+        excluded: suspensions re-enter the queue, so roomier slots can
+        legitimately show deeper queues."""
         for fraction in (0.0, 1.0):
             for error in (0.0, 0.4):
-                tight = sweep.row(1, fraction, error)
-                roomy = sweep.row(3, fraction, error)
+                tight = sweep.row(1, fraction, error, interruptible_fraction=0.0)
+                roomy = sweep.row(3, fraction, error, interruptible_fraction=0.0)
                 assert tight.mean_start_delay_hours >= roomy.mean_start_delay_hours - 1e-9
                 assert tight.max_queue_length >= roomy.max_queue_length
                 assert tight.completed_jobs <= roomy.completed_jobs
 
-    def test_serial_and_pooled_sweeps_identical(self, fleet_dataset, sweep):
-        pooled = run_fleet(
-            fleet_dataset,
-            num_jobs=40,
-            slots_per_region=(1, 3),
-            migratable_fractions=(0.0, 1.0),
-            error_magnitudes=(0.0, 0.4),
-            seed=11,
-            workers=POOL,
+    def test_interruptible_fraction_zero_runs_contiguously(self, sweep):
+        """The fraction-0.0 rows reproduce the pre-interruptibility sweep:
+        no suspensions anywhere."""
+        for row in sweep.rows_by_setting:
+            if row.interruptible_fraction == 0.0:
+                assert row.suspensions == 0
+
+    def test_interruptible_fraction_raises_the_per_job_bound(self, sweep):
+        """The uncontended InterruptiblePolicy bound can only grow when more
+        jobs may be split (non-interruptible jobs degrade to contiguous
+        deferral, never better)."""
+        for slots in (1, 3):
+            for fraction in (0.0, 1.0):
+                for error in (0.0, 0.4):
+                    split = sweep.row(slots, fraction, error, 1.0)
+                    pinned = sweep.row(slots, fraction, error, 0.0)
+                    assert (
+                        split.bound_saving_fraction
+                        >= pinned.bound_saving_fraction - 1e-12
+                    )
+                    assert 0.0 <= split.bound_saving_fraction < 1.0
+
+    def test_interruptible_jobs_suspend_under_the_sweep(self, sweep):
+        """Fully interruptible settings actually exercise suspend/resume."""
+        assert any(
+            row.suspensions > 0
+            for row in sweep.rows_by_setting
+            if row.interruptible_fraction == 1.0
         )
+
+    def test_serial_and_pooled_sweeps_identical(self, fleet_dataset, sweep):
+        pooled = run_fleet(fleet_dataset, workers=POOL, **self.SWEEP_GRIDS)
         assert sweep.rows() == pooled.rows()
+
+    def test_retained_metrics_zero_denominator_convention(self):
+        """When a bound offers no saving, retained is 1.0 unless the fleet
+        actually loses to FIFO — the same convention `clairvoyance_gap`
+        uses for its captured fraction."""
+        from repro.experiments.fleet_contention import FleetContentionRow
+
+        def make_row(fifo, aware, uncontended, bound):
+            return FleetContentionRow(
+                slots_per_region=1, migratable_fraction=0.0,
+                interruptible_fraction=0.0, error_magnitude=0.0,
+                fifo_emissions_g=fifo, aware_emissions_g=aware,
+                uncontended_saving_fraction=uncontended,
+                bound_saving_fraction=bound, completed_jobs=1, total_jobs=1,
+                mean_start_delay_hours=0.0, max_queue_length=1, suspensions=0,
+            )
+
+        matched = make_row(100.0, 100.0, 0.0, 0.0)
+        assert matched.saving_retained == 1.0
+        assert matched.bound_saving_retained == 1.0
+        losing = make_row(100.0, 110.0, 0.0, 0.0)
+        assert losing.saving_retained == 0.0
+        assert losing.bound_saving_retained == 0.0
+        ordinary = make_row(100.0, 90.0, 0.2, 0.25)
+        assert ordinary.saving_retained == pytest.approx(0.5)
+        assert ordinary.bound_saving_retained == pytest.approx(0.4)
 
     def test_invalid_grids(self, fleet_dataset):
         with pytest.raises(ConfigurationError):

@@ -3,10 +3,17 @@
 import numpy as np
 import pytest
 
+from repro.cloud.engine import (
+    ADMISSION_CARBON_AWARE,
+    ADMISSION_CARBON_AWARE_PREEMPTIVE,
+    ADMISSION_FIFO,
+    simulate_slot_queue,
+)
 from repro.cloud.scheduler_sim import (
     CarbonAwareSchedulingPolicy,
     ClusterSimulator,
     FifoSchedulingPolicy,
+    PreemptiveCarbonAwareSchedulingPolicy,
 )
 from repro.exceptions import ConfigurationError
 from repro.timeseries.series import HourlySeries
@@ -105,24 +112,25 @@ class TestPolicyComparison:
         assert comparison["carbon-aware"].mean_start_delay_hours == pytest.approx(0.0)
 
 
-def _random_workload(num_jobs, horizon, seed):
+def _random_workload(num_jobs, horizon, seed, interruptible_share=0.0):
     rng = np.random.default_rng(seed)
     jobs = [
         TraceJob(
             job=Job.batch(
                 length_hours=int(length),
                 slack_hours=int(slack),
-                interruptible=False,
+                interruptible=bool(interruptible),
                 power_kw=float(power),
             ),
             arrival_hour=int(arrival),
             origin_region="X",
         )
-        for arrival, length, slack, power in zip(
+        for arrival, length, slack, power, interruptible in zip(
             rng.integers(0, horizon, num_jobs),
             rng.integers(1, 40, num_jobs),
             rng.integers(0, 96, num_jobs),
             rng.uniform(0.5, 2.0, num_jobs),
+            rng.random(num_jobs) < interruptible_share,
         )
     ]
     return ClusterTrace.from_jobs(jobs)
@@ -147,6 +155,7 @@ def _assert_equivalent(fast, reference):
     assert fast.total_jobs == reference.total_jobs
     assert fast.mean_start_delay_hours == reference.mean_start_delay_hours
     assert fast.max_queue_length == reference.max_queue_length
+    assert fast.suspensions == reference.suspensions
     assert fast.total_emissions_g == pytest.approx(
         reference.total_emissions_g, rel=1e-12, abs=1e-9
     )
@@ -167,6 +176,24 @@ class TestVectorisedEngineEquivalence:
             simulator.run(workload, policy),
             simulator.run_reference(workload, policy),
         )
+
+    @pytest.mark.parametrize("num_slots", [1, 3, 7, 200])
+    @pytest.mark.parametrize("interruptible_share", [0.0, 0.5, 1.0])
+    def test_preemptive_run_matches_reference(
+        self, valley_trace, num_slots, interruptible_share
+    ):
+        """The preemptive engine must reproduce the preemptive reference
+        loop — identical starts, suspensions, completions and queue depths —
+        across contended and uncontended slot limits."""
+        workload = _random_workload(
+            150, len(valley_trace), seed=17, interruptible_share=interruptible_share
+        )
+        simulator = ClusterSimulator(valley_trace, num_slots)
+        policy = PreemptiveCarbonAwareSchedulingPolicy()
+        fast = simulator.run(workload, policy)
+        _assert_equivalent(fast, simulator.run_reference(workload, policy))
+        if interruptible_share == 0.0:
+            assert fast.suspensions == 0
 
     def test_custom_policy_falls_back_to_reference(self, valley_trace):
         workload = _random_workload(40, len(valley_trace), seed=3)
@@ -279,3 +306,233 @@ class TestPartialCompletionAccounting:
         assert result.total_emissions_g == pytest.approx(8 * 200.0)
         # The queued job never started, so it contributes no start delay.
         assert result.mean_start_delay_hours == pytest.approx(0.0)
+
+
+class TestPreemptiveSemantics:
+    """Suspend/resume behaviour of the preemptive carbon-aware admission."""
+
+    def test_interruptible_job_runs_exactly_the_cheap_hours(self):
+        # Values 9,1,9,1,9,9: a 2-hour interruptible job with 3 hours of
+        # slack runs hour 1, suspends through the expensive hour 2, and
+        # resumes for hour 3 — total emissions 2, one suspension.
+        values = np.array([9.0, 1.0, 9.0, 1.0, 9.0, 9.0])
+        trace = HourlySeries(values, name="X")
+        workload = ClusterTrace.from_jobs(
+            [
+                TraceJob(
+                    job=Job.batch(length_hours=2, slack_hours=3, interruptible=True),
+                    arrival_hour=0,
+                    origin_region="X",
+                )
+            ]
+        )
+        simulator = ClusterSimulator(trace, 1)
+        result = simulator.run(workload, PreemptiveCarbonAwareSchedulingPolicy())
+        assert result.total_emissions_g == pytest.approx(2.0)
+        assert result.suspensions == 1
+        assert result.all_completed
+        # First start is hour 1, so the delay is one hour despite the resume.
+        assert result.mean_start_delay_hours == pytest.approx(1.0)
+        _assert_equivalent(
+            result,
+            simulator.run_reference(workload, PreemptiveCarbonAwareSchedulingPolicy()),
+        )
+
+    def test_non_interruptible_jobs_run_contiguously_bit_identical(self):
+        """A workload with no interruptible jobs must be *bit-identical*
+        between the preemptive and non-preemptive admissions (the fleet
+        experiment's interruptible-fraction-0.0 guarantee)."""
+        rng = np.random.default_rng(5)
+        values = np.clip(
+            400.0
+            + 150.0 * np.cos(2 * np.pi * (np.arange(720) - 14) / 24.0)
+            + rng.normal(0.0, 30.0, 720),
+            1.0,
+            None,
+        )
+        n = 80
+        arrivals = rng.integers(0, 720, n)
+        lengths = rng.integers(1, 30, n)
+        deadlines = arrivals + lengths + rng.integers(0, 72, n)
+        powers = rng.uniform(0.5, 2.0, n)
+        plain = simulate_slot_queue(
+            values, arrivals, lengths, deadlines, powers, 4,
+            admission=ADMISSION_CARBON_AWARE,
+        )
+        preemptive = simulate_slot_queue(
+            values, arrivals, lengths, deadlines, powers, 4,
+            admission=ADMISSION_CARBON_AWARE_PREEMPTIVE,
+            interruptible=np.zeros(n, dtype=bool),
+        )
+        assert np.array_equal(plain.emissions_g, preemptive.emissions_g)
+        assert np.array_equal(plain.start_hours, preemptive.start_hours)
+        assert np.array_equal(plain.finish_hours, preemptive.finish_hours)
+        assert plain.start_delays == preemptive.start_delays
+        assert plain.max_queue_length == preemptive.max_queue_length
+        assert preemptive.total_suspensions == 0
+
+    def test_preemption_helps_when_uncontended(self, valley_trace):
+        """With ample slots the preemptive policy must do at least as well
+        as contiguous carbon-aware queueing on interruptible jobs (it can
+        always fall back to the contiguous schedule)."""
+        workload = _random_workload(
+            60, len(valley_trace), seed=23, interruptible_share=1.0
+        )
+        simulator = ClusterSimulator(valley_trace, num_slots=60)
+        aware = simulator.run(workload, CarbonAwareSchedulingPolicy())
+        preemptive = simulator.run(workload, PreemptiveCarbonAwareSchedulingPolicy())
+        assert preemptive.total_emissions_g <= aware.total_emissions_g + 1e-6
+        assert preemptive.suspensions > 0
+
+    def test_suspended_job_keeps_remaining_length_and_completes(self):
+        """A suspended job re-queues with its *remaining* length: it runs
+        the opening cheap hour, sits out the expensive hour because two
+        cheaper hours fit before its latest start, and resumes for exactly
+        the two hours it still needs."""
+        values = np.array([1.0, 100.0, 10.0, 10.0, 100.0, 100.0, 100.0, 100.0])
+        trace = HourlySeries(values, name="X")
+        workload = ClusterTrace.from_jobs(
+            [
+                TraceJob(
+                    job=Job.batch(length_hours=3, slack_hours=4, interruptible=True),
+                    arrival_hour=0,
+                    origin_region="X",
+                )
+            ]
+        )
+        simulator = ClusterSimulator(trace, 1)
+        result = simulator.run(workload, PreemptiveCarbonAwareSchedulingPolicy())
+        # Segments [0, 1) and [2, 4): emissions 1 + 10 + 10.
+        assert result.all_completed
+        assert result.suspensions == 1
+        assert result.total_emissions_g == pytest.approx(21.0)
+        _assert_equivalent(
+            result,
+            simulator.run_reference(workload, PreemptiveCarbonAwareSchedulingPolicy()),
+        )
+
+    def test_contended_slot_is_released_to_a_forced_job_on_suspension(self):
+        """Suspension frees the slot for queued work: an interruptible job
+        steps aside during its expensive stretch, a zero-slack job takes the
+        slot, and the interruptible job resumes once it frees up again."""
+        values = np.array([1.0, 9.0, 9.0, 9.0, 1.0, 9.0, 9.0, 9.0])
+        trace = HourlySeries(values, name="X")
+        workload = ClusterTrace.from_jobs(
+            [
+                TraceJob(
+                    job=Job.batch(length_hours=2, slack_hours=4, interruptible=True),
+                    arrival_hour=0,
+                    origin_region="X",
+                ),
+                TraceJob(
+                    job=Job.batch(length_hours=3, slack_hours=0, interruptible=False),
+                    arrival_hour=1,
+                    origin_region="X",
+                ),
+            ]
+        )
+        simulator = ClusterSimulator(trace, 1)
+        result = simulator.run(workload, PreemptiveCarbonAwareSchedulingPolicy())
+        # Interruptible job runs hours 0 and 4 (1 + 1); the pinned job runs
+        # hours 1-3 (9 × 3) in the slot the suspension released.
+        assert result.all_completed
+        assert result.suspensions == 1
+        assert result.total_emissions_g == pytest.approx(1.0 + 1.0 + 3 * 9.0)
+        _assert_equivalent(
+            result,
+            simulator.run_reference(workload, PreemptiveCarbonAwareSchedulingPolicy()),
+        )
+
+
+class TestEngineEdgeCases:
+    """Edge cases of the slot/queue kernel, per admission kind."""
+
+    @pytest.mark.parametrize(
+        "admission",
+        [ADMISSION_FIFO, ADMISSION_CARBON_AWARE, ADMISSION_CARBON_AWARE_PREEMPTIVE],
+    )
+    def test_zero_job_input(self, admission):
+        empty = np.array([], dtype=np.int64)
+        outcome = simulate_slot_queue(
+            np.ones(24),
+            empty,
+            empty,
+            empty,
+            np.array([], dtype=float),
+            2,
+            admission=admission,
+        )
+        assert outcome.completed_jobs == 0
+        assert outcome.started_jobs == 0
+        assert outcome.total_emissions_g() == 0.0
+        assert outcome.max_queue_length == 0
+        assert outcome.total_suspensions == 0
+
+    @pytest.mark.parametrize(
+        "admission",
+        [ADMISSION_FIFO, ADMISSION_CARBON_AWARE, ADMISSION_CARBON_AWARE_PREEMPTIVE],
+    )
+    def test_job_arriving_at_last_horizon_hour(self, admission):
+        """A job arriving at horizon − 1 starts (its deadline search window
+        collapses to that one hour) and runs exactly one in-horizon hour."""
+        values = np.full(48, 7.0)
+        outcome = simulate_slot_queue(
+            values,
+            np.array([47]),
+            np.array([4]),
+            np.array([51]),
+            np.array([1.0]),
+            1,
+            admission=admission,
+            interruptible=np.array([True]),
+        )
+        assert outcome.start_hours[0] == 47
+        assert outcome.finish_hours[0] == -1  # cut off by the horizon
+        assert outcome.emissions_g[0] == pytest.approx(7.0)
+        assert outcome.start_delays == (0.0,)
+
+    def test_deadline_far_beyond_horizon_clamps_search_window_only(self):
+        """A carbon-aware job whose true deadline lies far beyond the horizon
+        keeps its slack: the search window is clamped to the horizon and the
+        job waits for the cheapest in-horizon hours instead of being
+        force-started at arrival."""
+        values = np.full(48, 1000.0)
+        values[44:] = 100.0
+        for admission in (ADMISSION_CARBON_AWARE, ADMISSION_CARBON_AWARE_PREEMPTIVE):
+            outcome = simulate_slot_queue(
+                values,
+                np.array([40]),
+                np.array([4]),
+                np.array([40 + 4 + 10_000]),
+                np.array([1.0]),
+                1,
+                admission=admission,
+            )
+            assert outcome.start_hours[0] == 44
+            assert outcome.finish_hours[0] == 48
+            assert outcome.emissions_g[0] == pytest.approx(4 * 100.0)
+
+    def test_scheduler_simulator_zero_jobs_all_policies(self, valley_trace):
+        simulator = ClusterSimulator(valley_trace, num_slots=2)
+        for policy in (
+            FifoSchedulingPolicy(),
+            CarbonAwareSchedulingPolicy(),
+            PreemptiveCarbonAwareSchedulingPolicy(),
+        ):
+            result = simulator.run(ClusterTrace(()), policy)
+            assert result.total_jobs == 0
+            assert result.all_completed
+            assert result.suspensions == 0
+            _assert_equivalent(result, simulator.run_reference(ClusterTrace(()), policy))
+
+    def test_rejects_mismatched_interruptible_array(self, valley_trace):
+        with pytest.raises(ConfigurationError):
+            simulate_slot_queue(
+                np.ones(4),
+                np.array([0]),
+                np.array([1]),
+                np.array([1]),
+                np.array([1.0]),
+                1,
+                interruptible=np.array([True, False]),
+            )

@@ -158,20 +158,33 @@ class TestForecastDeferralPolicy:
 
     def test_clairvoyance_gap_zero_ideal_reduction(self):
         """On a flat trace deferral cannot reduce anything: the captured
-        fraction must take the zero-division branch, not blow up."""
+        fraction must take the zero-division branch, not blow up.  The
+        online policy matches the baseline exactly, so by convention it
+        captured all of the nothing there was to capture (1.0) — the old
+        behaviour silently reported 0.0 even when online >= baseline."""
         flat = HourlySeries.constant(350.0, 24 * 40, name="flat")
         job = Job.batch(length_hours=6, slack_hours=24)
         summary = clairvoyance_gap(flat, job, [400, 500, 600])
         assert summary["baseline_mean"] == pytest.approx(summary["clairvoyant_mean"])
         assert summary["online_mean"] == pytest.approx(summary["baseline_mean"])
-        assert summary["captured_fraction"] == 0.0
+        assert summary["captured_fraction"] == 1.0
 
     def test_clairvoyance_gap_non_deferrable_job(self, diurnal_trace):
-        """Zero slack: all three policies coincide, captured fraction is 0."""
+        """Zero slack: all three policies coincide; nothing was capturable
+        and nothing was lost, so the captured fraction is 1.0."""
         job = Job.batch(length_hours=6, slack_hours=0)
         summary = clairvoyance_gap(diurnal_trace, job, [1000, 2000])
         assert summary["online_mean"] == pytest.approx(summary["baseline_mean"])
-        assert summary["captured_fraction"] == 0.0
+        assert summary["captured_fraction"] == 1.0
+
+    def test_clairvoyance_gap_rejects_empty_arrivals(self, diurnal_trace):
+        """Regression: an empty arrival list used to raise ZeroDivisionError
+        from the mean computation instead of a ConfigurationError."""
+        job = Job.batch(length_hours=6, slack_hours=24)
+        with pytest.raises(ConfigurationError):
+            clairvoyance_gap(diurnal_trace, job, [])
+        with pytest.raises(ConfigurationError):
+            clairvoyance_gap(diurnal_trace, job, np.array([], dtype=int))
 
     def test_clairvoyance_gap_captured_fraction_bounds(self, diurnal_trace):
         """On a predictable trace with real headroom the forecast captures a

@@ -119,6 +119,43 @@ class TestClusterTraceGenerator:
     def test_generate_mixed_invalid_fraction(self):
         with pytest.raises(ConfigurationError):
             ClusterTraceGenerator().generate_mixed(["SE"], 1.5)
+        with pytest.raises(ConfigurationError):
+            ClusterTraceGenerator().generate_mixed(["SE"], 0.5, interruptible_fraction=-0.1)
+
+    def test_generate_mixed_controls_interruptible_fraction(self):
+        generator = ClusterTraceGenerator(GeneratorConfig(num_jobs=400, seed=6))
+        trace = generator.generate_mixed(
+            ["SE", "DE"], migratable_fraction=0.5, interruptible_fraction=0.5
+        )
+        batch = trace.batch_jobs()
+        share = len(batch.interruptible_jobs()) / len(batch)
+        assert share == pytest.approx(0.5, abs=0.1)
+        # Interactive jobs are never interruptible.
+        assert all(not t.job.interruptible for t in trace.interactive_jobs())
+        # Both ends of the knob are exact for batch jobs.
+        pinned = generator.generate_mixed(["SE", "DE"], 0.5, interruptible_fraction=0.0)
+        assert all(not t.job.interruptible for t in pinned.batch_jobs())
+        split = generator.generate_mixed(["SE", "DE"], 0.5, interruptible_fraction=1.0)
+        assert all(t.job.interruptible for t in split.batch_jobs())
+
+    def test_interruptible_knob_does_not_perturb_the_rest_of_the_trace(self):
+        """The interruptible mask draws from its own RNG stream: arrivals,
+        lengths and the migratable mask are identical across fractions."""
+        generator = ClusterTraceGenerator(GeneratorConfig(num_jobs=120, seed=9))
+        base = generator.generate_mixed(["SE", "DE"], 0.5)
+        varied = generator.generate_mixed(["SE", "DE"], 0.5, interruptible_fraction=0.3)
+        assert [t.arrival_hour for t in base] == [t.arrival_hour for t in varied]
+        assert [t.job.length_hours for t in base] == [t.job.length_hours for t in varied]
+        assert [t.job.migratable for t in base] == [t.job.migratable for t in varied]
+
+    def test_scheduling_arrays_carry_interruptible_flags(self):
+        generator = ClusterTraceGenerator(GeneratorConfig(num_jobs=60, seed=3))
+        trace = generator.generate_mixed(["SE"], 1.0, interruptible_fraction=1.0)
+        arrivals, lengths, deadlines, powers, interruptible = trace.scheduling_arrays()
+        assert interruptible.dtype == bool
+        assert interruptible.shape == arrivals.shape
+        expected = [t.job.interruptible for t in trace]
+        assert interruptible.tolist() == expected
 
     def test_invalid_config(self):
         with pytest.raises(ConfigurationError):
