@@ -1,12 +1,16 @@
 """Benchmark: the fleet contention subsystem.
 
-Two comparisons back the PR's performance claims:
+Three comparisons back the PR's performance claims:
 
 * the vectorised slot/queue engine (`ClusterSimulator.run`) versus the
   per-job reference loop (`ClusterSimulator.run_reference`) on one busy
   region — the runs are also asserted bit-identical;
-* the fleet contention sweep (`run_fleet`) serial versus pooled
-  (`workers=2` and all CPUs) — identical rows, wall-clock speedup table.
+* the fleet contention sweep (`run_fleet`, including its dynamic spillover
+  axis) serial versus pooled (`workers=2` and all CPUs) — identical rows,
+  wall-clock speedup table;
+* the three placement kinds (`origin` / `greenest` / `spillover`) on one
+  contended fleet replay — the serial spillover coordinator must stay a
+  negligible slice of the replay's wall clock.
 """
 
 import os
@@ -16,9 +20,14 @@ import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.cloud import (
+    NO_SPILLOVER,
+    PLACEMENT_GREENEST,
+    PLACEMENT_ORIGIN,
+    PLACEMENT_SPILLOVER,
     CarbonAwareSchedulingPolicy,
     ClusterSimulator,
     FifoSchedulingPolicy,
+    FleetSimulator,
     PreemptiveCarbonAwareSchedulingPolicy,
 )
 from repro.experiments.fleet_contention import run_fleet
@@ -159,6 +168,80 @@ def test_bench_fleet_parallel_speedup(benchmark, bench_dataset):
             title=(
                 f"Fleet contention sweep over {len(bench_dataset)} regions "
                 f"({os.cpu_count()} CPUs available)"
+            ),
+        )
+    )
+
+
+def test_bench_fleet_spillover_placement(benchmark, bench_dataset):
+    """The three placement kinds on one contended replay.
+
+    The spillover coordinator is a serial O(jobs x regions) pass in front of
+    the sharded replay; this benchmark reports how its wall clock compares
+    to the static placements and checks its infinite-threshold degeneration
+    to static greenest on the full benchmark catalog.
+    """
+    generator = ClusterTraceGenerator(
+        GeneratorConfig(num_jobs=FLEET_NUM_JOBS, horizon_hours=8760, seed=11)
+    )
+    workload = generator.generate_mixed(
+        bench_dataset.codes(), migratable_fraction=0.8
+    )
+    simulator = FleetSimulator(bench_dataset, slots_per_region=2)
+
+    timings = {}
+    results = {}
+    settings = (
+        (PLACEMENT_ORIGIN, NO_SPILLOVER),
+        (PLACEMENT_GREENEST, NO_SPILLOVER),
+        (PLACEMENT_SPILLOVER, NO_SPILLOVER),
+        (PLACEMENT_SPILLOVER, 0.0),
+        (PLACEMENT_SPILLOVER, 24.0),
+    )
+    for placement, threshold in settings:
+        label = placement if threshold == NO_SPILLOVER else f"{placement}@{threshold:g}h"
+        start = time.perf_counter()
+        results[label] = simulator.run(
+            workload,
+            placement,
+            "carbon-aware-preemptive",
+            spillover_threshold=threshold,
+        )
+        timings[label] = time.perf_counter() - start
+
+    # The infinite-threshold coordinator must degenerate to static greenest.
+    assert (
+        results[f"{PLACEMENT_SPILLOVER}"].per_region
+        == results[PLACEMENT_GREENEST].per_region
+    )
+
+    # Headline timing: the aggressive spillover replay.
+    run_once(
+        benchmark,
+        simulator.run,
+        workload,
+        PLACEMENT_SPILLOVER,
+        "carbon-aware-preemptive",
+        spillover_threshold=0.0,
+    )
+
+    rows = [
+        {
+            "placement": label,
+            "seconds": round(timings[label], 3),
+            "busy_regions": len(result.per_region),
+            "completed_jobs": result.completed_jobs,
+            "emissions_t": round(result.total_emissions_g / 1e6, 3),
+        }
+        for label, result in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Fleet placement kinds: {FLEET_NUM_JOBS} jobs, 2 slots, "
+                f"{len(bench_dataset)} regions"
             ),
         )
     )

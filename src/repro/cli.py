@@ -18,7 +18,8 @@ CSV per figure into ``--out-dir``.
 Option routing is declarative: the CLI builds a single
 :class:`~repro.runtime.RunConfig` from the arguments and each experiment
 receives exactly the options its :class:`ExperimentSpec` declares
-(``--workers``, ``--arrival-stride``, ``--sample-regions-per-group``).
+(``--workers``, ``--arrival-stride``, ``--sample-regions-per-group``,
+``--spillover-threshold``).
 Passing an option to a ``run`` experiment that does not declare it is a
 :class:`~repro.exceptions.ConfigurationError` rather than a silent no-op;
 ``run-all`` applies each option wherever it is supported.
@@ -57,6 +58,7 @@ def _config_from_args(args: argparse.Namespace) -> RunConfig:
         arrival_stride=args.arrival_stride,
         sample_regions_per_group=args.sample_regions_per_group,
         seed=args.seed,
+        spillover_threshold=args.spillover_threshold,
         cache_dir=getattr(args, "out_dir", None),
     )
 
@@ -167,6 +169,11 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=None,
                         help="process-pool size for the region-sharded sweeps "
                         "(0/1 = serial, -1 = one per CPU)")
+    parser.add_argument("--spillover-threshold", type=float, default=None,
+                        help="estimated queue wait (hours) beyond which the fleet "
+                        "sweep's dynamic spillover placement diverts migratable "
+                        "jobs to the next-greenest region "
+                        "(default: the experiment's own axis)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -19,8 +19,11 @@ from repro.cloud.fleet import (
     ADMISSION_FORECAST,
     ADMISSION_FORECAST_PREEMPTIVE,
     FLEET_ADMISSIONS,
+    NO_SPILLOVER,
     PLACEMENT_GREENEST,
+    PLACEMENT_KINDS,
     PLACEMENT_ORIGIN,
+    PLACEMENT_SPILLOVER,
     FleetResult,
     FleetSimulator,
     RegionLoadResult,
@@ -50,8 +53,11 @@ __all__ = [
     "FleetResult",
     "FleetSimulator",
     "LatencyModel",
+    "NO_SPILLOVER",
     "PLACEMENT_GREENEST",
+    "PLACEMENT_KINDS",
     "PLACEMENT_ORIGIN",
+    "PLACEMENT_SPILLOVER",
     "PreemptiveCarbonAwareSchedulingPolicy",
     "RegionAssignment",
     "RegionLoadResult",

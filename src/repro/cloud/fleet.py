@@ -7,13 +7,36 @@ is non-migratable or interactive, and once admission decisions come from an
 imperfect forecast.  This module quantifies all three at once:
 
 1. **Placement** — each job of a :class:`~repro.workloads.traces.ClusterTrace`
-   is placed spatially: either it stays in its origin region
-   (``"origin"``) or, if it is migratable, it moves to the greenest
-   admissible candidate by annual mean (``"greenest"`` — the
-   :class:`~repro.scheduling.spatial.OneMigrationPolicy` destination rule).
-   Non-migratable jobs always stay home, which is exactly how spatial
-   consolidation creates contention: the migratable share of the fleet
-   funnels into one green region.
+   is placed spatially, under one of three kinds:
+
+   * ``"origin"`` — every job stays in its origin region;
+   * ``"greenest"`` — a migratable job moves to the greenest admissible
+     candidate by annual mean (the
+     :class:`~repro.scheduling.spatial.OneMigrationPolicy` destination
+     rule), but only when that candidate is *strictly greener* than its
+     origin; non-migratable jobs always stay home.  This static rule is
+     exactly how spatial consolidation creates contention: the migratable
+     share of the fleet funnels into one green region regardless of how
+     deep its queue already is;
+   * ``"spillover"`` — the dynamic counterpart of ``"greenest"``.  An
+     arrival-ordered global coordinator walks the jobs in time order and
+     keeps a lightweight per-region occupancy estimator: one flat array of
+     per-slot free times per region (the same flat-array style as
+     :mod:`repro.cloud.engine`).  A migratable job prefers its greenest
+     strictly-greener admissible candidate, but when that region's
+     *estimated queue wait* (``max(0, min(slot free times) − arrival)``)
+     exceeds ``spillover_threshold`` hours it spills to the next-greenest
+     strictly-greener candidate below the threshold — the waterfall order
+     of :func:`repro.cloud.capacity.waterfall_assignment` — and stays at
+     its origin when every greener candidate is saturated.  The estimator
+     deliberately approximates: it assumes contiguous FIFO execution on
+     ``slots_per_region`` slots (each placed job occupies its
+     destination's earliest-free slot for its whole length), ignoring the
+     admission rule's deferrals and suspensions, so the placement pass
+     stays a cheap serial ``O(jobs × regions)`` walk that never looks at
+     a trace value.  With ``spillover_threshold = ∞`` nothing ever
+     spills and the placement is bit-identical to ``"greenest"``; a
+     workload with no migratable jobs is bit-identical to ``"origin"``.
 2. **Admission** — each region runs the slot-limited queue of
    :mod:`repro.cloud.engine` under one of five rules: ``"fifo"``
    (carbon-agnostic), ``"carbon-aware"`` (clairvoyant threshold rule on the
@@ -31,7 +54,10 @@ After placement the regions are independent, so the fleet fans out one
 shard per busy region through
 :func:`repro.runtime.parallel_map_regions` — each pool worker receives only
 its region's trace values and flat per-job arrays, and serial and pooled
-runs are bit-identical by construction.
+runs are bit-identical by construction.  The spillover coordinator's
+cross-region coupling lives entirely in the (serial, cheap) placement pass,
+so dynamic placement keeps the sharded replay and its bit-identity
+untouched.
 """
 
 from __future__ import annotations
@@ -56,7 +82,11 @@ from repro.workloads.traces import ClusterTrace
 #: Spatial placement rules.
 PLACEMENT_ORIGIN = "origin"
 PLACEMENT_GREENEST = "greenest"
-PLACEMENT_KINDS = (PLACEMENT_ORIGIN, PLACEMENT_GREENEST)
+PLACEMENT_SPILLOVER = "spillover"
+PLACEMENT_KINDS = (PLACEMENT_ORIGIN, PLACEMENT_GREENEST, PLACEMENT_SPILLOVER)
+
+#: Spillover threshold at which nothing ever spills (pure static greenest).
+NO_SPILLOVER = float("inf")
 
 #: Fleet admission rules (the engine's three, plus forecast-driven variants).
 ADMISSION_FORECAST = "forecast"
@@ -104,6 +134,9 @@ class FleetResult:
     slots_per_region: int
     error_magnitude: float
     per_region: tuple[RegionLoadResult, ...]
+    #: Queue-wait threshold of the ``"spillover"`` placement; ``inf`` (never
+    #: spill) for the static placements.
+    spillover_threshold: float = NO_SPILLOVER
 
     def region(self, code: str) -> RegionLoadResult:
         """The load result of one region."""
@@ -252,6 +285,7 @@ class FleetSimulator:
         workload: ClusterTrace,
         placement: str = PLACEMENT_ORIGIN,
         candidates: Sequence[str] | None = None,
+        spillover_threshold: float = NO_SPILLOVER,
     ) -> dict[str, ClusterTrace]:
         """Destination region of every job, as per-region sub-traces.
 
@@ -262,44 +296,112 @@ class FleetSimulator:
         greener than its origin* — matching
         :class:`~repro.scheduling.spatial.OneMigrationPolicy`, whose
         candidate set always contains the origin; a restricted ``candidates``
-        list must never push work to a dirtier region.  The returned mapping
-        follows catalog order and contains only regions that received at
-        least one job.
+        list must never push work to a dirtier region.  ``"spillover"``
+        applies the same strictly-greener rule dynamically: walking jobs in
+        arrival order, a migratable job takes the greenest admissible
+        candidate whose *estimated* queue wait is at most
+        ``spillover_threshold`` hours (waterfall order over the greener
+        candidates), and stays home when every greener candidate is
+        saturated — see the module docstring for the occupancy estimator's
+        approximation.  The returned mapping follows catalog order and
+        contains only regions that received at least one job.
         """
         if placement not in PLACEMENT_KINDS:
             raise ConfigurationError(
                 f"unknown placement {placement!r}; known: {PLACEMENT_KINDS}"
             )
+        if not spillover_threshold >= 0.0:  # also rejects NaN
+            raise ConfigurationError("spillover_threshold must be non-negative")
         codes = self.dataset.codes()
-        greenest = None
-        greenest_mean = 0.0
-        if placement == PLACEMENT_GREENEST:
-            pool = tuple(candidates) if candidates is not None else codes
-            unknown = [code for code in pool if code not in self.dataset.catalog]
-            if unknown:
-                raise ConfigurationError(f"unknown candidate regions {unknown}")
-            greenest = self.dataset.greenest_of(pool, self.year)
-            greenest_mean = self.dataset.mean_intensity(greenest, self.year)
-        jobs_by_region: dict[str, list] = {}
         for trace_job in workload:
             if trace_job.origin_region not in self.dataset.catalog:
                 raise ConfigurationError(
                     f"job origin {trace_job.origin_region!r} is not in the dataset"
                 )
-            destination = trace_job.origin_region
-            if (
-                greenest is not None
-                and trace_job.job.migratable
-                and greenest_mean
-                < self.dataset.mean_intensity(trace_job.origin_region, self.year)
-            ):
-                destination = greenest
+        pool = tuple(candidates) if candidates is not None else codes
+        if placement != PLACEMENT_ORIGIN:
+            unknown = [code for code in pool if code not in self.dataset.catalog]
+            if unknown:
+                raise ConfigurationError(f"unknown candidate regions {unknown}")
+        if placement == PLACEMENT_SPILLOVER:
+            destinations = self._spillover_destinations(
+                workload, pool, float(spillover_threshold)
+            )
+        else:
+            greenest = None
+            greenest_mean = 0.0
+            if placement == PLACEMENT_GREENEST:
+                greenest = self.dataset.greenest_of(pool, self.year)
+                greenest_mean = self.dataset.mean_intensity(greenest, self.year)
+            destinations = []
+            for trace_job in workload:
+                destination = trace_job.origin_region
+                if (
+                    greenest is not None
+                    and trace_job.job.migratable
+                    and greenest_mean
+                    < self.dataset.mean_intensity(trace_job.origin_region, self.year)
+                ):
+                    destination = greenest
+                destinations.append(destination)
+        jobs_by_region: dict[str, list] = {}
+        for trace_job, destination in zip(workload, destinations):
             jobs_by_region.setdefault(destination, []).append(trace_job)
         return {
             code: ClusterTrace.from_jobs(jobs_by_region[code])
             for code in codes
             if code in jobs_by_region
         }
+
+    def _spillover_destinations(
+        self,
+        workload: ClusterTrace,
+        pool: Sequence[str],
+        spillover_threshold: float,
+    ) -> list[str]:
+        """Destination of every job under the dynamic spillover coordinator.
+
+        Jobs are decided in arrival order (ties broken by trace order) but
+        the returned list is aligned with ``workload`` order, so the
+        per-region grouping — and therefore every downstream engine replay —
+        orders jobs exactly as the static placements do.  Each region's
+        occupancy is one flat array of per-slot free times: a placed job
+        occupies its destination's earliest-free slot for its whole length
+        (contiguous-FIFO approximation), and a region's estimated queue wait
+        at hour ``t`` is ``max(0, min(free times) − t)``.
+        """
+        mean_of = {
+            code: self.dataset.mean_intensity(code, self.year)
+            for code in {*pool, *(t.origin_region for t in workload)}
+        }
+        # Waterfall preference order: admissible candidates greenest-first.
+        # Python's stable sort keeps pool order for ties, matching
+        # ``greenest_of``'s first-wins tie-break.
+        ranked_pool = sorted(pool, key=lambda code: mean_of[code])
+        order = sorted(range(len(workload)), key=lambda i: workload[i].arrival_hour)
+        slot_free: dict[str, np.ndarray] = {}
+        destinations = [""] * len(workload)
+        for index in order:
+            trace_job = workload[index]
+            arrival = float(trace_job.arrival_hour)
+            destination = trace_job.origin_region
+            if trace_job.job.migratable:
+                origin_mean = mean_of[destination]
+                for code in ranked_pool:
+                    if mean_of[code] >= origin_mean:
+                        break  # only strictly greener candidates are worth it
+                    free = slot_free.get(code)
+                    wait = 0.0 if free is None else max(0.0, float(free.min()) - arrival)
+                    if wait <= spillover_threshold:
+                        destination = code
+                        break
+            destinations[index] = destination
+            free = slot_free.get(destination)
+            if free is None:
+                free = slot_free[destination] = np.zeros(self.slots_per_region)
+            slot = int(free.argmin())
+            free[slot] = max(arrival, float(free[slot])) + trace_job.job.whole_hours
+        return destinations
 
     def run(
         self,
@@ -310,6 +412,7 @@ class FleetSimulator:
         error_magnitude: float = 0.0,
         seed: int = 0,
         workers: int | None = None,
+        spillover_threshold: float = NO_SPILLOVER,
     ) -> FleetResult:
         """Replay ``workload`` across the fleet and account true emissions.
 
@@ -326,8 +429,8 @@ class FleetSimulator:
             ``"forecast-preemptive"`` that may suspend and re-queue running
             interruptible jobs at hour granularity.
         candidates:
-            Admissible migration destinations for ``"greenest"`` placement
-            (default: every dataset region).
+            Admissible migration destinations for the ``"greenest"`` and
+            ``"spillover"`` placements (default: every dataset region).
         error_magnitude:
             Relative forecast error for ``"forecast"`` admission (each
             region draws its own noise from a deterministic per-region
@@ -337,7 +440,13 @@ class FleetSimulator:
         workers:
             Fan the per-region shards out over a process pool
             (:func:`repro.runtime.parallel_map_regions` conventions; serial
-            and pooled runs are bit-identical).
+            and pooled runs are bit-identical — the spillover coordinator
+            runs serially before the fan-out).
+        spillover_threshold:
+            Estimated queue wait (hours) beyond which the ``"spillover"``
+            placement diverts a migratable job down the waterfall; ``inf``
+            (the default) never spills, making ``"spillover"``
+            bit-identical to ``"greenest"``.
         """
         if admission not in FLEET_ADMISSIONS:
             raise ConfigurationError(
@@ -345,7 +454,7 @@ class FleetSimulator:
             )
         if not 0.0 <= error_magnitude <= 1.0:
             raise ConfigurationError("error_magnitude must be within [0, 1]")
-        by_region = self.place(workload, placement, candidates)
+        by_region = self.place(workload, placement, candidates, spillover_threshold)
         codes = tuple(by_region)
         # Per-region seeds follow the catalog index so the same region draws
         # the same forecast noise regardless of which other regions are busy
@@ -377,6 +486,7 @@ class FleetSimulator:
             slots_per_region=self.slots_per_region,
             error_magnitude=float(error_magnitude),
             per_region=tuple(loads),
+            spillover_threshold=float(spillover_threshold),
         )
 
     def compare(
@@ -387,6 +497,7 @@ class FleetSimulator:
         seed: int = 0,
         workers: int | None = None,
         preemptive: bool = False,
+        spillover_threshold: float = NO_SPILLOVER,
     ) -> dict[str, FleetResult]:
         """FIFO versus carbon-aware (or forecast-driven, if ``error_magnitude``
         is positive) admission on the same placed workload.  ``preemptive``
@@ -403,7 +514,11 @@ class FleetSimulator:
             )
         return {
             ADMISSION_FIFO: self.run(
-                workload, placement, ADMISSION_FIFO, workers=workers
+                workload,
+                placement,
+                ADMISSION_FIFO,
+                workers=workers,
+                spillover_threshold=spillover_threshold,
             ),
             aware: self.run(
                 workload,
@@ -412,5 +527,6 @@ class FleetSimulator:
                 error_magnitude=error_magnitude,
                 seed=seed,
                 workers=workers,
+                spillover_threshold=spillover_threshold,
             ),
         }

@@ -14,15 +14,23 @@ constraints of §5.2.2/§5.2.5/§6.1–§6.2 jointly:
   and resumed at hour granularity (the §5.2.2 interruptibility dimension,
   run under the preemptive admission instead of as an isolated-job bound);
 * **forecast error** — the admission rule decides on an error-injected
-  trace but pays the true one, the §6.2 imperfect-forecast knob.
+  trace but pays the true one, the §6.2 imperfect-forecast knob;
+* **spillover threshold** — the estimated-queue-wait budget (hours) of the
+  dynamic :data:`~repro.cloud.fleet.PLACEMENT_SPILLOVER` placement, which
+  diverts migratable jobs away from a saturated green region down the
+  waterfall of next-greenest candidates.
 
 Each setting reports the carbon-aware saving over FIFO, the fraction of the
 uncontended (slots ≈ ∞) saving that survives the slot limit
-(``saving_retained``, the experiment's headline column), and the fraction of
+(``saving_retained``, the experiment's headline column), the fraction of
 the uncontended *per-job* :class:`~repro.scheduling.temporal.InterruptiblePolicy`
 bound the contended fleet still realises (``bound_saving_retained``) — the
 direct answer to "how much of Figure 8's interruptibility benefit survives
-slot limits".
+slot limits" — and ``spillover_recovered``: the fraction of the static
+placement's contention loss (uncontended saving minus contended saving)
+that the dynamic spillover placer wins back.  Both the static and the
+spillover arm are measured against the *same* static-placement FIFO
+baseline, so their savings are directly comparable.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from repro.cloud.engine import ADMISSION_CARBON_AWARE_PREEMPTIVE, ADMISSION_FIFO
 from repro.cloud.fleet import (
     ADMISSION_FORECAST_PREEMPTIVE,
     PLACEMENT_GREENEST,
+    PLACEMENT_SPILLOVER,
     FleetSimulator,
 )
 from repro.exceptions import ConfigurationError
@@ -51,24 +60,38 @@ DEFAULT_SLOTS = (2, 8)
 DEFAULT_MIGRATABLE_FRACTIONS = (0.0, 1.0)
 DEFAULT_INTERRUPTIBLE_FRACTIONS = (0.0, 1.0)
 DEFAULT_ERROR_MAGNITUDES = (0.0, 0.3)
+#: Default spillover axis: an aggressive placer that diverts on any
+#: estimated wait (the most dynamic counterpoint to static greenest).
+DEFAULT_SPILLOVER_THRESHOLDS = (0.0,)
 DEFAULT_NUM_JOBS = 300
 DEFAULT_BATCH_SLACK_HOURS = 48.0
 
 
 @dataclass(frozen=True)
 class FleetContentionRow:
-    """One sweep setting: a (slots, migratable, interruptible, error) cell."""
+    """One sweep setting: a (slots, migratable, interruptible, error,
+    spillover threshold) cell.
+
+    The static arm (``aware_emissions_g``) uses the sweep's static placement;
+    the spillover arm (``spillover_emissions_g``) replays the same workload
+    and admission under dynamic :data:`PLACEMENT_SPILLOVER` placement at
+    ``spillover_threshold``.  Both are measured against the same
+    static-placement FIFO baseline.
+    """
 
     slots_per_region: int
     migratable_fraction: float
     interruptible_fraction: float
     error_magnitude: float
+    spillover_threshold: float
     fifo_emissions_g: float
     aware_emissions_g: float
+    spillover_emissions_g: float
     uncontended_saving_fraction: float
     bound_saving_fraction: float
     completed_jobs: int
     total_jobs: int
+    spillover_completed_jobs: int
     mean_start_delay_hours: float
     max_queue_length: int
     suspensions: int
@@ -108,6 +131,47 @@ class FleetContentionRow:
             return 1.0 if self.saving_fraction >= 0 else 0.0
         return self.saving_fraction / self.bound_saving_fraction
 
+    @property
+    def spillover_saving_fraction(self) -> float:
+        """Spillover-placement saving over the static-placement FIFO run."""
+        if self.fifo_emissions_g == 0:
+            return 0.0
+        return (
+            self.fifo_emissions_g - self.spillover_emissions_g
+        ) / self.fifo_emissions_g
+
+    @property
+    def spillover_saving_retained(self) -> float:
+        """Fraction of the uncontended saving the *dynamic* placer retains.
+
+        Same denominator (and degenerate-case convention) as
+        :attr:`saving_retained`, so the two columns are directly
+        comparable: on a contended cell a well-behaved spillover placer
+        should retain at least as much as static greenest.
+        """
+        if self.uncontended_saving_fraction <= 0:
+            return 1.0 if self.spillover_saving_fraction >= 0 else 0.0
+        return self.spillover_saving_fraction / self.uncontended_saving_fraction
+
+    @property
+    def spillover_recovered(self) -> float:
+        """Fraction of the static contention loss the dynamic placer wins back.
+
+        The static placement loses ``uncontended_saving_fraction −
+        saving_fraction`` to contention; this column reports how much of
+        that loss the spillover placer recovers
+        (``(spillover_saving − static_saving) / loss``).  It may exceed 1
+        when dynamic placement beats even the uncontended static saving.
+        When there is no loss to recover, the convention matches
+        :attr:`saving_retained`: ``1.0`` unless the spillover arm actually
+        falls behind the static one.
+        """
+        loss = self.uncontended_saving_fraction - self.saving_fraction
+        gain = self.spillover_saving_fraction - self.saving_fraction
+        if loss <= 0:
+            return 1.0 if gain >= 0 else 0.0
+        return gain / loss
+
 
 @dataclass(frozen=True)
 class FleetContentionResult:
@@ -124,18 +188,33 @@ class FleetContentionResult:
         migratable_fraction: float,
         error_magnitude: float,
         interruptible_fraction: float = 0.0,
+        spillover_threshold: float | None = None,
     ) -> FleetContentionRow:
-        """The row for one sweep setting."""
+        """The row for one sweep setting.
+
+        ``spillover_threshold=None`` matches any threshold (the first in
+        axis order) — unambiguous for the default single-value axis.
+        """
         for entry in self.rows_by_setting:
             if (
                 entry.slots_per_region == slots
                 and entry.migratable_fraction == migratable_fraction
                 and entry.error_magnitude == error_magnitude
                 and entry.interruptible_fraction == interruptible_fraction
+                and (
+                    spillover_threshold is None
+                    or entry.spillover_threshold == spillover_threshold
+                )
             ):
                 return entry
         raise KeyError(
-            (slots, migratable_fraction, error_magnitude, interruptible_fraction)
+            (
+                slots,
+                migratable_fraction,
+                error_magnitude,
+                interruptible_fraction,
+                spillover_threshold,
+            )
         )
 
     def retained_by_slots(self) -> dict[int, float]:
@@ -163,15 +242,21 @@ class FleetContentionResult:
                 "migratable_fraction": r.migratable_fraction,
                 "interruptible_fraction": r.interruptible_fraction,
                 "error_magnitude": r.error_magnitude,
+                "spillover_threshold": r.spillover_threshold,
                 "fifo_emissions_g": r.fifo_emissions_g,
                 "aware_emissions_g": r.aware_emissions_g,
+                "spillover_emissions_g": r.spillover_emissions_g,
                 "saving_fraction": r.saving_fraction,
                 "uncontended_saving_fraction": r.uncontended_saving_fraction,
                 "saving_retained": r.saving_retained,
                 "bound_saving_fraction": r.bound_saving_fraction,
                 "bound_saving_retained": r.bound_saving_retained,
+                "spillover_saving_fraction": r.spillover_saving_fraction,
+                "spillover_saving_retained": r.spillover_saving_retained,
+                "spillover_recovered": r.spillover_recovered,
                 "completed_jobs": r.completed_jobs,
                 "total_jobs": r.total_jobs,
+                "spillover_completed_jobs": r.spillover_completed_jobs,
                 "mean_start_delay_hours": r.mean_start_delay_hours,
                 "max_queue_length": r.max_queue_length,
                 "suspensions": r.suspensions,
@@ -235,6 +320,7 @@ def run_fleet(
     migratable_fractions: Sequence[float] = DEFAULT_MIGRATABLE_FRACTIONS,
     interruptible_fractions: Sequence[float] = DEFAULT_INTERRUPTIBLE_FRACTIONS,
     error_magnitudes: Sequence[float] = DEFAULT_ERROR_MAGNITUDES,
+    spillover_thresholds: Sequence[float] = DEFAULT_SPILLOVER_THRESHOLDS,
     placement: str = PLACEMENT_GREENEST,
     batch_slack_hours: float = DEFAULT_BATCH_SLACK_HOURS,
     length_distribution: JobLengthDistribution = EQUAL_DISTRIBUTION,
@@ -242,9 +328,10 @@ def run_fleet(
     seed: int | None = None,
     workers: int | None = None,
     sample_regions_per_group: int | None = None,
+    spillover_threshold: float | None = None,
     config: RunConfig | None = None,
 ) -> FleetContentionResult:
-    """Sweep slots × migratable × interruptible × forecast error fleet-wide.
+    """Sweep slots × migratable × interruptible × error × spillover fleet-wide.
 
     For every (migratable, interruptible) fraction pair one workload is
     generated (same seed, so settings differ only in the knobs under
@@ -255,6 +342,16 @@ def run_fleet(
     suspended and resumed at hour granularity; an interruptible fraction of
     ``0.0`` runs every job contiguously and reproduces the non-preemptive
     sweep bit-for-bit.  Emissions are always charged on the true traces.
+
+    Each cell is additionally replayed under the dynamic ``"spillover"``
+    placement at every value of the ``spillover_thresholds`` axis, against
+    the *same* static-placement FIFO baseline, yielding the
+    ``spillover_recovered`` column (how much of the static contention loss
+    dynamic load balancing wins back).  No uncontended spillover run is
+    needed: with ``slots = num_jobs`` the occupancy estimator never sees a
+    queue, so dynamic and static placement coincide.  The routable
+    ``spillover_threshold`` option (CLI ``--spillover-threshold``)
+    collapses the axis to that single value.
 
     ``workers`` fans each fleet replay out per busy region via
     :func:`repro.runtime.parallel_map_regions`; serial and pooled sweeps
@@ -268,11 +365,17 @@ def run_fleet(
     sample_regions_per_group = config_option(
         config, "sample_regions_per_group", sample_regions_per_group
     )
+    spillover_threshold = config_option(config, "spillover_threshold", spillover_threshold)
     slots_grid = tuple(int(slots) for slots in slots_per_region)
     fractions = tuple(float(fraction) for fraction in migratable_fractions)
     intr_fractions = tuple(float(fraction) for fraction in interruptible_fractions)
     errors = tuple(float(error) for error in error_magnitudes)
-    if not slots_grid or not fractions or not intr_fractions or not errors:
+    thresholds = (
+        (float(spillover_threshold),)
+        if spillover_threshold is not None
+        else tuple(float(threshold) for threshold in spillover_thresholds)
+    )
+    if not slots_grid or not fractions or not intr_fractions or not errors or not thresholds:
         raise ConfigurationError("all sweep grids must be non-empty")
     if num_jobs <= 0:
         raise ConfigurationError("num_jobs must be positive")
@@ -327,26 +430,54 @@ def run_fleet(
                 uncontended_saving = (
                     (fifo_free - aware_free) / fifo_free if fifo_free > 0 else 0.0
                 )
-                for slots in slots_grid:
-                    fifo = fifo_by_slots[slots]
-                    aware = aware_by_slots[slots]
-                    rows.append(
-                        FleetContentionRow(
-                            slots_per_region=slots,
-                            migratable_fraction=fraction,
-                            interruptible_fraction=intr_fraction,
-                            error_magnitude=error,
-                            fifo_emissions_g=fifo.total_emissions_g,
-                            aware_emissions_g=aware.total_emissions_g,
-                            uncontended_saving_fraction=uncontended_saving,
-                            bound_saving_fraction=bound_saving,
-                            completed_jobs=aware.completed_jobs,
-                            total_jobs=aware.total_jobs,
-                            mean_start_delay_hours=aware.mean_start_delay_hours,
-                            max_queue_length=aware.max_queue_length,
-                            suspensions=aware.total_suspensions,
-                        )
+                for threshold in thresholds:
+                    # Cells where the dynamic placer is provably bit-identical
+                    # to the static arm reuse its replays: nothing can divert
+                    # without migratable jobs, and an infinite wait budget
+                    # degenerates to static greenest.
+                    static_identical = fraction == 0.0 or (
+                        threshold == float("inf") and placement == PLACEMENT_GREENEST
                     )
+                    spillover_by_slots = (
+                        aware_by_slots
+                        if static_identical
+                        else {
+                            slots: FleetSimulator(dataset, slots, year).run(
+                                workload,
+                                PLACEMENT_SPILLOVER,
+                                admission,
+                                error_magnitude=error,
+                                seed=int(seed),
+                                workers=workers,
+                                spillover_threshold=threshold,
+                            )
+                            for slots in slots_grid
+                        }
+                    )
+                    for slots in slots_grid:
+                        fifo = fifo_by_slots[slots]
+                        aware = aware_by_slots[slots]
+                        spill = spillover_by_slots[slots]
+                        rows.append(
+                            FleetContentionRow(
+                                slots_per_region=slots,
+                                migratable_fraction=fraction,
+                                interruptible_fraction=intr_fraction,
+                                error_magnitude=error,
+                                spillover_threshold=threshold,
+                                fifo_emissions_g=fifo.total_emissions_g,
+                                aware_emissions_g=aware.total_emissions_g,
+                                spillover_emissions_g=spill.total_emissions_g,
+                                uncontended_saving_fraction=uncontended_saving,
+                                bound_saving_fraction=bound_saving,
+                                completed_jobs=aware.completed_jobs,
+                                total_jobs=aware.total_jobs,
+                                spillover_completed_jobs=spill.completed_jobs,
+                                mean_start_delay_hours=aware.mean_start_delay_hours,
+                                max_queue_length=aware.max_queue_length,
+                                suspensions=aware.total_suspensions,
+                            )
+                        )
     return FleetContentionResult(
         rows_by_setting=tuple(rows),
         num_jobs=int(num_jobs),

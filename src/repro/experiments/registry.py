@@ -202,10 +202,13 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "fleet",
             "Fleet-scale contention: slot limits, mixed workloads, "
             "suspend/resume interruptibility and forecast error eroding the "
-            "isolated-job savings",
+            "isolated-job savings, with dynamic cross-region spillover "
+            "placement recovering part of the loss",
             "§5.2.2/§5.2.5/§6.1-§6.2 (contention)",
             run_fleet,
-            options=frozenset({"workers", "seed", "sample_regions_per_group"}),
+            options=frozenset(
+                {"workers", "seed", "sample_regions_per_group", "spillover_threshold"}
+            ),
         ),
     )
 }

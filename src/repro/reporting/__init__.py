@@ -1,6 +1,21 @@
-"""Reporting helpers: plain-text tables and CSV export of experiment rows."""
+"""Reporting helpers: plain-text tables, CSV export of experiment rows, and
+the benchmark wall-clock regression gate."""
 
+from repro.reporting.bench import (
+    BenchGateReport,
+    BenchRegression,
+    check_bench_regressions,
+    load_bench_artifacts,
+)
 from repro.reporting.export import rows_to_csv, write_rows_csv
 from repro.reporting.tables import format_table
 
-__all__ = ["format_table", "rows_to_csv", "write_rows_csv"]
+__all__ = [
+    "BenchGateReport",
+    "BenchRegression",
+    "check_bench_regressions",
+    "format_table",
+    "load_bench_artifacts",
+    "rows_to_csv",
+    "write_rows_csv",
+]

@@ -1,0 +1,235 @@
+"""Benchmark regression gate over persisted ``BENCH_*.json`` artifacts.
+
+Every benchmark session persists its wall-clock table as a
+``BENCH_<utc-timestamp>_<pid>.json`` artifact (see ``benchmarks/conftest.py``),
+so run-over-run history accumulates in ``bench-results/``.  This module is
+the gate over that history: it loads the *newest* artifact, builds a
+per-benchmark baseline from all older artifacts recorded under the same
+``regions_limit`` (the knob that changes the workload size, so timings from
+differently-sized runs never gate each other), and fails when any benchmark's
+wall clock exceeds ``tolerance ×`` its historical median.
+
+The baseline is the *median* of each benchmark's historical seconds, so one
+anomalously fast or slow run cannot skew the gate; benchmarks whose baseline
+is below ``min_baseline_seconds`` are ignored (sub-50 ms timings are noise).
+When there is nothing to compare — fewer than two artifacts, no history with
+a matching ``regions_limit``, or no overlapping benchmark names — the gate
+*skips cleanly* instead of failing, so fresh checkouts and first runs pass.
+
+Run it from the command line (the CI step after the benchmark suite)::
+
+    python -m repro.reporting.bench --dir bench-results --tolerance 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+#: Default wall-clock regression tolerance: a benchmark fails the gate when
+#: it takes more than this many times its historical median.  Generous on
+#: purpose — shared CI runners jitter, and the gate should only catch real
+#: regressions (an accidentally quadratic loop, a lost memoisation).
+DEFAULT_TOLERANCE = 3.0
+
+#: Baselines faster than this are never gated: at that scale the runner's
+#: scheduling noise dominates the benchmark itself.
+DEFAULT_MIN_BASELINE_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class BenchRegression:
+    """One benchmark that exceeded its historical wall-clock budget."""
+
+    test: str
+    seconds: float
+    baseline_seconds: float
+    #: ``seconds / baseline_seconds`` — how many times slower than history.
+    ratio: float
+
+
+@dataclass(frozen=True)
+class BenchGateReport:
+    """Outcome of one regression-gate evaluation.
+
+    ``skipped_reason`` is set (and ``checked`` is zero) when there was
+    nothing to compare; the gate then counts as passed.
+    """
+
+    newest: Path | None
+    history_runs: int
+    checked: int
+    regressions: tuple[BenchRegression, ...]
+    skipped_reason: str | None = None
+
+    @property
+    def skipped(self) -> bool:
+        """Whether there was nothing to compare against."""
+        return self.skipped_reason is not None
+
+    @property
+    def passed(self) -> bool:
+        """Whether the gate passes (no regressions; a skip passes)."""
+        return not self.regressions
+
+
+def load_bench_artifacts(directory: str | Path) -> list[tuple[Path, dict]]:
+    """All parseable ``BENCH_*.json`` artifacts, oldest first.
+
+    The filename's UTC timestamp prefix makes lexicographic order
+    chronological.  Unparseable files (e.g. a truncated artifact from a
+    killed run) are skipped rather than failing the gate.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    artifacts: list[tuple[Path, dict]] = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(payload, dict) and isinstance(payload.get("benchmarks"), list):
+            artifacts.append((path, payload))
+    return artifacts
+
+
+def _passed_seconds(payload: dict) -> dict[str, float]:
+    """Per-benchmark wall clock of one artifact's *passed* records."""
+    seconds: dict[str, float] = {}
+    for record in payload.get("benchmarks", ()):
+        if (
+            isinstance(record, dict)
+            and record.get("outcome") == "passed"
+            and isinstance(record.get("seconds"), (int, float))
+            and isinstance(record.get("test"), str)
+        ):
+            seconds[record["test"]] = float(record["seconds"])
+    return seconds
+
+
+def check_bench_regressions(
+    directory: str | Path = "bench-results",
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_baseline_seconds: float = DEFAULT_MIN_BASELINE_SECONDS,
+) -> BenchGateReport:
+    """Gate the newest benchmark artifact against its persisted history."""
+    if tolerance <= 1.0:
+        raise ValueError("tolerance must be greater than 1")
+    artifacts = load_bench_artifacts(directory)
+    if len(artifacts) < 2:
+        return BenchGateReport(
+            newest=artifacts[-1][0] if artifacts else None,
+            history_runs=0,
+            checked=0,
+            regressions=(),
+            skipped_reason=f"fewer than two artifacts in {directory}",
+        )
+    newest_path, newest = artifacts[-1]
+    regions_limit = newest.get("regions_limit")
+    history = [
+        payload
+        for _, payload in artifacts[:-1]
+        if payload.get("regions_limit") == regions_limit
+    ]
+    if not history:
+        return BenchGateReport(
+            newest=newest_path,
+            history_runs=0,
+            checked=0,
+            regressions=(),
+            skipped_reason=(
+                f"no history with regions_limit={regions_limit!r} to compare against"
+            ),
+        )
+    by_test: dict[str, list[float]] = {}
+    for payload in history:
+        for test, seconds in _passed_seconds(payload).items():
+            by_test.setdefault(test, []).append(seconds)
+    current = _passed_seconds(newest)
+    checked = 0
+    regressions: list[BenchRegression] = []
+    for test, seconds in current.items():
+        past = by_test.get(test)
+        if not past:
+            continue  # newly added benchmark: no baseline yet
+        baseline = statistics.median(past)
+        if baseline < min_baseline_seconds:
+            continue
+        checked += 1
+        if seconds > tolerance * baseline:
+            regressions.append(
+                BenchRegression(
+                    test=test,
+                    seconds=seconds,
+                    baseline_seconds=baseline,
+                    ratio=seconds / baseline,
+                )
+            )
+    if checked == 0:
+        return BenchGateReport(
+            newest=newest_path,
+            history_runs=len(history),
+            checked=0,
+            regressions=(),
+            skipped_reason="no overlapping benchmark names above the noise floor",
+        )
+    regressions.sort(key=lambda r: r.ratio, reverse=True)
+    return BenchGateReport(
+        newest=newest_path,
+        history_runs=len(history),
+        checked=checked,
+        regressions=tuple(regressions),
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point: exit 1 when any benchmark regressed."""
+    parser = argparse.ArgumentParser(
+        prog="repro.reporting.bench",
+        description="Gate the newest BENCH_*.json against persisted history",
+    )
+    parser.add_argument(
+        "--dir", default="bench-results",
+        help="directory holding the BENCH_*.json artifacts (default: bench-results)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="fail when a benchmark exceeds this multiple of its historical "
+        f"median (default: {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--min-baseline-seconds", type=float, default=DEFAULT_MIN_BASELINE_SECONDS,
+        help="ignore benchmarks whose baseline is below this "
+        f"(default: {DEFAULT_MIN_BASELINE_SECONDS})",
+    )
+    args = parser.parse_args(argv)
+    report = check_bench_regressions(
+        args.dir, tolerance=args.tolerance, min_baseline_seconds=args.min_baseline_seconds
+    )
+    if report.skipped:
+        print(f"benchmark gate skipped: {report.skipped_reason}")
+        return 0
+    print(
+        f"benchmark gate: {report.checked} benchmark(s) from {report.newest} "
+        f"against {report.history_runs} history run(s), "
+        f"tolerance {args.tolerance:g}x"
+    )
+    for regression in report.regressions:
+        print(
+            f"  REGRESSION {regression.test}: {regression.seconds:.3f}s vs "
+            f"median {regression.baseline_seconds:.3f}s "
+            f"({regression.ratio:.2f}x)"
+        )
+    if report.regressions:
+        return 1
+    print("  all within budget")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    raise SystemExit(main())

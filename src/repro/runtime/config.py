@@ -27,7 +27,18 @@ from repro.runtime.executor import resolve_workers
 #: :attr:`ExperimentSpec.options`.  Dataset-shaping fields (regions, years)
 #: and reporting fields (cache_dir) are deliberately not options — they
 #: parameterise the shared dataset / output layout, not one experiment.
-OPTION_FIELDS = ("workers", "arrival_stride", "sample_regions_per_group", "seed")
+OPTION_FIELDS = (
+    "workers",
+    "arrival_stride",
+    "sample_regions_per_group",
+    "seed",
+    "spillover_threshold",
+)
+
+#: Per-option value types: experiment kwargs are coerced through these when
+#: routed (everything is an integer count except the spillover queue-wait
+#: threshold, which is fractional hours).
+_OPTION_CASTS = {"spillover_threshold": float}
 
 #: Option fields that are *also* global run parameters (``seed`` shapes the
 #: synthetic dataset for every experiment).  They route into experiments that
@@ -64,6 +75,10 @@ class RunConfig:
         reproducible across sessions).  Experiments that declare ``seed`` as
         an option (the fleet contention sweep) additionally receive it to
         seed their workload generation.
+    spillover_threshold:
+        Estimated queue wait (hours) beyond which the fleet sweep's
+        dynamic ``"spillover"`` placement diverts migratable jobs to the
+        next-greenest region (``None`` = the experiment's own axis).
     cache_dir:
         Directory where ``run-all`` writes one CSV per figure.
     """
@@ -74,6 +89,7 @@ class RunConfig:
     arrival_stride: int | None = None
     sample_regions_per_group: int | None = None
     seed: int | None = None
+    spillover_threshold: float | None = None
     cache_dir: Path | None = None
 
     def __post_init__(self) -> None:
@@ -96,6 +112,10 @@ class RunConfig:
             and int(self.sample_regions_per_group) <= 0
         ):
             raise ConfigurationError("sample_regions_per_group must be positive")
+        if self.spillover_threshold is not None and not (
+            float(self.spillover_threshold) >= 0.0  # also rejects NaN
+        ):
+            raise ConfigurationError("spillover_threshold must be non-negative")
         if self.cache_dir is not None:
             object.__setattr__(self, "cache_dir", Path(self.cache_dir))
 
@@ -144,7 +164,7 @@ class RunConfig:
                 f"routable options: {sorted(OPTION_FIELDS)}"
             )
         return {
-            name: int(getattr(self, name))
+            name: _OPTION_CASTS.get(name, int)(getattr(self, name))
             for name in sorted(options)
             if getattr(self, name) is not None
         }
@@ -169,9 +189,9 @@ class RunConfig:
 def config_option(
     config: "RunConfig | None",
     name: str,
-    value: int | None,
-    default: int | None = None,
-) -> int | None:
+    value: int | float | None,
+    default: int | float | None = None,
+) -> int | float | None:
     """Resolve one experiment option against an optional :class:`RunConfig`.
 
     Precedence: an explicitly passed keyword argument wins, then the

@@ -135,6 +135,29 @@ class TestCommands:
             main(["run", "fig1", "--regions", "SE,US-CA", "--years", "2022",
                   "--workers", "2"])
 
+    def test_spillover_threshold_routes_only_into_fleet(self, tmp_path):
+        """--spillover-threshold is declared by the fleet experiment only:
+        any other experiment must reject it explicitly instead of silently
+        dropping it."""
+        from repro.exceptions import ConfigurationError
+
+        for experiment in ("fig5", "fig7"):
+            with pytest.raises(ConfigurationError, match="does not accept"):
+                main(["run", experiment, "--regions", "SE,US-CA", "--years",
+                      "2022", "--spillover-threshold", "0"])
+        csv_path = tmp_path / "fleet.csv"
+        assert main(
+            ["run", "fleet", "--regions", "SE,DE,US-CA", "--years", "2022",
+             "--seed", "7", "--spillover-threshold", "2.5",
+             "--csv", str(csv_path)]
+        ) == 0
+        header, first = csv_path.read_text().splitlines()[:2]
+        assert "spillover_recovered" in header
+        assert "spillover_threshold" in header
+        # The routed option collapsed the axis to the CLI value.
+        column = header.split(",").index("spillover_threshold")
+        assert first.split(",")[column] == "2.5"
+
 
 class TestRunAll:
     def test_run_all_reduced_regions(self, capsys, tmp_path):

@@ -13,8 +13,10 @@ from repro.cloud.engine import (
 from repro.cloud.fleet import (
     ADMISSION_FORECAST,
     ADMISSION_FORECAST_PREEMPTIVE,
+    NO_SPILLOVER,
     PLACEMENT_GREENEST,
     PLACEMENT_ORIGIN,
+    PLACEMENT_SPILLOVER,
     FleetSimulator,
 )
 from repro.exceptions import ConfigurationError
@@ -316,6 +318,156 @@ class TestPreemptiveFleetRuns:
         assert comparison["fifo"].total_suspensions == 0
 
 
+@pytest.fixture(scope="module")
+def close_means_dataset():
+    """Three regions whose annual means are close (SE < NO < FI), so the
+    spatial premium of spilling to the next-greenest region is small
+    compared to the temporal swing — the regime where dynamic placement
+    can recover contention losses."""
+    catalog = default_catalog().subset(("SE", "NO", "FI"))
+    hours = np.arange(HORIZON)
+    diurnal = np.cos(2 * np.pi * (hours - 14) / 24.0)
+    traces = {
+        ("SE", 2022): HourlySeries(60.0 + 35.0 * diurnal, name="SE"),
+        ("NO", 2022): HourlySeries(70.0 + 35.0 * diurnal, name="NO"),
+        ("FI", 2022): HourlySeries(80.0 + 35.0 * diurnal, name="FI"),
+    }
+    return CarbonDataset.from_traces(catalog, traces)
+
+
+class TestSpilloverPlacement:
+    """The dynamic cross-region spillover placement kind."""
+
+    def test_infinite_threshold_is_bit_identical_to_greenest(
+        self, fleet_dataset, mixed_workload
+    ):
+        """With an infinite queue-wait budget nothing ever spills: the
+        dynamic placer degenerates to static greenest exactly."""
+        simulator = FleetSimulator(fleet_dataset, slots_per_region=2)
+        for admission in ("fifo", "carbon-aware", "carbon-aware-preemptive"):
+            static = simulator.run(mixed_workload, PLACEMENT_GREENEST, admission)
+            dynamic = simulator.run(
+                mixed_workload, PLACEMENT_SPILLOVER, admission,
+                spillover_threshold=NO_SPILLOVER,
+            )
+            assert dynamic.per_region == static.per_region
+        assert dynamic.placement == PLACEMENT_SPILLOVER
+        assert dynamic.spillover_threshold == NO_SPILLOVER
+
+    def test_single_region_catalog_never_diverts(self):
+        """A one-region catalog has no next-greenest candidate: spillover is
+        bit-identical to both origin and greenest placement even at the most
+        aggressive threshold."""
+        catalog = default_catalog().subset(("SE",))
+        hours = np.arange(HORIZON)
+        traces = {
+            ("SE", 2022): HourlySeries(
+                100.0 + 30.0 * np.cos(2 * np.pi * hours / 24.0), name="SE"
+            )
+        }
+        dataset = CarbonDataset.from_traces(catalog, traces)
+        generator = ClusterTraceGenerator(
+            GeneratorConfig(num_jobs=30, horizon_hours=HORIZON, seed=3)
+        )
+        workload = generator.generate_mixed(("SE",), migratable_fraction=1.0)
+        simulator = FleetSimulator(dataset, slots_per_region=1)
+        spillover = simulator.run(
+            workload, PLACEMENT_SPILLOVER, "carbon-aware", spillover_threshold=0.0
+        )
+        assert spillover.per_region == simulator.run(
+            workload, PLACEMENT_ORIGIN, "carbon-aware"
+        ).per_region
+        assert spillover.per_region == simulator.run(
+            workload, PLACEMENT_GREENEST, "carbon-aware"
+        ).per_region
+
+    def test_all_non_migratable_is_bit_identical_to_origin(
+        self, fleet_dataset, mixed_workload
+    ):
+        pinned = ClusterTrace.from_jobs(
+            [
+                type(t)(
+                    job=t.job.as_non_migratable(),
+                    arrival_hour=t.arrival_hour,
+                    origin_region=t.origin_region,
+                )
+                for t in mixed_workload
+            ]
+        )
+        simulator = FleetSimulator(fleet_dataset, slots_per_region=2)
+        spillover = simulator.run(
+            pinned, PLACEMENT_SPILLOVER, "carbon-aware", spillover_threshold=0.0
+        )
+        origin = simulator.run(pinned, PLACEMENT_ORIGIN, "carbon-aware")
+        assert spillover.per_region == origin.per_region
+
+    def test_serial_and_pooled_spillover_runs_bit_identical(
+        self, close_means_dataset
+    ):
+        workload = ClusterTraceGenerator(
+            GeneratorConfig(num_jobs=60, horizon_hours=HORIZON, seed=5)
+        ).generate_mixed(("SE", "NO", "FI"), migratable_fraction=1.0)
+        simulator = FleetSimulator(close_means_dataset, slots_per_region=1)
+        serial = simulator.run(
+            workload, PLACEMENT_SPILLOVER, ADMISSION_FORECAST_PREEMPTIVE,
+            error_magnitude=0.3, seed=9, spillover_threshold=0.0,
+        )
+        pooled = simulator.run(
+            workload, PLACEMENT_SPILLOVER, ADMISSION_FORECAST_PREEMPTIVE,
+            error_magnitude=0.3, seed=9, spillover_threshold=0.0, workers=POOL,
+        )
+        assert serial == pooled  # frozen dataclasses: exact float equality
+
+    def test_contended_green_region_spills_down_the_waterfall(
+        self, close_means_dataset
+    ):
+        """Under contention the aggressive placer diverts part of the
+        migratable load to the next-greenest regions instead of funnelling
+        everything into SE."""
+        workload = ClusterTraceGenerator(
+            GeneratorConfig(num_jobs=60, horizon_hours=HORIZON, seed=5)
+        ).generate_mixed(("SE", "NO", "FI"), migratable_fraction=1.0)
+        simulator = FleetSimulator(close_means_dataset, slots_per_region=1)
+        static = simulator.place(workload, PLACEMENT_GREENEST)
+        assert set(static) == {"SE"}
+        dynamic = simulator.place(
+            workload, PLACEMENT_SPILLOVER, spillover_threshold=0.0
+        )
+        assert "SE" in dynamic and len(dynamic) > 1
+        assert sum(len(t) for t in dynamic.values()) == len(workload)
+        # Diverted jobs are all migratable: pinned jobs never move.
+        for code, sub_trace in dynamic.items():
+            assert all(
+                t.job.migratable for t in sub_trace if t.origin_region != code
+            )
+
+    def test_spillover_respects_candidate_list(self, fleet_dataset, mixed_workload):
+        """A candidate list excluding the origin must never push work to a
+        dirtier region — the greenest-placement regression, dynamically."""
+        simulator = FleetSimulator(fleet_dataset, slots_per_region=1)
+        by_region = simulator.place(
+            mixed_workload, PLACEMENT_SPILLOVER, candidates=("DE", "PL"),
+            spillover_threshold=0.0,
+        )
+        # SE is greener than every candidate: none of its jobs may leave.
+        se_jobs = sum(1 for t in mixed_workload if t.origin_region == "SE")
+        assert len(by_region["SE"]) == se_jobs
+        for code in set(by_region) - {"SE"}:
+            assert all(t.origin_region != "SE" for t in by_region[code])
+
+    def test_negative_or_nan_threshold_raises(self, fleet_dataset, mixed_workload):
+        simulator = FleetSimulator(fleet_dataset, slots_per_region=2)
+        with pytest.raises(ConfigurationError):
+            simulator.place(
+                mixed_workload, PLACEMENT_SPILLOVER, spillover_threshold=-1.0
+            )
+        with pytest.raises(ConfigurationError):
+            simulator.run(
+                mixed_workload, PLACEMENT_SPILLOVER, "carbon-aware",
+                spillover_threshold=float("nan"),
+            )
+
+
 class TestFleetExperiment:
     SWEEP_GRIDS = dict(
         num_jobs=40,
@@ -408,19 +560,92 @@ class TestFleetExperiment:
         pooled = run_fleet(fleet_dataset, workers=POOL, **self.SWEEP_GRIDS)
         assert sweep.rows() == pooled.rows()
 
+    def test_rows_carry_the_spillover_columns(self, sweep):
+        rows = sweep.rows()
+        assert {
+            "spillover_threshold",
+            "spillover_emissions_g",
+            "spillover_saving_fraction",
+            "spillover_saving_retained",
+            "spillover_recovered",
+            "spillover_completed_jobs",
+        } <= set(rows[0])
+        assert all(row["spillover_threshold"] == 0.0 for row in rows)
+
+    def test_spillover_threshold_axis_multiplies_the_grid(self, fleet_dataset):
+        grids = dict(self.SWEEP_GRIDS)
+        grids.update(
+            migratable_fractions=(1.0,), interruptible_fractions=(0.0,),
+            error_magnitudes=(0.0,), spillover_thresholds=(0.0, float("inf")),
+        )
+        result = run_fleet(fleet_dataset, **grids)
+        assert len(result.rows_by_setting) == 2 * 2  # slots × thresholds
+        # The infinite-threshold rows degenerate to static placement: the
+        # spillover arm is bit-identical to the static aware arm.
+        for slots in (1, 3):
+            frozen = result.row(slots, 1.0, 0.0, 0.0, spillover_threshold=float("inf"))
+            assert frozen.spillover_emissions_g == frozen.aware_emissions_g
+            assert frozen.spillover_saving_fraction == frozen.saving_fraction
+            # Identical arms recover all of no loss, none of a real one.
+            loss = frozen.uncontended_saving_fraction - frozen.saving_fraction
+            assert frozen.spillover_recovered == (1.0 if loss <= 0 else 0.0)
+        # Lookup without a threshold returns the first axis value's row.
+        assert result.row(1, 1.0, 0.0, 0.0).spillover_threshold == 0.0
+
+    def test_spillover_threshold_option_collapses_the_axis(self, fleet_dataset):
+        grids = dict(self.SWEEP_GRIDS)
+        grids.update(
+            migratable_fractions=(1.0,), interruptible_fractions=(0.0,),
+            error_magnitudes=(0.0,), spillover_thresholds=(0.0, 12.0),
+        )
+        result = run_fleet(fleet_dataset, spillover_threshold=12.0, **grids)
+        assert {row.spillover_threshold for row in result.rows_by_setting} == {12.0}
+
+    def test_contended_cell_spillover_retains_at_least_static(
+        self, close_means_dataset
+    ):
+        """Acceptance: on a contended cell (low slots, fully migratable)
+        over close-mean regions the dynamic placer retains at least as much
+        of the uncontended saving as static greenest, and wins back part of
+        the contention loss."""
+        from repro.workloads.distributions import JobLengthDistribution
+
+        short = JobLengthDistribution("short", {2.0: 1.0, 4.0: 1.0, 8.0: 1.0})
+        result = run_fleet(
+            close_means_dataset,
+            num_jobs=120,
+            slots_per_region=(1, 2),
+            migratable_fractions=(1.0,),
+            interruptible_fractions=(0.0,),
+            error_magnitudes=(0.0,),
+            spillover_thresholds=(0.0,),
+            batch_slack_hours=24.0,
+            length_distribution=short,
+            seed=0,
+        )
+        for slots in (1, 2):
+            row = result.row(slots, 1.0, 0.0, 0.0)
+            assert row.spillover_saving_retained >= row.saving_retained
+            assert row.spillover_recovered > 0.0
+            # The dynamic placer also completes at least as much work.
+            assert row.spillover_completed_jobs >= row.completed_jobs
+
     def test_retained_metrics_zero_denominator_convention(self):
         """When a bound offers no saving, retained is 1.0 unless the fleet
         actually loses to FIFO — the same convention `clairvoyance_gap`
         uses for its captured fraction."""
         from repro.experiments.fleet_contention import FleetContentionRow
 
-        def make_row(fifo, aware, uncontended, bound):
+        def make_row(fifo, aware, uncontended, bound, spillover=None):
             return FleetContentionRow(
                 slots_per_region=1, migratable_fraction=0.0,
                 interruptible_fraction=0.0, error_magnitude=0.0,
+                spillover_threshold=0.0,
                 fifo_emissions_g=fifo, aware_emissions_g=aware,
+                spillover_emissions_g=aware if spillover is None else spillover,
                 uncontended_saving_fraction=uncontended,
                 bound_saving_fraction=bound, completed_jobs=1, total_jobs=1,
+                spillover_completed_jobs=1,
                 mean_start_delay_hours=0.0, max_queue_length=1, suspensions=0,
             )
 
@@ -434,6 +659,48 @@ class TestFleetExperiment:
         assert ordinary.saving_retained == pytest.approx(0.5)
         assert ordinary.bound_saving_retained == pytest.approx(0.4)
 
+    def test_spillover_metrics_conventions(self):
+        """`spillover_saving_retained` shares `saving_retained`'s convention;
+        `spillover_recovered` is the recovered fraction of the static
+        contention loss, 1.0 when there is no loss and the dynamic arm does
+        not fall behind, and may exceed 1.0 on a genuine overshoot."""
+        from repro.experiments.fleet_contention import FleetContentionRow
+
+        def make_row(fifo, aware, spillover, uncontended):
+            return FleetContentionRow(
+                slots_per_region=1, migratable_fraction=1.0,
+                interruptible_fraction=0.0, error_magnitude=0.0,
+                spillover_threshold=0.0,
+                fifo_emissions_g=fifo, aware_emissions_g=aware,
+                spillover_emissions_g=spillover,
+                uncontended_saving_fraction=uncontended,
+                bound_saving_fraction=0.0, completed_jobs=1, total_jobs=1,
+                spillover_completed_jobs=1,
+                mean_start_delay_hours=0.0, max_queue_length=1, suspensions=0,
+            )
+
+        # Static lost half the uncontended saving; spillover wins half of
+        # that loss back.
+        halfway = make_row(100.0, 90.0, 85.0, 0.2)
+        assert halfway.saving_fraction == pytest.approx(0.10)
+        assert halfway.spillover_saving_fraction == pytest.approx(0.15)
+        assert halfway.spillover_saving_retained == pytest.approx(0.75)
+        assert halfway.spillover_recovered == pytest.approx(0.5)
+        # No contention loss at all: recovered is 1.0 unless the dynamic
+        # arm actually falls behind the static one.
+        no_loss = make_row(100.0, 80.0, 80.0, 0.2)
+        assert no_loss.spillover_recovered == 1.0
+        behind = make_row(100.0, 80.0, 90.0, 0.2)
+        assert behind.spillover_recovered == 0.0
+        # Dynamic placement beating even the uncontended static saving
+        # overshoots past 1.0 rather than being clamped.
+        overshoot = make_row(100.0, 90.0, 75.0, 0.2)
+        assert overshoot.spillover_recovered == pytest.approx(1.5)
+        # Zero uncontended saving: retained degenerates like saving_retained.
+        degenerate = make_row(100.0, 100.0, 100.0, 0.0)
+        assert degenerate.spillover_saving_retained == 1.0
+        assert make_row(100.0, 100.0, 110.0, 0.0).spillover_saving_retained == 0.0
+
     def test_invalid_grids(self, fleet_dataset):
         with pytest.raises(ConfigurationError):
             run_fleet(fleet_dataset, slots_per_region=())
@@ -442,7 +709,9 @@ class TestFleetExperiment:
 
     def test_registry_declares_fleet_options(self):
         spec = get_experiment("fleet")
-        assert spec.options == frozenset({"workers", "seed", "sample_regions_per_group"})
+        assert spec.options == frozenset(
+            {"workers", "seed", "sample_regions_per_group", "spillover_threshold"}
+        )
 
     def test_registry_routes_seed_and_sampling(self, fleet_dataset):
         config = RunConfig(seed=11, workers=POOL, sample_regions_per_group=1)

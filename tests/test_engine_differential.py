@@ -1,0 +1,180 @@
+"""Randomized differential tests: slot/queue engine vs per-job reference loop.
+
+The hand-built equivalence workloads in ``test_cloud_scheduler_sim.py`` pin
+known-tricky schedules; this sweep complements them with seeded *random*
+workloads — varying slot counts, job lengths, slack, interruptible and
+migratable fractions, arrival patterns and trace shapes — and asserts that
+:func:`repro.cloud.engine.simulate_slot_queue` reproduces
+:meth:`ClusterSimulator.run_reference` across **all five** fleet admissions:
+``fifo``, ``carbon-aware`` and ``carbon-aware-preemptive`` directly, plus
+the two forecast-driven variants (decide on an error-injected trace, pay
+the true one), which the reference loop models with a policy subclass that
+evaluates the threshold rule on the forecast series.
+
+Decisions (completions, queue depths, delays, suspensions) must match
+exactly; emissions to within float-addition associativity (the engine
+charges per segment on a prefix sum, the reference loop per hour).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.engine import (
+    ADMISSION_CARBON_AWARE,
+    ADMISSION_CARBON_AWARE_PREEMPTIVE,
+    ADMISSION_FIFO,
+    simulate_slot_queue,
+)
+from repro.cloud.scheduler_sim import (
+    CarbonAwareSchedulingPolicy,
+    ClusterSimulator,
+    FifoSchedulingPolicy,
+    PreemptiveCarbonAwareSchedulingPolicy,
+)
+from repro.forecast.error import UniformErrorModel
+from repro.timeseries.series import HourlySeries
+from repro.workloads.generator import ClusterTraceGenerator, GeneratorConfig
+from repro.workloads.distributions import JobLengthDistribution
+
+#: A few dozen seeds keeps the sweep meaningful while staying tier-1 cheap.
+SEEDS = tuple(range(30))
+
+
+class _ForecastAwarePolicy(CarbonAwareSchedulingPolicy):
+    """Reference-loop model of forecast admission: the threshold rule decides
+    on a stored forecast series while the simulator charges the true trace."""
+
+    name = "forecast"
+
+    def __init__(self, decision_trace: HourlySeries) -> None:
+        self.decision_trace = decision_trace
+
+    def wants_to_start(self, job, hour, trace):
+        return super().wants_to_start(job, hour, self.decision_trace)
+
+
+class _ForecastPreemptivePolicy(_ForecastAwarePolicy):
+    name = "forecast-preemptive"
+    preemptive = True
+
+
+def _random_scenario(seed: int):
+    """One seeded random (trace, forecast, workload, slots) scenario."""
+    rng = np.random.default_rng(seed)
+    horizon = int(rng.integers(200, 500))
+    num_jobs = int(rng.integers(15, 50))
+    slots = int(rng.integers(1, 5))
+    lengths = sorted(rng.choice([1.0, 2.0, 3.0, 5.0, 8.0, 13.0], size=3, replace=False))
+    distribution = JobLengthDistribution(
+        f"random-{seed}", {length: float(w) for length, w in
+                           zip(lengths, rng.uniform(0.2, 1.0, size=3))}
+    )
+    generator = ClusterTraceGenerator(
+        GeneratorConfig(
+            num_jobs=num_jobs,
+            interactive_fraction=float(rng.uniform(0.0, 0.5)),
+            batch_slack_hours=float(rng.choice([0.0, 6.0, 24.0, 72.0])),
+            # Arrivals inside the first ~2/3 so queues actually drain.
+            horizon_hours=max(int(horizon * rng.uniform(0.3, 0.7)), 1),
+            diurnal_arrivals=bool(rng.integers(0, 2)),
+            seed=seed,
+        ),
+        length_distribution=distribution,
+    )
+    workload = generator.generate_mixed(
+        ["X"],
+        migratable_fraction=float(rng.uniform(0.0, 1.0)),
+        interruptible_fraction=float(rng.uniform(0.0, 1.0)),
+    )
+    hours = np.arange(horizon)
+    values = (
+        rng.uniform(150.0, 450.0)
+        + rng.uniform(20.0, 140.0) * np.cos(2 * np.pi * (hours - rng.integers(0, 24)) / 24.0)
+        + rng.normal(0.0, rng.uniform(5.0, 40.0), horizon)
+    )
+    trace = HourlySeries(np.clip(values, 1.0, None), name="X")
+    forecast = HourlySeries(
+        UniformErrorModel(magnitude=float(rng.uniform(0.05, 0.4)), seed=seed + 1)
+        .apply_values(trace.values),
+        name="X-forecast",
+    )
+    return trace, forecast, workload, slots
+
+
+def _assert_equivalent(engine, reference):
+    assert engine.completed_jobs == reference.completed_jobs
+    assert engine.total_jobs == reference.total_jobs
+    assert engine.mean_start_delay_hours == reference.mean_start_delay_hours
+    assert engine.max_queue_length == reference.max_queue_length
+    assert engine.suspensions == reference.suspensions
+    assert engine.total_emissions_g == pytest.approx(
+        reference.total_emissions_g, rel=1e-9, abs=1e-6
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_engine_matches_reference_on_random_workloads(seed):
+    """Engine ≡ reference loop on the three direct admissions."""
+    trace, _, workload, slots = _random_scenario(seed)
+    simulator = ClusterSimulator(trace, slots)
+    for policy in (
+        FifoSchedulingPolicy(),
+        CarbonAwareSchedulingPolicy(),
+        PreemptiveCarbonAwareSchedulingPolicy(),
+    ):
+        engine = simulator.run(workload, policy)
+        reference = simulator.run_reference(workload, policy)
+        _assert_equivalent(engine, reference)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_engine_matches_reference_on_forecast_admissions(seed):
+    """Engine with ``decision_values`` ≡ reference loop deciding on the
+    forecast series, for both forecast-driven admissions."""
+    trace, forecast, workload, slots = _random_scenario(seed)
+    simulator = ClusterSimulator(trace, slots)
+    arrivals, lengths, deadlines, powers, interruptible = workload.scheduling_arrays()
+    order = np.argsort(arrivals, kind="stable")
+    for policy, admission in (
+        (_ForecastAwarePolicy(forecast), ADMISSION_CARBON_AWARE),
+        (_ForecastPreemptivePolicy(forecast), ADMISSION_CARBON_AWARE_PREEMPTIVE),
+    ):
+        outcome = simulate_slot_queue(
+            trace.values,
+            arrivals,
+            lengths,
+            deadlines,
+            powers,
+            slots,
+            admission=admission,
+            decision_values=forecast.values,
+            interruptible=interruptible,
+        )
+        reference = simulator.run_reference(workload, policy)
+        assert outcome.completed_jobs == reference.completed_jobs
+        assert outcome.mean_start_delay_hours() == reference.mean_start_delay_hours
+        assert outcome.max_queue_length == reference.max_queue_length
+        assert outcome.total_suspensions == reference.suspensions
+        # Accumulate in arrival order to mirror the reference loop's sum.
+        assert float(sum(outcome.emissions_g[order].tolist())) == pytest.approx(
+            reference.total_emissions_g, rel=1e-9, abs=1e-6
+        )
+
+
+def test_random_sweep_exercises_every_admission_path():
+    """Meta-check: across the seeds, the sweep actually hits contention,
+    suspensions and deferrals — not just trivially idle schedules."""
+    saw_queue = saw_suspension = saw_deferral = False
+    for seed in SEEDS:
+        trace, _, workload, slots = _random_scenario(seed)
+        simulator = ClusterSimulator(trace, slots)
+        fifo = simulator.run(workload, FifoSchedulingPolicy())
+        preemptive = simulator.run(workload, PreemptiveCarbonAwareSchedulingPolicy())
+        saw_queue = saw_queue or fifo.max_queue_length > slots
+        saw_suspension = saw_suspension or preemptive.suspensions > 0
+        saw_deferral = saw_deferral or (
+            preemptive.mean_start_delay_hours > fifo.mean_start_delay_hours
+        )
+    assert saw_queue and saw_suspension and saw_deferral

@@ -206,4 +206,23 @@ class TestConfigOption:
             "arrival_stride",
             "sample_regions_per_group",
             "seed",
+            "spillover_threshold",
         }
+
+    def test_spillover_threshold_is_a_strict_float_option(self):
+        """The spillover threshold routes as a *float* (fractional hours and
+        inf are meaningful), participates in strict routing, and rejects
+        negative or NaN values."""
+        config = RunConfig(spillover_threshold=1.5)
+        assert config.explicit_options() == frozenset({"spillover_threshold"})
+        kwargs = config.experiment_kwargs(frozenset({"spillover_threshold"}))
+        assert kwargs == {"spillover_threshold": 1.5}
+        assert isinstance(kwargs["spillover_threshold"], float)
+        assert RunConfig(spillover_threshold=float("inf")).experiment_kwargs(
+            frozenset({"spillover_threshold"})
+        ) == {"spillover_threshold": float("inf")}
+        assert config_option(config, "spillover_threshold", None) == 1.5
+        with pytest.raises(ConfigurationError):
+            RunConfig(spillover_threshold=-0.5)
+        with pytest.raises(ConfigurationError):
+            RunConfig(spillover_threshold=float("nan"))
