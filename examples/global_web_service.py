@@ -15,7 +15,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import CarbonDataset, Job, default_catalog
+from repro import CarbonDataset, default_catalog
 from repro.cloud.latency import LatencyModel
 from repro.reporting import format_table
 from repro.scheduling import OneMigrationPolicy

@@ -16,7 +16,7 @@ from __future__ import annotations
 import sys
 
 from repro import CarbonDataset, default_catalog
-from repro.forecast import UniformErrorModel, temporal_error_impact
+from repro.forecast import temporal_error_impact
 from repro.grid.evolution import GridEvolution
 from repro.reporting import format_table
 from repro.scheduling import TemporalSweep

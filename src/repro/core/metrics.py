@@ -27,7 +27,7 @@ def relative_reduction_percent(
     baseline_emissions_g: float, optimized_emissions_g: float
 ) -> float:
     """Reduction as a percentage of the baseline emissions."""
-    if baseline_emissions_g == 0:
+    if baseline_emissions_g == 0:  # repro: allow[float-equality] exact-zero sentinel for an empty baseline
         return 0.0
     return 100.0 * (baseline_emissions_g - optimized_emissions_g) / baseline_emissions_g
 

@@ -7,8 +7,7 @@ compared against (§3.1.3 of the paper defines the reduction metrics).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 from repro.exceptions import ConfigurationError
 from repro.workloads.job import Job
@@ -82,7 +81,7 @@ class ScheduleResult:
     @property
     def relative_reduction(self) -> float:
         """Reduction as a fraction of the baseline emissions."""
-        if self.baseline_emissions_g == 0:
+        if self.baseline_emissions_g == 0:  # repro: allow[float-equality] exact-zero sentinel for an empty baseline
             return 0.0
         return self.reduction_g / self.baseline_emissions_g
 

@@ -1,0 +1,50 @@
+"""repro.devtools — static-analysis gates for the repository's invariants.
+
+The repo's correctness rests on conventions nothing in Python enforces:
+every RNG stream must be explicitly seeded, library code must never read
+the wall clock, every :class:`ExecutionSlice` start hour must wrap modulo
+the trace length, callables handed to ``parallel_map_regions`` must be
+picklable module-level functions, and floats must not be compared with
+``==``.  Each of these caused a shipped bug before this package existed;
+the two tools here turn them into CI-blocking checks:
+
+* ``python -m repro.devtools.lint src tests benchmarks examples`` — the
+  *reprolint* AST battery (:mod:`repro.devtools.rules`), dependency-free
+  so it can lint a broken tree.  Violations that are intentional carry a
+  per-line ``# repro: allow[rule-id] reason`` suppression; a suppression
+  without a reason, or naming an unknown rule, is itself a finding.
+* ``python -m repro.devtools.contracts`` — imports the live experiment
+  registry and cross-validates every :class:`ExperimentSpec` against the
+  runtime layer: declared options must be real ``RunConfig`` fields,
+  accepted by the ``run_*`` signature, and routed through a cast matching
+  the field's annotated type (float options must not truncate to int).
+
+Adding a rule: subclass :class:`~repro.devtools.core.Rule` in a module
+under :mod:`repro.devtools.rules`, register the class in
+``RULE_CLASSES``, and add good/bad fixture tests in
+``tests/test_devtools_lint.py`` — the CLI, suppression validation and the
+repo-clean tier-1 self-test pick it up automatically.  See the "Static
+analysis gates" section of ROADMAP.md for the rule-by-rule rationale.
+"""
+
+from repro.devtools.core import (
+    FileContext,
+    Finding,
+    Rule,
+    Suppression,
+    lint_file,
+    lint_paths,
+)
+from repro.devtools.rules import RULE_CLASSES, all_rules, rule_ids
+
+__all__ = [
+    "RULE_CLASSES",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "Suppression",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "rule_ids",
+]

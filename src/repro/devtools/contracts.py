@@ -1,0 +1,262 @@
+"""Experiment-registry contract checker.
+
+The registry's declarative option routing (PR 2) only works if three
+contracts hold for every :class:`~repro.experiments.registry.ExperimentSpec`:
+
+1. every declared option names a real :class:`~repro.runtime.RunConfig`
+   field (:data:`~repro.runtime.config.OPTION_FIELDS`);
+2. the ``run_*`` entry point actually accepts each declared option as a
+   keyword argument (otherwise routing raises ``TypeError`` at run time,
+   but only for invocations that set the option — CI's smoke runs do not
+   set them all);
+3. :meth:`RunConfig.experiment_kwargs` has a value cast matching the
+   field's annotated type — ``spillover_threshold`` is float-typed, and
+   routing it through the default ``int`` cast would silently truncate
+   every fractional threshold (the PR 5 near-miss this check pins).
+
+Unlike the AST lint (:mod:`repro.devtools.lint`), this checker *imports*
+the live registry and inspects real signatures, so it catches mismatches
+no syntax-level rule can see.  Run it as::
+
+    python -m repro.devtools.contracts
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import typing
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+#: Finding kinds, one per contract.
+KIND_UNKNOWN_OPTION = "unknown-option-field"
+KIND_OPTION_NOT_ACCEPTED = "option-not-accepted"
+KIND_CAST_MISMATCH = "option-cast-mismatch"
+KIND_BAD_ENTRY_POINT = "bad-entry-point"
+
+
+@dataclass(frozen=True)
+class ContractFinding:
+    """One violated registry contract."""
+
+    experiment: str
+    kind: str
+    message: str
+
+    def format(self) -> str:
+        """Render as a one-line diagnostic."""
+        return f"{self.experiment}: [{self.kind}] {self.message}"
+
+    def to_dict(self) -> dict[str, str]:
+        """JSON-serialisable representation."""
+        return {
+            "experiment": self.experiment,
+            "kind": self.kind,
+            "message": self.message,
+        }
+
+
+def _annotated_option_types(config_cls: type[Any]) -> dict[str, type[Any]]:
+    """Scalar type of each ``RunConfig`` field (``int | None`` → ``int``)."""
+    types: dict[str, type[Any]] = {}
+    for name, hint in typing.get_type_hints(config_cls).items():
+        args = [arg for arg in typing.get_args(hint) if arg is not type(None)]
+        if not args:
+            if isinstance(hint, type):
+                types[name] = hint
+            continue
+        if len(args) == 1 and isinstance(args[0], type):
+            types[name] = args[0]
+    return types
+
+
+def check_option_casts(
+    option_fields: Sequence[str],
+    casts: Mapping[str, Callable[[Any], Any]],
+    config_cls: type[Any],
+) -> list[ContractFinding]:
+    """Contract 3: every non-string option field has a type-faithful cast."""
+    findings: list[ContractFinding] = []
+    annotated = _annotated_option_types(config_cls)
+    for name in option_fields:
+        expected = annotated.get(name)
+        if expected is None:
+            findings.append(
+                ContractFinding(
+                    experiment="<runtime>",
+                    kind=KIND_UNKNOWN_OPTION,
+                    message=(
+                        f"option field {name!r} is not an annotated field of "
+                        f"{config_cls.__name__}"
+                    ),
+                )
+            )
+            continue
+        if expected is str:
+            continue
+        effective = casts.get(name, int)
+        if effective is not expected:
+            findings.append(
+                ContractFinding(
+                    experiment="<runtime>",
+                    kind=KIND_CAST_MISMATCH,
+                    message=(
+                        f"option {name!r} is annotated {expected.__name__} on "
+                        f"{config_cls.__name__} but experiment_kwargs would "
+                        f"cast it with {getattr(effective, '__name__', effective)!r}; "
+                        "add it to _OPTION_CASTS"
+                    ),
+                )
+            )
+    return findings
+
+
+def check_experiment(
+    spec: Any, option_fields: Sequence[str]
+) -> list[ContractFinding]:
+    """Contracts 1 and 2 for one :class:`ExperimentSpec`."""
+    findings: list[ContractFinding] = []
+    try:
+        signature = inspect.signature(spec.run)
+    except (TypeError, ValueError) as error:
+        return [
+            ContractFinding(
+                experiment=spec.identifier,
+                kind=KIND_BAD_ENTRY_POINT,
+                message=f"entry point has no inspectable signature: {error}",
+            )
+        ]
+    parameters = signature.parameters
+    accepts_var_kw = any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+    for option in sorted(spec.options):
+        if option not in option_fields:
+            findings.append(
+                ContractFinding(
+                    experiment=spec.identifier,
+                    kind=KIND_UNKNOWN_OPTION,
+                    message=(
+                        f"declares option {option!r} which is not a RunConfig "
+                        f"option field; routable options: {sorted(option_fields)}"
+                    ),
+                )
+            )
+            continue
+        parameter = parameters.get(option)
+        accepted = accepts_var_kw or (
+            parameter is not None
+            and parameter.kind
+            in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            )
+        )
+        if not accepted:
+            findings.append(
+                ContractFinding(
+                    experiment=spec.identifier,
+                    kind=KIND_OPTION_NOT_ACCEPTED,
+                    message=(
+                        f"declares option {option!r} but entry point "
+                        f"{getattr(spec.run, '__name__', spec.run)!r} does not "
+                        "accept it as a keyword argument"
+                    ),
+                )
+            )
+    if spec.needs_dataset:
+        positional = [
+            parameter
+            for parameter in parameters.values()
+            if parameter.kind
+            in (
+                inspect.Parameter.POSITIONAL_ONLY,
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            )
+        ]
+        if not positional:
+            findings.append(
+                ContractFinding(
+                    experiment=spec.identifier,
+                    kind=KIND_BAD_ENTRY_POINT,
+                    message=(
+                        "needs_dataset is set but the entry point takes no "
+                        "positional dataset parameter"
+                    ),
+                )
+            )
+    return findings
+
+
+def check_contracts(
+    experiments: Iterable[Any] | None = None,
+    option_fields: Sequence[str] | None = None,
+    casts: Mapping[str, Callable[[Any], Any]] | None = None,
+    config_cls: type[Any] | None = None,
+) -> list[ContractFinding]:
+    """Cross-validate the experiment registry against the runtime layer.
+
+    All parameters default to the live registry and runtime configuration;
+    the tests inject deliberately broken stand-ins to prove each contract
+    fires.
+    """
+    # Imported lazily so ``import repro.devtools`` stays stdlib-only — the
+    # registry pulls in numpy/scipy through the experiment modules.
+    from repro.experiments.registry import list_experiments
+    from repro.runtime.config import _OPTION_CASTS, OPTION_FIELDS, RunConfig
+
+    specs = list(experiments) if experiments is not None else list_experiments()
+    fields = list(option_fields) if option_fields is not None else list(OPTION_FIELDS)
+    cast_map = dict(casts) if casts is not None else dict(_OPTION_CASTS)
+    config = config_cls if config_cls is not None else RunConfig
+
+    findings = check_option_casts(fields, cast_map, config)
+    for spec in specs:
+        findings.extend(check_experiment(spec, fields))
+    return findings
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.contracts",
+        description="cross-validate the experiment registry's option contracts",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic output format",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments.registry import list_experiments
+
+    findings = check_contracts()
+    checked = len(list_experiments())
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [finding.to_dict() for finding in findings],
+                    "experiments_checked": checked,
+                    "clean": not findings,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.format())
+        if findings:
+            print(f"contracts: {len(findings)} violation(s) in {checked} experiment(s)")
+        else:
+            print(f"contracts: clean ({checked} experiments validated)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,403 @@
+"""Core of the ``reprolint`` framework: rules, findings and suppressions.
+
+The framework is deliberately tiny and dependency-free (stdlib :mod:`ast`
+and :mod:`tokenize` only) so the lint CLI never has to import the code it
+checks — a broken ``repro`` module must still be lintable.  A
+:class:`Rule` inspects one parsed file (:class:`FileContext`) and yields
+:class:`Finding` objects; :func:`lint_file` runs a battery of rules over a
+file and applies per-line suppression comments of the form::
+
+    some_offending_expression  # repro: allow[rule-id] reason why this is fine
+
+Suppressions *must* carry a reason and *must* name a known rule id — a
+bare or misspelled ``allow`` is itself reported (as the meta rules
+:data:`META_MISSING_REASON` / :data:`META_UNKNOWN_RULE`), so silencing a
+check always leaves an auditable trail.  Several rule ids may share one
+comment: ``# repro: allow[rule-a,rule-b] reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Collection, Iterable, Iterator, Sequence
+
+#: Layers a rule may scope itself to.  They mirror the repository layout:
+#: ``src`` is library code, the rest are the support trees the lint CLI
+#: walks by default.
+LAYERS = ("src", "tests", "benchmarks", "examples")
+
+#: Meta rule id: an ``allow`` comment without a reason string.
+META_MISSING_REASON = "allow-missing-reason"
+
+#: Meta rule id: an ``allow`` comment naming a rule id nobody registered.
+META_UNKNOWN_RULE = "allow-unknown-rule"
+
+META_RULE_IDS = frozenset({META_MISSING_REASON, META_UNKNOWN_RULE})
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]\s*(.*)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    column: int
+    message: str
+
+    def format(self) -> str:
+        """Render as a ``path:line:col: [rule-id] message`` diagnostic."""
+        return f"{self.path}:{self.line}:{self.column}: [{self.rule_id}] {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable representation (the ``--format json`` shape)."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: allow[...]`` comment.
+
+    A trailing comment suppresses findings on its own line; a *standalone*
+    comment (nothing but whitespace before it) also suppresses the line
+    directly below, so long expressions can carry a suppression without
+    overflowing the line.
+    """
+
+    line: int
+    rule_ids: tuple[str, ...]
+    reason: str
+    standalone: bool = False
+
+    def covers(self, line: int) -> bool:
+        """Whether this suppression applies to ``line``."""
+        return line == self.line or (self.standalone and line == self.line + 1)
+
+
+def parse_suppressions(source: str) -> tuple[Suppression, ...]:
+    """Extract every ``# repro: allow[...]`` comment from ``source``.
+
+    Comments are found with :mod:`tokenize` rather than a per-line regex so
+    that ``allow`` markers inside string literals (lint-rule fixtures, for
+    example) are *not* treated as suppressions.
+    """
+    suppressions: list[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [t for t in tokens if t.type == tokenize.COMMENT]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return ()
+    for token in comments:
+        match = _ALLOW_RE.search(token.string)
+        if match is None:
+            continue
+        rule_ids = tuple(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        suppressions.append(
+            Suppression(
+                line=token.start[0],
+                rule_ids=rule_ids,
+                reason=match.group(2).strip(),
+                standalone=not token.line[: token.start[1]].strip(),
+            )
+        )
+    return tuple(suppressions)
+
+
+def infer_layer(path: Path) -> str | None:
+    """Infer the repository layer of ``path`` from its parts.
+
+    The first path component matching a known layer wins, so
+    ``src/repro/...`` is ``"src"`` and ``tests/test_x.py`` is ``"tests"``.
+    """
+    for part in path.parts:
+        if part in LAYERS:
+            return part
+    return None
+
+
+def infer_module(path: Path) -> str | None:
+    """Dotted module name for a file under a ``src/`` root, else ``None``."""
+    parts = path.parts
+    if "src" not in parts:
+        return None
+    tail = parts[parts.index("src") + 1 :]
+    if not tail:
+        return None
+    names = list(tail[:-1])
+    stem = Path(tail[-1]).stem
+    if stem != "__init__":
+        names.append(stem)
+    return ".".join(names) if names else None
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """One parsed source file plus the metadata rules scope themselves by."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    layer: str | None
+    module: str | None
+    suppressions: tuple[Suppression, ...]
+
+    @classmethod
+    def from_source(
+        cls,
+        path: Path,
+        source: str,
+        layer: str | None = None,
+        module: str | None = None,
+    ) -> "FileContext":
+        """Build a context from in-memory source (used by the rule tests)."""
+        return cls(
+            path=path,
+            source=source,
+            tree=ast.parse(source),
+            layer=layer if layer is not None else infer_layer(path),
+            module=module if module is not None else infer_module(path),
+            suppressions=parse_suppressions(source),
+        )
+
+    @classmethod
+    def from_path(cls, path: Path) -> "FileContext":
+        """Build a context by reading ``path`` from disk."""
+        return cls.from_source(path, path.read_text(encoding="utf-8"))
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`rule_id` (the kebab-case id used in diagnostics
+    and ``allow`` comments), :attr:`description` and optionally
+    :attr:`layers` (``None`` applies everywhere), then implement
+    :meth:`check`.
+    """
+
+    rule_id: str = ""
+    description: str = ""
+    layers: frozenset[str] | None = None
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether this rule should run on ``ctx`` at all."""
+        return self.layers is None or ctx.layer in self.layers
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield one :class:`Finding` per violation in ``ctx``."""
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            rule_id=self.rule_id,
+            path=str(ctx.path),
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+# ----------------------------------------------------------------------
+# Scope resolution shared by the AST rules
+# ----------------------------------------------------------------------
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+@dataclass(frozen=True)
+class Scope:
+    """Name bindings visible in one function (or module) body.
+
+    ``assignments`` maps a local name to every expression assigned to it;
+    ``functions`` holds names bound by nested ``def`` statements.  Both are
+    collected *without* descending into nested function bodies, so each
+    scope describes exactly its own frame.
+    """
+
+    node: ast.AST
+    assignments: dict[str, list[ast.AST]]
+    functions: dict[str, ast.AST]
+
+    @classmethod
+    def collect(cls, node: ast.AST) -> "Scope":
+        """Collect the direct bindings of a module or function body."""
+        assignments: dict[str, list[ast.AST]] = {}
+        functions: dict[str, ast.AST] = {}
+
+        def visit(current: ast.AST) -> None:
+            for child in ast.iter_child_nodes(current):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    functions[child.name] = child
+                    continue  # do not descend: separate frame
+                if isinstance(child, (ast.Lambda, ast.ClassDef)):
+                    continue
+                if isinstance(child, ast.Assign) and child.value is not None:
+                    for target in child.targets:
+                        if isinstance(target, ast.Name):
+                            assignments.setdefault(target.id, []).append(child.value)
+                elif isinstance(child, ast.AnnAssign) and child.value is not None:
+                    if isinstance(child.target, ast.Name):
+                        assignments.setdefault(child.target.id, []).append(child.value)
+                elif isinstance(child, ast.AugAssign):
+                    if isinstance(child.target, ast.Name):
+                        # Record the whole statement so rules can look at the
+                        # operator (``start %= n`` wraps, for example).
+                        assignments.setdefault(child.target.id, []).append(child)
+                visit(child)
+
+        visit(node)
+        return cls(node=node, assignments=assignments, functions=functions)
+
+
+def iter_scoped_nodes(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.AST, tuple[Scope, ...]]]:
+    """Yield every node of ``tree`` with its enclosing scope chain.
+
+    The chain starts with the module scope and appends one :class:`Scope`
+    per enclosing function, innermost last.  Rules use it to resolve simple
+    names at a call site to the expressions assigned to them.
+    """
+    module_scope = Scope.collect(tree)
+
+    def walk(
+        node: ast.AST, scopes: tuple[Scope, ...]
+    ) -> Iterator[tuple[ast.AST, tuple[Scope, ...]]]:
+        for child in ast.iter_child_nodes(node):
+            yield child, scopes
+            if isinstance(child, _FUNCTION_NODES):
+                yield from walk(child, scopes + (Scope.collect(child),))
+            else:
+                yield from walk(child, scopes)
+
+    yield tree, (module_scope,)
+    yield from walk(tree, (module_scope,))
+
+
+def resolve_name(name: str, scopes: Sequence[Scope]) -> list[ast.AST]:
+    """Expressions assigned to ``name`` in the innermost scope binding it."""
+    for scope in reversed(scopes):
+        if name in scope.assignments:
+            return scope.assignments[name]
+    return []
+
+
+def callee_name(node: ast.Call) -> str | None:
+    """Terminal name of a call's callee (``pkg.mod.fn(...)`` → ``"fn"``)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+# ----------------------------------------------------------------------
+# Running rules over files
+# ----------------------------------------------------------------------
+
+
+def lint_file(
+    ctx: FileContext,
+    rules: Sequence[Rule],
+    known_rule_ids: Collection[str] | None = None,
+) -> list[Finding]:
+    """Run ``rules`` over one file and apply its suppression comments.
+
+    ``known_rule_ids`` is the universe of valid ids for ``allow`` comments
+    (defaults to the ids of ``rules``); naming any other id is reported via
+    :data:`META_UNKNOWN_RULE`, and an empty reason via
+    :data:`META_MISSING_REASON`.  Meta findings cannot be suppressed.
+    """
+    known = set(known_rule_ids if known_rule_ids is not None else [])
+    if not known:
+        known = {rule.rule_id for rule in rules}
+    raw: list[Finding] = []
+    for rule in rules:
+        if rule.applies_to(ctx):
+            raw.extend(rule.check(ctx))
+
+    valid_suppressions: list[Suppression] = []
+    meta: list[Finding] = []
+    for suppression in ctx.suppressions:
+        for rule_id in suppression.rule_ids:
+            if rule_id not in known:
+                meta.append(
+                    Finding(
+                        rule_id=META_UNKNOWN_RULE,
+                        path=str(ctx.path),
+                        line=suppression.line,
+                        column=1,
+                        message=(
+                            f"suppression names unknown rule {rule_id!r}; "
+                            f"known rules: {', '.join(sorted(known))}"
+                        ),
+                    )
+                )
+        valid_suppressions.append(suppression)
+        if not suppression.reason:
+            meta.append(
+                Finding(
+                    rule_id=META_MISSING_REASON,
+                    path=str(ctx.path),
+                    line=suppression.line,
+                    column=1,
+                    message=(
+                        "suppression comments must carry a reason: "
+                        "# repro: allow[rule-id] why this is intentional"
+                    ),
+                )
+            )
+
+    kept = [
+        finding
+        for finding in raw
+        if not any(
+            finding.rule_id in suppression.rule_ids
+            and suppression.covers(finding.line)
+            for suppression in valid_suppressions
+        )
+    ]
+    kept.extend(meta)
+    kept.sort(key=lambda finding: (finding.line, finding.column, finding.rule_id))
+    return kept
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Every ``*.py`` file under ``paths`` (files pass through), sorted."""
+    for path in paths:
+        if path.is_dir():
+            for child in sorted(path.rglob("*.py")):
+                if "__pycache__" not in child.parts:
+                    yield child
+        else:
+            yield path
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    rules: Sequence[Rule],
+    known_rule_ids: Collection[str] | None = None,
+) -> list[Finding]:
+    """Lint every Python file under ``paths`` with ``rules``."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(
+            lint_file(FileContext.from_path(path), rules, known_rule_ids)
+        )
+    return findings

@@ -1,0 +1,120 @@
+"""``reprolint`` — the repository's domain-invariant lint CLI.
+
+Usage::
+
+    python -m repro.devtools.lint src tests benchmarks examples
+    python -m repro.devtools.lint --format json src
+    python -m repro.devtools.lint --list-rules
+    python -m repro.devtools.lint --select cyclic-wrap,rng-unseeded src
+
+Exit status is 0 when every checked file is clean, 1 when any finding
+survives suppression, 2 on usage errors.  Suppression comments
+(``# repro: allow[rule-id] reason``) are validated even for rules not
+selected, so a typo in a rule id never silently disables a gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.devtools.core import META_RULE_IDS, Finding, iter_python_files, lint_paths
+from repro.devtools.rules import all_rules, rule_ids
+
+#: Directories linted when the CLI is invoked without paths.
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="AST lint for the repro repository's cross-cutting invariants",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic output format",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULE[,RULE...]",
+        help="run only the named rules (suppressions stay validated "
+        "against the full registry)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
+    return parser
+
+
+def run_lint(
+    paths: Sequence[str], select: str | None = None
+) -> tuple[list[Finding], int]:
+    """Lint ``paths``; return (findings, number of files checked)."""
+    rules = all_rules()
+    known = set(rule_ids()) | set(META_RULE_IDS)
+    if select is not None:
+        wanted = {part.strip() for part in select.split(",") if part.strip()}
+        unknown = wanted - {rule.rule_id for rule in rules}
+        if unknown:
+            raise SystemExit(
+                f"unknown rule id(s) {sorted(unknown)}; known: {sorted(known)}"
+            )
+        rules = tuple(rule for rule in rules if rule.rule_id in wanted)
+    resolved = [Path(path) for path in paths]
+    checked = sum(1 for _ in iter_python_files(resolved))
+    findings = lint_paths(resolved, rules, known_rule_ids=known)
+    return findings, checked
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            scope = ",".join(sorted(rule.layers)) if rule.layers else "all layers"
+            print(f"{rule.rule_id} ({scope}): {rule.description}")
+        return 0
+
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        parser.error(f"no such path(s): {', '.join(missing)}")
+
+    findings, checked = run_lint(args.paths, args.select)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [finding.to_dict() for finding in findings],
+                    "files_checked": checked,
+                    "clean": not findings,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.format())
+        if findings:
+            print(f"reprolint: {len(findings)} finding(s) in {checked} file(s)")
+        else:
+            print(f"reprolint: clean ({checked} file(s) checked)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+"""The reprolint rule battery.
+
+One module per invariant family; :func:`all_rules` is the registry the
+lint CLI and the tier-1 self-test run.  Adding a rule means subclassing
+:class:`repro.devtools.core.Rule` in a module here and listing the class
+in :data:`RULE_CLASSES` — the suppression machinery, CLI wiring and the
+repo-clean self-test pick it up automatically.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.core import Rule
+from repro.devtools.rules.cyclic import CyclicWrapRule
+from repro.devtools.rules.determinism import WallClockRule
+from repro.devtools.rules.floats import FloatEqualityRule
+from repro.devtools.rules.purity import WorkerPurityRule
+from repro.devtools.rules.rng import (
+    LegacyNumpyRandomRule,
+    RandomGlobalStateRule,
+    UnseededDefaultRngRule,
+)
+
+#: Every registered rule class, in diagnostic-id order.
+RULE_CLASSES: tuple[type[Rule], ...] = (
+    CyclicWrapRule,
+    FloatEqualityRule,
+    LegacyNumpyRandomRule,
+    RandomGlobalStateRule,
+    UnseededDefaultRngRule,
+    WallClockRule,
+    WorkerPurityRule,
+)
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Fresh instances of every registered rule."""
+    return tuple(cls() for cls in RULE_CLASSES)
+
+
+def rule_ids() -> tuple[str, ...]:
+    """The ids of every registered rule, sorted."""
+    return tuple(sorted(cls.rule_id for cls in RULE_CLASSES))
+
+
+__all__ = [
+    "RULE_CLASSES",
+    "CyclicWrapRule",
+    "FloatEqualityRule",
+    "LegacyNumpyRandomRule",
+    "RandomGlobalStateRule",
+    "UnseededDefaultRngRule",
+    "WallClockRule",
+    "WorkerPurityRule",
+    "all_rules",
+    "rule_ids",
+]

@@ -1,0 +1,96 @@
+"""Cyclic-wrap rule for :class:`ExecutionSlice` start hours.
+
+The sweep kernels treat the yearly trace as cyclic: a window reaching past
+hour 8759 wraps to hour 0.  Every ``ExecutionSlice`` a policy emits must
+follow the same convention — its ``start_hour`` has to be reduced modulo
+the trace length (PR 1 and PR 3 each fixed a shipped bug where a deferred
+start walked off the end of the year).  This rule demands that every
+``ExecutionSlice(...)`` construction site in ``src/`` computes its start
+hour through a ``%`` reduction or the named helper
+:func:`repro.timeseries.windows.wrap_hour`, either inline or via a local
+variable assigned from such an expression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.devtools.core import (
+    FileContext,
+    Finding,
+    Rule,
+    Scope,
+    callee_name,
+    iter_scoped_nodes,
+    resolve_name,
+)
+
+#: Helper functions recognised as performing the modulo reduction.
+WRAP_HELPERS = frozenset({"wrap_hour"})
+
+
+def _expression_wraps(node: ast.AST) -> bool:
+    """Whether ``node`` contains a ``%`` reduction or a wrap-helper call."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.BinOp) and isinstance(child.op, ast.Mod):
+            return True
+        if isinstance(child, ast.AugAssign) and isinstance(child.op, ast.Mod):
+            return True
+        if isinstance(child, ast.Call):
+            name = callee_name(child)
+            if name in WRAP_HELPERS:
+                return True
+    return False
+
+
+def _start_hour_wraps(expr: ast.expr, scopes: Sequence[Scope], depth: int = 0) -> bool:
+    """Whether a ``start_hour`` expression provably wraps.
+
+    A plain name is resolved against the enclosing scopes: it passes if any
+    expression assigned to it wraps (policies typically compute the start
+    in a branch and pass the variable).
+    """
+    if _expression_wraps(expr):
+        return True
+    if isinstance(expr, ast.Name) and depth < 4:
+        for assigned in resolve_name(expr.id, scopes):
+            if _expression_wraps(assigned):
+                return True
+            if isinstance(assigned, ast.Name) and _start_hour_wraps(
+                assigned, scopes, depth + 1
+            ):
+                return True
+    return False
+
+
+class CyclicWrapRule(Rule):
+    """Require modulo-wrapped ``start_hour`` at ExecutionSlice sites."""
+
+    rule_id = "cyclic-wrap"
+    description = (
+        "ExecutionSlice.start_hour must be reduced modulo the trace length "
+        "(via % or wrap_hour) so deferred starts wrap past the year end"
+    )
+    layers = frozenset({"src"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node, scopes in iter_scoped_nodes(ctx.tree):
+            if not isinstance(node, ast.Call) or callee_name(node) != "ExecutionSlice":
+                continue
+            start_expr: ast.expr | None = None
+            for keyword in node.keywords:
+                if keyword.arg == "start_hour":
+                    start_expr = keyword.value
+            if start_expr is None and len(node.args) > 1:
+                start_expr = node.args[1]
+            if start_expr is None:
+                continue
+            if not _start_hour_wraps(start_expr, scopes):
+                yield self.finding(
+                    ctx,
+                    start_expr,
+                    "ExecutionSlice start_hour is not reduced modulo the "
+                    "trace length; wrap with % len(trace) or wrap_hour() "
+                    "(or suppress when the hour is pre-validated in range)",
+                )

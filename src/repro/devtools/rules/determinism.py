@@ -1,0 +1,128 @@
+"""Determinism rule: no wall-clock reads in library code.
+
+Results of the sweep engines must be pure functions of their inputs — the
+differential harness and the bit-identical serial/pooled guarantee both
+depend on it.  Wall-clock reads (``time.time``, ``datetime.now``,
+``perf_counter``, ...) therefore have no place in ``src/`` outside
+:mod:`repro.reporting`, which is the one layer whose job is to timestamp
+artifacts and measure wall-clock benchmark durations.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.core import FileContext, Finding, Rule
+
+#: Functions of the stdlib ``time`` module that read the wall clock (or a
+#: monotonic hardware clock — equally non-deterministic across runs).
+_TIME_FUNCTIONS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: ``datetime``/``date`` class methods that read the wall clock.
+_DATETIME_METHODS = frozenset({"now", "utcnow", "today"})
+
+#: Module prefix exempt from this rule: reporting exists to timestamp.
+_EXEMPT_PREFIX = "repro.reporting"
+
+
+class WallClockRule(Rule):
+    """Forbid wall-clock reads in ``src/`` outside ``repro.reporting``."""
+
+    rule_id = "wallclock"
+    description = (
+        "library code must be deterministic: no time.time/perf_counter/"
+        "datetime.now outside repro.reporting"
+    )
+    layers = frozenset({"src"})
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if not super().applies_to(ctx):
+            return False
+        module = ctx.module or ""
+        return not (
+            module == _EXEMPT_PREFIX or module.startswith(_EXEMPT_PREFIX + ".")
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imported_time = False
+        from_time: set[str] = set()
+        datetime_names: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        imported_time = True
+                    if alias.name == "datetime":
+                        datetime_names.add(alias.asname or "datetime")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _TIME_FUNCTIONS:
+                            from_time.add(alias.asname or alias.name)
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in {"datetime", "date"}:
+                            datetime_names.add(alias.asname or alias.name)
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                imported_time
+                and isinstance(func, ast.Attribute)
+                and func.attr in _TIME_FUNCTIONS
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock read time.{func.attr}() in library code; "
+                    "deterministic results must not depend on the clock "
+                    "(repro.reporting is the timestamping layer)",
+                )
+            elif isinstance(func, ast.Name) and func.id in from_time:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock read {func.id}() in library code; "
+                    "deterministic results must not depend on the clock",
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in _DATETIME_METHODS
+                and self._is_datetime_owner(func.value, datetime_names)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock read {ast.unparse(func)}() in library code; "
+                    "deterministic results must not depend on the clock",
+                )
+
+    @staticmethod
+    def _is_datetime_owner(value: ast.expr, datetime_names: set[str]) -> bool:
+        """Whether ``value`` denotes the datetime/date class or module."""
+        if isinstance(value, ast.Name):
+            return value.id in datetime_names
+        if isinstance(value, ast.Attribute):
+            # datetime.datetime.now / datetime.date.today
+            return (
+                value.attr in {"datetime", "date"}
+                and isinstance(value.value, ast.Name)
+                and value.value.id in datetime_names
+            )
+        return False

@@ -1,0 +1,71 @@
+"""Float-equality rule.
+
+``==``/``!=`` on floating-point quantities is almost always a bug: carbon
+emissions and savings fractions are sums of thousands of float products,
+so exact comparison silently turns into "never equal" the moment an
+associativity-changing refactor lands.  The rule is heuristic — Python has
+no static types to consult — and flags a comparison when either operand
+*looks* float-typed: a float literal, a ``float(...)`` conversion, or a
+name/attribute matching the repository's float naming conventions
+(``*_g`` emissions, ``*_fraction``, ``*_threshold``, ``*_magnitude``,
+``*_kw``).  Intentional bit-identical assertions (degenerate-case
+sentinels, exact sweep-axis key lookups, equivalence tests) are suppressed
+with ``# repro: allow[float-equality] reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.core import FileContext, Finding, Rule
+
+#: Name suffixes that denote float-typed quantities in this repository.
+FLOAT_NAME_SUFFIXES = ("_g", "_fraction", "_threshold", "_magnitude", "_kw")
+
+
+def _float_evidence(node: ast.expr) -> str | None:
+    """Why ``node`` looks float-typed, or ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return f"float literal {node.value!r}"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "float":
+            return "float(...) conversion"
+    name = None
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    if name is not None and name.endswith(FLOAT_NAME_SUFFIXES):
+        return f"float-named operand {name!r}"
+    return None
+
+
+class FloatEqualityRule(Rule):
+    """Flag ``==``/``!=`` on float-looking operands in ``src/``."""
+
+    rule_id = "float-equality"
+    description = (
+        "== / != on float-typed expressions; compare with a tolerance "
+        "(math.isclose / np.isclose) or suppress an intentional "
+        "bit-identical assertion with a reason"
+    )
+    layers = frozenset({"src"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            for operand in (node.left, *node.comparators):
+                evidence = _float_evidence(operand)
+                if evidence is not None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"exact equality on {evidence}; use a tolerance, or "
+                        "suppress with a reason if bit-identity is the point",
+                    )
+                    break

@@ -1,0 +1,94 @@
+"""Worker-purity rule for :func:`repro.runtime.parallel_map_regions`.
+
+The region-sharded executor ships its ``fn`` to worker processes by
+pickling, so the callable must be importable by name: a module-level
+function or a :func:`functools.partial` of one.  Lambdas, closures defined
+inside the calling function and bound methods all fail at runtime — but
+only when ``workers > 1``, which is exactly the configuration CI exercises
+least.  This rule rejects those shapes statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.devtools.core import (
+    FileContext,
+    Finding,
+    Rule,
+    Scope,
+    callee_name,
+    iter_scoped_nodes,
+    resolve_name,
+)
+
+_EXECUTOR_NAME = "parallel_map_regions"
+
+
+class WorkerPurityRule(Rule):
+    """Require picklable module-level callables as executor ``fn``."""
+
+    rule_id = "worker-purity"
+    description = (
+        "fn passed to parallel_map_regions must be a module-level function "
+        "(or functools.partial of one); lambdas, closures and bound methods "
+        "cannot be pickled to worker processes"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node, scopes in iter_scoped_nodes(ctx.tree):
+            if not isinstance(node, ast.Call) or callee_name(node) != _EXECUTOR_NAME:
+                continue
+            fn_expr: ast.expr | None = None
+            for keyword in node.keywords:
+                if keyword.arg == "fn":
+                    fn_expr = keyword.value
+            if fn_expr is None and node.args:
+                fn_expr = node.args[0]
+            if fn_expr is None:
+                continue
+            problem = self._diagnose(fn_expr, scopes)
+            if problem is not None:
+                yield self.finding(
+                    ctx,
+                    fn_expr,
+                    f"{problem}; workers unpickle fn by importing it, so it "
+                    "must be a module-level function "
+                    "(or functools.partial of one)",
+                )
+
+    def _diagnose(
+        self, expr: ast.AST, scopes: Sequence[Scope], depth: int = 0
+    ) -> str | None:
+        """Return a description of the purity violation, or ``None`` if OK.
+
+        Only provable violations are reported: a name that cannot be
+        resolved locally is assumed to be a module-level import.
+        """
+        if depth > 4:
+            return None
+        if isinstance(expr, ast.Lambda):
+            return "fn is a lambda"
+        if isinstance(expr, ast.Attribute):
+            if isinstance(expr.value, ast.Name) and expr.value.id in {"self", "cls"}:
+                return f"fn is the bound method {expr.value.id}.{expr.attr}"
+            return None
+        if isinstance(expr, ast.Call):
+            if callee_name(expr) == "partial" and expr.args:
+                return self._diagnose(expr.args[0], scopes, depth + 1)
+            return None
+        if isinstance(expr, ast.Name):
+            # Defined by a nested ``def`` inside an enclosing function?
+            for scope in scopes[1:]:  # scopes[0] is the module frame
+                if expr.id in scope.functions:
+                    return (
+                        f"fn is the closure {expr.id!r} defined inside the "
+                        "calling function"
+                    )
+            for assigned in resolve_name(expr.id, scopes):
+                diagnosis = self._diagnose(assigned, scopes, depth + 1)
+                if diagnosis is not None:
+                    return diagnosis
+            return None
+        return None

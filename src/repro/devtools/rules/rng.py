@@ -1,0 +1,125 @@
+"""RNG discipline rules.
+
+Every random draw in this repository must flow through an explicitly
+seeded :func:`numpy.random.default_rng` stream: the stdlib :mod:`random`
+module and the legacy ``np.random.*`` module-level API share hidden global
+state, which breaks the bit-identical serial/pooled guarantee the runtime
+layer is built on (workers would consume different stream positions
+depending on scheduling order).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.core import FileContext, Finding, Rule
+
+#: ``np.random.<name>`` attributes that are part of the Generator API, not
+#: the legacy global-state API.  Type annotations (``np.random.Generator``)
+#: and seeded construction (``np.random.default_rng(seed)``) stay legal.
+_GENERATOR_API = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+    }
+)
+
+_NUMPY_ALIASES = frozenset({"np", "numpy"})
+
+
+class RandomGlobalStateRule(Rule):
+    """Forbid the stdlib :mod:`random` module (hidden global state)."""
+
+    rule_id = "rng-global-state"
+    description = (
+        "the stdlib random module draws from hidden global state; use an "
+        "explicitly seeded np.random.default_rng(seed) stream instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "import of the stdlib random module; "
+                            "use np.random.default_rng(seed)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "import from the stdlib random module; "
+                        "use np.random.default_rng(seed)",
+                    )
+
+
+class UnseededDefaultRngRule(Rule):
+    """Forbid ``default_rng()`` without an explicit seed argument."""
+
+    rule_id = "rng-unseeded"
+    description = (
+        "default_rng() without a seed draws OS entropy, making runs "
+        "irreproducible; pass an explicit seed"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name == "default_rng" and not node.args and not node.keywords:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "default_rng() called without a seed; every RNG stream "
+                    "must be explicitly seeded for reproducibility",
+                )
+
+
+class LegacyNumpyRandomRule(Rule):
+    """Forbid legacy ``np.random.<dist>`` module-level calls in ``src/``."""
+
+    rule_id = "rng-legacy-numpy"
+    description = (
+        "np.random.<fn> module-level calls (rand, seed, normal, ...) share "
+        "global state; draw from a seeded np.random.default_rng(seed) "
+        "Generator instead"
+    )
+    layers = frozenset({"src"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            value = node.value
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in _NUMPY_ALIASES
+                and node.attr not in _GENERATOR_API
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"legacy global-state API np.random.{node.attr}; use a "
+                    "seeded np.random.default_rng(seed) Generator",
+                )

@@ -12,7 +12,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -165,7 +165,6 @@ def run_fig11cd(
     """
     region = dataset.region(region_code)
     evolution = GridEvolution(region, year=year or dataset.latest_year, config=config)
-    matrix = dataset.intensity_matrix(year)
     other_codes = [c for c in dataset.codes() if c != region_code]
     other_matrix = dataset.intensity_matrix(year, codes=other_codes)
 

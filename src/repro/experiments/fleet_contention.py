@@ -99,7 +99,7 @@ class FleetContentionRow:
     @property
     def saving_fraction(self) -> float:
         """Carbon-aware saving over FIFO under this slot limit."""
-        if self.fifo_emissions_g == 0:
+        if self.fifo_emissions_g == 0:  # repro: allow[float-equality] exact-zero sentinel for an empty baseline
             return 0.0
         return (self.fifo_emissions_g - self.aware_emissions_g) / self.fifo_emissions_g
 
@@ -134,7 +134,7 @@ class FleetContentionRow:
     @property
     def spillover_saving_fraction(self) -> float:
         """Spillover-placement saving over the static-placement FIFO run."""
-        if self.fifo_emissions_g == 0:
+        if self.fifo_emissions_g == 0:  # repro: allow[float-equality] exact-zero sentinel for an empty baseline
             return 0.0
         return (
             self.fifo_emissions_g - self.spillover_emissions_g
@@ -198,11 +198,15 @@ class FleetContentionResult:
         for entry in self.rows_by_setting:
             if (
                 entry.slots_per_region == slots
+                # repro: allow[float-equality] sweep-axis key lookup: cells store the exact axis values
                 and entry.migratable_fraction == migratable_fraction
+                # repro: allow[float-equality] sweep-axis key lookup: cells store the exact axis values
                 and entry.error_magnitude == error_magnitude
+                # repro: allow[float-equality] sweep-axis key lookup: cells store the exact axis values
                 and entry.interruptible_fraction == interruptible_fraction
                 and (
                     spillover_threshold is None
+                    # repro: allow[float-equality] sweep-axis key lookup: cells store the exact axis values
                     or entry.spillover_threshold == spillover_threshold
                 )
             ):
@@ -435,8 +439,11 @@ def run_fleet(
                     # to the static arm reuse its replays: nothing can divert
                     # without migratable jobs, and an infinite wait budget
                     # degenerates to static greenest.
-                    static_identical = fraction == 0.0 or (
-                        threshold == float("inf") and placement == PLACEMENT_GREENEST
+                    static_identical = (
+                        # repro: allow[float-equality] exact degenerate-case sentinels, not measured values
+                        fraction == 0.0
+                        # repro: allow[float-equality] infinity compares exactly by IEEE-754 design
+                        or (threshold == float("inf") and placement == PLACEMENT_GREENEST)
                     )
                     spillover_by_slots = (
                         aware_by_slots

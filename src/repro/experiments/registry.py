@@ -14,7 +14,7 @@ options it supports.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable
 
 from repro.exceptions import ConfigurationError
 from repro.experiments.fig01_carbon_trace import run_fig01
@@ -55,18 +55,18 @@ class ExperimentSpec:
     identifier: str
     description: str
     figure: str
-    run: Callable
+    run: Callable[..., Any]
     options: frozenset[str] = frozenset()
     needs_dataset: bool = True
     min_years: int = 1
 
-    def supports(self, dataset) -> bool:
+    def supports(self, dataset: Any) -> bool:
         """Whether ``dataset`` satisfies this experiment's prerequisites."""
         if not self.needs_dataset:
             return True
         return dataset is not None and len(dataset.years) >= self.min_years
 
-    def __call__(self, *args, **kwargs):
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
         return self.run(*args, **kwargs)
 
     def check_options(self, config: RunConfig) -> None:
@@ -84,7 +84,9 @@ class ExperimentSpec:
                 f"{sorted(unsupported)}; accepted options: {accepted}"
             )
 
-    def execute(self, dataset, config: RunConfig | None = None, strict: bool = True):
+    def execute(
+        self, dataset: Any, config: RunConfig | None = None, strict: bool = True
+    ) -> Any:
         """Uniform ``(dataset, config)`` entry point.
 
         Routes the configuration's per-experiment options into the entry

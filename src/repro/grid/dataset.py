@@ -9,7 +9,7 @@ catalog so policies can reason about geography, providers and capacity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np

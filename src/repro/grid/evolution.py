@@ -16,7 +16,7 @@ from typing import Mapping, Sequence
 from repro.exceptions import ConfigurationError
 from repro.grid.mix import GenerationMix
 from repro.grid.region import Region
-from repro.grid.sources import EMISSION_FACTORS, SOURCE_ORDER, GenerationSource
+from repro.grid.sources import EMISSION_FACTORS, SOURCE_ORDER
 from repro.grid.synthesis import BASE_YEAR, SynthesisConfig, TraceSynthesizer, stable_region_seed
 from repro.timeseries.series import HourlySeries
 

@@ -150,7 +150,7 @@ class RunConfig:
             if name not in SHARED_OPTION_FIELDS and getattr(self, name) is not None
         )
 
-    def experiment_kwargs(self, options: frozenset[str]) -> dict[str, int]:
+    def experiment_kwargs(self, options: frozenset[str]) -> dict[str, int | float]:
         """Keyword arguments for an experiment declaring ``options``.
 
         Only options the experiment declares *and* this configuration sets

@@ -11,8 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-import numpy as np
-
 from repro.cloud.capacity import CapacityAssignment, waterfall_assignment
 from repro.cloud.latency import LatencyModel
 from repro.exceptions import ConfigurationError

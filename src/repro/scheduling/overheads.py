@@ -88,7 +88,6 @@ class OverheadAwareInterruptiblePolicy(InterruptiblePolicy):
 
         # Charge one suspend/resume overhead per gap between selected hours.
         offsets = np.sort(scattered.indices)
-        gaps = int(np.sum(np.diff(offsets) > 1))
         overhead_emissions = 0.0
         for previous, current in zip(offsets, offsets[1:]):
             if current - previous > 1:
@@ -169,6 +168,7 @@ class OverheadAwareMigrationPolicy(OneMigrationPolicy):
             slices = (
                 ExecutionSlice(
                     region=origin_code,
+                    # repro: allow[cyclic-wrap] stay-home baseline at the validated arrival hour
                     start_hour=arrival_hour,
                     duration_hours=job.length_hours,
                     emissions_g=baseline,

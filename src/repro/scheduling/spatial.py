@@ -173,6 +173,7 @@ class OneMigrationPolicy(SpatialPolicy):
         slices = (
             ExecutionSlice(
                 region=destination,
+                # repro: allow[cyclic-wrap] migration runs at the validated arrival hour
                 start_hour=arrival_hour,
                 duration_hours=job.length_hours,
                 emissions_g=emissions,
@@ -214,6 +215,7 @@ class InfiniteMigrationPolicy(SpatialPolicy):
             slices = (
                 ExecutionSlice(
                     region=candidates[best],
+                    # repro: allow[cyclic-wrap] sub-hour job at the validated arrival hour
                     start_hour=arrival_hour,
                     duration_hours=job.length_hours,
                     emissions_g=emissions,

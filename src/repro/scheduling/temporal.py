@@ -23,7 +23,11 @@ import numpy as np
 from repro.core.result import ExecutionSlice, ScheduleResult
 from repro.exceptions import ConfigurationError, SchedulingError
 from repro.timeseries.series import HourlySeries
-from repro.timeseries.windows import k_smallest_slots, min_sum_contiguous_window
+from repro.timeseries.windows import (
+    k_smallest_slots,
+    min_sum_contiguous_window,
+    wrap_hour,
+)
 from repro.workloads.job import Job
 
 
@@ -86,6 +90,7 @@ class CarbonAgnosticPolicy(TemporalPolicy):
         slices = (
             ExecutionSlice(
                 region=trace.name or "local",
+                # repro: allow[cyclic-wrap] runs at the arrival hour, which _validate pins inside the trace
                 start_hour=arrival_hour,
                 duration_hours=job.length_hours,
                 emissions_g=emissions,
@@ -126,7 +131,7 @@ class DeferralPolicy(TemporalPolicy):
             emissions = best.total * job.power_kw * (job.length_hours / job.whole_hours)
             # Reduce modulo the trace length: deferred starts past the end of
             # the year wrap to its beginning (the module's cyclic convention).
-            start = (arrival_hour + best.start) % len(trace)
+            start = wrap_hour(arrival_hour + best.start, len(trace))
         slices = (
             ExecutionSlice(
                 region=trace.name or "local",
@@ -165,6 +170,7 @@ class InterruptiblePolicy(TemporalPolicy):
             slices = (
                 ExecutionSlice(
                     region=trace.name or "local",
+                    # repro: allow[cyclic-wrap] degenerate baseline at the validated arrival hour
                     start_hour=arrival_hour,
                     duration_hours=job.length_hours,
                     emissions_g=emissions,
@@ -180,7 +186,7 @@ class InterruptiblePolicy(TemporalPolicy):
             slices = (
                 ExecutionSlice(
                     region=trace.name or "local",
-                    start_hour=(arrival_hour + best.start) % len(trace),
+                    start_hour=wrap_hour(arrival_hour + best.start, len(trace)),
                     duration_hours=job.length_hours,
                     emissions_g=emissions,
                 ),
@@ -193,7 +199,7 @@ class InterruptiblePolicy(TemporalPolicy):
             slices = tuple(
                 ExecutionSlice(
                     region=trace.name or "local",
-                    start_hour=(arrival_hour + int(offset)) % len(trace),
+                    start_hour=wrap_hour(arrival_hour + int(offset), len(trace)),
                     duration_hours=job.length_hours / job.whole_hours,
                     emissions_g=float(window[offset]) * scale,
                 )

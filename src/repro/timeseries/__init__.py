@@ -16,6 +16,7 @@ from repro.timeseries.windows import (
     k_smallest_slots,
     min_sum_contiguous_window,
     sliding_window_sums,
+    wrap_hour,
 )
 
 __all__ = [
@@ -34,4 +35,5 @@ __all__ = [
     "rolling_mean",
     "sliding_window_sums",
     "summary_statistics",
+    "wrap_hour",
 ]

@@ -36,6 +36,19 @@ class WindowResult:
     total: float
 
 
+def wrap_hour(hour: int, num_hours: int) -> int:
+    """Reduce ``hour`` modulo ``num_hours`` — the module's cyclic convention.
+
+    Every start hour a policy emits must lie inside the trace: windows that
+    reach past the year end wrap to its beginning.  This is the *named wrap
+    helper* the ``cyclic-wrap`` lint rule recognises alongside an inline
+    ``%`` reduction, so call sites can document the wrap explicitly.
+    """
+    if num_hours <= 0:
+        raise ConfigurationError("num_hours must be positive")
+    return int(hour) % int(num_hours)
+
+
 def cyclic_extension(values: np.ndarray, extra: int) -> np.ndarray:
     """The array followed by its first ``extra`` elements (cyclic wrap).
 

@@ -17,7 +17,7 @@ import numpy as np
 from repro.constants import HOURS_PER_DAY, HOURS_PER_YEAR
 from repro.exceptions import ConfigurationError
 from repro.workloads.distributions import EQUAL_DISTRIBUTION, JobLengthDistribution
-from repro.workloads.job import Job, JobClass
+from repro.workloads.job import Job
 from repro.workloads.job_lengths import INTERACTIVE_JOB_LENGTH_HOURS
 from repro.workloads.traces import ClusterTrace, TraceJob
 

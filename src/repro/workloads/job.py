@@ -8,7 +8,7 @@ policies in :mod:`repro.scheduling` decide when and where they run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from enum import Enum
 
 from repro.constants import DEFAULT_POWER_KW

@@ -7,8 +7,7 @@ grids so that every experiment draws its parameters from the same place.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 from repro.constants import HOURS_PER_DAY, HOURS_PER_WEEK, HOURS_PER_YEAR
 from repro.exceptions import ConfigurationError

@@ -1,0 +1,138 @@
+"""Tests for the experiment-registry contract checker.
+
+The live registry must validate clean; deliberately broken stand-in specs
+must produce one precise finding per violated contract.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.devtools.contracts import (
+    KIND_BAD_ENTRY_POINT,
+    KIND_CAST_MISMATCH,
+    KIND_OPTION_NOT_ACCEPTED,
+    KIND_UNKNOWN_OPTION,
+    check_contracts,
+    check_experiment,
+    check_option_casts,
+    main as contracts_main,
+)
+from repro.experiments.registry import list_experiments
+from repro.runtime.config import _OPTION_CASTS, OPTION_FIELDS, RunConfig
+
+
+@dataclass(frozen=True)
+class FakeSpec:
+    """Minimal stand-in mirroring the ExperimentSpec surface contracts use."""
+
+    identifier: str
+    run: object
+    options: frozenset = field(default_factory=frozenset)
+    needs_dataset: bool = True
+
+
+def run_good(dataset, workers=None, seed=None):
+    return dataset
+
+
+def run_no_workers(dataset, seed=None):
+    return dataset
+
+
+def run_var_kw(dataset, **kwargs):
+    return dataset
+
+
+def run_keyword_only_dataset(*, seed=None):
+    return seed
+
+
+class TestLiveRegistry:
+    def test_live_registry_is_clean(self):
+        findings = check_contracts()
+        formatted = "\n".join(finding.format() for finding in findings)
+        assert not findings, f"registry contract violations:\n{formatted}"
+
+    def test_live_registry_is_nontrivial(self):
+        assert len(list_experiments()) >= 10
+
+    def test_spillover_threshold_routes_as_float(self):
+        # The float-routed option the cast contract exists for: losing the
+        # _OPTION_CASTS entry must be a detected violation, not a silent
+        # truncation of every fractional threshold to int.
+        assert _OPTION_CASTS.get("spillover_threshold") is float
+        broken = {k: v for k, v in _OPTION_CASTS.items() if k != "spillover_threshold"}
+        findings = check_option_casts(OPTION_FIELDS, broken, RunConfig)
+        assert len(findings) == 1
+        assert findings[0].kind == KIND_CAST_MISMATCH
+        assert "spillover_threshold" in findings[0].message
+
+
+class TestExperimentContracts:
+    def test_undeclared_option_field_is_flagged(self):
+        spec = FakeSpec("fake", run_good, frozenset({"workers", "not_a_field"}))
+        findings = check_experiment(spec, OPTION_FIELDS)
+        assert len(findings) == 1
+        assert findings[0].kind == KIND_UNKNOWN_OPTION
+        assert findings[0].experiment == "fake"
+        assert "not_a_field" in findings[0].message
+
+    def test_option_missing_from_signature_is_flagged(self):
+        spec = FakeSpec("fake", run_no_workers, frozenset({"workers", "seed"}))
+        findings = check_experiment(spec, OPTION_FIELDS)
+        assert len(findings) == 1
+        assert findings[0].kind == KIND_OPTION_NOT_ACCEPTED
+        assert "'workers'" in findings[0].message
+
+    def test_var_keyword_accepts_everything(self):
+        spec = FakeSpec("fake", run_var_kw, frozenset(OPTION_FIELDS))
+        assert check_experiment(spec, OPTION_FIELDS) == []
+
+    def test_needs_dataset_without_positional_is_flagged(self):
+        spec = FakeSpec("fake", run_keyword_only_dataset, frozenset({"seed"}))
+        findings = check_experiment(spec, OPTION_FIELDS)
+        assert len(findings) == 1
+        assert findings[0].kind == KIND_BAD_ENTRY_POINT
+
+    def test_uninspectable_entry_point_is_flagged(self):
+        spec = FakeSpec("fake", len, frozenset())
+        findings = check_experiment(spec, OPTION_FIELDS)
+        assert findings == [] or findings[0].kind == KIND_BAD_ENTRY_POINT
+
+    def test_injected_specs_flow_through_check_contracts(self):
+        spec = FakeSpec("fake", run_no_workers, frozenset({"workers"}))
+        findings = check_contracts(experiments=[spec])
+        assert [f.kind for f in findings] == [KIND_OPTION_NOT_ACCEPTED]
+
+
+class TestOptionCasts:
+    def test_unannotated_option_field_is_flagged(self):
+        findings = check_option_casts(["no_such_field"], {}, RunConfig)
+        assert len(findings) == 1
+        assert findings[0].kind == KIND_UNKNOWN_OPTION
+
+    def test_int_fields_pass_with_default_cast(self):
+        int_fields = [f for f in OPTION_FIELDS if f != "spillover_threshold"]
+        assert check_option_casts(int_fields, {}, RunConfig) == []
+
+
+class TestContractsCli:
+    def test_cli_exits_zero_on_live_registry(self, capsys):
+        assert contracts_main([]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_cli_json_output(self, capsys):
+        assert contracts_main(["--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        assert payload["findings"] == []
+        assert payload["experiments_checked"] == len(list_experiments())
+
+    def test_cli_rejects_unknown_flag(self):
+        with pytest.raises(SystemExit):
+            contracts_main(["--nope"])

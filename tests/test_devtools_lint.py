@@ -1,0 +1,456 @@
+"""Fixture-driven tests for the reprolint rule battery.
+
+Every rule gets at least one *bad* snippet proving it fires and one *good*
+snippet proving it stays quiet; on top sit the suppression-machinery tests,
+the CLI contract, and the tier-1 self-test asserting the repository itself
+is clean under all rules.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.devtools.core import (
+    META_MISSING_REASON,
+    META_UNKNOWN_RULE,
+    FileContext,
+    infer_layer,
+    infer_module,
+    lint_file,
+    parse_suppressions,
+)
+from repro.devtools.lint import main as lint_main
+from repro.devtools.rules import RULE_CLASSES, all_rules, rule_ids
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def lint_snippet(
+    source: str,
+    layer: str = "src",
+    module: str = "repro.example",
+    path: str = "src/repro/example.py",
+):
+    """Lint an in-memory snippet as if it lived at ``path``."""
+    ctx = FileContext.from_source(
+        pathlib.Path(path), textwrap.dedent(source), layer=layer, module=module
+    )
+    return lint_file(ctx, all_rules())
+
+
+def found_rules(source: str, **kwargs) -> set[str]:
+    return {finding.rule_id for finding in lint_snippet(source, **kwargs)}
+
+
+class TestRngGlobalStateRule:
+    def test_import_random_fires(self):
+        assert "rng-global-state" in found_rules("import random\n")
+
+    def test_from_random_import_fires(self):
+        assert "rng-global-state" in found_rules("from random import choice\n")
+
+    def test_fires_in_every_layer(self):
+        assert "rng-global-state" in found_rules(
+            "import random\n", layer="tests", module=""
+        )
+
+    def test_seeded_numpy_generator_is_clean(self):
+        assert found_rules(
+            "import numpy as np\nrng = np.random.default_rng(42)\n"
+        ) == set()
+
+
+class TestUnseededDefaultRngRule:
+    def test_argless_call_fires(self):
+        findings = lint_snippet(
+            "import numpy as np\nrng = np.random.default_rng()\n"
+        )
+        assert any(f.rule_id == "rng-unseeded" for f in findings)
+        assert any(f.line == 2 for f in findings)
+
+    def test_bare_name_call_fires(self):
+        source = "from numpy.random import default_rng\nrng = default_rng()\n"
+        assert "rng-unseeded" in found_rules(source)
+
+    def test_seeded_call_is_clean(self):
+        assert "rng-unseeded" not in found_rules(
+            "import numpy as np\nrng = np.random.default_rng(7)\n"
+        )
+
+    def test_seed_keyword_is_clean(self):
+        assert "rng-unseeded" not in found_rules(
+            "import numpy as np\nrng = np.random.default_rng(seed=7)\n"
+        )
+
+
+class TestLegacyNumpyRandomRule:
+    @pytest.mark.parametrize("call", ["np.random.rand(3)", "np.random.seed(0)",
+                                      "np.random.normal(0.0, 1.0)"])
+    def test_legacy_calls_fire(self, call):
+        assert "rng-legacy-numpy" in found_rules(f"import numpy as np\nx = {call}\n")
+
+    def test_generator_annotation_is_clean(self):
+        source = (
+            "import numpy as np\n"
+            "def draw(rng: np.random.Generator) -> float:\n"
+            "    return float(rng.random())\n"
+        )
+        assert "rng-legacy-numpy" not in found_rules(source)
+
+    def test_only_applies_to_src(self):
+        source = "import numpy as np\nx = np.random.rand(3)\n"
+        assert "rng-legacy-numpy" not in found_rules(
+            source, layer="benchmarks", module=""
+        )
+
+
+class TestWallClockRule:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import time\nstamp = time.time()\n",
+            "import time\nstamp = time.perf_counter()\n",
+            "from time import perf_counter\nstamp = perf_counter()\n",
+            "from datetime import datetime\nstamp = datetime.now()\n",
+            "import datetime\nstamp = datetime.datetime.now()\n",
+            "from datetime import date\nstamp = date.today()\n",
+        ],
+    )
+    def test_wall_clock_reads_fire(self, snippet):
+        assert "wallclock" in found_rules(snippet)
+
+    def test_reporting_module_is_exempt(self):
+        source = "import time\nstamp = time.time()\n"
+        assert "wallclock" not in found_rules(
+            source, module="repro.reporting.bench", path="src/repro/reporting/bench.py"
+        )
+
+    def test_examples_are_exempt(self):
+        source = "import time\nstamp = time.time()\n"
+        assert "wallclock" not in found_rules(
+            source, layer="examples", module="", path="examples/demo.py"
+        )
+
+    def test_unrelated_now_attribute_is_clean(self):
+        # A .now() on some arbitrary object is not a datetime read.
+        source = "def f(clock):\n    return clock.now()\n"
+        assert "wallclock" not in found_rules(source)
+
+
+class TestCyclicWrapRule:
+    def test_raw_start_hour_fires(self):
+        source = """
+        def schedule(arrival, trace):
+            return ExecutionSlice(
+                region="SE",
+                start_hour=arrival + 3,
+                duration_hours=1.0,
+                emissions_g=0.0,
+            )
+        """
+        findings = lint_snippet(source)
+        assert any(f.rule_id == "cyclic-wrap" for f in findings)
+
+    def test_inline_modulo_is_clean(self):
+        source = """
+        def schedule(arrival, trace):
+            return ExecutionSlice(
+                region="SE",
+                start_hour=(arrival + 3) % len(trace),
+                duration_hours=1.0,
+                emissions_g=0.0,
+            )
+        """
+        assert "cyclic-wrap" not in found_rules(source)
+
+    def test_wrap_helper_is_clean(self):
+        source = """
+        from repro.timeseries.windows import wrap_hour
+
+        def schedule(arrival, trace):
+            return ExecutionSlice(
+                region="SE",
+                start_hour=wrap_hour(arrival + 3, len(trace)),
+                duration_hours=1.0,
+                emissions_g=0.0,
+            )
+        """
+        assert "cyclic-wrap" not in found_rules(source)
+
+    def test_variable_assigned_with_wrap_is_clean(self):
+        source = """
+        def schedule(arrival, best, trace):
+            if best is None:
+                start = arrival
+            else:
+                start = (arrival + best) % len(trace)
+            return ExecutionSlice(
+                region="SE",
+                start_hour=start,
+                duration_hours=1.0,
+                emissions_g=0.0,
+            )
+        """
+        assert "cyclic-wrap" not in found_rules(source)
+
+    def test_variable_never_wrapped_fires(self):
+        source = """
+        def schedule(arrival, best, trace):
+            start = arrival + best
+            return ExecutionSlice(
+                region="SE",
+                start_hour=start,
+                duration_hours=1.0,
+                emissions_g=0.0,
+            )
+        """
+        assert "cyclic-wrap" in found_rules(source)
+
+    def test_positional_start_hour_is_checked(self):
+        source = """
+        def schedule(arrival):
+            return ExecutionSlice("SE", arrival + 3, 1.0, 0.0)
+        """
+        assert "cyclic-wrap" in found_rules(source)
+
+    def test_only_applies_to_src(self):
+        source = "piece = ExecutionSlice('SE', 5, 1.0, 0.0)\n"
+        assert "cyclic-wrap" not in found_rules(source, layer="tests", module="")
+
+
+class TestWorkerPurityRule:
+    def test_lambda_fires(self):
+        source = """
+        def run(codes, payloads):
+            return parallel_map_regions(lambda c, p: p, codes, payloads)
+        """
+        assert "worker-purity" in found_rules(source)
+
+    def test_nested_function_fires(self):
+        source = """
+        def run(codes, payloads):
+            def shard(code, payload):
+                return payload
+            return parallel_map_regions(shard, codes, payloads)
+        """
+        assert "worker-purity" in found_rules(source)
+
+    def test_bound_method_fires(self):
+        source = """
+        class Runner:
+            def shard(self, code, payload):
+                return payload
+
+            def run(self, codes, payloads):
+                return parallel_map_regions(self.shard, codes, payloads)
+        """
+        assert "worker-purity" in found_rules(source)
+
+    def test_partial_of_lambda_fires(self):
+        source = """
+        from functools import partial
+
+        def run(codes, payloads):
+            worker = partial(lambda c, p, k: p, k=2)
+            return parallel_map_regions(worker, codes, payloads)
+        """
+        assert "worker-purity" in found_rules(source)
+
+    def test_module_level_function_is_clean(self):
+        source = """
+        def _shard(code, payload):
+            return payload
+
+        def run(codes, payloads):
+            return parallel_map_regions(_shard, codes, payloads)
+        """
+        assert "worker-purity" not in found_rules(source)
+
+    def test_partial_of_module_level_is_clean(self):
+        source = """
+        from functools import partial
+
+        def _shard(code, payload, scale):
+            return payload * scale
+
+        def run(codes, payloads):
+            worker = partial(_shard, scale=2.0)
+            return parallel_map_regions(worker, codes, payloads)
+        """
+        assert "worker-purity" not in found_rules(source)
+
+    def test_fires_in_tests_layer_too(self):
+        source = """
+        def run(codes, payloads):
+            return parallel_map_regions(lambda c, p: p, codes, payloads)
+        """
+        assert "worker-purity" in found_rules(source, layer="tests", module="")
+
+
+class TestFloatEqualityRule:
+    def test_float_literal_fires(self):
+        assert "float-equality" in found_rules("ok = value == 1.5\n")
+
+    def test_float_conversion_fires(self):
+        assert "float-equality" in found_rules('ok = x == float("inf")\n')
+
+    def test_float_named_attribute_fires(self):
+        assert "float-equality" in found_rules(
+            "ok = result.emissions_g == expected\n"
+        )
+
+    def test_float_named_name_fires(self):
+        assert "float-equality" in found_rules(
+            "ok = migratable_fraction != other\n"
+        )
+
+    def test_int_comparison_is_clean(self):
+        assert "float-equality" not in found_rules("ok = count == 3\n")
+
+    def test_ordering_comparison_is_clean(self):
+        assert "float-equality" not in found_rules("ok = emissions_g <= 1.5\n")
+
+    def test_only_applies_to_src(self):
+        assert "float-equality" not in found_rules(
+            "assert emissions_g == 1.5\n", layer="tests", module=""
+        )
+
+
+class TestSuppressions:
+    SOURCE = "import random  # repro: allow[rng-global-state] fixture exercising the stdlib API\n"
+
+    def test_allow_with_reason_suppresses(self):
+        assert found_rules(self.SOURCE) == set()
+
+    def test_allow_without_reason_is_reported(self):
+        source = "import random  # repro: allow[rng-global-state]\n"
+        assert found_rules(source) == {META_MISSING_REASON}
+
+    def test_allow_unknown_rule_is_reported(self):
+        source = "import random  # repro: allow[no-such-rule] because\n"
+        rules = found_rules(source)
+        assert META_UNKNOWN_RULE in rules
+        assert "rng-global-state" in rules  # the real finding survives
+
+    def test_standalone_comment_covers_next_line(self):
+        source = (
+            "# repro: allow[rng-global-state] fixture for the comment-above idiom\n"
+            "import random\n"
+        )
+        assert found_rules(source) == set()
+
+    def test_multiple_ids_in_one_comment(self):
+        source = (
+            "import random  # repro: allow[rng-global-state,float-equality] fixture\n"
+        )
+        assert found_rules(source) == set()
+
+    def test_suppression_only_covers_its_line(self):
+        source = (
+            "import random  # repro: allow[rng-global-state] fixture\n"
+            "import random\n"
+        )
+        assert "rng-global-state" in found_rules(source)
+
+    def test_allow_inside_string_literal_is_ignored(self):
+        source = 's = "# repro: allow[rng-global-state] not a comment"\nimport random\n'
+        assert "rng-global-state" in found_rules(source)
+
+    def test_parse_suppressions_shape(self):
+        supps = parse_suppressions(self.SOURCE)
+        assert len(supps) == 1
+        assert supps[0].rule_ids == ("rng-global-state",)
+        assert supps[0].reason.startswith("fixture")
+        assert not supps[0].standalone
+
+
+class TestLayerAndModuleInference:
+    def test_infer_layer(self):
+        assert infer_layer(pathlib.Path("src/repro/cli.py")) == "src"
+        assert infer_layer(pathlib.Path("tests/test_cli.py")) == "tests"
+        assert infer_layer(pathlib.Path("benchmarks/test_bench.py")) == "benchmarks"
+        assert infer_layer(pathlib.Path("examples/quickstart.py")) == "examples"
+        assert infer_layer(pathlib.Path("setup.py")) is None
+
+    def test_infer_module(self):
+        assert infer_module(pathlib.Path("src/repro/cloud/fleet.py")) == "repro.cloud.fleet"
+        assert infer_module(pathlib.Path("src/repro/__init__.py")) == "repro"
+        assert infer_module(pathlib.Path("tests/test_cli.py")) is None
+
+
+class TestRegistry:
+    def test_rule_ids_are_unique_and_kebab_case(self):
+        ids = rule_ids()
+        assert len(ids) == len(set(ids)) == len(RULE_CLASSES)
+        for rule_id in ids:
+            assert rule_id == rule_id.lower()
+            assert " " not in rule_id
+
+    def test_every_rule_has_description(self):
+        for rule in all_rules():
+            assert rule.description
+
+
+class TestLintCli:
+    def write(self, tmp_path, name, source):
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        return path
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        self.write(tmp_path, "src/repro/good.py", "import numpy as np\nrng = np.random.default_rng(1)\n")
+        assert lint_main([str(tmp_path / "src")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_dirty_tree_exits_one(self, tmp_path, capsys):
+        self.write(tmp_path, "src/repro/bad.py", "import random\n")
+        assert lint_main([str(tmp_path / "src")]) == 1
+        out = capsys.readouterr().out
+        assert "rng-global-state" in out
+        assert "1 finding(s)" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        self.write(tmp_path, "src/repro/bad.py", "import random\n")
+        assert lint_main(["--format", "json", str(tmp_path / "src")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["files_checked"] == 1
+        assert payload["findings"][0]["rule"] == "rng-global-state"
+        assert payload["findings"][0]["line"] == 1
+
+    def test_select_runs_only_named_rules(self, tmp_path, capsys):
+        self.write(tmp_path, "src/repro/bad.py", "import random\n")
+        assert lint_main(["--select", "cyclic-wrap", str(tmp_path / "src")]) == 0
+        capsys.readouterr()
+
+    def test_select_unknown_rule_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            lint_main(["--select", "nope", str(tmp_path)])
+
+    def test_missing_path_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            lint_main([str(tmp_path / "does-not-exist")])
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in rule_ids():
+            assert rule_id in out
+
+
+class TestRepositoryIsClean:
+    """Tier-1 self-test: the repo must pass its own static-analysis gate."""
+
+    def test_repo_clean_under_all_rules(self):
+        from repro.devtools.lint import run_lint
+
+        paths = [str(REPO_ROOT / part) for part in ("src", "tests", "benchmarks", "examples")]
+        findings, checked = run_lint(paths)
+        formatted = "\n".join(finding.format() for finding in findings)
+        assert not findings, f"reprolint findings in the repository:\n{formatted}"
+        assert checked > 100  # the whole tree was actually walked

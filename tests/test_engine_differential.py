@@ -24,7 +24,6 @@ import pytest
 from repro.cloud.engine import (
     ADMISSION_CARBON_AWARE,
     ADMISSION_CARBON_AWARE_PREEMPTIVE,
-    ADMISSION_FIFO,
     simulate_slot_queue,
 )
 from repro.cloud.scheduler_sim import (

@@ -5,8 +5,6 @@ small fixture dataset, and assert the paper's qualitative claims (the
 "shape" of the results) rather than specific numbers.
 """
 
-import pytest
-
 from repro import CarbonDataset, Job, default_catalog
 from repro.cloud.capacity import waterfall_assignment
 from repro.scheduling import (

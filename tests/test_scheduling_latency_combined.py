@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cloud.latency import LatencyModel
 from repro.exceptions import ConfigurationError
 from repro.scheduling.combined import CombinedShiftingPolicy, CombinedSweep
 from repro.scheduling.latency_aware import (

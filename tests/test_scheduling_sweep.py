@@ -6,7 +6,6 @@ import pytest
 from repro.exceptions import ConfigurationError
 from repro.scheduling.sweep import TemporalSweep, sweep_reductions_per_job_hour
 from repro.scheduling.temporal import CarbonAgnosticPolicy, DeferralPolicy, InterruptiblePolicy
-from repro.timeseries.series import HourlySeries
 from repro.workloads.job import Job
 
 
