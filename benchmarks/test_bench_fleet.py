@@ -2,9 +2,11 @@
 
 Three comparisons back the PR's performance claims:
 
-* the vectorised slot/queue engine (`ClusterSimulator.run`) versus the
-  per-job reference loop (`ClusterSimulator.run_reference`) on one busy
-  region — the runs are also asserted bit-identical;
+* the two slot/queue engines (batched event-frontier kernel and the per-hour
+  event kernel) versus the per-job reference loop
+  (`ClusterSimulator.run_reference`) on one busy region, across all five
+  admissions — the engines are asserted bit-identical to each other and
+  equivalent to the reference;
 * the fleet contention sweep (`run_fleet`, including its dynamic spillover
   axis) serial versus pooled (`workers=2` and all CPUs) — identical rows,
   wall-clock speedup table;
@@ -20,6 +22,11 @@ import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.cloud import (
+    ADMISSION_CARBON_AWARE,
+    ADMISSION_CARBON_AWARE_PREEMPTIVE,
+    ADMISSION_FIFO,
+    ENGINE_BATCHED,
+    ENGINE_EVENT,
     NO_SPILLOVER,
     PLACEMENT_GREENEST,
     PLACEMENT_ORIGIN,
@@ -29,8 +36,10 @@ from repro.cloud import (
     FifoSchedulingPolicy,
     FleetSimulator,
     PreemptiveCarbonAwareSchedulingPolicy,
+    simulate_slot_queue,
 )
 from repro.experiments.fleet_contention import run_fleet
+from repro.forecast.error import UniformErrorModel
 from repro.reporting import format_table
 from repro.runtime import resolve_workers
 from repro.timeseries.series import HourlySeries
@@ -59,65 +68,136 @@ def _engine_trace():
     return HourlySeries(np.clip(values + rng.normal(0.0, 25.0, hours.size), 1.0, None), name="X")
 
 
-def test_bench_engine_vs_reference_loop(benchmark):
+class _ForecastAwarePolicy(CarbonAwareSchedulingPolicy):
+    """Reference-loop model of forecast admission: the threshold rule decides
+    on a stored forecast series while the simulator charges the true trace."""
+
+    name = "forecast"
+
+    def __init__(self, decision_trace):
+        self.decision_trace = decision_trace
+
+    def wants_to_start(self, job, hour, trace):
+        return super().wants_to_start(job, hour, self.decision_trace)
+
+
+class _ForecastPreemptivePolicy(_ForecastAwarePolicy):
+    name = "forecast-preemptive"
+    preemptive = True
+
+
+def test_bench_engines_vs_reference_loop(benchmark):
+    """Batched vs event engine vs per-job reference loop, all five admissions.
+
+    The two engines must be bit-identical to each other (per-job arrays,
+    emissions included) and equivalent to the reference loop; the table
+    reports the wall clock of each implementation per admission.  At this
+    small scale (1.5 k jobs) the event kernel wins — the batched kernel's
+    per-hour frontier overheads only pay off on large inputs; the crossover
+    and the ≥10x million-job headline live in ``test_bench_fleet_scale.py``.
+    """
     trace = _engine_trace()
+    forecast = HourlySeries(
+        UniformErrorModel(magnitude=0.2, seed=7).apply_values(trace.values),
+        name="X-forecast",
+    )
     workload = _engine_workload()
     simulator = ClusterSimulator(trace, ENGINE_SLOTS)
+    arrivals, lengths, deadlines, powers, interruptible = (
+        workload.scheduling_arrays()
+    )
 
-    timings = {}
-    results = {}
-    for label, runner in (
-        ("vectorised", simulator.run),
-        ("reference", simulator.run_reference),
-    ):
-        results[label] = {}
-        timings[label] = {}
-        for policy in (
-            FifoSchedulingPolicy(),
-            CarbonAwareSchedulingPolicy(),
+    admissions = (
+        ("fifo", ADMISSION_FIFO, None, FifoSchedulingPolicy()),
+        ("carbon-aware", ADMISSION_CARBON_AWARE, None, CarbonAwareSchedulingPolicy()),
+        (
+            "carbon-aware-preemptive",
+            ADMISSION_CARBON_AWARE_PREEMPTIVE,
+            None,
             PreemptiveCarbonAwareSchedulingPolicy(),
-        ):
-            start = time.perf_counter()
-            results[label][policy.name] = runner(workload, policy)
-            timings[label][policy.name] = time.perf_counter() - start
+        ),
+        ("forecast", ADMISSION_CARBON_AWARE, forecast, _ForecastAwarePolicy(forecast)),
+        (
+            "forecast-preemptive",
+            ADMISSION_CARBON_AWARE_PREEMPTIVE,
+            forecast,
+            _ForecastPreemptivePolicy(forecast),
+        ),
+    )
 
-    # The engine must reproduce the reference loop: identical decisions
-    # (including suspend/resume events of the preemptive policy), emissions
-    # equal to within float-addition associativity.
-    for name in results["vectorised"]:
-        fast, reference = results["vectorised"][name], results["reference"][name]
-        assert fast.completed_jobs == reference.completed_jobs
-        assert fast.mean_start_delay_hours == reference.mean_start_delay_hours
-        assert fast.max_queue_length == reference.max_queue_length
-        assert fast.suspensions == reference.suspensions
-        assert abs(fast.total_emissions_g - reference.total_emissions_g) <= (
+    timings: dict[str, dict[str, float]] = {}
+    rows = []
+    for label, admission, decision, policy in admissions:
+        outcomes = {}
+        timings[label] = {}
+        for engine in (ENGINE_BATCHED, ENGINE_EVENT):
+            start = time.perf_counter()
+            outcomes[engine] = simulate_slot_queue(
+                trace.values,
+                arrivals,
+                lengths,
+                deadlines,
+                powers,
+                ENGINE_SLOTS,
+                admission=admission,
+                decision_values=None if decision is None else decision.values,
+                interruptible=interruptible,
+                engine=engine,
+            )
+            timings[label][engine] = time.perf_counter() - start
+        start = time.perf_counter()
+        reference = simulator.run_reference(workload, policy)
+        timings[label]["reference"] = time.perf_counter() - start
+
+        # Batched ≡ event: bit-identical per-job arrays, emissions included.
+        batched, event = outcomes[ENGINE_BATCHED], outcomes[ENGINE_EVENT]
+        assert np.array_equal(batched.start_hours, event.start_hours)
+        assert np.array_equal(batched.finish_hours, event.finish_hours)
+        assert np.array_equal(batched.suspension_counts, event.suspension_counts)
+        assert np.array_equal(batched.start_delays, event.start_delays)
+        assert batched.max_queue_length == event.max_queue_length
+        assert np.array_equal(batched.emissions_g, event.emissions_g)
+
+        # Engines ≡ reference loop: identical decisions, emissions equal to
+        # within float-addition associativity.
+        assert batched.completed_jobs == reference.completed_jobs
+        assert batched.mean_start_delay_hours() == reference.mean_start_delay_hours
+        assert batched.max_queue_length == reference.max_queue_length
+        assert batched.total_suspensions == reference.suspensions
+        assert abs(batched.total_emissions_g() - reference.total_emissions_g) <= (
             1e-9 * reference.total_emissions_g
         )
-    # The generator marks batch jobs interruptible by default, so the
-    # preemptive run must actually exercise the suspend/resume path.
-    assert results["vectorised"]["carbon-aware-preemptive"].suspensions > 0
 
-    # Headline timing: the vectorised engine on the carbon-aware policy.
+        rows.append(
+            {
+                "admission": label,
+                "batched_s": round(timings[label][ENGINE_BATCHED], 3),
+                "event_s": round(timings[label][ENGINE_EVENT], 3),
+                "reference_s": round(timings[label]["reference"], 3),
+                "batched_vs_event": round(
+                    timings[label][ENGINE_EVENT] / timings[label][ENGINE_BATCHED], 2
+                ),
+                "batched_vs_reference": round(
+                    timings[label]["reference"] / timings[label][ENGINE_BATCHED], 2
+                ),
+                "suspensions": batched.total_suspensions,
+            }
+        )
+        last_outcomes = outcomes
+
+    # The generator marks batch jobs interruptible by default, so the
+    # preemptive runs must actually exercise the suspend/resume path.
+    assert last_outcomes[ENGINE_BATCHED].total_suspensions > 0
+
+    # Headline timing: the batched engine on the carbon-aware policy.
     run_once(benchmark, simulator.run, workload, CarbonAwareSchedulingPolicy())
 
-    rows = [
-        {
-            "policy": name,
-            "vectorised_s": round(timings["vectorised"][name], 3),
-            "reference_s": round(timings["reference"][name], 3),
-            "speedup_vs_reference": round(
-                timings["reference"][name] / timings["vectorised"][name], 2
-            ),
-            "suspensions": results["vectorised"][name].suspensions,
-        }
-        for name in results["vectorised"]
-    ]
     print()
     print(
         format_table(
             rows,
             title=(
-                f"Slot/queue engine: {ENGINE_NUM_JOBS} jobs, "
+                f"Slot/queue engines: {ENGINE_NUM_JOBS} jobs, "
                 f"{ENGINE_SLOTS} slots, 8760 h horizon"
             ),
         )

@@ -12,9 +12,15 @@ from repro.cloud.engine import (
     ADMISSION_CARBON_AWARE,
     ADMISSION_CARBON_AWARE_PREEMPTIVE,
     ADMISSION_FIFO,
+    ENGINE_AUTO,
+    ENGINE_BATCHED,
+    ENGINE_EVENT,
+    ENGINE_KINDS,
     SlotQueueOutcome,
     simulate_slot_queue,
+    simulate_slot_queue_event,
 )
+from repro.cloud.engine_batched import simulate_slot_queue_batched
 from repro.cloud.fleet import (
     ADMISSION_FORECAST,
     ADMISSION_FORECAST_PREEMPTIVE,
@@ -48,6 +54,10 @@ __all__ = [
     "ClusterSimulator",
     "Datacenter",
     "DatacenterFleet",
+    "ENGINE_AUTO",
+    "ENGINE_BATCHED",
+    "ENGINE_EVENT",
+    "ENGINE_KINDS",
     "FLEET_ADMISSIONS",
     "FifoSchedulingPolicy",
     "FleetResult",
@@ -64,5 +74,7 @@ __all__ = [
     "SimulationResult",
     "SlotQueueOutcome",
     "simulate_slot_queue",
+    "simulate_slot_queue_batched",
+    "simulate_slot_queue_event",
     "waterfall_assignment",
 ]

@@ -1,39 +1,78 @@
-"""Vectorised slot/queue bookkeeping shared by the cluster simulators.
+"""Slot/queue kernels shared by the cluster simulators.
 
 :class:`~repro.cloud.scheduler_sim.ClusterSimulator` (one region) and
 :class:`~repro.cloud.fleet.FleetSimulator` (the whole catalog) both replay a
 workload against an hourly carbon trace under a fixed slot limit.  The naive
 implementation keeps one Python object per job and re-evaluates every queued
-job with per-job method calls each hour; this module is the shared fast
-engine both simulators run on instead:
+job with per-job method calls each hour; this module carries the two fast
+engines both simulators run on instead, selected by the ``engine``
+argument of :func:`simulate_slot_queue`:
 
-* all job state (lengths, deadlines, power, emissions, start/finish hours)
-  lives in flat NumPy arrays indexed by job;
-* emissions are charged per contiguous *run segment* as
-  ``power × (prefix[seg_end] − prefix[seg_start])`` on a precomputed
-  prefix-sum of the region's intensity array — there is no per-hour
-  execution step at all.  Under the non-preemptive admissions a job has
-  exactly one segment, charged once at start; under
-  :data:`ADMISSION_CARBON_AWARE_PREEMPTIVE` a segment is charged when it
-  ends (suspension, completion, or the horizon);
-* the loop is event-driven: it only visits hours where the schedule can
-  change — completions (a min-heap of finish times), arrivals, consecutive
-  hours while a free slot has jobs queued (admission is hourly), and
-  consecutive hours while an interruptible job is running under the
-  preemptive admission (suspension is hourly too).  Idle and fully-busy
-  stretches with nothing suspendable are skipped outright;
-* admission and suspension decisions for one hour are computed at once,
-  sharing one window partition per distinct ``(latest start, length)`` pair
-  — homogeneous workloads evaluate a single partition per decision hour
-  regardless of queue length.
+* :data:`ENGINE_BATCHED` — the batched event-frontier engine
+  of :mod:`repro.cloud.engine_batched`.  Arrivals are argsorted once, every
+  piece of per-job state (remaining length, deadline, segment start,
+  emissions accumulator) lives in preallocated NumPy arrays, and each
+  visited hour processes its admission/completion/suspension *frontier* as
+  array operations: arrivals enqueue as slices, completions retire as
+  grouped end-hour buckets, and the whole queued cohort's threshold rule is
+  evaluated at once against one shared "count-less" prefix of the decision
+  trace (see below).  This is the kernel that absorbs million-job regions.
+* :data:`ENGINE_EVENT` — the original event-driven kernel, retained in this
+  module as :func:`simulate_slot_queue_event`.  It walks the same event
+  hours but keeps its queue in Python lists and evaluates jobs one at a
+  time; it remains the mid-level cross-check between the batched engine
+  and the per-job reference loop
+  (:meth:`~repro.cloud.scheduler_sim.ClusterSimulator.run_reference`),
+  pinned three-ways in ``tests/test_engine_differential.py``.
+* :data:`ENGINE_AUTO` (the default) — picks per call: the batched kernel
+  once the job count reaches the measured crossover
+  (:data:`AUTO_BATCH_MIN_JOBS`, later for the preemptive path where both
+  kernels step hourly), the event kernel below it, where its cheap list
+  operations beat the batched kernel's fixed per-hour array-op costs.
+  Because the kernels are bit-identical, the selection is invisible in
+  results and only moves wall clock.
 
-The prefix-sum accounting reorders float additions relative to a strictly
-hour-by-hour accumulation, so emissions may differ from the per-job
-reference loop in the last few ULPs (float addition is not associative).
-All *decisions* — starts, suspensions, completions, queue depths, delays —
-are taken on raw trace values and are exactly identical to the reference
-loop; repeated runs of the engine itself (serial or pooled) are
-bit-identical.
+Fast-path eligibility rules (batched engine)
+--------------------------------------------
+
+* The **non-preemptive admissions** — :data:`ADMISSION_FIFO`,
+  :data:`ADMISSION_CARBON_AWARE`, and the fleet's forecast-driven variant
+  (carbon-aware deciding on error-injected ``decision_values``) — take the
+  one-segment fast path: a job admitted under these rules runs exactly one
+  contiguous segment charged at admission, its ``(latest start, length)``
+  pair never changes while it queues, so the latest admissible start is
+  precomputed once per job and the engine only ever touches the queue at
+  hours where the schedule can change (arrivals, completions, and
+  consecutive hours while a free slot has jobs queued).  Under FIFO no
+  threshold rule runs at all and admission degenerates to advancing the
+  queue head.
+* The **preemptive admissions** (:data:`ADMISSION_CARBON_AWARE_PREEMPTIVE`
+  and its forecast variant) take the batched hourly re-evaluation path:
+  while any interruptible job is running the engine must visit every hour
+  (suspension is hour-granular), but the suspension scan over the running
+  cohort and the admission scan over the queued cohort are each one array
+  operation, sharing the same per-hour count-less prefix.
+
+The threshold rule itself (:func:`carbon_aware_wants`, per job) is
+evaluated cohort-wide through an equivalent counting form: a job with
+``remaining`` hours left and latest start ``latest`` wants hour ``h`` iff
+``#{t in [h, min(latest, H-1)] : decision[t] < decision[h]} < remaining``.
+This is exactly the ``decision[h] <= kth_smallest(window)`` partition rule
+(ties included), but all jobs' windows share their left endpoint ``h``, so
+one boolean-cumsum over ``decision[h:]`` answers every queued and running
+job at once regardless of cohort size.
+
+Emissions are charged per contiguous *run segment* as
+``power × (prefix[seg_end] − prefix[seg_start])`` on a precomputed
+prefix-sum of the region's intensity array — there is no per-hour execution
+step in either engine, and both engines charge the same segment expression,
+so their per-job emissions are bit-identical to each other.  The prefix-sum
+accounting reorders float additions relative to a strictly hour-by-hour
+accumulation, so emissions may differ from the per-job reference loop in
+the last few ULPs (float addition is not associative).  All *decisions* —
+starts, suspensions, completions, queue depths, delays — are taken on raw
+trace values and are exactly identical to the reference loop; repeated runs
+of either engine (serial or pooled) are bit-identical.
 
 Deadline semantics: a job's deadline is its *true* deadline
 (``arrival + length + slack``), which may fall beyond the simulated horizon
@@ -47,11 +86,10 @@ same threshold rule used for admission, on its *remaining* length and
 unchanged true deadline.  The moment the current hour stops being one of
 the ``remaining`` cheapest hours of its window, the job is suspended: its
 finished segment is charged, and it re-joins the queue *at its original
-arrival-order position*, so the lazy arrival-order admission scan and the
-per-``(latest start, length)`` memo keep working unchanged.  Jobs whose
-flag is unset run contiguously exactly as under
-:data:`ADMISSION_CARBON_AWARE` — a workload with no interruptible jobs is
-bit-identical between the two admissions.
+arrival-order position*, so the lazy arrival-order admission scan keeps
+working unchanged.  Jobs whose flag is unset run contiguously exactly as
+under :data:`ADMISSION_CARBON_AWARE` — a workload with no interruptible
+jobs is bit-identical between the two admissions.
 """
 
 from __future__ import annotations
@@ -64,7 +102,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 
-#: Admission rules the engine understands.
+#: Admission rules the engines understand.
 ADMISSION_FIFO = "fifo"
 ADMISSION_CARBON_AWARE = "carbon-aware"
 ADMISSION_CARBON_AWARE_PREEMPTIVE = "carbon-aware-preemptive"
@@ -73,6 +111,23 @@ ADMISSION_KINDS = (
     ADMISSION_CARBON_AWARE,
     ADMISSION_CARBON_AWARE_PREEMPTIVE,
 )
+
+#: Kernel selection: the batched event-frontier engine, the retained
+#: event-driven engine (the mid-level differential cross-check), and the
+#: default ``auto`` which picks by workload size (the engines are
+#: bit-identical, so the choice is purely a wall-clock matter).
+ENGINE_BATCHED = "batched"
+ENGINE_EVENT = "event"
+ENGINE_AUTO = "auto"
+ENGINE_KINDS = (ENGINE_AUTO, ENGINE_BATCHED, ENGINE_EVENT)
+
+#: Job-count crossovers where the batched kernel starts beating the event
+#: kernel (measured on the scale benchmark's workload shapes; keyed by
+#: whether the admission is preemptive).  Below these the event kernel's
+#: cheap list operations win; above them the batched frontiers do.  The
+#: preemptive crossover is later because both engines step hourly there and
+#: the batched kernel pays a higher per-hour constant.
+AUTO_BATCH_MIN_JOBS = {False: 16_384, True: 49_152}
 
 
 @dataclass(frozen=True)
@@ -84,13 +139,15 @@ class SlotQueueOutcome:
     that never started inside the horizon); ``finish_hours`` is ``-1`` for
     jobs that never finished.  Such jobs still carry the emissions of the
     hours they did execute.  ``suspension_counts`` is all zeros except under
-    the preemptive admission.
+    the preemptive admission.  ``start_delays`` is a float array with one
+    entry per job that started, in admission order (the order starts
+    happened, ties broken by arrival rank).
     """
 
     emissions_g: np.ndarray
     start_hours: np.ndarray
     finish_hours: np.ndarray
-    start_delays: tuple[float, ...]
+    start_delays: np.ndarray
     max_queue_length: int
     suspension_counts: np.ndarray
 
@@ -102,7 +159,7 @@ class SlotQueueOutcome:
     @property
     def started_jobs(self) -> int:
         """Number of jobs that started inside the horizon."""
-        return len(self.start_delays)
+        return int(self.start_delays.size)
 
     @property
     def total_suspensions(self) -> int:
@@ -110,12 +167,13 @@ class SlotQueueOutcome:
         return int(self.suspension_counts.sum())
 
     def total_emissions_g(self) -> float:
-        """Summed emissions in deterministic (input-order) accumulation."""
-        return float(sum(self.emissions_g.tolist()))
+        """Summed emissions (NumPy pairwise summation — deterministic for a
+        given array, so serial and pooled runs agree bit-for-bit)."""
+        return float(self.emissions_g.sum())
 
     def mean_start_delay_hours(self) -> float:
         """Mean queueing delay of the jobs that started."""
-        if not self.start_delays:
+        if self.start_delays.size == 0:
             return 0.0
         return float(np.mean(self.start_delays))
 
@@ -140,6 +198,10 @@ def carbon_aware_wants(
     partition per decision hour regardless of depth.  The preemptive
     admission applies the same rule to its *running* interruptible jobs
     (with ``length`` being the remaining hours), sharing the same memo.
+
+    The batched engine evaluates the identical rule cohort-wide in counting
+    form (see the module docstring); this scalar form is what the event
+    engine and the reference policies call.
     """
     latest = deadline - length
     if hour >= latest:
@@ -158,6 +220,63 @@ def carbon_aware_wants(
     return verdict
 
 
+def coerce_slot_queue_inputs(
+    true_values: np.ndarray,
+    arrivals: np.ndarray,
+    lengths: np.ndarray,
+    deadlines: np.ndarray,
+    powers: np.ndarray,
+    num_slots: int,
+    admission: str,
+    decision_values: np.ndarray | None,
+    interruptible: np.ndarray | None,
+) -> tuple[
+    np.ndarray,
+    np.ndarray,
+    np.ndarray,
+    np.ndarray,
+    np.ndarray,
+    np.ndarray,
+    np.ndarray,
+]:
+    """Validate and canonicalise one slot/queue problem (shared by engines).
+
+    Returns ``(true_values, decision, arrivals, lengths, deadlines, powers,
+    interruptible)`` as dtype-canonical arrays; raises
+    :class:`ConfigurationError` on any malformed input.
+    """
+    if num_slots <= 0:
+        raise ConfigurationError("num_slots must be positive")
+    if admission not in ADMISSION_KINDS:
+        raise ConfigurationError(
+            f"unknown admission {admission!r}; known: {ADMISSION_KINDS}"
+        )
+    true_values = np.asarray(true_values, dtype=float)
+    decision = true_values if decision_values is None else np.asarray(
+        decision_values, dtype=float
+    )
+    if decision.size != true_values.size:
+        raise ConfigurationError(
+            "decision_values must have the same length as true_values"
+        )
+    arrivals = np.asarray(arrivals, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    deadlines = np.asarray(deadlines, dtype=np.int64)
+    powers = np.asarray(powers, dtype=float)
+    n = arrivals.size
+    if not (lengths.size == deadlines.size == powers.size == n):
+        raise ConfigurationError("per-job arrays must have the same length")
+    if interruptible is None:
+        interruptible = np.zeros(n, dtype=bool)
+    else:
+        interruptible = np.asarray(interruptible, dtype=bool)
+        if interruptible.size != n:
+            raise ConfigurationError("per-job arrays must have the same length")
+    if n and (lengths.min() < 1 or arrivals.min() < 0):
+        raise ConfigurationError("jobs need length >= 1 hour and arrival >= 0")
+    return true_values, decision, arrivals, lengths, deadlines, powers, interruptible
+
+
 def simulate_slot_queue(
     true_values: np.ndarray,
     arrivals: np.ndarray,
@@ -168,6 +287,7 @@ def simulate_slot_queue(
     admission: str = ADMISSION_FIFO,
     decision_values: np.ndarray | None = None,
     interruptible: np.ndarray | None = None,
+    engine: str = ENGINE_AUTO,
 ) -> SlotQueueOutcome:
     """Replay one region's jobs through a slot-limited queue.
 
@@ -198,42 +318,100 @@ def simulate_slot_queue(
         Per-job boolean array; only consulted by the preemptive admission
         (jobs with a false flag always run contiguously).  Defaults to all
         false.
+    engine:
+        :data:`ENGINE_BATCHED` (the event-frontier kernel),
+        :data:`ENGINE_EVENT` (the retained event-driven kernel), or the
+        default :data:`ENGINE_AUTO`, which picks the batched kernel once
+        the job count reaches :data:`AUTO_BATCH_MIN_JOBS` for the
+        admission's path and the event kernel below it.  The kernels are
+        decision-identical with bit-identical per-job emissions, so the
+        selection only moves wall clock; the explicit knob exists for
+        differential tests and benchmarks.
 
     Jobs start in arrival order among those that want to start; a suspended
     job keeps its remaining length and true deadline and re-enters the
     queue at its arrival-order position.  Work left unfinished at the end of
     the horizon keeps its partial emissions but no finish hour.
     """
-    if num_slots <= 0:
-        raise ConfigurationError("num_slots must be positive")
-    if admission not in ADMISSION_KINDS:
+    if engine not in ENGINE_KINDS:
         raise ConfigurationError(
-            f"unknown admission {admission!r}; known: {ADMISSION_KINDS}"
+            f"unknown engine {engine!r}; known: {ENGINE_KINDS}"
         )
-    true_values = np.asarray(true_values, dtype=float)
-    horizon = true_values.size
-    decision = true_values if decision_values is None else np.asarray(
-        decision_values, dtype=float
+    if engine == ENGINE_AUTO:
+        preemptive = admission == ADMISSION_CARBON_AWARE_PREEMPTIVE
+        engine = (
+            ENGINE_BATCHED
+            if len(np.asarray(arrivals)) >= AUTO_BATCH_MIN_JOBS[preemptive]
+            else ENGINE_EVENT
+        )
+    if engine == ENGINE_EVENT:
+        return simulate_slot_queue_event(
+            true_values,
+            arrivals,
+            lengths,
+            deadlines,
+            powers,
+            num_slots,
+            admission=admission,
+            decision_values=decision_values,
+            interruptible=interruptible,
+        )
+    # Imported lazily: engine_batched imports this module's shared pieces.
+    from repro.cloud.engine_batched import simulate_slot_queue_batched
+
+    return simulate_slot_queue_batched(
+        true_values,
+        arrivals,
+        lengths,
+        deadlines,
+        powers,
+        num_slots,
+        admission=admission,
+        decision_values=decision_values,
+        interruptible=interruptible,
     )
-    if decision.size != horizon:
-        raise ConfigurationError(
-            "decision_values must have the same length as true_values"
-        )
-    arrivals = np.asarray(arrivals, dtype=np.int64)
-    lengths = np.asarray(lengths, dtype=np.int64)
-    deadlines = np.asarray(deadlines, dtype=np.int64)
-    powers = np.asarray(powers, dtype=float)
+
+
+def simulate_slot_queue_event(
+    true_values: np.ndarray,
+    arrivals: np.ndarray,
+    lengths: np.ndarray,
+    deadlines: np.ndarray,
+    powers: np.ndarray,
+    num_slots: int,
+    admission: str = ADMISSION_FIFO,
+    decision_values: np.ndarray | None = None,
+    interruptible: np.ndarray | None = None,
+) -> SlotQueueOutcome:
+    """The retained event-driven kernel (see :func:`simulate_slot_queue`).
+
+    Same semantics and signature (minus ``engine``); job state lives in
+    Python lists and each queued/running job is evaluated with one
+    :func:`carbon_aware_wants` call, memoised per ``(latest start, length)``
+    within an hour.  Kept as the mid-level cross-check between the batched
+    engine and the per-job reference loop.
+    """
+    (
+        true_values,
+        decision,
+        arrivals,
+        lengths,
+        deadlines,
+        powers,
+        interruptible,
+    ) = coerce_slot_queue_inputs(
+        true_values,
+        arrivals,
+        lengths,
+        deadlines,
+        powers,
+        num_slots,
+        admission,
+        decision_values,
+        interruptible,
+    )
+    horizon = true_values.size
     n = arrivals.size
-    if not (lengths.size == deadlines.size == powers.size == n):
-        raise ConfigurationError("per-job arrays must have the same length")
-    if interruptible is None:
-        interruptible = np.zeros(n, dtype=bool)
-    else:
-        interruptible = np.asarray(interruptible, dtype=bool)
-        if interruptible.size != n:
-            raise ConfigurationError("per-job arrays must have the same length")
-    if n and (lengths.min() < 1 or arrivals.min() < 0):
-        raise ConfigurationError("jobs need length >= 1 hour and arrival >= 0")
 
     emissions = np.zeros(n, dtype=float)
     start_hours = np.full(n, -1, dtype=np.int64)
@@ -403,7 +581,7 @@ def simulate_slot_queue(
         emissions_g=emissions,
         start_hours=start_hours,
         finish_hours=finish_hours,
-        start_delays=tuple(start_delays),
+        start_delays=np.asarray(start_delays, dtype=float),
         max_queue_length=max_queue,
         suspension_counts=suspension_counts,
     )

@@ -1,0 +1,328 @@
+"""Batched event-frontier slot/queue kernel.
+
+This module holds the default engine behind
+:func:`repro.cloud.engine.simulate_slot_queue`.  It replays the exact
+schedule of the event-driven kernel (same event hours, same admission
+order, same suspension decisions) but processes each hour's *frontier* —
+the set of jobs arriving, completing, being admitted or being suspended at
+that hour — as NumPy array operations instead of per-job Python iteration:
+
+* Arrivals are argsorted once; every piece of per-job state (remaining
+  length, true deadline, segment start, emissions accumulator) lives in
+  preallocated arrays indexed by arrival rank, and an hour's fresh arrivals
+  enqueue as one ``arange`` slice into a flat ring-style queue buffer.
+* Completions are bucketed by end hour: admitting a cohort registers its
+  end hours once, and a completion frontier retires the whole bucket with
+  vectorised segment charging (stale entries of suspended jobs are masked
+  out by an ``expected_finish`` check, mirroring the event engine's lazy
+  heap invalidation).
+* The carbon-aware threshold rule is evaluated cohort-wide in counting
+  form: all windows share their left endpoint (the current hour), so one
+  boolean cumsum of ``decision[hour:] < decision[hour]`` answers every
+  queued and running job at once — ``wants ⟺ count-less[window end] <
+  remaining`` — which is exactly the per-job k-th-smallest partition rule,
+  ties included.  The prefix is cached per hour and shared between the
+  suspension scan and the admission scan, and it is grown lazily so FIFO
+  and short-window cohorts never touch the decision trace at all.
+* Admission stays *lazy* like the event engine: the queue is scanned in
+  arrival order in chunks sized to the free slots, so a million-deep queue
+  behind a full region costs O(free) per hour, not O(queue).
+
+Non-preemptive admissions (``fifo``, ``carbon-aware``, and their
+forecast-driven variants) take the one-segment fast path — emissions,
+finish hour and slot release are all fixed at admission, and the engine
+only visits hours where the schedule can change.  The preemptive admission
+visits every hour while interruptible jobs run (suspension is
+hour-granular) but handles the suspension frontier as one array operation
+over the running cohort.  See :mod:`repro.cloud.engine` for the shared
+semantics, validation and the retained event-driven cross-check.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.cloud.engine import (
+    ADMISSION_CARBON_AWARE_PREEMPTIVE,
+    ADMISSION_FIFO,
+    SlotQueueOutcome,
+    coerce_slot_queue_inputs,
+)
+
+__all__ = ["simulate_slot_queue_batched"]
+
+
+def _scatter(values: np.ndarray, order: np.ndarray) -> np.ndarray:
+    """Undo the arrival argsort: rank-indexed ``values`` -> input order."""
+    out = np.empty_like(values)
+    out[order] = values
+    return out
+
+
+def simulate_slot_queue_batched(
+    true_values: np.ndarray,
+    arrivals: np.ndarray,
+    lengths: np.ndarray,
+    deadlines: np.ndarray,
+    powers: np.ndarray,
+    num_slots: int,
+    admission: str = ADMISSION_FIFO,
+    decision_values: np.ndarray | None = None,
+    interruptible: np.ndarray | None = None,
+) -> SlotQueueOutcome:
+    """Batched event-frontier kernel (see module and dispatcher docstrings).
+
+    Semantics and signature match
+    :func:`repro.cloud.engine.simulate_slot_queue_event`; decisions are
+    exactly identical and per-job emissions are bit-identical (both engines
+    charge the same prefix-sum segment expressions).
+    """
+    (
+        true_values,
+        decision,
+        arrivals,
+        lengths,
+        deadlines,
+        powers,
+        interruptible,
+    ) = coerce_slot_queue_inputs(
+        true_values,
+        arrivals,
+        lengths,
+        deadlines,
+        powers,
+        num_slots,
+        admission,
+        decision_values,
+        interruptible,
+    )
+    horizon = int(true_values.size)
+    n = int(arrivals.size)
+    fifo = admission == ADMISSION_FIFO
+    preemptive = admission == ADMISSION_CARBON_AWARE_PREEMPTIVE
+
+    prefix = np.concatenate(([0.0], np.cumsum(true_values)))
+    order = np.argsort(arrivals, kind="stable")
+    arr_s = arrivals[order]
+    dl_s = deadlines[order]
+    pow_s = powers[order]
+    intr_s = interruptible[order]
+
+    # Rank-indexed job state (rank = position in arrival order).
+    remaining = lengths[order].copy()  # whole hours left at segment boundary
+    seg_start = np.full(n, -1, dtype=np.int64)
+    expected_finish = np.full(n, -1, dtype=np.int64)  # stale-entry guard
+    emissions = np.zeros(n, dtype=float)
+    start_h = np.full(n, -1, dtype=np.int64)
+    finish_h = np.full(n, -1, dtype=np.int64)
+    susp = np.zeros(n, dtype=np.int64)
+    delay_chunks: list[np.ndarray] = []
+
+    # Queue of ranks, ascending, stored in a flat buffer with head/tail
+    # cursors.  Fresh arrivals append (ranks arrive ascending); a suspended
+    # job re-enters by sorted merge at its arrival-order position.  Total
+    # appends are bounded by n plus one full rewrite per merge, so 2n + 1
+    # slots never overflow; the compaction branch below is belt-and-braces.
+    qbuf = np.empty(2 * n + 1, dtype=np.int64)
+    qh = qt = 0
+
+    # Completion frontiers, bucketed by end hour: a min-heap of unique end
+    # hours plus per-hour members (a slot count for the non-preemptive fast
+    # path, rank arrays under preemption).  Keys stay until popped, so jump
+    # targets — including stale ones left by suspensions — match the event
+    # engine's heap exactly.
+    comp_heap: list[int] = []
+    comp_members: dict[int, object] = {}
+    running_count = 0
+    run_intr = np.empty(0, dtype=np.int64)  # running interruptible ranks, sorted
+
+    # Per-hour count-less prefix of the decision trace, shared by the
+    # suspension and admission cohorts and grown lazily per hour.
+    cl_hour = -1
+    cl: np.ndarray = np.empty(0, dtype=np.int64)
+
+    next_arr = 0
+    max_queue = 0
+    hour = 0
+
+    def wants_batch(deadlines_b: np.ndarray, k_b: np.ndarray) -> np.ndarray:
+        """Cohort threshold rule: one shared prefix, counting form."""
+        nonlocal cl_hour, cl
+        off = np.minimum(deadlines_b - k_b, horizon - 1) - hour
+        wants = np.ones(off.size, dtype=bool)  # off <= 0: forced / tiny window
+        future = off > 0
+        if np.any(future):
+            max_off = int(off.max())
+            if cl_hour != hour or cl.size <= max_off:
+                window = decision[hour : hour + max_off + 1]
+                cl = np.cumsum(window < decision[hour])
+                cl_hour = hour
+            wants[future] = cl[off[future]] < k_b[future]
+        return wants
+
+    while hour < horizon:
+        # (1) Completion frontier: retire every bucket due by now.
+        while comp_heap and comp_heap[0] <= hour:
+            end = heapq.heappop(comp_heap)
+            entry = comp_members.pop(end)
+            if preemptive:
+                ranks = entry  # type: ignore[assignment]
+                done = ranks[expected_finish[ranks] == end]  # mask stale
+                if done.size:
+                    expected_finish[done] = -1
+                    running_count -= int(done.size)
+                    emissions[done] += pow_s[done] * (
+                        prefix[end] - prefix[seg_start[done]]
+                    )
+                    finish_h[done] = end
+                    remaining[done] = 0
+                    seg_start[done] = -1
+                    if run_intr.size:
+                        run_intr = run_intr[expected_finish[run_intr] >= 0]
+            else:
+                running_count -= int(entry)  # fast path: just free the slots
+        # (2) Idle: jump straight to the next arrival.
+        if qh == qt and running_count == 0:
+            if next_arr >= n:
+                break
+            hour = max(hour, int(arr_s[next_arr]))
+            if hour >= horizon:
+                break
+        # (3) Suspension frontier over the running interruptible cohort.
+        if preemptive and run_intr.size:
+            left = remaining[run_intr] - (hour - seg_start[run_intr])
+            keep = wants_batch(dl_s[run_intr], left)
+            if not keep.all():
+                stopped = run_intr[~keep]
+                emissions[stopped] += pow_s[stopped] * (
+                    prefix[hour] - prefix[seg_start[stopped]]
+                )
+                remaining[stopped] = left[~keep]
+                susp[stopped] += 1
+                seg_start[stopped] = -1
+                expected_finish[stopped] = -1  # invalidates the bucket entry
+                running_count -= int(stopped.size)
+                run_intr = run_intr[keep]
+                # Sorted merge back into the queue at arrival-order rank.
+                live = qbuf[qh:qt]
+                merged = np.insert(live, np.searchsorted(live, stopped), stopped)
+                qbuf[: merged.size] = merged
+                qh, qt = 0, int(merged.size)
+        # (4) Arrival frontier: enqueue every rank that has arrived by now.
+        first_future = int(np.searchsorted(arr_s, hour, side="right"))
+        if first_future > next_arr:
+            count = first_future - next_arr
+            if qt + count > qbuf.size:  # never hit; see buffer note above
+                live_len = qt - qh
+                qbuf[:live_len] = qbuf[qh:qt]
+                qh, qt = 0, live_len
+            qbuf[qt : qt + count] = np.arange(next_arr, first_future)
+            qt += count
+            next_arr = first_future
+        if qt - qh > max_queue:
+            max_queue = qt - qh
+        # (5) Admission frontier: lazy arrival-order scan, chunked to the
+        # free slots so a deep queue behind a full region stays untouched.
+        free = num_slots - running_count
+        if free > 0 and qt > qh:
+            admitted: list[np.ndarray] = []
+            masks: list[np.ndarray] = []
+            scan_end = qh
+            # Chunks grow geometrically: a saturated region stops after one
+            # O(free) chunk, while a deferring cohort that must be scanned to
+            # the tail still costs only O(queue) with O(log) chunk calls.
+            chunk_len = max(256, 4 * free)
+            while free > 0 and scan_end < qt:
+                chunk = qbuf[scan_end : min(qt, scan_end + chunk_len)]
+                chunk_len *= 4
+                if fifo:
+                    adm_mask = np.zeros(chunk.size, dtype=bool)
+                    adm_mask[:free] = True
+                else:
+                    w = wants_batch(dl_s[chunk], remaining[chunk])
+                    adm_mask = w & (np.cumsum(w) <= free)
+                free -= int(np.count_nonzero(adm_mask))
+                admitted.append(chunk[adm_mask])
+                masks.append(adm_mask)
+                scan_end += int(chunk.size)
+            adm = admitted[0] if len(admitted) == 1 else np.concatenate(admitted)
+            if adm.size:
+                # Compact: admitted ranks leave, survivors keep their order.
+                scanned = qbuf[qh:scan_end]
+                kept = scanned[~np.concatenate(masks)]
+                qh += int(adm.size)
+                qbuf[qh:scan_end] = kept
+                newly = adm[start_h[adm] < 0]
+                if newly.size:
+                    start_h[newly] = hour
+                    delay_chunks.append((hour - arr_s[newly]).astype(float))
+                end = hour + remaining[adm]
+                seg_start[adm] = hour
+                expected_finish[adm] = end
+                running_count += int(adm.size)
+                if preemptive:
+                    intr_adm = adm[intr_s[adm]]
+                    if intr_adm.size:
+                        run_intr = np.sort(np.concatenate((run_intr, intr_adm)))
+                    in_h = end <= horizon
+                    adm_in, end_in = adm[in_h], end[in_h]
+                    for e in np.unique(end_in).tolist():
+                        members = adm_in[end_in == e]
+                        if e in comp_members:
+                            comp_members[e] = np.concatenate(
+                                (comp_members[e], members)  # type: ignore[arg-type]
+                            )
+                        else:
+                            comp_members[e] = members
+                            heapq.heappush(comp_heap, e)
+                else:
+                    end_c = np.minimum(end, horizon)
+                    emissions[adm] = pow_s[adm] * (prefix[end_c] - prefix[hour])
+                    done = end <= horizon
+                    finish_h[adm[done]] = end[done]
+                    # Durations are small ints, so bincount beats unique.
+                    counts = np.bincount(remaining[adm[done]])
+                    for d in np.flatnonzero(counts).tolist():
+                        e = hour + d
+                        if e in comp_members:
+                            comp_members[e] = int(comp_members[e]) + int(counts[d])  # type: ignore[arg-type]
+                        else:
+                            comp_members[e] = int(counts[d])
+                            heapq.heappush(comp_heap, e)
+        # (6) Advance to the next hour at which the schedule can change.
+        if (qt > qh and running_count < num_slots) or run_intr.size:
+            hour += 1
+        else:
+            next_event = horizon
+            if comp_heap:
+                next_event = comp_heap[0]
+            if next_arr < n:
+                next_event = min(next_event, int(arr_s[next_arr]))
+            hour = max(hour + 1, next_event)
+    if preemptive:
+        # Charge the open segments the horizon cut off mid-run.
+        open_ranks = np.flatnonzero(expected_finish >= 0)
+        if open_ranks.size:
+            fin = expected_finish[open_ranks]
+            done = fin <= horizon
+            completed = open_ranks[done]
+            emissions[completed] += pow_s[completed] * (
+                prefix[fin[done]] - prefix[seg_start[completed]]
+            )
+            finish_h[completed] = fin[done]
+            cut = open_ranks[~done]
+            emissions[cut] += pow_s[cut] * (prefix[horizon] - prefix[seg_start[cut]])
+    return SlotQueueOutcome(
+        emissions_g=_scatter(emissions, order),
+        start_hours=_scatter(start_h, order),
+        finish_hours=_scatter(finish_h, order),
+        start_delays=(
+            np.concatenate(delay_chunks)
+            if delay_chunks
+            else np.zeros(0, dtype=float)
+        ),
+        max_queue_length=max_queue,
+        suspension_counts=_scatter(susp, order),
+    )

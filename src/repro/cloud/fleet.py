@@ -77,7 +77,7 @@ from repro.exceptions import ConfigurationError
 from repro.forecast.error import UniformErrorModel
 from repro.grid.dataset import CarbonDataset
 from repro.runtime import parallel_map_regions
-from repro.workloads.traces import ClusterTrace
+from repro.workloads.traces import ClusterTrace, WorkloadArrays
 
 #: Spatial placement rules.
 PLACEMENT_ORIGIN = "origin"
@@ -282,11 +282,11 @@ class FleetSimulator:
     # ------------------------------------------------------------------
     def place(
         self,
-        workload: ClusterTrace,
+        workload: ClusterTrace | WorkloadArrays,
         placement: str = PLACEMENT_ORIGIN,
         candidates: Sequence[str] | None = None,
         spillover_threshold: float = NO_SPILLOVER,
-    ) -> dict[str, ClusterTrace]:
+    ) -> dict[str, ClusterTrace] | dict[str, WorkloadArrays]:
         """Destination region of every job, as per-region sub-traces.
 
         ``"origin"`` keeps each job home; ``"greenest"`` sends migratable
@@ -305,6 +305,12 @@ class FleetSimulator:
         saturated — see the module docstring for the occupancy estimator's
         approximation.  The returned mapping follows catalog order and
         contains only regions that received at least one job.
+
+        A :class:`WorkloadArrays` workload takes the vectorised placement
+        path (no per-job objects; the static placements are pure array
+        operations) and yields per-region :class:`WorkloadArrays` shards in
+        workload order — the spillover coordinator stays a serial per-job
+        walk in either representation.
         """
         if placement not in PLACEMENT_KINDS:
             raise ConfigurationError(
@@ -312,6 +318,10 @@ class FleetSimulator:
             )
         if not spillover_threshold >= 0.0:  # also rejects NaN
             raise ConfigurationError("spillover_threshold must be non-negative")
+        if isinstance(workload, WorkloadArrays):
+            return self._place_arrays(
+                workload, placement, candidates, float(spillover_threshold)
+            )
         codes = self.dataset.codes()
         for trace_job in workload:
             if trace_job.origin_region not in self.dataset.catalog:
@@ -353,16 +363,109 @@ class FleetSimulator:
             if code in jobs_by_region
         }
 
+    def _place_arrays(
+        self,
+        workload: WorkloadArrays,
+        placement: str,
+        candidates: Sequence[str] | None,
+        spillover_threshold: float,
+    ) -> dict[str, WorkloadArrays]:
+        """Vectorised :meth:`place` for flat-array workloads.
+
+        Same placement semantics as the object path; per-job destinations
+        are computed as catalog indices with array operations (the spillover
+        walk stays serial), and each busy region's shard is one
+        :meth:`WorkloadArrays.take` slice in workload order.
+        """
+        codes = self.dataset.codes()
+        catalog_position = {code: index for index, code in enumerate(codes)}
+        used_codes = {
+            workload.regions[int(i)] for i in np.unique(workload.origin_index)
+        }
+        bad_origins = sorted(
+            code for code in used_codes if code not in self.dataset.catalog
+        )
+        if bad_origins:
+            raise ConfigurationError(
+                f"job origin {bad_origins[0]!r} is not in the dataset"
+            )
+        pool = tuple(candidates) if candidates is not None else codes
+        if placement != PLACEMENT_ORIGIN:
+            unknown = [code for code in pool if code not in self.dataset.catalog]
+            if unknown:
+                raise ConfigurationError(f"unknown candidate regions {unknown}")
+        # Per-origin-region catalog position (fallback 0 for unused unknown
+        # origins, which the check above guarantees receive no jobs).
+        region_to_catalog = np.array(
+            [catalog_position.get(code, 0) for code in workload.regions],
+            dtype=np.int64,
+        )
+        if placement == PLACEMENT_SPILLOVER:
+            destinations = self._spillover_walk(
+                arrivals=workload.arrivals,
+                whole_hours=workload.lengths,
+                migratable=workload.migratable,
+                origins=[workload.regions[int(i)] for i in workload.origin_index],
+                pool=pool,
+                spillover_threshold=spillover_threshold,
+            )
+            dest_catalog = np.array(
+                [catalog_position[code] for code in destinations], dtype=np.int64
+            )
+        elif placement == PLACEMENT_GREENEST:
+            greenest = self.dataset.greenest_of(pool, self.year)
+            greenest_mean = self.dataset.mean_intensity(greenest, self.year)
+            origin_means = np.array(
+                [
+                    self.dataset.mean_intensity(code, self.year)
+                    if code in self.dataset.catalog
+                    else float("inf")
+                    for code in workload.regions
+                ]
+            )
+            moves = workload.migratable & (
+                greenest_mean < origin_means[workload.origin_index]
+            )
+            dest_catalog = np.where(
+                moves, catalog_position[greenest], region_to_catalog[workload.origin_index]
+            )
+        else:
+            dest_catalog = region_to_catalog[workload.origin_index]
+        return {
+            codes[int(position)]: workload.take(dest_catalog == position)
+            for position in np.unique(dest_catalog)
+        }
+
     def _spillover_destinations(
         self,
         workload: ClusterTrace,
         pool: Sequence[str],
         spillover_threshold: float,
     ) -> list[str]:
+        """Destination of every job under the dynamic spillover coordinator
+        (object-trace entry point of :meth:`_spillover_walk`)."""
+        return self._spillover_walk(
+            arrivals=[t.arrival_hour for t in workload],
+            whole_hours=[t.job.whole_hours for t in workload],
+            migratable=[t.job.migratable for t in workload],
+            origins=[t.origin_region for t in workload],
+            pool=pool,
+            spillover_threshold=spillover_threshold,
+        )
+
+    def _spillover_walk(
+        self,
+        arrivals: Sequence[int] | np.ndarray,
+        whole_hours: Sequence[int] | np.ndarray,
+        migratable: Sequence[bool] | np.ndarray,
+        origins: Sequence[str],
+        pool: Sequence[str],
+        spillover_threshold: float,
+    ) -> list[str]:
         """Destination of every job under the dynamic spillover coordinator.
 
-        Jobs are decided in arrival order (ties broken by trace order) but
-        the returned list is aligned with ``workload`` order, so the
+        Jobs are decided in arrival order (ties broken by workload order)
+        but the returned list is aligned with workload order, so the
         per-region grouping — and therefore every downstream engine replay —
         orders jobs exactly as the static placements do.  Each region's
         occupancy is one flat array of per-slot free times: a placed job
@@ -372,20 +475,20 @@ class FleetSimulator:
         """
         mean_of = {
             code: self.dataset.mean_intensity(code, self.year)
-            for code in {*pool, *(t.origin_region for t in workload)}
+            for code in {*pool, *origins}
         }
         # Waterfall preference order: admissible candidates greenest-first.
         # Python's stable sort keeps pool order for ties, matching
         # ``greenest_of``'s first-wins tie-break.
         ranked_pool = sorted(pool, key=lambda code: mean_of[code])
-        order = sorted(range(len(workload)), key=lambda i: workload[i].arrival_hour)
+        count = len(origins)
+        order = sorted(range(count), key=lambda i: arrivals[i])
         slot_free: dict[str, np.ndarray] = {}
-        destinations = [""] * len(workload)
+        destinations = [""] * count
         for index in order:
-            trace_job = workload[index]
-            arrival = float(trace_job.arrival_hour)
-            destination = trace_job.origin_region
-            if trace_job.job.migratable:
+            arrival = float(arrivals[index])
+            destination = origins[index]
+            if migratable[index]:
                 origin_mean = mean_of[destination]
                 for code in ranked_pool:
                     if mean_of[code] >= origin_mean:
@@ -400,12 +503,12 @@ class FleetSimulator:
             if free is None:
                 free = slot_free[destination] = np.zeros(self.slots_per_region)
             slot = int(free.argmin())
-            free[slot] = max(arrival, float(free[slot])) + trace_job.job.whole_hours
+            free[slot] = max(arrival, float(free[slot])) + int(whole_hours[index])
         return destinations
 
     def run(
         self,
-        workload: ClusterTrace,
+        workload: ClusterTrace | WorkloadArrays,
         placement: str = PLACEMENT_ORIGIN,
         admission: str = ADMISSION_FIFO,
         candidates: Sequence[str] | None = None,
@@ -419,7 +522,10 @@ class FleetSimulator:
         Parameters
         ----------
         workload:
-            The cluster trace to replay.
+            The workload to replay — a :class:`ClusterTrace` or its
+            flat-array form (:class:`WorkloadArrays`, the representation
+            that keeps million-job fleets cheap: each pool worker's payload
+            stays a handful of arrays end to end).
         placement:
             Spatial rule (see :meth:`place`).
         admission:
@@ -491,7 +597,7 @@ class FleetSimulator:
 
     def compare(
         self,
-        workload: ClusterTrace,
+        workload: ClusterTrace | WorkloadArrays,
         placement: str = PLACEMENT_ORIGIN,
         error_magnitude: float = 0.0,
         seed: int = 0,

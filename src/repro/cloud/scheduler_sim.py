@@ -26,10 +26,12 @@ The simulator charges emissions per executed hour at the trace's intensity
 and reports total emissions, so the carbon saving of carbon-aware queueing
 under contention can be compared against the isolated-job upper bound.
 
-The built-in policies run on the vectorised slot/queue engine of
-:mod:`repro.cloud.engine` (array-based job state, one admission evaluation
-per hour for the whole queue, event-driven multi-hour execution spans);
-custom :class:`SchedulingPolicy` subclasses fall back to the per-job
+The built-in policies run on the slot/queue engines of
+:mod:`repro.cloud.engine` — by default the size-aware ``auto`` selection
+between the batched event-frontier kernel (per-job state in flat arrays,
+cohort-wide admission/suspension evaluation, event-hour jumps) and the
+event-driven kernel, either selectable explicitly via ``engine=``; custom
+:class:`SchedulingPolicy` subclasses fall back to the per-job
 reference loop, which is also kept as
 :meth:`ClusterSimulator.run_reference` so tests and benchmarks can assert
 the engine reproduces it — identical decisions (starts, suspensions,
@@ -48,6 +50,7 @@ from repro.cloud.engine import (
     ADMISSION_CARBON_AWARE,
     ADMISSION_CARBON_AWARE_PREEMPTIVE,
     ADMISSION_FIFO,
+    ENGINE_AUTO,
     simulate_slot_queue,
 )
 from repro.exceptions import ConfigurationError
@@ -186,14 +189,23 @@ class ClusterSimulator:
         self.num_slots = num_slots
 
     # ------------------------------------------------------------------
-    def run(self, workload: ClusterTrace, policy: SchedulingPolicy) -> SimulationResult:
+    def run(
+        self,
+        workload: ClusterTrace,
+        policy: SchedulingPolicy,
+        engine: str = ENGINE_AUTO,
+    ) -> SimulationResult:
         """Simulate the workload under the given policy.
 
         Jobs run whole hours (lengths are rounded up); the simulation horizon
         is the trace length and any work still unfinished at the end counts
         as incomplete (its partial emissions are still charged).  The
-        built-in FIFO and carbon-aware policies run on the vectorised
-        engine; custom policy subclasses use the per-job reference loop.
+        built-in FIFO and carbon-aware policies run on the selected
+        slot/queue engine (size-aware ``auto`` kernel selection by
+        default; ``engine`` accepts the
+        :data:`~repro.cloud.engine.ENGINE_KINDS` for differential tests
+        and benchmarks); custom policy subclasses use the per-job
+        reference loop.
         """
         admission = _ENGINE_ADMISSIONS.get(type(policy))
         if admission is None:
@@ -210,13 +222,11 @@ class ClusterSimulator:
             self.num_slots,
             admission=admission,
             interruptible=interruptible,
+            engine=engine,
         )
-        # Accumulate totals in arrival order, matching the reference loop's
-        # float-summation order exactly.
-        order = np.argsort(arrivals, kind="stable")
         return SimulationResult(
             policy=policy.name,
-            total_emissions_g=float(sum(outcome.emissions_g[order].tolist())),
+            total_emissions_g=outcome.total_emissions_g(),
             completed_jobs=outcome.completed_jobs,
             total_jobs=len(workload),
             mean_start_delay_hours=outcome.mean_start_delay_hours(),

@@ -1,5 +1,5 @@
-"""Reporting helpers: plain-text tables, CSV export of experiment rows, and
-the benchmark wall-clock regression gate."""
+"""Reporting helpers: plain-text tables, CSV export of experiment rows, the
+benchmark wall-clock regression gate and the scale smoke replay."""
 
 from repro.reporting.bench import (
     BenchGateReport,
@@ -8,14 +8,17 @@ from repro.reporting.bench import (
     load_bench_artifacts,
 )
 from repro.reporting.export import rows_to_csv, write_rows_csv
+from repro.reporting.scale import ScaleReplay, run_scale_smoke
 from repro.reporting.tables import format_table
 
 __all__ = [
     "BenchGateReport",
     "BenchRegression",
+    "ScaleReplay",
     "check_bench_regressions",
     "format_table",
     "load_bench_artifacts",
     "rows_to_csv",
+    "run_scale_smoke",
     "write_rows_csv",
 ]

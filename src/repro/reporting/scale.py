@@ -1,0 +1,161 @@
+"""Scale smoke test: replay a large single-region workload under a wall-clock
+ceiling.
+
+The batched slot-queue engine exists so that million-job fleet replays run in
+seconds; this CLI is the guard that keeps that property true in CI without
+the cost of a full benchmark session.  It generates a large synthetic
+workload with :meth:`ClusterTraceGenerator.generate_arrays` (flat arrays, no
+per-job objects), replays it through :func:`simulate_slot_queue` for each
+requested admission policy against a deterministic diurnal carbon trace, and
+exits non-zero when any replay exceeds the wall-clock ceiling.
+
+The ceiling is deliberately loose — an order of magnitude above the local
+timing — so it only trips when the engine loses its vectorised fast paths
+(e.g. an accidental per-job Python loop), not on runner jitter.
+
+Run it from the command line (the CI scale-smoke step)::
+
+    python -m repro.reporting.scale --jobs 100000 --ceiling-seconds 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cloud.engine import (
+    ADMISSION_CARBON_AWARE,
+    ADMISSION_CARBON_AWARE_PREEMPTIVE,
+    ADMISSION_FIFO,
+    ADMISSION_KINDS,
+    ENGINE_BATCHED,
+    simulate_slot_queue,
+)
+from repro.workloads.generator import ClusterTraceGenerator, GeneratorConfig
+
+#: Admissions replayed when ``--admission`` is not given: the non-preemptive
+#: fast path, the batched threshold path and the preemptive hourly path.
+DEFAULT_ADMISSIONS = (
+    ADMISSION_FIFO,
+    ADMISSION_CARBON_AWARE,
+    ADMISSION_CARBON_AWARE_PREEMPTIVE,
+)
+
+#: The smoke region: a single synthetic code, so the generator emits one
+#: origin and the whole workload lands on one slot queue.
+SMOKE_REGION = "SCALE"
+
+
+@dataclass(frozen=True)
+class ScaleReplay:
+    """Wall-clock and outcome summary of one admission's replay."""
+
+    admission: str
+    seconds: float
+    started_jobs: int
+    total_emissions_g: float
+
+
+def diurnal_intensity(horizon_hours: int) -> np.ndarray:
+    """A deterministic diurnal carbon-intensity trace for the smoke replay."""
+    hours = np.arange(int(horizon_hours))
+    return 300.0 + 150.0 * np.cos(2.0 * np.pi * (hours - 14) / 24.0)
+
+
+def run_scale_smoke(
+    jobs: int,
+    slots: int,
+    horizon_hours: int,
+    seed: int,
+    admissions: Sequence[str] = DEFAULT_ADMISSIONS,
+) -> list[ScaleReplay]:
+    """Generate the workload once and replay it per admission, timing each."""
+    generator = ClusterTraceGenerator(
+        GeneratorConfig(num_jobs=int(jobs), horizon_hours=int(horizon_hours), seed=int(seed))
+    )
+    workload = generator.generate_arrays((SMOKE_REGION,), interruptible_fraction=0.5)
+    arrivals, lengths, deadlines, powers, interruptible = workload.scheduling_arrays()
+    intensity = diurnal_intensity(horizon_hours)
+    replays: list[ScaleReplay] = []
+    for admission in admissions:
+        started = time.perf_counter()
+        outcome = simulate_slot_queue(
+            intensity,
+            arrivals,
+            lengths,
+            deadlines,
+            powers,
+            num_slots=int(slots),
+            admission=admission,
+            interruptible=interruptible,
+            engine=ENGINE_BATCHED,
+        )
+        replays.append(
+            ScaleReplay(
+                admission=admission,
+                seconds=time.perf_counter() - started,
+                started_jobs=outcome.started_jobs,
+                total_emissions_g=outcome.total_emissions_g(),
+            )
+        )
+    return replays
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point: exit 1 when any replay exceeds the ceiling."""
+    parser = argparse.ArgumentParser(
+        prog="repro.reporting.scale",
+        description="Replay a large single-region workload under a wall-clock ceiling",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=100_000,
+        help="number of jobs in the synthetic workload (default: 100000)",
+    )
+    parser.add_argument(
+        "--slots", type=int, default=200,
+        help="concurrent execution slots of the region (default: 200)",
+    )
+    parser.add_argument(
+        "--horizon", type=int, default=8_760,
+        help="simulation horizon in hours (default: 8760)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="workload generator seed (default: 0)",
+    )
+    parser.add_argument(
+        "--ceiling-seconds", type=float, default=30.0,
+        help="fail when any single replay takes longer than this (default: 30)",
+    )
+    parser.add_argument(
+        "--admission", action="append", choices=ADMISSION_KINDS, default=None,
+        help="admission policy to replay (repeatable; default: all three)",
+    )
+    args = parser.parse_args(argv)
+    admissions = tuple(args.admission) if args.admission else DEFAULT_ADMISSIONS
+    replays = run_scale_smoke(
+        args.jobs, args.slots, args.horizon, args.seed, admissions=admissions
+    )
+    print(
+        f"scale smoke: {args.jobs} jobs, {args.slots} slots, "
+        f"{args.horizon}h horizon, ceiling {args.ceiling_seconds:g}s"
+    )
+    breached = False
+    for replay in replays:
+        over = replay.seconds > args.ceiling_seconds
+        breached = breached or over
+        status = "OVER CEILING" if over else "ok"
+        print(
+            f"  {replay.admission:<26} {replay.seconds:7.2f}s  "
+            f"started={replay.started_jobs}  "
+            f"emissions={replay.total_emissions_g:.1f}g  [{status}]"
+        )
+    return 1 if breached else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    raise SystemExit(main())

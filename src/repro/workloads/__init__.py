@@ -8,7 +8,11 @@ from repro.workloads.distributions import (
     JobLengthDistribution,
     named_distributions,
 )
-from repro.workloads.generator import ClusterTraceGenerator, GeneratorConfig
+from repro.workloads.generator import (
+    ARRAY_BLOCK_JOBS,
+    ClusterTraceGenerator,
+    GeneratorConfig,
+)
 from repro.workloads.job import Job, JobClass
 from repro.workloads.job_lengths import (
     BATCH_JOB_LENGTHS,
@@ -18,9 +22,10 @@ from repro.workloads.job_lengths import (
     WorkloadConfiguration,
     table1_configuration,
 )
-from repro.workloads.traces import ClusterTrace, TraceJob
+from repro.workloads.traces import ClusterTrace, TraceJob, WorkloadArrays
 
 __all__ = [
+    "ARRAY_BLOCK_JOBS",
     "AZURE_LIKE_DISTRIBUTION",
     "BATCH_JOB_LENGTHS",
     "ClusterTrace",
@@ -35,6 +40,7 @@ __all__ = [
     "JobLengthDistribution",
     "TABLE1_JOB_LENGTHS_HOURS",
     "TraceJob",
+    "WorkloadArrays",
     "WorkloadConfiguration",
     "named_distributions",
     "table1_configuration",

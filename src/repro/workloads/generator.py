@@ -5,21 +5,45 @@ with a configurable mix of batch and interactive jobs, a job-length
 distribution, and arrival patterns (uniform or diurnal).  This is the
 substitute for replaying the Azure/Google traces in the examples and the
 mixed-workload what-if (§6.1).
+
+For fleet-scale replays the generator also emits
+:class:`~repro.workloads.traces.WorkloadArrays` directly
+(:meth:`ClusterTraceGenerator.generate_arrays` /
+:meth:`~ClusterTraceGenerator.iter_array_chunks`): million-job workloads
+materialise as a handful of flat arrays, chunk by chunk, without ever
+building per-job :class:`~repro.workloads.job.Job` objects.  The array
+stream draws internally in fixed blocks of :data:`ARRAY_BLOCK_JOBS` jobs,
+each block from its own seeded substream, so chunked and one-shot
+generation are bit-identical for any chunk size by construction.  (The
+array stream is deliberately independent of the object stream — the two
+paths share semantics, not samples.)
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
-from repro.constants import HOURS_PER_DAY, HOURS_PER_YEAR
+from repro.constants import DEFAULT_POWER_KW, HOURS_PER_DAY, HOURS_PER_YEAR
 from repro.exceptions import ConfigurationError
 from repro.workloads.distributions import EQUAL_DISTRIBUTION, JobLengthDistribution
 from repro.workloads.job import Job
 from repro.workloads.job_lengths import INTERACTIVE_JOB_LENGTH_HOURS
-from repro.workloads.traces import ClusterTrace, TraceJob
+from repro.workloads.traces import ClusterTrace, TraceJob, WorkloadArrays
+
+#: Internal generation block of the array stream.  Blocks are a fixed size
+#: with per-block seeded RNG substreams, which is what makes
+#: :meth:`ClusterTraceGenerator.iter_array_chunks` yield bit-identical jobs
+#: for every ``chunk_size`` (chunks re-slice blocks; they never change what
+#: is drawn).
+ARRAY_BLOCK_JOBS = 65536
+
+#: Salt separating the array stream's seed sequence from the object
+#: stream's plain integer seeding.
+_ARRAY_STREAM_SALT = 7919
 
 
 @dataclass(frozen=True)
@@ -162,6 +186,146 @@ class ClusterTraceGenerator:
                 )
             )
         return ClusterTrace.from_jobs(jobs)
+
+    # ------------------------------------------------------------------
+    def generate_arrays(
+        self,
+        origin_regions: Sequence[str],
+        migratable_fraction: float | None = None,
+        interruptible_fraction: float | None = None,
+    ) -> WorkloadArrays:
+        """Generate the whole workload as one :class:`WorkloadArrays`.
+
+        Flat-array sibling of :meth:`generate` / :meth:`generate_mixed`:
+        same job semantics (interactive jobs occupy one whole hour with no
+        slack and are never interruptible; batch jobs draw their length
+        bucket from the configured distribution and get
+        ``config.batch_slack_hours`` of slack), but no per-job ``Job``
+        objects are ever materialised — only arrays, drawn block-wise.
+        ``migratable_fraction=None`` keeps every job migratable;
+        ``interruptible_fraction=None`` gives batch jobs
+        ``config.batch_interruptible``.
+        """
+        return WorkloadArrays.concat(
+            list(
+                self.iter_array_chunks(
+                    origin_regions,
+                    migratable_fraction=migratable_fraction,
+                    interruptible_fraction=interruptible_fraction,
+                )
+            )
+        )
+
+    def iter_array_chunks(
+        self,
+        origin_regions: Sequence[str],
+        migratable_fraction: float | None = None,
+        interruptible_fraction: float | None = None,
+        chunk_size: int = ARRAY_BLOCK_JOBS,
+    ) -> Iterator[WorkloadArrays]:
+        """Yield the workload of :meth:`generate_arrays` in chunks.
+
+        Bit-identical to one-shot generation for every ``chunk_size``:
+        chunks re-slice the fixed internal generation blocks (see
+        :data:`ARRAY_BLOCK_JOBS`), so
+        ``WorkloadArrays.concat(list(iter_array_chunks(..., chunk_size=k)))``
+        equals ``generate_arrays(...)`` exactly, for any ``k``.  Peak
+        memory is one block plus one chunk regardless of
+        ``config.num_jobs``.
+        """
+        if not origin_regions:
+            raise ConfigurationError("at least one origin region is required")
+        if chunk_size <= 0:
+            raise ConfigurationError("chunk_size must be positive")
+        for fraction, name in (
+            (migratable_fraction, "migratable_fraction"),
+            (interruptible_fraction, "interruptible_fraction"),
+        ):
+            if fraction is not None and not 0.0 <= fraction <= 1.0:
+                raise ConfigurationError(f"{name} must be within [0, 1]")
+        regions = tuple(str(code) for code in origin_regions)
+        num_blocks = math.ceil(self.config.num_jobs / ARRAY_BLOCK_JOBS)
+        pending: list[WorkloadArrays] = []
+        have = 0
+        for block_index in range(num_blocks):
+            block = self._array_block(
+                block_index, regions, migratable_fraction, interruptible_fraction
+            )
+            position = 0
+            while position < len(block):
+                take = min(chunk_size - have, len(block) - position)
+                if position == 0 and take == len(block):
+                    pending.append(block)
+                else:
+                    pending.append(
+                        block.take(np.arange(position, position + take))
+                    )
+                have += take
+                position += take
+                if have == chunk_size:
+                    yield WorkloadArrays.concat(pending)
+                    pending, have = [], 0
+        if pending:
+            yield WorkloadArrays.concat(pending)
+
+    def _array_block(
+        self,
+        block_index: int,
+        regions: tuple[str, ...],
+        migratable_fraction: float | None,
+        interruptible_fraction: float | None,
+    ) -> WorkloadArrays:
+        """Draw one fixed-size internal block of the array stream."""
+        config = self.config
+        start = block_index * ARRAY_BLOCK_JOBS
+        count = min(config.num_jobs - start, ARRAY_BLOCK_JOBS)
+        rng = np.random.default_rng((config.seed, _ARRAY_STREAM_SALT, block_index))
+        # Fixed draw order per block; every block draws the same variates so
+        # the stream never depends on how results are later chunked.
+        arrivals = np.asarray(self._arrival_hours(count, rng), dtype=np.int64)
+        origin_index = rng.integers(0, len(regions), size=count)
+        length_u = rng.random(count)
+        migratable_u = rng.random(count)
+        interruptible_u = rng.random(count)
+
+        num_interactive = int(round(config.num_jobs * config.interactive_fraction))
+        is_interactive = np.arange(start, start + count) < num_interactive
+        buckets = np.asarray(self.length_distribution.lengths())
+        cum_weights = np.cumsum(
+            [self.length_distribution.weights[length] for length in buckets]
+        )
+        cum_weights[-1] = 1.0  # guard against float round-off at the tail
+        batch_whole = np.ceil(
+            buckets[np.searchsorted(cum_weights, length_u, side="right")]
+        ).astype(np.int64)
+        # Interactive jobs occupy one whole hour (Job.whole_hours of the
+        # sub-hour interactive length) with zero slack.
+        lengths = np.where(is_interactive, 1, batch_whole)
+        slack = np.where(is_interactive, 0, int(config.batch_slack_hours))
+        if migratable_fraction is None:
+            migratable = np.ones(count, dtype=bool)
+        else:
+            migratable = migratable_u < migratable_fraction
+        if interruptible_fraction is None:
+            interruptible = (
+                ~is_interactive
+                if config.batch_interruptible
+                else np.zeros(count, dtype=bool)
+            )
+        else:
+            interruptible = ~is_interactive & (
+                interruptible_u < interruptible_fraction
+            )
+        return WorkloadArrays(
+            arrivals=arrivals,
+            lengths=lengths,
+            deadlines=arrivals + lengths + slack,
+            powers=np.full(count, DEFAULT_POWER_KW),
+            interruptible=interruptible,
+            migratable=migratable,
+            origin_index=origin_index,
+            regions=regions,
+        )
 
     # ------------------------------------------------------------------
     def _arrival_hours(self, count: int, rng: np.random.Generator) -> np.ndarray:

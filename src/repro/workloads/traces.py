@@ -4,6 +4,13 @@ The limits analysis mostly sweeps parameters analytically (every possible
 arrival hour), but the examples and the mixed-workload what-if operate on
 concrete collections of jobs.  :class:`ClusterTrace` is that collection,
 with the aggregation helpers the experiments need.
+
+:class:`WorkloadArrays` is the flat-array sibling for fleet-scale replays:
+the same per-job facts the schedulers consume (arrival, whole-hour length,
+true deadline, power, interruptible/migratable flags, origin region), held
+in NumPy arrays with no per-job Python objects, so million-job workloads
+stay cheap to generate, slice, ship to worker processes and feed to the
+batched slot/queue engine.
 """
 
 from __future__ import annotations
@@ -153,3 +160,149 @@ class ClusterTrace:
         for trace in traces:
             merged.extend(trace.jobs)
         return cls.from_jobs(merged)
+
+
+@dataclass(frozen=True)
+class WorkloadArrays:
+    """A workload as flat per-job arrays (the fleet-scale trace form).
+
+    Same job semantics as a :class:`ClusterTrace` — ``lengths`` are whole
+    hours (``>= 1``), ``deadlines`` are *true* deadlines
+    (``arrival + length + floor(slack)``, not clamped to any horizon) — but
+    with no per-job Python objects, so a million-job workload is a handful
+    of arrays.  Origins are stored as indices into the ``regions`` tuple.
+    All arrays share one order (the "trace order"); slicing with
+    :meth:`take` preserves it.
+    """
+
+    arrivals: np.ndarray
+    lengths: np.ndarray
+    deadlines: np.ndarray
+    powers: np.ndarray
+    interruptible: np.ndarray
+    migratable: np.ndarray
+    origin_index: np.ndarray
+    regions: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "regions", tuple(self.regions))
+        object.__setattr__(self, "arrivals", np.asarray(self.arrivals, dtype=np.int64))
+        object.__setattr__(self, "lengths", np.asarray(self.lengths, dtype=np.int64))
+        object.__setattr__(
+            self, "deadlines", np.asarray(self.deadlines, dtype=np.int64)
+        )
+        object.__setattr__(self, "powers", np.asarray(self.powers, dtype=float))
+        object.__setattr__(
+            self, "interruptible", np.asarray(self.interruptible, dtype=bool)
+        )
+        object.__setattr__(self, "migratable", np.asarray(self.migratable, dtype=bool))
+        object.__setattr__(
+            self, "origin_index", np.asarray(self.origin_index, dtype=np.int64)
+        )
+        n = self.arrivals.size
+        for field in (
+            self.lengths,
+            self.deadlines,
+            self.powers,
+            self.interruptible,
+            self.migratable,
+            self.origin_index,
+        ):
+            if field.size != n:
+                raise ConfigurationError("per-job arrays must have the same length")
+        if n:
+            if self.arrivals.min() < 0 or self.lengths.min() < 1:
+                raise ConfigurationError(
+                    "jobs need length >= 1 hour and arrival >= 0"
+                )
+            if not self.regions:
+                raise ConfigurationError("regions must be non-empty")
+            if self.origin_index.min() < 0 or self.origin_index.max() >= len(
+                self.regions
+            ):
+                raise ConfigurationError("origin_index out of range of regions")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.arrivals.size)
+
+    def scheduling_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(arrivals, lengths, deadlines, powers, interruptible)`` —
+        the tuple the slot/queue engines consume, zero-copy."""
+        return (
+            self.arrivals,
+            self.lengths,
+            self.deadlines,
+            self.powers,
+            self.interruptible,
+        )
+
+    def origin_codes(self) -> np.ndarray:
+        """Per-job origin region codes (object array, materialised)."""
+        return np.asarray(self.regions, dtype=object)[self.origin_index]
+
+    def total_job_hours(self) -> float:
+        """Sum of whole-hour job lengths."""
+        return float(self.lengths.sum())
+
+    def take(self, selector: np.ndarray) -> "WorkloadArrays":
+        """Sub-workload selected by a boolean mask or index array (order
+        preserved; ``regions`` unchanged)."""
+        return WorkloadArrays(
+            arrivals=self.arrivals[selector],
+            lengths=self.lengths[selector],
+            deadlines=self.deadlines[selector],
+            powers=self.powers[selector],
+            interruptible=self.interruptible[selector],
+            migratable=self.migratable[selector],
+            origin_index=self.origin_index[selector],
+            regions=self.regions,
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trace(cls, trace: ClusterTrace) -> "WorkloadArrays":
+        """Flatten a :class:`ClusterTrace` (job order preserved)."""
+        regions = trace.origin_regions()
+        index_of = {code: i for i, code in enumerate(regions)}
+        arrivals, lengths, deadlines, powers, interruptible = (
+            trace.scheduling_arrays()
+        )
+        return cls(
+            arrivals=arrivals,
+            lengths=lengths,
+            deadlines=deadlines,
+            powers=powers,
+            interruptible=interruptible,
+            migratable=np.array([t.job.migratable for t in trace], dtype=bool),
+            origin_index=np.array(
+                [index_of[t.origin_region] for t in trace], dtype=np.int64
+            ),
+            regions=regions,
+        )
+
+    @classmethod
+    def concat(cls, parts: Sequence["WorkloadArrays"]) -> "WorkloadArrays":
+        """Concatenate chunks (all parts must share one ``regions`` tuple)."""
+        if not parts:
+            raise ConfigurationError("concat requires at least one part")
+        regions = parts[0].regions
+        for part in parts[1:]:
+            if part.regions != regions:
+                raise ConfigurationError(
+                    "cannot concat WorkloadArrays with different regions"
+                )
+        if len(parts) == 1:
+            return parts[0]
+        return cls(
+            arrivals=np.concatenate([p.arrivals for p in parts]),
+            lengths=np.concatenate([p.lengths for p in parts]),
+            deadlines=np.concatenate([p.deadlines for p in parts]),
+            powers=np.concatenate([p.powers for p in parts]),
+            interruptible=np.concatenate([p.interruptible for p in parts]),
+            migratable=np.concatenate([p.migratable for p in parts]),
+            origin_index=np.concatenate([p.origin_index for p in parts]),
+            regions=regions,
+        )

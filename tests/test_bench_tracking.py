@@ -11,6 +11,11 @@ from repro.reporting.bench import (
     load_bench_artifacts,
     main as bench_gate_main,
 )
+from repro.reporting.scale import (
+    DEFAULT_ADMISSIONS,
+    main as scale_main,
+    run_scale_smoke,
+)
 
 
 class TestWriteBenchJson:
@@ -158,3 +163,35 @@ class TestBenchRegressionGate:
                 f"{report.regressions}",
                 stacklevel=1,
             )
+
+
+class TestScaleSmokeCli:
+    """The CI scale-smoke CLI (`python -m repro.reporting.scale`)."""
+
+    def test_run_scale_smoke_replays_each_admission(self):
+        replays = run_scale_smoke(jobs=400, slots=3, horizon_hours=400, seed=1)
+        assert [r.admission for r in replays] == list(DEFAULT_ADMISSIONS)
+        for replay in replays:
+            assert replay.seconds >= 0.0
+            assert 0 < replay.started_jobs <= 400
+            assert replay.total_emissions_g > 0.0
+
+    def test_main_passes_under_a_generous_ceiling(self, capsys):
+        exit_code = scale_main(
+            ["--jobs", "400", "--slots", "3", "--horizon", "400",
+             "--ceiling-seconds", "60"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert out.count("[ok]") == len(DEFAULT_ADMISSIONS)
+
+    def test_main_fails_on_ceiling_breach(self, capsys):
+        exit_code = scale_main(
+            ["--jobs", "400", "--slots", "3", "--horizon", "400",
+             "--ceiling-seconds", "0", "--admission", "fifo"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "OVER CEILING" in out
+        # --admission restricts the replays to the requested policies.
+        assert out.count("fifo") == 1 and "carbon-aware" not in out

@@ -367,7 +367,7 @@ class TestPreemptiveSemantics:
         assert np.array_equal(plain.emissions_g, preemptive.emissions_g)
         assert np.array_equal(plain.start_hours, preemptive.start_hours)
         assert np.array_equal(plain.finish_hours, preemptive.finish_hours)
-        assert plain.start_delays == preemptive.start_delays
+        assert np.array_equal(plain.start_delays, preemptive.start_delays)
         assert plain.max_queue_length == preemptive.max_queue_length
         assert preemptive.total_suspensions == 0
 
@@ -489,7 +489,7 @@ class TestEngineEdgeCases:
         assert outcome.start_hours[0] == 47
         assert outcome.finish_hours[0] == -1  # cut off by the horizon
         assert outcome.emissions_g[0] == pytest.approx(7.0)
-        assert outcome.start_delays == (0.0,)
+        assert np.array_equal(outcome.start_delays, np.array([0.0]))
 
     def test_deadline_far_beyond_horizon_clamps_search_window_only(self):
         """A carbon-aware job whose true deadline lies far beyond the horizon

@@ -1,19 +1,25 @@
-"""Randomized differential tests: slot/queue engine vs per-job reference loop.
+"""Randomized differential tests: slot/queue engines vs per-job reference.
 
 The hand-built equivalence workloads in ``test_cloud_scheduler_sim.py`` pin
 known-tricky schedules; this sweep complements them with seeded *random*
 workloads — varying slot counts, job lengths, slack, interruptible and
-migratable fractions, arrival patterns and trace shapes — and asserts that
-:func:`repro.cloud.engine.simulate_slot_queue` reproduces
-:meth:`ClusterSimulator.run_reference` across **all five** fleet admissions:
-``fifo``, ``carbon-aware`` and ``carbon-aware-preemptive`` directly, plus
-the two forecast-driven variants (decide on an error-injected trace, pay
-the true one), which the reference loop models with a policy subclass that
-evaluates the threshold rule on the forecast series.
+migratable fractions, arrival patterns and trace shapes — and asserts the
+equivalence **three ways** across all five fleet admissions (``fifo``,
+``carbon-aware``, ``carbon-aware-preemptive``, plus the two forecast-driven
+variants, which the reference loop models with a policy subclass deciding
+on the forecast series):
 
-Decisions (completions, queue depths, delays, suspensions) must match
-exactly; emissions to within float-addition associativity (the engine
-charges per segment on a prefix sum, the reference loop per hour).
+* batched event-frontier engine ≡ event-driven engine, **bit-identical**
+  per-job outcomes (both charge the same prefix-sum segment expressions);
+* engines ≡ :meth:`ClusterSimulator.run_reference`: decisions (completions,
+  queue depths, delays, suspensions) exactly, emissions to within
+  float-addition associativity (the engines charge per segment on a prefix
+  sum, the reference loop per hour).
+
+Besides the 30 random seeds, dedicated *scale-shape* scenarios exercise the
+frontier paths the random sweep rarely stresses: cohorts of many one-hour
+jobs arriving together, a single saturated slot behind a deep queue, and an
+all-interruptible workload under heavy suspension churn.
 """
 
 from __future__ import annotations
@@ -24,6 +30,11 @@ import pytest
 from repro.cloud.engine import (
     ADMISSION_CARBON_AWARE,
     ADMISSION_CARBON_AWARE_PREEMPTIVE,
+    ADMISSION_FIFO,
+    AUTO_BATCH_MIN_JOBS,
+    ENGINE_AUTO,
+    ENGINE_BATCHED,
+    ENGINE_EVENT,
     simulate_slot_queue,
 )
 from repro.cloud.scheduler_sim import (
@@ -36,9 +47,15 @@ from repro.forecast.error import UniformErrorModel
 from repro.timeseries.series import HourlySeries
 from repro.workloads.generator import ClusterTraceGenerator, GeneratorConfig
 from repro.workloads.distributions import JobLengthDistribution
+from repro.workloads.job import Job
+from repro.workloads.traces import ClusterTrace, TraceJob
 
 #: A few dozen seeds keeps the sweep meaningful while staying tier-1 cheap.
 SEEDS = tuple(range(30))
+
+#: Deterministic scale-shape scenarios aimed at the batched engine's
+#: frontier paths (cohort admission, deep-queue laziness, suspension churn).
+SCALE_SHAPES = ("many-short", "single-saturated-slot", "all-interruptible")
 
 
 class _ForecastAwarePolicy(CarbonAwareSchedulingPolicy):
@@ -102,6 +119,65 @@ def _random_scenario(seed: int):
     return trace, forecast, workload, slots
 
 
+def _scale_shape_scenario(kind: str):
+    """A deterministic (trace, forecast, workload, slots) scale shape."""
+    if kind == "many-short":
+        # Cohorts of one/two-hour jobs arriving in bursts: big admission
+        # frontiers, completion buckets with many members per end hour.
+        rng = np.random.default_rng(101)
+        horizon, n, slots = 320, 800, 6
+        lengths = rng.choice([1.0, 2.0], size=n)
+        slacks = rng.choice([0.0, 4.0, 12.0], size=n)
+        arrivals = rng.integers(0, 200, size=n)
+        interruptible = np.zeros(n, dtype=bool)
+    elif kind == "single-saturated-slot":
+        # One slot behind a deep queue: the lazy admission scan must stay
+        # O(free) and the queue compaction must preserve arrival order.
+        rng = np.random.default_rng(202)
+        horizon, n, slots = 360, 400, 1
+        lengths = rng.integers(1, 7, size=n).astype(float)
+        slacks = rng.choice([0.0, 8.0, 24.0], size=n)
+        arrivals = rng.integers(0, 120, size=n)
+        interruptible = np.zeros(n, dtype=bool)
+    elif kind == "all-interruptible":
+        # Every job suspendable under generous slack: heavy suspension
+        # frontiers and queue re-entry merges.
+        rng = np.random.default_rng(303)
+        horizon, n, slots = 400, 260, 3
+        lengths = rng.integers(2, 9, size=n).astype(float)
+        slacks = rng.choice([24.0, 48.0, 96.0], size=n)
+        arrivals = rng.integers(0, 220, size=n)
+        interruptible = np.ones(n, dtype=bool)
+    else:  # pragma: no cover - guarded by the parametrize list
+        raise ValueError(kind)
+    jobs = [
+        TraceJob(
+            job=Job.batch(
+                length_hours=float(lengths[i]),
+                slack_hours=float(slacks[i]),
+                interruptible=bool(interruptible[i]),
+                name=f"{kind}-{i}",
+            ),
+            arrival_hour=int(arrivals[i]),
+            origin_region="X",
+        )
+        for i in range(n)
+    ]
+    workload = ClusterTrace.from_jobs(jobs)
+    hours = np.arange(horizon)
+    values = (
+        300.0
+        + 120.0 * np.cos(2 * np.pi * (hours - 14) / 24.0)
+        + rng.normal(0.0, 25.0, horizon)
+    )
+    trace = HourlySeries(np.clip(values, 1.0, None), name="X")
+    forecast = HourlySeries(
+        UniformErrorModel(magnitude=0.2, seed=7).apply_values(trace.values),
+        name="X-forecast",
+    )
+    return trace, forecast, workload, slots
+
+
 def _assert_equivalent(engine, reference):
     assert engine.completed_jobs == reference.completed_jobs
     assert engine.total_jobs == reference.total_jobs
@@ -113,34 +189,24 @@ def _assert_equivalent(engine, reference):
     )
 
 
-@pytest.mark.parametrize("seed", SEEDS)
-def test_engine_matches_reference_on_random_workloads(seed):
-    """Engine ≡ reference loop on the three direct admissions."""
-    trace, _, workload, slots = _random_scenario(seed)
-    simulator = ClusterSimulator(trace, slots)
-    for policy in (
-        FifoSchedulingPolicy(),
-        CarbonAwareSchedulingPolicy(),
-        PreemptiveCarbonAwareSchedulingPolicy(),
-    ):
-        engine = simulator.run(workload, policy)
-        reference = simulator.run_reference(workload, policy)
-        _assert_equivalent(engine, reference)
+def _assert_outcomes_bit_identical(batched, event):
+    """Batched ≡ event engine, including per-job emissions bit-for-bit."""
+    assert np.array_equal(batched.start_hours, event.start_hours)
+    assert np.array_equal(batched.finish_hours, event.finish_hours)
+    assert np.array_equal(batched.suspension_counts, event.suspension_counts)
+    assert np.array_equal(batched.start_delays, event.start_delays)
+    assert batched.max_queue_length == event.max_queue_length
+    assert np.array_equal(batched.emissions_g, event.emissions_g)
 
 
-@pytest.mark.parametrize("seed", SEEDS)
-def test_engine_matches_reference_on_forecast_admissions(seed):
-    """Engine with ``decision_values`` ≡ reference loop deciding on the
-    forecast series, for both forecast-driven admissions."""
-    trace, forecast, workload, slots = _random_scenario(seed)
-    simulator = ClusterSimulator(trace, slots)
-    arrivals, lengths, deadlines, powers, interruptible = workload.scheduling_arrays()
-    order = np.argsort(arrivals, kind="stable")
-    for policy, admission in (
-        (_ForecastAwarePolicy(forecast), ADMISSION_CARBON_AWARE),
-        (_ForecastPreemptivePolicy(forecast), ADMISSION_CARBON_AWARE_PREEMPTIVE),
-    ):
-        outcome = simulate_slot_queue(
+def _both_engine_outcomes(trace, workload, slots, admission, decision=None):
+    """Run both engines on one scenario and pin them bit-identical."""
+    arrivals, lengths, deadlines, powers, interruptible = (
+        workload.scheduling_arrays()
+    )
+    outcomes = {}
+    for engine in (ENGINE_BATCHED, ENGINE_EVENT):
+        outcomes[engine] = simulate_slot_queue(
             trace.values,
             arrivals,
             lengths,
@@ -148,18 +214,107 @@ def test_engine_matches_reference_on_forecast_admissions(seed):
             powers,
             slots,
             admission=admission,
-            decision_values=forecast.values,
+            decision_values=None if decision is None else decision.values,
             interruptible=interruptible,
+            engine=engine,
+        )
+    _assert_outcomes_bit_identical(outcomes[ENGINE_BATCHED], outcomes[ENGINE_EVENT])
+    return outcomes[ENGINE_BATCHED]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_engines_match_reference_on_random_workloads(seed):
+    """Batched ≡ event ≡ reference loop on the three direct admissions."""
+    trace, _, workload, slots = _random_scenario(seed)
+    simulator = ClusterSimulator(trace, slots)
+    for policy, admission in (
+        (FifoSchedulingPolicy(), ADMISSION_FIFO),
+        (CarbonAwareSchedulingPolicy(), ADMISSION_CARBON_AWARE),
+        (PreemptiveCarbonAwareSchedulingPolicy(), ADMISSION_CARBON_AWARE_PREEMPTIVE),
+    ):
+        _both_engine_outcomes(trace, workload, slots, admission)
+        batched = simulator.run(workload, policy, engine=ENGINE_BATCHED)
+        event = simulator.run(workload, policy, engine=ENGINE_EVENT)
+        # Bit-identical per-job arrays make the aggregate results equal too.
+        assert batched == event
+        reference = simulator.run_reference(workload, policy)
+        _assert_equivalent(batched, reference)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_engines_match_reference_on_forecast_admissions(seed):
+    """Engines with ``decision_values`` ≡ reference loop deciding on the
+    forecast series, for both forecast-driven admissions."""
+    trace, forecast, workload, slots = _random_scenario(seed)
+    simulator = ClusterSimulator(trace, slots)
+    for policy, admission in (
+        (_ForecastAwarePolicy(forecast), ADMISSION_CARBON_AWARE),
+        (_ForecastPreemptivePolicy(forecast), ADMISSION_CARBON_AWARE_PREEMPTIVE),
+    ):
+        outcome = _both_engine_outcomes(
+            trace, workload, slots, admission, decision=forecast
         )
         reference = simulator.run_reference(workload, policy)
         assert outcome.completed_jobs == reference.completed_jobs
         assert outcome.mean_start_delay_hours() == reference.mean_start_delay_hours
         assert outcome.max_queue_length == reference.max_queue_length
         assert outcome.total_suspensions == reference.suspensions
-        # Accumulate in arrival order to mirror the reference loop's sum.
-        assert float(sum(outcome.emissions_g[order].tolist())) == pytest.approx(
+        assert outcome.total_emissions_g() == pytest.approx(
             reference.total_emissions_g, rel=1e-9, abs=1e-6
         )
+
+
+@pytest.mark.parametrize("kind", SCALE_SHAPES)
+def test_engines_match_reference_on_scale_shapes(kind):
+    """Three-way equivalence on the frontier-stressing scale shapes, across
+    all five admissions."""
+    trace, forecast, workload, slots = _scale_shape_scenario(kind)
+    simulator = ClusterSimulator(trace, slots)
+    for policy, admission, decision in (
+        (FifoSchedulingPolicy(), ADMISSION_FIFO, None),
+        (CarbonAwareSchedulingPolicy(), ADMISSION_CARBON_AWARE, None),
+        (
+            PreemptiveCarbonAwareSchedulingPolicy(),
+            ADMISSION_CARBON_AWARE_PREEMPTIVE,
+            None,
+        ),
+        (_ForecastAwarePolicy(forecast), ADMISSION_CARBON_AWARE, forecast),
+        (
+            _ForecastPreemptivePolicy(forecast),
+            ADMISSION_CARBON_AWARE_PREEMPTIVE,
+            forecast,
+        ),
+    ):
+        outcome = _both_engine_outcomes(
+            trace, workload, slots, admission, decision=decision
+        )
+        reference = simulator.run_reference(workload, policy)
+        assert outcome.completed_jobs == reference.completed_jobs
+        assert outcome.mean_start_delay_hours() == reference.mean_start_delay_hours
+        assert outcome.max_queue_length == reference.max_queue_length
+        assert outcome.total_suspensions == reference.suspensions
+        assert outcome.total_emissions_g() == pytest.approx(
+            reference.total_emissions_g, rel=1e-9, abs=1e-6
+        )
+
+
+def test_scale_shapes_exercise_the_frontier_paths():
+    """Meta-check: the scale shapes actually produce deep queues, dense
+    admission cohorts and suspension churn."""
+    trace, _, many_short, slots = _scale_shape_scenario("many-short")
+    fifo = ClusterSimulator(trace, slots).run(many_short, FifoSchedulingPolicy())
+    assert fifo.max_queue_length > 5 * slots  # dense cohorts actually queue up
+
+    trace, _, saturated, slots = _scale_shape_scenario("single-saturated-slot")
+    assert slots == 1
+    fifo = ClusterSimulator(trace, slots).run(saturated, FifoSchedulingPolicy())
+    assert fifo.max_queue_length > 100  # deep queue behind the single slot
+
+    trace, _, interruptible, slots = _scale_shape_scenario("all-interruptible")
+    preemptive = ClusterSimulator(trace, slots).run(
+        interruptible, PreemptiveCarbonAwareSchedulingPolicy()
+    )
+    assert preemptive.suspensions > 20  # real suspension churn
 
 
 def test_random_sweep_exercises_every_admission_path():
@@ -177,3 +332,46 @@ def test_random_sweep_exercises_every_admission_path():
             preemptive.mean_start_delay_hours > fifo.mean_start_delay_hours
         )
     assert saw_queue and saw_suspension and saw_deferral
+
+
+def test_auto_engine_selects_by_job_count(monkeypatch):
+    """The default ``auto`` engine dispatches on the per-path crossover:
+    event kernel below ``AUTO_BATCH_MIN_JOBS``, batched kernel at/above it
+    — and either way the outcome equals both explicit engines."""
+    import repro.cloud.engine as engine_module
+    import repro.cloud.engine_batched as batched_module
+
+    trace, _, workload, slots = _random_scenario(0)
+    arrivals, lengths, deadlines, powers, interruptible = (
+        workload.scheduling_arrays()
+    )
+
+    def run(engine):
+        return simulate_slot_queue(
+            trace.values, arrivals, lengths, deadlines, powers, slots,
+            admission=ADMISSION_CARBON_AWARE_PREEMPTIVE,
+            interruptible=interruptible, engine=engine,
+        )
+
+    _assert_outcomes_bit_identical(run(ENGINE_AUTO), run(ENGINE_BATCHED))
+    _assert_outcomes_bit_identical(run(ENGINE_AUTO), run(ENGINE_EVENT))
+
+    calls = []
+    real_event = engine_module.simulate_slot_queue_event
+    real_batched = batched_module.simulate_slot_queue_batched
+    monkeypatch.setattr(
+        engine_module, "simulate_slot_queue_event",
+        lambda *a, **k: calls.append(ENGINE_EVENT) or real_event(*a, **k),
+    )
+    monkeypatch.setattr(
+        batched_module, "simulate_slot_queue_batched",
+        lambda *a, **k: calls.append(ENGINE_BATCHED) or real_batched(*a, **k),
+    )
+    # This scenario is far below both crossovers -> event kernel.
+    assert len(arrivals) < min(AUTO_BATCH_MIN_JOBS.values())
+    run(ENGINE_AUTO)
+    assert calls == [ENGINE_EVENT]
+    # Lower the crossover beneath the scenario -> batched kernel.
+    monkeypatch.setitem(AUTO_BATCH_MIN_JOBS, True, len(arrivals))
+    run(ENGINE_AUTO)
+    assert calls == [ENGINE_EVENT, ENGINE_BATCHED]

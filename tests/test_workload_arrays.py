@@ -1,0 +1,337 @@
+"""Tests for the flat-array workload path (WorkloadArrays end to end).
+
+Covers the three contracts that make million-job fleet replays safe:
+
+* **Chunk invariance** — chunk-wise generation is bit-identical to one-shot
+  generation for any chunk size (fixed internal RNG blocks), including
+  across block boundaries.
+* **Flat-array memory** — chunked generation of a large workload allocates
+  only flat arrays: peak traced memory stays near one block plus one chunk,
+  and the array path never touches the ``Job`` object machinery at all.
+* **Representation equivalence** — ``FleetSimulator`` produces the exact
+  same ``FleetResult`` whether a workload is fed as a ``ClusterTrace`` or
+  as its ``WorkloadArrays`` flattening, for every placement, and the array
+  path keeps serial ≡ pooled runs bit-identical.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CarbonDataset, default_catalog
+from repro.cloud.fleet import (
+    ADMISSION_FORECAST,
+    PLACEMENT_GREENEST,
+    PLACEMENT_ORIGIN,
+    PLACEMENT_SPILLOVER,
+    FleetSimulator,
+)
+from repro.exceptions import ConfigurationError
+from repro.timeseries.series import HourlySeries
+from repro.workloads.generator import (
+    ARRAY_BLOCK_JOBS,
+    ClusterTraceGenerator,
+    GeneratorConfig,
+)
+from repro.workloads.traces import WorkloadArrays
+
+REGIONS = ("SE", "DE", "PL")
+HORIZON = 24 * 30
+
+
+@pytest.fixture(scope="module")
+def fleet_dataset():
+    catalog = default_catalog().subset(REGIONS)
+    hours = np.arange(HORIZON)
+    diurnal = np.cos(2 * np.pi * (hours - 14) / 24.0)
+    traces = {
+        ("SE", 2022): HourlySeries(60.0 + 25.0 * diurnal, name="SE"),
+        ("DE", 2022): HourlySeries(380.0 + 150.0 * diurnal, name="DE"),
+        ("PL", 2022): HourlySeries(660.0 + 90.0 * diurnal, name="PL"),
+    }
+    return CarbonDataset.from_traces(catalog, traces)
+
+
+def _arrays_equal(a: WorkloadArrays, b: WorkloadArrays) -> None:
+    assert a.regions == b.regions
+    assert np.array_equal(a.arrivals, b.arrivals)
+    assert np.array_equal(a.lengths, b.lengths)
+    assert np.array_equal(a.deadlines, b.deadlines)
+    assert np.array_equal(a.powers, b.powers)
+    assert np.array_equal(a.interruptible, b.interruptible)
+    assert np.array_equal(a.migratable, b.migratable)
+    assert np.array_equal(a.origin_index, b.origin_index)
+
+
+class TestChunkInvariance:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        chunk_size=st.integers(min_value=1, max_value=1_500),
+    )
+    def test_chunked_equals_oneshot_for_any_chunk_size(self, seed, chunk_size):
+        generator = ClusterTraceGenerator(
+            GeneratorConfig(num_jobs=1_003, horizon_hours=2_000, seed=seed)
+        )
+        one_shot = generator.generate_arrays(REGIONS)
+        chunks = list(
+            generator.iter_array_chunks(REGIONS, chunk_size=chunk_size)
+        )
+        assert all(len(chunk) == chunk_size for chunk in chunks[:-1])
+        _arrays_equal(one_shot, WorkloadArrays.concat(chunks))
+
+    def test_chunking_is_invariant_across_block_boundaries(self):
+        """Chunk sizes that straddle the internal generation blocks re-slice
+        the same draws (num_jobs > one block)."""
+        generator = ClusterTraceGenerator(
+            GeneratorConfig(
+                num_jobs=ARRAY_BLOCK_JOBS + 1_234, horizon_hours=8_760, seed=11
+            )
+        )
+        one_shot = generator.generate_arrays(REGIONS)
+        assert len(one_shot) == ARRAY_BLOCK_JOBS + 1_234
+        for chunk_size in (10_000, ARRAY_BLOCK_JOBS, 100_000):
+            rebuilt = WorkloadArrays.concat(
+                list(generator.iter_array_chunks(REGIONS, chunk_size=chunk_size))
+            )
+            _arrays_equal(one_shot, rebuilt)
+
+    def test_mixed_fractions_apply_to_array_stream(self):
+        generator = ClusterTraceGenerator(
+            GeneratorConfig(
+                num_jobs=20_000,
+                interactive_fraction=0.25,
+                horizon_hours=4_000,
+                seed=3,
+            )
+        )
+        workload = generator.generate_arrays(
+            REGIONS, migratable_fraction=0.4, interruptible_fraction=0.5
+        )
+        migratable_share = workload.migratable.mean()
+        assert 0.35 < migratable_share < 0.45
+        # Interactive jobs (the first quarter by index) are never
+        # interruptible; batch jobs follow the requested fraction.
+        interactive = np.arange(len(workload)) < 5_000
+        assert not workload.interruptible[interactive].any()
+        batch_share = workload.interruptible[~interactive].mean()
+        assert 0.45 < batch_share < 0.55
+        # Interactive jobs occupy one whole hour with zero slack.
+        assert (workload.lengths[interactive] == 1).all()
+        assert np.array_equal(
+            workload.deadlines[interactive],
+            workload.arrivals[interactive] + 1,
+        )
+
+
+class TestFlatArrayMemory:
+    def test_array_path_never_touches_job_objects(self, monkeypatch):
+        """The array stream must not materialise per-job ``Job`` objects —
+        any attribute access on the Job machinery fails the test."""
+        import repro.workloads.generator as generator_module
+
+        class _Forbidden:
+            def __getattr__(self, name):  # pragma: no cover - failure path
+                raise AssertionError(
+                    f"array generation touched Job.{name}; it must stay flat"
+                )
+
+            def __call__(self, *args, **kwargs):  # pragma: no cover
+                raise AssertionError("array generation constructed a Job")
+
+        monkeypatch.setattr(generator_module, "Job", _Forbidden())
+        generator = ClusterTraceGenerator(
+            GeneratorConfig(num_jobs=200_000, horizon_hours=8_760, seed=5)
+        )
+        total = 0
+        for chunk in generator.iter_array_chunks(REGIONS):
+            total += len(chunk)
+        assert total == 200_000
+
+    def test_chunked_generation_peak_memory_is_flat_arrays_only(self):
+        """Peak allocation while streaming a large workload stays near one
+        generation block plus one chunk of flat arrays — orders of magnitude
+        below what per-job Python objects would cost."""
+        generator = ClusterTraceGenerator(
+            GeneratorConfig(num_jobs=400_000, horizon_hours=8_760, seed=9)
+        )
+        tracemalloc.start()
+        total = 0
+        for chunk in generator.iter_array_chunks(REGIONS, chunk_size=50_000):
+            total += len(chunk)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert total == 400_000
+        # ~7 arrays × 8 bytes × (one 65536-job block + one 50k chunk plus
+        # concat copies) is a few MB; 400k TraceJob objects would be > 100MB.
+        assert peak < 48 * 1024 * 1024
+
+
+class TestWorkloadArraysType:
+    def test_validates_lengths_and_arrivals(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadArrays(
+                arrivals=np.array([0]),
+                lengths=np.array([0]),  # < 1 hour
+                deadlines=np.array([1]),
+                powers=np.array([1.0]),
+                interruptible=np.array([False]),
+                migratable=np.array([True]),
+                origin_index=np.array([0]),
+                regions=("SE",),
+            )
+
+    def test_validates_matching_sizes_and_origin_range(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadArrays(
+                arrivals=np.array([0, 1]),
+                lengths=np.array([1]),
+                deadlines=np.array([1]),
+                powers=np.array([1.0]),
+                interruptible=np.array([False]),
+                migratable=np.array([True]),
+                origin_index=np.array([0]),
+                regions=("SE",),
+            )
+        with pytest.raises(ConfigurationError):
+            WorkloadArrays(
+                arrivals=np.array([0]),
+                lengths=np.array([1]),
+                deadlines=np.array([1]),
+                powers=np.array([1.0]),
+                interruptible=np.array([False]),
+                migratable=np.array([True]),
+                origin_index=np.array([1]),  # out of range
+                regions=("SE",),
+            )
+
+    def test_from_trace_round_trips_scheduling_arrays(self):
+        generator = ClusterTraceGenerator(
+            GeneratorConfig(num_jobs=120, horizon_hours=HORIZON, seed=2)
+        )
+        trace = generator.generate_mixed(
+            REGIONS, migratable_fraction=0.5, interruptible_fraction=0.3
+        )
+        arrays = WorkloadArrays.from_trace(trace)
+        assert len(arrays) == len(trace)
+        for flat, from_trace in zip(
+            trace.scheduling_arrays(), arrays.scheduling_arrays()
+        ):
+            assert np.array_equal(flat, from_trace)
+        assert np.array_equal(
+            arrays.migratable,
+            np.array([t.job.migratable for t in trace]),
+        )
+        assert list(arrays.origin_codes()) == [t.origin_region for t in trace]
+
+    def test_take_and_concat_round_trip(self):
+        generator = ClusterTraceGenerator(
+            GeneratorConfig(num_jobs=500, horizon_hours=2_000, seed=4)
+        )
+        workload = generator.generate_arrays(REGIONS)
+        mask = workload.origin_index == 0
+        split = [workload.take(mask), workload.take(~mask)]
+        assert len(split[0]) + len(split[1]) == len(workload)
+        rebuilt = WorkloadArrays.concat(split)
+        # Same multiset of jobs, re-grouped: totals must agree.
+        assert rebuilt.total_job_hours() == workload.total_job_hours()
+        with pytest.raises(ConfigurationError):
+            WorkloadArrays.concat([])
+
+
+class TestFleetArrayEquivalence:
+    @pytest.mark.parametrize(
+        "placement", (PLACEMENT_ORIGIN, PLACEMENT_GREENEST, PLACEMENT_SPILLOVER)
+    )
+    def test_trace_and_arrays_give_identical_fleet_results(
+        self, fleet_dataset, placement
+    ):
+        """One workload, two representations, the exact same FleetResult —
+        placements, admissions and forecast noise included."""
+        generator = ClusterTraceGenerator(
+            GeneratorConfig(num_jobs=90, horizon_hours=HORIZON, seed=5)
+        )
+        trace = generator.generate_mixed(
+            REGIONS, migratable_fraction=0.5, interruptible_fraction=0.4
+        )
+        arrays = WorkloadArrays.from_trace(trace)
+        fleet = FleetSimulator(fleet_dataset, slots_per_region=3)
+        for admission in ("fifo", "carbon-aware-preemptive", ADMISSION_FORECAST):
+            from_trace = fleet.run(
+                trace,
+                placement=placement,
+                admission=admission,
+                error_magnitude=0.2 if admission == ADMISSION_FORECAST else 0.0,
+                seed=7,
+                spillover_threshold=4.0,
+            )
+            from_arrays = fleet.run(
+                arrays,
+                placement=placement,
+                admission=admission,
+                error_magnitude=0.2 if admission == ADMISSION_FORECAST else 0.0,
+                seed=7,
+                spillover_threshold=4.0,
+            )
+            assert from_trace == from_arrays
+
+    def test_array_place_groups_in_catalog_order(self, fleet_dataset):
+        generator = ClusterTraceGenerator(
+            GeneratorConfig(num_jobs=60, horizon_hours=HORIZON, seed=8)
+        )
+        arrays = generator.generate_arrays(REGIONS)
+        fleet = FleetSimulator(fleet_dataset, slots_per_region=3)
+        by_region = fleet.place(arrays, PLACEMENT_ORIGIN)
+        assert list(by_region) == [
+            code for code in fleet_dataset.codes() if code in by_region
+        ]
+        assert sum(len(shard) for shard in by_region.values()) == len(arrays)
+        for code, shard in by_region.items():
+            assert isinstance(shard, WorkloadArrays)
+            assert set(shard.origin_codes()) == {code}
+
+    def test_array_place_rejects_unknown_origin(self, fleet_dataset):
+        arrays = WorkloadArrays(
+            arrivals=np.array([0]),
+            lengths=np.array([1]),
+            deadlines=np.array([2]),
+            powers=np.array([1.0]),
+            interruptible=np.array([False]),
+            migratable=np.array([True]),
+            origin_index=np.array([0]),
+            regions=("XX",),
+        )
+        fleet = FleetSimulator(fleet_dataset, slots_per_region=3)
+        with pytest.raises(ConfigurationError):
+            fleet.place(arrays, PLACEMENT_ORIGIN)
+
+    def test_serial_and_pooled_array_runs_bit_identical(self, fleet_dataset):
+        generator = ClusterTraceGenerator(
+            GeneratorConfig(num_jobs=120, horizon_hours=HORIZON, seed=13)
+        )
+        arrays = generator.generate_arrays(
+            REGIONS, migratable_fraction=0.6, interruptible_fraction=0.5
+        )
+        fleet = FleetSimulator(fleet_dataset, slots_per_region=3)
+        serial = fleet.run(
+            arrays,
+            placement=PLACEMENT_GREENEST,
+            admission=ADMISSION_FORECAST,
+            error_magnitude=0.25,
+            seed=3,
+            workers=None,
+        )
+        pooled = fleet.run(
+            arrays,
+            placement=PLACEMENT_GREENEST,
+            admission=ADMISSION_FORECAST,
+            error_magnitude=0.25,
+            seed=3,
+            workers=2,
+        )
+        assert serial == pooled
