@@ -101,6 +101,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.workloads.traces import frozen_array_copy
 
 #: Admission rules the engines understand.
 ADMISSION_FIFO = "fifo"
@@ -150,6 +151,29 @@ class SlotQueueOutcome:
     start_delays: np.ndarray
     max_queue_length: int
     suspension_counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        # Owned, read-only copies at the contracted dtypes: an outcome is a
+        # *result*, and a frozen dataclass alone would still let arithmetic
+        # like ``outcome.emissions_g *= 2`` corrupt it through the shared
+        # arrays.  Any in-place write now raises immediately.
+        object.__setattr__(
+            self, "emissions_g", frozen_array_copy(self.emissions_g, float)
+        )
+        object.__setattr__(
+            self, "start_hours", frozen_array_copy(self.start_hours, np.int64)
+        )
+        object.__setattr__(
+            self, "finish_hours", frozen_array_copy(self.finish_hours, np.int64)
+        )
+        object.__setattr__(
+            self, "start_delays", frozen_array_copy(self.start_delays, float)
+        )
+        object.__setattr__(
+            self,
+            "suspension_counts",
+            frozen_array_copy(self.suspension_counts, np.int64),
+        )
 
     @property
     def completed_jobs(self) -> int:

@@ -302,6 +302,7 @@ class ClusterSimulator:
             # Execute one hour of every running job.
             still_running: list[_PendingJob] = []
             for job in running:
+                # repro: allow[frozen-array-mutation] _PendingJob is a mutable per-job accumulator, not a frozen outcome container
                 job.emissions_g += intensity * job.trace_job.job.power_kw
                 job.remaining_hours -= 1
                 if job.remaining_hours <= 0:

@@ -1,30 +1,65 @@
 """repro.devtools — static-analysis gates for the repository's invariants.
 
 The repo's correctness rests on conventions nothing in Python enforces:
-every RNG stream must be explicitly seeded, library code must never read
-the wall clock, every :class:`ExecutionSlice` start hour must wrap modulo
-the trace length, callables handed to ``parallel_map_regions`` must be
-picklable module-level functions, and floats must not be compared with
-``==``.  Each of these caused a shipped bug before this package existed;
-the two tools here turn them into CI-blocking checks:
+every RNG stream must be explicitly seeded *from config-derivable ground*,
+library code must never read the wall clock, every :class:`ExecutionSlice`
+start hour must wrap modulo the trace length, callables handed to
+``parallel_map_regions`` must be picklable module-level functions, floats
+must not be compared with ``==``, the per-job arrays carry contracted
+dtypes, and the frozen array containers must never be mutated.  Each of
+these caused (or narrowly missed causing) a shipped bug; the three tools
+here turn them into CI-blocking checks:
 
 * ``python -m repro.devtools.lint src tests benchmarks examples`` — the
-  *reprolint* AST battery (:mod:`repro.devtools.rules`), dependency-free
-  so it can lint a broken tree.  Violations that are intentional carry a
+  *reprolint* battery (:mod:`repro.devtools.rules`), dependency-free so it
+  can lint a broken tree.  v2 rules lean on :mod:`repro.devtools.dataflow`
+  (per-function def-use chains + an intra-module call/assignment graph) to
+  trace *where a value came from*: seed provenance, frozen-array mutation
+  through aliases, and dtype contracts.  Intentional violations carry a
   per-line ``# repro: allow[rule-id] reason`` suppression; a suppression
   without a reason, or naming an unknown rule, is itself a finding.
+  ``--format github`` emits Actions ``::error`` annotations; ``--jobs N``
+  shards files over a process pool (findings stay in serial order).
 * ``python -m repro.devtools.contracts`` — imports the live experiment
   registry and cross-validates every :class:`ExperimentSpec` against the
   runtime layer: declared options must be real ``RunConfig`` fields,
   accepted by the ``run_*`` signature, and routed through a cast matching
   the field's annotated type (float options must not truncate to int).
+* ``python -m repro.devtools.obligations`` — derives what *must* be
+  tested from the live kind registries: every engine×admission pair
+  differentially exercised in one test (transitive reference closure),
+  every fleet admission/placement kind referenced, and a serial≡pooled
+  proof for every registry experiment declaring a ``workers`` option.
+  New kinds open obligations automatically; deleted tests re-open them.
 
-Adding a rule: subclass :class:`~repro.devtools.core.Rule` in a module
-under :mod:`repro.devtools.rules`, register the class in
+Adding a syntactic rule: subclass :class:`~repro.devtools.core.Rule` in a
+module under :mod:`repro.devtools.rules`, register the class in
 ``RULE_CLASSES``, and add good/bad fixture tests in
 ``tests/test_devtools_lint.py`` — the CLI, suppression validation and the
-repo-clean tier-1 self-test pick it up automatically.  See the "Static
-analysis gates" section of ROADMAP.md for the rule-by-rule rationale.
+repo-clean tier-1 self-test pick it up automatically.
+
+Adding a *dataflow* rule, the v2 recipe (see
+:mod:`repro.devtools.rules.provenance` for the worked example):
+
+1. In ``check(context)``, take the analysis from the shared per-file
+   cache — ``module_flow = context.module_flow`` — so every dataflow rule
+   in the battery shares one :func:`~.dataflow.analyze_module` pass (do
+   not call ``analyze_module`` yourself).
+2. Walk ``dataflow.iter_function_frames(module_flow)`` to visit each
+   function with its enclosing-frame chain (outermost first); module-level
+   code is a frame of its own.
+3. For a name at a site of interest, call
+   ``dataflow.resolve_name(name, frames, module_flow)`` — LEGB minus
+   builtins — and reason over the returned :class:`~.dataflow.Definition`
+   records (kind, value expression, unpack element).
+4. Be conservative the sound way round: a name is only *safe* when every
+   definition is safe; an unresolvable value is a finding, not a pass.
+5. Register in ``RULE_CLASSES`` and ship both fixture directions —
+   a bad fixture the rule must flag, a good fixture it must not.
+
+See the "Static analysis gates" section of ROADMAP.md for the
+rule-by-rule rationale; this docstring and that section mirror each
+other.
 """
 
 from repro.devtools.core import (

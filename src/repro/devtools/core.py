@@ -23,8 +23,11 @@ import io
 import re
 import tokenize
 from dataclasses import dataclass
+from functools import cached_property
 from pathlib import Path
 from typing import Collection, Iterable, Iterator, Sequence
+
+from repro.devtools import dataflow
 
 #: Layers a rule may scope itself to.  They mirror the repository layout:
 #: ``src`` is library code, the rest are the support trees the lint CLI
@@ -147,7 +150,15 @@ def infer_module(path: Path) -> str | None:
 
 @dataclass(frozen=True)
 class FileContext:
-    """One parsed source file plus the metadata rules scope themselves by."""
+    """One parsed source file plus the metadata rules scope themselves by.
+
+    The context is also the *cache* shared by every rule that runs on the
+    file: the AST is parsed once at construction, and the derived views
+    the rules consume — the flat node walk, per-node-type indexes, the
+    scope chains and the :mod:`~repro.devtools.dataflow` module graph —
+    are each computed once on first use and reused by every later rule
+    (PR 6 rules re-walked the tree independently per rule).
+    """
 
     path: Path
     source: str
@@ -155,6 +166,37 @@ class FileContext:
     layer: str | None
     module: str | None
     suppressions: tuple[Suppression, ...]
+
+    # -- shared per-file caches (rules must use these, not ast.walk) ----
+    @cached_property
+    def _walk_order(self) -> tuple[ast.AST, ...]:
+        return tuple(ast.walk(self.tree))
+
+    @cached_property
+    def _nodes_by_type(self) -> dict[tuple[type, ...], tuple[ast.AST, ...]]:
+        return {}
+
+    def walk(self) -> tuple[ast.AST, ...]:
+        """Every node of the tree in :func:`ast.walk` order, computed once."""
+        return self._walk_order
+
+    def nodes_of_type(self, *types: type) -> tuple[ast.AST, ...]:
+        """Nodes matching ``isinstance(node, types)``, memoised per query."""
+        cached = self._nodes_by_type.get(types)
+        if cached is None:
+            cached = tuple(n for n in self._walk_order if isinstance(n, types))
+            self._nodes_by_type[types] = cached
+        return cached
+
+    @cached_property
+    def scoped_nodes(self) -> tuple["tuple[ast.AST, tuple[Scope, ...]]", ...]:
+        """Every node with its enclosing scope chain, computed once."""
+        return tuple(iter_scoped_nodes(self.tree))
+
+    @cached_property
+    def module_flow(self) -> dataflow.ModuleFlow:
+        """The file's def-use / call-graph analysis, computed once."""
+        return dataflow.analyze_module(self.tree)
 
     @classmethod
     def from_source(

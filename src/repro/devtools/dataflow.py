@@ -1,0 +1,365 @@
+"""Module-level dataflow analysis for the reprolint v2 rule families.
+
+The PR 6 rules are *syntactic*: each looks at one AST node in isolation.
+The invariants this repository actually depends on are *dataflow* facts —
+"this seed expression is a pure function of ``RunConfig.seed``", "this
+array was reached from a frozen dataclass field two assignments ago" —
+which a per-node pattern cannot see.  This module builds the two
+structures those rules need, from stdlib :mod:`ast` alone (the lint must
+keep working on a tree whose imports are broken):
+
+* **per-function def-use chains** — :class:`FunctionFlow` records, for one
+  function frame, every name its body defines (:class:`Definition`:
+  parameters, plain/annotated/augmented assignments, tuple unpacking,
+  ``for``/``with`` targets, walrus bindings, imports, nested ``def``) and
+  the expressions those definitions flow from, *without* descending into
+  nested frames, so each chain describes exactly one scope;
+* **an intra-module assignment/call graph** — :class:`ModuleFlow` holds
+  the module frame's own definitions, every function (methods keyed
+  ``Class.name``), and the imported-name table, so a tracer can follow a
+  value through ``seed = _derive(base)`` into ``_derive``'s return
+  expressions.
+
+:func:`resolve_name` walks a chain of frames innermost-first, mirroring
+Python's LEGB rule minus builtins.  The rules layer interprets these
+facts; this module only reports them.
+
+Definition-kind reference (the ``kind`` field of :class:`Definition`):
+
+==============  ========================================================
+``param``       function parameter (incl. ``*args``/``**kwargs``)
+``assign``      ``name = value`` / ``name: T = value`` / ``name := value``
+``aug``         ``name += value`` (``value`` is the increment)
+``unpack``      ``a, b = value`` — ``element`` is the target's position
+                when ``value`` is a literal tuple/list of matching arity,
+                else ``None`` (the whole RHS flows into every target)
+``for``         ``for name in value`` (``value`` is the iterable)
+``with``        ``with value as name``
+``import``      ``import m`` / ``from m import name``
+``function``    nested ``def name(...)``
+``class``       nested ``class name``
+``global``      ``global name`` / ``nonlocal name`` (escapes the frame)
+``except``      ``except E as name``
+==============  ========================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+KIND_PARAM = "param"
+KIND_ASSIGN = "assign"
+KIND_AUG = "aug"
+KIND_UNPACK = "unpack"
+KIND_FOR = "for"
+KIND_WITH = "with"
+KIND_IMPORT = "import"
+KIND_FUNCTION = "function"
+KIND_CLASS = "class"
+KIND_GLOBAL = "global"
+KIND_EXCEPT = "except"
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One binding of a name inside one frame.
+
+    ``value`` is the expression the binding flows from (``None`` when there
+    is no meaningful expression: parameters, imports, ``global``).  For
+    ``unpack`` bindings of a literal-tuple RHS, ``element`` is the index of
+    this target inside the tuple, so elementwise tracing stays exact.
+    """
+
+    name: str
+    kind: str
+    node: ast.AST
+    value: ast.expr | None = None
+    element: int | None = None
+
+
+@dataclass(frozen=True)
+class FunctionFlow:
+    """Def-use facts for one function frame (no nested frames included)."""
+
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    qualname: str
+    params: tuple[str, ...]
+    definitions: dict[str, tuple[Definition, ...]]
+    returns: tuple[ast.expr, ...]
+    calls: tuple[ast.Call, ...]
+
+    def defs_of(self, name: str) -> tuple[Definition, ...]:
+        """Every definition of ``name`` in this frame (may be empty)."""
+        return self.definitions.get(name, ())
+
+
+@dataclass(frozen=True)
+class ModuleFlow:
+    """The intra-module assignment/call graph of one parsed module."""
+
+    tree: ast.Module
+    definitions: dict[str, tuple[Definition, ...]]
+    functions: dict[str, FunctionFlow]
+    imports: dict[str, str]
+
+    def function(self, name: str) -> FunctionFlow | None:
+        """Look up a module-level function by bare name (methods by
+        ``Class.name``); ``None`` when the module defines no such frame."""
+        return self.functions.get(name)
+
+    def defs_of(self, name: str) -> tuple[Definition, ...]:
+        """Module-frame definitions of ``name`` (may be empty)."""
+        return self.definitions.get(name, ())
+
+
+def _append(
+    into: dict[str, list[Definition]], definition: Definition
+) -> None:
+    into.setdefault(definition.name, []).append(definition)
+
+
+def _bind_target(
+    into: dict[str, list[Definition]],
+    target: ast.expr,
+    value: ast.expr | None,
+    node: ast.AST,
+    kind: str,
+) -> None:
+    """Record the bindings one assignment target produces.
+
+    Attribute/subscript stores (``obj.x = v``, ``xs[i] = v``) bind no local
+    name and are deliberately not recorded — the mutation rules find those
+    directly on the AST.
+    """
+    if isinstance(target, ast.Name):
+        _append(into, Definition(target.id, kind, node, value))
+        return
+    if isinstance(target, ast.Starred):
+        # ``a, *rest = value`` — the star target sees an unknown slice.
+        _bind_target(into, target.value, value, node, KIND_UNPACK)
+        return
+    if isinstance(target, (ast.Tuple, ast.List)):
+        elements: Sequence[ast.expr | None]
+        if (
+            isinstance(value, (ast.Tuple, ast.List))
+            and len(value.elts) == len(target.elts)
+            and not any(isinstance(e, ast.Starred) for e in target.elts)
+        ):
+            elements = value.elts
+            for index, (sub, elt) in enumerate(zip(target.elts, elements)):
+                if isinstance(sub, ast.Name):
+                    _append(
+                        into,
+                        Definition(sub.id, KIND_UNPACK, node, elt, element=index),
+                    )
+                else:
+                    _bind_target(into, sub, elt, node, KIND_UNPACK)
+            return
+        for index, sub in enumerate(target.elts):
+            if isinstance(sub, ast.Name):
+                _append(
+                    into, Definition(sub.id, KIND_UNPACK, node, value, element=None)
+                )
+            else:
+                _bind_target(into, sub, value, node, KIND_UNPACK)
+
+
+@dataclass
+class _FrameCollector:
+    """Collects one frame's definitions without entering nested frames."""
+
+    definitions: dict[str, list[Definition]] = field(default_factory=dict)
+    returns: list[ast.expr] = field(default_factory=list)
+    calls: list[ast.Call] = field(default_factory=list)
+    functions: list[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]] = field(
+        default_factory=list
+    )
+    imports: dict[str, str] = field(default_factory=dict)
+
+    def visit_body(self, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _append(
+                self.definitions, Definition(node.name, KIND_FUNCTION, node)
+            )
+            self.functions.append((node.name, node))
+            # Decorators and defaults evaluate in *this* frame.
+            for expr in (
+                *node.decorator_list,
+                *node.args.defaults,
+                *[d for d in node.args.kw_defaults if d is not None],
+            ):
+                self._visit(expr)
+            return  # the body is a separate frame
+        if isinstance(node, ast.ClassDef):
+            _append(self.definitions, Definition(node.name, KIND_CLASS, node))
+            for expr in (*node.decorator_list, *node.bases, *node.keywords):
+                self._visit(expr)
+            # A class body is its own (non-function) frame; methods inside
+            # it are collected separately by analyze_module.
+            return
+        if isinstance(node, ast.Lambda):
+            return  # separate frame
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                _bind_target(
+                    self.definitions, target, node.value, node, KIND_ASSIGN
+                )
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            _bind_target(
+                self.definitions, node.target, node.value, node, KIND_ASSIGN
+            )
+        elif isinstance(node, ast.AugAssign):
+            _bind_target(self.definitions, node.target, node.value, node, KIND_AUG)
+        elif isinstance(node, ast.NamedExpr):
+            _bind_target(self.definitions, node.target, node.value, node, KIND_ASSIGN)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            _bind_target(self.definitions, node.target, node.iter, node, KIND_FOR)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    _bind_target(
+                        self.definitions,
+                        item.optional_vars,
+                        item.context_expr,
+                        node,
+                        KIND_WITH,
+                    )
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            _append(self.definitions, Definition(node.name, KIND_EXCEPT, node))
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            for name in node.names:
+                _append(self.definitions, Definition(name, KIND_GLOBAL, node))
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                _append(self.definitions, Definition(local, KIND_IMPORT, node))
+                self.imports[local] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                local = alias.asname or alias.name
+                _append(self.definitions, Definition(local, KIND_IMPORT, node))
+                self.imports[local] = f"{node.module or ''}.{alias.name}"
+        elif isinstance(node, ast.Return) and node.value is not None:
+            self.returns.append(node.value)
+        elif isinstance(node, ast.Call):
+            self.calls.append(node)
+        self.visit_body(node)
+
+
+def _param_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[str, ...]:
+    args = node.args
+    names = [
+        a.arg
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    ]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return tuple(names)
+
+
+def analyze_function(
+    node: ast.FunctionDef | ast.AsyncFunctionDef, qualname: str | None = None
+) -> FunctionFlow:
+    """Build the def-use chains of one function frame."""
+    collector = _FrameCollector()
+    params = _param_names(node)
+    for name in params:
+        _append(collector.definitions, Definition(name, KIND_PARAM, node))
+    collector.visit_body(node)
+    return FunctionFlow(
+        node=node,
+        qualname=qualname if qualname is not None else node.name,
+        params=params,
+        definitions={k: tuple(v) for k, v in collector.definitions.items()},
+        returns=tuple(collector.returns),
+        calls=tuple(collector.calls),
+    )
+
+
+def analyze_module(tree: ast.Module) -> ModuleFlow:
+    """Build the assignment/call graph of one parsed module.
+
+    Functions are keyed by bare name at module level and ``Class.name``
+    for methods; nested functions get ``outer.inner`` keys.  When two
+    frames share a key (rare: conditional redefinition), the *last* one
+    wins, matching runtime rebinding order.
+    """
+    module_collector = _FrameCollector()
+    module_collector.visit_body(tree)
+
+    functions: dict[str, FunctionFlow] = {}
+
+    def collect_frames(
+        pending: list[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]],
+        prefix: str,
+    ) -> None:
+        for name, fn_node in pending:
+            qualname = f"{prefix}{name}"
+            flow = analyze_function(fn_node, qualname)
+            functions[qualname] = flow
+            inner = _FrameCollector()
+            inner.visit_body(fn_node)
+            collect_frames(inner.functions, f"{qualname}.")
+
+    collect_frames(module_collector.functions, "")
+
+    # Methods: walk class bodies (their own frame) for function defs.
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            body_collector = _FrameCollector()
+            body_collector.visit_body(node)
+            collect_frames(body_collector.functions, f"{node.name}.")
+
+    return ModuleFlow(
+        tree=tree,
+        definitions={
+            k: tuple(v) for k, v in module_collector.definitions.items()
+        },
+        functions=functions,
+        imports=dict(module_collector.imports),
+    )
+
+
+def resolve_name(
+    name: str,
+    frames: Sequence[FunctionFlow],
+    module: ModuleFlow,
+) -> tuple[Definition, ...]:
+    """Definitions of ``name`` in the innermost frame binding it.
+
+    ``frames`` is the enclosing function chain, innermost last (may be
+    empty for module-level code); the module frame is consulted last,
+    mirroring LEGB minus builtins.  Returns ``()`` for unbound names.
+    """
+    for frame in reversed(frames):
+        definitions = frame.defs_of(name)
+        if definitions:
+            return definitions
+    return module.defs_of(name)
+
+
+def iter_function_frames(
+    module: ModuleFlow,
+) -> Iterator[tuple[FunctionFlow, tuple[FunctionFlow, ...]]]:
+    """Yield every function frame with its enclosing frame chain.
+
+    The chain is outermost-first and excludes the frame itself, so
+    ``resolve_name(name, (*chain, frame), module)`` resolves a name the way
+    code inside ``frame`` would.
+    """
+    for qualname, flow in module.functions.items():
+        chain: list[FunctionFlow] = []
+        parts = qualname.split(".")
+        for depth in range(1, len(parts)):
+            outer = module.functions.get(".".join(parts[:depth]))
+            if outer is not None:
+                chain.append(outer)
+        yield flow, tuple(chain)

@@ -4,6 +4,8 @@ Usage::
 
     python -m repro.devtools.lint src tests benchmarks examples
     python -m repro.devtools.lint --format json src
+    python -m repro.devtools.lint --format github src   # CI annotations
+    python -m repro.devtools.lint --jobs 4 src tests    # process pool
     python -m repro.devtools.lint --list-rules
     python -m repro.devtools.lint --select cyclic-wrap,rng-unseeded src
 
@@ -11,16 +13,31 @@ Exit status is 0 when every checked file is clean, 1 when any finding
 survives suppression, 2 on usage errors.  Suppression comments
 (``# repro: allow[rule-id] reason``) are validated even for rules not
 selected, so a typo in a rule id never silently disables a gate.
+
+Files are independent (every rule is per-module by design), so ``--jobs N``
+shards them over a process pool; findings come back in the same
+deterministic file order as the serial run.  ``--format github`` emits
+GitHub Actions ``::error`` workflow commands so findings annotate the
+offending lines directly in a pull-request diff.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+from concurrent.futures import ProcessPoolExecutor
+from itertools import repeat
 from pathlib import Path
 from typing import Sequence
 
-from repro.devtools.core import META_RULE_IDS, Finding, iter_python_files, lint_paths
+from repro.devtools.core import (
+    META_RULE_IDS,
+    FileContext,
+    Finding,
+    Rule,
+    iter_python_files,
+    lint_file,
+)
 from repro.devtools.rules import all_rules, rule_ids
 
 #: Directories linted when the CLI is invoked without paths.
@@ -40,9 +57,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="diagnostic output format",
+        help="diagnostic output format (github = Actions ::error annotations)",
     )
     parser.add_argument(
         "--select",
@@ -56,14 +73,19 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print every registered rule and exit",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="lint files on N worker processes (default: 1, serial)",
+    )
     return parser
 
 
-def run_lint(
-    paths: Sequence[str], select: str | None = None
-) -> tuple[list[Finding], int]:
-    """Lint ``paths``; return (findings, number of files checked)."""
-    rules = all_rules()
+def _resolve_rules(select: str | None) -> tuple[Sequence[Rule], set[str]]:
+    """(rules to run, every known rule id) for a ``--select`` expression."""
+    rules: Sequence[Rule] = all_rules()
     known = set(rule_ids()) | set(META_RULE_IDS)
     if select is not None:
         wanted = {part.strip() for part in select.split(",") if part.strip()}
@@ -73,10 +95,56 @@ def run_lint(
                 f"unknown rule id(s) {sorted(unknown)}; known: {sorted(known)}"
             )
         rules = tuple(rule for rule in rules if rule.rule_id in wanted)
-    resolved = [Path(path) for path in paths]
-    checked = sum(1 for _ in iter_python_files(resolved))
-    findings = lint_paths(resolved, rules, known_rule_ids=known)
-    return findings, checked
+    return rules, known
+
+
+def _lint_one(path_str: str, select: str | None) -> list[Finding]:
+    """Lint a single file (module-level so a process pool can pickle it)."""
+    rules, known = _resolve_rules(select)
+    return lint_file(FileContext.from_path(Path(path_str)), rules, known)
+
+
+def run_lint(
+    paths: Sequence[str], select: str | None = None, jobs: int = 1
+) -> tuple[list[Finding], int]:
+    """Lint ``paths``; return (findings, number of files checked).
+
+    With ``jobs > 1`` the files are sharded over a process pool; the
+    result is identical to the serial run (same findings, same order),
+    because files are linted independently and results are concatenated
+    in file order.
+    """
+    rules, known = _resolve_rules(select)
+    files = list(iter_python_files(Path(path) for path in paths))
+    findings: list[Finding] = []
+    if jobs > 1 and len(files) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for file_findings in pool.map(
+                _lint_one,
+                [str(path) for path in files],
+                repeat(select),
+                chunksize=max(1, len(files) // (jobs * 4)),
+            ):
+                findings.extend(file_findings)
+    else:
+        for path in files:
+            findings.extend(lint_file(FileContext.from_path(path), rules, known))
+    return findings, len(files)
+
+
+def _github_annotation(finding: Finding) -> str:
+    """One GitHub Actions ``::error`` workflow command for ``finding``.
+
+    Newlines in workflow-command messages must be %-escaped; rule
+    messages are single-line today, but escape defensively.
+    """
+    message = (
+        finding.message.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+    return (
+        f"::error file={finding.path},line={finding.line},"
+        f"col={finding.column},title=reprolint[{finding.rule_id}]::{message}"
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -94,8 +162,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     if missing:
         parser.error(f"no such path(s): {', '.join(missing)}")
 
-    findings, checked = run_lint(args.paths, args.select)
-    if args.format == "json":
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    findings, checked = run_lint(args.paths, args.select, jobs=args.jobs)
+    if args.format == "github":
+        for finding in findings:
+            print(_github_annotation(finding))
+        if findings:
+            print(f"reprolint: {len(findings)} finding(s) in {checked} file(s)")
+        else:
+            print(f"reprolint: clean ({checked} file(s) checked)")
+    elif args.format == "json":
         print(
             json.dumps(
                 {

@@ -1,0 +1,450 @@
+"""Equivalence-obligation checker: the differential matrix must stay full.
+
+The repository's correctness story is *differential*: every optimised path
+is trusted only because a test pins it equal to a slower, simpler path.
+That story silently erodes — an engine×admission pair dropped from a
+parametrize list, a new experiment shipped without a serial≡pooled test —
+and nothing fails, because the remaining tests still pass.  This checker
+makes the erosion loud.  It imports the **live** kind registries
+(``ENGINE_KINDS``, ``ADMISSION_KINDS``, ``FLEET_ADMISSIONS``,
+``PLACEMENT_KINDS``, the experiment registry) so new kinds create new
+obligations automatically, then scans the test suite's AST for the proof
+that each obligation is discharged:
+
+1. **engine×admission matrix** — every pair from ``ENGINE_KINDS`` ×
+   ``ADMISSION_KINDS`` must be exercised *together* by some test in
+   ``tests/test_engine_differential.py``.  A pair counts as exercised when
+   one test function's transitive reference closure (its own body plus the
+   module-local helpers it calls) mentions both kinds, by constant name
+   (``ENGINE_BATCHED``) or string value (``"batched"``).
+2. **fleet coverage** — every fleet admission and every placement kind
+   must be referenced in ``tests/test_cloud_fleet.py``.
+3. **serial≡pooled** — every registry experiment declaring the
+   ``workers`` option must have a test that calls its entry point with a
+   ``workers=`` keyword *and* asserts an exact equality in the same
+   function (the ``serial.rows() == pooled.rows()`` idiom).
+
+Like :mod:`repro.devtools.contracts` this is a live checker, not a lint
+rule: the registries are imported, only the *tests* are read as AST.  Run
+it as::
+
+    python -m repro.devtools.obligations
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+#: Finding kinds, one per obligation family.
+KIND_MISSING_PAIR = "engine-admission-pair-unexercised"
+KIND_MISSING_FLEET_KIND = "fleet-kind-unexercised"
+KIND_MISSING_SERIAL_POOLED = "serial-pooled-missing"
+KIND_MISSING_TEST_FILE = "test-file-missing"
+
+#: Where each obligation family looks for its proof, relative to the root.
+DIFFERENTIAL_TESTS = Path("tests/test_engine_differential.py")
+FLEET_TESTS = Path("tests/test_cloud_fleet.py")
+TESTS_DIR = Path("tests")
+
+_MAX_CLOSURE_DEPTH = 8
+
+
+@dataclass(frozen=True)
+class ObligationFinding:
+    """One undischarged equivalence obligation."""
+
+    obligation: str
+    kind: str
+    message: str
+
+    def format(self) -> str:
+        """Render as a one-line diagnostic."""
+        return f"{self.obligation}: [{self.kind}] {self.message}"
+
+    def to_dict(self) -> dict[str, str]:
+        """JSON-serialisable representation."""
+        return {
+            "obligation": self.obligation,
+            "kind": self.kind,
+            "message": self.message,
+        }
+
+
+def constant_name(prefix: str, value: str) -> str:
+    """The repo's kind-constant spelling: ``("ENGINE", "batched")`` →
+    ``"ENGINE_BATCHED"``, ``("ADMISSION", "carbon-aware")`` →
+    ``"ADMISSION_CARBON_AWARE"``."""
+    return f"{prefix}_{value.upper().replace('-', '_')}"
+
+
+# ---------------------------------------------------------------------------
+# AST utilities: reference closures over a test module.
+
+
+def _functions_by_name(tree: ast.Module) -> dict[str, ast.FunctionDef]:
+    """Every ``def`` in the module keyed by bare name (methods included).
+
+    Test modules keep helper/test names unique, so a flat namespace is
+    enough; on a (harmless) collision the last definition wins.
+    """
+    return {
+        node.name: node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.FunctionDef)
+    }
+
+
+def _direct_tokens(node: ast.AST) -> tuple[set[str], set[str]]:
+    """(identifier-ish tokens, called names) mentioned directly in ``node``.
+
+    Tokens include names, attribute components and string literals, so a
+    kind is matched whether it is spelled ``ENGINE_BATCHED``,
+    ``engine.ENGINE_BATCHED`` or ``"batched"``.
+    """
+    tokens: set[str] = set()
+    called: set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            tokens.add(child.id)
+        elif isinstance(child, ast.Attribute):
+            tokens.add(child.attr)
+        elif isinstance(child, ast.Constant) and isinstance(child.value, str):
+            tokens.add(child.value)
+        if isinstance(child, ast.Call):
+            func = child.func
+            if isinstance(func, ast.Name):
+                called.add(func.id)
+            elif isinstance(func, ast.Attribute):
+                called.add(func.attr)
+    return tokens, called
+
+
+def reference_closure(
+    func: ast.FunctionDef,
+    functions: Mapping[str, ast.FunctionDef],
+) -> set[str]:
+    """Tokens reachable from ``func`` through module-local calls.
+
+    The closure follows *called* names into other functions of the same
+    module (helpers like ``_both_engine_outcomes``), so a test counts as
+    exercising a kind even when the kind is spelled inside the helper.
+    """
+    tokens: set[str] = set()
+    seen: set[str] = set()
+    frontier = [(func, 0)]
+    while frontier:
+        node, depth = frontier.pop()
+        if node.name in seen or depth > _MAX_CLOSURE_DEPTH:
+            continue
+        seen.add(node.name)
+        direct, called = _direct_tokens(node)
+        tokens |= direct
+        for name in called:
+            target = functions.get(name)
+            if target is not None and target.name not in seen:
+                frontier.append((target, depth + 1))
+    return tokens
+
+
+def _mentions(tokens: set[str], prefix: str, value: str) -> bool:
+    return value in tokens or constant_name(prefix, value) in tokens
+
+
+# ---------------------------------------------------------------------------
+# Obligation 1: the engine × admission differential matrix.
+
+
+def check_engine_admission_matrix(
+    source: str,
+    engines: Sequence[str],
+    admissions: Sequence[str],
+    *,
+    filename: str = str(DIFFERENTIAL_TESTS),
+) -> list[ObligationFinding]:
+    """Every engine×admission pair must be exercised by one test function."""
+    tree = ast.parse(source, filename=filename)
+    functions = _functions_by_name(tree)
+    closures = [
+        reference_closure(func, functions)
+        for name, func in functions.items()
+        if name.startswith("test_")
+    ]
+    findings: list[ObligationFinding] = []
+    for engine in engines:
+        for admission in admissions:
+            exercised = any(
+                _mentions(tokens, "ENGINE", engine)
+                and _mentions(tokens, "ADMISSION", admission)
+                for tokens in closures
+            )
+            if not exercised:
+                findings.append(
+                    ObligationFinding(
+                        obligation=f"{engine}×{admission}",
+                        kind=KIND_MISSING_PAIR,
+                        message=(
+                            f"no test in {filename} exercises engine "
+                            f"{engine!r} together with admission "
+                            f"{admission!r}; the differential matrix has a "
+                            "hole"
+                        ),
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Obligation 2: fleet admissions and placement kinds.
+
+
+def check_fleet_coverage(
+    source: str,
+    fleet_admissions: Sequence[str],
+    placements: Sequence[str],
+    *,
+    filename: str = str(FLEET_TESTS),
+) -> list[ObligationFinding]:
+    """Every fleet admission / placement kind must appear in the fleet tests."""
+    tree = ast.parse(source, filename=filename)
+    tokens, _ = _direct_tokens(tree)
+    findings: list[ObligationFinding] = []
+    for prefix, label, kinds in (
+        ("ADMISSION", "fleet admission", fleet_admissions),
+        ("PLACEMENT", "placement", placements),
+    ):
+        for value in kinds:
+            if not _mentions(tokens, prefix, value):
+                findings.append(
+                    ObligationFinding(
+                        obligation=value,
+                        kind=KIND_MISSING_FLEET_KIND,
+                        message=(
+                            f"{label} kind {value!r} is never referenced in "
+                            f"{filename}; it ships untested"
+                        ),
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Obligation 3: serial ≡ pooled for every workers-declaring experiment.
+
+
+def _calls_with_workers(func: ast.FunctionDef) -> set[str]:
+    """Names called with an explicit ``workers=`` keyword inside ``func``."""
+    names: set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        if not any(keyword.arg == "workers" for keyword in node.keywords):
+            continue
+        callee = node.func
+        if isinstance(callee, ast.Name):
+            names.add(callee.id)
+        elif isinstance(callee, ast.Attribute):
+            names.add(callee.attr)
+    return names
+
+
+def _has_equality_assert(func: ast.FunctionDef) -> bool:
+    """Whether ``func`` asserts an exact ``==`` anywhere (incl. helpers is
+    unnecessary: the serial≡pooled idiom asserts inline)."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assert):
+            for child in ast.walk(node.test):
+                if isinstance(child, ast.Compare) and any(
+                    isinstance(op, ast.Eq) for op in child.ops
+                ):
+                    return True
+    return False
+
+
+def serial_pooled_proofs(sources: Mapping[str, str]) -> set[str]:
+    """Entry-point names with a serial≡pooled proof somewhere in ``sources``.
+
+    A proof is a test-module function that calls the entry point with an
+    explicit ``workers=`` keyword and asserts an exact equality in the same
+    function body — the ``assert serial.rows() == pooled.rows()`` idiom
+    (fixtures may supply the serial half, so only one call is required).
+    """
+    proven: set[str] = set()
+    for filename, source in sources.items():
+        tree = ast.parse(source, filename=filename)
+        for func in _functions_by_name(tree).values():
+            if not _has_equality_assert(func):
+                continue
+            proven |= _calls_with_workers(func)
+    return proven
+
+
+def check_serial_pooled(
+    experiments: Iterable[Any],
+    sources: Mapping[str, str],
+) -> list[ObligationFinding]:
+    """Every ``workers``-declaring experiment needs a serial≡pooled test."""
+    proven = serial_pooled_proofs(sources)
+    findings: list[ObligationFinding] = []
+    for spec in experiments:
+        if "workers" not in spec.options:
+            continue
+        entry = getattr(spec.run, "__name__", str(spec.run))
+        if entry not in proven:
+            findings.append(
+                ObligationFinding(
+                    obligation=spec.identifier,
+                    kind=KIND_MISSING_SERIAL_POOLED,
+                    message=(
+                        f"experiment {spec.identifier!r} declares the "
+                        f"'workers' option but no test calls {entry}() with "
+                        "workers= and asserts serial == pooled rows"
+                    ),
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Aggregate entry point.
+
+
+def _read(root: Path, relative: Path) -> str | None:
+    path = root / relative
+    if not path.is_file():
+        return None
+    return path.read_text(encoding="utf-8")
+
+
+def check_obligations(
+    root: Path | str | None = None,
+    *,
+    engines: Sequence[str] | None = None,
+    admissions: Sequence[str] | None = None,
+    fleet_admissions: Sequence[str] | None = None,
+    placements: Sequence[str] | None = None,
+    experiments: Iterable[Any] | None = None,
+) -> list[ObligationFinding]:
+    """Check every obligation family against the live registries.
+
+    All parameters default to the live kind tuples and experiment registry;
+    the tests inject synthetic stand-ins to prove each obligation fires.
+    ``root`` is the repository root holding ``tests/`` (default: inferred
+    from this file's location).
+    """
+    # Imported lazily so ``import repro.devtools`` stays stdlib-only.
+    from repro.cloud.engine import ADMISSION_KINDS, ENGINE_KINDS
+    from repro.cloud.fleet import FLEET_ADMISSIONS, PLACEMENT_KINDS
+    from repro.experiments.registry import list_experiments
+
+    base = Path(root) if root is not None else Path(__file__).resolve().parents[3]
+    engine_kinds = tuple(engines) if engines is not None else tuple(ENGINE_KINDS)
+    admission_kinds = (
+        tuple(admissions) if admissions is not None else tuple(ADMISSION_KINDS)
+    )
+    fleet_kinds = (
+        tuple(fleet_admissions)
+        if fleet_admissions is not None
+        else tuple(FLEET_ADMISSIONS)
+    )
+    placement_kinds = (
+        tuple(placements) if placements is not None else tuple(PLACEMENT_KINDS)
+    )
+    specs = list(experiments) if experiments is not None else list_experiments()
+
+    findings: list[ObligationFinding] = []
+
+    differential = _read(base, DIFFERENTIAL_TESTS)
+    if differential is None:
+        findings.append(
+            ObligationFinding(
+                obligation=str(DIFFERENTIAL_TESTS),
+                kind=KIND_MISSING_TEST_FILE,
+                message="differential test module is missing",
+            )
+        )
+    else:
+        findings.extend(
+            check_engine_admission_matrix(differential, engine_kinds, admission_kinds)
+        )
+
+    fleet = _read(base, FLEET_TESTS)
+    if fleet is None:
+        findings.append(
+            ObligationFinding(
+                obligation=str(FLEET_TESTS),
+                kind=KIND_MISSING_TEST_FILE,
+                message="fleet test module is missing",
+            )
+        )
+    else:
+        findings.extend(check_fleet_coverage(fleet, fleet_kinds, placement_kinds))
+
+    tests_dir = base / TESTS_DIR
+    sources = {
+        str(path.relative_to(base)): path.read_text(encoding="utf-8")
+        for path in sorted(tests_dir.glob("test_*.py"))
+    }
+    if not sources:
+        findings.append(
+            ObligationFinding(
+                obligation=str(TESTS_DIR),
+                kind=KIND_MISSING_TEST_FILE,
+                message="no test modules found for the serial≡pooled scan",
+            )
+        )
+    else:
+        findings.extend(check_serial_pooled(specs, sources))
+    return findings
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.obligations",
+        description=(
+            "verify the differential-test matrix and serial≡pooled "
+            "obligations against the live kind registries"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic output format",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root holding tests/ (default: inferred)",
+    )
+    args = parser.parse_args(argv)
+
+    findings = check_obligations(args.root)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [finding.to_dict() for finding in findings],
+                    "clean": not findings,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.format())
+        if findings:
+            print(f"obligations: {len(findings)} undischarged")
+        else:
+            print("obligations: clean (matrix full, serial≡pooled proven)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

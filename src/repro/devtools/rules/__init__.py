@@ -5,6 +5,11 @@ lint CLI and the tier-1 self-test run.  Adding a rule means subclassing
 :class:`repro.devtools.core.Rule` in a module here and listing the class
 in :data:`RULE_CLASSES` — the suppression machinery, CLI wiring and the
 repo-clean self-test pick it up automatically.
+
+The v1 rules (PR 6) are per-line pattern checks; the v2 rules
+(:mod:`provenance`, :mod:`immutability`, :mod:`dtypes`) consume the
+module-level def-use chains from :mod:`repro.devtools.dataflow` via
+``ctx.module_flow`` — see the package docstring for the recipe.
 """
 
 from __future__ import annotations
@@ -12,7 +17,10 @@ from __future__ import annotations
 from repro.devtools.core import Rule
 from repro.devtools.rules.cyclic import CyclicWrapRule
 from repro.devtools.rules.determinism import WallClockRule
+from repro.devtools.rules.dtypes import DtypeContractRule
 from repro.devtools.rules.floats import FloatEqualityRule
+from repro.devtools.rules.immutability import FrozenArrayMutationRule
+from repro.devtools.rules.provenance import SeedProvenanceRule
 from repro.devtools.rules.purity import WorkerPurityRule
 from repro.devtools.rules.rng import (
     LegacyNumpyRandomRule,
@@ -23,9 +31,12 @@ from repro.devtools.rules.rng import (
 #: Every registered rule class, in diagnostic-id order.
 RULE_CLASSES: tuple[type[Rule], ...] = (
     CyclicWrapRule,
+    DtypeContractRule,
     FloatEqualityRule,
+    FrozenArrayMutationRule,
     LegacyNumpyRandomRule,
     RandomGlobalStateRule,
+    SeedProvenanceRule,
     UnseededDefaultRngRule,
     WallClockRule,
     WorkerPurityRule,
@@ -45,9 +56,12 @@ def rule_ids() -> tuple[str, ...]:
 __all__ = [
     "RULE_CLASSES",
     "CyclicWrapRule",
+    "DtypeContractRule",
     "FloatEqualityRule",
+    "FrozenArrayMutationRule",
     "LegacyNumpyRandomRule",
     "RandomGlobalStateRule",
+    "SeedProvenanceRule",
     "UnseededDefaultRngRule",
     "WallClockRule",
     "WorkerPurityRule",

@@ -22,7 +22,6 @@ from repro.devtools.core import (
     Rule,
     Scope,
     callee_name,
-    iter_scoped_nodes,
     resolve_name,
 )
 
@@ -75,7 +74,7 @@ class CyclicWrapRule(Rule):
     layers = frozenset({"src"})
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node, scopes in iter_scoped_nodes(ctx.tree):
+        for node, scopes in ctx.scoped_nodes:
             if not isinstance(node, ast.Call) or callee_name(node) != "ExecutionSlice":
                 continue
             start_expr: ast.expr | None = None

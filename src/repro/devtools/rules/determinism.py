@@ -59,7 +59,7 @@ class WallClockRule(Rule):
         imported_time = False
         from_time: set[str] = set()
         datetime_names: set[str] = set()
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes_of_type(ast.Import, ast.ImportFrom):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     if alias.name == "time":
@@ -76,9 +76,8 @@ class WallClockRule(Rule):
                         if alias.name in {"datetime", "date"}:
                             datetime_names.add(alias.asname or alias.name)
 
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
+        for node in ctx.nodes_of_type(ast.Call):
+            assert isinstance(node, ast.Call)
             func = node.func
             if (
                 imported_time

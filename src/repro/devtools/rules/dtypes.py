@@ -1,0 +1,235 @@
+"""``dtype-contract`` — declared dtypes for the flat-array data plane.
+
+The fleet engines and the workload generator exchange per-job facts as
+bare numpy arrays, so nothing in the type system pins their dtypes — and a
+silent ``float -> int`` truncation is a *shipped* bug class (PR 7 fixed
+``start_delays`` being collected into an int-inferred array, flooring
+every fractional queue delay).  This rule turns the conventions into a
+declarative registry (:data:`DTYPE_CONTRACTS`): any array-constructor site
+in ``repro.cloud.*`` / ``repro.workloads.*`` that *binds a contracted
+name* — by assignment (``arrivals = np.asarray(...)``), keyword argument
+(``WorkloadArrays(arrivals=np.zeros(...))``) or frozen-dataclass field
+write (``object.__setattr__(self, "arrivals", np.asarray(...))``) — must
+declare the contracted dtype explicitly:
+
+* an explicit ``dtype=`` that disagrees with the contract is a finding;
+* ``dtype=int`` for an int64 contract is a finding too — it is platform
+  width (int32 on Windows), while the engines index with the arrays;
+* inference-prone constructors (``np.array``/``np.asarray`` with no
+  ``dtype``, whose result dtype depends on the *values*, and
+  ``np.zeros``-family defaults when the contract is not float64) are
+  findings — exactly the ``start_delays`` failure shape.
+
+``dtype=float`` is accepted for float64 contracts (same type on every
+platform).  Sites computing a contracted name some other way (slicing an
+existing contracted array, arithmetic) are out of scope: the contract is
+enforced where arrays are *minted*.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Mapping
+
+from repro.devtools.core import FileContext, Finding, Rule
+
+#: Canonical dtype for every contracted array name, as minted anywhere in
+#: the gated module trees.  One registry for field names and local/keyword
+#: spellings — the repository deliberately uses the same names end to end.
+DTYPE_CONTRACTS: Mapping[str, str] = {
+    # WorkloadArrays / ClusterTrace scheduling arrays
+    "arrivals": "int64",
+    "lengths": "int64",
+    "deadlines": "int64",
+    "origin_index": "int64",
+    "powers": "float64",
+    "interruptible": "bool",
+    "migratable": "bool",
+    # SlotQueueOutcome per-job arrays
+    "start_hours": "int64",
+    "finish_hours": "int64",
+    "suspension_counts": "int64",
+    "emissions_g": "float64",
+    "start_delays": "float64",
+}
+
+#: Module prefixes the contract applies to (the flat-array data plane).
+CONTRACT_MODULE_PREFIXES = ("repro.cloud", "repro.workloads")
+
+#: numpy constructors whose result dtype is *inferred from the values*
+#: when ``dtype=`` is omitted — the silent-truncation shape.
+_INFERRING_CONSTRUCTORS = frozenset({"array", "asarray", "ascontiguousarray"})
+
+#: numpy constructors that default to float64 when ``dtype=`` is omitted.
+_FLOAT_DEFAULT_CONSTRUCTORS = frozenset({"zeros", "ones", "empty"})
+
+#: All constructor spellings this rule inspects.
+ARRAY_CONSTRUCTORS = (
+    _INFERRING_CONSTRUCTORS
+    | _FLOAT_DEFAULT_CONSTRUCTORS
+    | frozenset({"full", "arange", "astype"})
+)
+
+#: dtype spellings accepted per canonical contract dtype.
+_ACCEPTED_SPELLINGS: Mapping[str, frozenset[str]] = {
+    "int64": frozenset({"int64", "np.int64", "numpy.int64"}),
+    "float64": frozenset(
+        {"float", "float64", "np.float64", "numpy.float64"}
+    ),
+    "bool": frozenset({"bool", "bool_", "np.bool_", "numpy.bool_"}),
+}
+
+
+def _dtype_spelling(expr: ast.expr) -> str | None:
+    """Render a ``dtype=`` argument the way the registry spells it."""
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value
+    if isinstance(expr, (ast.Name, ast.Attribute)):
+        return ast.unparse(expr)
+    return None
+
+
+def _constructor_name(call: ast.Call) -> str | None:
+    """The numpy-constructor name of ``call``, or ``None``.
+
+    Matches ``np.asarray(...)`` / ``numpy.zeros(...)`` / a bare imported
+    ``asarray(...)`` and the ``<expr>.astype(...)`` method.
+    """
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        if func.attr == "astype":
+            return "astype"
+        if (
+            isinstance(func.value, ast.Name)
+            and func.value.id in {"np", "numpy"}
+            and func.attr in ARRAY_CONSTRUCTORS
+        ):
+            return func.attr
+        return None
+    if isinstance(func, ast.Name) and func.id in ARRAY_CONSTRUCTORS - {"astype"}:
+        return func.id
+    return None
+
+
+def _dtype_argument(call: ast.Call, constructor: str) -> ast.expr | None:
+    for keyword in call.keywords:
+        if keyword.arg == "dtype":
+            return keyword.value
+    if constructor == "astype" and call.args:
+        return call.args[0]  # astype's first positional IS the dtype
+    positions = {"array": 1, "asarray": 1, "zeros": 1, "ones": 1, "empty": 1,
+                 "full": 2, "arange": 3, "ascontiguousarray": 1}
+    index = positions.get(constructor)
+    if index is not None and len(call.args) > index:
+        return call.args[index]
+    return None
+
+
+class DtypeContractRule(Rule):
+    """Enforce the registry dtypes at array-minting sites."""
+
+    rule_id = "dtype-contract"
+    description = (
+        "contracted array names (arrivals, lengths, emissions_g, ...) must "
+        "be minted with their registry dtype spelled explicitly "
+        "(np.int64/float/bool); inferred dtypes silently truncate"
+    )
+    layers = frozenset({"src"})
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if not super().applies_to(ctx):
+            return False
+        module = ctx.module or ""
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in CONTRACT_MODULE_PREFIXES
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ctx.nodes_of_type(ast.Assign, ast.AnnAssign):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            value = node.value
+            if value is None:
+                continue
+            for target in targets:
+                name = self._target_name(target)
+                if name is not None:
+                    yield from self._check_binding(ctx, name, value)
+        for node in ctx.nodes_of_type(ast.Call):
+            assert isinstance(node, ast.Call)
+            # Keyword bindings: WorkloadArrays(arrivals=np.asarray(...)).
+            for keyword in node.keywords:
+                if keyword.arg is not None:
+                    yield from self._check_binding(ctx, keyword.arg, keyword.value)
+            # Frozen-field writes: object.__setattr__(self, "arrivals", ...).
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "__setattr__"
+                and len(node.args) == 3
+                and isinstance(node.args[1], ast.Constant)
+                and isinstance(node.args[1].value, str)
+            ):
+                yield from self._check_binding(
+                    ctx, node.args[1].value, node.args[2]
+                )
+
+    @staticmethod
+    def _target_name(target: ast.expr) -> str | None:
+        if isinstance(target, ast.Name):
+            return target.id
+        if isinstance(target, ast.Attribute):
+            return target.attr
+        return None
+
+    def _check_binding(
+        self, ctx: FileContext, name: str, value: ast.expr
+    ) -> Iterator[Finding]:
+        contract = DTYPE_CONTRACTS.get(name)
+        if contract is None or not isinstance(value, ast.Call):
+            return
+        constructor = _constructor_name(value)
+        if constructor is None:
+            return
+        accepted = _ACCEPTED_SPELLINGS[contract]
+        dtype_expr = _dtype_argument(value, constructor)
+        if dtype_expr is None:
+            if constructor in _INFERRING_CONSTRUCTORS:
+                yield self.finding(
+                    ctx,
+                    value,
+                    f"{name!r} is contracted {contract} but np.{constructor} "
+                    "without dtype= infers it from the values (the "
+                    "start_delays truncation bug class); spell it out",
+                )
+            elif (
+                constructor in _FLOAT_DEFAULT_CONSTRUCTORS
+                and contract != "float64"
+            ):
+                yield self.finding(
+                    ctx,
+                    value,
+                    f"{name!r} is contracted {contract} but np.{constructor} "
+                    "defaults to float64; pass dtype= explicitly",
+                )
+            return
+        spelling = _dtype_spelling(dtype_expr)
+        if spelling is None:
+            return  # computed dtype expression: out of static reach
+        if spelling.split(".")[-1] == "int" or spelling == "int":
+            yield self.finding(
+                ctx,
+                dtype_expr,
+                f"{name!r} is contracted {contract} but dtype=int is "
+                "platform-width (int32 on Windows); use np.int64",
+            )
+            return
+        if spelling not in accepted:
+            yield self.finding(
+                ctx,
+                dtype_expr,
+                f"{name!r} is contracted {contract} but this site mints it "
+                f"as {spelling!r}",
+            )

@@ -54,9 +54,8 @@ class FloatEqualityRule(Rule):
     layers = frozenset({"src"})
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Compare):
-                continue
+        for node in ctx.nodes_of_type(ast.Compare):
+            assert isinstance(node, ast.Compare)
             if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
                 continue
             for operand in (node.left, *node.comparators):

@@ -1,0 +1,233 @@
+"""``frozen-array-mutation`` — frozen dataclasses must stay frozen.
+
+``@dataclass(frozen=True)`` only blocks attribute *rebinding*.  A numpy
+array held by a frozen field is still writable, so ``arrays.lengths[mask]
+= 0`` silently corrupts a workload that every other consumer believes is
+immutable — the exact failure mode that would skew a million-job replay
+while the differential harness (which generates fresh workloads) stays
+green.  This rule statically rejects in-place mutation of arrays reached
+from the registered frozen-container fields (:data:`FROZEN_ARRAY_FIELDS`),
+whether the mutation happens directly on the attribute or through a local
+alias resolved via the :mod:`repro.devtools.dataflow` def-use chains:
+
+* subscript stores: ``arrays.lengths[i] = v``, ``alias[i] += v``;
+* augmented assignment on the field itself: ``arrays.lengths += 1``;
+* mutating method calls: ``.sort()``, ``.fill()``, ``.put()``, … and
+  ``.setflags(writeable=True)`` (un-freezing the runtime guard);
+* aliased out-parameters: ``np.add(x, y, out=arrays.lengths)``.
+
+The runtime counterpart (the containers mark their arrays read-only at
+construction) turns anything this pass misses into an immediate
+``ValueError`` instead of silent corruption; the static rule exists so the
+failure is caught before the code ever runs.  Writes to *copies* are the
+supported idiom: ``fixed = arrays.lengths.copy(); fixed[mask] = 1``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Mapping
+
+from repro.devtools import dataflow
+from repro.devtools.core import FileContext, Finding, Rule
+
+#: Frozen containers whose array fields must never be written in place.
+#: Keys are class names (values documentation only — matching is by field
+#: name, since a per-file AST cannot see nominal types); the field-name
+#: union drives detection.
+FROZEN_ARRAY_FIELDS: Mapping[str, frozenset[str]] = {
+    "WorkloadArrays": frozenset(
+        {
+            "arrivals",
+            "lengths",
+            "deadlines",
+            "powers",
+            "interruptible",
+            "migratable",
+            "origin_index",
+        }
+    ),
+    "SlotQueueOutcome": frozenset(
+        {
+            "emissions_g",
+            "start_hours",
+            "finish_hours",
+            "start_delays",
+            "suspension_counts",
+        }
+    ),
+}
+
+#: Every protected field name (the union across registered containers).
+PROTECTED_FIELDS: frozenset[str] = frozenset().union(*FROZEN_ARRAY_FIELDS.values())
+
+#: ndarray methods that mutate the receiver in place.
+MUTATING_METHODS = frozenset(
+    {"fill", "itemset", "partition", "put", "resize", "setfield", "sort"}
+)
+
+_MAX_ALIAS_DEPTH = 6
+
+
+def _frozen_attribute(node: ast.AST) -> str | None:
+    """``"obj.field"`` when ``node`` is an attribute read of a protected
+    field, else ``None``."""
+    if isinstance(node, ast.Attribute) and node.attr in PROTECTED_FIELDS:
+        return ast.unparse(node)
+    return None
+
+
+def _resolve_frozen(
+    expr: ast.AST,
+    frames: tuple[dataflow.FunctionFlow, ...],
+    module: dataflow.ModuleFlow,
+    depth: int = 0,
+) -> str | None:
+    """Resolve ``expr`` (possibly an alias chain) to a protected attribute.
+
+    Follows plain-name aliases through the def-use chains: ``a =
+    outcome.start_hours`` then ``a.sort()`` is still a mutation of the
+    frozen field.  Only ``assign`` definitions are followed — an alias
+    reassigned from a ``.copy()`` call (or anything else) is not frozen.
+    """
+    direct = _frozen_attribute(expr)
+    if direct is not None:
+        return direct
+    if isinstance(expr, ast.Name) and depth < _MAX_ALIAS_DEPTH:
+        for definition in dataflow.resolve_name(expr.id, frames, module):
+            if definition.kind != dataflow.KIND_ASSIGN or definition.value is None:
+                continue
+            resolved = _resolve_frozen(
+                definition.value, frames, module, depth + 1
+            )
+            if resolved is not None:
+                return f"{expr.id} = {resolved}"
+    return None
+
+
+class FrozenArrayMutationRule(Rule):
+    """Reject in-place writes to arrays owned by frozen dataclasses."""
+
+    rule_id = "frozen-array-mutation"
+    description = (
+        "in-place write to an array field of a frozen dataclass "
+        "(WorkloadArrays / SlotQueueOutcome); mutate a .copy() instead — "
+        "the arrays are runtime-frozen and the write would raise"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        module = ctx.module_flow
+        for flow, chain in dataflow.iter_function_frames(module):
+            frames = (*chain, flow)
+            yield from self._check_frame(ctx, flow.node, frames, module)
+        yield from self._check_frame(ctx, ctx.tree, (), module)
+
+    # ------------------------------------------------------------------
+    def _check_frame(
+        self,
+        ctx: FileContext,
+        root: ast.AST,
+        frames: tuple[dataflow.FunctionFlow, ...],
+        module: dataflow.ModuleFlow,
+    ) -> Iterator[Finding]:
+        for node in _frame_nodes(root):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    yield from self._check_store(ctx, node, target, frames, module)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, frames, module)
+
+    def _check_store(
+        self,
+        ctx: FileContext,
+        statement: ast.AST,
+        target: ast.expr,
+        frames: tuple[dataflow.FunctionFlow, ...],
+        module: dataflow.ModuleFlow,
+    ) -> Iterator[Finding]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from self._check_store(ctx, statement, element, frames, module)
+            return
+        if isinstance(target, ast.Subscript):
+            frozen = _resolve_frozen(target.value, frames, module)
+            if frozen is not None:
+                yield self.finding(
+                    ctx,
+                    target,
+                    f"subscript store into frozen array {frozen}; "
+                    "write to a .copy() instead",
+                )
+        elif isinstance(target, ast.Attribute) and isinstance(
+            statement, ast.AugAssign
+        ):
+            frozen = _frozen_attribute(target)
+            if frozen is not None:
+                yield self.finding(
+                    ctx,
+                    target,
+                    f"augmented assignment mutates frozen array {frozen}; "
+                    "write to a .copy() instead",
+                )
+
+    def _check_call(
+        self,
+        ctx: FileContext,
+        call: ast.Call,
+        frames: tuple[dataflow.FunctionFlow, ...],
+        module: dataflow.ModuleFlow,
+    ) -> Iterator[Finding]:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in MUTATING_METHODS:
+                frozen = _resolve_frozen(func.value, frames, module)
+                if frozen is not None:
+                    yield self.finding(
+                        ctx,
+                        call,
+                        f".{func.attr}() mutates frozen array {frozen} in "
+                        "place; operate on a .copy() instead",
+                    )
+            elif func.attr == "setflags":
+                frozen = _resolve_frozen(func.value, frames, module)
+                if frozen is not None and any(
+                    keyword.arg in {"write", "writeable"}
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                    for keyword in call.keywords
+                ):
+                    yield self.finding(
+                        ctx,
+                        call,
+                        f"setflags(write=True) un-freezes {frozen}; the "
+                        "container owns its arrays read-only by contract",
+                    )
+        for keyword in call.keywords:
+            if keyword.arg == "out":
+                frozen = _resolve_frozen(keyword.value, frames, module)
+                if frozen is not None:
+                    yield self.finding(
+                        ctx,
+                        call,
+                        f"out= writes into frozen array {frozen}; "
+                        "allocate a fresh output array instead",
+                    )
+
+
+def _frame_nodes(root: ast.AST) -> Iterator[ast.AST]:
+    """Nodes of one frame, not descending into nested function frames.
+
+    Mutations inside a nested function are checked when that frame is
+    visited with its own (longer) alias-resolution chain.
+    """
+    for child in ast.iter_child_nodes(root):
+        yield child
+        if not isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            yield from _frame_nodes(child)

@@ -1,0 +1,292 @@
+"""``rng-seed-provenance`` — seeds must be pure functions of the config.
+
+``rng-unseeded`` (PR 6) catches the *syntactic* failure, ``default_rng()``
+with no argument.  The bug class that actually threatens the repository is
+semantic: a seed that exists but is **derived from ambient state** two
+assignments away — ``seed = os.environ.get("SEED")``, ``seed =
+id(obj) % 1000``, ``seed = some_unresolvable_helper()`` — which makes the
+stream non-reproducible while every per-line rule stays quiet.  This rule
+traces every ``default_rng(x)`` / ``SeedSequence(x)`` argument backwards
+through the :mod:`repro.devtools.dataflow` def-use chains and the
+intra-module call graph, and accepts it only when every path bottoms out
+in a **provenant source**:
+
+* an integer (or bool) literal, or arithmetic/tuples/lists over provenant
+  parts (``seed + 13``, ``(config.seed, SALT, block_index)``);
+* a **function parameter** — including attribute/subscript reads off one
+  (``config.seed``, ``self.seed``): data handed in by the caller is the
+  caller's responsibility, and the chain ends at ``RunConfig.seed``;
+* an ``ALL_CAPS`` module-level constant, local or imported (the
+  repository's constant-naming convention; lowercase imports are ambient);
+* a call whose callee is a provenance-preserving builtin
+  (:data:`PURE_BUILTINS`), a module-local function whose every ``return``
+  expression itself traces provenant, a caller-supplied callable
+  (parameter), or a method on a provenant receiver — all with provenant
+  arguments.
+
+Anything else — ``None`` (numpy falls back to OS entropy exactly as if no
+seed was passed), float/str literals, reads of lowercase imported names,
+calls that cannot be resolved — is a finding.  Intentional ambient seeds
+(e.g. hypothesis-drawn values, which the framework derandomises) carry a
+``# repro: allow[rng-seed-provenance] reason`` suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools import dataflow
+from repro.devtools.core import FileContext, Finding, Rule, callee_name
+
+#: Callees whose seed arguments this rule traces.
+SEEDED_CONSTRUCTORS = frozenset({"default_rng", "SeedSequence"})
+
+#: Builtins that preserve provenance when every argument is provenant.
+PURE_BUILTINS = frozenset(
+    {
+        "abs",
+        "divmod",
+        "enumerate",
+        "int",
+        "len",
+        "list",
+        "max",
+        "min",
+        "pow",
+        "range",
+        "reversed",
+        "round",
+        "sorted",
+        "sum",
+        "tuple",
+        "zip",
+    }
+)
+
+#: Recursion ceiling for chains of aliases / local helper calls.
+_MAX_DEPTH = 12
+
+
+class SeedProvenanceRule(Rule):
+    """Trace ``default_rng``/``SeedSequence`` seeds to provenant sources."""
+
+    rule_id = "rng-seed-provenance"
+    description = (
+        "default_rng/SeedSequence seeds must trace through assignments and "
+        "arithmetic to a function parameter, a config attribute, an integer "
+        "literal or an ALL_CAPS constant — not to ambient state"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        module = ctx.module_flow
+        for flow, chain in dataflow.iter_function_frames(module):
+            frames = (*chain, flow)
+            for call in flow.calls:
+                yield from self._check_call(ctx, call, frames, module)
+        # Module-level calls (no function frame).
+        for call in _module_level_calls(module):
+            yield from self._check_call(ctx, call, (), module)
+
+    # ------------------------------------------------------------------
+    def _check_call(
+        self,
+        ctx: FileContext,
+        call: ast.Call,
+        frames: tuple[dataflow.FunctionFlow, ...],
+        module: dataflow.ModuleFlow,
+    ) -> Iterator[Finding]:
+        if callee_name(call) not in SEEDED_CONSTRUCTORS:
+            return
+        seed_exprs: list[ast.expr] = list(call.args)
+        for keyword in call.keywords:
+            if keyword.arg in {"seed", "entropy"}:
+                seed_exprs.append(keyword.value)
+        for expr in seed_exprs:
+            problem = _trace(expr, frames, module, set(), 0)
+            if problem is not None:
+                yield self.finding(
+                    ctx,
+                    expr,
+                    f"seed for {callee_name(call)}() does not trace to a "
+                    f"parameter, config attribute or integer literal: "
+                    f"{problem}",
+                )
+
+
+def _module_level_calls(module: dataflow.ModuleFlow) -> list[ast.Call]:
+    """Calls in the module frame (not inside any function body)."""
+    function_bodies = {
+        id(stmt)
+        for flow in module.functions.values()
+        for stmt in ast.walk(flow.node)
+    }
+    return [
+        node
+        for node in ast.walk(module.tree)
+        if isinstance(node, ast.Call) and id(node) not in function_bodies
+    ]
+
+
+def _is_constant_name(name: str) -> bool:
+    """The repo's module-constant convention: ALL_CAPS (underscores ok)."""
+    stripped = name.lstrip("_")
+    return bool(stripped) and stripped == stripped.upper()
+
+
+def _trace(
+    expr: ast.expr,
+    frames: tuple[dataflow.FunctionFlow, ...],
+    module: dataflow.ModuleFlow,
+    visited: set[str],
+    depth: int,
+) -> str | None:
+    """Why ``expr`` fails to trace to a provenant source, or ``None`` if OK."""
+    if depth > _MAX_DEPTH:
+        return "trace exceeded the recursion ceiling (suspiciously deep chain)"
+    if isinstance(expr, ast.Constant):
+        if expr.value is None:
+            return "None seeds default_rng from OS entropy (same as no seed)"
+        if isinstance(expr.value, bool) or isinstance(expr.value, int):
+            return None
+        return f"non-integer constant {expr.value!r}"
+    if isinstance(expr, ast.Name):
+        return _trace_name(expr.id, frames, module, visited, depth)
+    if isinstance(expr, ast.Attribute):
+        # ``config.seed`` / ``self.seed``: trust attribute reads whose base
+        # traces provenant — the attribute chain ends at caller-owned state.
+        return _trace(expr.value, frames, module, visited, depth + 1)
+    if isinstance(expr, ast.Subscript):
+        return _trace(expr.value, frames, module, visited, depth + 1)
+    if isinstance(expr, ast.BinOp):
+        return _trace(expr.left, frames, module, visited, depth + 1) or _trace(
+            expr.right, frames, module, visited, depth + 1
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return _trace(expr.operand, frames, module, visited, depth + 1)
+    if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+        for element in expr.elts:
+            problem = _trace(element, frames, module, visited, depth + 1)
+            if problem is not None:
+                return problem
+        return None
+    if isinstance(expr, ast.IfExp):
+        return _trace(expr.body, frames, module, visited, depth + 1) or _trace(
+            expr.orelse, frames, module, visited, depth + 1
+        )
+    if isinstance(expr, ast.Starred):
+        return _trace(expr.value, frames, module, visited, depth + 1)
+    if isinstance(expr, ast.Call):
+        return _trace_call(expr, frames, module, visited, depth)
+    return f"unresolvable seed expression ({type(expr).__name__})"
+
+
+def _trace_name(
+    name: str,
+    frames: tuple[dataflow.FunctionFlow, ...],
+    module: dataflow.ModuleFlow,
+    visited: set[str],
+    depth: int,
+) -> str | None:
+    definitions = dataflow.resolve_name(name, frames, module)
+    if not definitions:
+        if _is_constant_name(name):
+            return None  # unresolved ALL_CAPS: constant by convention
+        return f"name {name!r} has no definition this analysis can see"
+    for definition in definitions:
+        problem = _trace_definition(definition, frames, module, visited, depth)
+        if problem is not None:
+            return f"{name!r} <- {problem}"
+    return None
+
+
+def _trace_definition(
+    definition: dataflow.Definition,
+    frames: tuple[dataflow.FunctionFlow, ...],
+    module: dataflow.ModuleFlow,
+    visited: set[str],
+    depth: int,
+) -> str | None:
+    kind = definition.kind
+    if kind == dataflow.KIND_PARAM:
+        return None
+    if kind == dataflow.KIND_IMPORT:
+        if _is_constant_name(definition.name):
+            return None  # imported ALL_CAPS constant
+        return (
+            f"imported name {definition.name!r} (ambient unless it is an "
+            "ALL_CAPS constant)"
+        )
+    if kind in {
+        dataflow.KIND_ASSIGN,
+        dataflow.KIND_AUG,
+        dataflow.KIND_UNPACK,
+        dataflow.KIND_FOR,
+        dataflow.KIND_WITH,
+    }:
+        if definition.value is None:
+            return f"{kind} binding with no traceable value"
+        return _trace(definition.value, frames, module, visited, depth + 1)
+    if kind == dataflow.KIND_GLOBAL:
+        return "rebinding through global/nonlocal escapes the analysis"
+    return f"{kind} binding is not a provenant seed source"
+
+
+def _trace_call(
+    call: ast.Call,
+    frames: tuple[dataflow.FunctionFlow, ...],
+    module: dataflow.ModuleFlow,
+    visited: set[str],
+    depth: int,
+) -> str | None:
+    def args_problem() -> str | None:
+        for arg in (*call.args, *[k.value for k in call.keywords]):
+            problem = _trace(arg, frames, module, visited, depth + 1)
+            if problem is not None:
+                return problem
+        return None
+
+    func = call.func
+    if isinstance(func, ast.Name):
+        name = func.id
+        if name in SEEDED_CONSTRUCTORS:
+            # Nested SeedSequence(...)/default_rng(...): provenant iff its
+            # own seed arguments are (they are checked where they appear,
+            # but the nesting must not launder an ambient value).
+            return args_problem()
+        local = module.function(name)
+        if local is not None:
+            if name in visited:
+                return None  # recursion: already being proven on this path
+            problem = args_problem()
+            if problem is not None:
+                return problem
+            if not local.returns:
+                return f"local function {name!r} never returns a value"
+            inner_visited = visited | {name}
+            for returned in local.returns:
+                inner = _trace(returned, (local,), module, inner_visited, depth + 1)
+                if inner is not None:
+                    return f"return of {name!r} <- {inner}"
+            return None
+        definitions = dataflow.resolve_name(name, frames, module)
+        if any(d.kind == dataflow.KIND_PARAM for d in definitions):
+            # Caller-supplied callable (e.g. hypothesis ``draw``): the
+            # caller owns its determinism; arguments must still trace.
+            return args_problem()
+        if name in PURE_BUILTINS:
+            return args_problem()
+        if definitions:
+            # An aliased callable: require the alias itself to trace.
+            return _trace_name(name, frames, module, visited, depth + 1)
+        if _is_constant_name(name):
+            return args_problem()
+        return f"call to unresolvable callee {name!r}"
+    if isinstance(func, ast.Attribute):
+        # Method call: provenant receiver + provenant args => provenant
+        # (``config.seed_for("fleet")``, ``seed_sequence.spawn(3)``).
+        problem = _trace(func.value, frames, module, visited, depth + 1)
+        if problem is not None:
+            return f"receiver of .{func.attr}() <- {problem}"
+        return args_problem()
+    return "call through an unresolvable callee expression"

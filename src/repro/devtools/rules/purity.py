@@ -19,7 +19,6 @@ from repro.devtools.core import (
     Rule,
     Scope,
     callee_name,
-    iter_scoped_nodes,
     resolve_name,
 )
 
@@ -37,7 +36,7 @@ class WorkerPurityRule(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node, scopes in iter_scoped_nodes(ctx.tree):
+        for node, scopes in ctx.scoped_nodes:
             if not isinstance(node, ast.Call) or callee_name(node) != _EXECUTOR_NAME:
                 continue
             fn_expr: ast.expr | None = None

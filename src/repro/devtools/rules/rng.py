@@ -44,7 +44,7 @@ class RandomGlobalStateRule(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.nodes_of_type(ast.Import, ast.ImportFrom):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     if alias.name == "random" or alias.name.startswith("random."):
@@ -74,9 +74,8 @@ class UnseededDefaultRngRule(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
-                continue
+        for node in ctx.nodes_of_type(ast.Call):
+            assert isinstance(node, ast.Call)
             func = node.func
             name = (
                 func.id
@@ -106,9 +105,8 @@ class LegacyNumpyRandomRule(Rule):
     layers = frozenset({"src"})
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Attribute):
-                continue
+        for node in ctx.nodes_of_type(ast.Attribute):
+            assert isinstance(node, ast.Attribute)
             value = node.value
             if (
                 isinstance(value, ast.Attribute)

@@ -80,9 +80,9 @@ class JobLengthDistribution:
         if count <= 0:
             raise ConfigurationError("count must be positive")
         rng = np.random.default_rng(seed)
-        lengths = np.array(self.lengths())
-        probabilities = np.array([self.weights[length] for length in lengths])
-        return rng.choice(lengths, size=count, p=probabilities)
+        length_values = np.array(self.lengths())
+        probabilities = np.array([self.weights[length] for length in length_values])
+        return rng.choice(length_values, size=count, p=probabilities)
 
 
 def _distribution(name: str, weights: Sequence[float]) -> JobLengthDistribution:

@@ -103,7 +103,7 @@ class ClusterTrace:
 
     def arrival_hours(self) -> np.ndarray:
         """Arrival hours of all jobs."""
-        return np.array([t.arrival_hour for t in self.jobs], dtype=int)
+        return np.array([t.arrival_hour for t in self.jobs], dtype=np.int64)
 
     def scheduling_arrays(
         self,
@@ -162,6 +162,18 @@ class ClusterTrace:
         return cls.from_jobs(merged)
 
 
+def frozen_array_copy(values: object, dtype: object) -> np.ndarray:
+    """An owned, read-only copy of ``values`` as ``dtype``.
+
+    The copy severs aliasing with whatever array the caller passed in, so
+    marking it read-only cannot freeze caller-owned data — and conversely
+    the caller cannot mutate the container's arrays afterwards.
+    """
+    array = np.array(values, dtype=dtype, copy=True)
+    array.setflags(write=False)
+    return array
+
+
 @dataclass(frozen=True)
 class WorkloadArrays:
     """A workload as flat per-job arrays (the fleet-scale trace form).
@@ -185,19 +197,21 @@ class WorkloadArrays:
     regions: tuple[str, ...]
 
     def __post_init__(self) -> None:
+        # Each array is an *owned copy*, marked read-only: a frozen dataclass
+        # only blocks rebinding, so without this a caller could mutate the
+        # workload through a kept reference (or through the fields) and skew
+        # a replay while every consumer believes the trace is immutable.
         object.__setattr__(self, "regions", tuple(self.regions))
-        object.__setattr__(self, "arrivals", np.asarray(self.arrivals, dtype=np.int64))
-        object.__setattr__(self, "lengths", np.asarray(self.lengths, dtype=np.int64))
+        object.__setattr__(self, "arrivals", frozen_array_copy(self.arrivals, np.int64))
+        object.__setattr__(self, "lengths", frozen_array_copy(self.lengths, np.int64))
+        object.__setattr__(self, "deadlines", frozen_array_copy(self.deadlines, np.int64))
+        object.__setattr__(self, "powers", frozen_array_copy(self.powers, float))
         object.__setattr__(
-            self, "deadlines", np.asarray(self.deadlines, dtype=np.int64)
+            self, "interruptible", frozen_array_copy(self.interruptible, bool)
         )
-        object.__setattr__(self, "powers", np.asarray(self.powers, dtype=float))
+        object.__setattr__(self, "migratable", frozen_array_copy(self.migratable, bool))
         object.__setattr__(
-            self, "interruptible", np.asarray(self.interruptible, dtype=bool)
-        )
-        object.__setattr__(self, "migratable", np.asarray(self.migratable, dtype=bool))
-        object.__setattr__(
-            self, "origin_index", np.asarray(self.origin_index, dtype=np.int64)
+            self, "origin_index", frozen_array_copy(self.origin_index, np.int64)
         )
         n = self.arrivals.size
         for field in (

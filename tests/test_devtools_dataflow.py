@@ -1,0 +1,247 @@
+"""Unit tests for the :mod:`repro.devtools.dataflow` core.
+
+The v2 lint rules all lean on these def-use chains, so the core gets its
+own coverage: parameter/assignment kinds, augmented assignment, tuple
+unpacking (elementwise and whole-RHS), conditional reassignment keeping
+*every* definition, frame isolation of nested functions, method qualnames,
+LEGB resolution order and cross-function lookups through the module graph.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.devtools import dataflow
+
+
+def analyze(source: str) -> dataflow.ModuleFlow:
+    return dataflow.analyze_module(ast.parse(textwrap.dedent(source)))
+
+
+class TestFunctionFlow:
+    def test_parameters_are_definitions(self):
+        module = analyze("def f(a, b, *rest, c=1, **kw):\n    return a\n")
+        flow = module.function("f")
+        assert flow.params == ("a", "b", "c", "rest", "kw")
+        assert [d.kind for d in flow.defs_of("a")] == [dataflow.KIND_PARAM]
+        assert [d.kind for d in flow.defs_of("kw")] == [dataflow.KIND_PARAM]
+
+    def test_plain_and_annotated_assignment(self):
+        module = analyze(
+            """
+            def f():
+                x = 1
+                y: int = x + 1
+                (z := 2)
+            """
+        )
+        flow = module.function("f")
+        assert [d.kind for d in flow.defs_of("x")] == [dataflow.KIND_ASSIGN]
+        assert [d.kind for d in flow.defs_of("y")] == [dataflow.KIND_ASSIGN]
+        assert [d.kind for d in flow.defs_of("z")] == [dataflow.KIND_ASSIGN]
+
+    def test_augmented_assignment_records_increment(self):
+        module = analyze("def f(seed):\n    seed += 3\n    return seed\n")
+        flow = module.function("f")
+        kinds = [d.kind for d in flow.defs_of("seed")]
+        assert kinds == [dataflow.KIND_PARAM, dataflow.KIND_AUG]
+        aug = flow.defs_of("seed")[1]
+        assert isinstance(aug.value, ast.Constant) and aug.value.value == 3
+
+    def test_literal_tuple_unpacking_is_elementwise(self):
+        module = analyze("def f():\n    a, b = 1, ambient()\n")
+        flow = module.function("f")
+        (a_def,) = flow.defs_of("a")
+        (b_def,) = flow.defs_of("b")
+        assert a_def.kind == dataflow.KIND_UNPACK
+        assert a_def.element == 0
+        assert isinstance(a_def.value, ast.Constant) and a_def.value.value == 1
+        assert b_def.element == 1
+        assert isinstance(b_def.value, ast.Call)
+
+    def test_opaque_rhs_unpacking_flows_whole_value(self):
+        module = analyze("def f(pair):\n    a, b = pair\n")
+        flow = module.function("f")
+        (a_def,) = flow.defs_of("a")
+        assert a_def.kind == dataflow.KIND_UNPACK
+        assert a_def.element is None
+        assert isinstance(a_def.value, ast.Name) and a_def.value.id == "pair"
+
+    def test_starred_unpacking_does_not_go_elementwise(self):
+        module = analyze("def f():\n    a, *rest = 1, 2, 3\n")
+        flow = module.function("f")
+        assert flow.defs_of("a")[0].element is None
+        assert flow.defs_of("rest")[0].kind == dataflow.KIND_UNPACK
+
+    def test_conditional_reassignment_keeps_every_definition(self):
+        module = analyze(
+            """
+            def f(flag, fallback):
+                seed = 1
+                if flag:
+                    seed = fallback
+                return seed
+            """
+        )
+        flow = module.function("f")
+        values = [d.value for d in flow.defs_of("seed")]
+        assert len(values) == 2  # a sound tracer must prove both
+        assert isinstance(values[0], ast.Constant)
+        assert isinstance(values[1], ast.Name)
+
+    def test_for_with_and_except_targets(self):
+        module = analyze(
+            """
+            def f(items, opener):
+                for item in items:
+                    pass
+                with opener() as handle:
+                    pass
+                try:
+                    pass
+                except ValueError as error:
+                    pass
+            """
+        )
+        flow = module.function("f")
+        assert flow.defs_of("item")[0].kind == dataflow.KIND_FOR
+        assert flow.defs_of("handle")[0].kind == dataflow.KIND_WITH
+        assert flow.defs_of("error")[0].kind == dataflow.KIND_EXCEPT
+
+    def test_nested_frames_stay_isolated(self):
+        module = analyze(
+            """
+            def outer():
+                x = 1
+                def inner():
+                    y = 2
+                    return y
+                return inner
+            """
+        )
+        outer = module.function("outer")
+        inner = module.function("outer.inner")
+        assert "y" not in outer.definitions
+        assert "x" not in inner.definitions
+        assert outer.defs_of("inner")[0].kind == dataflow.KIND_FUNCTION
+
+    def test_returns_and_calls_are_collected(self):
+        module = analyze(
+            """
+            def f(x):
+                helper(x)
+                if x:
+                    return x + 1
+                return 0
+            """
+        )
+        flow = module.function("f")
+        assert len(flow.returns) == 2
+        assert any(isinstance(c.func, ast.Name) and c.func.id == "helper"
+                   for c in flow.calls)
+
+
+class TestModuleFlow:
+    def test_module_level_definitions_and_imports(self):
+        module = analyze(
+            """
+            import numpy as np
+            from os import environ
+            SALT = 17
+            """
+        )
+        assert module.defs_of("np")[0].kind == dataflow.KIND_IMPORT
+        assert module.imports["np"] == "numpy"
+        assert module.imports["environ"] == "os.environ"
+        assert module.defs_of("SALT")[0].kind == dataflow.KIND_ASSIGN
+
+    def test_methods_are_keyed_class_dot_name(self):
+        module = analyze(
+            """
+            class Runner:
+                def step(self, n):
+                    return n
+            """
+        )
+        assert module.function("step") is None
+        flow = module.function("Runner.step")
+        assert flow is not None and flow.params == ("self", "n")
+
+    def test_cross_function_attribute_reads_resolve_through_module(self):
+        """A rule tracing ``helper(config)``'s return sees the attribute
+        read ``config.seed`` against *helper's* own parameter frame."""
+        module = analyze(
+            """
+            def helper(config):
+                return config.seed
+
+            def entry(config):
+                return helper(config)
+            """
+        )
+        helper = module.function("helper")
+        (returned,) = helper.returns
+        assert isinstance(returned, ast.Attribute)
+        base = returned.value
+        assert isinstance(base, ast.Name)
+        definitions = dataflow.resolve_name(base.id, (helper,), module)
+        assert [d.kind for d in definitions] == [dataflow.KIND_PARAM]
+
+
+class TestResolveName:
+    def test_innermost_frame_wins(self):
+        module = analyze(
+            """
+            seed = 1
+
+            def outer():
+                seed = 2
+                def inner():
+                    return seed
+            """
+        )
+        outer = module.function("outer")
+        inner = module.function("outer.inner")
+        definitions = dataflow.resolve_name("seed", (outer, inner), module)
+        assert len(definitions) == 1
+        assert isinstance(definitions[0].value, ast.Constant)
+        assert definitions[0].value.value == 2
+
+    def test_falls_back_to_module_frame(self):
+        module = analyze("SALT = 9\n\ndef f():\n    return SALT\n")
+        flow = module.function("f")
+        (definition,) = dataflow.resolve_name("SALT", (flow,), module)
+        assert definition.kind == dataflow.KIND_ASSIGN
+
+    def test_unbound_name_is_empty(self):
+        module = analyze("def f():\n    return ambient\n")
+        assert dataflow.resolve_name("ambient", (module.function("f"),), module) == ()
+
+
+class TestIterFunctionFrames:
+    def test_yields_enclosing_chain_outermost_first(self):
+        module = analyze(
+            """
+            def a():
+                def b():
+                    def c():
+                        pass
+            """
+        )
+        chains = {
+            flow.qualname: tuple(f.qualname for f in chain)
+            for flow, chain in dataflow.iter_function_frames(module)
+        }
+        assert chains["a"] == ()
+        assert chains["a.b"] == ("a",)
+        assert chains["a.b.c"] == ("a", "a.b")
+
+    def test_method_frames_have_no_function_chain(self):
+        module = analyze("class C:\n    def m(self):\n        pass\n")
+        ((flow, chain),) = [
+            (f, c)
+            for f, c in dataflow.iter_function_frames(module)
+            if f.qualname == "C.m"
+        ]
+        assert chain == ()

@@ -320,6 +320,265 @@ class TestFloatEqualityRule:
         )
 
 
+class TestSeedProvenanceRule:
+    def test_parameter_seed_is_clean(self):
+        assert "rng-seed-provenance" not in found_rules(
+            """
+            import numpy as np
+
+            def make(seed):
+                return np.random.default_rng(seed)
+            """
+        )
+
+    def test_config_attribute_seed_is_clean(self):
+        assert "rng-seed-provenance" not in found_rules(
+            """
+            import numpy as np
+
+            def make(config):
+                return np.random.default_rng(config.seed)
+            """
+        )
+
+    def test_arithmetic_and_all_caps_salt_are_clean(self):
+        assert "rng-seed-provenance" not in found_rules(
+            """
+            import numpy as np
+
+            SALT = 17
+
+            def make(seed, index):
+                return np.random.default_rng((seed + SALT, index))
+            """
+        )
+
+    def test_local_helper_return_is_traced(self):
+        assert "rng-seed-provenance" not in found_rules(
+            """
+            import numpy as np
+
+            def _derive(seed):
+                return seed * 3 + 1
+
+            def make(seed):
+                return np.random.default_rng(_derive(seed))
+            """
+        )
+
+    def test_loop_variable_over_range_is_clean(self):
+        assert "rng-seed-provenance" not in found_rules(
+            """
+            import numpy as np
+
+            def sweep():
+                for seed in range(10):
+                    np.random.default_rng(seed)
+            """
+        )
+
+    def test_environment_seed_two_hops_away_fires(self):
+        """The semantic bug class: the seed exists but is ambient."""
+        assert "rng-seed-provenance" in found_rules(
+            """
+            import os
+            import numpy as np
+
+            def make():
+                raw = os.environ.get("SEED", "0")
+                seed = int(raw)
+                return np.random.default_rng(seed)
+            """
+        )
+
+    def test_none_seed_fires(self):
+        assert "rng-seed-provenance" in found_rules(
+            "import numpy as np\nrng = np.random.default_rng(None)\n"
+        )
+
+    def test_float_literal_seed_fires(self):
+        assert "rng-seed-provenance" in found_rules(
+            "import numpy as np\nrng = np.random.default_rng(1.5)\n"
+        )
+
+    def test_unresolvable_callee_fires(self):
+        assert "rng-seed-provenance" in found_rules(
+            """
+            import numpy as np
+
+            def make():
+                return np.random.default_rng(ambient_seed())
+            """
+        )
+
+    def test_conditional_reassignment_must_prove_both_branches(self):
+        assert "rng-seed-provenance" in found_rules(
+            """
+            import numpy as np
+
+            def make(flag, seed):
+                value = seed
+                if flag:
+                    value = ambient()
+                return np.random.default_rng(value)
+            """
+        )
+
+    def test_seed_sequence_entropy_is_checked(self):
+        assert "rng-seed-provenance" in found_rules(
+            "import numpy as np\nss = np.random.SeedSequence(entropy=ambient())\n"
+        )
+
+    def test_suppression_with_reason_applies(self):
+        assert "rng-seed-provenance" not in found_rules(
+            "import numpy as np\n"
+            "rng = np.random.default_rng(None)"
+            "  # repro: allow[rng-seed-provenance] fixture wants OS entropy\n"
+        )
+
+
+class TestFrozenArrayMutationRule:
+    def test_subscript_store_on_field_fires(self):
+        assert "frozen-array-mutation" in found_rules(
+            "def clamp(arrays):\n    arrays.lengths[0] = 1\n"
+        )
+
+    def test_subscript_store_through_alias_fires(self):
+        assert "frozen-array-mutation" in found_rules(
+            """
+            def clamp(outcome):
+                emissions = outcome.emissions_g
+                emissions[2] = 0.0
+            """
+        )
+
+    def test_mutating_method_through_alias_fires(self):
+        assert "frozen-array-mutation" in found_rules(
+            """
+            def reorder(outcome):
+                hours = outcome.start_hours
+                hours.sort()
+            """
+        )
+
+    def test_augmented_assignment_on_field_fires(self):
+        assert "frozen-array-mutation" in found_rules(
+            "def scale(arrays):\n    arrays.powers += 1.0\n"
+        )
+
+    def test_out_kwarg_fires(self):
+        assert "frozen-array-mutation" in found_rules(
+            """
+            import numpy as np
+
+            def accumulate(arrays, delta):
+                np.add(arrays.powers, delta, out=arrays.powers)
+            """
+        )
+
+    def test_setflags_write_true_fires(self):
+        assert "frozen-array-mutation" in found_rules(
+            "def thaw(outcome):\n    outcome.start_hours.setflags(write=True)\n"
+        )
+
+    def test_copy_then_mutate_is_clean(self):
+        assert "frozen-array-mutation" not in found_rules(
+            """
+            def fixed(arrays):
+                lengths = arrays.lengths.copy()
+                lengths[0] = 1
+                lengths.sort()
+                return lengths
+            """
+        )
+
+    def test_unprotected_attribute_is_clean(self):
+        assert "frozen-array-mutation" not in found_rules(
+            "def push(state):\n    state.queue[0] = 1\n    state.scratch.sort()\n"
+        )
+
+    def test_fires_in_tests_layer_too(self):
+        assert "frozen-array-mutation" in found_rules(
+            "def test_x(arrays):\n    arrays.deadlines[0] = 9\n",
+            layer="tests",
+            module="",
+            path="tests/test_example.py",
+        )
+
+
+class TestDtypeContractRule:
+    def in_cloud(self, source: str) -> set[str]:
+        return found_rules(
+            source,
+            module="repro.cloud.example",
+            path="src/repro/cloud/example.py",
+        )
+
+    def test_inferring_constructor_without_dtype_fires(self):
+        assert "dtype-contract" in self.in_cloud(
+            "import numpy as np\narrivals = np.asarray(raw)\n"
+        )
+
+    def test_platform_width_int_fires(self):
+        assert "dtype-contract" in self.in_cloud(
+            "import numpy as np\nlengths = np.asarray(raw, dtype=int)\n"
+        )
+
+    def test_wrong_dtype_fires(self):
+        assert "dtype-contract" in self.in_cloud(
+            "import numpy as np\nemissions_g = np.zeros(4, dtype=np.float32)\n"
+        )
+
+    def test_float_default_for_int_contract_fires(self):
+        assert "dtype-contract" in self.in_cloud(
+            "import numpy as np\nsuspension_counts = np.zeros(4)\n"
+        )
+
+    def test_keyword_binding_fires(self):
+        assert "dtype-contract" in self.in_cloud(
+            "import numpy as np\nw = WorkloadArrays(arrivals=np.asarray(raw))\n"
+        )
+
+    def test_object_setattr_binding_fires(self):
+        assert "dtype-contract" in self.in_cloud(
+            """
+            import numpy as np
+
+            class Holder:
+                def __init__(self, raw):
+                    object.__setattr__(self, "arrivals", np.array(raw))
+            """
+        )
+
+    def test_contracted_dtype_is_clean(self):
+        assert "dtype-contract" not in self.in_cloud(
+            """
+            import numpy as np
+            arrivals = np.asarray(raw, dtype=np.int64)
+            powers = np.asarray(raw, dtype=float)
+            emissions_g = np.zeros(4)
+            interruptible = np.asarray(raw, dtype=bool)
+            """
+        )
+
+    def test_uncontracted_name_is_clean(self):
+        assert "dtype-contract" not in self.in_cloud(
+            "import numpy as np\nscratch = np.asarray(raw)\n"
+        )
+
+    def test_out_of_scope_module_is_clean(self):
+        assert "dtype-contract" not in found_rules(
+            "import numpy as np\narrivals = np.asarray(raw)\n",
+            module="repro.grid.example",
+            path="src/repro/grid/example.py",
+        )
+
+    def test_astype_to_wrong_dtype_fires(self):
+        assert "dtype-contract" in self.in_cloud(
+            "start_delays = chunk.astype(np.int32)\n"
+        )
+
+
 class TestSuppressions:
     SOURCE = "import random  # repro: allow[rng-global-state] fixture exercising the stdlib API\n"
 
@@ -441,6 +700,34 @@ class TestLintCli:
         out = capsys.readouterr().out
         for rule_id in rule_ids():
             assert rule_id in out
+
+    def test_github_format_emits_error_annotations(self, tmp_path, capsys):
+        self.write(tmp_path, "src/repro/bad.py", "import random\n")
+        assert lint_main(["--format", "github", str(tmp_path / "src")]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        assert "line=1" in out
+        assert "title=reprolint[rng-global-state]" in out
+
+    def test_jobs_matches_serial_findings(self, tmp_path):
+        from repro.devtools.lint import run_lint
+
+        self.write(tmp_path, "src/repro/bad.py", "import random\n")
+        self.write(tmp_path, "src/repro/worse.py", "import time\nnow = time.time()\n")
+        self.write(
+            tmp_path,
+            "src/repro/good.py",
+            "import numpy as np\nrng = np.random.default_rng(1)\n",
+        )
+        serial, checked_serial = run_lint([str(tmp_path / "src")])
+        pooled, checked_pooled = run_lint([str(tmp_path / "src")], jobs=2)
+        assert checked_serial == checked_pooled == 3
+        assert serial == pooled  # same findings, same deterministic order
+        assert serial  # the fixture tree is actually dirty
+
+    def test_jobs_zero_is_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            lint_main(["--jobs", "0", str(tmp_path)])
 
 
 class TestRepositoryIsClean:

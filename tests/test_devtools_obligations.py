@@ -1,0 +1,187 @@
+"""Tests for the equivalence-obligation checker.
+
+Synthetic fixtures prove each obligation family *fires* — in particular
+that deleting a single engine×admission parametrization from an otherwise
+full differential matrix is detected — and the live check proves the
+repository currently discharges every obligation.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from dataclasses import dataclass, field
+
+from repro.devtools.obligations import (
+    KIND_MISSING_FLEET_KIND,
+    KIND_MISSING_PAIR,
+    KIND_MISSING_SERIAL_POOLED,
+    check_engine_admission_matrix,
+    check_fleet_coverage,
+    check_obligations,
+    check_serial_pooled,
+    constant_name,
+)
+
+ENGINES = ("auto", "batched")
+ADMISSIONS = ("fifo", "carbon-aware")
+
+#: A minimal differential module exercising the full 2×2 matrix: one test
+#: covers batched×both-admissions through a helper, one covers auto×both.
+FULL_MATRIX = textwrap.dedent(
+    """
+    def _run_pair(engine, admission):
+        return simulate(engine=engine, admission=admission)
+
+    def test_batched_matrix():
+        for admission in (ADMISSION_FIFO, ADMISSION_CARBON_AWARE):
+            _run_pair(ENGINE_BATCHED, admission)
+
+    def test_auto_matrix():
+        for admission in ("fifo", "carbon-aware"):
+            _run_pair("auto", admission)
+    """
+)
+
+
+@dataclass(frozen=True)
+class FakeSpec:
+    identifier: str
+    run: object
+    options: frozenset = field(default_factory=frozenset)
+
+
+def run_fake(dataset, workers=None):  # pragma: no cover - never called
+    raise AssertionError
+
+
+class TestConstantName:
+    def test_engine_and_admission_spellings(self):
+        assert constant_name("ENGINE", "batched") == "ENGINE_BATCHED"
+        assert (
+            constant_name("ADMISSION", "carbon-aware-preemptive")
+            == "ADMISSION_CARBON_AWARE_PREEMPTIVE"
+        )
+        assert constant_name("PLACEMENT", "spillover") == "PLACEMENT_SPILLOVER"
+
+
+class TestEngineAdmissionMatrix:
+    def test_full_matrix_is_clean(self):
+        assert check_engine_admission_matrix(FULL_MATRIX, ENGINES, ADMISSIONS) == []
+
+    def test_deleting_one_parametrization_fires(self):
+        """The acceptance property: drop one admission from one test and
+        the corresponding pair becomes an undischarged obligation."""
+        eroded = FULL_MATRIX.replace(
+            'for admission in ("fifo", "carbon-aware"):',
+            'for admission in ("fifo",):',
+        )
+        findings = check_engine_admission_matrix(eroded, ENGINES, ADMISSIONS)
+        assert [f.obligation for f in findings] == ["auto×carbon-aware"]
+        assert findings[0].kind == KIND_MISSING_PAIR
+
+    def test_pairs_must_cooccur_in_one_test(self):
+        """An engine in one test and an admission in another is not a
+        differential run of the *pair*."""
+        split = textwrap.dedent(
+            """
+            def test_engine_only():
+                simulate(engine=ENGINE_BATCHED)
+
+            def test_admission_only():
+                simulate(admission=ADMISSION_FIFO)
+            """
+        )
+        findings = check_engine_admission_matrix(split, ("batched",), ("fifo",))
+        assert [f.obligation for f in findings] == ["batched×fifo"]
+
+    def test_helper_closure_counts(self):
+        """Kinds spelled inside a helper the test calls are attributed to
+        the test through the reference closure."""
+        via_helper = textwrap.dedent(
+            """
+            def _all_admissions(engine):
+                for admission in (ADMISSION_FIFO,):
+                    simulate(engine=engine, admission=admission)
+
+            def test_batched():
+                _all_admissions(ENGINE_BATCHED)
+            """
+        )
+        assert check_engine_admission_matrix(via_helper, ("batched",), ("fifo",)) == []
+
+    def test_new_kind_creates_new_obligations(self):
+        """Registering a new engine kind instantly opens obligations for
+        every admission — nothing to update in the checker."""
+        findings = check_engine_admission_matrix(
+            FULL_MATRIX, (*ENGINES, "vectorised"), ADMISSIONS
+        )
+        assert {f.obligation for f in findings} == {
+            "vectorised×fifo",
+            "vectorised×carbon-aware",
+        }
+
+
+class TestFleetCoverage:
+    def test_all_kinds_referenced_is_clean(self):
+        source = "KINDS = (ADMISSION_FORECAST, PLACEMENT_SPILLOVER, 'origin')\n"
+        assert (
+            check_fleet_coverage(source, ("forecast",), ("spillover", "origin")) == []
+        )
+
+    def test_unreferenced_kind_fires(self):
+        findings = check_fleet_coverage("x = 1\n", ("forecast",), ("origin",))
+        assert {f.obligation for f in findings} == {"forecast", "origin"}
+        assert all(f.kind == KIND_MISSING_FLEET_KIND for f in findings)
+
+
+class TestSerialPooled:
+    GOOD = textwrap.dedent(
+        """
+        def test_rows_identical(dataset):
+            serial = run_fake(dataset)
+            pooled = run_fake(dataset, workers=2)
+            assert serial.rows() == pooled.rows()
+        """
+    )
+
+    def test_workers_call_plus_equality_assert_discharges(self):
+        spec = FakeSpec("fake", run_fake, frozenset({"workers"}))
+        assert check_serial_pooled([spec], {"tests/test_x.py": self.GOOD}) == []
+
+    def test_missing_test_fires(self):
+        spec = FakeSpec("fake", run_fake, frozenset({"workers"}))
+        findings = check_serial_pooled([spec], {"tests/test_x.py": "x = 1\n"})
+        assert [f.obligation for f in findings] == ["fake"]
+        assert findings[0].kind == KIND_MISSING_SERIAL_POOLED
+
+    def test_workers_call_without_equality_assert_fires(self):
+        no_assert = self.GOOD.replace(
+            "assert serial.rows() == pooled.rows()", "assert pooled.rows()"
+        )
+        spec = FakeSpec("fake", run_fake, frozenset({"workers"}))
+        findings = check_serial_pooled([spec], {"tests/test_x.py": no_assert})
+        assert [f.obligation for f in findings] == ["fake"]
+
+    def test_fixture_supplied_serial_half_counts(self):
+        """The fleet idiom: the serial run comes from a fixture, so only
+        one workers= call appears in the test body."""
+        fixture_style = textwrap.dedent(
+            """
+            def test_pooled_matches(serial_sweep, dataset):
+                pooled = run_fake(dataset, workers=2)
+                assert serial_sweep.rows() == pooled.rows()
+            """
+        )
+        spec = FakeSpec("fake", run_fake, frozenset({"workers"}))
+        assert check_serial_pooled([spec], {"tests/test_x.py": fixture_style}) == []
+
+    def test_experiments_without_workers_carry_no_obligation(self):
+        spec = FakeSpec("fake", run_fake, frozenset())
+        assert check_serial_pooled([spec], {"tests/test_x.py": "x = 1\n"}) == []
+
+
+class TestLiveRepository:
+    def test_every_obligation_is_discharged(self):
+        """The repository's own matrix is full and every workers experiment
+        has its serial≡pooled proof (the CI gate runs the same check)."""
+        assert check_obligations() == []

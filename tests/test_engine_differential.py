@@ -334,6 +334,29 @@ def test_random_sweep_exercises_every_admission_path():
     assert saw_queue and saw_suspension and saw_deferral
 
 
+def test_auto_engine_matches_explicit_engines_on_every_admission():
+    """``auto`` ≡ batched ≡ event on all three direct admissions — the
+    dispatcher must be outcome-invisible whichever kernel it picks."""
+    trace, _, workload, slots = _random_scenario(3)
+    arrivals, lengths, deadlines, powers, interruptible = (
+        workload.scheduling_arrays()
+    )
+    for admission in (
+        ADMISSION_FIFO,
+        ADMISSION_CARBON_AWARE,
+        ADMISSION_CARBON_AWARE_PREEMPTIVE,
+    ):
+        outcomes = {
+            engine: simulate_slot_queue(
+                trace.values, arrivals, lengths, deadlines, powers, slots,
+                admission=admission, interruptible=interruptible, engine=engine,
+            )
+            for engine in (ENGINE_AUTO, ENGINE_BATCHED, ENGINE_EVENT)
+        }
+        _assert_outcomes_bit_identical(outcomes[ENGINE_AUTO], outcomes[ENGINE_BATCHED])
+        _assert_outcomes_bit_identical(outcomes[ENGINE_AUTO], outcomes[ENGINE_EVENT])
+
+
 def test_auto_engine_selects_by_job_count(monkeypatch):
     """The default ``auto`` engine dispatches on the per-path crossover:
     event kernel below ``AUTO_BATCH_MIN_JOBS``, batched kernel at/above it

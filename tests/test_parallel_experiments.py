@@ -15,8 +15,11 @@ from repro import CarbonDataset, RunConfig
 from repro.exceptions import ConfigurationError
 from repro.experiments import get_experiment
 from repro.experiments.fig05_capacity import run_fig05
-from repro.experiments.fig06_capacity_latency import run_fig06b
+from repro.experiments.fig06_capacity_latency import run_fig06, run_fig06b
 from repro.experiments.fig07_deferrability import run_fig07
+from repro.experiments.fig08_interruptibility import run_fig08
+from repro.experiments.fig09_combined_temporal import run_fig09
+from repro.experiments.fig10_distributions import run_fig10
 from repro.experiments.fig12_combined import run_combined_origins, run_fig12
 from repro.timeseries.series import HourlySeries
 
@@ -43,6 +46,11 @@ class TestSerialPooledIdentity:
         pooled = run_fig06b(small_dataset, sample_regions_per_group=2, workers=POOL)
         assert serial == pooled
 
+    def test_fig6_rows_identical(self, small_dataset):
+        serial = run_fig06(small_dataset, sample_regions_per_group=2)
+        pooled = run_fig06(small_dataset, sample_regions_per_group=2, workers=POOL)
+        assert serial.rows() == pooled.rows()
+
     def test_fig7_rows_identical(self, small_dataset):
         serial = run_fig07(small_dataset, lengths_hours=(6, 24), arrival_stride=24)
         pooled = run_fig07(
@@ -54,6 +62,36 @@ class TestSerialPooledIdentity:
             small_dataset, lengths_hours=(6, 24), arrival_stride=24, workers=-1
         )
         assert serial.rows() == all_cpus.rows()
+
+    def test_fig8_rows_identical(self, small_dataset):
+        serial = run_fig08(small_dataset, lengths_hours=(6, 24), arrival_stride=24)
+        pooled = run_fig08(
+            small_dataset, lengths_hours=(6, 24), arrival_stride=24, workers=POOL
+        )
+        assert serial.rows() == pooled.rows()
+
+    def test_fig9_rows_identical(self, small_dataset):
+        serial = run_fig09(small_dataset, lengths_hours=(6, 24), arrival_stride=24)
+        pooled = run_fig09(
+            small_dataset, lengths_hours=(6, 24), arrival_stride=24, workers=POOL
+        )
+        assert serial.rows() == pooled.rows()
+
+    def test_fig10_rows_identical(self, small_dataset):
+        serial = run_fig10(
+            small_dataset,
+            lengths_hours=(6, 24),
+            slack_sweep=(24, "year"),
+            arrival_stride=24,
+        )
+        pooled = run_fig10(
+            small_dataset,
+            lengths_hours=(6, 24),
+            slack_sweep=(24, "year"),
+            arrival_stride=24,
+            workers=POOL,
+        )
+        assert serial.rows() == pooled.rows()
 
     def test_fig12_rows_identical(self, small_dataset):
         destinations = ("SE", "US-CA", "IN-MH")

@@ -42,6 +42,7 @@ def values_and_window(draw):
 def trace_length_slack(draw):
     """A small 'year' (48–240 hours) plus a job length and slack that fit."""
     num_hours = draw(st.integers(min_value=48, max_value=240))
+    # repro: allow[rng-seed-provenance] hypothesis draws the seed; the framework derandomises draws under CI profiles
     rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**16)))
     values = rng.uniform(1.0, 900.0, size=num_hours)
     length = draw(st.integers(min_value=1, max_value=min(24, num_hours - 1)))

@@ -335,3 +335,79 @@ class TestFleetArrayEquivalence:
             workers=2,
         )
         assert serial == pooled
+
+
+class TestRuntimeImmutability:
+    """The frozen-array contract: both flat-array containers own read-only
+    copies, so neither a kept reference to the input nor a reference to a
+    field can mutate a workload or an outcome after construction."""
+
+    def _workload(self) -> WorkloadArrays:
+        generator = ClusterTraceGenerator(
+            GeneratorConfig(num_jobs=40, horizon_hours=HORIZON, seed=7)
+        )
+        return generator.generate_arrays(REGIONS)
+
+    def test_workload_array_writes_raise(self):
+        arrays = self._workload()
+        for name in (
+            "arrivals",
+            "lengths",
+            "deadlines",
+            "powers",
+            "interruptible",
+            "migratable",
+            "origin_index",
+        ):
+            field = getattr(arrays, name)
+            assert not field.flags.writeable
+            with pytest.raises(ValueError):
+                field[0] = 1
+
+    def test_construction_copies_sever_caller_aliasing(self):
+        arrivals = np.array([0, 1], dtype=np.int64)
+        arrays = WorkloadArrays(
+            arrivals=arrivals,
+            lengths=np.array([1, 2], dtype=np.int64),
+            deadlines=np.array([3, 5], dtype=np.int64),
+            powers=np.array([1.0, 2.0]),
+            interruptible=np.array([False, True]),
+            migratable=np.array([True, False]),
+            origin_index=np.array([0, 1], dtype=np.int64),
+            regions=("SE", "DE"),
+        )
+        # The caller's array stays writeable and mutating it does not
+        # reach into the (frozen, owned) copy.
+        arrivals[0] = 99
+        assert arrays.arrivals[0] == 0
+
+    def test_slot_queue_outcome_arrays_are_frozen(self):
+        from repro.cloud.engine import ENGINE_BATCHED, ENGINE_EVENT, simulate_slot_queue
+
+        arrays = self._workload()
+        arrivals, lengths, deadlines, powers, interruptible = (
+            arrays.scheduling_arrays()
+        )
+        values = 100.0 + 50.0 * np.cos(2 * np.pi * np.arange(HORIZON * 2) / 24.0)
+        for engine in (ENGINE_BATCHED, ENGINE_EVENT):
+            outcome = simulate_slot_queue(
+                values,
+                arrivals,
+                lengths,
+                deadlines,
+                powers,
+                3,
+                interruptible=interruptible,
+                engine=engine,
+            )
+            for name in (
+                "emissions_g",
+                "start_hours",
+                "finish_hours",
+                "start_delays",
+                "suspension_counts",
+            ):
+                field = getattr(outcome, name)
+                assert not field.flags.writeable
+                with pytest.raises(ValueError):
+                    field[0] = 1
