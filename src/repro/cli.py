@@ -5,12 +5,17 @@ Usage::
     python -m repro list
     python -m repro run fig5 --csv results/fig5.csv
     python -m repro run fig7 --regions SE,DE,US-CA --years 2022 --workers -1
-    python -m repro run fleet --regions SE,DE,US-CA --workers 2 --csv fleet.csv
+    python -m repro run fleet --regions us-central1,europe-west1 --workers 2
     python -m repro run-all --regions SE,DE,US-CA --arrival-stride 168
+    python -m repro run-all --source em-csv --data-dir data/em --regions DE,SE
     python -m repro dataset-summary --years 2022
 
-``run`` executes one registered experiment on a freshly synthesised dataset
-and prints its rows as a plain-text table (optionally also writing a CSV).
+``run`` executes one registered experiment on a freshly built dataset and
+prints its rows as a plain-text table (optionally also writing a CSV).
+Datasets come from a pluggable trace source (``--source``): the default
+seeded synthesiser, or ElectricityMaps CSV exports / v3 API JSON payloads
+ingested from ``--data-dir``.  ``--regions`` accepts grid-zone codes and
+GCP/AWS/Azure region names interchangeably.
 ``run-all`` executes *every* registered experiment on one shared dataset —
 so memoised window sums and annual means are computed once — and writes one
 CSV per figure into ``--out-dir``.
@@ -34,8 +39,27 @@ from typing import Sequence
 from repro import CarbonDataset
 from repro.exceptions import ReproError
 from repro.experiments import get_experiment, list_experiments
+from repro.grid.ingest import SOURCE_NAMES
 from repro.reporting import format_table, write_rows_csv
 from repro.runtime import RunConfig
+
+#: ``--help`` epilog documenting the region-name convention (shared by the
+#: top-level parser and the subcommands that take ``--regions``).
+REGION_NAMING_EPILOG = """\
+region names:
+  --regions accepts grid-zone codes and cloud provider region names,
+  mixed freely and case-sensitively for zones, case-insensitively for
+  provider regions:
+
+    grid zones      US-IA, SE, DE, US-CA, ...   (see dataset-summary)
+    GCP             us-central1 -> US-IA, europe-west1 -> BE, ...
+    AWS             us-east-1 -> US-VA, eu-north-1 -> SE, ...
+    Azure           eastus -> US-VA, westeurope -> NL, ...
+
+  Provider names resolve to the grid zone hosting that cloud region;
+  duplicates after resolution collapse (us-central1,US-IA is one region).
+  Unknown names raise a configuration error listing both naming schemes.
+"""
 
 
 def _parse_codes(regions: str | None) -> tuple[str, ...] | None:
@@ -59,6 +83,8 @@ def _config_from_args(args: argparse.Namespace) -> RunConfig:
         sample_regions_per_group=args.sample_regions_per_group,
         seed=args.seed,
         spillover_threshold=args.spillover_threshold,
+        source=args.source,
+        data_dir=args.data_dir,
         cache_dir=getattr(args, "out_dir", None),
     )
 
@@ -130,7 +156,10 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
 
 def _cmd_dataset_summary(args: argparse.Namespace) -> int:
     config = RunConfig(
-        regions=_parse_codes(args.regions), years=_parse_years(args.years)
+        regions=_parse_codes(args.regions),
+        years=_parse_years(args.years),
+        source=args.source,
+        data_dir=args.data_dir,
     )
     dataset = _build_dataset(config)
     means = dataset.annual_means()
@@ -154,9 +183,19 @@ def _cmd_dataset_summary(args: argparse.Namespace) -> int:
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     """Arguments shared by ``run`` and ``run-all`` (one RunConfig each)."""
     parser.add_argument("--regions", default=None,
-                        help="comma-separated region codes (default: all 123)")
+                        help="comma-separated region names: grid-zone codes "
+                        "(US-IA) and/or cloud provider region names "
+                        "(us-central1, eu-west-1, eastus); default: all 123 "
+                        "zones — see 'region names' below")
     parser.add_argument("--years", default="2020,2022",
-                        help="comma-separated years to synthesise (default: 2020,2022)")
+                        help="comma-separated years to cover (default: 2020,2022)")
+    parser.add_argument("--source", default=None, choices=SOURCE_NAMES,
+                        help="trace source backing the dataset (default: "
+                        "synthetic); em-csv/em-json ingest ElectricityMaps "
+                        "files from --data-dir")
+    parser.add_argument("--data-dir", default=None,
+                        help="directory of ElectricityMaps trace files for the "
+                        "file-backed sources (required by em-csv/em-json)")
     parser.add_argument("--seed", type=int, default=None,
                         help="synthesis seed override; experiments that declare it "
                         "(fleet) also seed their workload generation with it")
@@ -182,13 +221,20 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'On the Limitations of Carbon-Aware Temporal and "
         "Spatial Workload Shifting in the Cloud' (EuroSys'24)",
+        epilog=REGION_NAMING_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     list_parser = subparsers.add_parser("list", help="list registered experiments")
     list_parser.set_defaults(handler=_cmd_list)
 
-    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser = subparsers.add_parser(
+        "run",
+        help="run one experiment",
+        epilog=REGION_NAMING_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     run_parser.add_argument("experiment", help="experiment id, e.g. fig5")
     _add_config_arguments(run_parser)
     run_parser.add_argument("--csv", default=None, help="write the rows to this CSV file")
@@ -198,6 +244,8 @@ def build_parser() -> argparse.ArgumentParser:
         "run-all",
         help="run every registered experiment on one shared dataset, "
         "writing one CSV per figure",
+        epilog=REGION_NAMING_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     _add_config_arguments(run_all_parser)
     run_all_parser.add_argument(
@@ -207,10 +255,20 @@ def build_parser() -> argparse.ArgumentParser:
     run_all_parser.set_defaults(handler=_cmd_run_all)
 
     summary_parser = subparsers.add_parser(
-        "dataset-summary", help="summarise the synthetic dataset"
+        "dataset-summary",
+        help="summarise the dataset one configuration describes",
+        epilog=REGION_NAMING_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    summary_parser.add_argument("--regions", default=None)
+    summary_parser.add_argument("--regions", default=None,
+                                help="comma-separated region names (zone codes "
+                                "and/or cloud provider names)")
     summary_parser.add_argument("--years", default="2022")
+    summary_parser.add_argument("--source", default=None, choices=SOURCE_NAMES,
+                                help="trace source backing the dataset "
+                                "(default: synthetic)")
+    summary_parser.add_argument("--data-dir", default=None,
+                                help="trace-file directory for em-csv/em-json")
     summary_parser.set_defaults(handler=_cmd_dataset_summary)
     return parser
 

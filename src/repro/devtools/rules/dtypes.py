@@ -51,10 +51,14 @@ DTYPE_CONTRACTS: Mapping[str, str] = {
     "suspension_counts": "int64",
     "emissions_g": "float64",
     "start_delays": "float64",
+    # Ingest data plane: dense hour-of-year carbon-intensity arrays
+    "intensities": "float64",
 }
 
-#: Module prefixes the contract applies to (the flat-array data plane).
-CONTRACT_MODULE_PREFIXES = ("repro.cloud", "repro.workloads")
+#: Module prefixes the contract applies to (the flat-array data plane and
+#: the real-data ingest plane, whose cached arrays must round-trip
+#: bit-identically through the on-disk .npz entries).
+CONTRACT_MODULE_PREFIXES = ("repro.cloud", "repro.workloads", "repro.grid.ingest")
 
 #: numpy constructors whose result dtype is *inferred from the values*
 #: when ``dtype=`` is omitted — the silent-truncation shape.

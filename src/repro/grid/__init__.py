@@ -2,10 +2,18 @@
 carbon-intensity traces and the multi-region dataset used by every
 experiment."""
 
-from repro.grid.catalog import RegionCatalog, default_catalog
+from repro.grid.catalog import RegionCatalog, default_catalog, resolve_regions
 from repro.grid.dataset import CarbonDataset
 from repro.grid.evolution import GridEvolution, add_renewables
+from repro.grid.ingest import (
+    ElectricityMapsCSVSource,
+    ElectricityMapsJSONSource,
+    SyntheticSource,
+    TraceSource,
+    source_from_name,
+)
 from repro.grid.mix import GenerationMix
+from repro.grid.provider_regions import PROVIDER_REGION_TO_ZONE
 from repro.grid.region import GeographicGroup, Region
 from repro.grid.sources import EMISSION_FACTORS, GenerationSource
 from repro.grid.synthesis import SynthesisConfig, TraceSynthesizer
@@ -13,14 +21,21 @@ from repro.grid.synthesis import SynthesisConfig, TraceSynthesizer
 __all__ = [
     "CarbonDataset",
     "EMISSION_FACTORS",
+    "ElectricityMapsCSVSource",
+    "ElectricityMapsJSONSource",
     "GenerationMix",
     "GenerationSource",
     "GeographicGroup",
     "GridEvolution",
+    "PROVIDER_REGION_TO_ZONE",
     "Region",
     "RegionCatalog",
     "SynthesisConfig",
+    "SyntheticSource",
+    "TraceSource",
     "TraceSynthesizer",
     "add_renewables",
     "default_catalog",
+    "resolve_regions",
+    "source_from_name",
 ]

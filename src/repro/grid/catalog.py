@@ -1,4 +1,14 @@
-"""Region catalog: lookup, filtering and grouping of the 123 regions."""
+"""Region catalog: lookup, filtering and grouping of the 123 regions.
+
+Besides the catalog container itself this module carries the
+provider-region *resolution layer*: :func:`resolve_regions` turns a mixed
+list of grid-zone codes and GCP/AWS/Azure region names (``us-central1``,
+``eu-west-1``, ``westeurope``) into catalog zone codes, so every layer
+that names regions — the CLI, :class:`~repro.runtime.RunConfig`, the
+fleet sweep — accepts cloud-region terms.  The forward name table lives
+in :mod:`repro.grid.provider_regions`; resolution cross-checks it against
+each zone's ``providers`` metadata so the two can never drift apart.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +18,7 @@ from typing import Callable, Iterable, Iterator, Mapping, Sequence
 from repro.exceptions import ConfigurationError, DataError
 from repro.grid.catalog_data import REGION_ROWS
 from repro.grid.mix import GenerationMix
+from repro.grid.provider_regions import PROVIDER_REGION_TO_ZONE
 from repro.grid.region import CloudProvider, GeographicGroup, Region
 from repro.grid.sources import GenerationSource
 
@@ -133,6 +144,63 @@ class RegionCatalog:
         if not rows:
             raise ConfigurationError("catalog requires at least one region row")
         return cls(tuple(_region_from_row(row) for row in rows))
+
+
+def resolve_regions(
+    names: Iterable[str], catalog: "RegionCatalog | None" = None
+) -> tuple[str, ...]:
+    """Resolve region *names* — zone codes or cloud-region names — to codes.
+
+    Each name may be a grid-zone code already in the catalog (``"SE"``,
+    ``"US-CA"``) or a provider region name from
+    :data:`~repro.grid.provider_regions.PROVIDER_REGION_TO_ZONE`
+    (``"us-central1"``, ``"eu-west-1"``, ``"westeurope"``; matched
+    case-insensitively).  The result preserves first-occurrence order and
+    drops duplicate zones (``"us-central1"`` and ``"centralus"`` both land
+    in Iowa, and naming a zone both ways is not an error).
+
+    Raises
+    ------
+    ConfigurationError
+        If a name is neither a catalog zone code nor a known provider
+        region name.
+    DataError
+        If a provider region maps to a zone outside ``catalog`` (e.g. a
+        subset catalog), or to a zone whose metadata does not list the
+        provider — the table and the catalog must agree.
+    """
+    catalog = catalog if catalog is not None else default_catalog()
+    resolved: list[str] = []
+    for name in names:
+        name = str(name).strip()
+        if name in catalog:
+            code = name
+        else:
+            entry = PROVIDER_REGION_TO_ZONE.get(name.lower())
+            if entry is None:
+                raise ConfigurationError(
+                    f"unknown region {name!r}: neither a grid-zone code of the "
+                    "catalog nor a known GCP/AWS/Azure region name (e.g. "
+                    "us-central1, eu-west-1, westeurope)"
+                )
+            provider_name, code = entry
+            if code not in catalog:
+                raise DataError(
+                    f"cloud region {name!r} resolves to zone {code!r}, which is "
+                    "not in the catalog"
+                )
+            region = catalog.get(code)
+            if not region.hosts(provider_name):
+                raise DataError(
+                    f"cloud region {name!r} maps to zone {code!r} but the "
+                    f"catalog does not list a {provider_name} datacenter there; "
+                    "provider_regions table and catalog metadata disagree"
+                )
+        if code not in resolved:
+            resolved.append(code)
+    if not resolved:
+        raise ConfigurationError("resolve_regions requires at least one name")
+    return tuple(resolved)
 
 
 _DEFAULT_CATALOG: RegionCatalog | None = None

@@ -82,6 +82,14 @@ class CarbonDataset:
         traces: Mapping[tuple[str, int], HourlySeries],
     ) -> "CarbonDataset":
         """Build a dataset from externally supplied traces (e.g. real data)."""
+        if not traces:
+            # Without this boundary check the derived ``years`` tuple is
+            # empty and __post_init__ raises a misleading "dataset must
+            # cover at least one year" ConfigurationError.
+            raise DataError(
+                "no traces supplied: from_traces requires at least one "
+                "(region, year) -> HourlySeries entry"
+            )
         years = tuple(sorted({year for _, year in traces}))
         return cls(catalog=catalog, traces=traces, years=years)
 

@@ -1,0 +1,67 @@
+"""Pluggable real-data plane: trace ingestion behind one protocol.
+
+Every experiment runs on a :class:`~repro.grid.dataset.CarbonDataset`;
+this package decides where the dataset's numbers come from.  A
+:class:`~repro.grid.ingest.base.TraceSource` supplies one
+:class:`~repro.timeseries.series.HourlySeries` per ``(region, year)``,
+and :func:`~repro.grid.ingest.base.build_dataset` maps a source over a
+region catalog — accepting grid-zone codes *and* GCP/AWS/Azure region
+names via :func:`repro.grid.catalog.resolve_regions`.  Three sources are
+registered (:func:`~repro.grid.ingest.base.source_from_name`, the CLI's
+``--source``):
+
+* ``synthetic`` — :class:`~repro.grid.ingest.synthetic.SyntheticSource`,
+  wrapping the seeded :class:`~repro.grid.synthesis.TraceSynthesizer`;
+  bit-identical to the historical :meth:`CarbonDataset.synthetic` path.
+* ``em-csv`` — :class:`~repro.grid.ingest.em_csv.ElectricityMapsCSVSource`,
+  hourly data-portal exports (``<zone>_<year>_hourly.csv``) with strict
+  header/schema validation.
+* ``em-json`` — :class:`~repro.grid.ingest.em_json.ElectricityMapsJSONSource`,
+  v3 API history/forecast payloads (``<zone>_<year>.json``).
+
+Both file formats reduce to timestamped samples and share one documented
+regridding rule (:mod:`repro.grid.ingest.regrid`): samples land on the
+UTC hour-of-year grid (8784 slots in a leap year), duplicates on a slot
+are averaged, and gaps are filled by *cyclic* linear interpolation.
+Parsed arrays are memoised on disk by the
+:class:`~repro.grid.ingest.cache.IngestCache` — a versioned ``.npz`` per
+``(zone, year)`` keyed by source-file content hash, so ``run-all`` over
+real years parses each file once and loads bit-identical arrays
+thereafter; corrupted entries are re-parsed, never surfaced as errors.
+"""
+
+from repro.grid.ingest.base import (
+    SOURCE_EM_CSV,
+    SOURCE_EM_JSON,
+    SOURCE_NAMES,
+    SOURCE_SYNTHETIC,
+    FileIngestSource,
+    TraceSource,
+    build_dataset,
+    source_from_name,
+)
+from repro.grid.ingest.cache import CACHE_FORMAT_VERSION, IngestCache, content_hash
+from repro.grid.ingest.em_csv import ElectricityMapsCSVSource
+from repro.grid.ingest.em_json import ElectricityMapsJSONSource
+from repro.grid.ingest.regrid import fill_to_hourly_grid, hour_of_year, parse_utc_timestamp
+from repro.grid.ingest.synthetic import SyntheticSource
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "SOURCE_EM_CSV",
+    "SOURCE_EM_JSON",
+    "SOURCE_NAMES",
+    "SOURCE_SYNTHETIC",
+    "ElectricityMapsCSVSource",
+    "ElectricityMapsJSONSource",
+    "FileIngestSource",
+    "IngestCache",
+    "SyntheticSource",
+    "TraceSource",
+    "build_dataset",
+    "content_hash",
+    "fill_to_hourly_grid",
+    "hour_of_year",
+    "parse_utc_timestamp",
+    "source_from_name",
+]

@@ -1,0 +1,177 @@
+"""The :class:`TraceSource` protocol and dataset assembly on top of it.
+
+A trace source produces one :class:`~repro.timeseries.series.HourlySeries`
+per ``(region, year)``; :func:`build_dataset` maps a source over a catalog
+exactly the way :meth:`CarbonDataset.synthetic` always has, so swapping
+the synthetic generator for a file-backed parser changes *where the
+numbers come from* and nothing else.  :func:`source_from_name` is the
+CLI-facing registry (``--source synthetic|em-csv|em-json``).
+
+File-backed sources share :class:`FileIngestSource`: locate the file for
+``(zone, year)``, hash its bytes, consult the
+:class:`~repro.grid.ingest.cache.IngestCache`, and only on a miss run the
+format-specific parser (then store the parsed array).  Load and parse are
+bit-identical, so cached and cold runs produce the same dataset.
+"""
+
+from __future__ import annotations
+
+import abc
+from pathlib import Path
+from typing import Iterable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.constants import DATASET_YEARS
+from repro.exceptions import ConfigurationError, DataError
+from repro.grid.catalog import RegionCatalog, default_catalog, resolve_regions
+from repro.grid.dataset import CarbonDataset
+from repro.grid.ingest.cache import IngestCache, content_hash
+from repro.grid.region import Region
+from repro.grid.synthesis import SynthesisConfig
+from repro.timeseries.series import HourlySeries
+
+__all__ = [
+    "SOURCE_EM_CSV",
+    "SOURCE_EM_JSON",
+    "SOURCE_NAMES",
+    "SOURCE_SYNTHETIC",
+    "FileIngestSource",
+    "TraceSource",
+    "build_dataset",
+    "source_from_name",
+]
+
+#: Registry names accepted by ``--source`` / :attr:`RunConfig.source`.
+SOURCE_SYNTHETIC = "synthetic"
+SOURCE_EM_CSV = "em-csv"
+SOURCE_EM_JSON = "em-json"
+SOURCE_NAMES = (SOURCE_SYNTHETIC, SOURCE_EM_CSV, SOURCE_EM_JSON)
+
+
+@runtime_checkable
+class TraceSource(Protocol):
+    """Anything that can supply the hourly trace of one region-year."""
+
+    @property
+    def name(self) -> str:
+        """Registry name of the source (``synthetic``, ``em-csv``, ...)."""
+        ...
+
+    def trace(self, region: Region, year: int) -> HourlySeries:
+        """The hourly carbon-intensity trace of ``region`` in ``year``."""
+        ...
+
+
+class FileIngestSource(abc.ABC):
+    """Shared skeleton of the file-backed sources: discover, cache, parse."""
+
+    #: Registry name; subclasses override.
+    name = "file"
+
+    #: Subdirectory holding cache entries, next to the data files.
+    CACHE_SUBDIR = "_ingest_cache"
+
+    def __init__(self, data_dir: Path, use_cache: bool = True) -> None:
+        self.data_dir = Path(data_dir)
+        if not self.data_dir.is_dir():
+            raise ConfigurationError(
+                f"{self.name} source requires an existing data directory; "
+                f"{self.data_dir} is not one"
+            )
+        self.cache: IngestCache | None = (
+            IngestCache(self.data_dir / self.CACHE_SUBDIR) if use_cache else None
+        )
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def file_path(self, zone: str, year: int) -> Path:
+        """Expected path of the file backing ``(zone, year)``."""
+
+    @abc.abstractmethod
+    def parse(self, path: Path, zone: str, year: int) -> NDArray[np.float64]:
+        """Parse ``path`` into the dense hour-of-year intensity array."""
+
+    # ------------------------------------------------------------------
+    def trace(self, region: Region, year: int) -> HourlySeries:
+        """Load (via the ingest cache) or parse the trace of one pair."""
+        path = self.file_path(region.code, year)
+        if not path.is_file():
+            raise DataError(
+                f"{self.name} source has no file for zone {region.code!r}, "
+                f"year {year}: expected {path}"
+            )
+        intensities = None
+        digest = ""
+        if self.cache is not None:
+            digest = content_hash(path)
+            intensities = self.cache.load(region.code, year, digest)
+        if intensities is None:
+            intensities = self.parse(path, region.code, year)
+            if self.cache is not None:
+                self.cache.store(region.code, year, digest, intensities)
+        return HourlySeries(intensities, start_hour=0, name=region.code)
+
+
+def build_dataset(
+    source: TraceSource,
+    catalog: RegionCatalog | None = None,
+    regions: Iterable[str] | None = None,
+    years: Sequence[int] = DATASET_YEARS,
+) -> CarbonDataset:
+    """Build a :class:`CarbonDataset` by mapping ``source`` over a catalog.
+
+    ``regions`` accepts grid-zone codes *and* cloud-region names (resolved
+    through :func:`repro.grid.catalog.resolve_regions`); ``None`` keeps the
+    whole catalog.  The construction mirrors
+    :meth:`CarbonDataset.synthetic` exactly, so the synthetic source is
+    bit-identical to the historical path (asserted in
+    ``tests/test_grid_ingest.py``).
+    """
+    catalog = catalog if catalog is not None else default_catalog()
+    if regions is not None:
+        catalog = catalog.subset(resolve_regions(regions, catalog))
+    traces = {
+        (region.code, year): source.trace(region, year)
+        for region in catalog
+        for year in years
+    }
+    return CarbonDataset(catalog=catalog, traces=traces, years=tuple(years))
+
+
+def source_from_name(
+    name: str,
+    data_dir: Path | None = None,
+    synthesis: SynthesisConfig | None = None,
+) -> TraceSource:
+    """Construct the registered source ``name`` (the ``--source`` values).
+
+    ``data_dir`` is required by the file-backed sources and rejected by the
+    synthetic one (where it would be a silent no-op); ``synthesis``
+    parameterises only the synthetic source.
+    """
+    # Imported here: the concrete sources import this module's base class.
+    from repro.grid.ingest.em_csv import ElectricityMapsCSVSource
+    from repro.grid.ingest.em_json import ElectricityMapsJSONSource
+    from repro.grid.ingest.synthetic import SyntheticSource
+
+    if name == SOURCE_SYNTHETIC:
+        if data_dir is not None:
+            raise ConfigurationError(
+                "the synthetic source takes no data directory; drop data_dir "
+                "or pick a file-backed source (em-csv, em-json)"
+            )
+        return SyntheticSource(synthesis)
+    if name in (SOURCE_EM_CSV, SOURCE_EM_JSON):
+        if data_dir is None:
+            raise ConfigurationError(
+                f"source {name!r} reads trace files and requires a data "
+                "directory (CLI: --data-dir)"
+            )
+        if name == SOURCE_EM_CSV:
+            return ElectricityMapsCSVSource(data_dir)
+        return ElectricityMapsJSONSource(data_dir)
+    raise ConfigurationError(
+        f"unknown trace source {name!r}; registered sources: {', '.join(SOURCE_NAMES)}"
+    )

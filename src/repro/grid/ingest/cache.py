@@ -1,0 +1,98 @@
+"""On-disk ingest cache: parsed traces as versioned ``.npz`` arrays.
+
+Parsing and regridding a real trace file is tens of milliseconds per
+``(zone, year)``; a ``run-all`` over many regions and years pays it for
+every invocation.  The cache makes that cost one-time: after the first
+parse the dense hour-of-year array is stored as a compressed ``.npz``
+entry and every later run loads the array bit-identically (asserted in
+``tests/test_grid_ingest_cache.py``) without touching the parser.
+
+Entries are keyed *by content*, not by mtime::
+
+    <cache dir>/<zone>_<year>_<sha256[:16]>.v1.npz
+
+so editing a source file changes its hash and simply misses the cache —
+there is no staleness to reason about.  Storing an entry prunes the other
+hashes of the same ``(zone, year)``, keeping one entry per pair.  A
+corrupted or truncated entry (interrupted write, disk fault) is treated
+as a miss: it is deleted and the source file re-parsed, never surfaced as
+an error.  ``CACHE_FORMAT_VERSION`` is part of the filename, so changing
+the entry layout orphans old entries instead of misreading them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import zipfile
+from pathlib import Path
+
+import numpy as np
+from numpy.typing import NDArray
+
+__all__ = ["CACHE_FORMAT_VERSION", "IngestCache", "content_hash"]
+
+#: Version stamp baked into every entry filename; bump when the entry
+#: layout changes so old entries are orphaned rather than misread.
+CACHE_FORMAT_VERSION = 1
+
+#: Hex digits of the source-file SHA-256 kept in the entry name.
+_HASH_PREFIX_LENGTH = 16
+
+#: Failure modes of ``np.load`` on a damaged entry, all treated as a miss.
+_CORRUPT_ENTRY_ERRORS = (OSError, ValueError, KeyError, zipfile.BadZipFile)
+
+
+def content_hash(path: Path) -> str:
+    """Hex SHA-256 prefix of a source file's bytes (the cache key)."""
+    digest = hashlib.sha256(path.read_bytes()).hexdigest()
+    return digest[:_HASH_PREFIX_LENGTH]
+
+
+class IngestCache:
+    """Content-addressed store of parsed hour-of-year intensity arrays."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+
+    # ------------------------------------------------------------------
+    def entry_path(self, zone: str, year: int, digest: str) -> Path:
+        """Filesystem path of the entry for ``(zone, year, digest)``."""
+        name = f"{zone}_{year}_{digest}.v{CACHE_FORMAT_VERSION}.npz"
+        return self.directory / name
+
+    def load(self, zone: str, year: int, digest: str) -> NDArray[np.float64] | None:
+        """The cached array for the key, or ``None`` on miss/corruption.
+
+        A damaged entry is deleted so the caller's re-parse can replace it.
+        """
+        path = self.entry_path(zone, year, digest)
+        if not path.is_file():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                raw = archive["intensities"]
+        except _CORRUPT_ENTRY_ERRORS:
+            path.unlink(missing_ok=True)
+            return None
+        intensities = np.asarray(raw, dtype=np.float64)
+        if intensities.ndim != 1 or intensities.size == 0:
+            path.unlink(missing_ok=True)
+            return None
+        return intensities
+
+    def store(
+        self, zone: str, year: int, digest: str, values: NDArray[np.float64]
+    ) -> Path:
+        """Write an entry atomically and prune stale hashes of the pair."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.entry_path(zone, year, digest)
+        temporary = path.with_name(path.name + ".tmp")
+        intensities = np.asarray(values, dtype=np.float64)
+        with open(temporary, "wb") as handle:
+            np.savez_compressed(handle, intensities=intensities)
+        os.replace(temporary, path)
+        for stale in self.directory.glob(f"{zone}_{year}_*.npz"):
+            if stale != path:
+                stale.unlink(missing_ok=True)
+        return path

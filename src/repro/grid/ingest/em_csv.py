@@ -1,0 +1,130 @@
+"""ElectricityMaps hourly CSV exports as a :class:`TraceSource`.
+
+Parses the data-portal export shape: one CSV per ``(zone, year)`` named
+``<zone>_<year>_hourly.csv`` (e.g. ``DE_2022_hourly.csv``) whose header
+carries a UTC datetime column, the zone id, and one carbon-intensity
+column per accounting method.  The lifecycle (LCA) intensity is preferred
+when both are present, matching the paper's use of lifecycle factors.
+
+Schema problems — a missing required column, a malformed row width — are
+:class:`ConfigurationError`\\ s naming the column and the header actually
+found; content problems — a row for the wrong zone, an unparsable value,
+a timestamp outside the file's year — are :class:`DataError`\\ s naming
+the file and row number.  Blank intensity cells are *gaps* and flow into
+the cyclic interpolation rule of :mod:`repro.grid.ingest.regrid`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.grid.ingest.base import SOURCE_EM_CSV, FileIngestSource
+from repro.grid.ingest.regrid import fill_to_hourly_grid, hour_of_year, parse_utc_timestamp
+
+__all__ = ["ElectricityMapsCSVSource"]
+
+#: Accepted spellings of the UTC datetime column.
+DATETIME_COLUMNS = ("Datetime (UTC)", "datetime", "Datetime")
+
+#: Accepted spellings of the carbon-intensity column, in preference order
+#: (lifecycle before direct; both the portal's ``gCO₂eq`` and the ASCII
+#: ``gCO2eq`` spellings occur in the wild).
+INTENSITY_COLUMNS = (
+    "Carbon Intensity gCO₂eq/kWh (LCA)",
+    "Carbon Intensity gCO2eq/kWh (LCA)",
+    "Carbon Intensity gCO₂eq/kWh (direct)",
+    "Carbon Intensity gCO2eq/kWh (direct)",
+    "carbon_intensity",
+    "carbonIntensity",
+)
+
+#: Accepted spellings of the zone-id column (optional, validated if present).
+ZONE_COLUMNS = ("Zone Id", "zone", "Zone")
+
+
+def _find_column(header: list[str], candidates: tuple[str, ...]) -> int | None:
+    for candidate in candidates:
+        if candidate in header:
+            return header.index(candidate)
+    return None
+
+
+class ElectricityMapsCSVSource(FileIngestSource):
+    """Hourly ElectricityMaps CSV exports under one data directory."""
+
+    name = SOURCE_EM_CSV
+
+    def file_path(self, zone: str, year: int) -> Path:
+        """``<data_dir>/<zone>_<year>_hourly.csv`` (the portal convention)."""
+        return self.data_dir / f"{zone}_{year}_hourly.csv"
+
+    # ------------------------------------------------------------------
+    def parse(self, path: Path, zone: str, year: int) -> NDArray[np.float64]:
+        """Parse one export into the dense hour-of-year intensity array."""
+        with open(path, newline="", encoding="utf-8-sig") as handle:
+            rows = list(csv.reader(handle))
+        if not rows:
+            raise ConfigurationError(f"{path}: empty file, expected a CSV header")
+        header = [cell.strip() for cell in rows[0]]
+        datetime_index = _find_column(header, DATETIME_COLUMNS)
+        if datetime_index is None:
+            raise ConfigurationError(
+                f"{path}: header has no datetime column (expected one of "
+                f"{list(DATETIME_COLUMNS)}; found {header})"
+            )
+        intensity_index = _find_column(header, INTENSITY_COLUMNS)
+        if intensity_index is None:
+            raise ConfigurationError(
+                f"{path}: header has no carbon-intensity column (expected one "
+                f"of {list(INTENSITY_COLUMNS)}; found {header})"
+            )
+        zone_index = _find_column(header, ZONE_COLUMNS)
+
+        hour_list: list[int] = []
+        value_list: list[float] = []
+        for row_number, row in enumerate(rows[1:], start=2):
+            if not row or all(not cell.strip() for cell in row):
+                continue  # trailing blank line
+            context = f"{path}:row {row_number}"
+            if len(row) != len(header):
+                raise ConfigurationError(
+                    f"{context}: {len(row)} fields, header declares {len(header)}"
+                )
+            if zone_index is not None:
+                row_zone = row[zone_index].strip()
+                if row_zone and row_zone != zone:
+                    raise DataError(
+                        f"{context}: zone id {row_zone!r} does not match the "
+                        f"file's zone {zone!r}"
+                    )
+            cell = row[intensity_index].strip()
+            if not cell:
+                continue  # blank reading: a gap for the interpolation rule
+            try:
+                value = float(cell)
+            except ValueError:
+                raise DataError(
+                    f"{context}: carbon intensity {cell!r} is not a number"
+                ) from None
+            if not np.isfinite(value) or value < 0.0:
+                raise DataError(
+                    f"{context}: carbon intensity {value!r} must be finite "
+                    "and non-negative"
+                )
+            timestamp = parse_utc_timestamp(row[datetime_index], context)
+            hour_list.append(hour_of_year(timestamp, year, context))
+            value_list.append(value)
+
+        if not hour_list:
+            raise DataError(f"{path}: no data rows with a carbon-intensity value")
+        return fill_to_hourly_grid(
+            np.asarray(hour_list, dtype=np.int64),
+            np.asarray(value_list, dtype=np.float64),
+            year,
+            str(path),
+        )

@@ -1,0 +1,126 @@
+"""ElectricityMaps v3 API JSON payloads as a :class:`TraceSource`.
+
+Parses payloads saved from the v3 carbon-intensity endpoints: one JSON
+file per ``(zone, year)`` named ``<zone>_<year>.json`` holding either a
+*history* payload (``{"zone": "DE", "history": [{"datetime": ...,
+"carbonIntensity": ...}, ...]}``) or a *forecast* payload (same entry
+shape under a ``"forecast"`` key).  Entries whose ``carbonIntensity`` is
+``null`` — the API's marker for an hour it could not estimate — are gaps
+and flow into the cyclic interpolation rule of
+:mod:`repro.grid.ingest.regrid`.
+
+Payload-shape problems (not a JSON object, neither a ``history`` nor a
+``forecast`` array, an entry missing its keys) are
+:class:`ConfigurationError`\\ s; content problems (a payload for another
+zone, a non-numeric or negative intensity, a timestamp outside the year)
+are :class:`DataError`\\ s, mirroring the CSV source.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.grid.ingest.base import SOURCE_EM_JSON, FileIngestSource
+from repro.grid.ingest.regrid import fill_to_hourly_grid, hour_of_year, parse_utc_timestamp
+
+__all__ = ["ElectricityMapsJSONSource"]
+
+#: Payload keys holding the entry array, in the order they are tried.
+PAYLOAD_KEYS = ("history", "forecast")
+
+
+class ElectricityMapsJSONSource(FileIngestSource):
+    """v3 API history/forecast JSON payloads under one data directory."""
+
+    name = SOURCE_EM_JSON
+
+    def file_path(self, zone: str, year: int) -> Path:
+        """``<data_dir>/<zone>_<year>.json``."""
+        return self.data_dir / f"{zone}_{year}.json"
+
+    # ------------------------------------------------------------------
+    def parse(self, path: Path, zone: str, year: int) -> NDArray[np.float64]:
+        """Parse one payload into the dense hour-of-year intensity array."""
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"{path}: not valid JSON ({error})") from None
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"{path}: expected a v3 API JSON object, got {type(payload).__name__}"
+            )
+        payload_zone = payload.get("zone")
+        if payload_zone is not None and payload_zone != zone:
+            raise DataError(
+                f"{path}: payload is for zone {payload_zone!r}, expected {zone!r}"
+            )
+        entries = None
+        for key in PAYLOAD_KEYS:
+            if key in payload:
+                entries = payload[key]
+                break
+        if entries is None:
+            raise ConfigurationError(
+                f"{path}: expected a v3 history/forecast payload with one of "
+                f"{list(PAYLOAD_KEYS)}; found keys {sorted(payload)}"
+            )
+        if not isinstance(entries, list):
+            raise ConfigurationError(
+                f"{path}: payload entries must be an array, got "
+                f"{type(entries).__name__}"
+            )
+
+        hour_list: list[int] = []
+        value_list: list[float] = []
+        for position, entry in enumerate(entries):
+            context = f"{path}:entry {position}"
+            if not isinstance(entry, dict):
+                raise ConfigurationError(
+                    f"{context}: expected an object, got {type(entry).__name__}"
+                )
+            if "datetime" not in entry or "carbonIntensity" not in entry:
+                raise ConfigurationError(
+                    f"{context}: entry must carry 'datetime' and "
+                    f"'carbonIntensity'; found keys {sorted(entry)}"
+                )
+            entry_zone = entry.get("zone")
+            if entry_zone is not None and entry_zone != zone:
+                raise DataError(
+                    f"{context}: entry is for zone {entry_zone!r}, expected {zone!r}"
+                )
+            raw_value = entry["carbonIntensity"]
+            if raw_value is None:
+                continue  # the API's "could not estimate" marker: a gap
+            if isinstance(raw_value, bool) or not isinstance(raw_value, (int, float)):
+                raise DataError(
+                    f"{context}: carbonIntensity {raw_value!r} is not a number"
+                )
+            value = float(raw_value)
+            if not np.isfinite(value) or value < 0.0:
+                raise DataError(
+                    f"{context}: carbonIntensity {value!r} must be finite and "
+                    "non-negative"
+                )
+            raw_datetime = entry["datetime"]
+            if not isinstance(raw_datetime, str):
+                raise ConfigurationError(
+                    f"{context}: datetime must be an ISO string, got "
+                    f"{type(raw_datetime).__name__}"
+                )
+            timestamp = parse_utc_timestamp(raw_datetime, context)
+            hour_list.append(hour_of_year(timestamp, year, context))
+            value_list.append(value)
+
+        if not hour_list:
+            raise DataError(f"{path}: no entries with a carbon-intensity value")
+        return fill_to_hourly_grid(
+            np.asarray(hour_list, dtype=np.int64),
+            np.asarray(value_list, dtype=np.float64),
+            year,
+            str(path),
+        )

@@ -1,0 +1,112 @@
+"""Resampling of raw (timestamp, intensity) samples onto the hourly grid.
+
+Both ElectricityMaps payload shapes (CSV exports and v3 API JSON) reduce to
+a bag of ``(UTC timestamp, carbon intensity)`` samples for one ``(zone,
+year)``.  This module turns that bag into the dense hour-of-year array the
+rest of the library runs on, under one documented rule:
+
+* **Grid.**  The canonical grid for year ``Y`` has
+  :func:`~repro.grid.synthesis.hours_in_year` slots (8760, or 8784 in a
+  leap year such as 2020); slot ``h`` covers the UTC interval
+  ``[h, h+1)`` hours after midnight January 1st.  A sample is assigned to
+  the slot containing its timestamp, so sub-hourly readings land on their
+  hour.  Leap days need no special casing: February 29 timestamps fall on
+  their natural slots, and a leap-day date in a non-leap year is rejected
+  while parsing the timestamp.
+* **Duplicates.**  Several samples on one slot (the DST fall-back fold in
+  local-time exports puts two readings on one wall-clock hour) are
+  *averaged*.
+* **Gaps.**  Slots with no sample are filled by linear interpolation
+  between the nearest covered slots, treating the year as **cyclic** (a
+  gap spanning New Year interpolates from late December into early
+  January) — the same wrap-around convention every sweep kernel in
+  :mod:`repro.timeseries.windows` uses.  A year covered by a single
+  distinct slot becomes a constant trace.
+
+Timestamps are interpreted as UTC: ElectricityMaps exports timestamp in
+UTC, naive timestamps are taken as UTC, and offset-aware timestamps are
+converted.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.exceptions import DataError
+from repro.grid.synthesis import hours_in_year
+
+__all__ = ["fill_to_hourly_grid", "hour_of_year", "parse_utc_timestamp"]
+
+_SECONDS_PER_HOUR = 3600.0
+
+
+def parse_utc_timestamp(text: str, context: str) -> _dt.datetime:
+    """Parse one ElectricityMaps timestamp into a naive UTC datetime.
+
+    Accepts the portal CSV spelling (``2022-01-01 00:00:00``) and the v3
+    API ISO spelling (``2022-01-01T00:00:00.000Z``); anything
+    :meth:`datetime.datetime.fromisoformat` rejects — including a leap-day
+    date in a non-leap year — is a :class:`DataError` naming ``context``
+    (file and row/entry) so the offending sample is findable.
+    """
+    try:
+        parsed = _dt.datetime.fromisoformat(text.strip())
+    except ValueError as error:
+        raise DataError(f"{context}: invalid timestamp {text!r} ({error})") from None
+    if parsed.tzinfo is not None:
+        parsed = parsed.astimezone(_dt.timezone.utc).replace(tzinfo=None)
+    return parsed
+
+
+def hour_of_year(timestamp: _dt.datetime, year: int, context: str) -> int:
+    """Slot index of a naive-UTC ``timestamp`` on year ``year``'s grid."""
+    if timestamp.year != year:
+        raise DataError(
+            f"{context}: timestamp {timestamp.isoformat()} falls in year "
+            f"{timestamp.year}, expected {year}"
+        )
+    delta = timestamp - _dt.datetime(year, 1, 1)
+    return int(delta.total_seconds() // _SECONDS_PER_HOUR)
+
+
+def fill_to_hourly_grid(
+    hour_indices: NDArray[np.int64],
+    values: NDArray[np.float64],
+    year: int,
+    context: str,
+) -> NDArray[np.float64]:
+    """Resample samples onto the dense hour-of-year grid (see module doc).
+
+    ``hour_indices[i]`` is the slot of sample ``values[i]``; duplicates are
+    averaged and uncovered slots filled by cyclic linear interpolation.
+    The result is a fresh float64 array of :func:`hours_in_year` entries.
+    """
+    num_hours = hours_in_year(year)
+    if hour_indices.size == 0:
+        raise DataError(f"{context}: no usable carbon-intensity samples")
+    if hour_indices.size != values.size:
+        raise DataError(
+            f"{context}: {hour_indices.size} timestamps vs {values.size} values"
+        )
+    out_of_range = (hour_indices < 0) | (hour_indices >= num_hours)
+    if bool(out_of_range.any()):
+        bad = int(hour_indices[out_of_range][0])
+        raise DataError(
+            f"{context}: sample at hour index {bad} outside the "
+            f"{num_hours}-hour grid of year {year}"
+        )
+    slot_sums = np.bincount(hour_indices, weights=values, minlength=num_hours)
+    slot_counts = np.bincount(hour_indices, minlength=num_hours)
+    covered = slot_counts > 0
+    intensities = np.zeros(num_hours, dtype=np.float64)
+    intensities[covered] = slot_sums[covered] / slot_counts[covered]
+    missing = np.flatnonzero(~covered)
+    if missing.size:
+        known = np.flatnonzero(covered)
+        intensities[missing] = np.interp(
+            missing, known, intensities[known], period=float(num_hours)
+        )
+    return intensities

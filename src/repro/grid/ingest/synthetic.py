@@ -1,0 +1,30 @@
+"""The synthetic trace source: today's generator behind the protocol.
+
+:class:`SyntheticSource` wraps :class:`~repro.grid.synthesis.TraceSynthesizer`
+so the pluggable data plane has a zero-dependency default.  It is
+*bit-identical* to :meth:`CarbonDataset.synthetic` — same synthesizer,
+same per-``(region, year)`` seeds, same construction order — which the
+ingest tests assert array-for-array.
+"""
+
+from __future__ import annotations
+
+from repro.grid.ingest.base import SOURCE_SYNTHETIC
+from repro.grid.region import Region
+from repro.grid.synthesis import SynthesisConfig, TraceSynthesizer
+from repro.timeseries.series import HourlySeries
+
+__all__ = ["SyntheticSource"]
+
+
+class SyntheticSource:
+    """Generates traces from the region catalog's generation mixes."""
+
+    name: str = SOURCE_SYNTHETIC
+
+    def __init__(self, config: SynthesisConfig | None = None) -> None:
+        self.synthesizer = TraceSynthesizer(config)
+
+    def trace(self, region: Region, year: int) -> HourlySeries:
+        """Synthesise the trace of ``region`` in ``year``."""
+        return self.synthesizer.synthesize(region, year)

@@ -1,0 +1,121 @@
+"""Cloud provider-region → electricity-zone mapping.
+
+The paper maps 99 hyperscaler datacenter regions onto the 123 electricity
+zones of its dataset (§3.1.1), but the catalog only records the *inverse*
+direction — each :class:`~repro.grid.region.Region` lists the providers
+with a datacenter in that zone.  This module supplies the forward table:
+the provider-facing region names (``us-central1``, ``eu-west-1``,
+``westeurope``, ...) a practitioner actually deploys to, each mapped to
+the zone whose grid powers it.
+
+The table is the bridge that lets every layer which names regions — the
+CLI's ``--regions``, :meth:`RunConfig.build_dataset`, the fleet sweep —
+be phrased in cloud-region terms instead of grid-zone codes.  Resolution
+itself lives in :func:`repro.grid.catalog.resolve_regions`, which
+cross-checks each entry against the catalog's per-region ``providers``
+metadata so the two directions can never silently disagree.
+
+Zone codes follow this repository's catalog (country or state level, e.g.
+``US-IA`` for Iowa), not Electricity Maps' balancing-authority codes; the
+physical locations follow the providers' published region lists (GCP
+``cloud.google.com/about/locations``, AWS global infrastructure, Azure
+geographies).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+#: provider-region name -> (provider name, catalog zone code).  Names are
+#: compared case-insensitively by the resolver; keys here are the
+#: providers' canonical lowercase spellings.
+PROVIDER_REGION_TO_ZONE: Mapping[str, tuple[str, str]] = {
+    # --- Google Cloud Platform ------------------------------------------
+    "us-central1": ("GCP", "US-IA"),            # Council Bluffs, Iowa
+    "us-east1": ("GCP", "US-SC"),               # Moncks Corner, South Carolina
+    "us-east4": ("GCP", "US-VA"),               # Ashburn, Virginia
+    "us-west1": ("GCP", "US-OR"),               # The Dalles, Oregon
+    "us-west2": ("GCP", "US-CA"),               # Los Angeles, California
+    "us-west3": ("GCP", "US-UT"),               # Salt Lake City, Utah
+    "us-west4": ("GCP", "US-NV"),               # Las Vegas, Nevada
+    "northamerica-northeast1": ("GCP", "CA-QC"),  # Montreal
+    "northamerica-northeast2": ("GCP", "CA-ON"),  # Toronto
+    "southamerica-east1": ("GCP", "BR-S"),      # Sao Paulo
+    "southamerica-west1": ("GCP", "CL"),        # Santiago
+    "europe-west1": ("GCP", "BE"),              # St. Ghislain, Belgium
+    "europe-west2": ("GCP", "GB"),              # London
+    "europe-west3": ("GCP", "DE"),              # Frankfurt
+    "europe-west4": ("GCP", "NL"),              # Eemshaven, Netherlands
+    "europe-west6": ("GCP", "CH"),              # Zurich
+    "europe-west9": ("GCP", "FR"),              # Paris
+    "europe-north1": ("GCP", "FI"),             # Hamina, Finland
+    "europe-central2": ("GCP", "PL"),           # Warsaw
+    "europe-southwest1": ("GCP", "ES"),         # Madrid
+    "asia-south1": ("GCP", "IN-MH"),            # Mumbai
+    "asia-southeast1": ("GCP", "SG"),           # Singapore
+    "asia-southeast2": ("GCP", "ID"),           # Jakarta
+    "asia-east1": ("GCP", "TW"),                # Changhua County, Taiwan
+    "asia-east2": ("GCP", "HK"),                # Hong Kong
+    "asia-northeast1": ("GCP", "JP-TK"),        # Tokyo
+    "asia-northeast2": ("GCP", "JP-KN"),        # Osaka
+    "asia-northeast3": ("GCP", "KR"),           # Seoul
+    "australia-southeast1": ("GCP", "AU-NSW"),  # Sydney
+    "australia-southeast2": ("GCP", "AU-VIC"),  # Melbourne
+    "me-west1": ("GCP", "IL"),                  # Tel Aviv
+    "me-central1": ("GCP", "SA"),               # Dammam
+    # --- Amazon Web Services --------------------------------------------
+    "us-east-1": ("AWS", "US-VA"),              # Northern Virginia
+    "us-east-2": ("AWS", "US-OH"),              # Ohio
+    "us-west-1": ("AWS", "US-CA"),              # Northern California
+    "us-west-2": ("AWS", "US-OR"),              # Oregon
+    "ca-central-1": ("AWS", "CA-QC"),           # Montreal
+    "sa-east-1": ("AWS", "BR-S"),               # Sao Paulo
+    "eu-west-1": ("AWS", "IE"),                 # Ireland
+    "eu-west-2": ("AWS", "GB"),                 # London
+    "eu-west-3": ("AWS", "FR"),                 # Paris
+    "eu-central-1": ("AWS", "DE"),              # Frankfurt
+    "eu-north-1": ("AWS", "SE"),                # Stockholm
+    "eu-south-1": ("AWS", "IT"),                # Milan
+    "ap-south-1": ("AWS", "IN-MH"),             # Mumbai
+    "ap-southeast-1": ("AWS", "SG"),            # Singapore
+    "ap-southeast-2": ("AWS", "AU-NSW"),        # Sydney
+    "ap-northeast-1": ("AWS", "JP-TK"),         # Tokyo
+    "ap-northeast-2": ("AWS", "KR"),            # Seoul
+    "ap-northeast-3": ("AWS", "JP-KN"),         # Osaka
+    "ap-east-1": ("AWS", "HK"),                 # Hong Kong
+    "me-south-1": ("AWS", "BH"),                # Bahrain
+    "af-south-1": ("AWS", "ZA"),                # Cape Town
+    # --- Microsoft Azure ------------------------------------------------
+    "eastus": ("Azure", "US-VA"),               # Virginia
+    "eastus2": ("Azure", "US-VA"),              # Virginia
+    "centralus": ("Azure", "US-IA"),            # Iowa
+    "northcentralus": ("Azure", "US-IL"),       # Illinois
+    "southcentralus": ("Azure", "US-TX"),       # Texas
+    "westus": ("Azure", "US-CA"),               # California
+    "westus2": ("Azure", "US-WA"),              # Washington
+    "westus3": ("Azure", "US-AZ"),              # Arizona
+    "canadacentral": ("Azure", "CA-ON"),        # Toronto
+    "canadaeast": ("Azure", "CA-QC"),           # Quebec City
+    "brazilsouth": ("Azure", "BR-S"),           # Sao Paulo
+    "northeurope": ("Azure", "IE"),             # Ireland
+    "westeurope": ("Azure", "NL"),              # Netherlands
+    "uksouth": ("Azure", "GB"),                 # London
+    "francecentral": ("Azure", "FR"),           # Paris
+    "germanywestcentral": ("Azure", "DE"),      # Frankfurt
+    "swedencentral": ("Azure", "SE"),           # Gavle
+    "norwayeast": ("Azure", "NO"),              # Oslo
+    "switzerlandnorth": ("Azure", "CH"),        # Zurich
+    "polandcentral": ("Azure", "PL"),           # Warsaw
+    "italynorth": ("Azure", "IT"),              # Milan
+    "centralindia": ("Azure", "IN-MH"),         # Pune
+    "southindia": ("Azure", "IN-TN"),           # Chennai
+    "japaneast": ("Azure", "JP-TK"),            # Tokyo
+    "japanwest": ("Azure", "JP-KN"),            # Osaka
+    "koreacentral": ("Azure", "KR"),            # Seoul
+    "southeastasia": ("Azure", "SG"),           # Singapore
+    "eastasia": ("Azure", "HK"),                # Hong Kong
+    "australiaeast": ("Azure", "AU-NSW"),       # Sydney
+    "australiasoutheast": ("Azure", "AU-VIC"),  # Melbourne
+    "southafricanorth": ("Azure", "ZA"),        # Johannesburg
+    "uaenorth": ("Azure", "AE"),                # Dubai
+}

@@ -1,7 +1,9 @@
 """Run configuration shared by the CLI, the registry and ``run-all``.
 
 A :class:`RunConfig` is one immutable description of an experiment run: which
-regions and years to synthesise, how wide to fan out
+trace source backs the dataset (synthetic by default, ElectricityMaps
+CSV/JSON ingestion via ``source`` + ``data_dir``), which regions and years it
+covers, how wide to fan out
 (:attr:`~RunConfig.workers`), how densely to sample arrivals
 (:attr:`~RunConfig.arrival_stride`), the synthesis seed and where ``run-all``
 writes its per-figure CSVs.  The CLI builds exactly one of these per
@@ -19,6 +21,12 @@ from repro.constants import DATASET_YEARS
 from repro.exceptions import ConfigurationError
 from repro.grid.catalog import default_catalog
 from repro.grid.dataset import CarbonDataset
+from repro.grid.ingest import (
+    SOURCE_NAMES,
+    SOURCE_SYNTHETIC,
+    build_dataset as build_dataset_from_source,
+    source_from_name,
+)
 from repro.grid.synthesis import SynthesisConfig
 from repro.runtime.executor import resolve_workers
 
@@ -27,24 +35,32 @@ from repro.runtime.executor import resolve_workers
 #: :attr:`ExperimentSpec.options`.  Dataset-shaping fields (regions, years)
 #: and reporting fields (cache_dir) are deliberately not options — they
 #: parameterise the shared dataset / output layout, not one experiment.
+#: ``source``/``data_dir`` are listed (so the contract checker validates
+#: their casts) but, like ``seed``, are shared run parameters — see
+#: :data:`SHARED_OPTION_FIELDS`.
 OPTION_FIELDS = (
     "workers",
     "arrival_stride",
     "sample_regions_per_group",
     "seed",
     "spillover_threshold",
+    "source",
+    "data_dir",
 )
 
 #: Per-option value types: experiment kwargs are coerced through these when
-#: routed (everything is an integer count except the spillover queue-wait
-#: threshold, which is fractional hours).
-_OPTION_CASTS = {"spillover_threshold": float}
+#: routed (integer counts unless registered here — the spillover queue-wait
+#: threshold is fractional hours, the trace source is a registry name and
+#: the data directory a filesystem path).
+_OPTION_CASTS = {"spillover_threshold": float, "source": str, "data_dir": Path}
 
 #: Option fields that are *also* global run parameters (``seed`` shapes the
-#: synthetic dataset for every experiment).  They route into experiments that
-#: declare them — the fleet sweep seeds its workload generator — but setting
-#: them explicitly is never a routing error for experiments that don't.
-SHARED_OPTION_FIELDS = frozenset({"seed"})
+#: synthetic dataset for every experiment; ``source``/``data_dir`` pick the
+#: trace source that backs the shared dataset).  They route into experiments
+#: that declare them — the fleet sweep seeds its workload generator — but
+#: setting them explicitly is never a routing error for experiments that
+#: don't.
+SHARED_OPTION_FIELDS = frozenset({"seed", "source", "data_dir"})
 
 #: Default directory for ``run-all`` CSV artifacts.
 DEFAULT_CACHE_DIR = Path("results")
@@ -57,8 +73,10 @@ class RunConfig:
     Attributes
     ----------
     regions:
-        Region codes to restrict the synthetic dataset to (``None`` = the
-        full 123-region catalog).
+        Region names to restrict the dataset to (``None`` = the full
+        123-region catalog).  Grid-zone codes (``US-IA``) and cloud
+        provider region names (``us-central1``, ``eu-west-1``, ``eastus``)
+        are both accepted — see :func:`repro.grid.catalog.resolve_regions`.
     years:
         Years to synthesise traces for.
     workers:
@@ -79,6 +97,13 @@ class RunConfig:
         Estimated queue wait (hours) beyond which the fleet sweep's
         dynamic ``"spillover"`` placement diverts migratable jobs to the
         next-greenest region (``None`` = the experiment's own axis).
+    source:
+        Trace-source name from :data:`repro.grid.ingest.SOURCE_NAMES`
+        (``None`` = ``"synthetic"``).  The file-backed sources (``em-csv``,
+        ``em-json``) ingest ElectricityMaps exports from :attr:`data_dir`.
+    data_dir:
+        Directory holding the source files for a file-backed trace source
+        (``None`` = no directory; only valid with the synthetic source).
     cache_dir:
         Directory where ``run-all`` writes one CSV per figure.
     """
@@ -90,6 +115,8 @@ class RunConfig:
     sample_regions_per_group: int | None = None
     seed: int | None = None
     spillover_threshold: float | None = None
+    source: str | None = None
+    data_dir: Path | None = None
     cache_dir: Path | None = None
 
     def __post_init__(self) -> None:
@@ -116,6 +143,25 @@ class RunConfig:
             float(self.spillover_threshold) >= 0.0  # also rejects NaN
         ):
             raise ConfigurationError("spillover_threshold must be non-negative")
+        if self.source is not None:
+            source = str(self.source)
+            if source not in SOURCE_NAMES:
+                raise ConfigurationError(
+                    f"unknown trace source {source!r}; "
+                    f"available sources: {list(SOURCE_NAMES)}"
+                )
+            object.__setattr__(self, "source", source)
+        if self.data_dir is not None:
+            if (self.source or SOURCE_SYNTHETIC) == SOURCE_SYNTHETIC:
+                raise ConfigurationError(
+                    "data_dir is only meaningful with a file-backed trace "
+                    "source (em-csv, em-json); drop data_dir or set source"
+                )
+            object.__setattr__(self, "data_dir", Path(self.data_dir))
+        elif self.source is not None and self.source != SOURCE_SYNTHETIC:
+            raise ConfigurationError(
+                f"trace source {self.source!r} reads files and requires data_dir"
+            )
         if self.cache_dir is not None:
             object.__setattr__(self, "cache_dir", Path(self.cache_dir))
 
@@ -123,16 +169,27 @@ class RunConfig:
     # Dataset construction
     # ------------------------------------------------------------------
     def build_dataset(self) -> CarbonDataset:
-        """Synthesise the dataset this configuration describes.
+        """Build the dataset this configuration describes.
 
-        One dataset (and therefore one set of memoised window-sum caches) is
-        shared by every experiment of a ``run-all`` invocation.
+        The dataset is produced by the configured trace source (synthetic
+        by default, ElectricityMaps CSV/JSON ingestion via ``source`` +
+        ``data_dir``); ``regions`` accepts grid-zone codes and cloud
+        provider region names alike.  One dataset (and therefore one set of
+        memoised window-sum caches) is shared by every experiment of a
+        ``run-all`` invocation.
         """
-        catalog = default_catalog()
-        if self.regions is not None:
-            catalog = catalog.subset(self.regions)
         synthesis = SynthesisConfig(seed=int(self.seed)) if self.seed is not None else None
-        return CarbonDataset.synthetic(catalog=catalog, years=self.years, config=synthesis)
+        source = source_from_name(
+            self.source or SOURCE_SYNTHETIC,
+            data_dir=self.data_dir,
+            synthesis=synthesis,
+        )
+        return build_dataset_from_source(
+            source,
+            catalog=default_catalog(),
+            regions=self.regions,
+            years=self.years,
+        )
 
     # ------------------------------------------------------------------
     # Declarative option routing
@@ -150,7 +207,7 @@ class RunConfig:
             if name not in SHARED_OPTION_FIELDS and getattr(self, name) is not None
         )
 
-    def experiment_kwargs(self, options: frozenset[str]) -> dict[str, int | float]:
+    def experiment_kwargs(self, options: frozenset[str]) -> dict[str, int | float | str | Path]:
         """Keyword arguments for an experiment declaring ``options``.
 
         Only options the experiment declares *and* this configuration sets

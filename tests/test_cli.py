@@ -1,8 +1,12 @@
 """Tests for the command-line interface."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
+
+EM_FIXTURES = Path(__file__).parent / "data" / "electricitymaps"
 
 
 class TestParser:
@@ -25,6 +29,23 @@ class TestParser:
         args = build_parser().parse_args(["run-all"])
         assert args.out_dir is None
         assert args.years == "2020,2022"
+        # The data plane defaults to the synthetic source.
+        assert args.source is None
+        assert args.data_dir is None
+
+    def test_source_choices_are_validated_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-all", "--source", "csv"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_help_epilog_documents_cloud_region_naming(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        output = capsys.readouterr().out
+        assert "region names:" in output
+        assert "us-central1 -> US-IA" in output
+        assert "eu-north-1 -> SE" in output
+        assert "westeurope -> NL" in output
 
 
 class TestCommands:
@@ -62,6 +83,32 @@ class TestCommands:
         assert main(["dataset-summary", "--regions", "SE,US-CA,IN-MH", "--years", "2022"]) == 0
         output = capsys.readouterr().out
         assert "greenest: SE" in output
+
+    def test_dataset_summary_accepts_cloud_names_and_sources(self, capsys):
+        assert main(
+            ["dataset-summary", "--regions", "eu-north-1,us-central1",
+             "--years", "2022", "--source", "em-csv",
+             "--data-dir", str(EM_FIXTURES)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "greenest: SE" in output
+        assert "US-IA" in output
+
+    def test_run_fleet_with_cloud_region_names(self, capsys):
+        """Acceptance: `run fleet --regions us-central1,europe-west1`
+        resolves the GCP names to US-IA/BE and completes."""
+        exit_code = main(
+            ["run", "fleet", "--regions", "us-central1,europe-west1",
+             "--years", "2022", "--workers", "2", "--seed", "7"]
+        )
+        assert exit_code == 0
+        assert "saving_retained" in capsys.readouterr().out
+
+    def test_file_source_without_data_dir_is_an_explicit_error(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="requires data_dir"):
+            main(["run", "table1", "--source", "em-csv"])
 
     def test_unknown_experiment_raises(self):
         from repro.exceptions import ConfigurationError
@@ -208,3 +255,23 @@ class TestRunAll:
         # fig3b needs two dataset years: skipped, not failed.
         assert not (tmp_path / "fig3b.csv").exists()
         assert "skipped" in capsys.readouterr().out
+
+    def test_run_all_on_ingested_csv_fixtures(self, capsys, tmp_path):
+        """Acceptance: run-all completes on a dataset ingested from the
+        committed ElectricityMaps CSV fixtures, addressed by cloud-region
+        names (GCP and AWS mixed)."""
+        exit_code = main(
+            ["run-all",
+             "--source", "em-csv",
+             "--data-dir", str(EM_FIXTURES),
+             "--regions", "us-central1,europe-west1,eu-north-1",
+             "--years", "2022",
+             "--arrival-stride", "730",
+             "--workers", "2",
+             "--out-dir", str(tmp_path / "results")]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "runnable experiments completed" in output
+        assert (tmp_path / "results" / "fleet.csv").exists()
+        assert (tmp_path / "results" / "fig5.csv").exists()

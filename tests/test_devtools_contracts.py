@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import pytest
 
@@ -116,8 +117,15 @@ class TestOptionCasts:
         assert findings[0].kind == KIND_UNKNOWN_OPTION
 
     def test_int_fields_pass_with_default_cast(self):
-        int_fields = [f for f in OPTION_FIELDS if f != "spillover_threshold"]
+        int_fields = [f for f in OPTION_FIELDS if f not in _OPTION_CASTS]
         assert check_option_casts(int_fields, {}, RunConfig) == []
+
+    def test_path_field_requires_its_cast(self):
+        """`data_dir` is Path-annotated: the default int cast must be flagged
+        and the registered Path cast accepted."""
+        findings = check_option_casts(["data_dir"], {}, RunConfig)
+        assert [f.kind for f in findings] == ["option-cast-mismatch"]
+        assert check_option_casts(["data_dir"], {"data_dir": Path}, RunConfig) == []
 
 
 class TestContractsCli:

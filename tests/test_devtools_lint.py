@@ -573,6 +573,20 @@ class TestDtypeContractRule:
             path="src/repro/grid/example.py",
         )
 
+    def test_ingest_modules_are_in_scope(self):
+        """The real-data plane mints contracted ``intensities`` arrays; the
+        rule must police repro.grid.ingest.* like the flat-array engines."""
+        assert "dtype-contract" in found_rules(
+            "import numpy as np\nintensities = np.asarray(raw)\n",
+            module="repro.grid.ingest.example",
+            path="src/repro/grid/ingest/example.py",
+        )
+        assert "dtype-contract" not in found_rules(
+            "import numpy as np\nintensities = np.asarray(raw, dtype=np.float64)\n",
+            module="repro.grid.ingest.example",
+            path="src/repro/grid/ingest/example.py",
+        )
+
     def test_astype_to_wrong_dtype_fires(self):
         assert "dtype-contract" in self.in_cloud(
             "start_delays = chunk.astype(np.int32)\n"

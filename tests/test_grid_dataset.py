@@ -157,6 +157,13 @@ class TestDerivation:
         dataset = CarbonDataset.from_traces(small_catalog, traces)
         assert dataset.years == (2022,)
 
+    def test_from_traces_rejects_an_empty_mapping(self, small_catalog):
+        """Regression: an empty mapping used to surface as a misleading
+        'dataset must cover at least one year' ConfigurationError derived
+        from the empty years tuple; it is a precise DataError now."""
+        with pytest.raises(DataError, match="no traces supplied"):
+            CarbonDataset.from_traces(small_catalog, {})
+
     def test_trend_dataset_years(self, trend_dataset):
         assert trend_dataset.years == (2020, 2022)
         assert trend_dataset.earliest_year == 2020

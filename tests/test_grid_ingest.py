@@ -1,0 +1,485 @@
+"""Tests for the pluggable data plane (`repro.grid.ingest`).
+
+Covers provider-region name resolution, the TraceSource protocol and its
+three implementations (synthetic bit-identity, ElectricityMaps CSV
+exports, v3 API JSON payloads), and the documented regridding rule
+(duplicate averaging, cyclic gap interpolation, leap-day grids).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.grid import default_catalog
+from repro.grid.catalog import resolve_regions
+from repro.grid.dataset import CarbonDataset
+from repro.grid.ingest import (
+    SOURCE_NAMES,
+    ElectricityMapsCSVSource,
+    ElectricityMapsJSONSource,
+    SyntheticSource,
+    TraceSource,
+    build_dataset,
+    fill_to_hourly_grid,
+    hour_of_year,
+    parse_utc_timestamp,
+    source_from_name,
+)
+from repro.grid.provider_regions import PROVIDER_REGION_TO_ZONE
+from repro.grid.synthesis import SynthesisConfig
+
+FIXTURES = Path(__file__).parent / "data" / "electricitymaps"
+
+CSV_HEADER = (
+    "Datetime (UTC),Country,Zone Name,Zone Id,"
+    "Carbon Intensity gCO₂eq/kWh (direct),"
+    "Carbon Intensity gCO₂eq/kWh (LCA),"
+    "Low Carbon Percentage,Renewable Percentage"
+)
+
+
+def write_csv(path: Path, rows: list[str], header: str = CSV_HEADER) -> Path:
+    path.write_text("\n".join([header, *rows]) + "\n", encoding="utf-8")
+    return path
+
+
+def csv_row(stamp: str, lca: str, zone: str = "SE") -> str:
+    return f"{stamp},Sweden,Sweden,{zone},40.0,{lca},50.0,40.0"
+
+
+# ----------------------------------------------------------------------
+# Provider-region resolution
+# ----------------------------------------------------------------------
+class TestResolveRegions:
+    def test_zone_codes_pass_through(self):
+        assert resolve_regions(("SE", "US-IA")) == ("SE", "US-IA")
+
+    def test_cloud_names_resolve_per_provider(self):
+        assert resolve_regions(("us-central1",)) == ("US-IA",)  # GCP
+        assert resolve_regions(("eu-north-1",)) == ("SE",)  # AWS
+        assert resolve_regions(("westeurope",)) == ("NL",)  # Azure
+
+    def test_names_mix_and_match(self):
+        assert resolve_regions(("us-central1", "SE", "westeurope")) == (
+            "US-IA",
+            "SE",
+            "NL",
+        )
+
+    def test_provider_names_are_case_insensitive(self):
+        assert resolve_regions(("US-Central1", "EASTUS")) == ("US-IA", "US-VA")
+
+    def test_duplicate_zones_collapse_preserving_order(self):
+        # us-central1 (GCP) and centralus (Azure) both land in Iowa.
+        assert resolve_regions(("us-central1", "US-IA", "centralus", "SE")) == (
+            "US-IA",
+            "SE",
+        )
+
+    def test_unknown_name_names_both_schemes(self):
+        with pytest.raises(ConfigurationError, match="neither a grid-zone code"):
+            resolve_regions(("atlantis-east-1",))
+
+    def test_zone_outside_subset_catalog(self):
+        subset = default_catalog().subset(("SE",))
+        with pytest.raises(DataError, match="not in the catalog"):
+            resolve_regions(("us-central1",), subset)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one name"):
+            resolve_regions(())
+
+    def test_every_table_entry_resolves(self):
+        """The forward table and the catalog's providers metadata agree for
+        every one of the shipped provider regions."""
+        catalog = default_catalog()
+        for name, (provider, zone) in PROVIDER_REGION_TO_ZONE.items():
+            assert resolve_regions((name,), catalog) == (zone,), (name, provider)
+
+
+# ----------------------------------------------------------------------
+# Source registry and protocol
+# ----------------------------------------------------------------------
+class TestSourceRegistry:
+    def test_registered_names(self):
+        assert SOURCE_NAMES == ("synthetic", "em-csv", "em-json")
+
+    def test_all_sources_satisfy_the_protocol(self):
+        synthetic = source_from_name("synthetic")
+        em_csv = source_from_name("em-csv", data_dir=FIXTURES)
+        em_json = source_from_name("em-json", data_dir=FIXTURES)
+        for source in (synthetic, em_csv, em_json):
+            assert isinstance(source, TraceSource)
+        assert synthetic.name == "synthetic"
+        assert em_csv.name == "em-csv"
+        assert em_json.name == "em-json"
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown trace source"):
+            source_from_name("csv")
+
+    def test_synthetic_rejects_data_dir(self):
+        with pytest.raises(ConfigurationError, match="no data directory"):
+            source_from_name("synthetic", data_dir=FIXTURES)
+
+    def test_file_sources_require_data_dir(self):
+        for name in ("em-csv", "em-json"):
+            with pytest.raises(ConfigurationError, match="requires a data"):
+                source_from_name(name)
+
+    def test_file_sources_require_an_existing_directory(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="is not one"):
+            ElectricityMapsCSVSource(tmp_path / "missing")
+
+
+class TestSyntheticSource:
+    def test_bit_identical_to_carbon_dataset_synthetic(self):
+        """The refactor's core guarantee: routing synthesis through the
+        TraceSource plane changes nothing, to the last bit."""
+        catalog = default_catalog().subset(("SE", "US-IA", "DE"))
+        years = (2020, 2022)
+        reference = CarbonDataset.synthetic(catalog=catalog, years=years)
+        via_source = build_dataset(
+            SyntheticSource(), catalog=catalog, years=years
+        )
+        assert via_source.years == reference.years
+        assert via_source.codes() == reference.codes()
+        for key, series in reference.traces.items():
+            assert np.array_equal(via_source.traces[key].values, series.values)
+            assert via_source.traces[key].values.dtype == series.values.dtype
+
+    def test_seeded_config_matches_seeded_synthetic(self):
+        catalog = default_catalog().subset(("SE",))
+        config = SynthesisConfig(seed=99)
+        reference = CarbonDataset.synthetic(catalog, years=(2022,), config=config)
+        via_source = build_dataset(
+            SyntheticSource(SynthesisConfig(seed=99)), catalog=catalog, years=(2022,)
+        )
+        assert np.array_equal(
+            via_source.trace_values("SE"), reference.trace_values("SE")
+        )
+
+
+# ----------------------------------------------------------------------
+# The regridding rule
+# ----------------------------------------------------------------------
+class TestRegrid:
+    def test_parse_naive_and_aware_timestamps(self):
+        naive = parse_utc_timestamp("2022-01-01 05:00:00", "t")
+        aware = parse_utc_timestamp("2022-01-01T06:00:00.000+01:00", "t")
+        assert naive.hour == 5 and naive.tzinfo is None
+        assert aware == naive  # 06:00+01:00 is 05:00 UTC
+
+    def test_invalid_timestamp_is_a_data_error(self):
+        with pytest.raises(DataError, match="invalid timestamp"):
+            parse_utc_timestamp("yesterday", "t")
+
+    def test_leap_day_in_a_non_leap_year_is_rejected(self):
+        with pytest.raises(DataError, match="invalid timestamp"):
+            parse_utc_timestamp("2022-02-29 00:00:00", "t")
+
+    def test_hour_of_year_rejects_other_years(self):
+        timestamp = parse_utc_timestamp("2021-12-31 23:00:00", "t")
+        with pytest.raises(DataError, match="falls in year 2021"):
+            hour_of_year(timestamp, 2022, "t")
+
+    def test_sub_hourly_samples_land_on_their_hour(self):
+        timestamp = parse_utc_timestamp("2022-01-01 05:45:00", "t")
+        assert hour_of_year(timestamp, 2022, "t") == 5
+
+    def test_leap_year_grid_has_8784_slots(self):
+        hours = np.asarray([0], dtype=np.int64)
+        values = np.asarray([100.0], dtype=np.float64)
+        assert fill_to_hourly_grid(hours, values, 2020, "t").size == 8784
+        assert fill_to_hourly_grid(hours, values, 2022, "t").size == 8760
+
+    def test_duplicates_on_one_slot_are_averaged(self):
+        hours = np.asarray([0, 0, 1], dtype=np.int64)
+        values = np.asarray([100.0, 200.0, 50.0], dtype=np.float64)
+        grid = fill_to_hourly_grid(hours, values, 2022, "t")
+        assert grid[0] == 150.0
+        assert grid[1] == 50.0
+
+    def test_interior_gaps_interpolate_linearly(self):
+        hours = np.asarray([0, 4], dtype=np.int64)
+        values = np.asarray([100.0, 500.0], dtype=np.float64)
+        grid = fill_to_hourly_grid(hours, values, 2022, "t")
+        assert grid[1] == 200.0 and grid[2] == 300.0 and grid[3] == 400.0
+
+    def test_gaps_wrap_cyclically_over_new_year(self):
+        # Samples at the two ends: the wrap-around segment from slot 8758
+        # back to slot 1 interpolates across New Year, not to zero.
+        hours = np.asarray([1, 8757], dtype=np.int64)
+        values = np.asarray([100.0, 300.0], dtype=np.float64)
+        grid = fill_to_hourly_grid(hours, values, 2022, "t")
+        assert grid[8758] == pytest.approx(250.0)  # 1/4 of the way back
+        assert grid[8759] == pytest.approx(200.0)
+        assert grid[0] == pytest.approx(150.0)
+
+    def test_single_slot_becomes_a_constant_trace(self):
+        hours = np.asarray([1000], dtype=np.int64)
+        values = np.asarray([42.0], dtype=np.float64)
+        grid = fill_to_hourly_grid(hours, values, 2022, "t")
+        assert np.all(grid == 42.0)
+
+    def test_out_of_range_slot_rejected(self):
+        hours = np.asarray([8784], dtype=np.int64)
+        values = np.asarray([1.0], dtype=np.float64)
+        with pytest.raises(DataError, match="outside the 8760-hour grid"):
+            fill_to_hourly_grid(hours, values, 2022, "t")
+
+    def test_no_samples_rejected(self):
+        with pytest.raises(DataError, match="no usable"):
+            fill_to_hourly_grid(
+                np.asarray([], dtype=np.int64),
+                np.asarray([], dtype=np.float64),
+                2022,
+                "t",
+            )
+
+
+# ----------------------------------------------------------------------
+# ElectricityMaps CSV exports
+# ----------------------------------------------------------------------
+class TestElectricityMapsCSV:
+    @pytest.fixture()
+    def source(self):
+        return ElectricityMapsCSVSource(FIXTURES, use_cache=False)
+
+    def test_fixture_parses_to_full_year_grids(self, source):
+        catalog = default_catalog()
+        for zone, year, size in (
+            ("US-IA", 2020, 8784),  # leap year
+            ("US-IA", 2022, 8760),
+            ("BE", 2020, 8784),
+            ("SE", 2022, 8760),
+        ):
+            series = source.trace(catalog.get(zone), year)
+            assert series.values.size == size, (zone, year)
+            assert series.values.dtype == np.float64
+            assert float(series.values.min()) >= 0.0
+
+    def test_covered_slots_match_the_file_and_gaps_interpolate(self, source):
+        """Parse the committed US-IA 2022 fixture by hand and check the
+        trace reproduces its covered slots exactly, averages its duplicated
+        DST-fold hour, and fills its 3-hour gap linearly."""
+        path = FIXTURES / "US-IA_2022_hourly.csv"
+        with open(path, newline="", encoding="utf-8-sig") as handle:
+            rows = list(csv.reader(handle))
+        header = rows[0]
+        t_index = header.index("Datetime (UTC)")
+        v_index = header.index("Carbon Intensity gCO₂eq/kWh (LCA)")
+        by_hour: dict[int, list[float]] = {}
+        for row in rows[1:]:
+            if not row[v_index].strip():
+                continue  # the blank-cell gap
+            stamp = parse_utc_timestamp(row[t_index], "fixture")
+            by_hour.setdefault(hour_of_year(stamp, 2022, "fixture"), []).append(
+                float(row[v_index])
+            )
+        trace = source.trace(default_catalog().get("US-IA"), 2022).values
+        duplicated = [h for h, vs in by_hour.items() if len(vs) > 1]
+        assert duplicated, "fixture must carry a DST-fold duplicated hour"
+        for hour, values in by_hour.items():
+            assert trace[hour] == pytest.approx(np.mean(values)), hour
+        # The fixture drops hours 12-14: linear between hours 11 and 15.
+        for gap in (12, 13, 14):
+            assert gap not in by_hour
+            expected = trace[11] + (trace[15] - trace[11]) * (gap - 11) / 4.0
+            assert trace[gap] == pytest.approx(expected)
+
+    def test_leap_day_hours_are_real_samples(self, source):
+        """The 2020 fixture spans February 29: its 24 slots come from file
+        rows, not interpolation, on the 8784-slot grid."""
+        trace = source.trace(default_catalog().get("US-IA"), 2020).values
+        feb29_first = (31 + 28) * 24
+        assert trace.size == 8784
+        window = trace[feb29_first : feb29_first + 24]
+        assert float(np.ptp(window)) > 0.0  # daily shape, not a constant fill
+
+    def test_missing_file_names_the_expected_path(self, source):
+        with pytest.raises(DataError, match=r"US-CA_2022_hourly\.csv"):
+            source.trace(default_catalog().get("US-CA"), 2022)
+
+    def test_missing_datetime_column(self, tmp_path):
+        write_csv(
+            tmp_path / "SE_2022_hourly.csv",
+            ["a,b", "c,d"],
+            header="When,Carbon Intensity gCO₂eq/kWh (LCA)",
+        )
+        source = ElectricityMapsCSVSource(tmp_path, use_cache=False)
+        with pytest.raises(ConfigurationError, match="no datetime column"):
+            source.trace(default_catalog().get("SE"), 2022)
+
+    def test_missing_intensity_column(self, tmp_path):
+        write_csv(
+            tmp_path / "SE_2022_hourly.csv",
+            ["2022-01-01 00:00:00"],
+            header="Datetime (UTC)",
+        )
+        source = ElectricityMapsCSVSource(tmp_path, use_cache=False)
+        with pytest.raises(ConfigurationError, match="no carbon-intensity column"):
+            source.trace(default_catalog().get("SE"), 2022)
+
+    def test_ragged_row_width(self, tmp_path):
+        write_csv(
+            tmp_path / "SE_2022_hourly.csv",
+            [csv_row("2022-01-01 00:00:00", "50.0") + ",extra"],
+        )
+        source = ElectricityMapsCSVSource(tmp_path, use_cache=False)
+        with pytest.raises(ConfigurationError, match="header declares"):
+            source.trace(default_catalog().get("SE"), 2022)
+
+    def test_empty_file(self, tmp_path):
+        (tmp_path / "SE_2022_hourly.csv").write_text("", encoding="utf-8")
+        source = ElectricityMapsCSVSource(tmp_path, use_cache=False)
+        with pytest.raises(ConfigurationError, match="empty file"):
+            source.trace(default_catalog().get("SE"), 2022)
+
+    def test_wrong_zone_id_is_a_data_error(self, tmp_path):
+        write_csv(
+            tmp_path / "SE_2022_hourly.csv",
+            [csv_row("2022-01-01 00:00:00", "50.0", zone="DE")],
+        )
+        source = ElectricityMapsCSVSource(tmp_path, use_cache=False)
+        with pytest.raises(DataError, match="does not match the file's zone"):
+            source.trace(default_catalog().get("SE"), 2022)
+
+    def test_non_numeric_intensity(self, tmp_path):
+        write_csv(
+            tmp_path / "SE_2022_hourly.csv",
+            [csv_row("2022-01-01 00:00:00", "n/a")],
+        )
+        source = ElectricityMapsCSVSource(tmp_path, use_cache=False)
+        with pytest.raises(DataError, match="not a number"):
+            source.trace(default_catalog().get("SE"), 2022)
+
+    def test_negative_intensity(self, tmp_path):
+        write_csv(
+            tmp_path / "SE_2022_hourly.csv",
+            [csv_row("2022-01-01 00:00:00", "-1.0")],
+        )
+        source = ElectricityMapsCSVSource(tmp_path, use_cache=False)
+        with pytest.raises(DataError, match="finite and non-negative"):
+            source.trace(default_catalog().get("SE"), 2022)
+
+    def test_timestamp_outside_the_file_year(self, tmp_path):
+        write_csv(
+            tmp_path / "SE_2022_hourly.csv",
+            [csv_row("2021-12-31 23:00:00", "50.0")],
+        )
+        source = ElectricityMapsCSVSource(tmp_path, use_cache=False)
+        with pytest.raises(DataError, match="falls in year 2021"):
+            source.trace(default_catalog().get("SE"), 2022)
+
+    def test_all_blank_intensities(self, tmp_path):
+        write_csv(
+            tmp_path / "SE_2022_hourly.csv",
+            [csv_row("2022-01-01 00:00:00", "")],
+        )
+        source = ElectricityMapsCSVSource(tmp_path, use_cache=False)
+        with pytest.raises(DataError, match="no data rows"):
+            source.trace(default_catalog().get("SE"), 2022)
+
+
+# ----------------------------------------------------------------------
+# ElectricityMaps v3 API JSON payloads
+# ----------------------------------------------------------------------
+class TestElectricityMapsJSON:
+    @pytest.fixture()
+    def source(self):
+        return ElectricityMapsJSONSource(FIXTURES, use_cache=False)
+
+    def write_payload(self, tmp_path, payload) -> ElectricityMapsJSONSource:
+        (tmp_path / "SE_2022.json").write_text(
+            payload if isinstance(payload, str) else json.dumps(payload),
+            encoding="utf-8",
+        )
+        return ElectricityMapsJSONSource(tmp_path, use_cache=False)
+
+    def test_history_and_forecast_payloads_parse(self, source):
+        catalog = default_catalog()
+        history = source.trace(catalog.get("DE"), 2022).values  # history key
+        forecast = source.trace(catalog.get("SE"), 2022).values  # forecast key
+        assert history.size == 8760 and forecast.size == 8760
+        assert history.dtype == np.float64
+
+    def test_null_intensity_is_a_gap_not_an_error(self, source):
+        """The SE fixture nulls carbonIntensity at hour 3655: the slot is
+        interpolated between its covered neighbours."""
+        trace = source.trace(default_catalog().get("SE"), 2022).values
+        expected = (trace[3654] + trace[3656]) / 2.0
+        assert trace[3655] == pytest.approx(expected)
+
+    def test_invalid_json(self, tmp_path):
+        source = self.write_payload(tmp_path, "{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            source.trace(default_catalog().get("SE"), 2022)
+
+    def test_non_object_payload(self, tmp_path):
+        source = self.write_payload(tmp_path, [1, 2, 3])
+        with pytest.raises(ConfigurationError, match="expected a v3 API JSON object"):
+            source.trace(default_catalog().get("SE"), 2022)
+
+    def test_payload_without_history_or_forecast(self, tmp_path):
+        source = self.write_payload(tmp_path, {"zone": "SE", "data": []})
+        with pytest.raises(ConfigurationError, match="history/forecast"):
+            source.trace(default_catalog().get("SE"), 2022)
+
+    def test_entries_must_be_an_array(self, tmp_path):
+        source = self.write_payload(tmp_path, {"zone": "SE", "history": {}})
+        with pytest.raises(ConfigurationError, match="must be an array"):
+            source.trace(default_catalog().get("SE"), 2022)
+
+    def test_entry_missing_keys(self, tmp_path):
+        source = self.write_payload(
+            tmp_path, {"zone": "SE", "history": [{"datetime": "2022-01-01"}]}
+        )
+        with pytest.raises(ConfigurationError, match="must carry"):
+            source.trace(default_catalog().get("SE"), 2022)
+
+    def test_payload_for_another_zone(self, tmp_path):
+        source = self.write_payload(tmp_path, {"zone": "DE", "history": []})
+        with pytest.raises(DataError, match="payload is for zone 'DE'"):
+            source.trace(default_catalog().get("SE"), 2022)
+
+    def test_boolean_intensity_rejected(self, tmp_path):
+        entry = {"datetime": "2022-01-01T00:00:00Z", "carbonIntensity": True}
+        source = self.write_payload(tmp_path, {"zone": "SE", "history": [entry]})
+        with pytest.raises(DataError, match="not a number"):
+            source.trace(default_catalog().get("SE"), 2022)
+
+    def test_negative_intensity_rejected(self, tmp_path):
+        entry = {"datetime": "2022-01-01T00:00:00Z", "carbonIntensity": -3.0}
+        source = self.write_payload(tmp_path, {"zone": "SE", "history": [entry]})
+        with pytest.raises(DataError, match="finite and non-negative"):
+            source.trace(default_catalog().get("SE"), 2022)
+
+
+# ----------------------------------------------------------------------
+# Dataset assembly over real files
+# ----------------------------------------------------------------------
+class TestBuildDatasetFromFiles:
+    def test_csv_dataset_with_cloud_region_names(self):
+        source = ElectricityMapsCSVSource(FIXTURES, use_cache=False)
+        dataset = build_dataset(
+            source, regions=("us-central1", "europe-west1"), years=(2020, 2022)
+        )
+        assert set(dataset.codes()) == {"US-IA", "BE"}
+        assert dataset.years == (2020, 2022)
+        assert dataset.trace_values("US-IA", 2020).size == 8784
+        # The dataset is fully validated: every (region, year) has a trace
+        # and the derived kernels work.
+        assert dataset.global_average() > 0.0
+
+    def test_json_dataset(self):
+        source = ElectricityMapsJSONSource(FIXTURES, use_cache=False)
+        dataset = build_dataset(source, regions=("DE", "SE"), years=(2022,))
+        assert set(dataset.codes()) == {"DE", "SE"}
+        assert dataset.greenest_region() == "SE"

@@ -1,0 +1,171 @@
+"""Tests for the on-disk ingest cache (`repro.grid.ingest.cache`).
+
+The cache's contract: a cached load is bit-identical to a fresh parse,
+editing the source file invalidates by content hash (never by mtime), and
+a corrupted entry is silently re-parsed — plus the versioned-filename
+layout that lets future format bumps orphan old entries.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.grid import default_catalog
+from repro.grid.ingest import (
+    CACHE_FORMAT_VERSION,
+    ElectricityMapsCSVSource,
+    IngestCache,
+    content_hash,
+)
+
+FIXTURES = Path(__file__).parent / "data" / "electricitymaps"
+
+
+@pytest.fixture()
+def data_dir(tmp_path):
+    """A private copy of the fixture directory (cache writes stay local)."""
+    target = tmp_path / "em"
+    shutil.copytree(
+        FIXTURES, target, ignore=shutil.ignore_patterns("_ingest_cache")
+    )
+    return target
+
+
+@pytest.fixture()
+def region():
+    return default_catalog().get("US-IA")
+
+
+class TestIngestCacheRoundTrip:
+    def test_parse_then_load_is_bit_identical(self, data_dir, region):
+        source = ElectricityMapsCSVSource(data_dir)
+        cache_dir = data_dir / ElectricityMapsCSVSource.CACHE_SUBDIR
+        assert not cache_dir.exists()
+
+        first = source.trace(region, 2022).values  # cold: parses and stores
+        entries = list(cache_dir.glob("*.npz"))
+        assert len(entries) == 1
+
+        # A fresh source object must *load* (same digest, entry untouched)
+        # and hand back the very same bits and dtype.
+        second = ElectricityMapsCSVSource(data_dir).trace(region, 2022).values
+        assert np.array_equal(first, second)
+        assert first.dtype == second.dtype == np.float64
+        assert list(cache_dir.glob("*.npz")) == entries
+
+    def test_loaded_array_matches_a_cache_free_parse(self, data_dir, region):
+        cached = ElectricityMapsCSVSource(data_dir)
+        cached.trace(region, 2022)  # populate
+        via_cache = cached.trace(region, 2022).values
+        direct = (
+            ElectricityMapsCSVSource(data_dir, use_cache=False)
+            .trace(region, 2022)
+            .values
+        )
+        assert np.array_equal(via_cache, direct)
+
+    def test_entry_filename_carries_version_and_content_hash(
+        self, data_dir, region
+    ):
+        source = ElectricityMapsCSVSource(data_dir)
+        source.trace(region, 2022)
+        digest = content_hash(data_dir / "US-IA_2022_hourly.csv")
+        expected = f"US-IA_2022_{digest}.v{CACHE_FORMAT_VERSION}.npz"
+        cache_dir = data_dir / ElectricityMapsCSVSource.CACHE_SUBDIR
+        assert [p.name for p in cache_dir.glob("*.npz")] == [expected]
+
+    def test_no_temporary_files_left_behind(self, data_dir, region):
+        source = ElectricityMapsCSVSource(data_dir)
+        source.trace(region, 2022)
+        cache_dir = data_dir / ElectricityMapsCSVSource.CACHE_SUBDIR
+        assert not list(cache_dir.glob("*.tmp"))
+
+    def test_use_cache_false_writes_nothing(self, data_dir, region):
+        source = ElectricityMapsCSVSource(data_dir, use_cache=False)
+        source.trace(region, 2022)
+        assert not (data_dir / ElectricityMapsCSVSource.CACHE_SUBDIR).exists()
+
+
+class TestIngestCacheInvalidation:
+    def test_editing_the_source_file_misses_and_prunes(self, data_dir, region):
+        source = ElectricityMapsCSVSource(data_dir)
+        before = source.trace(region, 2022).values.copy()
+        path = data_dir / "US-IA_2022_hourly.csv"
+        old_digest = content_hash(path)
+
+        # Change one reading: the content hash — and so the cache key —
+        # changes, the stale entry is pruned, and the new parse shows the
+        # edit.
+        lines = path.read_text(encoding="utf-8").splitlines()
+        cells = lines[1].split(",")
+        cells[5] = "999.0"  # the LCA intensity of the hour-0 row
+        lines[1] = ",".join(cells)
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        new_digest = content_hash(path)
+        assert new_digest != old_digest
+
+        after = ElectricityMapsCSVSource(data_dir).trace(region, 2022).values
+        assert not np.array_equal(before, after)
+        assert after[0] == pytest.approx(999.0)
+        cache_dir = data_dir / ElectricityMapsCSVSource.CACHE_SUBDIR
+        names = [p.name for p in cache_dir.glob("US-IA_2022_*.npz")]
+        assert names == [f"US-IA_2022_{new_digest}.v{CACHE_FORMAT_VERSION}.npz"]
+
+    def test_store_keeps_one_entry_per_zone_year(self, tmp_path):
+        cache = IngestCache(tmp_path)
+        values = np.arange(24, dtype=np.float64)
+        cache.store("SE", 2022, "a" * 16, values)
+        cache.store("SE", 2022, "b" * 16, values * 2.0)
+        cache.store("SE", 2020, "c" * 16, values)  # other year: untouched
+        names = sorted(p.name for p in tmp_path.glob("*.npz"))
+        assert names == [
+            f"SE_2020_{'c' * 16}.v{CACHE_FORMAT_VERSION}.npz",
+            f"SE_2022_{'b' * 16}.v{CACHE_FORMAT_VERSION}.npz",
+        ]
+
+
+class TestIngestCacheCorruption:
+    def test_corrupted_entry_is_deleted_and_reparsed(self, data_dir, region):
+        source = ElectricityMapsCSVSource(data_dir)
+        good = source.trace(region, 2022).values.copy()
+        cache_dir = data_dir / ElectricityMapsCSVSource.CACHE_SUBDIR
+        (entry,) = cache_dir.glob("*.npz")
+        entry.write_bytes(b"not a zip archive")
+
+        recovered = ElectricityMapsCSVSource(data_dir).trace(region, 2022).values
+        assert np.array_equal(recovered, good)
+        # The damaged entry was replaced by a fresh, loadable one.
+        (entry_after,) = cache_dir.glob("*.npz")
+        assert entry_after == entry
+        loaded = IngestCache(cache_dir).load(
+            "US-IA", 2022, content_hash(data_dir / "US-IA_2022_hourly.csv")
+        )
+        assert loaded is not None and np.array_equal(loaded, good)
+
+    def test_load_returns_none_on_miss(self, tmp_path):
+        cache = IngestCache(tmp_path)
+        assert cache.load("SE", 2022, "0" * 16) is None
+
+    def test_wrong_shape_entry_treated_as_corrupt(self, tmp_path):
+        cache = IngestCache(tmp_path)
+        path = cache.entry_path("SE", 2022, "0" * 16)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "wb") as handle:
+            np.savez_compressed(
+                handle, intensities=np.zeros((2, 2), dtype=np.float64)
+            )
+        assert cache.load("SE", 2022, "0" * 16) is None
+        assert not path.exists()  # deleted so a re-parse can replace it
+
+    def test_entry_missing_the_intensities_key(self, tmp_path):
+        cache = IngestCache(tmp_path)
+        path = cache.entry_path("SE", 2022, "0" * 16)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, other=np.zeros(3, dtype=np.float64))
+        assert cache.load("SE", 2022, "0" * 16) is None
+        assert not path.exists()

@@ -177,6 +177,31 @@ class TestRunConfig:
             dataset.trace_values("SE"), other.trace_values("SE")
         )
 
+    def test_build_dataset_resolves_cloud_region_names(self):
+        config = RunConfig(regions=("us-central1", "eu-north-1"), years=(2022,))
+        dataset = config.build_dataset()
+        assert set(dataset.codes()) == {"US-IA", "SE"}
+
+    def test_default_source_is_bit_identical_to_explicit_synthetic(self):
+        default = RunConfig(regions=("SE",), years=(2022,), seed=7).build_dataset()
+        explicit = RunConfig(
+            regions=("SE",), years=(2022,), seed=7, source="synthetic"
+        ).build_dataset()
+        assert np.array_equal(
+            default.trace_values("SE"), explicit.trace_values("SE")
+        )
+
+    def test_build_dataset_from_csv_source(self):
+        config = RunConfig(
+            regions=("us-central1",),
+            years=(2022,),
+            source="em-csv",
+            data_dir="tests/data/electricitymaps",
+        )
+        dataset = config.build_dataset()
+        assert dataset.codes() == ("US-IA",)
+        assert dataset.trace_values("US-IA").size == 8760
+
     def test_describe_mentions_set_fields(self):
         text = RunConfig(workers=4, arrival_stride=24).describe()
         assert "workers=4" in text
@@ -207,7 +232,36 @@ class TestConfigOption:
             "sample_regions_per_group",
             "seed",
             "spillover_threshold",
+            "source",
+            "data_dir",
         }
+
+    def test_source_and_data_dir_are_shared_options(self):
+        """Picking a trace source parameterises the shared dataset — like
+        ``seed`` it must never trip strict routing for experiments that
+        don't declare it."""
+        config = RunConfig(source="synthetic")
+        assert config.explicit_options() == frozenset()
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown trace source"):
+            RunConfig(source="csv")
+
+    def test_file_source_requires_data_dir(self):
+        with pytest.raises(ConfigurationError, match="requires data_dir"):
+            RunConfig(source="em-csv")
+        with pytest.raises(ConfigurationError, match="requires data_dir"):
+            RunConfig(source="em-json")
+
+    def test_data_dir_requires_file_source(self):
+        with pytest.raises(ConfigurationError, match="file-backed"):
+            RunConfig(data_dir="tests/data/electricitymaps")
+        with pytest.raises(ConfigurationError, match="file-backed"):
+            RunConfig(source="synthetic", data_dir="tests/data/electricitymaps")
+
+    def test_data_dir_coerced_to_path(self):
+        config = RunConfig(source="em-csv", data_dir="tests/data/electricitymaps")
+        assert isinstance(config.data_dir, Path)
 
     def test_spillover_threshold_is_a_strict_float_option(self):
         """The spillover threshold routes as a *float* (fractional hours and
